@@ -1,0 +1,216 @@
+//! Shared scaffolding for baseline algorithms: a fleet of workers with
+//! identical initial replicas.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps_core::Worker;
+use saps_data::{partition, Dataset};
+use saps_nn::Model;
+use saps_tensor::rng::{derive_seed, streams};
+
+/// A fleet of `n` workers with identically initialized model replicas,
+/// an IID (or caller-supplied) data partition, and a scratch model for
+/// consensus evaluation.
+pub struct Fleet {
+    workers: Vec<Worker>,
+    eval_model: Model,
+    n_params: usize,
+    /// Mini-batch size per worker per round.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("workers", &self.workers.len())
+            .field("n_params", &self.n_params)
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Builds a fleet over an IID partition of `train`.
+    pub fn new(
+        n: usize,
+        train: &Dataset,
+        factory: impl Fn(&mut StdRng) -> Model,
+        seed: u64,
+        batch_size: usize,
+        lr: f32,
+    ) -> Self {
+        let parts = partition::iid(train, n, derive_seed(seed, 0, streams::DATA));
+        Self::with_partitions(parts, factory, seed, batch_size, lr)
+    }
+
+    /// Builds a fleet over explicit partitions.
+    pub fn with_partitions(
+        parts: Vec<Dataset>,
+        factory: impl Fn(&mut StdRng) -> Model,
+        seed: u64,
+        batch_size: usize,
+        lr: f32,
+    ) -> Self {
+        assert!(parts.len() >= 2, "need at least two workers");
+        let make = || {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0, streams::INIT));
+            factory(&mut rng)
+        };
+        let workers: Vec<Worker> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(rank, data)| Worker::new(rank, make(), data, seed))
+            .collect();
+        let eval_model = make();
+        let n_params = eval_model.num_params();
+        Fleet {
+            workers,
+            eval_model,
+            n_params,
+            batch_size,
+            lr,
+        }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the fleet is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Model size `N`.
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    /// Worker access.
+    pub fn worker(&self, rank: usize) -> &Worker {
+        &self.workers[rank]
+    }
+
+    /// Mutable worker access.
+    pub fn worker_mut(&mut self, rank: usize) -> &mut Worker {
+        &mut self.workers[rank]
+    }
+
+    /// Runs one local SGD step on every worker; returns the mean
+    /// `(loss, accuracy)`.
+    pub fn sgd_step_all(&mut self) -> (f32, f32) {
+        let mut loss = 0.0f64;
+        let mut acc = 0.0f64;
+        let (bs, lr) = (self.batch_size, self.lr);
+        for w in &mut self.workers {
+            let (l, a) = w.sgd_step(bs, lr);
+            loss += l as f64;
+            acc += a as f64;
+        }
+        let n = self.workers.len() as f64;
+        ((loss / n) as f32, (acc / n) as f32)
+    }
+
+    /// Accumulates gradients on every worker without stepping; returns
+    /// the mean `(loss, accuracy)`.
+    pub fn accumulate_grads_all(&mut self) -> (f32, f32) {
+        let mut loss = 0.0f64;
+        let mut acc = 0.0f64;
+        let bs = self.batch_size;
+        for w in &mut self.workers {
+            let (l, a) = w.accumulate_grads(bs);
+            loss += l as f64;
+            acc += a as f64;
+        }
+        let n = self.workers.len() as f64;
+        ((loss / n) as f32, (acc / n) as f32)
+    }
+
+    /// The mean of all workers' flat models.
+    pub fn average_model(&self) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.n_params];
+        for w in &self.workers {
+            for (a, v) in acc.iter_mut().zip(w.flat()) {
+                *a += v;
+            }
+        }
+        let inv = 1.0 / self.workers.len() as f32;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        acc
+    }
+
+    /// Validation accuracy of a given flat model.
+    pub fn evaluate_flat(&mut self, flat: &[f32], val: &Dataset, max_samples: usize) -> f32 {
+        self.eval_model.set_flat_params(flat);
+        self.eval_model.evaluate(val, max_samples)
+    }
+
+    /// Validation accuracy of the fleet-average model.
+    pub fn evaluate_average(&mut self, val: &Dataset, max_samples: usize) -> f32 {
+        let avg = self.average_model();
+        self.evaluate_flat(&avg, val, max_samples)
+    }
+
+    /// Mean local-dataset size (for epoch accounting).
+    pub fn mean_partition_len(&self) -> f64 {
+        self.workers.iter().map(|w| w.data_len()).sum::<usize>() as f64
+            / self.workers.len() as f64
+    }
+
+    /// Fraction of an epoch advanced by one batch per worker.
+    pub fn epochs_per_round(&self) -> f64 {
+        self.batch_size as f64 / self.mean_partition_len().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saps_data::SyntheticSpec;
+    use saps_nn::zoo;
+
+    fn fleet(n: usize) -> Fleet {
+        let ds = SyntheticSpec::tiny().samples(400).generate(1);
+        Fleet::new(n, &ds, |rng| zoo::mlp(&[16, 12, 4], rng), 7, 16, 0.1)
+    }
+
+    #[test]
+    fn replicas_start_identical() {
+        let f = fleet(4);
+        let base = f.worker(0).flat();
+        for r in 1..4 {
+            assert_eq!(base, f.worker(r).flat());
+        }
+    }
+
+    #[test]
+    fn sgd_step_all_diverges_replicas() {
+        let mut f = fleet(3);
+        let (loss, acc) = f.sgd_step_all();
+        assert!(loss.is_finite() && (0.0..=1.0).contains(&acc));
+        assert_ne!(f.worker(0).flat(), f.worker(1).flat());
+    }
+
+    #[test]
+    fn average_model_is_midpoint_for_two_workers() {
+        let mut f = fleet(2);
+        f.sgd_step_all();
+        let avg = f.average_model();
+        let a = f.worker(0).flat();
+        let b = f.worker(1).flat();
+        for i in 0..avg.len() {
+            assert!((avg[i] - 0.5 * (a[i] + b[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn epochs_per_round() {
+        let f = fleet(4);
+        // 400 samples / 4 workers = 100 per worker; batch 16 -> 0.16.
+        assert!((f.epochs_per_round() - 0.16).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! D-PSGD: decentralized parallel SGD on a fixed ring [25].
+
+use crate::Fleet;
+use saps_core::{RoundReport, Trainer};
+use saps_data::Dataset;
+use saps_graph::topology;
+use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
+
+/// D-PSGD on the fixed ring `0 → 1 → … → n−1 → 0` (the paper's Section
+/// IV-D setup): each round every worker runs one SGD step, sends its
+/// **full dense model** to both ring neighbours, and replaces its model
+/// with the three-way average `x_i ← (x_{i−1} + x_i + x_{i+1})/3`.
+///
+/// Per-worker traffic is `4·N` parameters per round (2 sends + 2
+/// receives) — the communication-hungry baseline of Fig. 4.
+pub struct DPsgd {
+    fleet: Fleet,
+}
+
+impl DPsgd {
+    /// Wraps a fleet (needs ≥ 3 workers for a proper ring).
+    pub fn new(fleet: Fleet) -> Self {
+        assert!(fleet.len() >= 3, "D-PSGD ring needs at least 3 workers");
+        DPsgd { fleet }
+    }
+}
+
+impl Trainer for DPsgd {
+    fn name(&self) -> &'static str {
+        "D-PSGD"
+    }
+
+    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
+        let n = self.fleet.len();
+        let (loss, acc) = self.fleet.sgd_step_all();
+
+        // Snapshot all models, then mix: x_i = (x_{i-1} + x_i + x_{i+1})/3.
+        let snapshots: Vec<Vec<f32>> = (0..n).map(|r| self.fleet.worker(r).flat()).collect();
+        for r in 0..n {
+            let prev = &snapshots[(r + n - 1) % n];
+            let next = &snapshots[(r + 1) % n];
+            let me = &snapshots[r];
+            let mixed: Vec<f32> = (0..me.len())
+                .map(|i| (prev[i] + me[i] + next[i]) / 3.0)
+                .collect();
+            self.fleet.worker_mut(r).set_flat(&mixed);
+        }
+
+        // Traffic: every worker sends its dense model to both neighbours.
+        let dense_bytes = 4 * self.fleet.n_params() as u64;
+        let mut transfers = Vec::with_capacity(2 * n);
+        for r in 0..n {
+            for peer in [(r + 1) % n, (r + n - 1) % n] {
+                traffic.record_p2p(r, peer, dense_bytes);
+                transfers.push((r, peer, dense_bytes));
+            }
+        }
+        traffic.end_round();
+        let comm_time_s = timemodel::p2p_round_time(bw, &transfers);
+
+        let ring = topology::ring_edges(n);
+        let mean_link =
+            ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
+        let min_link = ring
+            .iter()
+            .map(|&(a, b)| bw.get(a, b))
+            .fold(f64::INFINITY, f64::min);
+        RoundReport {
+            mean_loss: loss,
+            mean_acc: acc,
+            comm_time_s,
+            epochs_advanced: self.fleet.epochs_per_round(),
+            mean_link_bandwidth: mean_link,
+            min_link_bandwidth: min_link,
+        }
+    }
+
+    fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
+        self.fleet.evaluate_average(val, max_samples)
+    }
+
+    fn model_len(&self) -> usize {
+        self.fleet.n_params()
+    }
+
+    fn worker_count(&self) -> usize {
+        self.fleet.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saps_data::SyntheticSpec;
+    use saps_nn::zoo;
+
+    fn setup(n: usize) -> (DPsgd, Dataset, BandwidthMatrix) {
+        let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
+        let (train, val) = ds.split(0.25, 0);
+        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
+        (DPsgd::new(fleet), val, BandwidthMatrix::constant(n, 1.0))
+    }
+
+    #[test]
+    fn traffic_is_4n_dense_per_round() {
+        let (mut algo, _, bw) = setup(4);
+        let mut t = TrafficAccountant::new(4);
+        algo.round(&mut t, &bw);
+        let dense = 4 * algo.model_len() as u64;
+        assert_eq!(t.worker_sent(0), 2 * dense);
+        assert_eq!(t.worker_recv(0), 2 * dense);
+        assert_eq!(t.server_total(), 0);
+    }
+
+    #[test]
+    fn mixing_preserves_global_average() {
+        let (mut algo, _, bw) = setup(4);
+        let mut t = TrafficAccountant::new(4);
+        // After SGD the models differ; record the average and one more
+        // mixing-only effect via a zero-lr fleet is overkill — instead
+        // check the invariant across a round with lr = 0.
+        algo.fleet.lr = 0.0;
+        let before = algo.fleet.average_model();
+        algo.round(&mut t, &bw);
+        let after = algo.fleet.average_model();
+        for (a, b) in after.iter().zip(&before) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn converges() {
+        let (mut algo, val, bw) = setup(4);
+        let mut t = TrafficAccountant::new(4);
+        for _ in 0..120 {
+            algo.round(&mut t, &bw);
+        }
+        let acc = algo.evaluate(&val, 300);
+        assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn ring_consensus_spreads_information() {
+        // With lr = 0 and distinct initial models, repeated mixing must
+        // shrink the consensus distance.
+        let (mut algo, _, bw) = setup(6);
+        algo.fleet.lr = 0.0;
+        // Perturb worker 0 to create disagreement.
+        let mut f = algo.fleet.worker(0).flat();
+        for v in &mut f {
+            *v += 1.0;
+        }
+        algo.fleet.worker_mut(0).set_flat(&f);
+        let dist = |fleet: &Fleet| {
+            let avg = fleet.average_model();
+            (0..fleet.len())
+                .map(|r| {
+                    fleet
+                        .worker(r)
+                        .flat()
+                        .iter()
+                        .zip(&avg)
+                        .map(|(a, b)| ((a - b) as f64).powi(2))
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+        };
+        let d0 = dist(&algo.fleet);
+        let mut t = TrafficAccountant::new(6);
+        for _ in 0..20 {
+            algo.round(&mut t, &bw);
+        }
+        let d1 = dist(&algo.fleet);
+        assert!(d1 < d0 * 0.05, "consensus {d0} -> {d1}");
+    }
+}

@@ -1,0 +1,227 @@
+//! FedAvg: the canonical parameter-server federated-learning baseline.
+
+use crate::Fleet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use saps_core::{RoundReport, Trainer};
+use saps_data::Dataset;
+use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
+use saps_tensor::rng::{derive_seed, streams};
+
+/// FedAvg hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedAvgConfig {
+    /// Fraction of workers selected per round (the paper uses 0.5).
+    pub participation: f64,
+    /// Local SGD steps each selected worker runs before uploading.
+    pub local_steps: usize,
+}
+
+impl Default for FedAvgConfig {
+    fn default() -> Self {
+        FedAvgConfig {
+            participation: 0.5,
+            local_steps: 5,
+        }
+    }
+}
+
+/// FedAvg [35]: each round the server samples a fraction of workers,
+/// ships them the global model, lets them run several local SGD steps,
+/// and averages their uploaded models.
+///
+/// The server is placed at the best-connected node
+/// ([`BandwidthMatrix::best_server`]) exactly as the paper's Section IV-D
+/// does when charging FedAvg's communication time.
+pub struct FedAvg {
+    fleet: Fleet,
+    cfg: FedAvgConfig,
+    server_model: Vec<f32>,
+    rng: StdRng,
+}
+
+impl FedAvg {
+    /// Wraps a fleet. `seed` drives client sampling.
+    pub fn new(fleet: Fleet, cfg: FedAvgConfig, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.participation) && cfg.participation > 0.0);
+        assert!(cfg.local_steps >= 1);
+        let server_model = fleet.worker(0).flat();
+        FedAvg {
+            fleet,
+            cfg,
+            server_model,
+            rng: StdRng::seed_from_u64(derive_seed(seed, 0, streams::CLIENT_SAMPLE)),
+        }
+    }
+
+    /// The hyper-parameters in use.
+    pub fn config(&self) -> FedAvgConfig {
+        self.cfg
+    }
+
+    /// Samples this round's client set.
+    fn sample_clients(&mut self) -> Vec<usize> {
+        let n = self.fleet.len();
+        let k = ((n as f64 * self.cfg.participation).round() as usize).clamp(1, n);
+        let mut ranks: Vec<usize> = (0..n).collect();
+        ranks.shuffle(&mut self.rng);
+        ranks.truncate(k);
+        ranks.sort_unstable();
+        ranks
+    }
+
+    /// One FedAvg round (dense download + dense upload).
+    fn dense_round(
+        &mut self,
+        traffic: &mut TrafficAccountant,
+        bw: &BandwidthMatrix,
+    ) -> RoundReport {
+        let clients = self.sample_clients();
+        let server = bw.best_server();
+        let n_params = self.fleet.n_params();
+        let dense_bytes = 4 * n_params as u64;
+
+        for &r in &clients {
+            self.fleet.worker_mut(r).set_flat(&self.server_model);
+            traffic.record_download(r, dense_bytes);
+        }
+
+        let mut loss = 0.0f64;
+        let mut acc = 0.0f64;
+        let (bs, lr) = (self.fleet.batch_size, self.fleet.lr);
+        for &r in &clients {
+            for _ in 0..self.cfg.local_steps {
+                let (l, a) = self.fleet.worker_mut(r).sgd_step(bs, lr);
+                loss += l as f64;
+                acc += a as f64;
+            }
+        }
+        let steps = (clients.len() * self.cfg.local_steps) as f64;
+
+        let mut accum = vec![0.0f32; n_params];
+        for &r in &clients {
+            let flat = self.fleet.worker(r).flat();
+            for (a, v) in accum.iter_mut().zip(&flat) {
+                *a += v;
+            }
+            traffic.record_upload(r, dense_bytes);
+        }
+        let inv = 1.0 / clients.len() as f32;
+        for a in &mut accum {
+            *a *= inv;
+        }
+        self.server_model = accum;
+        traffic.end_round();
+
+        let transfers: Vec<(usize, u64, u64)> = clients
+            .iter()
+            .map(|&r| (r, dense_bytes, dense_bytes))
+            .collect();
+        let comm_time_s = timemodel::ps_round_time(bw, server, &transfers);
+
+        RoundReport {
+            mean_loss: (loss / steps) as f32,
+            mean_acc: (acc / steps) as f32,
+            comm_time_s,
+            epochs_advanced: self.fleet.epochs_per_round()
+                * self.cfg.local_steps as f64
+                * self.cfg.participation,
+            mean_link_bandwidth: 0.0,
+            min_link_bandwidth: 0.0,
+        }
+    }
+}
+
+impl Trainer for FedAvg {
+    fn name(&self) -> &'static str {
+        "FedAvg"
+    }
+
+    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
+        self.dense_round(traffic, bw)
+    }
+
+    fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
+        let server = self.server_model.clone();
+        self.fleet.evaluate_flat(&server, val, max_samples)
+    }
+
+    fn model_len(&self) -> usize {
+        self.fleet.n_params()
+    }
+
+    fn worker_count(&self) -> usize {
+        self.fleet.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saps_data::SyntheticSpec;
+    use saps_nn::zoo;
+
+    fn setup(n: usize) -> (FedAvg, Dataset, BandwidthMatrix) {
+        let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
+        let (train, val) = ds.split(0.25, 0);
+        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
+        (
+            FedAvg::new(fleet, FedAvgConfig::default(), 5),
+            val,
+            BandwidthMatrix::constant(n, 1.0),
+        )
+    }
+
+    #[test]
+    fn half_participation_selects_half() {
+        let (mut algo, _, _) = setup(8);
+        let c = algo.sample_clients();
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn server_traffic_is_2nk_per_round() {
+        let (mut algo, _, bw) = setup(8);
+        let mut t = TrafficAccountant::new(8);
+        algo.round(&mut t, &bw);
+        let n_params = algo.model_len() as u64;
+        // 4 clients × (download N + upload N) × 4 bytes.
+        assert_eq!(t.server_total(), 4 * 2 * 4 * n_params);
+    }
+
+    #[test]
+    fn converges() {
+        let (mut algo, val, bw) = setup(8);
+        let mut t = TrafficAccountant::new(8);
+        for _ in 0..60 {
+            algo.round(&mut t, &bw);
+        }
+        let acc = algo.evaluate(&val, 300);
+        assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn round_time_counts_slowest_client() {
+        let (mut algo, _, mut bw) = setup(4);
+        // Make one worker slow to *everyone*, so whichever node hosts the
+        // server, that client's link is the bottleneck when selected.
+        let victim = 1;
+        for other in 0..4 {
+            if other != victim {
+                bw.set(victim, other, 0.001);
+            }
+        }
+        let mut t = TrafficAccountant::new(4);
+        // Run several rounds: whenever the victim is selected the round
+        // time must reflect the slow link.
+        let mut saw_slow = false;
+        for _ in 0..10 {
+            let rep = algo.round(&mut t, &bw);
+            if rep.comm_time_s > 1.0 {
+                saw_slow = true;
+            }
+        }
+        assert!(saw_slow, "slow client never gated a round");
+    }
+}

@@ -1,0 +1,33 @@
+//! The seven comparison algorithms of the paper's evaluation, all behind
+//! the shared [`saps_core::Trainer`] interface:
+//!
+//! | Type | Algorithms |
+//! |------|-----------|
+//! | centralized, dense | [`PsgdAllReduce`] (all-reduce PSGD), [`FedAvg`] |
+//! | centralized, sparse | [`TopKPsgd`], [`SFedAvg`] |
+//! | decentralized, dense | [`DPsgd`] (ring) |
+//! | decentralized, sparse | [`DcdPsgd`] (ring + difference compression), [`RandomChoose`] (SAPS without bandwidth awareness) |
+//!
+//! Every implementation charges its real payload bytes to the
+//! [`saps_netsim::TrafficAccountant`] and computes round time from the
+//! bandwidth matrix, so Figs. 4-6 and Table IV compare like for like.
+
+#![warn(missing_docs)]
+
+mod common;
+mod dcd_psgd;
+mod d_psgd;
+mod fedavg;
+mod psgd;
+mod random_choose;
+mod s_fedavg;
+mod topk_psgd;
+
+pub use common::Fleet;
+pub use d_psgd::DPsgd;
+pub use dcd_psgd::DcdPsgd;
+pub use fedavg::{FedAvg, FedAvgConfig};
+pub use psgd::PsgdAllReduce;
+pub use random_choose::RandomChoose;
+pub use s_fedavg::SFedAvg;
+pub use topk_psgd::TopKPsgd;

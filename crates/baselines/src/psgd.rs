@@ -1,0 +1,153 @@
+//! PSGD with ring all-reduce — the classical dense baseline.
+
+use crate::Fleet;
+use saps_core::{RoundReport, Trainer};
+use saps_data::Dataset;
+use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
+use saps_tensor::ops;
+
+/// Synchronous parallel SGD: every round the workers' gradients are
+/// globally averaged by a ring all-reduce and each replica applies the
+/// same update (Eq. 1), so replicas stay bit-identical.
+///
+/// Traffic: a ring all-reduce moves `2·(n−1)/n · N` parameters through
+/// each worker per round (reduce-scatter + all-gather), ≈ the `2N` of
+/// Table I.
+pub struct PsgdAllReduce {
+    fleet: Fleet,
+}
+
+impl PsgdAllReduce {
+    /// Wraps a fleet.
+    pub fn new(fleet: Fleet) -> Self {
+        PsgdAllReduce { fleet }
+    }
+}
+
+impl Trainer for PsgdAllReduce {
+    fn name(&self) -> &'static str {
+        "PSGD"
+    }
+
+    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
+        let n = self.fleet.len();
+        let (loss, acc) = self.fleet.accumulate_grads_all();
+
+        // Global gradient average.
+        let n_params = self.fleet.n_params();
+        let mut mean_grad = vec![0.0f32; n_params];
+        for r in 0..n {
+            let g = self.fleet.worker(r).model().flat_grads();
+            ops::axpy(1.0, &g, &mut mean_grad);
+        }
+        let inv = 1.0 / n as f32;
+        for g in &mut mean_grad {
+            *g *= inv;
+        }
+        // Identical update on every replica.
+        let lr = self.fleet.lr;
+        for r in 0..n {
+            let w = self.fleet.worker_mut(r);
+            let mut flat = w.flat();
+            ops::axpy(-lr, &mean_grad, &mut flat);
+            w.set_flat(&flat);
+            w.model_mut().zero_grads();
+        }
+
+        // Ring all-reduce traffic: each worker forwards 2(n-1) chunks of
+        // N/n parameters to its ring successor.
+        let chunk_bytes = (n_params as u64 * 4) / n as u64;
+        let per_worker = 2 * (n as u64 - 1) * chunk_bytes;
+        for r in 0..n {
+            traffic.record_p2p(r, (r + 1) % n, per_worker);
+        }
+        traffic.end_round();
+        let comm_time_s = timemodel::allreduce_ring_time(bw, per_worker);
+
+        // Fig. 5 reports the *links used*; for the ring that is the mean
+        // ring-link bandwidth.
+        let mean_link = (0..n).map(|i| bw.get(i, (i + 1) % n)).sum::<f64>() / n as f64;
+        let min_link = (0..n)
+            .map(|i| bw.get(i, (i + 1) % n))
+            .fold(f64::INFINITY, f64::min);
+        RoundReport {
+            mean_loss: loss,
+            mean_acc: acc,
+            comm_time_s,
+            epochs_advanced: self.fleet.epochs_per_round(),
+            mean_link_bandwidth: mean_link,
+            min_link_bandwidth: min_link,
+        }
+    }
+
+    fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
+        // Replicas are identical; evaluate worker 0's model.
+        let flat = self.fleet.worker(0).flat();
+        self.fleet.evaluate_flat(&flat, val, max_samples)
+    }
+
+    fn model_len(&self) -> usize {
+        self.fleet.n_params()
+    }
+
+    fn worker_count(&self) -> usize {
+        self.fleet.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saps_data::SyntheticSpec;
+    use saps_nn::zoo;
+
+    fn setup(n: usize) -> (PsgdAllReduce, Dataset, BandwidthMatrix) {
+        let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
+        let (train, val) = ds.split(0.25, 0);
+        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
+        (PsgdAllReduce::new(fleet), val, BandwidthMatrix::constant(n, 1.0))
+    }
+
+    #[test]
+    fn replicas_stay_identical() {
+        let (mut algo, _, bw) = setup(4);
+        let mut t = TrafficAccountant::new(4);
+        for _ in 0..5 {
+            algo.round(&mut t, &bw);
+        }
+        let base = algo.fleet.worker(0).flat();
+        for r in 1..4 {
+            assert_eq!(base, algo.fleet.worker(r).flat());
+        }
+    }
+
+    #[test]
+    fn converges_fast() {
+        let (mut algo, val, bw) = setup(4);
+        let mut t = TrafficAccountant::new(4);
+        for _ in 0..120 {
+            algo.round(&mut t, &bw);
+        }
+        let acc = algo.evaluate(&val, 300);
+        assert!(acc > 0.55, "accuracy {acc}");
+    }
+
+    #[test]
+    fn traffic_matches_allreduce_formula() {
+        let (mut algo, _, bw) = setup(4);
+        let mut t = TrafficAccountant::new(4);
+        algo.round(&mut t, &bw);
+        let n_params = algo.model_len() as u64;
+        let expect = 2 * 3 * (n_params * 4 / 4); // 2(n-1) chunks of N/n * 4 bytes
+        assert_eq!(t.worker_sent(0), expect);
+        assert_eq!(t.server_total(), 0);
+    }
+
+    #[test]
+    fn round_time_positive() {
+        let (mut algo, _, bw) = setup(4);
+        let mut t = TrafficAccountant::new(4);
+        let rep = algo.round(&mut t, &bw);
+        assert!(rep.comm_time_s > 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! RandomChoose: SAPS-PSGD's exchange with uniformly random peers.
+//!
+//! The Fig. 5 ablation — identical sparsified single-peer exchange, but
+//! the matching is a *uniformly random* perfect matching instead of the
+//! bandwidth-aware Algorithm 3. Convergence behaviour is essentially the
+//! same (random matchings mix well); what it loses is bandwidth: the
+//! expected bottleneck of a random matching is far below what maximum
+//! matching on `B*` achieves.
+
+use crate::Fleet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saps_compress::codec;
+use saps_compress::mask::RandomMask;
+use saps_core::{RoundReport, Trainer};
+use saps_data::Dataset;
+use saps_graph::topology::random_perfect_matching;
+use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
+use saps_tensor::rng::{derive_seed, streams};
+
+/// SAPS-PSGD's sparse single-peer exchange with uniformly random peer
+/// selection (requires an even worker count).
+pub struct RandomChoose {
+    fleet: Fleet,
+    compression: f64,
+    rng: StdRng,
+    round: u64,
+}
+
+impl RandomChoose {
+    /// Wraps a fleet (even worker count) with compression ratio `c`.
+    pub fn new(fleet: Fleet, compression: f64, seed: u64) -> Self {
+        assert!(fleet.len() % 2 == 0, "RandomChoose needs an even worker count");
+        assert!(compression >= 1.0);
+        RandomChoose {
+            fleet,
+            compression,
+            rng: StdRng::seed_from_u64(derive_seed(seed, 2, streams::MATCHING)),
+            round: 0,
+        }
+    }
+}
+
+impl Trainer for RandomChoose {
+    fn name(&self) -> &'static str {
+        "RandomChoose"
+    }
+
+    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
+        let n = self.fleet.len();
+        let n_params = self.fleet.n_params();
+        let (loss, acc) = self.fleet.sgd_step_all();
+
+        let matching = random_perfect_matching(n, &mut self.rng);
+        let mask = RandomMask::generate(n_params, self.compression, self.rng.gen(), self.round);
+        let payload_bytes = codec::sparse_shared_mask_bytes(mask.nnz());
+
+        let mut transfers = Vec::new();
+        let mut link_sum = 0.0f64;
+        let mut link_min = f64::INFINITY;
+        let pairs = matching.pairs();
+        for &(i, j) in &pairs {
+            let pi = self.fleet.worker(i).sparse_payload(&mask);
+            let pj = self.fleet.worker(j).sparse_payload(&mask);
+            self.fleet.worker_mut(i).merge_sparse(&mask, &pj);
+            self.fleet.worker_mut(j).merge_sparse(&mask, &pi);
+            traffic.record_p2p(i, j, payload_bytes);
+            traffic.record_p2p(j, i, payload_bytes);
+            transfers.push((i, j, payload_bytes));
+            transfers.push((j, i, payload_bytes));
+            link_sum += bw.get(i, j);
+            link_min = link_min.min(bw.get(i, j));
+        }
+        traffic.end_round();
+        self.round += 1;
+        let comm_time_s = timemodel::p2p_round_time(bw, &transfers);
+
+        RoundReport {
+            mean_loss: loss,
+            mean_acc: acc,
+            comm_time_s,
+            epochs_advanced: self.fleet.epochs_per_round(),
+            mean_link_bandwidth: if pairs.is_empty() {
+                0.0
+            } else {
+                link_sum / pairs.len() as f64
+            },
+            min_link_bandwidth: if pairs.is_empty() { 0.0 } else { link_min },
+        }
+    }
+
+    fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
+        self.fleet.evaluate_average(val, max_samples)
+    }
+
+    fn model_len(&self) -> usize {
+        self.fleet.n_params()
+    }
+
+    fn worker_count(&self) -> usize {
+        self.fleet.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saps_data::SyntheticSpec;
+    use saps_nn::zoo;
+
+    fn setup(n: usize, c: f64) -> (RandomChoose, Dataset, BandwidthMatrix) {
+        let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
+        let (train, val) = ds.split(0.25, 0);
+        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
+        (
+            RandomChoose::new(fleet, c, 7),
+            val,
+            BandwidthMatrix::constant(n, 1.0),
+        )
+    }
+
+    #[test]
+    fn every_worker_exchanges_once() {
+        let (mut algo, _, bw) = setup(6, 4.0);
+        let mut t = TrafficAccountant::new(6);
+        algo.round(&mut t, &bw);
+        let sent0 = t.worker_sent(0);
+        assert!(sent0 > 0);
+        for r in 1..6 {
+            assert_eq!(t.worker_sent(r), sent0);
+        }
+    }
+
+    #[test]
+    fn converges_like_saps() {
+        let (mut algo, val, bw) = setup(4, 4.0);
+        let mut t = TrafficAccountant::new(4);
+        for _ in 0..120 {
+            algo.round(&mut t, &bw);
+        }
+        let acc = algo.evaluate(&val, 300);
+        assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn same_traffic_as_saps_per_round() {
+        use saps_core::{SapsConfig, SapsPsgd};
+        let ds = SyntheticSpec::tiny().samples(800).generate(1);
+        let (train, _) = ds.split(0.25, 0);
+        let bw = BandwidthMatrix::constant(4, 1.0);
+        let fleet = Fleet::new(4, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
+        let mut rc = RandomChoose::new(fleet, 4.0, 7);
+        let cfg = SapsConfig {
+            workers: 4,
+            compression: 4.0,
+            lr: 0.1,
+            batch_size: 16,
+            seed: 3,
+            ..SapsConfig::default()
+        };
+        let mut saps = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 24, 4], rng));
+        let mut t1 = TrafficAccountant::new(4);
+        let mut t2 = TrafficAccountant::new(4);
+        for _ in 0..20 {
+            rc.round(&mut t1, &bw);
+            saps.round(&mut t2, &bw);
+        }
+        // Same payload scheme: totals agree within mask sampling noise.
+        let ratio = t1.worker_total(0) as f64 / t2.worker_total(0) as f64;
+        assert!((ratio - 1.0).abs() < 0.15, "ratio {ratio}");
+    }
+}

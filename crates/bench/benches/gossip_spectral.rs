@@ -1,0 +1,75 @@
+//! Benchmarks of the spectral machinery: gossip-matrix construction,
+//! mixing, and the deflated power-iteration estimate of ρ.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps_gossip::{spectral, GossipMatrix};
+use saps_graph::topology::random_perfect_matching;
+use saps_tensor::Mat;
+
+fn bench_gossip_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip_matrix");
+    for &n in &[14usize, 32, 128] {
+        g.bench_with_input(BenchmarkId::new("from_matching", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let m = random_perfect_matching(n - n % 2, &mut rng);
+                black_box(GossipMatrix::from_matching(&m))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mix_row", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let m = random_perfect_matching(n - n % 2, &mut rng);
+            let w = GossipMatrix::from_matching(&m);
+            let mut x: Vec<f64> = (0..w.len()).map(|i| i as f64).collect();
+            b.iter(|| w.mix_row(black_box(&mut x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rho_estimation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rho_estimation");
+    g.sample_size(10);
+    for &(n, rounds) in &[(14usize, 500usize), (32, 500)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_r{rounds}")),
+            &(n, rounds),
+            |b, &(n, rounds)| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(3);
+                    black_box(spectral::estimate_rho(n, rounds, |_| {
+                        GossipMatrix::from_matching(&random_perfect_matching(n, &mut rng))
+                    }))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_power_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("power_iteration");
+    for &n in &[32usize, 128] {
+        // A symmetric doubly-stochastic matrix (lazy ring walk).
+        let mut w = Mat::zeros(n, n);
+        for i in 0..n {
+            w[(i, i)] = 0.5;
+            w[(i, (i + 1) % n)] = 0.25;
+            w[(i, (i + n - 1) % n)] = 0.25;
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(w.second_eigenvalue_stochastic(500)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gossip_matrix,
+    bench_rho_estimation,
+    bench_power_iteration
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Benchmarks of the peer-selection path: blossom maximum matching and
+//! the full Algorithm 3 round.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saps_core::GossipGenerator;
+use saps_graph::{matching, topology, Graph};
+use saps_netsim::BandwidthMatrix;
+
+fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+fn bench_blossom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blossom_matching");
+    for &n in &[14usize, 32, 64, 128] {
+        let complete = topology::complete(n);
+        g.bench_with_input(BenchmarkId::new("complete", n), &n, |b, _| {
+            b.iter(|| black_box(matching::maximum_matching(&complete)))
+        });
+        let sparse = random_graph(n, 0.2, 1);
+        g.bench_with_input(BenchmarkId::new("sparse_p0.2", n), &n, |b, _| {
+            b.iter(|| black_box(matching::maximum_matching(&sparse)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_randomized_matching(c: &mut Criterion) {
+    let g32 = topology::complete(32);
+    c.bench_function("randomly_max_match_32", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(matching::randomly_max_match(&g32, &mut rng)))
+    });
+}
+
+fn bench_algorithm3_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm3_round");
+    for &n in &[14usize, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bw = BandwidthMatrix::uniform_random(n, 5.0, &mut rng);
+        let thres = bw.percentile(0.6);
+        let bstar = Graph::from_adjacency(n, &bw.threshold(thres));
+        let full = Graph::from_threshold(n, bw.as_slice(), f64::MIN_POSITIVE);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut generator = GossipGenerator::new(bstar.clone(), full.clone(), 8);
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                black_box(generator.next_matching(t, &mut rng))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_blossom,
+    bench_randomized_matching,
+    bench_algorithm3_round
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the communication-path primitives: mask
+//! generation, payload codecs, masked averaging, top-k selection.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use saps_compress::mask::RandomMask;
+use saps_compress::topk::top_k_indices;
+use saps_compress::{codec, quantize};
+
+fn bench_mask_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mask_generation");
+    for &(n, ratio) in &[(1_000_000usize, 100.0f64), (1_000_000, 1000.0), (269_722, 100.0)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("N{n}_c{ratio}")),
+            &(n, ratio),
+            |b, &(n, ratio)| {
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    black_box(RandomMask::generate(n, ratio, 42, round))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_mask_apply_and_merge(c: &mut Criterion) {
+    let n = 1_000_000;
+    let mask = RandomMask::generate(n, 100.0, 42, 1);
+    let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let payload = mask.apply(&x);
+    let mut g = c.benchmark_group("mask_exchange");
+    g.bench_function("apply_1M_c100", |b| {
+        b.iter(|| black_box(mask.apply(black_box(&x))))
+    });
+    g.bench_function("average_into_1M_c100", |b| {
+        let mut y = x.clone();
+        b.iter(|| {
+            mask.average_into(&mut y, black_box(&payload));
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let vals: Vec<f32> = (0..10_000).map(|i| i as f32 * 0.5).collect();
+    let idx: Vec<u32> = (0..10_000u32).map(|i| i * 3).collect();
+    let mut g = c.benchmark_group("codec");
+    g.bench_function("encode_values_10k", |b| {
+        b.iter(|| black_box(codec::encode_values(black_box(&vals))))
+    });
+    let encoded = codec::encode_values(&vals);
+    g.bench_function("decode_values_10k", |b| {
+        b.iter(|| black_box(codec::decode_values(encoded.clone())))
+    });
+    g.bench_function("encode_index_value_10k", |b| {
+        b.iter(|| black_box(codec::encode_index_value(&idx, &vals)))
+    });
+    g.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topk");
+    for &n in &[100_000usize, 1_000_000] {
+        let x: Vec<f32> = (0..n).map(|i| ((i * 2_654_435_761) % n) as f32).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(top_k_indices(black_box(&x), n / 1000)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let x: Vec<f32> = (0..100_000).map(|i| (i as f32).sin()).collect();
+    c.bench_function("quantize_100k_4level", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(quantize::quantize(black_box(&x), 4, &mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mask_generation,
+    bench_mask_apply_and_merge,
+    bench_codec,
+    bench_topk,
+    bench_quantize
+);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Ablation: peer-selection strategy (DESIGN.md `ablation_topology`).
+//!
+//! Compares four ways to pick peers each round on the 14-city and the
+//! 32-worker environments:
+//!
+//! * **Algorithm 3** (the paper): blossom matching on the thresholded
+//!   graph `B*` with RC-window bridging;
+//! * **GreedyWeight** (our extension): heaviest-link-first greedy
+//!   matching with the same bridging;
+//! * **RandomChoose**: uniformly random perfect matchings;
+//! * **fixed ring**: the D-PSGD topology.
+//!
+//! Reports mean selected bandwidth, bottleneck bandwidth and the spectral
+//! ρ of each stream — the bandwidth/mixing trade-off in one table.
+//!
+//! ```sh
+//! cargo run -p saps-bench --release --bin ablation_peer_strategy
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps_bench::table;
+use saps_core::GossipGenerator;
+use saps_gossip::{spectral, GossipMatrix};
+use saps_graph::{topology, Graph, Matching};
+use saps_netsim::{citydata, BandwidthMatrix};
+
+const ROUNDS: usize = 400;
+const RHO_ROUNDS: usize = 2_000;
+
+fn main() {
+    println!("=== Peer-selection strategy ablation ===");
+    println!("\n--- 14-worker (Fig. 1 bandwidths) ---");
+    run_env(&citydata::fig1_bandwidth(), 1);
+    println!("\n--- 32-worker (uniform (0, 5] MB/s) ---");
+    let mut rng = StdRng::seed_from_u64(7);
+    run_env(&BandwidthMatrix::uniform_random(32, 5.0, &mut rng), 2);
+}
+
+fn run_env(bw: &BandwidthMatrix, seed: u64) {
+    let n = bw.len();
+    let weights = bw.as_slice().to_vec();
+    let full = Graph::from_threshold(n, &weights, f64::MIN_POSITIVE);
+    let thres = bw.percentile(0.6);
+    let bstar = Graph::from_adjacency(n, &bw.threshold(thres));
+
+    let mut rows = Vec::new();
+
+    // Algorithm 3.
+    {
+        let mut g = GossipGenerator::new(bstar.clone(), full.clone(), 8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = stream_stats(n, &weights, |t, rng_| g.next_matching(t, rng_), &mut rng);
+        let mut g = GossipGenerator::new(bstar.clone(), full.clone(), 8);
+        let mut rng = StdRng::seed_from_u64(seed + 10);
+        let rho = spectral::estimate_rho(n, RHO_ROUNDS, |t| {
+            GossipMatrix::from_matching(&g.next_matching(t as u64, &mut rng))
+        });
+        rows.push(make_row("Algorithm 3 (paper)", stats, rho));
+    }
+
+    // GreedyWeight extension.
+    {
+        let mut g = GossipGenerator::with_greedy_weights(full.clone(), weights.clone(), 8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = stream_stats(n, &weights, |t, rng_| g.next_matching(t, rng_), &mut rng);
+        let mut g = GossipGenerator::with_greedy_weights(full.clone(), weights.clone(), 8);
+        let mut rng = StdRng::seed_from_u64(seed + 10);
+        let rho = spectral::estimate_rho(n, RHO_ROUNDS, |t| {
+            GossipMatrix::from_matching(&g.next_matching(t as u64, &mut rng))
+        });
+        rows.push(make_row("GreedyWeight (extension)", stats, rho));
+    }
+
+    // RandomChoose.
+    {
+        let even = n - n % 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stats = stream_stats(
+            n,
+            &weights,
+            |_, rng_| topology::random_perfect_matching(even, rng_),
+            &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(seed + 10);
+        let rho = spectral::estimate_rho(even, RHO_ROUNDS, |_| {
+            GossipMatrix::from_matching(&topology::random_perfect_matching(even, &mut rng))
+        });
+        rows.push(make_row("RandomChoose", stats, rho));
+    }
+
+    // Fixed ring (for reference; not a matching, mixing is by the lazy
+    // three-way average, so rho is reported as the ring walk's value).
+    {
+        let ring = topology::ring_edges(n);
+        let mean: f64 =
+            ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
+        let min = topology::edges_min_weight(&ring, n, &weights);
+        // Lazy ring walk on n nodes: lambda2 = 1/3 + (2/3)cos(2π/n).
+        let rho = 1.0 / 3.0 + (2.0 / 3.0) * (2.0 * std::f64::consts::PI / n as f64).cos();
+        rows.push(vec![
+            "fixed ring (D-PSGD)".into(),
+            format!("{mean:.3}"),
+            format!("{min:.3}"),
+            format!("{rho:.4}"),
+        ]);
+    }
+
+    table::print_table(
+        &[
+            "strategy",
+            "mean link [MB/s]",
+            "bottleneck [MB/s]",
+            "rho (lower = faster mixing)",
+        ],
+        &rows,
+    );
+}
+
+/// Mean and bottleneck bandwidth of a matching stream.
+fn stream_stats<F>(
+    n: usize,
+    weights: &[f64],
+    mut next: F,
+    rng: &mut StdRng,
+) -> (f64, f64)
+where
+    F: FnMut(u64, &mut StdRng) -> Matching,
+{
+    let mut mean = 0.0;
+    let mut bottleneck = 0.0;
+    for t in 0..ROUNDS {
+        let m = next(t as u64, rng);
+        mean += topology::matching_avg_weight(&m, n, weights);
+        let min = topology::edges_min_weight(&m.pairs(), n, weights);
+        bottleneck += if min.is_finite() { min } else { 0.0 };
+    }
+    (mean / ROUNDS as f64, bottleneck / ROUNDS as f64)
+}
+
+fn make_row(name: &str, (mean, min): (f64, f64), rho: f64) -> Vec<String> {
+    vec![
+        name.into(),
+        format!("{mean:.3}"),
+        format!("{min:.3}"),
+        format!("{rho:.4}"),
+    ]
+}

@@ -1,0 +1,74 @@
+//! Fig. 1: network speeds between virtual machines located at 14 cities.
+//!
+//! Prints the embedded measurement matrix (Mbit/s), the symmetrized MB/s
+//! matrix the algorithms consume, and the summary statistics that
+//! motivate adaptive peer selection.
+//!
+//! ```sh
+//! cargo run -p saps-bench --release --bin fig1_bandwidth_matrix
+//! ```
+
+use saps_bench::table;
+use saps_netsim::citydata::{fig1_bandwidth, CITY_NAMES, FIG1_MBITS, NUM_CITIES};
+
+fn main() {
+    println!("=== Fig. 1: inter-VM network speeds (Mbit/s, raw, row -> column) ===\n");
+    let short: Vec<String> = CITY_NAMES
+        .iter()
+        .map(|n| n.chars().take(9).collect())
+        .collect();
+    let mut headers: Vec<&str> = vec!["from \\ to"];
+    headers.extend(short.iter().map(String::as_str));
+    let mut rows = Vec::new();
+    for i in 0..NUM_CITIES {
+        let mut row = vec![short[i].clone()];
+        for j in 0..NUM_CITIES {
+            let v = FIG1_MBITS[i * NUM_CITIES + j];
+            row.push(if v.is_nan() {
+                "-".into()
+            } else {
+                format!("{v:.1}")
+            });
+        }
+        rows.push(row);
+    }
+    table::print_table(&headers, &rows);
+
+    let bw = fig1_bandwidth();
+    println!("\n=== Symmetrized bottleneck bandwidths (MB/s) ===");
+    println!("mean pair bandwidth:        {:.3} MB/s", bw.mean());
+    println!("median pair bandwidth:      {:.3} MB/s", bw.percentile(0.5));
+    println!("90th percentile:            {:.3} MB/s", bw.percentile(0.9));
+    println!("10th percentile:            {:.3} MB/s", bw.percentile(0.1));
+    println!(
+        "largest connected threshold: {:.3} MB/s",
+        bw.max_connecting_threshold()
+    );
+    println!(
+        "best-connected node (FedAvg server placement): {}",
+        CITY_NAMES[bw.best_server()]
+    );
+
+    // The observation the paper draws from this figure.
+    let fastest = (0..NUM_CITIES)
+        .flat_map(|i| (0..NUM_CITIES).map(move |j| (i, j)))
+        .filter(|&(i, j)| i != j)
+        .max_by(|a, b| bw.get(a.0, a.1).partial_cmp(&bw.get(b.0, b.1)).unwrap())
+        .unwrap();
+    let slowest = (0..NUM_CITIES)
+        .flat_map(|i| (0..NUM_CITIES).map(move |j| (i, j)))
+        .filter(|&(i, j)| i != j)
+        .min_by(|a, b| bw.get(a.0, a.1).partial_cmp(&bw.get(b.0, b.1)).unwrap())
+        .unwrap();
+    println!(
+        "\nbandwidth diversity: fastest pair {} <-> {} at {:.2} MB/s is {:.0}x the slowest \
+         pair {} <-> {} at {:.4} MB/s",
+        CITY_NAMES[fastest.0],
+        CITY_NAMES[fastest.1],
+        bw.get(fastest.0, fastest.1),
+        bw.get(fastest.0, fastest.1) / bw.get(slowest.0, slowest.1),
+        CITY_NAMES[slowest.0],
+        CITY_NAMES[slowest.1],
+        bw.get(slowest.0, slowest.1),
+    );
+}

@@ -1,0 +1,77 @@
+//! Fig. 3 + Table III: convergence of all seven algorithms vs epochs, and
+//! final top-1 validation accuracy, on 32 workers.
+//!
+//! ```sh
+//! cargo run -p saps-bench --release --bin fig3_convergence [mnist|cifar|resnet] [rounds]
+//! ```
+//!
+//! With no arguments runs all three workloads at their default round
+//! budgets (several minutes in release mode).
+
+use saps_bench::{paper_lineup, run_algorithms, table, Workload};
+use saps_core::sim::RunOptions;
+use saps_netsim::BandwidthMatrix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workloads: Vec<Workload> = match args.first().map(String::as_str) {
+        Some(name) => vec![Workload::by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown workload {name}; use mnist|cifar|resnet");
+            std::process::exit(2);
+        })],
+        None => Workload::all(),
+    };
+    let rounds_override: Option<usize> = args.get(1).map(|s| s.parse().expect("rounds"));
+    let workers = 32;
+    // Fig. 3 is convergence vs epochs "without considering the network
+    // bandwidth" — any constant matrix works.
+    let bw = BandwidthMatrix::constant(workers, 1.0);
+
+    let mut table3: Vec<Vec<String>> = Vec::new();
+    for w in &workloads {
+        let rounds = rounds_override.unwrap_or(w.default_rounds);
+        let max_epochs = if rounds_override.is_some() {
+            f64::INFINITY
+        } else {
+            w.epochs
+        };
+        println!(
+            "\n=== Fig. 3: {} — {} workers, {} epochs (round cap {}) ===",
+            w.name, workers, w.epochs, rounds
+        );
+        let opts = RunOptions {
+            rounds,
+            eval_every: (rounds / 20).max(1),
+            eval_samples: 1_000,
+            max_epochs,
+        };
+        let hists = run_algorithms(&paper_lineup(w.c_scale), w, &bw, workers, opts, 42);
+        for h in &hists {
+            let series: Vec<(f64, f64)> = h
+                .points
+                .iter()
+                .map(|p| (p.epoch, p.val_acc as f64 * 100.0))
+                .collect();
+            table::print_series(
+                &format!("{} / {}", w.name, h.algorithm),
+                "epoch",
+                "top-1 val acc [%]",
+                &table::downsample(&series, 12),
+            );
+        }
+        for h in &hists {
+            table3.push(vec![
+                h.algorithm.clone(),
+                w.name.to_string(),
+                format!("{:.2}", h.final_acc * 100.0),
+            ]);
+        }
+    }
+
+    println!("\n=== Table III: final top-1 validation accuracy (%) ===\n");
+    table::print_table(&["Algorithm", "Workload", "Accuracy"], &table3);
+    println!(
+        "\nNote: absolute accuracies belong to the synthetic stand-in datasets \
+         (DESIGN.md §6); compare *orderings* with the paper's Table III."
+    );
+}

@@ -1,0 +1,122 @@
+//! Fig. 4: validation accuracy vs per-worker communication size on 32
+//! workers — the paper's headline traffic-efficiency figure.
+//!
+//! ```sh
+//! cargo run -p saps-bench --release --bin fig4_comm_size [mnist|cifar|resnet] [rounds]
+//! cargo run -p saps-bench --release --bin fig4_comm_size -- --sweep-c
+//! ```
+//!
+//! `--sweep-c` runs the compression-ratio ablation instead: SAPS-PSGD at
+//! c ∈ {2, 10, 50, 100} on the MNIST-scaled workload.
+
+use saps_bench::{paper_lineup, run_algorithms, table, AlgoKind, Workload};
+use saps_core::sim::RunOptions;
+use saps_netsim::BandwidthMatrix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--sweep-c") {
+        sweep_c();
+        return;
+    }
+    let workloads: Vec<Workload> = match args.first().map(String::as_str) {
+        Some(name) => vec![Workload::by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown workload {name}; use mnist|cifar|resnet");
+            std::process::exit(2);
+        })],
+        None => Workload::all(),
+    };
+    let rounds_override: Option<usize> = args.get(1).map(|s| s.parse().expect("rounds"));
+    let workers = 32;
+    let bw = BandwidthMatrix::constant(workers, 1.0);
+
+    for w in &workloads {
+        let rounds = rounds_override.unwrap_or(w.default_rounds);
+        let max_epochs = if rounds_override.is_some() {
+            f64::INFINITY
+        } else {
+            w.epochs
+        };
+        println!(
+            "\n=== Fig. 4: {} — accuracy vs per-worker communication size ===",
+            w.name
+        );
+        let opts = RunOptions {
+            rounds,
+            eval_every: (rounds / 20).max(1),
+            eval_samples: 1_000,
+            max_epochs,
+        };
+        let hists = run_algorithms(&paper_lineup(w.c_scale), w, &bw, workers, opts, 42);
+        for h in &hists {
+            let series: Vec<(f64, f64)> = h
+                .points
+                .iter()
+                .map(|p| (p.worker_traffic_mb, p.val_acc as f64 * 100.0))
+                .collect();
+            table::print_series(
+                &format!("{} / {}", w.name, h.algorithm),
+                "traffic [MB]",
+                "top-1 val acc [%]",
+                &table::downsample(&series, 12),
+            );
+        }
+        // Paper-style summary: traffic to reach the target accuracy.
+        println!(
+            "\ntraffic to reach {:.0}% accuracy on {}:",
+            w.target_acc * 100.0,
+            w.name
+        );
+        for h in &hists {
+            match h.first_reaching(w.target_acc) {
+                Some(p) => println!(
+                    "  {:12} {:>10.3} MB (round {})",
+                    h.algorithm, p.worker_traffic_mb, p.round + 1
+                ),
+                None => println!(
+                    "  {:12} did not reach target (final {:.1}%)",
+                    h.algorithm,
+                    h.final_acc * 100.0
+                ),
+            }
+        }
+    }
+}
+
+/// The compression-ratio ablation (DESIGN.md's `ablation_compression`).
+fn sweep_c() {
+    let w = Workload::mnist_scaled();
+    let workers = 32;
+    let bw = BandwidthMatrix::constant(workers, 1.0);
+    let opts = RunOptions {
+        rounds: w.default_rounds,
+        eval_every: (w.default_rounds / 20).max(1),
+        eval_samples: 1_000,
+            max_epochs: f64::INFINITY,
+        };
+    println!("=== Ablation: SAPS-PSGD compression ratio sweep ({}) ===", w.name);
+    let kinds: Vec<AlgoKind> = [2.0, 10.0, 50.0, 100.0]
+        .iter()
+        .map(|&c| AlgoKind::Saps { c })
+        .collect();
+    let hists = run_algorithms(&kinds, &w, &bw, workers, opts, 42);
+    let mut rows = Vec::new();
+    for (kind, h) in kinds.iter().zip(&hists) {
+        let c = match kind {
+            AlgoKind::Saps { c } => *c,
+            _ => unreachable!(),
+        };
+        rows.push(vec![
+            format!("{c}"),
+            format!("{:.2}", h.final_acc * 100.0),
+            format!("{:.4}", h.total_worker_traffic_mb),
+            h.first_reaching(w.target_acc)
+                .map(|p| format!("{:.4}", p.worker_traffic_mb))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    table::print_table(
+        &["c", "final acc [%]", "total MB", "MB to target"],
+        &rows,
+    );
+}

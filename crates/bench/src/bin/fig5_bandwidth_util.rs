@@ -1,0 +1,178 @@
+//! Fig. 5: bandwidth utilization under two emulated environments —
+//! 14 workers with the Fig. 1 city bandwidths, and 32 workers with
+//! uniformly random bandwidths in (0, 5] MB/s.
+//!
+//! For each algorithm prints the per-iteration *effective* bandwidth
+//! (the bottleneck link of the links used that round) over the first 400
+//! iterations, plus mean-link and bottleneck summaries. The D-PSGD /
+//! DCD-PSGD ring value is averaged over many random bandwidth matrices
+//! with the fixed order 1 → 2 → … → n → 1, following Section IV-D.
+//!
+//! ```sh
+//! cargo run -p saps-bench --release --bin fig5_bandwidth_util [--ablation]
+//! ```
+//!
+//! `--ablation` additionally sweeps `T_thres` to show the bandwidth /
+//! mixing trade-off (DESIGN.md's `ablation_tthres`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps_bench::table;
+use saps_core::GossipGenerator;
+use saps_gossip::{spectral, GossipMatrix};
+use saps_graph::{topology, Graph};
+use saps_netsim::{citydata, BandwidthMatrix};
+
+const ITERATIONS: usize = 400;
+
+fn main() {
+    let ablation = std::env::args().any(|a| a == "--ablation");
+
+    println!("=== Fig. 5(a): 14-worker environment (Fig. 1 bandwidths) ===");
+    let bw14 = citydata::fig1_bandwidth();
+    environment(&bw14, 14, 1);
+
+    println!("\n=== Fig. 5(b): 32-worker environment (uniform (0, 5] MB/s) ===");
+    let mut rng = StdRng::seed_from_u64(7);
+    let bw32 = BandwidthMatrix::uniform_random(32, 5.0, &mut rng);
+    environment(&bw32, 32, 2);
+
+    if ablation {
+        tthres_ablation(&bw14, 14);
+    }
+}
+
+/// Per-iteration selected-link bandwidth for SAPS, RandomChoose and the
+/// D-PSGD ring (averaged over 5000 random matrices as the paper does for
+/// its ring baseline).
+fn environment(bw: &BandwidthMatrix, n: usize, seed: u64) {
+    let weights = bw.as_slice();
+
+    // SAPS-PSGD: Algorithm 3 over B* (60th-percentile threshold).
+    let thres = bw.percentile(0.6);
+    let bstar = Graph::from_adjacency(n, &bw.threshold(thres));
+    let full = Graph::from_threshold(n, weights, f64::MIN_POSITIVE);
+    let mut generator = GossipGenerator::new(bstar, full, 8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut saps_series = Vec::with_capacity(ITERATIONS);
+    for t in 0..ITERATIONS {
+        let m = generator.next_matching(t as u64, &mut rng);
+        saps_series.push((
+            topology::matching_avg_weight(&m, n, weights),
+            topology::edges_min_weight(&m.pairs(), n, weights),
+        ));
+    }
+
+    // RandomChoose: uniformly random perfect matchings.
+    let mut rand_series = Vec::with_capacity(ITERATIONS);
+    for _ in 0..ITERATIONS {
+        let m = topology::random_perfect_matching(n - n % 2, &mut rng);
+        rand_series.push((
+            topology::matching_avg_weight(&m, n - n % 2, weights),
+            topology::edges_min_weight(&m.pairs(), n, weights),
+        ));
+    }
+
+    // D-PSGD / DCD-PSGD ring, Section IV-D style: the fixed-order ring
+    // evaluated over 5000 random bandwidth matrices of the same
+    // distribution (for the city matrix the ring is just the city order).
+    let ring = topology::ring_edges(n);
+    let ring_mean: f64 =
+        ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
+    let ring_min = topology::edges_min_weight(&ring, n, weights);
+    let mut ring_avg_of_random = 0.0;
+    let trials = 5_000;
+    let mut rrng = StdRng::seed_from_u64(seed + 100);
+    for _ in 0..trials {
+        let rbw = BandwidthMatrix::uniform_random(n, 5.0, &mut rrng);
+        ring_avg_of_random += topology::edges_min_weight(&ring, n, rbw.as_slice());
+    }
+    ring_avg_of_random /= trials as f64;
+
+    // Print a down-sampled per-iteration series (bottleneck bandwidth).
+    let series: Vec<(f64, f64)> = saps_series
+        .iter()
+        .enumerate()
+        .map(|(t, &(_, min))| (t as f64, min))
+        .collect();
+    table::print_series(
+        "SAPS-PSGD per-iteration bottleneck bandwidth",
+        "iteration",
+        "bandwidth [MB/s]",
+        &table::downsample(&series, 10),
+    );
+
+    let mean_of = |s: &[(f64, f64)], idx: usize| -> f64 {
+        s.iter().map(|p| if idx == 0 { p.0 } else { p.1 }).sum::<f64>() / s.len() as f64
+    };
+    let rows = vec![
+        vec![
+            "SAPS-PSGD".to_string(),
+            format!("{:.3}", mean_of(&saps_series, 0)),
+            format!("{:.3}", mean_of(&saps_series, 1)),
+        ],
+        vec![
+            "RandomChoose".to_string(),
+            format!("{:.3}", mean_of(&rand_series, 0)),
+            format!("{:.3}", mean_of(&rand_series, 1)),
+        ],
+        vec![
+            "D-PSGD/DCD-PSGD (this ring)".to_string(),
+            format!("{ring_mean:.3}"),
+            format!("{ring_min:.3}"),
+        ],
+        vec![
+            "D-PSGD ring (5000 random B)".to_string(),
+            "-".to_string(),
+            format!("{ring_avg_of_random:.3}"),
+        ],
+    ];
+    println!();
+    table::print_table(
+        &["peer selection", "mean link [MB/s]", "bottleneck [MB/s]"],
+        &rows,
+    );
+}
+
+/// T_thres sweep: smaller windows force more bridging rounds (better
+/// mixing, lower rho) but spend more rounds off the fast links.
+fn tthres_ablation(bw: &BandwidthMatrix, n: usize) {
+    println!("\n=== Ablation: T_thres vs bandwidth and rho (14-worker env) ===\n");
+    let weights = bw.as_slice();
+    let thres = bw.percentile(0.6);
+    let mut rows = Vec::new();
+    for tthres in [2u32, 4, 8, 16, 32] {
+        let bstar = Graph::from_adjacency(n, &bw.threshold(thres));
+        let full = Graph::from_threshold(n, weights, f64::MIN_POSITIVE);
+        let mut generator = GossipGenerator::new(bstar, full, tthres);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mean_bw = 0.0;
+        for t in 0..ITERATIONS {
+            let m = generator.next_matching(t as u64, &mut rng);
+            mean_bw += topology::matching_avg_weight(&m, n, weights);
+        }
+        mean_bw /= ITERATIONS as f64;
+
+        let bstar = Graph::from_adjacency(n, &bw.threshold(thres));
+        let full = Graph::from_threshold(n, weights, f64::MIN_POSITIVE);
+        let mut generator = GossipGenerator::new(bstar, full, tthres);
+        let mut rng = StdRng::seed_from_u64(4);
+        let rho = spectral::estimate_rho(n, 2_000, |t| {
+            GossipMatrix::from_matching(&generator.next_matching(t as u64, &mut rng))
+        });
+        rows.push(vec![
+            tthres.to_string(),
+            format!("{mean_bw:.3}"),
+            format!("{rho:.4}"),
+            format!("{:.4}", spectral::spectral_gap(rho)),
+        ]);
+    }
+    table::print_table(
+        &["T_thres", "mean selected bw [MB/s]", "rho", "spectral gap"],
+        &rows,
+    );
+    println!(
+        "\nsmaller T_thres => more bridging => faster consensus (bigger gap) but \
+         lower average bandwidth; the paper's choice balances the two."
+    );
+}

@@ -1,0 +1,77 @@
+//! Fig. 6: validation accuracy vs communication time with randomly
+//! generated bandwidths for 32 workers.
+//!
+//! The same runs as Fig. 4, but charged against the (0, 5] MB/s random
+//! bandwidth matrix through each algorithm's time model (pairwise
+//! bottleneck for decentralized algorithms, best-server for FedAvg,
+//! slowest ring link for all-reduce).
+//!
+//! ```sh
+//! cargo run -p saps-bench --release --bin fig6_comm_time [mnist|cifar|resnet] [rounds]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps_bench::{paper_lineup, run_algorithms, table, Workload};
+use saps_core::sim::RunOptions;
+use saps_netsim::BandwidthMatrix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workloads: Vec<Workload> = match args.first().map(String::as_str) {
+        Some(name) => vec![Workload::by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown workload {name}; use mnist|cifar|resnet");
+            std::process::exit(2);
+        })],
+        None => Workload::all(),
+    };
+    let rounds_override: Option<usize> = args.get(1).map(|s| s.parse().expect("rounds"));
+    let workers = 32;
+    let mut rng = StdRng::seed_from_u64(7);
+    let bw = BandwidthMatrix::uniform_random(workers, 5.0, &mut rng);
+
+    for w in &workloads {
+        let rounds = rounds_override.unwrap_or(w.default_rounds);
+        let max_epochs = if rounds_override.is_some() {
+            f64::INFINITY
+        } else {
+            w.epochs
+        };
+        println!("\n=== Fig. 6: {} — accuracy vs communication time ===", w.name);
+        let opts = RunOptions {
+            rounds,
+            eval_every: (rounds / 20).max(1),
+            eval_samples: 1_000,
+            max_epochs,
+        };
+        let hists = run_algorithms(&paper_lineup(w.c_scale), w, &bw, workers, opts, 42);
+        for h in &hists {
+            let series: Vec<(f64, f64)> = h
+                .points
+                .iter()
+                .map(|p| (p.comm_time_s, p.val_acc as f64 * 100.0))
+                .collect();
+            table::print_series(
+                &format!("{} / {}", w.name, h.algorithm),
+                "comm time [s]",
+                "top-1 val acc [%]",
+                &table::downsample(&series, 12),
+            );
+        }
+        println!(
+            "\ncommunication time to reach {:.0}% accuracy on {}:",
+            w.target_acc * 100.0,
+            w.name
+        );
+        for h in &hists {
+            match h.first_reaching(w.target_acc) {
+                Some(p) => println!("  {:12} {:>12.2} s", h.algorithm, p.comm_time_s),
+                None => println!(
+                    "  {:12} did not reach target (final {:.1}%)",
+                    h.algorithm,
+                    h.final_acc * 100.0
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! General experiment runner: one algorithm, one workload, CSV output.
+//!
+//! The figure/table binaries print the paper's exact views; this binary
+//! is the downstream-user tool — pick any algorithm/workload/network and
+//! get the full trajectory as CSV for your own plotting.
+//!
+//! ```sh
+//! cargo run -p saps-bench --release --bin run_experiment -- \
+//!     --algo saps --workload mnist --workers 32 --c 10 \
+//!     --rounds 200 --network random --seed 42 > run.csv
+//! ```
+//!
+//! Options:
+//! * `--algo` — saps | psgd | topk | fedavg | sfedavg | dpsgd | dcd | random
+//! * `--workload` — mnist | cifar | resnet
+//! * `--network` — constant | random | cities (14 workers, Fig. 1)
+//! * `--workers`, `--rounds`, `--epochs`, `--c`, `--seed`, `--eval-every`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps_bench::{build_trainer, AlgoKind, Workload};
+use saps_core::sim::{self, RunOptions};
+use saps_netsim::{citydata, BandwidthMatrix};
+
+#[derive(Debug)]
+struct Args {
+    algo: String,
+    workload: String,
+    network: String,
+    workers: usize,
+    rounds: usize,
+    epochs: f64,
+    c: f64,
+    seed: u64,
+    eval_every: usize,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut a = Args {
+            algo: "saps".into(),
+            workload: "mnist".into(),
+            network: "constant".into(),
+            workers: 32,
+            rounds: 200,
+            epochs: f64::INFINITY,
+            c: 10.0,
+            seed: 42,
+            eval_every: 10,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i].as_str();
+            let val = argv.get(i + 1).unwrap_or_else(|| usage(&format!("missing value for {key}")));
+            match key {
+                "--algo" => a.algo = val.clone(),
+                "--workload" => a.workload = val.clone(),
+                "--network" => a.network = val.clone(),
+                "--workers" => a.workers = val.parse().unwrap_or_else(|_| usage("bad --workers")),
+                "--rounds" => a.rounds = val.parse().unwrap_or_else(|_| usage("bad --rounds")),
+                "--epochs" => a.epochs = val.parse().unwrap_or_else(|_| usage("bad --epochs")),
+                "--c" => a.c = val.parse().unwrap_or_else(|_| usage("bad --c")),
+                "--seed" => a.seed = val.parse().unwrap_or_else(|_| usage("bad --seed")),
+                "--eval-every" => {
+                    a.eval_every = val.parse().unwrap_or_else(|_| usage("bad --eval-every"))
+                }
+                other => usage(&format!("unknown option {other}")),
+            }
+            i += 2;
+        }
+        a
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: run_experiment [--algo saps|psgd|topk|fedavg|sfedavg|dpsgd|dcd|random]\n\
+         \u{20}                     [--workload mnist|cifar|resnet] [--network constant|random|cities]\n\
+         \u{20}                     [--workers N] [--rounds N] [--epochs F] [--c F] [--seed N] [--eval-every N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = Args::parse();
+    let workload = Workload::by_name(&args.workload)
+        .unwrap_or_else(|| usage(&format!("unknown workload {}", args.workload)));
+    let kind = match args.algo.as_str() {
+        "saps" => AlgoKind::Saps { c: args.c },
+        "psgd" => AlgoKind::Psgd,
+        "topk" => AlgoKind::TopK { c: args.c },
+        "fedavg" => AlgoKind::FedAvg,
+        "sfedavg" => AlgoKind::SFedAvg { c: args.c },
+        "dpsgd" => AlgoKind::DPsgd,
+        "dcd" => AlgoKind::Dcd { c: args.c },
+        "random" => AlgoKind::RandomChoose { c: args.c },
+        other => usage(&format!("unknown algorithm {other}")),
+    };
+    let (workers, bw) = match args.network.as_str() {
+        "constant" => (
+            args.workers,
+            BandwidthMatrix::constant(args.workers, 1.0),
+        ),
+        "random" => {
+            let mut rng = StdRng::seed_from_u64(args.seed);
+            (
+                args.workers,
+                BandwidthMatrix::uniform_random(args.workers, 5.0, &mut rng),
+            )
+        }
+        "cities" => (citydata::NUM_CITIES, citydata::fig1_bandwidth()),
+        other => usage(&format!("unknown network {other}")),
+    };
+
+    let (train, val) = workload.dataset(args.seed);
+    let mut trainer = build_trainer(kind, &workload, &train, &bw, workers, args.seed);
+    eprintln!(
+        "# {} on {} — {} workers, N = {}, network = {}",
+        trainer.name(),
+        workload.name,
+        workers,
+        trainer.model_len(),
+        args.network
+    );
+    let hist = sim::run(
+        trainer.as_mut(),
+        &bw,
+        &val,
+        RunOptions {
+            rounds: args.rounds,
+            eval_every: args.eval_every,
+            eval_samples: 1_000,
+            max_epochs: args.epochs,
+        },
+    );
+
+    println!("round,epoch,val_acc,train_loss,worker_traffic_mb,comm_time_s,link_bw,bottleneck_bw");
+    for p in &hist.points {
+        println!(
+            "{},{:.4},{:.4},{:.5},{:.6},{:.6},{:.4},{:.4}",
+            p.round + 1,
+            p.epoch,
+            p.val_acc,
+            p.train_loss,
+            p.worker_traffic_mb,
+            p.comm_time_s,
+            p.link_bandwidth,
+            p.bottleneck_bandwidth,
+        );
+    }
+    eprintln!(
+        "# final acc {:.2}% | worker traffic {:.4} MB | server {:.4} MB | comm time {:.2} s",
+        hist.final_acc * 100.0,
+        hist.total_worker_traffic_mb,
+        hist.total_server_traffic_mb,
+        hist.total_comm_time_s,
+    );
+}

@@ -1,0 +1,60 @@
+//! Table I: communication cost comparison of different algorithms.
+//!
+//! Prints the analytic per-server / per-worker costs for the paper's
+//! setting (N from Table II, n = 32, per-algorithm c, T = 1000 rounds)
+//! and the feature flags (sparsification / client bandwidth / robustness).
+//!
+//! ```sh
+//! cargo run -p saps-bench --release --bin table1_comm_cost
+//! ```
+
+use saps_bench::table;
+use saps_core::complexity::{table1, CostParams};
+
+fn main() {
+    let params = CostParams {
+        n_params: 6_653_628.0, // MNIST-CNN of Table II
+        workers: 32.0,
+        compression: 100.0,
+        rounds: 1_000.0,
+        neighbors: 2.0,
+    };
+    println!(
+        "=== Table I: communication cost (parameters moved; N = {}, n = {}, c = {}, T = {}, np = {}) ===\n",
+        table::thousands(params.n_params),
+        params.workers,
+        params.compression,
+        params.rounds,
+        params.neighbors
+    );
+
+    let rows = table1(params);
+    let fmt_flag = |b: bool| if b { "yes" } else { "no" }.to_string();
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.to_string(),
+                r.server
+                    .map(|s| table::thousands(s))
+                    .unwrap_or_else(|| "-".into()),
+                table::thousands(r.worker),
+                fmt_flag(r.sparsification),
+                fmt_flag(r.considers_bandwidth),
+                fmt_flag(r.robust),
+            ]
+        })
+        .collect();
+    table::print_table(
+        &["Algorithm", "Server Cost", "Worker Cost", "SP.", "C.B.", "R."],
+        &data,
+    );
+
+    let saps = rows.iter().find(|r| r.algorithm == "SAPS-PSGD").unwrap();
+    println!("\nworker-cost ratios over SAPS-PSGD:");
+    for r in &rows {
+        if r.algorithm != "SAPS-PSGD" {
+            println!("  {:18} {:>10.1}x", r.algorithm, r.worker / saps.worker);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Table IV: communication traffic (MB) and time (s) at reaching the
+//! target accuracy, with bandwidth included, 32 workers.
+//!
+//! Two parts:
+//! 1. **measured** — runs the scaled workloads to their target accuracy
+//!    over the 32-worker random-bandwidth network and reports measured
+//!    traffic and time per algorithm;
+//! 2. **full-size projection** — combines each algorithm's measured
+//!    rounds-to-target with Table I's traffic formulas at the paper's
+//!    full model sizes, reproducing Table IV's magnitudes.
+//!
+//! ```sh
+//! cargo run -p saps-bench --release --bin table4_traffic_time [mnist|cifar|resnet]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps_bench::{paper_lineup, run_algorithms, table, AlgoKind, Workload};
+use saps_core::sim::RunOptions;
+use saps_netsim::BandwidthMatrix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workloads: Vec<Workload> = match args.first().map(String::as_str) {
+        Some(name) => vec![Workload::by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown workload {name}; use mnist|cifar|resnet");
+            std::process::exit(2);
+        })],
+        None => Workload::all(),
+    };
+    let workers = 32;
+    let mut rng = StdRng::seed_from_u64(7);
+    let bw = BandwidthMatrix::uniform_random(workers, 5.0, &mut rng);
+
+    for w in &workloads {
+        println!(
+            "\n=== Table IV ({}, target {:.0}%): measured on the scaled workload ===\n",
+            w.name,
+            w.target_acc * 100.0
+        );
+        let opts = RunOptions {
+            rounds: w.default_rounds,
+            eval_every: (w.default_rounds / 40).max(1),
+            eval_samples: 1_000,
+            max_epochs: w.epochs,
+        };
+        let kinds = paper_lineup(w.c_scale);
+        let hists = run_algorithms(&kinds, w, &bw, workers, opts, 42);
+
+        let mut rows = Vec::new();
+        let mut projection_rows = Vec::new();
+        for (kind, h) in kinds.iter().zip(&hists) {
+            match h.first_reaching(w.target_acc) {
+                Some(p) => {
+                    rows.push(vec![
+                        h.algorithm.clone(),
+                        format!("{:.3}", p.worker_traffic_mb),
+                        format!("{:.2}", p.comm_time_s),
+                        format!("{}", p.round + 1),
+                    ]);
+                    projection_rows.push((kind, h, p.round + 1));
+                }
+                None => rows.push(vec![
+                    h.algorithm.clone(),
+                    format!("- (final {:.1}%)", h.final_acc * 100.0),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+        table::print_table(
+            &["Algorithm", "Traffic (MB)", "Time (s)", "Rounds"],
+            &rows,
+        );
+
+        // Full-size projection: rounds-to-target × Table I per-round cost
+        // at the paper's N, over the same bandwidth distribution (mean
+        // effective bandwidth measured from the run).
+        println!(
+            "\nfull-size projection at N = {} ({}):",
+            table::thousands(w.paper_params as f64),
+            w.paper_model
+        );
+        let mut rows = Vec::new();
+        for (kind, h, rounds) in projection_rows {
+            let per_round_params: f64 = match kind {
+                AlgoKind::Saps { .. } => 2.0 * w.paper_params as f64 / 100.0,
+                AlgoKind::Psgd => 2.0 * w.paper_params as f64,
+                AlgoKind::TopK { .. } => {
+                    2.0 * workers as f64 * w.paper_params as f64 / 1000.0
+                }
+                AlgoKind::FedAvg => 2.0 * w.paper_params as f64,
+                AlgoKind::SFedAvg { .. } => {
+                    (1.0 + 2.0 / 100.0) * w.paper_params as f64
+                }
+                AlgoKind::DPsgd => 4.0 * w.paper_params as f64,
+                AlgoKind::Dcd { .. } => 4.0 * w.paper_params as f64 / 4.0,
+                AlgoKind::RandomChoose { .. } => 2.0 * w.paper_params as f64 / 100.0,
+            };
+            let traffic_mb = per_round_params * 4.0 * rounds as f64 / 1e6;
+            // Effective bandwidth: measured traffic over measured time.
+            let eff_bw = if h.total_comm_time_s > 0.0 {
+                h.total_worker_traffic_mb / h.total_comm_time_s
+            } else {
+                f64::INFINITY
+            };
+            let time_s = traffic_mb / eff_bw;
+            rows.push(vec![
+                h.algorithm.clone(),
+                table::mb(traffic_mb * 1e6),
+                format!("{time_s:.0}"),
+            ]);
+        }
+        table::print_table(&["Algorithm", "Traffic (MB)", "Time (s)"], &rows);
+        println!(
+            "\ncompare with the paper's Table IV column for {}: SAPS-PSGD should \
+             show the smallest traffic and time, decentralized dense (D-PSGD) the largest.",
+            w.paper_model
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Shared harness for the paper-reproduction benchmark binaries.
+//!
+//! Each table/figure of the paper has a binary in `src/bin/` that prints
+//! the same rows/series the paper reports. This library holds what they
+//! share: the three scaled workloads standing in for MNIST-CNN,
+//! CIFAR10-CNN and ResNet-20 (DESIGN.md §6 explains the substitution),
+//! a uniform way to construct every algorithm, and plain-text table
+//! helpers.
+
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod workload;
+
+pub use workload::{AlgoKind, Workload};
+
+use rand::rngs::StdRng;
+use saps_core::sim::{self, RunHistory, RunOptions};
+use saps_core::Trainer;
+use saps_data::Dataset;
+use saps_netsim::BandwidthMatrix;
+
+/// Builds the trainer for an algorithm kind over a workload's data.
+pub fn build_trainer(
+    kind: AlgoKind,
+    workload: &Workload,
+    train: &Dataset,
+    bw: &BandwidthMatrix,
+    workers: usize,
+    seed: u64,
+) -> Box<dyn Trainer> {
+    use saps_baselines::*;
+    use saps_core::{SapsConfig, SapsPsgd};
+    let factory = workload.factory();
+    let fleet = || {
+        Fleet::new(
+            workers,
+            train,
+            |rng: &mut StdRng| factory(rng),
+            seed,
+            workload.batch_size,
+            workload.lr,
+        )
+    };
+    match kind {
+        AlgoKind::Saps { c } => {
+            let cfg = SapsConfig {
+                workers,
+                compression: c,
+                lr: workload.lr,
+                batch_size: workload.batch_size,
+                tthres: 8,
+                seed,
+                bthres: Some(bw.percentile(0.6)),
+            };
+            Box::new(SapsPsgd::new(cfg, train, bw, |rng| factory(rng)))
+        }
+        AlgoKind::Psgd => Box::new(PsgdAllReduce::new(fleet())),
+        AlgoKind::TopK { c } => Box::new(TopKPsgd::new(fleet(), c)),
+        AlgoKind::FedAvg => Box::new(FedAvg::new(fleet(), FedAvgConfig::default(), seed)),
+        AlgoKind::SFedAvg { c } => Box::new(SFedAvg::new(fleet(), 0.5, 5, c, seed)),
+        AlgoKind::DPsgd => Box::new(DPsgd::new(fleet())),
+        AlgoKind::Dcd { c } => Box::new(DcdPsgd::new(fleet(), c)),
+        AlgoKind::RandomChoose { c } => Box::new(RandomChoose::new(fleet(), c, seed)),
+    }
+}
+
+/// Runs a set of algorithms on one workload over the same bandwidth
+/// matrix and validation set.
+pub fn run_algorithms(
+    kinds: &[AlgoKind],
+    workload: &Workload,
+    bw: &BandwidthMatrix,
+    workers: usize,
+    opts: RunOptions,
+    seed: u64,
+) -> Vec<RunHistory> {
+    let (train, val) = workload.dataset(seed);
+    kinds
+        .iter()
+        .map(|&kind| {
+            let mut algo = build_trainer(kind, workload, &train, bw, workers, seed);
+            sim::run(algo.as_mut(), bw, &val, opts)
+        })
+        .collect()
+}
+
+/// The paper's full algorithm line-up with its per-algorithm compression
+/// settings (Section IV-A): TopK `c = 1000`, S-FedAvg `c = 100`,
+/// DCD `c = 4`, SAPS `c = 100`. Scaled-down models use proportionally
+/// smaller `c` so that `N/c` stays meaningful; pass the workload's
+/// `c_scale` to shrink them uniformly.
+pub fn paper_lineup(c_scale: f64) -> Vec<AlgoKind> {
+    let c = |v: f64| (v / c_scale).max(1.0);
+    vec![
+        AlgoKind::Psgd,
+        AlgoKind::TopK { c: c(1000.0) },
+        AlgoKind::FedAvg,
+        AlgoKind::SFedAvg { c: c(100.0) },
+        AlgoKind::DPsgd,
+        AlgoKind::Dcd { c: 4.0_f64.min(c(4.0)).max(1.5) },
+        AlgoKind::Saps { c: c(100.0) },
+    ]
+}

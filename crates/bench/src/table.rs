@@ -1,0 +1,115 @@
+//! Plain-text table and series printing for the bench binaries.
+
+/// Prints a fixed-width table: a header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |sep: char| {
+        let mut s = String::new();
+        for w in &widths {
+            s.push('+');
+            s.extend(std::iter::repeat(sep).take(w + 2));
+        }
+        s.push('+');
+        s
+    };
+    println!("{}", line('-'));
+    let mut h = String::new();
+    for (w, cell) in widths.iter().zip(headers) {
+        h.push_str(&format!("| {cell:w$} "));
+    }
+    println!("{h}|");
+    println!("{}", line('='));
+    for row in rows {
+        let mut r = String::new();
+        for (w, cell) in widths.iter().zip(row) {
+            r.push_str(&format!("| {cell:w$} "));
+        }
+        println!("{r}|");
+    }
+    println!("{}", line('-'));
+}
+
+/// Formats a byte count as the paper's MB with 3 significant decimals.
+pub fn mb(bytes: f64) -> String {
+    format!("{:.3}", bytes / 1e6)
+}
+
+/// Formats parameters-count style numbers with thousands separators.
+pub fn thousands(v: f64) -> String {
+    let neg = v < 0.0;
+    let mut s = format!("{:.0}", v.abs());
+    let mut out = String::new();
+    while s.len() > 3 {
+        let tail = s.split_off(s.len() - 3);
+        out = format!(",{tail}{out}");
+    }
+    format!("{}{s}{out}", if neg { "-" } else { "" })
+}
+
+/// Prints an x/y series as an aligned two-column block with a title —
+/// the textual analogue of one curve in a paper figure.
+pub fn print_series(title: &str, xlabel: &str, ylabel: &str, points: &[(f64, f64)]) {
+    println!("\n# {title}");
+    println!("  {xlabel:>14} | {ylabel}");
+    for (x, y) in points {
+        println!("  {x:>14.4} | {y:.4}");
+    }
+}
+
+/// Down-samples a series to at most `max_points`, always keeping the
+/// first and last point.
+pub fn downsample(points: &[(f64, f64)], max_points: usize) -> Vec<(f64, f64)> {
+    assert!(max_points >= 2);
+    if points.len() <= max_points {
+        return points.to_vec();
+    }
+    let mut out = Vec::with_capacity(max_points);
+    let step = (points.len() - 1) as f64 / (max_points - 1) as f64;
+    for i in 0..max_points {
+        out.push(points[(i as f64 * step).round() as usize]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0.0), "0");
+        assert_eq!(thousands(999.0), "999");
+        assert_eq!(thousands(6_653_628.0), "6,653,628");
+        assert_eq!(thousands(-1_000.0), "-1,000");
+    }
+
+    #[test]
+    fn mb_formatting() {
+        assert_eq!(mb(5_000_000.0), "5.000");
+        assert_eq!(mb(123_456.0), "0.123");
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 0.0)).collect();
+        let d = downsample(&pts, 5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0].0, 0.0);
+        assert_eq!(d[4].0, 99.0);
+        // Short series pass through untouched.
+        assert_eq!(downsample(&pts[..3], 5).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn print_table_checks_width() {
+        print_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Wire encodings and exact byte accounting for model payloads.
+//!
+//! Every traffic number in the paper's evaluation (Table IV, Fig. 4) is a
+//! count of bytes moved. This module defines the canonical encodings and
+//! their sizes so all algorithms are charged consistently:
+//!
+//! * **dense** — `4N` bytes of f32s;
+//! * **sparse (index+value)** — `8·nnz` bytes (`u32` index + `f32` value);
+//! * **sparse (shared mask)** — `4·nnz` bytes: SAPS-PSGD peers derive the
+//!   mask from the shared seed, so only *values* travel;
+//! * **bitmap+values** — `⌈N/8⌉ + 4·nnz` bytes, chosen automatically when
+//!   cheaper than index+value.
+//!
+//! The encoders themselves (`bytes`-based) exist so that integration tests
+//! can round-trip real payloads and assert the advertised sizes are the
+//! bytes actually produced.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// How a payload is laid out on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// All `N` coordinates as f32.
+    Dense,
+    /// `(u32 index, f32 value)` pairs.
+    SparseIndexValue,
+    /// Values only; the receiver reconstructs indices from the shared
+    /// seed (SAPS-PSGD's trick).
+    SparseSharedMask,
+    /// A `⌈N/8⌉`-byte bitmap followed by the kept values.
+    SparseBitmap,
+}
+
+/// Size in bytes of a dense model of `n` f32 coordinates.
+pub fn dense_bytes(n: usize) -> u64 {
+    4 * n as u64
+}
+
+/// Size in bytes of an index+value sparse payload.
+pub fn sparse_iv_bytes(nnz: usize) -> u64 {
+    8 * nnz as u64
+}
+
+/// Size in bytes of a values-only payload (shared-mask encoding).
+pub fn sparse_shared_mask_bytes(nnz: usize) -> u64 {
+    4 * nnz as u64
+}
+
+/// Size in bytes of a bitmap+values payload.
+pub fn sparse_bitmap_bytes(n: usize, nnz: usize) -> u64 {
+    n.div_ceil(8) as u64 + 4 * nnz as u64
+}
+
+/// The cheapest encoding (and its size) for a payload of `nnz` non-zeros
+/// out of `n` coordinates, when the receiver does **not** share the mask.
+pub fn best_sparse_encoding(n: usize, nnz: usize) -> (Encoding, u64) {
+    let iv = sparse_iv_bytes(nnz);
+    let bm = sparse_bitmap_bytes(n, nnz);
+    let dn = dense_bytes(n);
+    let (enc, sz) = if iv <= bm {
+        (Encoding::SparseIndexValue, iv)
+    } else {
+        (Encoding::SparseBitmap, bm)
+    };
+    if dn < sz {
+        (Encoding::Dense, dn)
+    } else {
+        (enc, sz)
+    }
+}
+
+/// Encodes a values-only payload (shared-mask encoding).
+pub fn encode_values(values: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 * values.len());
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a values-only payload.
+pub fn decode_values(mut payload: Bytes) -> Vec<f32> {
+    assert!(payload.len() % 4 == 0, "payload length not a multiple of 4");
+    let mut out = Vec::with_capacity(payload.len() / 4);
+    while payload.has_remaining() {
+        out.push(payload.get_f32_le());
+    }
+    out
+}
+
+/// Encodes an index+value payload.
+pub fn encode_index_value(indices: &[u32], values: &[f32]) -> Bytes {
+    assert_eq!(indices.len(), values.len());
+    let mut buf = BytesMut::with_capacity(8 * indices.len());
+    for (&i, &v) in indices.iter().zip(values) {
+        buf.put_u32_le(i);
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes an index+value payload.
+pub fn decode_index_value(mut payload: Bytes) -> (Vec<u32>, Vec<f32>) {
+    assert!(payload.len() % 8 == 0, "payload length not a multiple of 8");
+    let k = payload.len() / 8;
+    let mut indices = Vec::with_capacity(k);
+    let mut values = Vec::with_capacity(k);
+    while payload.has_remaining() {
+        indices.push(payload.get_u32_le());
+        values.push(payload.get_f32_le());
+    }
+    (indices, values)
+}
+
+/// Encodes a dense payload.
+pub fn encode_dense(x: &[f32]) -> Bytes {
+    encode_values(x)
+}
+
+/// Decodes a dense payload.
+pub fn decode_dense(payload: Bytes) -> Vec<f32> {
+    decode_values(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_formulas() {
+        assert_eq!(dense_bytes(100), 400);
+        assert_eq!(sparse_iv_bytes(10), 80);
+        assert_eq!(sparse_shared_mask_bytes(10), 40);
+        assert_eq!(sparse_bitmap_bytes(100, 10), 13 + 40);
+    }
+
+    #[test]
+    fn best_encoding_switches_at_density() {
+        // Very sparse: index+value wins.
+        let (e, _) = best_sparse_encoding(1_000_000, 100);
+        assert_eq!(e, Encoding::SparseIndexValue);
+        // Moderately dense: bitmap wins (iv = 8·nnz > N/8 + 4·nnz when
+        // nnz > N/32).
+        let (e, _) = best_sparse_encoding(1000, 500);
+        assert_eq!(e, Encoding::SparseBitmap);
+        // Nearly dense: dense wins.
+        let (e, sz) = best_sparse_encoding(1000, 1000);
+        assert_eq!(e, Encoding::Dense);
+        assert_eq!(sz, 4000);
+    }
+
+    #[test]
+    fn values_roundtrip_and_size() {
+        let vals = vec![1.5f32, -2.25, 0.0, 3.75];
+        let b = encode_values(&vals);
+        assert_eq!(b.len() as u64, sparse_shared_mask_bytes(vals.len()));
+        assert_eq!(decode_values(b), vals);
+    }
+
+    #[test]
+    fn index_value_roundtrip_and_size() {
+        let idx = vec![3u32, 17, 999_999];
+        let vals = vec![0.5f32, -1.0, 2.0];
+        let b = encode_index_value(&idx, &vals);
+        assert_eq!(b.len() as u64, sparse_iv_bytes(3));
+        let (i2, v2) = decode_index_value(b);
+        assert_eq!(i2, idx);
+        assert_eq!(v2, vals);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let x = vec![1.0f32, 2.0, 3.0];
+        let b = encode_dense(&x);
+        assert_eq!(b.len() as u64, dense_bytes(3));
+        assert_eq!(decode_dense(b), x);
+    }
+
+    #[test]
+    fn empty_payloads() {
+        assert_eq!(decode_values(encode_values(&[])), Vec::<f32>::new());
+        let (i, v) = decode_index_value(encode_index_value(&[], &[]));
+        assert!(i.is_empty() && v.is_empty());
+    }
+}

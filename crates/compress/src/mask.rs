@@ -1,0 +1,243 @@
+//! The shared-seed Bernoulli random mask of SAPS-PSGD (Section II-B).
+//!
+//! Equation (3) of the paper: each coordinate survives independently with
+//! probability `p = 1/c` where `c` is the compression ratio. The mask is
+//! derived from the coordinator's per-round seed, so all workers construct
+//! the identical mask locally (Algorithm 2, line 6) — the key trick that
+//! lets two peers exchange *only values*, no indices, and still agree on
+//! the sparsity pattern.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saps_tensor::rng::{derive_seed, streams};
+
+/// Stream tag for mask RNGs (shared workspace-wide so no other component
+/// accidentally consumes the same stream).
+const MASK_STREAM: u64 = streams::MASK;
+
+/// A Bernoulli(1/c) random mask over model coordinates.
+///
+/// Stored as the sorted list of surviving indices (the mask is sparse for
+/// the compression ratios the paper uses, `c ∈ {100, 1000}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomMask {
+    model_len: usize,
+    indices: Vec<u32>,
+}
+
+impl RandomMask {
+    /// Generates the mask for `round` from the coordinator's broadcast
+    /// `seed`, over a model of `model_len` coordinates, with compression
+    /// ratio `c` (keep probability `1/c`).
+    ///
+    /// Deterministic: every worker calling this with the same arguments
+    /// obtains the identical mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c < 1` (a keep probability above 1 is meaningless).
+    pub fn generate(model_len: usize, c: f64, seed: u64, round: u64) -> Self {
+        assert!(c >= 1.0, "compression ratio must be >= 1, got {c}");
+        let p = 1.0 / c;
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, round, MASK_STREAM));
+        // Sampling a geometric gap between kept indices is O(nnz) instead
+        // of O(N) Bernoulli draws; for c=1000 and N in the millions this
+        // is the difference between microseconds and milliseconds.
+        let mut indices = Vec::with_capacity((model_len as f64 * p * 1.2) as usize + 4);
+        if p >= 1.0 {
+            indices = (0..model_len as u32).collect();
+        } else {
+            let log_q = (1.0 - p).ln();
+            let mut i: usize = 0;
+            loop {
+                // Geometric(p) gap via inversion sampling.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let gap = (u.ln() / log_q).floor() as usize;
+                i += gap;
+                if i >= model_len {
+                    break;
+                }
+                indices.push(i as u32);
+                i += 1;
+            }
+        }
+        RandomMask { model_len, indices }
+    }
+
+    /// Builds a mask from explicit indices (test/bench helper). Indices
+    /// must be strictly increasing and `< model_len`.
+    pub fn from_indices(model_len: usize, indices: Vec<u32>) -> Self {
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly increasing"
+        );
+        if let Some(&last) = indices.last() {
+            assert!((last as usize) < model_len, "index out of range");
+        }
+        RandomMask { model_len, indices }
+    }
+
+    /// The surviving (kept) coordinate indices, sorted ascending.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Number of kept coordinates (`nnz`).
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Length of the underlying model vector `N`.
+    pub fn model_len(&self) -> usize {
+        self.model_len
+    }
+
+    /// Achieved density `nnz / N`.
+    pub fn density(&self) -> f64 {
+        if self.model_len == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.model_len as f64
+        }
+    }
+
+    /// Applies the mask: returns the kept values of `x` in index order
+    /// (the sparse payload `x̃ = x ∘ m` of Eq. 2, minus the zeros).
+    pub fn apply(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.model_len, "mask/model length mismatch");
+        self.indices.iter().map(|&i| x[i as usize]).collect()
+    }
+
+    /// Dense 0/1 representation (test helper; O(N)).
+    pub fn to_dense(&self) -> Vec<bool> {
+        let mut d = vec![false; self.model_len];
+        for &i in &self.indices {
+            d[i as usize] = true;
+        }
+        d
+    }
+
+    /// The SAPS-PSGD exchange step (Algorithm 2 line 10, symmetric-gossip
+    /// form): for each masked coordinate `i`,
+    /// `x[i] ← (x[i] + peer_values[k]) / 2`; unmasked coordinates keep
+    /// their local value (`x ∘ ¬m` term).
+    ///
+    /// `peer_values` must be the peer's [`RandomMask::apply`] output for
+    /// the *same* mask.
+    pub fn average_into(&self, x: &mut [f32], peer_values: &[f32]) {
+        assert_eq!(x.len(), self.model_len, "mask/model length mismatch");
+        assert_eq!(
+            peer_values.len(),
+            self.indices.len(),
+            "peer payload has wrong nnz"
+        );
+        for (&i, &pv) in self.indices.iter().zip(peer_values) {
+            let xi = &mut x[i as usize];
+            *xi = 0.5 * (*xi + pv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_workers() {
+        let a = RandomMask::generate(10_000, 100.0, 7, 3);
+        let b = RandomMask::generate(10_000, 100.0, 7, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_rounds_differ() {
+        let a = RandomMask::generate(10_000, 100.0, 7, 3);
+        let b = RandomMask::generate(10_000, 100.0, 7, 4);
+        assert_ne!(a.indices(), b.indices());
+    }
+
+    #[test]
+    fn density_matches_ratio() {
+        // Bernoulli(1/100) over a million coordinates: the density must be
+        // within a few standard deviations of 0.01.
+        let n = 1_000_000;
+        let m = RandomMask::generate(n, 100.0, 42, 0);
+        let sd = (0.01f64 * 0.99 / n as f64).sqrt();
+        assert!(
+            (m.density() - 0.01).abs() < 5.0 * sd,
+            "density {}",
+            m.density()
+        );
+    }
+
+    #[test]
+    fn c_equal_one_keeps_everything() {
+        let m = RandomMask::generate(100, 1.0, 1, 1);
+        assert_eq!(m.nnz(), 100);
+        assert_eq!(m.density(), 1.0);
+    }
+
+    #[test]
+    fn indices_sorted_and_unique() {
+        let m = RandomMask::generate(50_000, 10.0, 9, 2);
+        assert!(m.indices().windows(2).all(|w| w[0] < w[1]));
+        assert!(m.indices().iter().all(|&i| (i as usize) < 50_000));
+    }
+
+    #[test]
+    fn apply_gathers_kept_values() {
+        let m = RandomMask::from_indices(4, vec![1, 3]);
+        let vals = m.apply(&[10.0, 11.0, 12.0, 13.0]);
+        assert_eq!(vals, vec![11.0, 13.0]);
+    }
+
+    #[test]
+    fn average_into_halves_masked_coords_only() {
+        let m = RandomMask::from_indices(4, vec![0, 2]);
+        let mut x = vec![2.0, 5.0, 8.0, 7.0];
+        m.average_into(&mut x, &[4.0, 0.0]);
+        assert_eq!(x, vec![3.0, 5.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn two_workers_converge_on_masked_coords() {
+        // Exchanging with the same mask makes the two models agree exactly
+        // on masked coordinates after one step.
+        let n = 1000;
+        let m = RandomMask::generate(n, 10.0, 5, 1);
+        let mut x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let mut y: Vec<f32> = (0..n).map(|i| (n - i) as f32).collect();
+        let xs = m.apply(&x);
+        let ys = m.apply(&y);
+        m.average_into(&mut x, &ys);
+        m.average_into(&mut y, &xs);
+        for &i in m.indices() {
+            assert_eq!(x[i as usize], y[i as usize]);
+        }
+    }
+
+    #[test]
+    fn empty_model() {
+        let m = RandomMask::generate(0, 100.0, 1, 1);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.density(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression ratio")]
+    fn rejects_ratio_below_one() {
+        let _ = RandomMask::generate(10, 0.5, 1, 1);
+    }
+
+    #[test]
+    fn from_indices_validates() {
+        let m = RandomMask::from_indices(10, vec![0, 5, 9]);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_indices_rejects_unsorted() {
+        let _ = RandomMask::from_indices(10, vec![5, 0]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Uniform stochastic quantization (QSGD-style).
+//!
+//! The paper's related-work section contrasts sparsification against
+//! quantization ("reducing 32-bit to 1-bit only achieves a maximum of 32×
+//! compression"). This module provides an `s`-level stochastic quantizer so
+//! the workspace can reproduce that comparison; none of the paper's seven
+//! evaluated algorithms use it directly.
+
+use rand::Rng;
+
+/// A quantized vector: per-vector scale plus `s`-level integer codes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantized {
+    /// l2 norm of the original vector (the QSGD scale).
+    pub scale: f32,
+    /// Number of quantization levels.
+    pub levels: u32,
+    /// Signed level codes, one per coordinate.
+    pub codes: Vec<i8>,
+}
+
+impl Quantized {
+    /// Bytes on the wire: 4 (scale) + 1 per coordinate (codes fit i8 for
+    /// `levels <= 127`).
+    pub fn wire_bytes(&self) -> u64 {
+        4 + self.codes.len() as u64
+    }
+}
+
+/// Stochastically quantizes `x` to `levels` levels per sign.
+///
+/// Each coordinate `x_i` maps to `sign(x_i) · scale · l/levels` where
+/// `l ∈ {0.., levels}` straddles `|x_i|/scale`, rounded up with probability
+/// proportional to the remainder — so the quantizer is unbiased:
+/// `E[Q(x)] = x`.
+pub fn quantize<R: Rng>(x: &[f32], levels: u32, rng: &mut R) -> Quantized {
+    assert!((1..=127).contains(&levels), "levels must be in 1..=127");
+    let scale = x.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let mut codes = Vec::with_capacity(x.len());
+    if scale == 0.0 {
+        codes.resize(x.len(), 0);
+        return Quantized {
+            scale,
+            levels,
+            codes,
+        };
+    }
+    for &v in x {
+        let a = v.abs() / scale * levels as f32;
+        let lo = a.floor();
+        let p = a - lo;
+        let l = lo as i32 + i32::from(rng.gen::<f32>() < p);
+        let signed = if v < 0.0 { -l } else { l };
+        codes.push(signed.clamp(-127, 127) as i8);
+    }
+    Quantized {
+        scale,
+        levels,
+        codes,
+    }
+}
+
+/// Reconstructs the (unbiased estimate of the) original vector.
+pub fn dequantize(q: &Quantized) -> Vec<f32> {
+    let f = q.scale / q.levels as f32;
+    q.codes.iter().map(|&c| c as f32 * f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_vector_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = quantize(&[0.0, 0.0], 4, &mut rng);
+        assert_eq!(dequantize(&q), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn unbiased_in_expectation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = [0.3f32, -0.7, 0.1, 0.9];
+        let trials = 20_000;
+        let mut acc = [0.0f64; 4];
+        for _ in 0..trials {
+            let q = quantize(&x, 4, &mut rng);
+            for (a, v) in acc.iter_mut().zip(dequantize(&q)) {
+                *a += v as f64;
+            }
+        }
+        for (a, &v) in acc.iter().zip(&x) {
+            let mean = a / trials as f64;
+            assert!(
+                (mean - v as f64).abs() < 0.02,
+                "mean {mean} vs true {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn codes_bounded_by_levels() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) / 10.0).collect();
+        let q = quantize(&x, 8, &mut rng);
+        // |x_i|/scale <= 1, so codes are at most levels (+1 from rounding).
+        assert!(q.codes.iter().all(|&c| (c as i32).abs() <= 9));
+    }
+
+    #[test]
+    fn wire_bytes_formula() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = quantize(&[1.0; 100], 4, &mut rng);
+        assert_eq!(q.wire_bytes(), 104);
+    }
+
+    #[test]
+    #[should_panic(expected = "levels")]
+    fn rejects_bad_levels() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = quantize(&[1.0], 0, &mut rng);
+    }
+}

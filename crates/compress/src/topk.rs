@@ -1,0 +1,172 @@
+//! Top-k sparsification with error-feedback residuals.
+//!
+//! TopK-PSGD [20], [34] zeroes out all but the `k = N/c` largest-magnitude
+//! gradient coordinates and accumulates what was dropped into a local
+//! residual that is added back before the next selection ("error
+//! compensation"). The paper uses it as the strongest sparsification
+//! baseline (`c = 1000`).
+
+/// Selects the indices of the `k` largest-|·| elements.
+///
+/// Uses `select_nth_unstable` for O(N) average time; the returned indices
+/// are sorted ascending so payloads are deterministic.
+pub fn top_k_indices(x: &[f32], k: usize) -> Vec<u32> {
+    let k = k.min(x.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<u32> = (0..x.len() as u32).collect();
+    let kth = k - 1;
+    idx.select_nth_unstable_by(kth, |&a, &b| {
+        let ma = x[a as usize].abs();
+        let mb = x[b as usize].abs();
+        mb.partial_cmp(&ma).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+/// An error-feedback Top-k compressor.
+///
+/// Maintains the residual `e_t`; each call to [`ErrorFeedbackTopK::compress`]
+/// computes `a = g + e`, transmits the top-k of `a`, and stores
+/// `e ← a − sparse(a)`.
+#[derive(Debug, Clone)]
+pub struct ErrorFeedbackTopK {
+    residual: Vec<f32>,
+    k: usize,
+}
+
+impl ErrorFeedbackTopK {
+    /// Creates a compressor over models of `model_len` coordinates keeping
+    /// `k` per step.
+    pub fn new(model_len: usize, k: usize) -> Self {
+        ErrorFeedbackTopK {
+            residual: vec![0.0; model_len],
+            k,
+        }
+    }
+
+    /// Creates a compressor keeping `N/c` coordinates (at least one when
+    /// the model is non-empty).
+    pub fn with_ratio(model_len: usize, c: f64) -> Self {
+        assert!(c >= 1.0, "compression ratio must be >= 1");
+        let k = ((model_len as f64 / c).round() as usize).max(usize::from(model_len > 0));
+        Self::new(model_len, k)
+    }
+
+    /// Number of coordinates kept per step.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current residual (what error feedback will re-inject).
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
+    }
+
+    /// Compresses `g`, returning `(indices, values)` of the transmitted
+    /// coordinates, and updates the residual.
+    pub fn compress(&mut self, g: &[f32]) -> (Vec<u32>, Vec<f32>) {
+        assert_eq!(g.len(), self.residual.len(), "model length mismatch");
+        // a = g + e
+        let a: Vec<f32> = g.iter().zip(&self.residual).map(|(x, e)| x + e).collect();
+        let indices = top_k_indices(&a, self.k);
+        let values: Vec<f32> = indices.iter().map(|&i| a[i as usize]).collect();
+        // e = a - sparse(a): start from a, zero the transmitted coords.
+        self.residual = a;
+        for &i in &indices {
+            self.residual[i as usize] = 0.0;
+        }
+        (indices, values)
+    }
+
+    /// Resets the residual to zero (e.g. on worker re-join).
+    pub fn reset(&mut self) {
+        self.residual.iter_mut().for_each(|e| *e = 0.0);
+    }
+}
+
+/// Densifies a sparse `(indices, values)` payload into a fresh vector of
+/// length `n`.
+pub fn densify(n: usize, indices: &[u32], values: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(indices.len(), values.len());
+    let mut out = vec![0.0f32; n];
+    for (&i, &v) in indices.iter().zip(values) {
+        out[i as usize] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_finds_largest_magnitudes() {
+        let x = [0.1, -5.0, 3.0, 0.0, -0.2, 4.0];
+        assert_eq!(top_k_indices(&x, 3), vec![1, 2, 5]);
+        assert_eq!(top_k_indices(&x, 1), vec![1]);
+    }
+
+    #[test]
+    fn top_k_edge_cases() {
+        let x = [1.0, 2.0];
+        assert_eq!(top_k_indices(&x, 0), Vec::<u32>::new());
+        assert_eq!(top_k_indices(&x, 5), vec![0, 1]); // k > n clamps
+        assert_eq!(top_k_indices(&[], 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn error_feedback_conserves_mass() {
+        // Invariant: transmitted + residual == g + previous residual.
+        let mut ef = ErrorFeedbackTopK::new(6, 2);
+        let g = [0.1, -5.0, 3.0, 0.0, -0.2, 4.0];
+        let (idx, vals) = ef.compress(&g);
+        let sent = densify(6, &idx, &vals);
+        for i in 0..6 {
+            let total = sent[i] + ef.residual()[i];
+            assert!((total - g[i]).abs() < 1e-6, "coordinate {i}");
+        }
+    }
+
+    #[test]
+    fn residual_reinjected_next_round() {
+        // A coordinate repeatedly below the top-k threshold accumulates
+        // until it wins.
+        let mut ef = ErrorFeedbackTopK::new(3, 1);
+        let g = [1.0, 0.6, 0.0];
+        let (idx1, _) = ef.compress(&g);
+        assert_eq!(idx1, vec![0]);
+        // Residual now carries 0.6 at coord 1; adding 0.6 again beats 1.0.
+        let (idx2, vals2) = ef.compress(&g);
+        assert_eq!(idx2, vec![1]);
+        assert!((vals2[0] - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn with_ratio_computes_k() {
+        let ef = ErrorFeedbackTopK::with_ratio(1000, 100.0);
+        assert_eq!(ef.k(), 10);
+        let tiny = ErrorFeedbackTopK::with_ratio(3, 1000.0);
+        assert_eq!(tiny.k(), 1); // never zero for non-empty models
+        let empty = ErrorFeedbackTopK::with_ratio(0, 10.0);
+        assert_eq!(empty.k(), 0);
+    }
+
+    #[test]
+    fn reset_clears_residual() {
+        let mut ef = ErrorFeedbackTopK::new(3, 1);
+        ef.compress(&[1.0, 0.5, 0.2]);
+        assert!(ef.residual().iter().any(|&e| e != 0.0));
+        ef.reset();
+        assert!(ef.residual().iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn densify_roundtrip() {
+        let d = densify(5, &[1, 4], &[2.0, 3.0]);
+        assert_eq!(d, vec![0.0, 2.0, 0.0, 0.0, 3.0]);
+    }
+}

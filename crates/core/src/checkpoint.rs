@@ -1,0 +1,194 @@
+//! Model checkpointing.
+//!
+//! The coordinator's final act (Algorithm 1, line 8) is collecting one
+//! full model from a worker. In a deployment that model needs a durable,
+//! versioned wire format; this module provides it: a small header (magic,
+//! version, parameter count) followed by little-endian `f32`s and a
+//! trailing checksum, so a truncated or corrupted file is detected rather
+//! than silently loaded.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"SAPS";
+const VERSION: u16 = 1;
+
+/// Errors produced when decoding a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The buffer is too short to contain a header.
+    Truncated,
+    /// The magic bytes don't match.
+    BadMagic,
+    /// The format version is newer than this library understands.
+    UnsupportedVersion(u16),
+    /// The payload length disagrees with the header.
+    LengthMismatch {
+        /// Parameters promised by the header.
+        expected: u64,
+        /// Parameters actually present.
+        actual: u64,
+    },
+    /// The checksum doesn't match the payload.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadMagic => write!(f, "not a SAPS checkpoint"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: header {expected}, payload {actual}")
+            }
+            CheckpointError::ChecksumMismatch => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serializes a flat parameter vector (with the round it was taken at)
+/// into the checkpoint wire format.
+pub fn encode(params: &[f32], round: u64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 2 + 8 + 8 + 4 * params.len() + 8);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(round);
+    buf.put_u64_le(params.len() as u64);
+    for &p in params {
+        buf.put_f32_le(p);
+    }
+    buf.put_u64_le(fnv1a(&buf));
+    buf.freeze()
+}
+
+/// Decodes a checkpoint, returning `(params, round)`.
+pub fn decode(mut buf: Bytes) -> Result<(Vec<f32>, u64), CheckpointError> {
+    if buf.len() < 4 + 2 + 8 + 8 + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    // Verify the checksum over everything except the trailing 8 bytes.
+    let body = buf.slice(..buf.len() - 8);
+    let stored = (&buf[buf.len() - 8..]).get_u64_le();
+    if fnv1a(&body) != stored {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let round = buf.get_u64_le();
+    let n = buf.get_u64_le();
+    let available = (buf.remaining() - 8) as u64 / 4;
+    if available != n {
+        return Err(CheckpointError::LengthMismatch {
+            expected: n,
+            actual: available,
+        });
+    }
+    let mut params = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        params.push(buf.get_f32_le());
+    }
+    Ok((params, round))
+}
+
+/// FNV-1a 64-bit hash — dependency-free integrity check, adequate for
+/// detecting truncation/corruption (not an adversarial MAC).
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let params = vec![1.5f32, -2.25, 0.0, f32::MIN_POSITIVE, 1e30];
+        let enc = encode(&params, 42);
+        let (dec, round) = decode(enc).unwrap();
+        assert_eq!(dec, params);
+        assert_eq!(round, 42);
+    }
+
+    #[test]
+    fn empty_model_roundtrips() {
+        let enc = encode(&[], 0);
+        let (dec, round) = decode(enc).unwrap();
+        assert!(dec.is_empty());
+        assert_eq!(round, 0);
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let enc = encode(&[1.0, 2.0, 3.0], 1);
+        let cut = enc.slice(..10);
+        assert_eq!(decode(cut), Err(CheckpointError::Truncated));
+        // Cutting mid-payload breaks the checksum.
+        let cut = enc.slice(..enc.len() - 4);
+        assert!(matches!(
+            decode(cut),
+            Err(CheckpointError::ChecksumMismatch) | Err(CheckpointError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let enc = encode(&[1.0, 2.0, 3.0], 1);
+        let mut raw = enc.to_vec();
+        raw[20] ^= 0xFF;
+        assert_eq!(
+            decode(Bytes::from(raw)),
+            Err(CheckpointError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let enc = encode(&[1.0], 1);
+        let mut raw = enc.to_vec();
+        raw[0] = b'X';
+        // Re-stamp the checksum so only the magic is wrong.
+        let body_len = raw.len() - 8;
+        let sum = fnv1a(&raw[..body_len]).to_le_bytes();
+        raw[body_len..].copy_from_slice(&sum);
+        assert_eq!(decode(Bytes::from(raw)), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn detects_version_skew() {
+        let enc = encode(&[1.0], 1);
+        let mut raw = enc.to_vec();
+        raw[4] = 99;
+        let body_len = raw.len() - 8;
+        let sum = fnv1a(&raw[..body_len]).to_le_bytes();
+        raw[body_len..].copy_from_slice(&sum);
+        assert_eq!(
+            decode(Bytes::from(raw)),
+            Err(CheckpointError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn large_checkpoint_roundtrips() {
+        let params: Vec<f32> = (0..100_000).map(|i| (i as f32).sin()).collect();
+        let enc = encode(&params, 7);
+        let (dec, _) = decode(enc).unwrap();
+        assert_eq!(dec.len(), params.len());
+        assert_eq!(dec[99_999], params[99_999]);
+    }
+}

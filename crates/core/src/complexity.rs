@@ -1,0 +1,204 @@
+//! Table I: analytic communication-cost formulas.
+//!
+//! The paper compares eight algorithms by their total server-side and
+//! per-worker communication over a `T`-round run of an `N`-parameter
+//! model on `n` workers with compression ratio `c` (and `np` = maximum
+//! neighbour count for the D-PSGD family). This module encodes those
+//! closed forms so the Table I bench can print them, and so tests can
+//! check the *measured* traffic of each implementation against its
+//! formula.
+
+/// The inputs of Table I's formulas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Model size (scalar parameters).
+    pub n_params: f64,
+    /// Worker count `n`.
+    pub workers: f64,
+    /// Compression ratio `c`.
+    pub compression: f64,
+    /// Total communication rounds `T`.
+    pub rounds: f64,
+    /// Maximum neighbours per worker `np` (> 1) for D-PSGD / DCD-PSGD.
+    pub neighbors: f64,
+}
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostRow {
+    /// Algorithm name (paper spelling).
+    pub algorithm: &'static str,
+    /// Total traffic through the server, in parameters (`None` = no
+    /// server at all, the paper's "-").
+    pub server: Option<f64>,
+    /// Total traffic per worker, in parameters.
+    pub worker: f64,
+    /// "SP.": supports sparsification.
+    pub sparsification: bool,
+    /// "C.B.": considers client bandwidth.
+    pub considers_bandwidth: bool,
+    /// "R.": robust to network dynamics.
+    pub robust: bool,
+}
+
+/// All eight Table I rows for the given parameters.
+pub fn table1(p: CostParams) -> Vec<CostRow> {
+    let CostParams {
+        n_params: nn,
+        workers: n,
+        compression: c,
+        rounds: t,
+        neighbors: np,
+    } = p;
+    vec![
+        CostRow {
+            algorithm: "PS-PSGD",
+            server: Some(2.0 * nn * n * t),
+            worker: 2.0 * nn * t,
+            sparsification: false,
+            considers_bandwidth: false,
+            robust: false,
+        },
+        CostRow {
+            algorithm: "PSGD (all-reduce)",
+            server: None,
+            worker: 2.0 * nn * t,
+            sparsification: false,
+            considers_bandwidth: false,
+            robust: false,
+        },
+        CostRow {
+            algorithm: "TopK-PSGD",
+            server: None,
+            worker: 2.0 * n * (nn / c) * t,
+            sparsification: true,
+            considers_bandwidth: false,
+            robust: false,
+        },
+        CostRow {
+            algorithm: "FedAvg",
+            server: Some(2.0 * nn * n * t),
+            worker: 2.0 * nn * t,
+            sparsification: false,
+            considers_bandwidth: false,
+            robust: false,
+        },
+        CostRow {
+            algorithm: "S-FedAvg",
+            server: Some((nn + 2.0 * nn / c) * n * t),
+            worker: (nn + 2.0 * nn / c) * t,
+            sparsification: true,
+            considers_bandwidth: false,
+            robust: false,
+        },
+        CostRow {
+            algorithm: "D-PSGD",
+            server: Some(nn),
+            worker: 4.0 * np * nn * t,
+            sparsification: false,
+            considers_bandwidth: false,
+            robust: false,
+        },
+        CostRow {
+            algorithm: "DCD-PSGD",
+            server: Some(nn),
+            worker: 4.0 * np * (nn / c) * t,
+            sparsification: true,
+            considers_bandwidth: false,
+            robust: false,
+        },
+        CostRow {
+            algorithm: "SAPS-PSGD",
+            server: Some(nn),
+            worker: 2.0 * (nn / c) * t,
+            sparsification: true,
+            considers_bandwidth: true,
+            robust: true,
+        },
+    ]
+}
+
+/// SAPS-PSGD's per-worker traffic in *bytes* for a run (values-only
+/// payloads, 4 bytes each, expected nnz = N/c, both directions).
+pub fn saps_worker_bytes(n_params: usize, c: f64, rounds: usize) -> f64 {
+    2.0 * (n_params as f64 / c) * 4.0 * rounds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CostParams {
+        CostParams {
+            n_params: 1e6,
+            workers: 32.0,
+            compression: 100.0,
+            rounds: 1000.0,
+            neighbors: 2.0,
+        }
+    }
+
+    #[test]
+    fn saps_has_lowest_worker_cost() {
+        let rows = table1(params());
+        let saps = rows.iter().find(|r| r.algorithm == "SAPS-PSGD").unwrap();
+        for r in &rows {
+            if r.algorithm != "SAPS-PSGD" {
+                assert!(
+                    saps.worker < r.worker,
+                    "SAPS {} !< {} {}",
+                    saps.worker,
+                    r.algorithm,
+                    r.worker
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serverless_rows_have_no_server_cost() {
+        let rows = table1(params());
+        for r in &rows {
+            match r.algorithm {
+                "PSGD (all-reduce)" | "TopK-PSGD" => assert!(r.server.is_none()),
+                _ => assert!(r.server.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn decentralized_server_cost_is_single_model() {
+        let rows = table1(params());
+        for name in ["D-PSGD", "DCD-PSGD", "SAPS-PSGD"] {
+            let r = rows.iter().find(|r| r.algorithm == name).unwrap();
+            assert_eq!(r.server, Some(1e6));
+        }
+    }
+
+    #[test]
+    fn only_saps_claims_bandwidth_and_robustness() {
+        let rows = table1(params());
+        for r in &rows {
+            let is_saps = r.algorithm == "SAPS-PSGD";
+            assert_eq!(r.considers_bandwidth, is_saps, "{}", r.algorithm);
+            assert_eq!(r.robust, is_saps, "{}", r.algorithm);
+        }
+    }
+
+    #[test]
+    fn formulas_match_paper_ratios() {
+        // With c = 100, SAPS's worker cost is 100× below PSGD's and
+        // 2·np·... below DCD's.
+        let rows = table1(params());
+        let get = |n: &str| rows.iter().find(|r| r.algorithm == n).unwrap().worker;
+        assert!((get("PSGD (all-reduce)") / get("SAPS-PSGD") - 100.0).abs() < 1e-9);
+        assert!((get("DCD-PSGD") / get("SAPS-PSGD") - 4.0).abs() < 1e-9); // 4np/2 with np=2
+        assert!((get("TopK-PSGD") / get("SAPS-PSGD") - 32.0).abs() < 1e-9); // n
+    }
+
+    #[test]
+    fn byte_formula() {
+        // N=1000, c=10, 5 rounds: 2 * 100 * 4 * 5 = 4000 bytes.
+        assert_eq!(saps_worker_bytes(1000, 10.0, 5), 4000.0);
+    }
+}

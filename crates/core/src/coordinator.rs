@@ -1,0 +1,152 @@
+//! Algorithm 1: the SAPS-PSGD coordinator.
+//!
+//! The coordinator is a *tracker*, not a parameter server: per round it
+//! ships only `(W_t, t, s)` — a matching, a counter and a 64-bit seed —
+//! and receives "ROUND END" notifications. Its total model traffic over a
+//! whole run is a single final model (`N`), which is where Table I's
+//! server-cost row for SAPS-PSGD comes from.
+
+use crate::GossipGenerator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saps_graph::{Graph, Matching};
+use saps_netsim::BandwidthMatrix;
+use saps_tensor::rng::{derive_seed, streams};
+
+/// What the coordinator broadcasts at the start of a round
+/// (Algorithm 1 line 6: `NotifyWorkerToTrain(W_t, t, s)`).
+#[derive(Debug, Clone)]
+pub struct RoundPlan {
+    /// The round counter `t`.
+    pub round: u64,
+    /// The shared seed `s` from which every worker derives the mask `m_t`.
+    pub mask_seed: u64,
+    /// The peer pairing defining `W_t`.
+    pub matching: Matching,
+}
+
+/// The SAPS-PSGD coordinator (Algorithm 1 state).
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    generator: GossipGenerator,
+    rng: StdRng,
+    round: u64,
+    bthres: f64,
+}
+
+impl Coordinator {
+    /// Creates the coordinator from the bandwidth matrix.
+    ///
+    /// `bthres` is the bandwidth threshold of `GetNewConnectedGraph`
+    /// (Algorithm 1 lines 9-12); pass `None` to auto-select the largest
+    /// threshold that keeps `B*` connected. `tthres` is the RC window of
+    /// Algorithm 3.
+    pub fn new(bw: &BandwidthMatrix, bthres: Option<f64>, tthres: u32, seed: u64) -> Self {
+        let n = bw.len();
+        let thres = bthres.unwrap_or_else(|| bw.max_connecting_threshold());
+        let bstar = Graph::from_adjacency(n, &bw.threshold(thres));
+        let full = Graph::from_threshold(n, bw.as_slice(), f64::MIN_POSITIVE);
+        Coordinator {
+            generator: GossipGenerator::new(bstar, full, tthres),
+            rng: StdRng::seed_from_u64(derive_seed(seed, 0, streams::MATCHING)),
+            round: 0,
+            bthres: thres,
+        }
+    }
+
+    /// The bandwidth threshold in effect.
+    pub fn bandwidth_threshold(&self) -> f64 {
+        self.bthres
+    }
+
+    /// Number of workers currently coordinated.
+    pub fn worker_count(&self) -> usize {
+        self.generator.len()
+    }
+
+    /// Runs one round: generates `W_t` (Algorithm 3) and the mask seed,
+    /// and advances the round counter. In the real deployment this is the
+    /// broadcast to all workers; in the simulator the returned plan is
+    /// handed to each [`crate::Worker`] directly.
+    pub fn begin_round(&mut self) -> RoundPlan {
+        let t = self.round;
+        let matching = self.generator.next_matching(t, &mut self.rng);
+        let mask_seed = self.rng.gen::<u64>();
+        self.round += 1;
+        RoundPlan {
+            round: t,
+            mask_seed,
+            matching,
+        }
+    }
+
+    /// Rebuilds the peer-selection state after membership or bandwidth
+    /// changes (worker churn, measured-bandwidth refresh). `keep[i]` maps
+    /// new worker index `i` to its previous index, `None` for joiners.
+    pub fn rebuild(&mut self, bw: &BandwidthMatrix, keep: &[Option<usize>]) {
+        let n = bw.len();
+        assert_eq!(n, keep.len());
+        let thres = bw.max_connecting_threshold().min(self.bthres);
+        let bstar = Graph::from_adjacency(n, &bw.threshold(thres));
+        let full = Graph::from_threshold(n, bw.as_slice(), f64::MIN_POSITIVE);
+        self.generator.rebuild(bstar, full, keep);
+        self.bthres = thres;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_threshold_keeps_bstar_connected() {
+        let bw = saps_netsim::citydata::fig1_bandwidth();
+        let c = Coordinator::new(&bw, None, 5, 1);
+        assert!(c.bandwidth_threshold() > 0.0);
+        assert_eq!(c.worker_count(), 14);
+    }
+
+    #[test]
+    fn rounds_advance_and_seeds_differ() {
+        let bw = BandwidthMatrix::constant(6, 1.0);
+        let mut c = Coordinator::new(&bw, None, 5, 2);
+        let p0 = c.begin_round();
+        let p1 = c.begin_round();
+        assert_eq!(p0.round, 0);
+        assert_eq!(p1.round, 1);
+        assert_ne!(p0.mask_seed, p1.mask_seed);
+        assert!(p0.matching.is_perfect());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let bw = BandwidthMatrix::constant(8, 1.0);
+        let mut a = Coordinator::new(&bw, None, 5, 42);
+        let mut b = Coordinator::new(&bw, None, 5, 42);
+        for _ in 0..10 {
+            let pa = a.begin_round();
+            let pb = b.begin_round();
+            assert_eq!(pa.matching.pairs(), pb.matching.pairs());
+            assert_eq!(pa.mask_seed, pb.mask_seed);
+        }
+    }
+
+    #[test]
+    fn explicit_threshold_respected() {
+        let bw = BandwidthMatrix::constant(4, 2.0);
+        let c = Coordinator::new(&bw, Some(1.5), 5, 3);
+        assert_eq!(c.bandwidth_threshold(), 1.5);
+    }
+
+    #[test]
+    fn rebuild_shrinks_worker_set() {
+        let bw6 = BandwidthMatrix::constant(6, 1.0);
+        let mut c = Coordinator::new(&bw6, None, 5, 4);
+        c.begin_round();
+        let bw4 = BandwidthMatrix::constant(4, 1.0);
+        c.rebuild(&bw4, &[Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(c.worker_count(), 4);
+        let p = c.begin_round();
+        assert!(p.matching.is_perfect());
+    }
+}

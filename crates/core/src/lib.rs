@@ -1,0 +1,66 @@
+//! SAPS-PSGD: communication-efficient decentralized learning with
+//! sparsification and adaptive peer selection (ICDCS 2020).
+//!
+//! This crate is the paper's primary contribution, built on the substrate
+//! crates of the workspace:
+//!
+//! * [`GossipGenerator`] — Algorithm 3: per-round peer pairing by maximum
+//!   matching on the bandwidth-filtered graph, with the recently-connected
+//!   (RC) edge window `T_thres` that keeps `E[WᵀW]`'s second eigenvalue
+//!   below 1;
+//! * [`Coordinator`] — Algorithm 1: the lightweight tracker that
+//!   broadcasts `(W_t, t, seed)` and never touches model bytes;
+//! * [`Worker`] — Algorithm 2: local SGD plus the shared-seed sparse
+//!   model exchange;
+//! * [`SapsPsgd`] — the full algorithm wired into the [`Trainer`]
+//!   interface shared with every baseline;
+//! * [`sim`] — the deterministic round-based simulator that runs any
+//!   `Trainer` and records accuracy / traffic / time curves (the data
+//!   behind Figs. 3, 4, 6 and Tables III, IV);
+//! * [`complexity`] — Table I's analytic communication-cost formulas.
+//!
+//! # Example
+//!
+//! ```
+//! use saps_core::{SapsConfig, SapsPsgd, Trainer};
+//! use saps_data::SyntheticSpec;
+//! use saps_netsim::{BandwidthMatrix, TrafficAccountant};
+//! use rand::SeedableRng;
+//!
+//! let ds = SyntheticSpec::tiny().samples(256).generate(1);
+//! let bw = BandwidthMatrix::constant(4, 1.0);
+//! let cfg = SapsConfig {
+//!     workers: 4,
+//!     compression: 4.0,
+//!     lr: 0.1,
+//!     batch_size: 16,
+//!     ..SapsConfig::default()
+//! };
+//! let mut algo = SapsPsgd::new(
+//!     cfg,
+//!     &ds,
+//!     &bw,
+//!     |rng| saps_nn::zoo::mlp(&[16, 16, 4], rng),
+//! );
+//! let mut traffic = TrafficAccountant::new(4);
+//! let report = algo.round(&mut traffic, &bw);
+//! assert!(report.mean_loss.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod complexity;
+mod coordinator;
+mod gossipgen;
+pub mod sim;
+mod trainer;
+mod worker;
+
+pub use coordinator::Coordinator;
+pub use gossipgen::{GossipGenerator, PeerStrategy};
+pub use trainer::{RoundReport, Trainer};
+pub use worker::Worker;
+
+mod saps;
+pub use saps::{SapsConfig, SapsPsgd};

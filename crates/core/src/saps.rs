@@ -1,0 +1,480 @@
+//! SAPS-PSGD wired together: Algorithms 1 + 2 + 3 behind the [`Trainer`]
+//! interface.
+
+use crate::{Coordinator, RoundReport, Trainer, Worker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps_compress::codec;
+use saps_compress::mask::RandomMask;
+use saps_data::{partition, Dataset};
+use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
+use saps_nn::Model;
+use saps_tensor::rng::{derive_seed, streams};
+
+/// Configuration of a SAPS-PSGD run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SapsConfig {
+    /// Number of workers `n`.
+    pub workers: usize,
+    /// Compression ratio `c` (keep probability `1/c`). The paper uses 100.
+    pub compression: f64,
+    /// Learning rate γ.
+    pub lr: f32,
+    /// Mini-batch size per worker per round.
+    pub batch_size: usize,
+    /// Bandwidth threshold `B_thres`; `None` auto-selects the largest
+    /// threshold that keeps `B*` connected.
+    pub bthres: Option<f64>,
+    /// RC window `T_thres` of Algorithm 3 (rounds).
+    pub tthres: u32,
+    /// Experiment seed; all randomness derives from it.
+    pub seed: u64,
+}
+
+impl Default for SapsConfig {
+    fn default() -> Self {
+        SapsConfig {
+            workers: 32,
+            compression: 100.0,
+            lr: 0.05,
+            batch_size: 50,
+            bthres: None,
+            tthres: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// The SAPS-PSGD algorithm: a coordinator plus `n` workers, exchanging
+/// shared-seed sparse models over adaptively selected peers.
+pub struct SapsPsgd {
+    cfg: SapsConfig,
+    coordinator: Coordinator,
+    workers: Vec<Worker>,
+    active: Vec<bool>,
+    /// Bandwidth snapshot used for peer selection (refreshed on demand,
+    /// mirroring the paper's "regularly reported" measurements).
+    bw_snapshot: BandwidthMatrix,
+    eval_model: Model,
+    n_params: usize,
+}
+
+impl std::fmt::Debug for SapsPsgd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SapsPsgd")
+            .field("cfg", &self.cfg)
+            .field("n_params", &self.n_params)
+            .finish()
+    }
+}
+
+impl SapsPsgd {
+    /// Creates the algorithm with an IID partition of `train`.
+    ///
+    /// `factory` builds one model replica from a seeded RNG; it is called
+    /// once per worker with identically seeded RNGs so all replicas start
+    /// from the same parameters (making `‖X_0 − X̄_0‖² = 0`, the
+    /// consensus-friendly initialization the paper's Theorem 1 remarks
+    /// on).
+    pub fn new(
+        cfg: SapsConfig,
+        train: &Dataset,
+        bw: &BandwidthMatrix,
+        factory: impl Fn(&mut StdRng) -> Model,
+    ) -> Self {
+        let parts = partition::iid(train, cfg.workers, derive_seed(cfg.seed, 0, streams::DATA));
+        Self::with_partitions(cfg, parts, bw, factory)
+    }
+
+    /// Creates the algorithm with explicit per-worker datasets (use
+    /// [`saps_data::partition::dirichlet`] or
+    /// [`saps_data::partition::shards`] for non-IID experiments).
+    pub fn with_partitions(
+        cfg: SapsConfig,
+        parts: Vec<Dataset>,
+        bw: &BandwidthMatrix,
+        factory: impl Fn(&mut StdRng) -> Model,
+    ) -> Self {
+        assert_eq!(parts.len(), cfg.workers, "one partition per worker");
+        assert_eq!(bw.len(), cfg.workers, "bandwidth matrix size");
+        assert!(cfg.workers >= 2, "need at least two workers");
+        let make_model = || {
+            let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 0, streams::INIT));
+            factory(&mut rng)
+        };
+        let workers: Vec<Worker> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(rank, data)| Worker::new(rank, make_model(), data, cfg.seed))
+            .collect();
+        let eval_model = make_model();
+        let n_params = eval_model.num_params();
+        let coordinator = Coordinator::new(bw, cfg.bthres, cfg.tthres, cfg.seed);
+        SapsPsgd {
+            active: vec![true; cfg.workers],
+            cfg,
+            coordinator,
+            workers,
+            bw_snapshot: bw.clone(),
+            eval_model,
+            n_params,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SapsConfig {
+        &self.cfg
+    }
+
+    /// Direct access to a worker (tests, churn experiments).
+    pub fn worker(&self, rank: usize) -> &Worker {
+        &self.workers[rank]
+    }
+
+    /// Overwrites one worker's model from a flat parameter vector —
+    /// restoring from a [`crate::checkpoint`], or re-seeding a joiner
+    /// with the current consensus model.
+    pub fn set_worker_model(&mut self, rank: usize, flat: &[f32]) {
+        assert_eq!(flat.len(), self.n_params, "flat parameter size");
+        self.workers[rank].set_flat(flat);
+    }
+
+    /// Marks a worker active/inactive (join/leave churn). Peer selection
+    /// is rebuilt over the active subset; surviving RC timestamps are
+    /// kept. Inactive workers keep their model and re-join where they
+    /// left off.
+    pub fn set_active(&mut self, rank: usize, active: bool) {
+        assert!(rank < self.workers.len());
+        if self.active[rank] == active {
+            return;
+        }
+        self.active[rank] = active;
+        self.rebuild_coordinator();
+    }
+
+    /// Updates the coordinator's bandwidth snapshot (the paper's
+    /// periodically reported speed measurements).
+    pub fn refresh_bandwidth(&mut self, bw: &BandwidthMatrix) {
+        assert_eq!(bw.len(), self.workers.len());
+        self.bw_snapshot = bw.clone();
+        self.rebuild_coordinator();
+    }
+
+    /// Ranks of currently active workers.
+    pub fn active_ranks(&self) -> Vec<usize> {
+        (0..self.workers.len()).filter(|&r| self.active[r]).collect()
+    }
+
+    fn rebuild_coordinator(&mut self) {
+        let ranks = self.active_ranks();
+        let m = ranks.len();
+        // Submatrix of the snapshot over the active ranks.
+        let mut raw = vec![0.0f64; m * m];
+        for (i, &ri) in ranks.iter().enumerate() {
+            for (j, &rj) in ranks.iter().enumerate() {
+                raw[i * m + j] = self.bw_snapshot.get(ri, rj);
+            }
+        }
+        let sub = BandwidthMatrix::from_raw(m, &raw);
+        // The coordinator indexes the active subset; keep[i] is the
+        // *previous* active position of the worker now at position i.
+        // Rebuilding from scratch with fresh timestamps is the simple,
+        // always-correct choice (stale timestamps only delay bridging).
+        self.coordinator = Coordinator::new(
+            &sub,
+            self.cfg.bthres,
+            self.cfg.tthres,
+            derive_seed(self.cfg.seed, ranks.len() as u64, streams::CHURN),
+        );
+    }
+
+    /// The consensus (average) model over active workers, as flat params.
+    pub fn average_model(&self) -> Vec<f32> {
+        let ranks = self.active_ranks();
+        assert!(!ranks.is_empty(), "no active workers");
+        let mut acc = vec![0.0f32; self.n_params];
+        for &r in &ranks {
+            let f = self.workers[r].flat();
+            for (a, v) in acc.iter_mut().zip(&f) {
+                *a += v;
+            }
+        }
+        let inv = 1.0 / ranks.len() as f32;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        acc
+    }
+
+    /// Squared consensus distance `Σ_i ‖x_i − x̄‖²` over active workers —
+    /// the quantity Theorem 1 bounds.
+    pub fn consensus_distance_sq(&self) -> f64 {
+        let avg = self.average_model();
+        let mut total = 0.0f64;
+        for &r in &self.active_ranks() {
+            let f = self.workers[r].flat();
+            total += f
+                .iter()
+                .zip(&avg)
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>();
+        }
+        total
+    }
+}
+
+impl Trainer for SapsPsgd {
+    fn name(&self) -> &'static str {
+        "SAPS-PSGD"
+    }
+
+    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
+        let ranks = self.active_ranks();
+        let plan = self.coordinator.begin_round();
+
+        // Local SGD on every active worker (Algorithm 2, line 5).
+        let mut loss_acc = 0.0f64;
+        let mut acc_acc = 0.0f64;
+        for &r in &ranks {
+            let (l, a) = self.workers[r].sgd_step(self.cfg.batch_size, self.cfg.lr);
+            loss_acc += l as f64;
+            acc_acc += a as f64;
+        }
+
+        // Shared-seed mask (line 6); identical on every worker.
+        let mask = RandomMask::generate(
+            self.n_params,
+            self.cfg.compression,
+            plan.mask_seed,
+            plan.round,
+        );
+        let payload_bytes = codec::sparse_shared_mask_bytes(mask.nnz());
+
+        // Exchange over the matched pairs (lines 8-10). The matching is
+        // over active-subset indices; translate to global ranks.
+        let mut transfers = Vec::new();
+        let mut link_bw_sum = 0.0f64;
+        let mut link_bw_min = f64::INFINITY;
+        let pairs = plan.matching.pairs();
+        for &(ai, aj) in &pairs {
+            let (ri, rj) = (ranks[ai], ranks[aj]);
+            let pi = self.workers[ri].sparse_payload(&mask);
+            let pj = self.workers[rj].sparse_payload(&mask);
+            self.workers[ri].merge_sparse(&mask, &pj);
+            self.workers[rj].merge_sparse(&mask, &pi);
+            traffic.record_p2p(ri, rj, payload_bytes);
+            traffic.record_p2p(rj, ri, payload_bytes);
+            transfers.push((ri, rj, payload_bytes));
+            transfers.push((rj, ri, payload_bytes));
+            link_bw_sum += bw.get(ri, rj);
+            link_bw_min = link_bw_min.min(bw.get(ri, rj));
+        }
+        traffic.end_round();
+
+        let comm_time_s = timemodel::p2p_round_time(bw, &transfers);
+        let mean_part = ranks
+            .iter()
+            .map(|&r| self.workers[r].data_len())
+            .sum::<usize>() as f64
+            / ranks.len().max(1) as f64;
+        RoundReport {
+            mean_loss: (loss_acc / ranks.len().max(1) as f64) as f32,
+            mean_acc: (acc_acc / ranks.len().max(1) as f64) as f32,
+            comm_time_s,
+            epochs_advanced: self.cfg.batch_size as f64 / mean_part.max(1.0),
+            mean_link_bandwidth: if pairs.is_empty() {
+                0.0
+            } else {
+                link_bw_sum / pairs.len() as f64
+            },
+            min_link_bandwidth: if pairs.is_empty() { 0.0 } else { link_bw_min },
+        }
+    }
+
+    fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
+        let avg = self.average_model();
+        self.eval_model.set_flat_params(&avg);
+        self.eval_model.evaluate(val, max_samples)
+    }
+
+    fn model_len(&self) -> usize {
+        self.n_params
+    }
+
+    fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saps_data::SyntheticSpec;
+    use saps_nn::zoo;
+
+    fn setup(workers: usize, c: f64) -> (SapsPsgd, Dataset, BandwidthMatrix) {
+        let ds = SyntheticSpec::tiny().samples(1_600).generate(1);
+        let (train, val) = ds.split(0.2, 0);
+        let bw = BandwidthMatrix::constant(workers, 1.0);
+        let cfg = SapsConfig {
+            workers,
+            compression: c,
+            lr: 0.1,
+            batch_size: 20,
+            tthres: 5,
+            ..SapsConfig::default()
+        };
+        let algo = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 24, 4], rng));
+        (algo, val, bw)
+    }
+
+    #[test]
+    fn workers_start_identical() {
+        let (algo, _, _) = setup(4, 10.0);
+        let f0 = algo.worker(0).flat();
+        for r in 1..4 {
+            assert_eq!(f0, algo.worker(r).flat());
+        }
+        assert!(algo.consensus_distance_sq() < 1e-12);
+    }
+
+    #[test]
+    fn round_reports_sane_numbers() {
+        let (mut algo, _, bw) = setup(4, 10.0);
+        let mut traffic = TrafficAccountant::new(4);
+        let rep = algo.round(&mut traffic, &bw);
+        assert!(rep.mean_loss.is_finite());
+        assert!(rep.comm_time_s > 0.0);
+        assert!(rep.epochs_advanced > 0.0);
+        assert!((rep.mean_link_bandwidth - 1.0).abs() < 1e-9);
+        // Each worker exchanged one sparse payload both ways.
+        let expected = 2 * traffic.rounds()[0].max_worker_sent;
+        assert_eq!(traffic.worker_total(0), expected);
+    }
+
+    #[test]
+    fn traffic_matches_mask_nnz() {
+        let (mut algo, _, bw) = setup(4, 4.0);
+        let mut traffic = TrafficAccountant::new(4);
+        algo.round(&mut traffic, &bw);
+        // Payload = 4 bytes per kept coordinate; nnz ≈ N/4.
+        let n = algo.model_len() as f64;
+        let sent = traffic.worker_sent(0) as f64;
+        assert!(
+            (sent / (4.0 * n / 4.0) - 1.0).abs() < 0.35,
+            "sent {sent}, N {n}"
+        );
+    }
+
+    #[test]
+    fn training_improves_accuracy() {
+        let (mut algo, val, bw) = setup(4, 4.0);
+        let mut traffic = TrafficAccountant::new(4);
+        let before = algo.evaluate(&val, 300);
+        for _ in 0..120 {
+            algo.round(&mut traffic, &bw);
+        }
+        let after = algo.evaluate(&val, 300);
+        assert!(
+            after > before + 0.2,
+            "accuracy {before} -> {after} (chance 0.25)"
+        );
+    }
+
+    #[test]
+    fn consensus_distance_stays_bounded() {
+        let (mut algo, _, bw) = setup(8, 4.0);
+        let mut traffic = TrafficAccountant::new(8);
+        for _ in 0..60 {
+            algo.round(&mut traffic, &bw);
+        }
+        let d = algo.consensus_distance_sq();
+        // Workers drift apart through local SGD but the gossip keeps them
+        // within a modest envelope.
+        assert!(d.is_finite() && d < 50.0, "consensus distance {d}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let (mut a, _, bw) = setup(4, 10.0);
+        let (mut b, _, _) = setup(4, 10.0);
+        let mut ta = TrafficAccountant::new(4);
+        let mut tb = TrafficAccountant::new(4);
+        for _ in 0..5 {
+            a.round(&mut ta, &bw);
+            b.round(&mut tb, &bw);
+        }
+        assert_eq!(a.worker(2).flat(), b.worker(2).flat());
+        assert_eq!(ta.worker_total(1), tb.worker_total(1));
+    }
+
+    #[test]
+    fn churn_worker_leaves_and_rejoins() {
+        let (mut algo, val, bw) = setup(6, 4.0);
+        let mut traffic = TrafficAccountant::new(6);
+        for _ in 0..10 {
+            algo.round(&mut traffic, &bw);
+        }
+        algo.set_active(5, false);
+        assert_eq!(algo.active_ranks().len(), 5);
+        let frozen = algo.worker(5).flat();
+        for _ in 0..10 {
+            algo.round(&mut traffic, &bw);
+        }
+        // The inactive worker's model is untouched.
+        assert_eq!(algo.worker(5).flat(), frozen);
+        algo.set_active(5, true);
+        for _ in 0..10 {
+            algo.round(&mut traffic, &bw);
+        }
+        assert_ne!(algo.worker(5).flat(), frozen);
+        let acc = algo.evaluate(&val, 200);
+        assert!(acc > 0.25, "post-churn accuracy {acc}");
+    }
+
+    #[test]
+    fn odd_worker_count_trains_with_one_idle_per_round() {
+        let (mut algo, val, bw) = setup(5, 4.0);
+        let mut traffic = TrafficAccountant::new(5);
+        for _ in 0..80 {
+            let rep = algo.round(&mut traffic, &bw);
+            assert!(rep.mean_loss.is_finite());
+        }
+        // Every round matches 2 pairs, leaving one worker out; over many
+        // rounds everyone must still have communicated.
+        for r in 0..5 {
+            assert!(traffic.worker_sent(r) > 0, "worker {r} never exchanged");
+        }
+        let acc = algo.evaluate(&val, 300);
+        assert!(acc > 0.4, "odd-fleet accuracy {acc}");
+    }
+
+    #[test]
+    fn churn_to_odd_active_count() {
+        let (mut algo, _, bw) = setup(6, 4.0);
+        let mut traffic = TrafficAccountant::new(6);
+        algo.set_active(2, false); // 5 active
+        for _ in 0..20 {
+            let rep = algo.round(&mut traffic, &bw);
+            assert!(rep.mean_loss.is_finite());
+        }
+        assert_eq!(traffic.worker_total(2), 0, "inactive worker exchanged");
+    }
+
+    #[test]
+    fn compression_reduces_traffic_proportionally() {
+        let (mut lo, _, bw) = setup(4, 2.0);
+        let (mut hi, _, _) = setup(4, 20.0);
+        let mut tl = TrafficAccountant::new(4);
+        let mut th = TrafficAccountant::new(4);
+        for _ in 0..10 {
+            lo.round(&mut tl, &bw);
+            hi.round(&mut th, &bw);
+        }
+        let ratio = tl.worker_total(0) as f64 / th.worker_total(0) as f64;
+        assert!(
+            (ratio / 10.0 - 1.0).abs() < 0.25,
+            "traffic ratio {ratio}, expected ~10"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! The common interface every distributed training algorithm implements.
+//!
+//! SAPS-PSGD and all seven comparison algorithms expose the same
+//! round-based surface so the simulator, benches and examples can treat
+//! them interchangeably.
+
+use saps_data::Dataset;
+use saps_netsim::{BandwidthMatrix, TrafficAccountant};
+
+/// What one communication round produced.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundReport {
+    /// Mean training loss over the workers' local batches this round.
+    pub mean_loss: f32,
+    /// Mean training accuracy over the workers' local batches.
+    pub mean_acc: f32,
+    /// Wall-clock communication time of this round in seconds, under the
+    /// bandwidth matrix passed to [`Trainer::round`].
+    pub comm_time_s: f64,
+    /// Fraction of one epoch advanced this round (worker-side samples
+    /// processed / local dataset size).
+    pub epochs_advanced: f64,
+    /// Mean bandwidth (MB/s) of the worker-to-worker links used this
+    /// round. 0 when no peer links were used (PS-based algorithms).
+    pub mean_link_bandwidth: f64,
+    /// Bottleneck (minimum) bandwidth of the links used this round — the
+    /// effective bandwidth of a synchronous iteration, and the quantity
+    /// whose ordering Fig. 5 shows (the ring's slowest link gates
+    /// D-PSGD even though its *mean* link can be fast).
+    pub min_link_bandwidth: f64,
+}
+
+/// A distributed training algorithm driven round by round.
+pub trait Trainer {
+    /// Algorithm name as the paper spells it (e.g. `"SAPS-PSGD"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs one communication round: local computation plus the
+    /// algorithm's exchange pattern. Byte movement must be charged to
+    /// `traffic`; `bw` supplies the link speeds for the time model.
+    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport;
+
+    /// Validation accuracy of the algorithm's current *consensus* model
+    /// (the average of worker models for decentralized algorithms, the
+    /// server model for PS algorithms).
+    fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32;
+
+    /// Model size `N` (scalar parameters).
+    fn model_len(&self) -> usize;
+
+    /// Number of workers `n`.
+    fn worker_count(&self) -> usize;
+}

@@ -1,0 +1,199 @@
+//! Algorithm 2: the SAPS-PSGD worker.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps_compress::mask::RandomMask;
+use saps_data::Dataset;
+use saps_nn::Model;
+use saps_tensor::rng::{derive_seed, streams};
+
+/// A training worker: a local model, a local data shard and a private
+/// batch-sampling RNG.
+pub struct Worker {
+    rank: usize,
+    model: Model,
+    data: Dataset,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("rank", &self.rank)
+            .field("data_len", &self.data.len())
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+impl Worker {
+    /// Creates worker `rank` with its model replica and data shard.
+    /// `seed` is the experiment seed; the worker derives its private
+    /// batch-sampling stream from `(seed, rank)`.
+    pub fn new(rank: usize, model: Model, data: Dataset, seed: u64) -> Self {
+        Worker {
+            rank,
+            model,
+            data,
+            rng: StdRng::seed_from_u64(derive_seed(seed, rank as u64, streams::BATCH)),
+        }
+    }
+
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of local examples.
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The local dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Replaces the local dataset (e.g. when a worker re-joins with new
+    /// data).
+    pub fn set_data(&mut self, data: Dataset) {
+        self.data = data;
+    }
+
+    /// Immutable model access.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Mutable model access.
+    pub fn model_mut(&mut self) -> &mut Model {
+        &mut self.model
+    }
+
+    /// One local mini-batch SGD step (Algorithm 2's `SGD` procedure).
+    /// Returns `(loss, accuracy)` on the sampled batch.
+    pub fn sgd_step(&mut self, batch_size: usize, lr: f32) -> (f32, f32) {
+        let batch = self.data.sample_batch(batch_size, &mut self.rng);
+        self.model.train_step(&batch, lr)
+    }
+
+    /// Accumulates gradients on one mini-batch without updating
+    /// parameters (for all-reduce style algorithms that average
+    /// gradients). Returns `(loss, accuracy)`.
+    pub fn accumulate_grads(&mut self, batch_size: usize) -> (f32, f32) {
+        let batch = self.data.sample_batch(batch_size, &mut self.rng);
+        self.model.compute_grads(&batch)
+    }
+
+    /// The sparse payload `x̃ = x ∘ m_t` (Algorithm 2 line 7): the model's
+    /// values at the mask's surviving indices.
+    pub fn sparse_payload(&self, mask: &RandomMask) -> Vec<f32> {
+        mask.apply(&self.model.flat_params())
+    }
+
+    /// The exchange-and-average step (Algorithm 2 lines 9-10):
+    /// `x ← x ∘ ¬m + (x̃ + x̃_peer)/2` on the masked coordinates.
+    pub fn merge_sparse(&mut self, mask: &RandomMask, peer_values: &[f32]) {
+        let mut flat = self.model.flat_params();
+        mask.average_into(&mut flat, peer_values);
+        self.model.set_flat_params(&flat);
+    }
+
+    /// Overwrites the whole model from a flat vector (used by PS-style
+    /// baselines and final model collection).
+    pub fn set_flat(&mut self, flat: &[f32]) {
+        self.model.set_flat_params(flat);
+    }
+
+    /// Copies the whole model to a flat vector.
+    pub fn flat(&self) -> Vec<f32> {
+        self.model.flat_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saps_data::SyntheticSpec;
+    use saps_nn::zoo;
+
+    fn worker(rank: usize, seed: u64) -> Worker {
+        let mut rng = StdRng::seed_from_u64(99);
+        let model = zoo::mlp(&[16, 12, 4], &mut rng);
+        let data = SyntheticSpec::tiny().samples(200).generate(1);
+        Worker::new(rank, model, data, seed)
+    }
+
+    #[test]
+    fn sgd_step_changes_params() {
+        let mut w = worker(0, 7);
+        let before = w.flat();
+        let (loss, acc) = w.sgd_step(16, 0.1);
+        assert!(loss.is_finite() && (0.0..=1.0).contains(&acc));
+        assert_ne!(before, w.flat());
+    }
+
+    #[test]
+    fn different_ranks_sample_different_batches() {
+        let mut a = worker(0, 7);
+        let mut b = worker(1, 7);
+        // Same initial model, same data, different private batch streams:
+        // one step must diverge them.
+        let (la, _) = a.sgd_step(8, 0.1);
+        let (lb, _) = b.sgd_step(8, 0.1);
+        // Losses may coincide numerically, but parameters should differ.
+        assert_ne!(a.flat(), b.flat(), "la {la} lb {lb}");
+    }
+
+    #[test]
+    fn sparse_exchange_agrees_on_masked_coords() {
+        let mut a = worker(0, 1);
+        let mut b = worker(1, 1);
+        a.sgd_step(8, 0.2);
+        b.sgd_step(8, 0.2);
+        let n = a.model().num_params();
+        let mask = RandomMask::generate(n, 4.0, 123, 9);
+        let pa = a.sparse_payload(&mask);
+        let pb = b.sparse_payload(&mask);
+        a.merge_sparse(&mask, &pb);
+        b.merge_sparse(&mask, &pa);
+        let fa = a.flat();
+        let fb = b.flat();
+        for &i in mask.indices() {
+            assert_eq!(fa[i as usize], fb[i as usize]);
+        }
+        // Unmasked coordinates still differ (local SGD diverged them).
+        let dense = mask.to_dense();
+        assert!((0..n).any(|i| !dense[i] && fa[i] != fb[i]));
+    }
+
+    #[test]
+    fn merge_preserves_pair_mean_on_masked_coords() {
+        let mut a = worker(0, 2);
+        let mut b = worker(1, 2);
+        a.sgd_step(8, 0.3);
+        let n = a.model().num_params();
+        let mask = RandomMask::generate(n, 2.0, 5, 0);
+        let fa0 = a.flat();
+        let fb0 = b.flat();
+        let pa = a.sparse_payload(&mask);
+        let pb = b.sparse_payload(&mask);
+        a.merge_sparse(&mask, &pb);
+        b.merge_sparse(&mask, &pa);
+        let fa1 = a.flat();
+        for &i in mask.indices() {
+            let i = i as usize;
+            let expect = 0.5 * (fa0[i] + fb0[i]);
+            assert!((fa1[i] - expect).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn set_flat_roundtrip() {
+        let mut w = worker(0, 3);
+        let mut flat = w.flat();
+        flat[0] = 42.0;
+        w.set_flat(&flat);
+        assert_eq!(w.flat()[0], 42.0);
+    }
+}

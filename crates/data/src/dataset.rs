@@ -1,0 +1,240 @@
+//! In-memory labelled datasets and mini-batch sampling.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An in-memory classification dataset: dense feature rows plus integer
+/// labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Vec<f32>,
+    labels: Vec<usize>,
+    feature_dim: usize,
+    num_classes: usize,
+}
+
+/// A borrowed mini-batch: `batch_size × feature_dim` features and the
+/// matching labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Row-major features, `labels.len() × feature_dim`.
+    pub features: Vec<f32>,
+    /// Class labels.
+    pub labels: Vec<usize>,
+    /// Feature dimension of each row.
+    pub feature_dim: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree or a label is out of range.
+    pub fn new(
+        features: Vec<f32>,
+        labels: Vec<usize>,
+        feature_dim: usize,
+        num_classes: usize,
+    ) -> Self {
+        assert_eq!(
+            features.len(),
+            labels.len() * feature_dim,
+            "features must be labels.len() × feature_dim"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Dataset {
+            features,
+            labels,
+            feature_dim,
+            num_classes,
+        }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimension of one example.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The feature row of example `i`.
+    pub fn features_of(&self, i: usize) -> &[f32] {
+        &self.features[i * self.feature_dim..(i + 1) * self.feature_dim]
+    }
+
+    /// The label of example `i`.
+    pub fn label_of(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Copies the examples at `indices` into a new dataset.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut features = Vec::with_capacity(indices.len() * self.feature_dim);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            features.extend_from_slice(self.features_of(i));
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            features,
+            labels,
+            feature_dim: self.feature_dim,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Splits into `(train, validation)` with `val_fraction` of examples
+    /// (deterministically shuffled by `seed`) going to validation.
+    pub fn split(&self, val_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&val_fraction));
+        use rand::SeedableRng;
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let val_n = (self.len() as f64 * val_fraction).round() as usize;
+        let (val_idx, train_idx) = idx.split_at(val_n);
+        (self.subset(train_idx), self.subset(val_idx))
+    }
+
+    /// Samples a mini-batch of `batch_size` examples with replacement
+    /// (mirroring the i.i.d. sampling assumed by the convergence analysis).
+    pub fn sample_batch<R: Rng>(&self, batch_size: usize, rng: &mut R) -> Batch {
+        assert!(!self.is_empty(), "cannot sample from an empty dataset");
+        let mut features = Vec::with_capacity(batch_size * self.feature_dim);
+        let mut labels = Vec::with_capacity(batch_size);
+        for _ in 0..batch_size {
+            let i = rng.gen_range(0..self.len());
+            features.extend_from_slice(self.features_of(i));
+            labels.push(self.labels[i]);
+        }
+        Batch {
+            features,
+            labels,
+            feature_dim: self.feature_dim,
+        }
+    }
+
+    /// Per-class example counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+}
+
+impl Batch {
+    /// Number of examples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The feature row of example `i`.
+    pub fn features_of(&self, i: usize) -> &[f32] {
+        &self.features[i * self.feature_dim..(i + 1) * self.feature_dim]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![0.0, 0.1, 1.0, 1.1, 2.0, 2.1, 3.0, 3.1],
+            vec![0, 1, 0, 1],
+            2,
+            2,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.feature_dim(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.features_of(1), &[1.0, 1.1]);
+        assert_eq!(d.label_of(3), 1);
+        assert_eq!(d.class_histogram(), vec![2, 2]);
+    }
+
+    #[test]
+    fn subset_copies_rows() {
+        let d = toy();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.features_of(0), &[2.0, 2.1]);
+        assert_eq!(s.label_of(1), 0);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = toy();
+        let (train, val) = d.split(0.25, 5);
+        assert_eq!(train.len() + val.len(), 4);
+        assert_eq!(val.len(), 1);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy();
+        let (t1, v1) = d.split(0.5, 9);
+        let (t2, v2) = d.split(0.5, 9);
+        assert_eq!(t1.labels(), t2.labels());
+        assert_eq!(v1.labels(), v2.labels());
+    }
+
+    #[test]
+    fn sample_batch_shapes() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = d.sample_batch(3, &mut rng);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.features.len(), 6);
+        assert_eq!(b.features_of(0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let _ = Dataset::new(vec![0.0], vec![5], 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn rejects_sampling_empty() {
+        let d = Dataset::new(vec![], vec![], 3, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = d.sample_batch(1, &mut rng);
+    }
+}

@@ -1,0 +1,261 @@
+//! Data partitioning across workers.
+//!
+//! Federated-learning evaluations distinguish IID partitions (each worker
+//! sees the global distribution) from non-IID ones (workers see skewed
+//! class mixtures). The paper's setting — geo-distributed, dynamic workers
+//! — is the non-IID regime FedAvg [35] was designed for; the bounded
+//! heterogeneity ζ² of Assumption 4 is precisely what these partitioners
+//! control.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Splits `ds` into `n` near-equal IID shards (deterministic in `seed`).
+pub fn iid(ds: &Dataset, n: usize, seed: u64) -> Vec<Dataset> {
+    assert!(n >= 1, "need at least one worker");
+    let mut idx: Vec<usize> = (0..ds.len()).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    chunk_indices(&idx, n).into_iter().map(|c| ds.subset(&c)).collect()
+}
+
+/// Shard-based non-IID split (the FedAvg paper's pathological partition):
+/// sorts examples by label, cuts them into `n * shards_per_worker`
+/// contiguous shards, and deals each worker `shards_per_worker` random
+/// shards — so each worker sees only a few classes.
+pub fn shards(ds: &Dataset, n: usize, shards_per_worker: usize, seed: u64) -> Vec<Dataset> {
+    assert!(n >= 1 && shards_per_worker >= 1);
+    let mut idx: Vec<usize> = (0..ds.len()).collect();
+    idx.sort_by_key(|&i| ds.label_of(i));
+    let total_shards = n * shards_per_worker;
+    let shard_list = chunk_indices(&idx, total_shards);
+    let mut order: Vec<usize> = (0..total_shards).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    (0..n)
+        .map(|w| {
+            let mut mine = Vec::new();
+            for s in 0..shards_per_worker {
+                mine.extend_from_slice(&shard_list[order[w * shards_per_worker + s]]);
+            }
+            ds.subset(&mine)
+        })
+        .collect()
+}
+
+/// Dirichlet non-IID split: each class's examples are distributed across
+/// workers according to `Dir(alpha)` proportions. Small `alpha` (e.g.
+/// 0.1) is highly skewed; large `alpha` approaches IID.
+pub fn dirichlet(ds: &Dataset, n: usize, alpha: f64, seed: u64) -> Vec<Dataset> {
+    assert!(n >= 1 && alpha > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for k in 0..ds.num_classes() {
+        let class_idx: Vec<usize> =
+            (0..ds.len()).filter(|&i| ds.label_of(i) == k).collect();
+        let props = sample_dirichlet(n, alpha, &mut rng);
+        // Convert proportions to cut points over the class examples.
+        let mut start = 0usize;
+        let mut acc = 0.0f64;
+        for (w, &p) in props.iter().enumerate() {
+            acc += p;
+            let end = if w + 1 == n {
+                class_idx.len()
+            } else {
+                (acc * class_idx.len() as f64).round() as usize
+            }
+            .min(class_idx.len());
+            per_worker[w].extend_from_slice(&class_idx[start..end]);
+            start = end;
+        }
+    }
+    per_worker.into_iter().map(|idx| ds.subset(&idx)).collect()
+}
+
+/// Samples `n` Dirichlet(alpha) proportions via normalized Gamma draws
+/// (Marsaglia–Tsang for alpha >= 1, boosted for alpha < 1).
+fn sample_dirichlet<R: Rng>(n: usize, alpha: f64, rng: &mut R) -> Vec<f64> {
+    let mut g: Vec<f64> = (0..n).map(|_| sample_gamma(alpha, rng)).collect();
+    let sum: f64 = g.iter().sum();
+    if sum <= 0.0 {
+        return vec![1.0 / n as f64; n];
+    }
+    for v in &mut g {
+        *v /= sum;
+    }
+    g
+}
+
+fn sample_gamma<R: Rng>(alpha: f64, rng: &mut R) -> f64 {
+    if alpha < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return sample_gamma(alpha + 1.0, rng) * u.powf(1.0 / alpha);
+    }
+    // Marsaglia–Tsang squeeze method.
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_normal64(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+fn sample_normal64<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn chunk_indices(idx: &[usize], n: usize) -> Vec<Vec<usize>> {
+    let base = idx.len() / n;
+    let extra = idx.len() % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for w in 0..n {
+        let len = base + usize::from(w < extra);
+        out.push(idx[start..start + len].to_vec());
+        start += len;
+    }
+    out
+}
+
+/// A heterogeneity score in `[0, 1]`: mean total-variation distance
+/// between each worker's class distribution and the global one. 0 = IID,
+/// higher = more skew. Useful for checking that a partitioner produced the
+/// intended regime.
+pub fn heterogeneity(parts: &[Dataset]) -> f64 {
+    if parts.is_empty() {
+        return 0.0;
+    }
+    let k = parts[0].num_classes();
+    let total: usize = parts.iter().map(Dataset::len).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut global = vec![0.0f64; k];
+    for p in parts {
+        for (g, c) in global.iter_mut().zip(p.class_histogram()) {
+            *g += c as f64;
+        }
+    }
+    for g in &mut global {
+        *g /= total as f64;
+    }
+    let mut acc = 0.0;
+    for p in parts {
+        if p.is_empty() {
+            acc += 1.0;
+            continue;
+        }
+        let h = p.class_histogram();
+        let tv: f64 = h
+            .iter()
+            .zip(&global)
+            .map(|(&c, &g)| (c as f64 / p.len() as f64 - g).abs())
+            .sum::<f64>()
+            / 2.0;
+        acc += tv;
+    }
+    acc / parts.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticSpec;
+
+    fn ds() -> Dataset {
+        SyntheticSpec::tiny().samples(1_000).generate(3)
+    }
+
+    #[test]
+    fn iid_covers_everything_evenly() {
+        let d = ds();
+        let parts = iid(&d, 7, 1);
+        assert_eq!(parts.len(), 7);
+        let total: usize = parts.iter().map(Dataset::len).sum();
+        assert_eq!(total, d.len());
+        for p in &parts {
+            assert!(p.len() == 142 || p.len() == 143);
+        }
+        assert!(heterogeneity(&parts) < 0.1);
+    }
+
+    #[test]
+    fn iid_deterministic() {
+        let d = ds();
+        let a = iid(&d, 4, 9);
+        let b = iid(&d, 4, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.labels(), y.labels());
+        }
+    }
+
+    #[test]
+    fn shards_skews_class_distributions() {
+        let d = ds();
+        let parts = shards(&d, 8, 1, 2);
+        let total: usize = parts.iter().map(Dataset::len).sum();
+        assert_eq!(total, d.len());
+        // With 1 shard per worker over label-sorted data, most workers
+        // see at most 2 classes.
+        let few_classes = parts
+            .iter()
+            .filter(|p| p.class_histogram().iter().filter(|&&c| c > 0).count() <= 2)
+            .count();
+        assert!(few_classes >= 6, "only {few_classes} workers are skewed");
+        assert!(heterogeneity(&parts) > heterogeneity(&iid(&d, 8, 2)));
+    }
+
+    #[test]
+    fn dirichlet_alpha_controls_skew() {
+        let d = ds();
+        let skewed = dirichlet(&d, 8, 0.1, 4);
+        let smooth = dirichlet(&d, 8, 100.0, 4);
+        let total: usize = skewed.iter().map(Dataset::len).sum();
+        assert_eq!(total, d.len());
+        assert!(
+            heterogeneity(&skewed) > heterogeneity(&smooth),
+            "skewed {} vs smooth {}",
+            heterogeneity(&skewed),
+            heterogeneity(&smooth)
+        );
+    }
+
+    #[test]
+    fn dirichlet_partitions_all_examples() {
+        let d = ds();
+        for alpha in [0.1, 1.0, 10.0] {
+            let parts = dirichlet(&d, 5, alpha, 7);
+            let total: usize = parts.iter().map(Dataset::len).sum();
+            assert_eq!(total, d.len(), "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn single_worker_gets_everything() {
+        let d = ds();
+        let parts = iid(&d, 1, 0);
+        assert_eq!(parts[0].len(), d.len());
+    }
+
+    #[test]
+    fn gamma_sampler_mean() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for alpha in [0.5, 1.0, 3.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| sample_gamma(alpha, &mut rng)).sum::<f64>() / n as f64;
+            assert!((mean - alpha).abs() < 0.08, "alpha {alpha}: mean {mean}");
+        }
+    }
+}

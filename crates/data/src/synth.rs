@@ -1,0 +1,249 @@
+//! Synthetic class-conditional dataset generators.
+//!
+//! Each class `k` gets a random mean vector μ_k; an example of class `k`
+//! is `tanh(P·(μ_k + σ·ε))` where `ε ~ N(0, I)` and `P` is a fixed random
+//! sparse mixing matrix shared by the whole dataset. The `tanh(P·)`
+//! distortion makes classes non-linearly separable (so convolutional /
+//! multi-layer models genuinely help), while σ controls gradient noise —
+//! the quantity the paper's convergence assumptions (bounded σ², ζ²)
+//! actually constrain.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saps_tensor::rng::{derive_seed, streams};
+
+/// Specification of a synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticSpec {
+    /// Feature dimension of one example (e.g. 28·28 = 784).
+    pub feature_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Number of examples to generate.
+    pub num_samples: usize,
+    /// Within-class noise scale σ.
+    pub noise: f32,
+    /// Distance scale between class means.
+    pub class_separation: f32,
+    /// Number of random mixing taps per output feature (controls how
+    /// nonlinear the class boundaries are).
+    pub mixing_taps: usize,
+}
+
+impl SyntheticSpec {
+    /// An MNIST-shaped dataset: 784 features (28×28×1), 10 classes,
+    /// 60 000 examples by default.
+    pub fn mnist_like() -> Self {
+        SyntheticSpec {
+            feature_dim: 28 * 28,
+            num_classes: 10,
+            num_samples: 60_000,
+            noise: 0.35,
+            class_separation: 1.0,
+            mixing_taps: 4,
+        }
+    }
+
+    /// A CIFAR-10-shaped dataset: 3072 features (32×32×3), 10 classes,
+    /// 50 000 examples by default, noisier than MNIST (CIFAR is harder).
+    pub fn cifar10_like() -> Self {
+        SyntheticSpec {
+            feature_dim: 32 * 32 * 3,
+            num_classes: 10,
+            num_samples: 50_000,
+            noise: 0.8,
+            class_separation: 1.0,
+            mixing_taps: 4,
+        }
+    }
+
+    /// A small, easy dataset for fast unit tests.
+    pub fn tiny() -> Self {
+        SyntheticSpec {
+            feature_dim: 16,
+            num_classes: 4,
+            num_samples: 400,
+            noise: 0.15,
+            class_separation: 1.5,
+            mixing_taps: 2,
+        }
+    }
+
+    /// Overrides the sample count (builder style).
+    pub fn samples(mut self, n: usize) -> Self {
+        self.num_samples = n;
+        self
+    }
+
+    /// Overrides the feature dimension (builder style).
+    pub fn features(mut self, d: usize) -> Self {
+        self.feature_dim = d;
+        self
+    }
+
+    /// Overrides the noise scale (builder style).
+    pub fn noise(mut self, sigma: f32) -> Self {
+        self.noise = sigma;
+        self
+    }
+
+    /// Generates the dataset deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        assert!(self.num_classes >= 2, "need at least two classes");
+        assert!(self.feature_dim >= 1);
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0, streams::DATA));
+        let d = self.feature_dim;
+
+        // Per-class means on a scaled hypersphere-ish layout.
+        let means: Vec<Vec<f32>> = (0..self.num_classes)
+            .map(|_| {
+                (0..d)
+                    .map(|_| self.class_separation * sample_normal(&mut rng))
+                    .collect()
+            })
+            .collect();
+
+        // Fixed sparse mixing: each output feature is a signed sum of
+        // `mixing_taps` random input coordinates (applied post-noise).
+        let taps: Vec<(u32, f32)> = (0..d * self.mixing_taps)
+            .map(|_| {
+                (
+                    rng.gen_range(0..d as u32),
+                    if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+                )
+            })
+            .collect();
+
+        let mut features = Vec::with_capacity(self.num_samples * d);
+        let mut labels = Vec::with_capacity(self.num_samples);
+        let mut raw = vec![0.0f32; d];
+        for i in 0..self.num_samples {
+            let k = i % self.num_classes; // balanced classes
+            for (r, m) in raw.iter_mut().zip(&means[k]) {
+                *r = m + self.noise * sample_normal(&mut rng);
+            }
+            for out in 0..d {
+                let mut acc = raw[out];
+                for t in 0..self.mixing_taps {
+                    let (src, sign) = taps[out * self.mixing_taps + t];
+                    acc += sign * raw[src as usize];
+                }
+                features.push((acc / (1.0 + self.mixing_taps as f32)).tanh());
+            }
+            labels.push(k);
+        }
+        Dataset::new(features, labels, d, self.num_classes)
+    }
+}
+
+/// Box–Muller standard normal.
+fn sample_normal<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_spec() {
+        let ds = SyntheticSpec::tiny().generate(1);
+        assert_eq!(ds.len(), 400);
+        assert_eq!(ds.feature_dim(), 16);
+        assert_eq!(ds.num_classes(), 4);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = SyntheticSpec::tiny().generate(7);
+        let b = SyntheticSpec::tiny().generate(7);
+        assert_eq!(a.features_of(13), b.features_of(13));
+        assert_eq!(a.labels(), b.labels());
+        let c = SyntheticSpec::tiny().generate(8);
+        assert_ne!(a.features_of(13), c.features_of(13));
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let ds = SyntheticSpec::tiny().samples(401).generate(2);
+        let h = ds.class_histogram();
+        let (max, min) = (h.iter().max().unwrap(), h.iter().min().unwrap());
+        assert!(max - min <= 1, "histogram {h:?}");
+    }
+
+    #[test]
+    fn features_bounded_by_tanh() {
+        let ds = SyntheticSpec::tiny().generate(3);
+        for i in 0..ds.len() {
+            assert!(ds.features_of(i).iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn classes_are_statistically_separable() {
+        // Nearest-class-centroid classification on held-out data should
+        // beat chance by a wide margin: the signal must survive the
+        // nonlinearity.
+        let ds = SyntheticSpec::tiny().samples(2_000).generate(4);
+        let (train, val) = ds.split(0.2, 1);
+        let d = train.feature_dim();
+        let k = train.num_classes();
+        let mut centroids = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..train.len() {
+            let l = train.label_of(i);
+            counts[l] += 1;
+            for (c, &f) in centroids[l].iter_mut().zip(train.features_of(i)) {
+                *c += f as f64;
+            }
+        }
+        for (c, &n) in centroids.iter_mut().zip(&counts) {
+            for v in c.iter_mut() {
+                *v /= n as f64;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..val.len() {
+            let f = val.features_of(i);
+            let pred = (0..k)
+                .min_by(|&a, &b| {
+                    let da: f64 = centroids[a]
+                        .iter()
+                        .zip(f)
+                        .map(|(c, &x)| (c - x as f64).powi(2))
+                        .sum();
+                    let db: f64 = centroids[b]
+                        .iter()
+                        .zip(f)
+                        .map(|(c, &x)| (c - x as f64).powi(2))
+                        .sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if pred == val.label_of(i) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / val.len() as f64;
+        assert!(acc > 0.6, "centroid accuracy {acc} (chance = 0.25)");
+    }
+
+    #[test]
+    fn mnist_and_cifar_shapes() {
+        let m = SyntheticSpec::mnist_like().samples(10).generate(0);
+        assert_eq!(m.feature_dim(), 784);
+        let c = SyntheticSpec::cifar10_like().samples(10).generate(0);
+        assert_eq!(c.feature_dim(), 3072);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let s = SyntheticSpec::tiny().samples(5).features(8).noise(0.5);
+        assert_eq!(s.num_samples, 5);
+        assert_eq!(s.feature_dim, 8);
+        assert_eq!(s.noise, 0.5);
+    }
+}

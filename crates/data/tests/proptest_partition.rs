@@ -1,0 +1,118 @@
+//! Property tests for dataset generation and partitioning.
+
+use proptest::prelude::*;
+use saps_data::{partition, SyntheticSpec};
+
+fn spec(samples: usize, classes: usize) -> SyntheticSpec {
+    SyntheticSpec {
+        feature_dim: 8,
+        num_classes: classes,
+        num_samples: samples,
+        noise: 0.3,
+        class_separation: 1.0,
+        mixing_taps: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn iid_partition_is_exact_and_balanced(
+        samples in 10usize..400,
+        workers in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let ds = spec(samples, 4).generate(seed);
+        let parts = partition::iid(&ds, workers, seed);
+        prop_assert_eq!(parts.len(), workers);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, ds.len());
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        prop_assert!(max - min <= 1, "sizes differ by {}", max - min);
+    }
+
+    #[test]
+    fn dirichlet_partition_is_exact(
+        samples in 20usize..400,
+        workers in 2usize..10,
+        alpha in 0.05f64..50.0,
+        seed in any::<u64>(),
+    ) {
+        let ds = spec(samples, 5).generate(seed);
+        let parts = partition::dirichlet(&ds, workers, alpha, seed);
+        prop_assert_eq!(parts.len(), workers);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, ds.len());
+        // Class histograms across workers must sum to the global one.
+        let global = ds.class_histogram();
+        let mut summed = vec![0usize; ds.num_classes()];
+        for p in &parts {
+            for (s, c) in summed.iter_mut().zip(p.class_histogram()) {
+                *s += c;
+            }
+        }
+        prop_assert_eq!(summed, global);
+    }
+
+    #[test]
+    fn shards_partition_is_exact(
+        samples in 40usize..400,
+        workers in 2usize..8,
+        spw in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let ds = spec(samples, 4).generate(seed);
+        let parts = partition::shards(&ds, workers, spw, seed);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn heterogeneity_is_normalized(
+        samples in 40usize..300,
+        workers in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let ds = spec(samples, 4).generate(seed);
+        for parts in [
+            partition::iid(&ds, workers, seed),
+            partition::shards(&ds, workers, 1, seed),
+            partition::dirichlet(&ds, workers, 0.2, seed),
+        ] {
+            let h = partition::heterogeneity(&parts);
+            prop_assert!((0.0..=1.0).contains(&h), "heterogeneity {}", h);
+        }
+    }
+
+    #[test]
+    fn generation_deterministic_and_shaped(
+        samples in 1usize..200,
+        classes in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let a = spec(samples, classes).generate(seed);
+        let b = spec(samples, classes).generate(seed);
+        prop_assert_eq!(a.len(), samples);
+        prop_assert_eq!(a.labels(), b.labels());
+        for i in 0..a.len() {
+            prop_assert_eq!(a.features_of(i), b.features_of(i));
+        }
+    }
+
+    #[test]
+    fn batches_draw_valid_rows(
+        samples in 1usize..100,
+        batch in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let ds = spec(samples, 3).generate(seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let b = ds.sample_batch(batch, &mut rng);
+        prop_assert_eq!(b.len(), batch);
+        prop_assert!(b.labels.iter().all(|&l| l < 3));
+        prop_assert_eq!(b.features.len(), batch * ds.feature_dim());
+    }
+}

@@ -1,0 +1,38 @@
+//! Gossip-matrix machinery for the SAPS-PSGD reproduction.
+//!
+//! Section II-C of the paper builds, each round, a doubly-stochastic
+//! *gossip matrix* `W_t` from a perfect matching of workers, and requires
+//! (Assumption 3) that the second-largest eigenvalue ρ of `E[WᵀW]` be
+//! strictly below 1 — that, not per-round connectivity, is what drives
+//! consensus (Eq. 5 and Lemma 2).
+//!
+//! This crate provides:
+//!
+//! * [`GossipMatrix`] — `W_t` built from a [`saps_graph::Matching`]
+//!   (`GenerateW`, Algorithm 3 lines 23-26), with doubly-stochastic
+//!   guarantees by construction;
+//! * [`spectral`] — the empirical estimator of ρ over a stream of sampled
+//!   matchings, powered by `saps_tensor::Mat`'s deflated power iteration;
+//! * [`consensus`] — the gossip-averaging simulator `X_t = X_{t-1} W_{t-1}`
+//!   (Eq. 4), with and without Bernoulli masks, plus the theoretical decay
+//!   rate `(q + pρ²)^t` of Lemma 2 so tests can check theory against
+//!   measurement.
+//!
+//! # Example
+//!
+//! ```
+//! use saps_graph::Matching;
+//! use saps_gossip::GossipMatrix;
+//!
+//! let m = Matching::from_pairs(4, &[(0, 1), (2, 3)]);
+//! let w = GossipMatrix::from_matching(&m);
+//! assert!(w.as_mat().is_doubly_stochastic(1e-12));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod consensus;
+mod matrix;
+pub mod spectral;
+
+pub use matrix::GossipMatrix;

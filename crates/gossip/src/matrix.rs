@@ -1,0 +1,196 @@
+//! The per-round gossip matrix `W_t`.
+
+use saps_graph::Matching;
+use saps_tensor::Mat;
+
+/// A doubly-stochastic gossip matrix built from a matching
+/// (Algorithm 3, `GenerateW`).
+///
+/// For every matched pair `(i, j)`:
+/// `W[i][i] = W[j][j] = W[i][j] = W[j][i] = 1/2` — the two peers average
+/// their (masked) models. Unmatched workers keep their model unchanged
+/// (`W[i][i] = 1`).
+///
+/// The paper's pseudo-code sets the whole diagonal to 1/2 because its
+/// second matching pass guarantees a *perfect* match; with an odd worker
+/// count or an unmatchable leftover that would break row sums, so this
+/// implementation uses the identity row for unmatched workers — the unique
+/// choice that keeps `W_t` doubly stochastic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipMatrix {
+    mat: Mat,
+    pairs: Vec<(usize, usize)>,
+    n: usize,
+}
+
+impl GossipMatrix {
+    /// Builds `W_t` from a matching.
+    pub fn from_matching(m: &Matching) -> Self {
+        let n = m.vertex_count();
+        let mut mat = Mat::zeros(n, n);
+        for v in 0..n {
+            match m.mate(v) {
+                Some(u) => {
+                    mat[(v, v)] = 0.5;
+                    mat[(v, u)] = 0.5;
+                }
+                None => {
+                    mat[(v, v)] = 1.0;
+                }
+            }
+        }
+        GossipMatrix {
+            mat,
+            pairs: m.pairs(),
+            n,
+        }
+    }
+
+    /// The identity gossip matrix (a round with no exchange).
+    pub fn identity(n: usize) -> Self {
+        GossipMatrix {
+            mat: Mat::eye(n),
+            pairs: Vec::new(),
+            n,
+        }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers zero workers.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The matched pairs this matrix averages.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// The peer of `worker` this round, if any (`W_t[rank]` in
+    /// Algorithm 2, line 8).
+    pub fn peer_of(&self, worker: usize) -> Option<usize> {
+        self.pairs
+            .iter()
+            .find_map(|&(a, b)| {
+                if a == worker {
+                    Some(b)
+                } else if b == worker {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// The underlying `f64` matrix.
+    pub fn as_mat(&self) -> &Mat {
+        &self.mat
+    }
+
+    /// `WᵀW` — the quantity whose *expected* second eigenvalue Assumption
+    /// 3 bounds. For symmetric `W` (always true here) this is `W²`.
+    pub fn wtw(&self) -> Mat {
+        self.mat.transpose().matmul(&self.mat)
+    }
+
+    /// Applies the gossip step to a row vector: `x ← x W` (Eq. 4 uses
+    /// column convention `X_t = X_{t-1} W_{t-1}`; for our row-major data
+    /// each model row is multiplied from the right).
+    ///
+    /// Because `W` comes from a matching, this is just pairwise averaging —
+    /// implemented directly rather than as a dense product.
+    pub fn mix_row(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "vector length must equal worker count");
+        for &(i, j) in &self.pairs {
+            let avg = 0.5 * (x[i] + x[j]);
+            x[i] = avg;
+            x[j] = avg;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saps_graph::Matching;
+
+    #[test]
+    fn perfect_matching_gives_doubly_stochastic_w() {
+        let m = Matching::from_pairs(6, &[(0, 3), (1, 2), (4, 5)]);
+        let w = GossipMatrix::from_matching(&m);
+        assert!(w.as_mat().is_doubly_stochastic(1e-12));
+        assert_eq!(w.pairs().len(), 3);
+    }
+
+    #[test]
+    fn unmatched_worker_keeps_identity_row() {
+        let m = Matching::from_pairs(3, &[(0, 1)]);
+        let w = GossipMatrix::from_matching(&m);
+        assert!(w.as_mat().is_doubly_stochastic(1e-12));
+        assert_eq!(w.as_mat()[(2, 2)], 1.0);
+        assert_eq!(w.peer_of(2), None);
+        assert_eq!(w.peer_of(0), Some(1));
+        assert_eq!(w.peer_of(1), Some(0));
+    }
+
+    #[test]
+    fn mix_row_averages_pairs() {
+        let m = Matching::from_pairs(4, &[(0, 2), (1, 3)]);
+        let w = GossipMatrix::from_matching(&m);
+        let mut x = vec![0.0, 4.0, 8.0, 10.0];
+        w.mix_row(&mut x);
+        assert_eq!(x, vec![4.0, 7.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn mix_row_matches_matrix_product() {
+        let m = Matching::from_pairs(4, &[(0, 1), (2, 3)]);
+        let w = GossipMatrix::from_matching(&m);
+        let x = vec![1.0, 5.0, -2.0, 0.0];
+        // Row-vector product x W.
+        let mut expect = vec![0.0; 4];
+        for j in 0..4 {
+            for i in 0..4 {
+                expect[j] += x[i] * w.as_mat()[(i, j)];
+            }
+        }
+        let mut got = x.clone();
+        w.mix_row(&mut got);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wtw_is_symmetric_and_stochastic() {
+        let m = Matching::from_pairs(4, &[(0, 1), (2, 3)]);
+        let w = GossipMatrix::from_matching(&m);
+        let wtw = w.wtw();
+        assert!(wtw.is_doubly_stochastic(1e-12));
+        assert!(wtw.max_abs_diff(&wtw.transpose()) < 1e-12);
+    }
+
+    #[test]
+    fn identity_matrix_mixes_nothing() {
+        let w = GossipMatrix::identity(3);
+        let mut x = vec![1.0, 2.0, 3.0];
+        w.mix_row(&mut x);
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+        assert!(w.pairs().is_empty());
+    }
+
+    #[test]
+    fn gossip_preserves_sum() {
+        // Double stochasticity means the global average is invariant.
+        let m = Matching::from_pairs(6, &[(0, 5), (1, 4), (2, 3)]);
+        let w = GossipMatrix::from_matching(&m);
+        let mut x = vec![3.0, -1.0, 7.0, 2.0, 2.0, 0.0];
+        let sum: f64 = x.iter().sum();
+        w.mix_row(&mut x);
+        assert!((x.iter().sum::<f64>() - sum).abs() < 1e-12);
+    }
+}

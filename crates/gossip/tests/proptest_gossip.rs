@@ -1,0 +1,102 @@
+//! Property tests for the gossip machinery.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps_gossip::{consensus, spectral, GossipMatrix};
+use saps_graph::topology::random_perfect_matching;
+use saps_graph::Matching;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gossip_matrices_are_projections(
+        half in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        // W built from a perfect matching satisfies W² = W (pairwise
+        // averaging is idempotent).
+        let n = half * 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = GossipMatrix::from_matching(&random_perfect_matching(n, &mut rng));
+        let w2 = w.as_mat().matmul(w.as_mat());
+        prop_assert!(w2.max_abs_diff(w.as_mat()) < 1e-12);
+    }
+
+    #[test]
+    fn peer_of_is_symmetric(
+        half in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let n = half * 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = GossipMatrix::from_matching(&random_perfect_matching(n, &mut rng));
+        for v in 0..n {
+            let p = w.peer_of(v).unwrap();
+            prop_assert_eq!(w.peer_of(p), Some(v));
+            prop_assert!(p != v);
+        }
+    }
+
+    #[test]
+    fn masked_contraction_monotone_in_c(rho in 0.0f64..1.0) {
+        // Less exchange (larger c) can only slow consensus.
+        let mut last = 0.0f64;
+        for c in [1.0, 2.0, 10.0, 100.0, 1e6] {
+            let f = spectral::masked_contraction(rho, c);
+            prop_assert!(f >= last - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&f));
+            last = f;
+        }
+    }
+
+    #[test]
+    fn consensus_distance_invariance(
+        xs in proptest::collection::vec(-100.0f64..100.0, 2..20),
+        shift in -50.0f64..50.0,
+    ) {
+        // Translation invariance: d(x + s·1) == d(x).
+        let shifted: Vec<f64> = xs.iter().map(|v| v + shift).collect();
+        let a = consensus::consensus_distance_sq(&xs);
+        let b = consensus::consensus_distance_sq(&shifted);
+        prop_assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn partial_matchings_leave_unmatched_untouched(
+        n in 3usize..12,
+        seed in any::<u64>(),
+    ) {
+        // A matching that covers only vertices {0,1} must leave all other
+        // coordinates exactly unchanged by mix_row.
+        let _ = seed;
+        let m = Matching::from_pairs(n, &[(0, 1)]);
+        let w = GossipMatrix::from_matching(&m);
+        let x0: Vec<f64> = (0..n).map(|i| (i * i) as f64).collect();
+        let mut x = x0.clone();
+        w.mix_row(&mut x);
+        prop_assert_eq!(x[0], x[1]);
+        for i in 2..n {
+            prop_assert_eq!(x[i], x0[i]);
+        }
+    }
+}
+
+#[test]
+fn estimated_rho_close_to_closed_form_random_matchings() {
+    // E[W] for uniformly random perfect matchings on n vertices has
+    // deflated eigenvalue 1/2 − 1/(2(n−1)); W is a projection so
+    // E[WᵀW] = E[W].
+    for n in [4usize, 6, 8] {
+        let analytic = 0.5 - 0.5 / (n as f64 - 1.0);
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let rho = spectral::estimate_rho(n, 40_000, |_| {
+            GossipMatrix::from_matching(&random_perfect_matching(n, &mut rng))
+        });
+        assert!(
+            (rho - analytic).abs() < 0.02,
+            "n={n}: rho {rho} vs analytic {analytic}"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Connectivity queries used by Algorithm 3 (`IfConnected`,
+//! `FindConnectedSubgraph`) and by the PC-edge connectivity requirement of
+//! Section II-C ("all possible communication edges should construct a
+//! connected graph").
+
+use crate::{Graph, UnionFind};
+
+/// Whether the graph is connected (a single component covering every
+/// vertex). The empty graph and the 1-vertex graph are connected.
+pub fn is_connected(g: &Graph) -> bool {
+    component_count(g) <= 1
+}
+
+/// Number of connected components.
+pub fn component_count(g: &Graph) -> usize {
+    let mut uf = UnionFind::new(g.len());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    uf.component_count()
+}
+
+/// Connected components as sorted vertex lists, ordered by smallest member
+/// (the paper's `FindConnectedSubgraph`).
+pub fn connected_components(g: &Graph) -> Vec<Vec<usize>> {
+    let n = g.len();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    // Iterating in vertex order keys each component by its smallest vertex
+    // only if find() of the smallest vertex is used; use a canonical map.
+    let mut canon: std::collections::HashMap<usize, usize> = Default::default();
+    for v in 0..n {
+        let r = uf.find(v);
+        let key = *canon.entry(r).or_insert(v);
+        by_root.entry(key).or_default().push(v);
+    }
+    by_root.into_values().collect()
+}
+
+/// Component id per vertex (ids are dense, ordered by smallest member).
+pub fn component_ids(g: &Graph) -> Vec<usize> {
+    let comps = connected_components(g);
+    let mut ids = vec![0usize; g.len()];
+    for (ci, comp) in comps.iter().enumerate() {
+        for &v in comp {
+            ids[v] = ci;
+        }
+    }
+    ids
+}
+
+/// Builds the "bridge" graph of Algorithm 3's `GetOvertimeMatrix` (lines
+/// 15-19): all edges of `candidates` whose endpoints lie in *different*
+/// components of `rc`. Matching over these edges reconnects the RC
+/// sub-graphs.
+pub fn bridge_graph(rc: &Graph, candidates: &Graph) -> Graph {
+    assert_eq!(rc.len(), candidates.len());
+    let ids = component_ids(rc);
+    let mut out = Graph::new(rc.len());
+    for (u, v) in candidates.edges() {
+        if ids[u] != ids[v] {
+            out.add_edge(u, v);
+        }
+    }
+    out
+}
+
+/// BFS distances from `src` (`usize::MAX` marks unreachable vertices).
+pub fn bfs_distances(g: &Graph, src: usize) -> Vec<usize> {
+    let n = g.len();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Diameter of a connected graph; `None` if disconnected or empty.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.is_empty() || !is_connected(g) {
+        return None;
+    }
+    let mut best = 0;
+    for v in 0..g.len() {
+        let d = bfs_distances(g, v);
+        best = best.max(*d.iter().max().unwrap());
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    #[test]
+    fn path_is_connected() {
+        assert!(is_connected(&path(5)));
+        assert_eq!(component_count(&path(5)), 1);
+        assert_eq!(diameter(&path(5)), Some(4));
+    }
+
+    #[test]
+    fn two_components() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert!(!is_connected(&g));
+        assert_eq!(component_count(&g), 2);
+        assert_eq!(connected_components(&g), vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(component_ids(&g), vec![0, 0, 1, 1]);
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let g = Graph::new(3);
+        assert_eq!(component_count(&g), 3);
+        assert_eq!(
+            connected_components(&g),
+            vec![vec![0], vec![1], vec![2]]
+        );
+    }
+
+    #[test]
+    fn bridge_graph_links_only_across_components() {
+        // RC graph: {0,1} and {2,3}. Candidates: complete graph.
+        let mut rc = Graph::new(4);
+        rc.add_edge(0, 1);
+        rc.add_edge(2, 3);
+        let mut all = Graph::new(4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                all.add_edge(i, j);
+            }
+        }
+        let b = bridge_graph(&rc, &all);
+        // Edges inside a component (0-1, 2-3) must be absent.
+        assert!(!b.has_edge(0, 1));
+        assert!(!b.has_edge(2, 3));
+        // Cross edges present.
+        assert!(b.has_edge(0, 2) && b.has_edge(0, 3) && b.has_edge(1, 2) && b.has_edge(1, 3));
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let d = bfs_distances(&path(4), 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::new(0);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), None);
+    }
+}

@@ -1,0 +1,184 @@
+//! A simple undirected graph over vertices `0..n`.
+
+/// An undirected simple graph stored as an adjacency matrix plus adjacency
+/// lists (the sizes involved — tens of workers — make density irrelevant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj_matrix: Vec<bool>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            adj_matrix: vec![false; n * n],
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds a graph from a symmetric boolean adjacency matrix given in
+    /// row-major order. The diagonal is ignored. Entries are OR-ed with
+    /// their transpose so an asymmetric input still yields an undirected
+    /// graph.
+    pub fn from_adjacency(n: usize, m: &[bool]) -> Self {
+        assert_eq!(m.len(), n * n, "adjacency matrix must be n*n");
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if m[i * n + j] || m[j * n + i] {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Builds the graph whose edges are pairs with `weight >= threshold`
+    /// (the paper's `B* = [B_ij >= B_thres]`, Algorithm 1 lines 9-12).
+    pub fn from_threshold(n: usize, weights: &[f64], threshold: f64) -> Self {
+        assert_eq!(weights.len(), n * n, "weight matrix must be n*n");
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // The paper symmetrizes with min(B_ij, B_ji): the slower
+                // direction is the bottleneck.
+                let w = weights[i * n + j].min(weights[j * n + i]);
+                if w >= threshold {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the undirected edge `(u, v)`. Self-loops and duplicates are
+    /// ignored.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        if u == v || self.adj_matrix[u * self.n + v] {
+            return;
+        }
+        self.adj_matrix[u * self.n + v] = true;
+        self.adj_matrix[v * self.n + u] = true;
+        self.adj[u].push(v);
+        self.adj[v].push(u);
+    }
+
+    /// Whether the undirected edge `(u, v)` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj_matrix[u * self.n + v]
+    }
+
+    /// Neighbours of `u`.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// All edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for u in 0..self.n {
+            for &v in &self.adj[u] {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// The union of this graph's edges with another's (same vertex count).
+    pub fn union(&self, other: &Graph) -> Graph {
+        assert_eq!(self.n, other.n, "union: vertex counts differ");
+        let mut g = self.clone();
+        for (u, v) in other.edges() {
+            g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_dedupes_and_skips_self_loops() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(2, 2));
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn from_threshold_uses_min_symmetrization() {
+        // B[0][1] = 5 but B[1][0] = 1: bottleneck is 1, below threshold.
+        let n = 2;
+        let mut w = vec![0.0; n * n];
+        w[1] = 5.0;
+        w[2] = 1.0;
+        let g = Graph::from_threshold(n, &w, 2.0);
+        assert_eq!(g.edge_count(), 0);
+        let g2 = Graph::from_threshold(n, &w, 1.0);
+        assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn from_adjacency_symmetrizes() {
+        let n = 3;
+        let mut m = vec![false; 9];
+        m[1] = true; // 0 -> 1 only
+        let g = Graph::from_adjacency(n, &m);
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edges_listing() {
+        let mut g = Graph::new(4);
+        g.add_edge(2, 0);
+        g.add_edge(3, 1);
+        let mut e = g.edges();
+        e.sort();
+        assert_eq!(e, vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn union_combines_edges() {
+        let mut a = Graph::new(3);
+        a.add_edge(0, 1);
+        let mut b = Graph::new(3);
+        b.add_edge(1, 2);
+        let u = a.union(&b);
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.has_edge(0, 1) && u.has_edge(1, 2));
+    }
+}

@@ -1,0 +1,42 @@
+//! Graph algorithms for the SAPS-PSGD reproduction.
+//!
+//! Algorithm 3 of the paper ("GenerateGossipMatrix") needs, each round:
+//!
+//! * connectivity queries over the *recently connected* (RC) edge set
+//!   (`IfConnected`, `FindConnectedSubgraph`);
+//! * a **maximum matching in a general graph** — solved with Edmonds'
+//!   blossom algorithm ([`matching::maximum_matching`]), randomized over
+//!   vertex order to implement the paper's `RandomlyMaxMatch`;
+//! * helpers to bridge connected sub-graphs (`GetOvertimeMatrix`) and to
+//!   match leftovers ignoring bandwidth (`GetUnmatch`).
+//!
+//! The crate also provides the topologies the paper compares against:
+//! the ring used by D-PSGD/DCD-PSGD and uniformly random matchings
+//! (`RandomChoose` in Fig. 5).
+//!
+//! # Example
+//!
+//! ```
+//! use saps_graph::{Graph, matching};
+//!
+//! // A triangle plus a pendant vertex: maximum matching has 2 edges.
+//! let mut g = Graph::new(4);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 2);
+//! g.add_edge(2, 0);
+//! g.add_edge(2, 3);
+//! let m = matching::maximum_matching(&g);
+//! assert_eq!(m.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod connectivity;
+mod graph;
+pub mod matching;
+pub mod topology;
+mod unionfind;
+
+pub use graph::Graph;
+pub use matching::Matching;
+pub use unionfind::UnionFind;

@@ -1,0 +1,559 @@
+//! Maximum matching in general graphs — Edmonds' blossom algorithm.
+//!
+//! The paper (Section II-C) pairs workers each round by computing a maximum
+//! matching on the filtered bandwidth graph `B*`, using "the blossom
+//! algorithm [33] to solve the problem of maximum match in a general
+//! graph. And by randomly starting from different node in a graph, we
+//! implement the RandomlyMaxMatch function."
+//!
+//! [`maximum_matching`] is the deterministic O(V³) Edmonds implementation;
+//! [`randomly_max_match`] shuffles the augmenting order with a caller
+//! -provided RNG, reproducing the paper's randomized variant (different
+//! rounds explore different maximum matchings, which is what makes every
+//! PC edge reachable and keeps ρ < 1).
+
+use crate::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A matching: a set of vertex-disjoint edges.
+///
+/// Stored both as `mate[v] -> Option<peer>` and as an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    mate: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// An empty matching over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Matching {
+            mate: vec![None; n],
+        }
+    }
+
+    /// Builds a matching from an explicit edge list; panics if a vertex is
+    /// repeated or out of range.
+    pub fn from_pairs(n: usize, pairs: &[(usize, usize)]) -> Self {
+        let mut m = Matching::empty(n);
+        for &(u, v) in pairs {
+            assert!(u < n && v < n && u != v, "invalid pair ({u}, {v})");
+            assert!(
+                m.mate[u].is_none() && m.mate[v].is_none(),
+                "vertex repeated in matching"
+            );
+            m.mate[u] = Some(v);
+            m.mate[v] = Some(u);
+        }
+        m
+    }
+
+    /// The peer matched to `v`, if any.
+    pub fn mate(&self, v: usize) -> Option<usize> {
+        self.mate[v]
+    }
+
+    /// Number of matched edges.
+    pub fn len(&self) -> usize {
+        self.mate.iter().flatten().count() / 2
+    }
+
+    /// Whether no edge is matched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of vertices (matched or not).
+    pub fn vertex_count(&self) -> usize {
+        self.mate.len()
+    }
+
+    /// Matched edges as `(u, v)` pairs with `u < v`, sorted.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (u, m) in self.mate.iter().enumerate() {
+            if let Some(v) = *m {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Vertices left unmatched.
+    pub fn unmatched(&self) -> Vec<usize> {
+        self.mate
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_none())
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Whether all vertices are matched (a perfect matching).
+    pub fn is_perfect(&self) -> bool {
+        self.mate.iter().all(Option::is_some)
+    }
+
+    /// Adds all edges of `other` whose endpoints are unmatched here.
+    /// Used for Algorithm 3's second pass (lines 6-9): after matching on
+    /// the bandwidth-filtered graph, leftovers are matched "without
+    /// considering bandwidth".
+    pub fn absorb(&mut self, other: &Matching) {
+        assert_eq!(self.mate.len(), other.mate.len());
+        for (u, v) in other.pairs() {
+            if self.mate[u].is_none() && self.mate[v].is_none() {
+                self.mate[u] = Some(v);
+                self.mate[v] = Some(u);
+            }
+        }
+    }
+
+    /// Validates the matching against a graph: every matched edge must
+    /// exist in `g` and the mate relation must be symmetric.
+    pub fn is_valid_for(&self, g: &Graph) -> bool {
+        if self.mate.len() != g.len() {
+            return false;
+        }
+        for (u, m) in self.mate.iter().enumerate() {
+            if let Some(v) = *m {
+                if v >= self.mate.len() || self.mate[v] != Some(u) || !g.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Edmonds' blossom algorithm: maximum-cardinality matching in a general
+/// graph, deterministic augmenting order `0..n`.
+pub fn maximum_matching(g: &Graph) -> Matching {
+    let order: Vec<usize> = (0..g.len()).collect();
+    maximum_matching_with_order(g, &order)
+}
+
+/// The paper's `RandomlyMaxMatch`: Edmonds' algorithm with the augmenting
+/// order shuffled by `rng`, so repeated calls explore different maximum
+/// matchings of the same graph.
+pub fn randomly_max_match<R: Rng>(g: &Graph, rng: &mut R) -> Matching {
+    let mut order: Vec<usize> = (0..g.len()).collect();
+    order.shuffle(rng);
+    maximum_matching_with_order(g, &order)
+}
+
+/// Edmonds' algorithm with an explicit augmenting order. The resulting
+/// matching is maximum regardless of order (Berge's theorem: a matching is
+/// maximum iff it admits no augmenting path), but *which* maximum matching
+/// is found depends on the order.
+pub fn maximum_matching_with_order(g: &Graph, order: &[usize]) -> Matching {
+    let n = g.len();
+    assert_eq!(order.len(), n, "order must be a permutation of 0..n");
+    let mut state = Blossom::new(g);
+    for &v in order {
+        if state.mate[v] == USIZE_NONE {
+            state.augment_from(v);
+        }
+    }
+    let mate = state
+        .mate
+        .iter()
+        .map(|&m| if m == USIZE_NONE { None } else { Some(m) })
+        .collect();
+    Matching { mate }
+}
+
+/// Greedy maximum-*weight* matching: repeatedly picks the heaviest edge
+/// with both endpoints free. A 1/2-approximation; used only as an
+/// analysis/bench comparator for bandwidth matchings, never by the
+/// algorithms themselves.
+pub fn greedy_weight_matching(n: usize, weights: &[f64]) -> Matching {
+    assert_eq!(weights.len(), n * n);
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = weights[i * n + j].min(weights[j * n + i]);
+            if w > 0.0 {
+                edges.push((i, j, w));
+            }
+        }
+    }
+    edges.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+    let mut m = Matching::empty(n);
+    for (u, v, _) in edges {
+        if m.mate[u].is_none() && m.mate[v].is_none() {
+            m.mate[u] = Some(v);
+            m.mate[v] = Some(u);
+        }
+    }
+    m
+}
+
+/// Exhaustive maximum matching by branch and bound; exponential, for
+/// cross-checking the blossom implementation in tests (n ≤ ~16).
+pub fn brute_force_maximum_matching(g: &Graph) -> usize {
+    fn rec(g: &Graph, v: usize, used: &mut [bool]) -> usize {
+        let n = g.len();
+        let mut v = v;
+        while v < n && used[v] {
+            v += 1;
+        }
+        if v >= n {
+            return 0;
+        }
+        // Option 1: leave v unmatched.
+        let mut best = rec(g, v + 1, used);
+        // Option 2: match v with a free neighbour.
+        used[v] = true;
+        for &u in g.neighbors(v) {
+            if !used[u] {
+                used[u] = true;
+                best = best.max(1 + rec(g, v + 1, used));
+                used[u] = false;
+            }
+        }
+        used[v] = false;
+        best
+    }
+    let mut used = vec![false; g.len()];
+    rec(g, 0, &mut used)
+}
+
+const USIZE_NONE: usize = usize::MAX;
+
+/// Internal state of the O(V³) blossom algorithm (array-based formulation:
+/// `mate`, `parent` pointers, blossom `base` contraction, BFS queue).
+struct Blossom<'g> {
+    g: &'g Graph,
+    mate: Vec<usize>,
+    parent: Vec<usize>,
+    base: Vec<usize>,
+    in_queue: Vec<bool>,
+    in_blossom: Vec<bool>,
+}
+
+impl<'g> Blossom<'g> {
+    fn new(g: &'g Graph) -> Self {
+        let n = g.len();
+        Blossom {
+            g,
+            mate: vec![USIZE_NONE; n],
+            parent: vec![USIZE_NONE; n],
+            base: (0..n).collect(),
+            in_queue: vec![false; n],
+            in_blossom: vec![false; n],
+        }
+    }
+
+    /// Lowest common ancestor of blossom bases of `a` and `b` in the
+    /// alternating forest.
+    fn lca(&self, mut a: usize, mut b: usize) -> usize {
+        let n = self.g.len();
+        let mut visited = vec![false; n];
+        loop {
+            a = self.base[a];
+            visited[a] = true;
+            if self.mate[a] == USIZE_NONE {
+                break;
+            }
+            a = self.parent[self.mate[a]];
+        }
+        loop {
+            b = self.base[b];
+            if visited[b] {
+                return b;
+            }
+            b = self.parent[self.mate[b]];
+        }
+    }
+
+    /// Marks the blossom path from `v` up to base `b`, re-rooting parent
+    /// pointers through `child`.
+    fn mark_path(&mut self, mut v: usize, b: usize, mut child: usize, queue: &mut Vec<usize>) {
+        while self.base[v] != b {
+            self.in_blossom[self.base[v]] = true;
+            self.in_blossom[self.base[self.mate[v]]] = true;
+            self.parent[v] = child;
+            child = self.mate[v];
+            if !self.in_queue[self.mate[v]] {
+                self.in_queue[self.mate[v]] = true;
+                queue.push(self.mate[v]);
+            }
+            v = self.parent[self.mate[v]];
+        }
+    }
+
+    /// Contracts the blossom formed by edge `(u, v)` with LCA `b`.
+    fn contract(&mut self, u: usize, v: usize, queue: &mut Vec<usize>) {
+        let n = self.g.len();
+        let b = self.lca(u, v);
+        self.in_blossom.iter_mut().for_each(|x| *x = false);
+        self.mark_path(u, b, v, queue);
+        self.mark_path(v, b, u, queue);
+        for i in 0..n {
+            if self.in_blossom[self.base[i]] {
+                self.base[i] = b;
+                if !self.in_queue[i] {
+                    self.in_queue[i] = true;
+                    queue.push(i);
+                }
+            }
+        }
+    }
+
+    /// BFS from free vertex `root` looking for an augmenting path; flips
+    /// it if found. Returns whether an augmentation happened.
+    fn augment_from(&mut self, root: usize) -> bool {
+        let n = self.g.len();
+        self.parent.iter_mut().for_each(|x| *x = USIZE_NONE);
+        self.in_queue.iter_mut().for_each(|x| *x = false);
+        for i in 0..n {
+            self.base[i] = i;
+        }
+        let mut queue = vec![root];
+        self.in_queue[root] = true;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for vi in 0..self.g.neighbors(u).len() {
+                let v = self.g.neighbors(u)[vi];
+                if self.base[u] == self.base[v] || self.mate[u] == v {
+                    continue;
+                }
+                if v == root || (self.mate[v] != USIZE_NONE && self.parent[self.mate[v]] != USIZE_NONE)
+                {
+                    // Odd cycle: contract the blossom.
+                    self.contract(u, v, &mut queue);
+                } else if self.parent[v] == USIZE_NONE {
+                    self.parent[v] = u;
+                    if self.mate[v] == USIZE_NONE {
+                        // Augmenting path found: flip along parents.
+                        self.flip(v);
+                        return true;
+                    }
+                    let mv = self.mate[v];
+                    if !self.in_queue[mv] {
+                        self.in_queue[mv] = true;
+                        queue.push(mv);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Flips matched/unmatched edges along the alternating path ending at
+    /// free vertex `v`.
+    fn flip(&mut self, mut v: usize) {
+        while v != USIZE_NONE {
+            let pv = self.parent[v];
+            let ppv = self.mate[pv];
+            self.mate[v] = pv;
+            self.mate[pv] = v;
+            v = ppv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(i, j);
+            }
+        }
+        g
+    }
+
+    fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(p) {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    use rand::Rng;
+
+    #[test]
+    fn perfect_matching_on_complete_even() {
+        for n in [2, 4, 8, 16, 32] {
+            let m = maximum_matching(&complete(n));
+            assert_eq!(m.len(), n / 2);
+            assert!(m.is_perfect());
+            assert!(m.is_valid_for(&complete(n)));
+        }
+    }
+
+    #[test]
+    fn odd_complete_leaves_one_unmatched() {
+        let g = complete(7);
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.unmatched().len(), 1);
+    }
+
+    #[test]
+    fn petersen_graph_has_perfect_matching() {
+        // The Petersen graph: outer 5-cycle, inner pentagram, spokes.
+        let mut g = Graph::new(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5); // outer cycle
+            g.add_edge(5 + i, 5 + (i + 2) % 5); // pentagram
+            g.add_edge(i, 5 + i); // spokes
+        }
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 5);
+        assert!(m.is_valid_for(&g));
+    }
+
+    #[test]
+    fn odd_cycle_blossom_case() {
+        // Triangle with two pendants: 0-1-2-0, 3-0, 4-1. Max matching = 2
+        // ... actually {(3,0),(4,1)} leaves 2 free -> plus nothing = 2;
+        // but {(0,1),(2,?)}: 2 has no free peer -> 2. With blossom
+        // handling, {(3,0),(4,1),(2,..)} -> 2 has only matched nbrs: 2.
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(3, 0);
+        g.add_edge(4, 1);
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.len(), brute_force_maximum_matching(&g));
+    }
+
+    #[test]
+    fn classic_blossom_trap() {
+        // Two triangles joined by a path — requires blossom contraction to
+        // find the size-3 matching.
+        // Triangle A: 0-1-2; Triangle B: 4-5-6; bridge 2-3, 3-4.
+        let mut g = Graph::new(7);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4), (2, 3), (3, 4)] {
+            g.add_edge(u, v);
+        }
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 3);
+        assert_eq!(brute_force_maximum_matching(&g), 3);
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        assert_eq!(maximum_matching(&Graph::new(0)).len(), 0);
+        assert_eq!(maximum_matching(&Graph::new(1)).len(), 0);
+        assert_eq!(maximum_matching(&Graph::new(5)).len(), 0); // no edges
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..30 {
+            for &p in &[0.15, 0.3, 0.6] {
+                let g = random_graph(11, p, seed);
+                let m = maximum_matching(&g);
+                assert!(m.is_valid_for(&g));
+                assert_eq!(
+                    m.len(),
+                    brute_force_maximum_matching(&g),
+                    "seed {seed} p {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomly_max_match_is_still_maximum() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for seed in 0..15 {
+            let g = random_graph(12, 0.35, seed);
+            let opt = brute_force_maximum_matching(&g);
+            for _ in 0..5 {
+                let m = randomly_max_match(&g, &mut rng);
+                assert!(m.is_valid_for(&g));
+                assert_eq!(m.len(), opt, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn randomly_max_match_explores_different_matchings() {
+        // On K4 there are 3 perfect matchings; with enough draws the
+        // randomized variant must produce at least 2 distinct ones.
+        let g = complete(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(randomly_max_match(&g, &mut rng).pairs());
+        }
+        assert!(seen.len() >= 2, "only saw {} matchings", seen.len());
+    }
+
+    #[test]
+    fn greedy_weight_matching_prefers_heavy_edges() {
+        // 4 vertices; edge (0,1) weight 10, (2,3) weight 9, (1,2) weight 8.
+        let n = 4;
+        let mut w = vec![0.0; n * n];
+        let set = |i: usize, j: usize, v: f64, w: &mut Vec<f64>| {
+            w[i * n + j] = v;
+            w[j * n + i] = v;
+        };
+        set(0, 1, 10.0, &mut w);
+        set(2, 3, 9.0, &mut w);
+        set(1, 2, 8.0, &mut w);
+        let m = greedy_weight_matching(n, &w);
+        assert_eq!(m.pairs(), vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn absorb_only_takes_free_vertices() {
+        let mut a = Matching::from_pairs(4, &[(0, 1)]);
+        let b = Matching::from_pairs(4, &[(1, 2)]);
+        // b matches (1,2); 1 is taken in a, so absorb adds nothing.
+        a.absorb(&b);
+        assert_eq!(a.pairs(), vec![(0, 1)]);
+        let c = Matching::from_pairs(4, &[(2, 3)]);
+        a.absorb(&c);
+        assert_eq!(a.pairs(), vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn from_pairs_round_trip() {
+        let m = Matching::from_pairs(6, &[(0, 5), (1, 3)]);
+        assert_eq!(m.mate(0), Some(5));
+        assert_eq!(m.mate(5), Some(0));
+        assert_eq!(m.mate(2), None);
+        assert_eq!(m.unmatched(), vec![2, 4]);
+        assert!(!m.is_perfect());
+        assert_eq!(m.vertex_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex repeated")]
+    fn from_pairs_rejects_repeats() {
+        let _ = Matching::from_pairs(4, &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn larger_random_graphs_agree_with_bruteforce() {
+        for seed in 100..110 {
+            let g = random_graph(14, 0.25, seed);
+            assert_eq!(
+                maximum_matching(&g).len(),
+                brute_force_maximum_matching(&g)
+            );
+        }
+    }
+}

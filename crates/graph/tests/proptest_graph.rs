@@ -1,0 +1,158 @@
+//! Property tests for the graph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saps_graph::{connectivity, matching, topology, Graph, UnionFind};
+
+fn random_graph(n: usize, density: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(density) {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn blossom_equals_bruteforce(
+        n in 2usize..12,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, density, seed);
+        let m = matching::maximum_matching(&g);
+        prop_assert!(m.is_valid_for(&g));
+        prop_assert_eq!(m.len(), matching::brute_force_maximum_matching(&g));
+    }
+
+    #[test]
+    fn unionfind_agrees_with_bfs(
+        n in 1usize..24,
+        density in 0.0f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, density, seed);
+        // Union-find connectivity (used by is_connected) must agree with
+        // per-pair BFS reachability.
+        let mut uf = UnionFind::new(n);
+        for (u, v) in g.edges() {
+            uf.union(u, v);
+        }
+        for src in 0..n {
+            let dist = connectivity::bfs_distances(&g, src);
+            for dst in 0..n {
+                prop_assert_eq!(
+                    dist[dst] != usize::MAX,
+                    uf.connected(src, dst),
+                    "pair ({}, {})", src, dst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_vertices(
+        n in 1usize..24,
+        density in 0.0f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, density, seed);
+        let comps = connectivity::connected_components(&g);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+        let mut seen = std::collections::HashSet::new();
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(seen.insert(v), "vertex {} in two components", v);
+            }
+        }
+        prop_assert_eq!(comps.len(), connectivity::component_count(&g));
+    }
+
+    #[test]
+    fn bridge_graph_reconnects(
+        n in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        // Any disconnected RC graph + complete candidate graph: the
+        // union of RC and one bridge matching must have fewer components.
+        let rc = random_graph(n, 0.1, seed);
+        if connectivity::is_connected(&rc) {
+            return Ok(()); // nothing to bridge
+        }
+        let bridges = connectivity::bridge_graph(&rc, &topology::complete(n));
+        prop_assert!(bridges.edge_count() > 0);
+        let m = matching::maximum_matching(&bridges);
+        prop_assert!(m.len() >= 1);
+        let mut merged = rc.clone();
+        for (u, v) in m.pairs() {
+            merged.add_edge(u, v);
+        }
+        prop_assert!(
+            connectivity::component_count(&merged) < connectivity::component_count(&rc)
+        );
+    }
+
+    #[test]
+    fn greedy_weight_matching_valid(
+        n in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v: f64 = rng.gen_range(0.0..10.0);
+                w[i * n + j] = v;
+                w[j * n + i] = v;
+            }
+        }
+        let m = matching::greedy_weight_matching(n, &w);
+        prop_assert!(m.is_valid_for(&topology::complete(n)));
+        // Greedy achieves at least half the optimum weight — checked
+        // against the trivially-computable max single edge bound:
+        // total >= heaviest edge.
+        let heaviest = w.iter().cloned().fold(0.0, f64::max);
+        let total: f64 = m
+            .pairs()
+            .iter()
+            .map(|&(a, b)| w[a * n + b])
+            .sum();
+        prop_assert!(total >= heaviest - 1e-12);
+    }
+
+    #[test]
+    fn ring_has_n_edges_and_degree_two(n in 3usize..64) {
+        let g = topology::ring(n);
+        prop_assert_eq!(g.edge_count(), n);
+        for v in 0..n {
+            prop_assert_eq!(g.degree(v), 2);
+        }
+        prop_assert!(connectivity::is_connected(&g));
+        prop_assert_eq!(connectivity::diameter(&g), Some(n / 2));
+    }
+
+    #[test]
+    fn random_perfect_matching_covers_everyone(
+        half in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let n = half * 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = topology::random_perfect_matching(n, &mut rng);
+        prop_assert!(m.is_perfect());
+        prop_assert_eq!(m.len(), half);
+        // mate is an involution without fixed points.
+        for v in 0..n {
+            let u = m.mate(v).unwrap();
+            prop_assert!(u != v);
+            prop_assert_eq!(m.mate(u), Some(v));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Pairwise bandwidth matrices.
+
+use rand::Rng;
+
+/// A symmetric matrix of pairwise bandwidths in **MB/s** between `n`
+/// workers. The diagonal is 0 (a worker never transfers to itself).
+///
+/// Construction always applies the paper's bottleneck symmetrization
+/// `B_ij ← min(B_ij, B_ji)` ("the communication bottleneck is decided by
+/// the slow one", Section II-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthMatrix {
+    n: usize,
+    /// Row-major, MB/s, symmetric, zero diagonal.
+    mbps: Vec<f64>,
+}
+
+impl BandwidthMatrix {
+    /// Builds from a possibly asymmetric matrix in MB/s (row-major,
+    /// `n × n`). NaN entries (the paper's diagonal placeholders) are
+    /// treated as 0.
+    pub fn from_raw(n: usize, raw: &[f64]) -> Self {
+        assert_eq!(raw.len(), n * n, "bandwidth matrix must be n*n");
+        let mut mbps = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let a = if raw[i * n + j].is_nan() { 0.0 } else { raw[i * n + j] };
+                let b = if raw[j * n + i].is_nan() { 0.0 } else { raw[j * n + i] };
+                mbps[i * n + j] = a.min(b);
+            }
+        }
+        BandwidthMatrix { n, mbps }
+    }
+
+    /// Builds from a matrix given in **Mbit/s** (Fig. 1's unit), converting
+    /// to MB/s by dividing by 8.
+    pub fn from_mbits(n: usize, mbits: &[f64]) -> Self {
+        let raw: Vec<f64> = mbits.iter().map(|&v| v / 8.0).collect();
+        Self::from_raw(n, &raw)
+    }
+
+    /// The paper's 32-worker environment: each pair's bandwidth drawn
+    /// uniformly from `(0, max_mbps]` MB/s.
+    pub fn uniform_random<R: Rng>(n: usize, max_mbps: f64, rng: &mut R) -> Self {
+        assert!(max_mbps > 0.0);
+        let mut raw = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                // Uniform on (0, max]: complement of gen_range([0, max)).
+                let v = max_mbps - rng.gen_range(0.0..max_mbps);
+                raw[i * n + j] = v;
+                raw[j * n + i] = v;
+            }
+        }
+        Self::from_raw(n, &raw)
+    }
+
+    /// A matrix where every pair has the same bandwidth (for analytical
+    /// tests where topology, not bandwidth, is under study).
+    pub fn constant(n: usize, mbps: f64) -> Self {
+        let mut raw = vec![mbps; n * n];
+        for i in 0..n {
+            raw[i * n + i] = 0.0;
+        }
+        Self::from_raw(n, &raw)
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers zero workers.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Bandwidth between `i` and `j` in MB/s (0 on the diagonal).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.mbps[i * self.n + j]
+    }
+
+    /// Overrides the bandwidth of pair `(i, j)` (both directions) —
+    /// used for dynamic-network robustness experiments.
+    pub fn set(&mut self, i: usize, j: usize, mbps: f64) {
+        assert!(i != j, "cannot set self-bandwidth");
+        self.mbps[i * self.n + j] = mbps;
+        self.mbps[j * self.n + i] = mbps;
+    }
+
+    /// The full symmetric matrix, row-major, MB/s.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.mbps
+    }
+
+    /// The thresholded 0/1 connectivity of Algorithm 1 (`B* = [B ≥
+    /// B_thres]`), as a row-major boolean matrix.
+    pub fn threshold(&self, thres_mbps: f64) -> Vec<bool> {
+        self.mbps
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                let (i, j) = (k / self.n, k % self.n);
+                i != j && v >= thres_mbps
+            })
+            .collect()
+    }
+
+    /// Largest threshold at which the filtered graph `B*` is still
+    /// connected (found by sorting candidate values). Returns 0.0 when the
+    /// graph is disconnected even with every positive edge.
+    ///
+    /// The coordinator needs a sensible `B_thres`: too high disconnects
+    /// the PC-edge graph and breaks Assumption 3; this helper picks the
+    /// highest safe value.
+    pub fn max_connecting_threshold(&self) -> f64 {
+        let mut values: Vec<f64> = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let v = self.get(i, j);
+                if v > 0.0 {
+                    values.push(v);
+                }
+            }
+        }
+        values.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for &t in &values {
+            if self.is_connected_at(t) {
+                return t;
+            }
+        }
+        0.0
+    }
+
+    fn is_connected_at(&self, thres: f64) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for v in 0..self.n {
+                if !seen[v] && self.get(u, v) >= thres && u != v {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    /// The `q`-quantile (0..=1) of off-diagonal pair bandwidths — a
+    /// principled way to pick an *aggressive* `B_thres`: e.g.
+    /// `percentile(0.6)` keeps only the fastest 40% of links in `B*`,
+    /// letting maximum matching concentrate exchanges on fast links while
+    /// Algorithm 3's bridging pass keeps the slow workers reachable.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut values: Vec<f64> = Vec::with_capacity(self.n * (self.n - 1) / 2);
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                values.push(self.get(i, j));
+            }
+        }
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((values.len() - 1) as f64 * q).round() as usize;
+        values[idx]
+    }
+
+    /// Index of the worker with the largest total bandwidth to all others
+    /// — the paper's rule for placing the FedAvg server ("choosing the
+    /// server that has the maximum bandwidth", Section IV-D).
+    pub fn best_server(&self) -> usize {
+        assert!(self.n > 0, "no workers");
+        (0..self.n)
+            .max_by(|&a, &b| {
+                let sa: f64 = (0..self.n).map(|j| self.get(a, j)).sum();
+                let sb: f64 = (0..self.n).map(|j| self.get(b, j)).sum();
+                sa.partial_cmp(&sb).unwrap()
+            })
+            .unwrap()
+    }
+
+    /// Mean off-diagonal bandwidth in MB/s.
+    pub fn mean(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let total: f64 = self.mbps.iter().sum();
+        total / (self.n * (self.n - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_raw_symmetrizes_with_min() {
+        let raw = vec![0.0, 5.0, 2.0, 0.0];
+        let b = BandwidthMatrix::from_raw(2, &raw);
+        assert_eq!(b.get(0, 1), 2.0);
+        assert_eq!(b.get(1, 0), 2.0);
+        assert_eq!(b.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn nan_treated_as_zero() {
+        let raw = vec![f64::NAN, 5.0, 5.0, f64::NAN];
+        let b = BandwidthMatrix::from_raw(2, &raw);
+        assert_eq!(b.get(0, 1), 5.0);
+    }
+
+    #[test]
+    fn mbits_conversion() {
+        let raw = vec![0.0, 80.0, 80.0, 0.0];
+        let b = BandwidthMatrix::from_mbits(2, &raw);
+        assert_eq!(b.get(0, 1), 10.0); // 80 Mbit/s = 10 MB/s
+    }
+
+    #[test]
+    fn uniform_random_in_range_and_symmetric() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = BandwidthMatrix::uniform_random(10, 5.0, &mut rng);
+        for i in 0..10 {
+            assert_eq!(b.get(i, i), 0.0);
+            for j in 0..10 {
+                if i != j {
+                    assert!(b.get(i, j) > 0.0 && b.get(i, j) <= 5.0);
+                    assert_eq!(b.get(i, j), b.get(j, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_masks_low_links() {
+        let b = BandwidthMatrix::constant(3, 2.0);
+        let t = b.threshold(3.0);
+        assert!(t.iter().all(|&x| !x));
+        let t2 = b.threshold(1.0);
+        assert_eq!(t2.iter().filter(|&&x| x).count(), 6);
+    }
+
+    #[test]
+    fn max_connecting_threshold_on_constant_matrix() {
+        let b = BandwidthMatrix::constant(4, 2.5);
+        assert_eq!(b.max_connecting_threshold(), 2.5);
+    }
+
+    #[test]
+    fn max_connecting_threshold_respects_bottleneck() {
+        // Star around node 0 with one weak spoke: threshold must drop to
+        // the weak spoke's bandwidth to stay connected.
+        let n = 3;
+        let mut raw = vec![0.0; 9];
+        raw[1] = 10.0; // 0-1 strong
+        raw[3] = 10.0;
+        raw[2] = 1.0; // 0-2 weak
+        raw[6] = 1.0;
+        let b = BandwidthMatrix::from_raw(n, &raw);
+        assert_eq!(b.max_connecting_threshold(), 1.0);
+    }
+
+    #[test]
+    fn percentile_orders_links() {
+        let mut bw = BandwidthMatrix::constant(3, 1.0);
+        bw.set(0, 1, 10.0);
+        bw.set(0, 2, 5.0);
+        bw.set(1, 2, 1.0);
+        assert_eq!(bw.percentile(0.0), 1.0);
+        assert_eq!(bw.percentile(0.5), 5.0);
+        assert_eq!(bw.percentile(1.0), 10.0);
+    }
+
+    #[test]
+    fn best_server_picks_highest_aggregate() {
+        let n = 3;
+        let mut raw = vec![0.0; 9];
+        // Node 2 has the fattest pipes.
+        let pairs = [(0usize, 1usize, 1.0), (0, 2, 10.0), (1, 2, 10.0)];
+        for (i, j, v) in pairs {
+            raw[i * n + j] = v;
+            raw[j * n + i] = v;
+        }
+        let b = BandwidthMatrix::from_raw(n, &raw);
+        assert_eq!(b.best_server(), 2);
+    }
+
+    #[test]
+    fn set_updates_both_directions() {
+        let mut b = BandwidthMatrix::constant(3, 1.0);
+        b.set(0, 2, 9.0);
+        assert_eq!(b.get(0, 2), 9.0);
+        assert_eq!(b.get(2, 0), 9.0);
+    }
+
+    #[test]
+    fn mean_excludes_diagonal() {
+        let b = BandwidthMatrix::constant(3, 4.0);
+        assert!((b.mean() - 4.0).abs() < 1e-12);
+    }
+}

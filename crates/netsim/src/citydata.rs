@@ -1,0 +1,115 @@
+//! The 14-city inter-VM bandwidth measurements of Fig. 1.
+//!
+//! Transcribed from the paper: network speeds (Mbit/s) measured between
+//! virtual machines of Alibaba Cloud and Amazon AWS located at 14 cities.
+//! Row `i`, column `j` is the measured speed from city `i` to city `j`;
+//! the diagonal (self-transfer) is not defined and stored as `NaN`, which
+//! [`crate::BandwidthMatrix::from_mbits`] maps to 0.
+//!
+//! The paper's Fig. 5(a) 14-worker environment simulates its bandwidths
+//! from exactly this matrix.
+
+use crate::BandwidthMatrix;
+
+/// Number of cities in the Fig. 1 measurement.
+pub const NUM_CITIES: usize = 14;
+
+/// City (VM location) names, in matrix order.
+pub const CITY_NAMES: [&str; NUM_CITIES] = [
+    "AliBeijing",
+    "AliShanghai",
+    "AliShenzhen",
+    "AliZhangjiakou",
+    "AmaColumbus",
+    "AmaDublin",
+    "AmaFrankfurtamMain",
+    "AmaLondon",
+    "AmaMontreal",
+    "AmaMumbai",
+    "AmaParis",
+    "AmaPortland",
+    "AmaSanFrancisco",
+    "AmaSaoPaulo",
+];
+
+const NAN: f64 = f64::NAN;
+
+/// The raw Fig. 1 matrix in Mbit/s, row-major.
+#[rustfmt::skip]
+pub const FIG1_MBITS: [f64; NUM_CITIES * NUM_CITIES] = [
+    //  Bei   Sha   She   Zha   Col   Dub   Fra   Lon   Mon   Mum   Par   Por   SF    SaoP
+    NAN,   1.3,  1.5,  1.2,  1.6,  1.6,  1.5,  1.6,  1.7,  1.4,  1.7,  1.5,  1.6,  1.5,
+    1.3,   NAN,  1.5,  1.2,  1.5,  1.5,  1.5,  1.6,  1.5,  1.2,  1.5,  1.5,  1.4,  1.6,
+    1.4,   1.3,  NAN,  1.3,  1.5,  1.6,  1.4,  1.7,  1.3,  1.6,  1.7,  1.4,  1.6,  1.4,
+    1.2,   1.3,  1.4,  NAN,  1.5,  1.4,  1.5,  1.5,  1.5,  1.2,  1.5,  1.6,  1.6,  1.6,
+    11.0,  2.2, 27.7,  6.8,  NAN, 82.5, 73.1, 82.2, 132.5, 49.1, 69.5, 84.8, 98.0, 57.4,
+    6.8,   1.1, 20.2,  4.7, 82.6,  NAN, 129.2, 269.2, 78.3, 73.3, 147.1, 50.3, 54.4, 37.0,
+    27.3,  1.1, 15.1, 21.8, 83.2, 184.8,  NAN, 331.2, 86.4, 76.8, 261.1, 62.4, 70.6, 42.3,
+    0.2,  13.9, 27.6, 14.8, 60.8, 195.3, 276.2,  NAN, 63.3, 75.4, 323.1, 50.3, 62.6, 39.8,
+    0.2,  16.9,  5.7,  1.1, 166.8, 83.9, 64.0, 61.6,  NAN, 40.7, 54.0, 80.4, 65.9, 39.1,
+    36.2, 27.4,  1.7, 22.0, 37.5, 48.6, 54.7, 50.0, 35.8,  NAN, 45.0, 33.5, 39.0, 22.5,
+    36.0,  0.6, 16.8, 21.1, 27.9, 115.1, 247.8, 317.4, 51.6, 47.5,  NAN, 48.1, 36.8, 24.4,
+    15.6, 28.6, 10.6,  8.1, 94.8, 45.4, 43.8, 46.3, 70.4, 27.0, 45.8,  NAN, 172.9, 39.4,
+    2.3,   3.9, 22.5,  5.7, 78.3, 45.6, 32.7, 34.5, 47.3, 23.2, 23.7, 134.5,  NAN, 31.2,
+    0.1,  15.1,  8.2, 15.4, 41.8, 32.7, 39.9, 37.9, 59.6, 25.0, 38.4, 38.2, 39.9,  NAN,
+];
+
+/// The Fig. 1 environment as a symmetrized [`BandwidthMatrix`] in MB/s.
+pub fn fig1_bandwidth() -> BandwidthMatrix {
+    BandwidthMatrix::from_mbits(NUM_CITIES, &FIG1_MBITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_dimensions() {
+        assert_eq!(FIG1_MBITS.len(), NUM_CITIES * NUM_CITIES);
+        assert_eq!(CITY_NAMES.len(), NUM_CITIES);
+    }
+
+    #[test]
+    fn diagonal_is_nan_and_offdiagonal_positive() {
+        for i in 0..NUM_CITIES {
+            for j in 0..NUM_CITIES {
+                let v = FIG1_MBITS[i * NUM_CITIES + j];
+                if i == j {
+                    assert!(v.is_nan());
+                } else {
+                    assert!(v > 0.0, "entry ({i},{j}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrized_matrix_uses_min_direction() {
+        let b = fig1_bandwidth();
+        // London -> Beijing is 0.2 Mbit/s, Beijing -> London 1.6:
+        // bottleneck is 0.2 Mbit/s = 0.025 MB/s.
+        let lon = 7;
+        let bei = 0;
+        assert!((b.get(lon, bei) - 0.2 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intra_china_links_are_slow_inter_aws_fast() {
+        // The paper's observation: Alibaba-China links sit ~1.5 Mbit/s
+        // while intra-AWS links reach hundreds of Mbit/s.
+        let b = fig1_bandwidth();
+        let ali_pairs = [(0, 1), (0, 2), (1, 3)];
+        for (i, j) in ali_pairs {
+            assert!(b.get(i, j) < 0.25, "Ali pair ({i},{j})");
+        }
+        // Frankfurt <-> London is fast in both directions.
+        assert!(b.get(6, 7) > 30.0);
+    }
+
+    #[test]
+    fn fig1_graph_connected_at_low_threshold() {
+        let b = fig1_bandwidth();
+        let t = b.max_connecting_threshold();
+        assert!(t > 0.0, "fig1 graph must be connectable");
+    }
+}

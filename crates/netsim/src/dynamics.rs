@@ -1,0 +1,178 @@
+//! Time-varying bandwidth.
+//!
+//! The paper motivates adaptive peer selection with *dynamic* federated
+//! networks ("the workers are resource-limited and very dynamic … the
+//! bandwidth between two workers may also vary") but evaluates on static
+//! matrices. This module supplies the missing dynamics so robustness
+//! experiments can exercise the "R." claim of Table I: per-link
+//! multiplicative random walks around a baseline matrix, clamped to a
+//! sane range, evolved deterministically from a seed.
+
+use crate::BandwidthMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bandwidth process: a baseline matrix whose links drift by a bounded
+/// multiplicative random walk.
+#[derive(Debug, Clone)]
+pub struct BandwidthProcess {
+    baseline: BandwidthMatrix,
+    current: BandwidthMatrix,
+    /// Per-step log-space drift scale (e.g. 0.05 = ±5 %ish per step).
+    volatility: f64,
+    /// Clamp factors: each link stays within
+    /// `[baseline/range, baseline*range]`.
+    range: f64,
+    /// Links currently severed; the walk skips them until restored.
+    cut: std::collections::HashSet<(usize, usize)>,
+    rng: StdRng,
+}
+
+impl BandwidthProcess {
+    /// Creates a process around `baseline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `volatility >= 0` and `range >= 1`.
+    pub fn new(baseline: BandwidthMatrix, volatility: f64, range: f64, seed: u64) -> Self {
+        assert!(volatility >= 0.0, "volatility must be non-negative");
+        assert!(range >= 1.0, "range must be at least 1");
+        BandwidthProcess {
+            current: baseline.clone(),
+            baseline,
+            volatility,
+            range,
+            cut: Default::default(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The current matrix.
+    pub fn current(&self) -> &BandwidthMatrix {
+        &self.current
+    }
+
+    /// The baseline the walk reverts around.
+    pub fn baseline(&self) -> &BandwidthMatrix {
+        &self.baseline
+    }
+
+    /// Advances every link one step of the walk and returns the new
+    /// matrix.
+    pub fn step(&mut self) -> &BandwidthMatrix {
+        let n = self.baseline.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let base = self.baseline.get(i, j);
+                if base <= 0.0 || self.cut.contains(&(i, j)) {
+                    continue;
+                }
+                let cur = self.current.get(i, j);
+                let shock = (self.volatility * self.rng.gen_range(-1.0..1.0f64)).exp();
+                let next = (cur * shock).clamp(base / self.range, base * self.range);
+                self.current.set(i, j, next);
+            }
+        }
+        &self.current
+    }
+
+    /// Severs a link entirely (e.g. a peer behind a failed route); it
+    /// stays down — even across [`BandwidthProcess::step`] calls — until
+    /// [`BandwidthProcess::restore_link`].
+    pub fn cut_link(&mut self, i: usize, j: usize) {
+        self.cut.insert((i.min(j), i.max(j)));
+        self.current.set(i, j, 0.0);
+    }
+
+    /// Restores a previously cut link to its baseline value.
+    pub fn restore_link(&mut self, i: usize, j: usize) {
+        self.cut.remove(&(i.min(j), i.max(j)));
+        let v = self.baseline.get(i, j);
+        self.current.set(i, j, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn process() -> BandwidthProcess {
+        BandwidthProcess::new(BandwidthMatrix::constant(4, 2.0), 0.2, 4.0, 1)
+    }
+
+    #[test]
+    fn stays_within_clamp_range() {
+        let mut p = process();
+        for _ in 0..500 {
+            p.step();
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    let v = p.current().get(i, j);
+                    assert!(v >= 0.5 && v <= 8.0, "link ({i},{j}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stays_symmetric() {
+        let mut p = process();
+        for _ in 0..50 {
+            p.step();
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(p.current().get(i, j), p.current().get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn actually_moves() {
+        let mut p = process();
+        p.step();
+        let mut moved = false;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                if (p.current().get(i, j) - 2.0).abs() > 1e-12 {
+                    moved = true;
+                }
+            }
+        }
+        assert!(moved);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = process();
+        let mut b = process();
+        for _ in 0..20 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.current(), b.current());
+    }
+
+    #[test]
+    fn zero_volatility_is_static() {
+        let mut p = BandwidthProcess::new(BandwidthMatrix::constant(3, 1.0), 0.0, 2.0, 5);
+        p.step();
+        assert_eq!(p.current(), p.baseline());
+    }
+
+    #[test]
+    fn cut_stays_down_across_steps() {
+        let mut p = process();
+        p.cut_link(0, 1);
+        for _ in 0..10 {
+            p.step();
+        }
+        assert_eq!(p.current().get(0, 1), 0.0);
+        p.restore_link(0, 1);
+        assert_eq!(p.current().get(0, 1), 2.0);
+        p.step();
+        assert!(p.current().get(0, 1) > 0.0);
+    }
+}

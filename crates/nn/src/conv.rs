@@ -1,0 +1,367 @@
+//! 2-D convolution via im2col.
+
+use crate::Layer;
+use rand::Rng;
+use saps_tensor::Tensor;
+
+/// A 2-D convolution layer (stride-1 or stride-2, symmetric zero padding),
+/// NCHW layout.
+///
+/// Implemented as im2col + GEMM: the input patches are unrolled into a
+/// `[batch·H_out·W_out, C_in·k·k]` matrix and multiplied by the
+/// `[C_in·k·k, C_out]` kernel matrix.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    in_h: usize,
+    in_w: usize,
+    w: Tensor,
+    b: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cached_cols: Option<Tensor>,
+    cached_batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution for inputs of spatial size `in_h × in_w`.
+    /// Kaiming-uniform initialization.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        in_h: usize,
+        in_w: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(stride >= 1 && kernel >= 1);
+        let fan_in = in_channels * kernel * kernel;
+        let bound = (6.0 / fan_in as f32).sqrt();
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            in_h,
+            in_w,
+            w: Tensor::uniform(&[fan_in, out_channels], bound, rng),
+            b: Tensor::zeros(&[out_channels]),
+            grad_w: Tensor::zeros(&[fan_in, out_channels]),
+            grad_b: Tensor::zeros(&[out_channels]),
+            cached_cols: None,
+            cached_batch: 0,
+        }
+    }
+
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn im2col(&self, input: &Tensor, batch: usize) -> Tensor {
+        let (c, h, w) = (self.in_channels, self.in_h, self.in_w);
+        let (oh, ow, k, s, p) = (
+            self.out_h(),
+            self.out_w(),
+            self.kernel,
+            self.stride,
+            self.padding,
+        );
+        let cols_w = c * k * k;
+        let mut cols = vec![0.0f32; batch * oh * ow * cols_w];
+        let x = input.data();
+        for n in 0..batch {
+            let x_base = n * c * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((n * oh + oy) * ow + ox) * cols_w;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let iy = (oy * s + ky) as isize - p as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * s + kx) as isize - p as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                cols[row + (ci * k + ky) * k + kx] =
+                                    x[x_base + (ci * h + iy as usize) * w + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(cols, &[batch * oh * ow, cols_w])
+    }
+
+    fn col2im(&self, grad_cols: &Tensor, batch: usize) -> Tensor {
+        let (c, h, w) = (self.in_channels, self.in_h, self.in_w);
+        let (oh, ow, k, s, p) = (
+            self.out_h(),
+            self.out_w(),
+            self.kernel,
+            self.stride,
+            self.padding,
+        );
+        let cols_w = c * k * k;
+        let mut out = vec![0.0f32; batch * c * h * w];
+        let g = grad_cols.data();
+        for n in 0..batch {
+            let x_base = n * c * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((n * oh + oy) * ow + ox) * cols_w;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let iy = (oy * s + ky) as isize - p as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * s + kx) as isize - p as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                out[x_base + (ci * h + iy as usize) * w + ix as usize] +=
+                                    g[row + (ci * k + ky) * k + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[batch, c, h, w])
+    }
+
+    /// Rearranges `[batch·oh·ow, C_out]` column output into NCHW.
+    fn cols_to_nchw(&self, out_cols: &Tensor, batch: usize) -> Tensor {
+        let (oh, ow, oc) = (self.out_h(), self.out_w(), self.out_channels);
+        let mut out = vec![0.0f32; batch * oc * oh * ow];
+        let src = out_cols.data();
+        for n in 0..batch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((n * oh + oy) * ow + ox) * oc;
+                    for co in 0..oc {
+                        out[((n * oc + co) * oh + oy) * ow + ox] = src[row + co];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[batch, oc, oh, ow])
+    }
+
+    /// Rearranges an NCHW gradient into `[batch·oh·ow, C_out]` columns.
+    fn nchw_to_cols(&self, grad: &Tensor, batch: usize) -> Tensor {
+        let (oh, ow, oc) = (self.out_h(), self.out_w(), self.out_channels);
+        let mut out = vec![0.0f32; batch * oh * ow * oc];
+        let src = grad.data();
+        for n in 0..batch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((n * oh + oy) * ow + ox) * oc;
+                    for co in 0..oc {
+                        out[row + co] = src[((n * oc + co) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[batch * oh * ow, oc])
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 4, "Conv2d expects NCHW input");
+        let batch = input.shape()[0];
+        assert_eq!(input.shape()[1], self.in_channels, "channel mismatch");
+        assert_eq!(input.shape()[2], self.in_h, "height mismatch");
+        assert_eq!(input.shape()[3], self.in_w, "width mismatch");
+        let cols = self.im2col(input, batch);
+        let mut out_cols = cols.matmul(&self.w);
+        // Add bias per output channel.
+        let oc = self.out_channels;
+        let b = self.b.data();
+        let data = out_cols.data_mut();
+        for row in data.chunks_exact_mut(oc) {
+            for (v, &bias) in row.iter_mut().zip(b) {
+                *v += bias;
+            }
+        }
+        self.cached_cols = Some(cols);
+        self.cached_batch = batch;
+        self.cols_to_nchw(&out_cols, batch)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cols = self
+            .cached_cols
+            .take()
+            .expect("backward called without a preceding forward");
+        let batch = self.cached_batch;
+        let grad_cols = self.nchw_to_cols(grad_out, batch);
+        // dW = colsᵀ · dy_cols.
+        let gw = cols.t_matmul(&grad_cols);
+        self.grad_w.add_scaled_assign(&gw, 1.0);
+        // db = column-sum of dy_cols.
+        let oc = self.out_channels;
+        let gb = self.grad_b.data_mut();
+        for row in grad_cols.data().chunks_exact(oc) {
+            for (g, &v) in gb.iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+        // dx = col2im(dy_cols · Wᵀ).
+        let grad_input_cols = grad_cols.matmul_t(&self.w);
+        self.col2im(&grad_input_cols, batch)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.w, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.grad_w, &self.grad_b]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.scale_assign(0.0);
+        self.grad_b.scale_assign(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        // 1×1 kernel with weight 1 reproduces the input.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, 3, 3, &mut rng);
+        conv.params_mut()[0].data_mut()[0] = 1.0;
+        conv.params_mut()[0].scale_assign(1.0);
+        conv.w.data_mut()[0] = 1.0;
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 1, 3, 3]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        for (a, b) in y.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // 3×3 all-ones kernel over a 3×3 all-ones image with padding 1:
+        // centre sees 9, edges 6, corners 4.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, 3, 3, &mut rng);
+        for v in conv.w.data_mut() {
+            *v = 1.0;
+        }
+        let x = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let y = conv.forward(&x, true);
+        assert_eq!(
+            y.data(),
+            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn stride_two_halves_resolution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv2d::new(3, 8, 3, 2, 1, 8, 8, &mut rng);
+        assert_eq!(conv.out_h(), 4);
+        assert_eq!(conv.out_w(), 4);
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 4, 4, &mut rng);
+        let x = Tensor::randn(&[2, 2, 4, 4], 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        let gin = conv.backward(&Tensor::full(y.shape(), 1.0));
+        let eps = 1e-2f32;
+        // Weight gradient at a few positions.
+        let analytic_w = conv.grads()[0].clone();
+        for k in [0usize, 7, 23] {
+            let orig = conv.w.data()[k];
+            conv.w.data_mut()[k] = orig + eps;
+            let lp = conv.forward(&x, true).sum();
+            conv.w.data_mut()[k] = orig - eps;
+            let lm = conv.forward(&x, true).sum();
+            conv.w.data_mut()[k] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic_w.data()[k] - numeric).abs() < 0.05 * numeric.abs().max(1.0),
+                "w[{k}]: {} vs {}",
+                analytic_w.data()[k],
+                numeric
+            );
+        }
+        // Input gradient at a few positions.
+        for k in [0usize, 17, 40] {
+            let mut xp = x.clone();
+            xp.data_mut()[k] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[k] -= eps;
+            let lp = conv.forward(&xp, true).sum();
+            let lm = conv.forward(&xm, true).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (gin.data()[k] - numeric).abs() < 0.05 * numeric.abs().max(1.0),
+                "x[{k}]: {} vs {}",
+                gin.data()[k],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_counts_positions() {
+        // dL/db for L = sum(y) equals batch · oh · ow per channel.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, 4, 4, &mut rng);
+        let x = Tensor::randn(&[3, 1, 4, 4], 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        conv.backward(&Tensor::full(y.shape(), 1.0));
+        for &g in conv.grads()[1].data() {
+            assert!((g - 48.0).abs() < 1e-3); // 3 batch × 16 positions
+        }
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let conv = Conv2d::new(3, 16, 5, 1, 2, 32, 32, &mut rng);
+        assert_eq!(conv.param_count(), 3 * 5 * 5 * 16 + 16);
+    }
+}

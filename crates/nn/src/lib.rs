@@ -1,0 +1,49 @@
+//! Minimal neural-network training substrate.
+//!
+//! Implements exactly what the paper's evaluation needs: feed-forward
+//! models (dense layers, 2-D convolutions with max pooling, batch
+//! normalization, residual blocks), softmax cross-entropy loss, and SGD —
+//! plus **flat parameter access** ([`Model::flat_params`] /
+//! [`Model::set_flat_params`]), because every algorithm in the paper
+//! exchanges models as flat vectors `x ∈ R^N`.
+//!
+//! The model zoo ([`zoo`]) provides the paper's three architectures
+//! (MNIST-CNN, CIFAR10-CNN, ResNet-20) at full size, plus scaled-down
+//! variants used by the convergence experiments (see DESIGN.md §6).
+//!
+//! # Example
+//!
+//! ```
+//! use saps_nn::{zoo, Model};
+//! use saps_data::SyntheticSpec;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut model = zoo::mlp(&[16, 32, 4], &mut rng);
+//! let ds = SyntheticSpec::tiny().samples(64).generate(1);
+//! let batch = ds.sample_batch(8, &mut rng);
+//! let (loss, _acc) = model.train_step(&batch, 0.1);
+//! assert!(loss.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+mod activation;
+mod conv;
+mod dense;
+mod layer;
+mod loss;
+mod model;
+mod norm;
+mod pool;
+pub mod sgd;
+pub mod zoo;
+
+pub use activation::{Relu, Tanh};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use layer::Layer;
+pub use loss::{accuracy, softmax_cross_entropy};
+pub use model::{Flatten, Model, ResidualBlock};
+pub use norm::BatchNorm;
+pub use pool::{GlobalAvgPool, MaxPool2d};

@@ -1,0 +1,117 @@
+//! Softmax cross-entropy loss and accuracy.
+
+use saps_tensor::{ops, Tensor};
+
+/// Computes the mean softmax cross-entropy loss over a batch of logits
+/// `[batch, classes]`, returning `(loss, grad_logits)`.
+///
+/// The gradient is `(softmax(z) − onehot(y)) / batch` — ready to feed into
+/// the last layer's `backward`.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "logits must be [batch, classes]");
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(batch, labels.len(), "batch/labels mismatch");
+    let mut grad = vec![0.0f32; batch * classes];
+    let mut loss = 0.0f64;
+    for r in 0..batch {
+        let row = &logits.data()[r * classes..(r + 1) * classes];
+        let label = labels[r];
+        assert!(label < classes, "label out of range");
+        // Numerically stable log-softmax.
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0f32;
+        for &v in row {
+            sum += (v - max).exp();
+        }
+        let log_sum = sum.ln() + max;
+        loss -= (row[label] - log_sum) as f64;
+        let grow = &mut grad[r * classes..(r + 1) * classes];
+        for (c, g) in grow.iter_mut().enumerate() {
+            let p = (row[c] - log_sum).exp();
+            *g = (p - f32::from(c == label)) / batch as f32;
+        }
+    }
+    (
+        (loss / batch as f64) as f32,
+        Tensor::from_vec(grad, &[batch, classes]),
+    )
+}
+
+/// Fraction of rows whose argmax matches the label.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(batch, labels.len());
+    if batch == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for r in 0..batch {
+        let row = &logits.data()[r * classes..(r + 1) * classes];
+        if ops::argmax(row) == labels[r] {
+            correct += 1;
+        }
+    }
+    correct as f32 / batch as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.0, 0.0], &[2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 1]);
+        for r in 0..2 {
+            let s: f32 = grad.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[1, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let eps = 1e-3f32;
+        for k in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[k] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[k] -= eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, &[1]);
+            let (loss_m, _) = softmax_cross_entropy(&lm, &[1]);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!((grad.data()[k] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn loss_is_stable_for_huge_logits() {
+        let logits = Tensor::from_vec(vec![1e4, -1e4], &[1, 2]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Tensor::from_vec(vec![2.0, 1.0, 0.0, 5.0], &[2, 2]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+}

@@ -1,0 +1,167 @@
+//! SGD with optional momentum and weight decay, over flat parameter
+//! vectors.
+//!
+//! The paper's Algorithm 2 uses plain SGD (`net.x ← net.x − γ·∇`); momentum
+//! and weight decay are provided because ResNet-style training
+//! conventionally uses them, and because a distributed algorithm's
+//! convergence comparisons should not be bottlenecked by a crippled
+//! optimizer.
+
+use crate::Model;
+
+/// SGD state: learning schedule knobs plus the momentum buffer.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Plain SGD (no momentum, no weight decay).
+    pub fn plain() -> Self {
+        Sgd {
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum and weight decay.
+    pub fn with_momentum(momentum: f32, weight_decay: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum));
+        Sgd {
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one step at learning rate `lr` using the model's currently
+    /// accumulated gradients, then clears them.
+    pub fn step(&mut self, model: &mut Model, lr: f32) {
+        let mut params = model.flat_params();
+        let grads = model.flat_grads();
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for ((p, g), v) in params.iter_mut().zip(&grads).zip(&mut self.velocity) {
+            let g = g + self.weight_decay * *p;
+            if self.momentum > 0.0 {
+                *v = self.momentum * *v + g;
+                *p -= lr * *v;
+            } else {
+                *p -= lr * g;
+            }
+        }
+        model.set_flat_params(&params);
+        model.zero_grads();
+    }
+
+    /// Resets the momentum buffer (e.g. after a model overwrite).
+    pub fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// A step-decay learning-rate schedule: `base · factor^(epoch / period)`.
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Initial learning rate.
+    pub base: f32,
+    /// Multiplicative decay applied every `period` epochs.
+    pub factor: f32,
+    /// Epochs between decays.
+    pub period: usize,
+}
+
+impl StepDecay {
+    /// The learning rate at `epoch`.
+    pub fn at(&self, epoch: usize) -> f32 {
+        self.base * self.factor.powi((epoch / self.period) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{zoo, Model};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saps_data::SyntheticSpec;
+
+    fn setup() -> (Model, saps_data::Dataset, StdRng) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = zoo::mlp(&[16, 24, 4], &mut rng);
+        let ds = SyntheticSpec::tiny().samples(512).generate(2);
+        (m, ds, rng)
+    }
+
+    #[test]
+    fn plain_step_matches_manual_update() {
+        let (mut m, ds, mut rng) = setup();
+        let before = m.flat_params();
+        let b = ds.sample_batch(32, &mut rng);
+        m.compute_grads(&b);
+        let grads = m.flat_grads();
+        let mut sgd = Sgd::plain();
+        sgd.step(&mut m, 0.5);
+        let after = m.flat_params();
+        for ((a, b), g) in after.iter().zip(&before).zip(&grads) {
+            assert!((a - (b - 0.5 * g)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates_along_constant_gradient() {
+        // With constant gradient g, velocity after 2 steps = g(1 + m).
+        let (mut m, ds, mut rng) = setup();
+        let b = ds.sample_batch(32, &mut rng);
+        let mut sgd = Sgd::with_momentum(0.9, 0.0);
+        let p0 = m.flat_params();
+        m.compute_grads(&b);
+        let g1 = m.flat_grads();
+        sgd.step(&mut m, 0.1);
+        let p1 = m.flat_params();
+        // Restore params so the gradient is identical, then step again.
+        m.set_flat_params(&p0);
+        m.zero_grads();
+        m.compute_grads(&b);
+        m.set_flat_params(&p1);
+        sgd.step(&mut m, 0.1);
+        let p2 = m.flat_params();
+        for i in 0..3 {
+            let step2 = p1[i] - p2[i];
+            let expect = 0.1 * g1[i] * 1.9;
+            assert!((step2 - expect).abs() < 1e-6, "i={i}");
+        }
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let (mut m, _, _) = setup();
+        let before = m.flat_params();
+        m.zero_grads(); // zero gradient: only decay acts
+        let mut sgd = Sgd::with_momentum(0.0, 0.1);
+        sgd.step(&mut m, 1.0);
+        let after = m.flat_params();
+        for (a, b) in after.iter().zip(&before) {
+            assert!((a - b * 0.9).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = StepDecay {
+            base: 0.1,
+            factor: 0.1,
+            period: 80,
+        };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(79), 0.1);
+        assert!((s.at(80) - 0.01).abs() < 1e-9);
+        assert!((s.at(160) - 0.001).abs() < 1e-9);
+    }
+}

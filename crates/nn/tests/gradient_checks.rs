@@ -1,0 +1,105 @@
+//! End-to-end gradient checks: random small models, finite differences
+//! against backprop through the full model + loss.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps_data::Batch;
+use saps_nn::{softmax_cross_entropy, zoo, Model};
+
+/// Computes the loss of `model` on `batch` without touching gradients.
+fn loss_of(model: &mut Model, batch: &Batch) -> f32 {
+    let logits = model.forward(&batch.features, batch.len(), true);
+    softmax_cross_entropy(&logits, &batch.labels).0
+}
+
+/// Finite-difference check of `dL/dθ` at a few random coordinates.
+fn check_model_gradients(mut model: Model, batch: &Batch, coords: &[usize], tol: f32) {
+    model.zero_grads();
+    model.compute_grads(batch);
+    let analytic = model.flat_grads();
+    let mut params = model.flat_params();
+    let eps = 1e-2f32;
+    for &k in coords {
+        let k = k % params.len();
+        let orig = params[k];
+        params[k] = orig + eps;
+        model.set_flat_params(&params);
+        let lp = loss_of(&mut model, batch);
+        params[k] = orig - eps;
+        model.set_flat_params(&params);
+        let lm = loss_of(&mut model, batch);
+        params[k] = orig;
+        model.set_flat_params(&params);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (analytic[k] - numeric).abs() <= tol * numeric.abs().max(0.5),
+            "coord {k}: analytic {} vs numeric {}",
+            analytic[k],
+            numeric
+        );
+    }
+}
+
+fn batch_for(model: &Model, classes: usize, seed: u64) -> Batch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ds = saps_data::SyntheticSpec {
+        feature_dim: model.input_dim(),
+        num_classes: classes,
+        num_samples: 16,
+        noise: 0.5,
+        class_separation: 1.0,
+        mixing_taps: 2,
+    }
+    .generate(seed);
+    ds.sample_batch(4, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn mlp_gradients_match_finite_differences(
+        seed in any::<u64>(),
+        hidden in 4usize..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = zoo::mlp(&[8, hidden, 3], &mut rng);
+        let batch = batch_for(&model, 3, seed);
+        let coords: Vec<usize> = (0..6).map(|i| seed as usize / (i + 1) + i * 37).collect();
+        check_model_gradients(model, &batch, &coords, 0.05);
+    }
+
+    #[test]
+    fn small_cnn_gradients_match_finite_differences(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = zoo::small_cnn(&mut rng);
+        let batch = batch_for(&model, 4, seed);
+        let coords: Vec<usize> = (0..4).map(|i| seed as usize / (i + 1) + i * 101).collect();
+        check_model_gradients(model, &batch, &coords, 0.08);
+    }
+}
+
+#[test]
+fn resnet_tiny_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = zoo::resnet_tiny(&mut rng);
+    let batch = batch_for(&model, 4, 5);
+    // Batch norm makes individual-coordinate finite differences noisier;
+    // use a looser tolerance and a few spread-out coordinates.
+    check_model_gradients(model, &batch, &[0, 333, 777, 1234], 0.15);
+}
+
+#[test]
+fn flat_param_round_trip_preserves_behaviour() {
+    // Extracting and re-setting flat params must not change the model's
+    // outputs — the invariant the model-exchange path relies on.
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut model = zoo::mlp(&[8, 16, 3], &mut rng);
+    let batch = batch_for(&model, 3, 9);
+    let before = loss_of(&mut model, &batch);
+    let flat = model.flat_params();
+    model.set_flat_params(&flat);
+    let after = loss_of(&mut model, &batch);
+    assert_eq!(before, after);
+}

@@ -1,0 +1,338 @@
+//! `f64` matrices and the deflated power-iteration eigensolver used for the
+//! spectral analysis of gossip matrices.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A row-major `f64` matrix.
+///
+/// Used wherever the workspace needs numerically careful linear algebra —
+/// primarily computing the second-largest eigenvalue ρ of `E[WᵀW]`
+/// (Assumption 3 in the paper), which governs consensus speed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Wraps a buffer; panics if `rows * cols != data.len()`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(rows * cols, data.len(), "Mat::from_vec: bad dimensions");
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "Mat::matmul: dimension mismatch");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// `self + other`, element-wise.
+    pub fn add(&self, other: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// `self * alpha`, element-wise.
+    pub fn scale(&self, alpha: f64) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|a| a * alpha).collect(),
+        }
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "Mat::matvec: dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Whether every row and every column sums to 1 (within `tol`) and all
+    /// entries are non-negative — i.e. the matrix is doubly stochastic.
+    pub fn is_doubly_stochastic(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        if self.data.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        for i in 0..self.rows {
+            let rs: f64 = (0..self.cols).map(|j| self[(i, j)]).sum();
+            if (rs - 1.0).abs() > tol {
+                return false;
+            }
+        }
+        for j in 0..self.cols {
+            let cs: f64 = (0..self.rows).map(|i| self[(i, j)]).sum();
+            if (cs - 1.0).abs() > tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Maximum absolute difference to `other`.
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest eigenvalue (in absolute value) and eigenvector of a
+    /// **symmetric** matrix by power iteration.
+    ///
+    /// Returns `(lambda, v)` with `‖v‖ = 1`. Deterministic: the starting
+    /// vector is drawn from a fixed-seed RNG.
+    pub fn power_iteration(&self, iters: usize) -> (f64, Vec<f64>) {
+        self.power_iteration_deflated(&[], iters)
+    }
+
+    /// Power iteration orthogonalized against the given (unit-norm)
+    /// `deflate` vectors, so it converges to the dominant eigenpair of the
+    /// subspace orthogonal to them.
+    pub fn power_iteration_deflated(&self, deflate: &[Vec<f64>], iters: usize) -> (f64, Vec<f64>) {
+        assert_eq!(self.rows, self.cols, "power iteration needs a square matrix");
+        let n = self.rows;
+        let mut rng = StdRng::seed_from_u64(0x5eed_0123);
+        let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        orthogonalize(&mut v, deflate);
+        normalize(&mut v);
+        let mut lambda = 0.0;
+        for _ in 0..iters {
+            let mut w = self.matvec(&v);
+            orthogonalize(&mut w, deflate);
+            let norm = l2(&w);
+            if norm < 1e-300 {
+                return (0.0, v);
+            }
+            for x in &mut w {
+                *x /= norm;
+            }
+            lambda = dot(&w, &self.matvec(&w));
+            v = w;
+        }
+        (lambda, v)
+    }
+
+    /// Second-largest eigenvalue (by absolute value) of a **symmetric
+    /// doubly-stochastic** matrix, i.e. the dominant eigenvalue after
+    /// removing the all-ones eigenvector (eigenvalue 1).
+    ///
+    /// Rather than Gram–Schmidt inside the iteration (which is numerically
+    /// fragile when the deflated spectrum is ~0: the floating-point residue
+    /// of `A·v` is exactly parallel to `1`, so renormalization snaps back
+    /// to the deflated eigenvector), this subtracts the rank-one component
+    /// explicitly: `A' = A − J/n`, whose dominant eigenvalue is ρ.
+    ///
+    /// For positive semi-definite inputs such as `E[WᵀW]` this equals the
+    /// true second-largest eigenvalue — the ρ of the paper's Assumption 3;
+    /// consensus requires ρ < 1.
+    pub fn second_eigenvalue_stochastic(&self, iters: usize) -> f64 {
+        assert_eq!(self.rows, self.cols);
+        let n = self.rows;
+        let mut deflated = self.clone();
+        let inv = 1.0 / n as f64;
+        for v in &mut deflated.data {
+            *v -= inv;
+        }
+        let (lambda, _) = deflated.power_iteration(iters);
+        lambda.abs()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn l2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = l2(v);
+    if n > 0.0 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+fn orthogonalize(v: &mut [f64], basis: &[Vec<f64>]) {
+    for b in basis {
+        let proj = dot(v, b);
+        for (x, y) in v.iter_mut().zip(b) {
+            *x -= proj * y;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let mut a = Mat::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 3.0;
+        a[(1, 1)] = 4.0;
+        let prod = a.matmul(&Mat::eye(2));
+        assert!(prod.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenvalue() {
+        // diag(3, 1) has dominant eigenvalue 3 with eigenvector e1.
+        let mut a = Mat::zeros(2, 2);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 1.0;
+        let (lambda, v) = a.power_iteration(200);
+        assert!((lambda - 3.0).abs() < 1e-9, "lambda = {lambda}");
+        assert!(v[0].abs() > 0.999);
+    }
+
+    #[test]
+    fn second_eigenvalue_of_complete_mixing_is_zero() {
+        // W = 11ᵀ/n mixes perfectly: eigenvalues are 1, 0, ..., 0.
+        let n = 6;
+        let w = Mat::from_vec(n, n, vec![1.0 / n as f64; n * n]);
+        let rho = w.second_eigenvalue_stochastic(300);
+        assert!(rho.abs() < 1e-9, "rho = {rho}");
+    }
+
+    #[test]
+    fn second_eigenvalue_of_identity_is_one() {
+        // Identity never mixes: every eigenvalue is 1, so rho = 1.
+        let rho = Mat::eye(5).second_eigenvalue_stochastic(300);
+        assert!((rho - 1.0).abs() < 1e-9, "rho = {rho}");
+    }
+
+    #[test]
+    fn second_eigenvalue_ring_lazy_walk() {
+        // Lazy random walk on a 4-cycle: W = I/2 + A/4 where A is the cycle
+        // adjacency. Eigenvalues of the cycle: 2cos(2πk/n) ∈ {2, 0, -2, 0};
+        // W eigenvalues: 1/2 + cos(2πk/4)/2 ∈ {1, 1/2, 0, 1/2}. rho = 1/2.
+        let n = 4;
+        let mut w = Mat::zeros(n, n);
+        for i in 0..n {
+            w[(i, i)] = 0.5;
+            w[(i, (i + 1) % n)] = 0.25;
+            w[(i, (i + n - 1) % n)] = 0.25;
+        }
+        assert!(w.is_doubly_stochastic(1e-12));
+        let rho = w.second_eigenvalue_stochastic(500);
+        assert!((rho - 0.5).abs() < 1e-6, "rho = {rho}");
+    }
+
+    #[test]
+    fn doubly_stochastic_detects_violations() {
+        let mut w = Mat::eye(3);
+        assert!(w.is_doubly_stochastic(1e-12));
+        w[(0, 1)] = 0.1;
+        assert!(!w.is_doubly_stochastic(1e-12));
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let v = a.matvec(&[1.0, 0.0, -1.0]);
+        assert_eq!(v, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(a.transpose().transpose().max_abs_diff(&a) < 1e-15);
+    }
+}

@@ -1,0 +1,160 @@
+//! Flat-slice numeric kernels shared by all algorithm implementations.
+//!
+//! Model exchange in every algorithm of the paper operates on *flattened*
+//! parameter vectors (`x ∈ R^N`), so the hot inner loops live here as free
+//! functions over `&[f32]`.
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (BLAS axpy).
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = y * beta + x * alpha`.
+pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = *yi * beta + alpha * xi;
+    }
+}
+
+/// Squared l2 norm.
+pub fn norm_sq(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum()
+}
+
+/// l2 norm.
+pub fn norm(a: &[f32]) -> f32 {
+    norm_sq(a).sqrt()
+}
+
+/// Squared l2 distance between two slices.
+pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Index of the maximum element (first on ties). Panics on empty input.
+pub fn argmax(a: &[f32]) -> usize {
+    assert!(!a.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in a.iter().enumerate() {
+        if v > a[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Element-wise mean of `k` equal-length vectors into a fresh vector.
+///
+/// Panics if `vs` is empty or lengths differ.
+pub fn mean_of(vs: &[&[f32]]) -> Vec<f32> {
+    assert!(!vs.is_empty(), "mean_of: need at least one vector");
+    let n = vs[0].len();
+    let mut out = vec![0.0f32; n];
+    for v in vs {
+        assert_eq!(v.len(), n, "mean_of: length mismatch");
+        axpy(1.0, v, &mut out);
+    }
+    let inv = 1.0 / vs.len() as f32;
+    for o in &mut out {
+        *o *= inv;
+    }
+    out
+}
+
+/// Masked average used by the SAPS-PSGD exchange step (Algorithm 2, line
+/// 10, in its doubly-stochastic form):
+///
+/// for every index `i` in `mask_indices`:
+/// `x[i] = (x[i] + peer[i]) / 2`; all other coordinates are left untouched
+/// (`x ∘ ¬m` term).
+///
+/// `peer_sparse` holds the peer's values *for the masked indices only*, in
+/// the same order as `mask_indices`.
+pub fn masked_average(x: &mut [f32], mask_indices: &[u32], peer_sparse: &[f32]) {
+    debug_assert_eq!(mask_indices.len(), peer_sparse.len());
+    for (&i, &pv) in mask_indices.iter().zip(peer_sparse) {
+        let xi = &mut x[i as usize];
+        *xi = 0.5 * (*xi + pv);
+    }
+}
+
+/// Gathers the values of `x` at `indices` into a fresh vector.
+pub fn gather(x: &[f32], indices: &[u32]) -> Vec<f32> {
+    indices.iter().map(|&i| x[i as usize]).collect()
+}
+
+/// Scatters `values` into `x` at `indices` (overwrite semantics).
+pub fn scatter(x: &mut [f32], indices: &[u32], values: &[f32]) {
+    debug_assert_eq!(indices.len(), values.len());
+    for (&i, &v) in indices.iter().zip(values) {
+        x[i as usize] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        assert_eq!(norm_sq(&a), 14.0);
+        assert!((norm(&a) - 14.0f32.sqrt()).abs() < 1e-7);
+        assert_eq!(dist_sq(&a, &b), 27.0);
+    }
+
+    #[test]
+    fn axpy_axpby() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        axpby(1.0, &x, 0.5, &mut y);
+        assert_eq!(y, [7.0, 14.0]);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 6.0];
+        let m = mean_of(&[&a, &b]);
+        assert_eq!(m, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn masked_average_touches_only_masked() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        masked_average(&mut x, &[1, 3], &[4.0, 0.0]);
+        assert_eq!(x, vec![1.0, 3.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let x = vec![10.0, 11.0, 12.0, 13.0];
+        let idx = [0u32, 2];
+        let g = gather(&x, &idx);
+        assert_eq!(g, vec![10.0, 12.0]);
+        let mut y = vec![0.0; 4];
+        scatter(&mut y, &idx, &g);
+        assert_eq!(y, vec![10.0, 0.0, 12.0, 0.0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the tensor substrate.
+
+use proptest::prelude::*;
+use saps_tensor::{ops, Mat, Tensor};
+
+fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        (
+            Just(r),
+            Just(c),
+            proptest::collection::vec(-10.0f32..10.0, r * c),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution((r, c, data) in small_matrix()) {
+        let t = Tensor::from_vec(data, &[r, c]);
+        let back = t.transpose().transpose();
+        prop_assert_eq!(t.data(), back.data());
+        prop_assert_eq!(t.shape(), back.shape());
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral((r, c, data) in small_matrix()) {
+        let t = Tensor::from_vec(data, &[r, c]);
+        let left = Tensor::eye(r).matmul(&t);
+        let right = t.matmul(&Tensor::eye(c));
+        for (a, b) in left.data().iter().zip(t.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        for (a, b) in right.data().iter().zip(t.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_t_consistency((r, c, data) in small_matrix(), extra in 1usize..5) {
+        // a: r×c, b: extra×c  =>  a·bᵀ == a·(bᵀ).
+        let a = Tensor::from_vec(data, &[r, c]);
+        let bdata: Vec<f32> = (0..extra * c).map(|i| (i as f32).sin()).collect();
+        let b = Tensor::from_vec(bdata, &[extra, c]);
+        let fast = a.matmul_t(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip((r, c, data) in small_matrix()) {
+        let a = Tensor::from_vec(data.clone(), &[r, c]);
+        let b = Tensor::from_vec(data.iter().map(|v| v * 0.5 + 1.0).collect(), &[r, c]);
+        let back = a.add(&b).sub(&b);
+        for (x, y) in back.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_bilinear(
+        v in proptest::collection::vec(-5.0f32..5.0, 1..32),
+        alpha in -3.0f32..3.0,
+    ) {
+        let w: Vec<f32> = v.iter().rev().cloned().collect();
+        prop_assert!((ops::dot(&v, &w) - ops::dot(&w, &v)).abs() < 1e-3);
+        let scaled: Vec<f32> = v.iter().map(|x| alpha * x).collect();
+        prop_assert!((ops::dot(&scaled, &w) - alpha * ops::dot(&v, &w)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn axpby_matches_manual(
+        v in proptest::collection::vec(-5.0f32..5.0, 1..32),
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+    ) {
+        let x: Vec<f32> = v.iter().map(|a| a + 1.0).collect();
+        let mut y = v.clone();
+        ops::axpby(alpha, &x, beta, &mut y);
+        for i in 0..v.len() {
+            let expect = v[i] * beta + alpha * x[i];
+            prop_assert!((y[i] - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_identity(
+        n in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let mut idx: Vec<u32> = (0..n as u32).filter(|_| rng.gen_bool(0.5)).collect();
+        idx.sort_unstable();
+        let g = ops::gather(&x, &idx);
+        let mut y = x.clone();
+        ops::scatter(&mut y, &idx, &g);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn doubly_stochastic_preserved_by_products(n in 2usize..8) {
+        // Product of two doubly stochastic matrices is doubly stochastic.
+        let a = Mat::from_vec(n, n, vec![1.0 / n as f64; n * n]);
+        let mut b = Mat::eye(n);
+        // Mix the identity a bit: lazy cycle.
+        for i in 0..n {
+            b[(i, i)] = 0.5;
+            b[(i, (i + 1) % n)] = 0.5;
+        }
+        // b is row-stochastic but not symmetric; make it doubly by
+        // averaging with its transpose... (still doubly stochastic).
+        let b = b.add(&b.transpose()).scale(0.5);
+        prop_assert!(a.is_doubly_stochastic(1e-9));
+        prop_assert!(b.is_doubly_stochastic(1e-9));
+        prop_assert!(a.matmul(&b).is_doubly_stochastic(1e-9));
+    }
+
+    #[test]
+    fn second_eigenvalue_bounded_by_one(n in 2usize..10, lazy in 0.0f64..1.0) {
+        // Lazy complete-mixing matrices: W = lazy·I + (1-lazy)·J/n.
+        let mut w = Mat::from_vec(n, n, vec![(1.0 - lazy) / n as f64; n * n]);
+        for i in 0..n {
+            w[(i, i)] += lazy;
+        }
+        let rho = w.second_eigenvalue_stochastic(500);
+        prop_assert!(rho <= 1.0 + 1e-9);
+        // Known closed form: rho = lazy.
+        prop_assert!((rho - lazy).abs() < 1e-6, "rho {rho} vs lazy {lazy}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Federated setting with non-IID data: a Dirichlet(α = 0.5) partition
+//! across 8 workers, comparing SAPS-PSGD against FedAvg and S-FedAvg on
+//! accuracy vs per-worker traffic.
+//!
+//! ```sh
+//! cargo run --release --example non_iid_federated
+//! ```
+
+use saps::baselines::{FedAvg, FedAvgConfig, Fleet, SFedAvg};
+use saps::core::{sim, SapsConfig, SapsPsgd};
+use saps::data::{partition, SyntheticSpec};
+use saps::netsim::BandwidthMatrix;
+use saps::nn::zoo;
+
+fn main() {
+    let n = 8;
+    let ds = SyntheticSpec::tiny().samples(4_000).generate(3);
+    let (train, val) = ds.split(0.2, 0);
+    let parts = partition::dirichlet(&train, n, 0.5, 11);
+    println!(
+        "non-IID partition (Dirichlet α=0.5): heterogeneity {:.3} (0 = IID)",
+        partition::heterogeneity(&parts)
+    );
+    for (w, p) in parts.iter().enumerate() {
+        println!("  worker {w}: {:4} samples, histogram {:?}", p.len(), p.class_histogram());
+    }
+
+    let bw = BandwidthMatrix::constant(n, 1.0);
+    let factory = |rng: &mut rand::rngs::StdRng| zoo::mlp(&[16, 32, 4], rng);
+    let opts = sim::RunOptions {
+        rounds: 250,
+        eval_every: 25,
+        eval_samples: 500,
+        max_epochs: f64::INFINITY,
+    };
+
+    let cfg = SapsConfig {
+        workers: n,
+        compression: 10.0,
+        lr: 0.1,
+        batch_size: 32,
+        tthres: 8,
+        ..SapsConfig::default()
+    };
+    let mut saps = SapsPsgd::with_partitions(cfg, parts.clone(), &bw, factory);
+    let saps_hist = sim::run(&mut saps, &bw, &val, opts);
+
+    let fleet = Fleet::with_partitions(parts.clone(), factory, 0, 32, 0.1);
+    let mut fedavg = FedAvg::new(fleet, FedAvgConfig::default(), 0);
+    let fed_hist = sim::run(&mut fedavg, &bw, &val, opts);
+
+    let fleet = Fleet::with_partitions(parts, factory, 0, 32, 0.1);
+    let mut sfedavg = SFedAvg::new(fleet, 0.5, 5, 10.0, 0);
+    let sfed_hist = sim::run(&mut sfedavg, &bw, &val, opts);
+
+    println!("\n algorithm | final acc | worker MB | server MB");
+    for h in [&saps_hist, &fed_hist, &sfed_hist] {
+        println!(
+            " {:9} | {:8.1}% | {:9.3} | {:9.3}",
+            h.algorithm,
+            h.final_acc * 100.0,
+            h.total_worker_traffic_mb,
+            h.total_server_traffic_mb
+        );
+    }
+    println!(
+        "\nSAPS-PSGD moves no model bytes through any server; FedAvg's \
+         server moved {:.2} MB",
+        fed_hist.total_server_traffic_mb
+    );
+}

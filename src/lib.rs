@@ -1,0 +1,59 @@
+//! # saps — SAPS-PSGD in Rust
+//!
+//! A full reproduction of *Communication-Efficient Decentralized Learning
+//! with Sparsification and Adaptive Peer Selection* (Tang, Shi, Chu —
+//! ICDCS 2020, arXiv:2002.09692), including every substrate the paper
+//! depends on and all seven comparison algorithms.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`core`] | the SAPS-PSGD algorithm: coordinator, worker, adaptive peer selection, simulator |
+//! | [`baselines`] | PSGD, TopK-PSGD, FedAvg, S-FedAvg, D-PSGD, DCD-PSGD, RandomChoose |
+//! | [`nn`] | the neural-network substrate and the paper's model zoo |
+//! | [`data`] | synthetic MNIST/CIFAR-shaped datasets, IID/non-IID partitioners |
+//! | [`netsim`] | bandwidth matrices (incl. the paper's Fig. 1 data), traffic/time accounting |
+//! | [`graph`] | Edmonds' blossom matching, connectivity, topologies |
+//! | [`gossip`] | gossip matrices, spectral ρ, consensus simulation |
+//! | [`compress`] | shared-seed random masks, top-k + error feedback, codecs |
+//! | [`tensor`] | dense tensors and f64 linear algebra |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use saps::core::{SapsConfig, SapsPsgd, sim};
+//! use saps::data::SyntheticSpec;
+//! use saps::netsim::BandwidthMatrix;
+//! use saps::nn::zoo;
+//!
+//! // 8 workers on a uniform-bandwidth network, c = 10 sparsification.
+//! let ds = SyntheticSpec::tiny().samples(2_000).generate(42);
+//! let (train, val) = ds.split(0.2, 0);
+//! let bw = BandwidthMatrix::constant(8, 1.0);
+//! let cfg = SapsConfig {
+//!     workers: 8,
+//!     compression: 10.0,
+//!     lr: 0.1,
+//!     batch_size: 32,
+//!     ..SapsConfig::default()
+//! };
+//! let mut algo = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 24, 4], rng));
+//! let hist = sim::run(&mut algo, &bw, &val, sim::RunOptions {
+//!     rounds: 50,
+//!     eval_every: 10,
+//!     eval_samples: 400,
+//!     max_epochs: f64::INFINITY,
+//! });
+//! assert!(hist.final_acc > 0.25); // beats 4-class chance
+//! ```
+
+pub use saps_baselines as baselines;
+pub use saps_compress as compress;
+pub use saps_core as core;
+pub use saps_data as data;
+pub use saps_gossip as gossip;
+pub use saps_graph as graph;
+pub use saps_netsim as netsim;
+pub use saps_nn as nn;
+pub use saps_tensor as tensor;

@@ -1,0 +1,255 @@
+//! Cross-crate integration tests: run every algorithm end to end on the
+//! same workload and check the paper's headline orderings.
+
+use saps::baselines::{
+    DPsgd, DcdPsgd, FedAvg, FedAvgConfig, Fleet, PsgdAllReduce, RandomChoose, SFedAvg, TopKPsgd,
+};
+use saps::core::{sim, SapsConfig, SapsPsgd, Trainer};
+use saps::data::{Dataset, SyntheticSpec};
+use saps::netsim::BandwidthMatrix;
+use saps::nn::zoo;
+use rand::rngs::StdRng;
+
+const N: usize = 8;
+const BATCH: usize = 16;
+const LR: f32 = 0.1;
+
+fn dataset() -> (Dataset, Dataset) {
+    SyntheticSpec::tiny().samples(2_400).generate(1).split(0.2, 0)
+}
+
+fn factory(rng: &mut StdRng) -> saps::nn::Model {
+    zoo::mlp(&[16, 24, 4], rng)
+}
+
+fn fleet(train: &Dataset) -> Fleet {
+    Fleet::new(N, train, factory, 3, BATCH, LR)
+}
+
+fn opts(rounds: usize) -> sim::RunOptions {
+    sim::RunOptions {
+        rounds,
+        eval_every: rounds / 4,
+        eval_samples: 400,
+            max_epochs: f64::INFINITY,
+        }
+}
+
+fn all_trainers(train: &Dataset, bw: &BandwidthMatrix) -> Vec<Box<dyn Trainer>> {
+    let cfg = SapsConfig {
+        workers: N,
+        compression: 10.0,
+        lr: LR,
+        batch_size: BATCH,
+        tthres: 6,
+        seed: 3,
+        ..SapsConfig::default()
+    };
+    vec![
+        Box::new(SapsPsgd::new(cfg, train, bw, factory)),
+        Box::new(PsgdAllReduce::new(fleet(train))),
+        Box::new(TopKPsgd::new(fleet(train), 20.0)),
+        Box::new(FedAvg::new(fleet(train), FedAvgConfig::default(), 3)),
+        Box::new(SFedAvg::new(fleet(train), 0.5, 5, 10.0, 3)),
+        Box::new(DPsgd::new(fleet(train))),
+        Box::new(DcdPsgd::new(fleet(train), 4.0)),
+        Box::new(RandomChoose::new(fleet(train), 10.0, 3)),
+    ]
+}
+
+#[test]
+fn every_algorithm_learns() {
+    let (train, val) = dataset();
+    let bw = BandwidthMatrix::constant(N, 1.0);
+    for mut algo in all_trainers(&train, &bw) {
+        let hist = sim::run(algo.as_mut(), &bw, &val, opts(160));
+        assert!(
+            hist.final_acc > 0.5,
+            "{} stuck at {:.1}% (chance 25%)",
+            hist.algorithm,
+            hist.final_acc * 100.0
+        );
+    }
+}
+
+#[test]
+fn saps_has_lowest_worker_traffic() {
+    let (train, val) = dataset();
+    let bw = BandwidthMatrix::constant(N, 1.0);
+    let mut results = Vec::new();
+    for mut algo in all_trainers(&train, &bw) {
+        let hist = sim::run(algo.as_mut(), &bw, &val, opts(40));
+        results.push((hist.algorithm.clone(), hist.total_worker_traffic_mb));
+    }
+    let saps = results
+        .iter()
+        .find(|(n, _)| n == "SAPS-PSGD")
+        .unwrap()
+        .1;
+    for (name, mb) in &results {
+        if name != "SAPS-PSGD" && name != "RandomChoose" {
+            assert!(
+                saps < *mb,
+                "SAPS {saps:.4} MB !< {name} {mb:.4} MB"
+            );
+        }
+    }
+}
+
+#[test]
+fn decentralized_algorithms_move_no_server_bytes() {
+    let (train, val) = dataset();
+    let bw = BandwidthMatrix::constant(N, 1.0);
+    for mut algo in all_trainers(&train, &bw) {
+        let name = algo.name().to_string();
+        let hist = sim::run(algo.as_mut(), &bw, &val, opts(12));
+        match name.as_str() {
+            "FedAvg" | "S-FedAvg" => assert!(
+                hist.total_server_traffic_mb > 0.0,
+                "{name} should use the server"
+            ),
+            _ => assert_eq!(
+                hist.total_server_traffic_mb, 0.0,
+                "{name} must not move model bytes through a server"
+            ),
+        }
+    }
+}
+
+#[test]
+fn adaptive_selection_beats_random_on_heterogeneous_network() {
+    // On a network with a few fast and many slow links, SAPS-PSGD's
+    // bottleneck bandwidth must beat RandomChoose's, and its total
+    // communication time must be lower at equal traffic.
+    use rand::SeedableRng;
+    let (train, val) = dataset();
+    let mut rng = StdRng::seed_from_u64(5);
+    let bw = BandwidthMatrix::uniform_random(N, 5.0, &mut rng);
+
+    let cfg = SapsConfig {
+        workers: N,
+        compression: 10.0,
+        lr: LR,
+        batch_size: BATCH,
+        tthres: 6,
+        seed: 3,
+        bthres: Some(bw.percentile(0.6)),
+        ..SapsConfig::default()
+    };
+    let mut saps = SapsPsgd::new(cfg, &train, &bw, factory);
+    let saps_hist = sim::run(&mut saps, &bw, &val, opts(200));
+
+    let mut random = RandomChoose::new(fleet(&train), 10.0, 3);
+    let rand_hist = sim::run(&mut random, &bw, &val, opts(200));
+
+    let saps_bottleneck: f64 = saps_hist
+        .points
+        .iter()
+        .map(|p| p.bottleneck_bandwidth)
+        .sum::<f64>()
+        / saps_hist.points.len() as f64;
+    let rand_bottleneck: f64 = rand_hist
+        .points
+        .iter()
+        .map(|p| p.bottleneck_bandwidth)
+        .sum::<f64>()
+        / rand_hist.points.len() as f64;
+    assert!(
+        saps_bottleneck > rand_bottleneck,
+        "bottleneck: SAPS {saps_bottleneck:.3} !> random {rand_bottleneck:.3}"
+    );
+    assert!(
+        saps_hist.total_comm_time_s < rand_hist.total_comm_time_s,
+        "time: SAPS {:.2}s !< random {:.2}s",
+        saps_hist.total_comm_time_s,
+        rand_hist.total_comm_time_s
+    );
+}
+
+#[test]
+fn runs_are_deterministic_across_invocations() {
+    let (train, val) = dataset();
+    let bw = BandwidthMatrix::constant(N, 1.0);
+    let run_once = || {
+        let cfg = SapsConfig {
+            workers: N,
+            compression: 10.0,
+            lr: LR,
+            batch_size: BATCH,
+            tthres: 6,
+            seed: 3,
+            ..SapsConfig::default()
+        };
+        let mut algo = SapsPsgd::new(cfg, &train, &bw, factory);
+        sim::run(&mut algo, &bw, &val, opts(30))
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.final_acc, b.final_acc);
+    assert_eq!(a.total_worker_traffic_mb, b.total_worker_traffic_mb);
+    for (pa, pb) in a.points.iter().zip(&b.points) {
+        assert_eq!(pa.train_loss, pb.train_loss);
+    }
+}
+
+#[test]
+fn non_iid_partitions_still_converge() {
+    let (train, val) = dataset();
+    let bw = BandwidthMatrix::constant(N, 1.0);
+    let parts = saps::data::partition::dirichlet(&train, N, 0.5, 7);
+    let cfg = SapsConfig {
+        workers: N,
+        compression: 10.0,
+        lr: LR,
+        batch_size: BATCH,
+        tthres: 6,
+        seed: 3,
+        ..SapsConfig::default()
+    };
+    let mut algo = SapsPsgd::with_partitions(cfg, parts, &bw, factory);
+    let hist = sim::run(&mut algo, &bw, &val, opts(250));
+    assert!(
+        hist.final_acc > 0.5,
+        "non-IID accuracy {:.1}%",
+        hist.final_acc * 100.0
+    );
+}
+
+#[test]
+fn measured_traffic_matches_table1_formulas() {
+    // Measured bytes (converted to "parameters") must track Table I for
+    // the algorithms whose wire format matches the paper's accounting.
+    let (train, val) = dataset();
+    let bw = BandwidthMatrix::constant(N, 1.0);
+    let rounds = 20;
+
+    // SAPS-PSGD: 2(N/c)T parameters per worker.
+    let c = 10.0;
+    let cfg = SapsConfig {
+        workers: N,
+        compression: c,
+        lr: LR,
+        batch_size: BATCH,
+        tthres: 6,
+        seed: 3,
+        ..SapsConfig::default()
+    };
+    let mut algo = SapsPsgd::new(cfg, &train, &bw, factory);
+    let n_params = algo.model_len() as f64;
+    let hist = sim::run(&mut algo, &bw, &val, opts(rounds));
+    let measured_params = hist.total_worker_traffic_mb * 1e6 / 4.0;
+    let formula = 2.0 * (n_params / c) * rounds as f64;
+    let ratio = measured_params / formula;
+    assert!(
+        (ratio - 1.0).abs() < 0.2,
+        "SAPS measured/formula = {ratio:.3}"
+    );
+
+    // D-PSGD: 4·N·T parameters per worker (np = 2 neighbours).
+    let mut dpsgd = DPsgd::new(fleet(&train));
+    let hist = sim::run(&mut dpsgd, &bw, &val, opts(rounds));
+    let measured_params = hist.total_worker_traffic_mb * 1e6 / 4.0;
+    let formula = 4.0 * n_params * rounds as f64;
+    let ratio = measured_params / formula;
+    assert!((ratio - 1.0).abs() < 0.05, "D-PSGD measured/formula = {ratio:.3}");
+}

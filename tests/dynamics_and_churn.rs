@@ -1,0 +1,132 @@
+//! Robustness integration tests: time-varying bandwidth, link failures
+//! and worker churn — the "R." column of Table I, exercised end to end.
+
+use saps::core::{SapsConfig, SapsPsgd, Trainer};
+use saps::data::SyntheticSpec;
+use saps::netsim::dynamics::BandwidthProcess;
+use saps::netsim::{BandwidthMatrix, TrafficAccountant};
+use saps::nn::zoo;
+
+fn setup(n: usize) -> (SapsPsgd, saps::data::Dataset, BandwidthMatrix) {
+    let ds = SyntheticSpec::tiny().samples(2_000).generate(1);
+    let (train, val) = ds.split(0.2, 0);
+    let bw = BandwidthMatrix::constant(n, 2.0);
+    let cfg = SapsConfig {
+        workers: n,
+        compression: 8.0,
+        lr: 0.1,
+        batch_size: 16,
+        tthres: 6,
+        seed: 11,
+        ..SapsConfig::default()
+    };
+    let algo = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 24, 4], rng));
+    (algo, val, bw)
+}
+
+#[test]
+fn training_survives_bandwidth_drift() {
+    let n = 8;
+    let (mut algo, val, bw) = setup(n);
+    let mut process = BandwidthProcess::new(bw, 0.3, 8.0, 5);
+    let mut traffic = TrafficAccountant::new(n);
+    for round in 0..150 {
+        let current = process.step().clone();
+        // The coordinator refreshes its measurements every 25 rounds, as
+        // the paper's footnote describes ("regularly reported").
+        if round % 25 == 0 {
+            algo.refresh_bandwidth(&current);
+        }
+        let rep = algo.round(&mut traffic, &current);
+        assert!(rep.mean_loss.is_finite());
+        assert!(rep.comm_time_s.is_finite());
+    }
+    let acc = algo.evaluate(&val, 300);
+    assert!(acc > 0.5, "accuracy under drift {acc}");
+}
+
+#[test]
+fn training_survives_link_failures() {
+    let n = 8;
+    let (mut algo, val, bw) = setup(n);
+    let mut process = BandwidthProcess::new(bw, 0.0, 1.0, 6);
+    let mut traffic = TrafficAccountant::new(n);
+    // Cut all of worker 7's links except one lifeline mid-run; SAPS must
+    // keep converging because any matching that would use a dead link
+    // costs infinite time only if chosen — refresh steers around it.
+    for round in 0..60 {
+        algo.round(&mut traffic, process.current());
+        let _ = round;
+    }
+    for peer in 0..6 {
+        process.cut_link(7, peer);
+    }
+    algo.refresh_bandwidth(process.current());
+    for _ in 0..60 {
+        let rep = algo.round(&mut traffic, process.current());
+        // The round may be slow but never infinitely so: peer selection
+        // avoids dead links (they are absent from the PC graph after
+        // refresh).
+        assert!(
+            rep.comm_time_s.is_finite(),
+            "round scheduled over a dead link"
+        );
+    }
+    let acc = algo.evaluate(&val, 300);
+    assert!(acc > 0.5, "accuracy after link failures {acc}");
+}
+
+#[test]
+fn churn_with_drift_combined() {
+    let n = 8;
+    let (mut algo, val, bw) = setup(n);
+    let mut process = BandwidthProcess::new(bw, 0.2, 4.0, 7);
+    let mut traffic = TrafficAccountant::new(n);
+    for _ in 0..40 {
+        algo.round(&mut traffic, process.step());
+    }
+    // Two workers leave...
+    algo.set_active(0, false);
+    algo.set_active(3, false);
+    for _ in 0..40 {
+        algo.round(&mut traffic, process.step());
+    }
+    assert_eq!(algo.active_ranks().len(), 6);
+    // ...and rejoin under drifted bandwidths.
+    algo.set_active(0, true);
+    algo.set_active(3, true);
+    algo.refresh_bandwidth(process.current());
+    for _ in 0..60 {
+        algo.round(&mut traffic, process.step());
+    }
+    let acc = algo.evaluate(&val, 300);
+    assert!(acc > 0.5, "accuracy after churn + drift {acc}");
+    // Returning workers were re-absorbed: consensus distance is modest.
+    assert!(algo.consensus_distance_sq() < 100.0);
+}
+
+#[test]
+fn checkpoint_roundtrip_through_training() {
+    use saps::core::checkpoint;
+    let n = 4;
+    let (mut algo, val, bw) = setup(n);
+    let mut traffic = TrafficAccountant::new(n);
+    for _ in 0..50 {
+        algo.round(&mut traffic, &bw);
+    }
+    let acc_before = algo.evaluate(&val, 300);
+    // Coordinator collects the final model (Algorithm 1 line 8) and
+    // checkpoints it.
+    let final_model = algo.average_model();
+    let blob = checkpoint::encode(&final_model, 50);
+    let (restored, round) = checkpoint::decode(blob).unwrap();
+    assert_eq!(round, 50);
+    assert_eq!(restored, final_model);
+    // A fresh fleet restored from the checkpoint evaluates identically.
+    let (mut fresh, _, _) = setup(n);
+    for r in 0..n {
+        fresh.set_worker_model(r, &restored);
+    }
+    let acc_after = fresh.evaluate(&val, 300);
+    assert_eq!(acc_before, acc_after);
+}

@@ -1,0 +1,199 @@
+//! Property-based tests tying Section III's theory to the executable
+//! system: doubly-stochastic gossip matrices, spectral conditions, mask
+//! agreement, matching validity on random bandwidth graphs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saps::compress::mask::RandomMask;
+use saps::gossip::{consensus, spectral, GossipMatrix};
+use saps::graph::{connectivity, matching, topology, Graph};
+use saps::netsim::BandwidthMatrix;
+use saps_core::GossipGenerator;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any matching yields a doubly stochastic W_t (Assumption 2).
+    #[test]
+    fn gossip_matrix_always_doubly_stochastic(
+        n in 2usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = topology::complete(n);
+        let m = matching::randomly_max_match(&g, &mut rng);
+        let w = GossipMatrix::from_matching(&m);
+        prop_assert!(w.as_mat().is_doubly_stochastic(1e-9));
+    }
+
+    /// Blossom matching on random graphs is valid and maximal (no
+    /// augmenting edge remains among unmatched vertices).
+    #[test]
+    fn blossom_matching_valid_and_maximal(
+        n in 2usize..24,
+        density in 0.05f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(density) {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        let m = matching::randomly_max_match(&g, &mut rng);
+        prop_assert!(m.is_valid_for(&g));
+        // Maximality: no edge joins two unmatched vertices.
+        let un = m.unmatched();
+        for (ai, &a) in un.iter().enumerate() {
+            for &b in &un[ai + 1..] {
+                prop_assert!(!g.has_edge(a, b), "augmenting edge ({a},{b}) left");
+            }
+        }
+    }
+
+    /// Shared-seed masks agree across "workers" and achieve the requested
+    /// density within statistical tolerance.
+    #[test]
+    fn masks_agree_and_hit_density(
+        c in 1.0f64..64.0,
+        seed in any::<u64>(),
+        round in 0u64..1000,
+    ) {
+        let n = 20_000usize;
+        let a = RandomMask::generate(n, c, seed, round);
+        let b = RandomMask::generate(n, c, seed, round);
+        prop_assert_eq!(a.indices(), b.indices());
+        let p = 1.0 / c;
+        let sd = (p * (1.0 - p) / n as f64).sqrt();
+        prop_assert!((a.density() - p).abs() < 6.0 * sd + 1e-9,
+            "density {} target {}", a.density(), p);
+    }
+
+    /// Gossip averaging never increases consensus distance and always
+    /// preserves the mean (double stochasticity in action).
+    #[test]
+    fn gossip_contracts_and_preserves_mean(
+        n in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let mean0: f64 = x0.iter().sum::<f64>() / n as f64;
+        let mut x = x0.clone();
+        let mut last = consensus::consensus_distance_sq(&x);
+        for _ in 0..20 {
+            let g = topology::complete(n);
+            let m = matching::randomly_max_match(&g, &mut rng);
+            GossipMatrix::from_matching(&m).mix_row(&mut x);
+            let d = consensus::consensus_distance_sq(&x);
+            prop_assert!(d <= last + 1e-9);
+            last = d;
+        }
+        let mean: f64 = x.iter().sum::<f64>() / n as f64;
+        prop_assert!((mean - mean0).abs() < 1e-9);
+    }
+
+    /// The union of matchings generated over any T_thres-sized window of
+    /// rounds eventually connects the graph (Algorithm 3's invariant),
+    /// provided the PC graph is connected.
+    #[test]
+    fn generated_matchings_union_is_connected(
+        n in 4usize..16,
+        tthres in 2u32..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let full = topology::complete(n);
+        let mut gen = GossipGenerator::new(full.clone(), full, tthres);
+        // Collect all edges used over a generous horizon.
+        let horizon = (tthres as usize + 1) * n;
+        let mut union = Graph::new(n);
+        for t in 0..horizon {
+            let m = gen.next_matching(t as u64, &mut rng);
+            for (a, b) in m.pairs() {
+                union.add_edge(a, b);
+            }
+        }
+        prop_assert!(connectivity::is_connected(&union));
+    }
+
+    /// Bandwidth symmetrization: B[i][j] == B[j][i] == min of raw pair.
+    #[test]
+    fn bandwidth_matrix_symmetric(
+        n in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw: Vec<f64> = (0..n * n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let bw = BandwidthMatrix::from_raw(n, &raw);
+        for i in 0..n {
+            prop_assert_eq!(bw.get(i, i), 0.0);
+            for j in 0..n {
+                if i != j {
+                    prop_assert_eq!(bw.get(i, j), bw.get(j, i));
+                    prop_assert_eq!(bw.get(i, j), raw[i * n + j].min(raw[j * n + i]));
+                }
+            }
+        }
+    }
+}
+
+/// ρ of the Algorithm 3 stream is strictly below 1 for a moderate worker
+/// count — the load-bearing spectral condition (Assumption 3). Not a
+/// proptest (estimation is costly); a fixed spot check on several seeds.
+#[test]
+fn assumption3_holds_for_generated_streams() {
+    for seed in [1u64, 7, 42] {
+        let n = 10;
+        let full = topology::complete(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = GossipGenerator::new(full.clone(), full, 5);
+        let rho = spectral::estimate_rho(n, 2_000, |t| {
+            GossipMatrix::from_matching(&gen.next_matching(t as u64, &mut rng))
+        });
+        assert!(rho < 0.999, "seed {seed}: rho = {rho}");
+        assert!(spectral::spectral_gap(rho) > 0.001);
+    }
+}
+
+/// Lemma 2's contraction rate matches measurement for the actual
+/// Algorithm 3 stream (not just uniform random matchings).
+#[test]
+fn lemma2_rate_matches_algorithm3_stream() {
+    let n = 8;
+    let c = 2.0;
+    let full = topology::complete(n);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut gen = GossipGenerator::new(full.clone(), full.clone(), 4);
+    let rho = spectral::estimate_rho(n, 10_000, |t| {
+        GossipMatrix::from_matching(&gen.next_matching(t as u64, &mut rng))
+    });
+    let x0: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    // Average the measured distance over many masked-gossip trials.
+    let trials = 600;
+    let rounds = 8;
+    let mut acc = vec![0.0f64; rounds];
+    let mut coin = StdRng::seed_from_u64(12);
+    let mut mrng = StdRng::seed_from_u64(13);
+    let mut gen = GossipGenerator::new(full.clone(), full, 4);
+    for _ in 0..trials {
+        let hist = consensus::run_masked_gossip(&x0, rounds, c, &mut coin, |t| {
+            GossipMatrix::from_matching(&gen.next_matching(t as u64, &mut mrng))
+        });
+        for (a, h) in acc.iter_mut().zip(&hist) {
+            *a += h;
+        }
+    }
+    for t in 0..rounds {
+        let mean = acc[t] / trials as f64;
+        let bound = consensus::lemma2_bound(&x0, rho, c, t + 1);
+        assert!(
+            mean <= bound * 1.25 + 1e-9,
+            "round {t}: measured {mean:.3} > bound {bound:.3}"
+        );
+    }
+}
