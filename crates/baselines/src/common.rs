@@ -157,8 +157,7 @@ impl Fleet {
 
     /// Mean local-dataset size (for epoch accounting).
     pub fn mean_partition_len(&self) -> f64 {
-        self.workers.iter().map(|w| w.data_len()).sum::<usize>() as f64
-            / self.workers.len() as f64
+        self.workers.iter().map(|w| w.data_len()).sum::<usize>() as f64 / self.workers.len() as f64
     }
 
     /// Fraction of an epoch advanced by one batch per worker.

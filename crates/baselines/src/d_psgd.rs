@@ -59,8 +59,7 @@ impl Trainer for DPsgd {
         let comm_time_s = timemodel::p2p_round_time(bw, &transfers);
 
         let ring = topology::ring_edges(n);
-        let mean_link =
-            ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
+        let mean_link = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
         let min_link = ring
             .iter()
             .map(|&(a, b)| bw.get(a, b))

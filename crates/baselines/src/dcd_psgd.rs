@@ -102,8 +102,7 @@ impl Trainer for DcdPsgd {
         let comm_time_s = timemodel::p2p_round_time(bw, &transfers);
 
         let ring = topology::ring_edges(n);
-        let mean_link =
-            ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
+        let mean_link = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
         let min_link = ring
             .iter()
             .map(|&(a, b)| bw.get(a, b))
@@ -141,7 +140,11 @@ mod tests {
         let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
         let (train, val) = ds.split(0.25, 0);
         let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
-        (DcdPsgd::new(fleet, c), val, BandwidthMatrix::constant(n, 1.0))
+        (
+            DcdPsgd::new(fleet, c),
+            val,
+            BandwidthMatrix::constant(n, 1.0),
+        )
     }
 
     #[test]

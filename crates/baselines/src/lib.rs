@@ -15,8 +15,8 @@
 #![warn(missing_docs)]
 
 mod common;
-mod dcd_psgd;
 mod d_psgd;
+mod dcd_psgd;
 mod fedavg;
 mod psgd;
 mod random_choose;

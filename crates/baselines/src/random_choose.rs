@@ -30,7 +30,10 @@ pub struct RandomChoose {
 impl RandomChoose {
     /// Wraps a fleet (even worker count) with compression ratio `c`.
     pub fn new(fleet: Fleet, compression: f64, seed: u64) -> Self {
-        assert!(fleet.len() % 2 == 0, "RandomChoose needs an even worker count");
+        assert!(
+            fleet.len().is_multiple_of(2),
+            "RandomChoose needs an even worker count"
+        );
         assert!(compression >= 1.0);
         RandomChoose {
             fleet,

@@ -96,12 +96,7 @@ impl Trainer for SFedAvg {
         let mut max_up_bytes = 0u64;
         let mut up_bytes_of = Vec::with_capacity(clients.len());
         for &r in &clients {
-            let mask = RandomMask::generate(
-                n_params,
-                self.compression,
-                self.rng.gen(),
-                self.round,
-            );
+            let mask = RandomMask::generate(n_params, self.compression, self.rng.gen(), self.round);
             let payload = self.fleet.worker(r).sparse_payload(&mask);
             for (&i, &v) in mask.indices().iter().zip(&payload) {
                 sums[i as usize] += v;

@@ -132,7 +132,11 @@ mod tests {
         let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
         let (train, val) = ds.split(0.25, 0);
         let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
-        (TopKPsgd::new(fleet, c), val, BandwidthMatrix::constant(n, 1.0))
+        (
+            TopKPsgd::new(fleet, c),
+            val,
+            BandwidthMatrix::constant(n, 1.0),
+        )
     }
 
     #[test]

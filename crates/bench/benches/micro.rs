@@ -8,7 +8,11 @@ use saps_compress::{codec, quantize};
 
 fn bench_mask_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("mask_generation");
-    for &(n, ratio) in &[(1_000_000usize, 100.0f64), (1_000_000, 1000.0), (269_722, 100.0)] {
+    for &(n, ratio) in &[
+        (1_000_000usize, 100.0f64),
+        (1_000_000, 1000.0),
+        (269_722, 100.0),
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("N{n}_c{ratio}")),
             &(n, ratio),

@@ -71,5 +71,10 @@ fn bench_flat_params(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_round, bench_full_size_models, bench_flat_params);
+criterion_group!(
+    benches,
+    bench_round,
+    bench_full_size_models,
+    bench_flat_params
+);
 criterion_main!(benches);

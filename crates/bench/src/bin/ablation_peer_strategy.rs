@@ -93,8 +93,7 @@ fn run_env(bw: &BandwidthMatrix, seed: u64) {
     // three-way average, so rho is reported as the ring walk's value).
     {
         let ring = topology::ring_edges(n);
-        let mean: f64 =
-            ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
+        let mean: f64 = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
         let min = topology::edges_min_weight(&ring, n, &weights);
         // Lazy ring walk on n nodes: lambda2 = 1/3 + (2/3)cos(2π/n).
         let rho = 1.0 / 3.0 + (2.0 / 3.0) * (2.0 * std::f64::consts::PI / n as f64).cos();
@@ -118,12 +117,7 @@ fn run_env(bw: &BandwidthMatrix, seed: u64) {
 }
 
 /// Mean and bottleneck bandwidth of a matching stream.
-fn stream_stats<F>(
-    n: usize,
-    weights: &[f64],
-    mut next: F,
-    rng: &mut StdRng,
-) -> (f64, f64)
+fn stream_stats<F>(n: usize, weights: &[f64], mut next: F, rng: &mut StdRng) -> (f64, f64)
 where
     F: FnMut(u64, &mut StdRng) -> Matching,
 {

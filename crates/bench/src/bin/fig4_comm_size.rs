@@ -71,7 +71,9 @@ fn main() {
             match h.first_reaching(w.target_acc) {
                 Some(p) => println!(
                     "  {:12} {:>10.3} MB (round {})",
-                    h.algorithm, p.worker_traffic_mb, p.round + 1
+                    h.algorithm,
+                    p.worker_traffic_mb,
+                    p.round + 1
                 ),
                 None => println!(
                     "  {:12} did not reach target (final {:.1}%)",
@@ -92,9 +94,12 @@ fn sweep_c() {
         rounds: w.default_rounds,
         eval_every: (w.default_rounds / 20).max(1),
         eval_samples: 1_000,
-            max_epochs: f64::INFINITY,
-        };
-    println!("=== Ablation: SAPS-PSGD compression ratio sweep ({}) ===", w.name);
+        max_epochs: f64::INFINITY,
+    };
+    println!(
+        "=== Ablation: SAPS-PSGD compression ratio sweep ({}) ===",
+        w.name
+    );
     let kinds: Vec<AlgoKind> = [2.0, 10.0, 50.0, 100.0]
         .iter()
         .map(|&c| AlgoKind::Saps { c })
@@ -115,8 +120,5 @@ fn sweep_c() {
                 .unwrap_or_else(|| "-".into()),
         ]);
     }
-    table::print_table(
-        &["c", "final acc [%]", "total MB", "MB to target"],
-        &rows,
-    );
+    table::print_table(&["c", "final acc [%]", "total MB", "MB to target"], &rows);
 }

@@ -77,8 +77,7 @@ fn environment(bw: &BandwidthMatrix, n: usize, seed: u64) {
     // evaluated over 5000 random bandwidth matrices of the same
     // distribution (for the city matrix the ring is just the city order).
     let ring = topology::ring_edges(n);
-    let ring_mean: f64 =
-        ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
+    let ring_mean: f64 = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
     let ring_min = topology::edges_min_weight(&ring, n, weights);
     let mut ring_avg_of_random = 0.0;
     let trials = 5_000;
@@ -103,7 +102,10 @@ fn environment(bw: &BandwidthMatrix, n: usize, seed: u64) {
     );
 
     let mean_of = |s: &[(f64, f64)], idx: usize| -> f64 {
-        s.iter().map(|p| if idx == 0 { p.0 } else { p.1 }).sum::<f64>() / s.len() as f64
+        s.iter()
+            .map(|p| if idx == 0 { p.0 } else { p.1 })
+            .sum::<f64>()
+            / s.len() as f64
     };
     let rows = vec![
         vec![

@@ -37,7 +37,10 @@ fn main() {
         } else {
             w.epochs
         };
-        println!("\n=== Fig. 6: {} — accuracy vs communication time ===", w.name);
+        println!(
+            "\n=== Fig. 6: {} — accuracy vs communication time ===",
+            w.name
+        );
         let opts = RunOptions {
             rounds,
             eval_every: (rounds / 20).max(1),

@@ -52,7 +52,9 @@ impl Args {
         let mut i = 0;
         while i < argv.len() {
             let key = argv[i].as_str();
-            let val = argv.get(i + 1).unwrap_or_else(|| usage(&format!("missing value for {key}")));
+            let val = argv
+                .get(i + 1)
+                .unwrap_or_else(|| usage(&format!("missing value for {key}")));
             match key {
                 "--algo" => a.algo = val.clone(),
                 "--workload" => a.workload = val.clone(),
@@ -99,10 +101,7 @@ fn main() {
         other => usage(&format!("unknown algorithm {other}")),
     };
     let (workers, bw) = match args.network.as_str() {
-        "constant" => (
-            args.workers,
-            BandwidthMatrix::constant(args.workers, 1.0),
-        ),
+        "constant" => (args.workers, BandwidthMatrix::constant(args.workers, 1.0)),
         "random" => {
             let mut rng = StdRng::seed_from_u64(args.seed);
             (

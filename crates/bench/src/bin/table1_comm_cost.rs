@@ -35,9 +35,7 @@ fn main() {
         .map(|r| {
             vec![
                 r.algorithm.to_string(),
-                r.server
-                    .map(|s| table::thousands(s))
-                    .unwrap_or_else(|| "-".into()),
+                r.server.map(table::thousands).unwrap_or_else(|| "-".into()),
                 table::thousands(r.worker),
                 fmt_flag(r.sparsification),
                 fmt_flag(r.considers_bandwidth),
@@ -46,7 +44,14 @@ fn main() {
         })
         .collect();
     table::print_table(
-        &["Algorithm", "Server Cost", "Worker Cost", "SP.", "C.B.", "R."],
+        &[
+            "Algorithm",
+            "Server Cost",
+            "Worker Cost",
+            "SP.",
+            "C.B.",
+            "R.",
+        ],
         &data,
     );
 

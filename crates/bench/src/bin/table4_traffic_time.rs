@@ -68,10 +68,7 @@ fn main() {
                 ]),
             }
         }
-        table::print_table(
-            &["Algorithm", "Traffic (MB)", "Time (s)", "Rounds"],
-            &rows,
-        );
+        table::print_table(&["Algorithm", "Traffic (MB)", "Time (s)", "Rounds"], &rows);
 
         // Full-size projection: rounds-to-target × Table I per-round cost
         // at the paper's N, over the same bandwidth distribution (mean
@@ -86,13 +83,9 @@ fn main() {
             let per_round_params: f64 = match kind {
                 AlgoKind::Saps { .. } => 2.0 * w.paper_params as f64 / 100.0,
                 AlgoKind::Psgd => 2.0 * w.paper_params as f64,
-                AlgoKind::TopK { .. } => {
-                    2.0 * workers as f64 * w.paper_params as f64 / 1000.0
-                }
+                AlgoKind::TopK { .. } => 2.0 * workers as f64 * w.paper_params as f64 / 1000.0,
                 AlgoKind::FedAvg => 2.0 * w.paper_params as f64,
-                AlgoKind::SFedAvg { .. } => {
-                    (1.0 + 2.0 / 100.0) * w.paper_params as f64
-                }
+                AlgoKind::SFedAvg { .. } => (1.0 + 2.0 / 100.0) * w.paper_params as f64,
                 AlgoKind::DPsgd => 4.0 * w.paper_params as f64,
                 AlgoKind::Dcd { .. } => 4.0 * w.paper_params as f64 / 4.0,
                 AlgoKind::RandomChoose { .. } => 2.0 * w.paper_params as f64 / 100.0,

@@ -53,7 +53,7 @@ pub fn build_trainer(
                 seed,
                 bthres: Some(bw.percentile(0.6)),
             };
-            Box::new(SapsPsgd::new(cfg, train, bw, |rng| factory(rng)))
+            Box::new(SapsPsgd::new(cfg, train, bw, factory))
         }
         AlgoKind::Psgd => Box::new(PsgdAllReduce::new(fleet())),
         AlgoKind::TopK { c } => Box::new(TopKPsgd::new(fleet(), c)),
@@ -98,7 +98,9 @@ pub fn paper_lineup(c_scale: f64) -> Vec<AlgoKind> {
         AlgoKind::FedAvg,
         AlgoKind::SFedAvg { c: c(100.0) },
         AlgoKind::DPsgd,
-        AlgoKind::Dcd { c: 4.0_f64.min(c(4.0)).max(1.5) },
+        AlgoKind::Dcd {
+            c: 4.0_f64.min(c(4.0)).max(1.5),
+        },
         AlgoKind::Saps { c: c(100.0) },
     ]
 }

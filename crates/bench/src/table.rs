@@ -14,7 +14,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         let mut s = String::new();
         for w in &widths {
             s.push('+');
-            s.extend(std::iter::repeat(sep).take(w + 2));
+            s.extend(std::iter::repeat_n(sep, w + 2));
         }
         s.push('+');
         s

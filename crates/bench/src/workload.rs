@@ -235,8 +235,7 @@ mod tests {
             AlgoKind::Dcd { c: 4.0 },
             AlgoKind::RandomChoose { c: 10.0 },
         ];
-        let labels: std::collections::HashSet<&str> =
-            kinds.iter().map(|k| k.label()).collect();
+        let labels: std::collections::HashSet<&str> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
     }
 }

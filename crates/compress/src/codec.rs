@@ -80,7 +80,10 @@ pub fn encode_values(values: &[f32]) -> Bytes {
 
 /// Decodes a values-only payload.
 pub fn decode_values(mut payload: Bytes) -> Vec<f32> {
-    assert!(payload.len() % 4 == 0, "payload length not a multiple of 4");
+    assert!(
+        payload.len().is_multiple_of(4),
+        "payload length not a multiple of 4"
+    );
     let mut out = Vec::with_capacity(payload.len() / 4);
     while payload.has_remaining() {
         out.push(payload.get_f32_le());
@@ -101,7 +104,10 @@ pub fn encode_index_value(indices: &[u32], values: &[f32]) -> Bytes {
 
 /// Decodes an index+value payload.
 pub fn decode_index_value(mut payload: Bytes) -> (Vec<u32>, Vec<f32>) {
-    assert!(payload.len() % 8 == 0, "payload length not a multiple of 8");
+    assert!(
+        payload.len().is_multiple_of(8),
+        "payload length not a multiple of 8"
+    );
     let k = payload.len() / 8;
     let mut indices = Vec::with_capacity(k);
     let mut values = Vec::with_capacity(k);

@@ -93,10 +93,7 @@ mod tests {
         }
         for (a, &v) in acc.iter().zip(&x) {
             let mean = a / trials as f64;
-            assert!(
-                (mean - v as f64).abs() < 0.02,
-                "mean {mean} vs true {v}"
-            );
+            assert!((mean - v as f64).abs() < 0.02, "mean {mean} vs true {v}");
         }
     }
 

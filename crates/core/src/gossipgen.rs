@@ -322,11 +322,7 @@ mod tests {
         let m = g.next_matching(5, &mut rng);
         let pairs = m.pairs();
         // Drop worker 3, keep 0,1,2 (new index = old index).
-        g.rebuild(
-            complete(3),
-            complete(3),
-            &[Some(0), Some(1), Some(2)],
-        );
+        g.rebuild(complete(3), complete(3), &[Some(0), Some(1), Some(2)]);
         let rc = g.rc_graph(6);
         for (a, b) in pairs {
             if a < 3 && b < 3 {
@@ -348,8 +344,7 @@ mod tests {
         weights[n] = 50.0;
         weights[2 * n + 3] = 50.0;
         weights[3 * n + 2] = 50.0;
-        let mut g =
-            GossipGenerator::with_greedy_weights(complete(n), weights.clone(), 8);
+        let mut g = GossipGenerator::with_greedy_weights(complete(n), weights.clone(), 8);
         assert_eq!(g.strategy(), PeerStrategy::GreedyWeight);
         let mut rng = StdRng::seed_from_u64(1);
         // Count how often the fast pairing {(0,1),(2,3)} is chosen on
@@ -393,8 +388,7 @@ mod tests {
     #[test]
     fn rebuild_resets_greedy_to_threshold() {
         let n = 4;
-        let mut g =
-            GossipGenerator::with_greedy_weights(complete(n), vec![1.0; n * n], 4);
+        let mut g = GossipGenerator::with_greedy_weights(complete(n), vec![1.0; n * n], 4);
         g.rebuild(complete(3), complete(3), &[Some(0), Some(1), Some(2)]);
         assert_eq!(g.strategy(), PeerStrategy::ThresholdMatching);
     }

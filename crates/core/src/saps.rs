@@ -162,7 +162,9 @@ impl SapsPsgd {
 
     /// Ranks of currently active workers.
     pub fn active_ranks(&self) -> Vec<usize> {
-        (0..self.workers.len()).filter(|&r| self.active[r]).collect()
+        (0..self.workers.len())
+            .filter(|&r| self.active[r])
+            .collect()
     }
 
     fn rebuild_coordinator(&mut self) {

@@ -17,7 +17,10 @@ pub fn iid(ds: &Dataset, n: usize, seed: u64) -> Vec<Dataset> {
     assert!(n >= 1, "need at least one worker");
     let mut idx: Vec<usize> = (0..ds.len()).collect();
     idx.shuffle(&mut StdRng::seed_from_u64(seed));
-    chunk_indices(&idx, n).into_iter().map(|c| ds.subset(&c)).collect()
+    chunk_indices(&idx, n)
+        .into_iter()
+        .map(|c| ds.subset(&c))
+        .collect()
 }
 
 /// Shard-based non-IID split (the FedAvg paper's pathological partition):
@@ -51,8 +54,7 @@ pub fn dirichlet(ds: &Dataset, n: usize, alpha: f64, seed: u64) -> Vec<Dataset> 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); n];
     for k in 0..ds.num_classes() {
-        let class_idx: Vec<usize> =
-            (0..ds.len()).filter(|&i| ds.label_of(i) == k).collect();
+        let class_idx: Vec<usize> = (0..ds.len()).filter(|&i| ds.label_of(i) == k).collect();
         let props = sample_dirichlet(n, alpha, &mut rng);
         // Convert proportions to cut points over the class examples.
         let mut start = 0usize;

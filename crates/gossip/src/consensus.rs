@@ -157,8 +157,8 @@ mod tests {
                 *a += h;
             }
         }
-        for t in 0..rounds {
-            let mean = acc[t] / trials as f64;
+        for (t, total) in acc.iter().enumerate() {
+            let mean = total / trials as f64;
             let bound = lemma2_bound(&x0, rho, c, t + 1);
             assert!(
                 mean <= bound * 1.15 + 1e-9,

@@ -73,17 +73,15 @@ impl GossipMatrix {
     /// The peer of `worker` this round, if any (`W_t[rank]` in
     /// Algorithm 2, line 8).
     pub fn peer_of(&self, worker: usize) -> Option<usize> {
-        self.pairs
-            .iter()
-            .find_map(|&(a, b)| {
-                if a == worker {
-                    Some(b)
-                } else if b == worker {
-                    Some(a)
-                } else {
-                    None
-                }
-            })
+        self.pairs.iter().find_map(|&(a, b)| {
+            if a == worker {
+                Some(b)
+            } else if b == worker {
+                Some(a)
+            } else {
+                None
+            }
+        })
     }
 
     /// The underlying `f64` matrix.
@@ -153,9 +151,9 @@ mod tests {
         let x = vec![1.0, 5.0, -2.0, 0.0];
         // Row-vector product x W.
         let mut expect = vec![0.0; 4];
-        for j in 0..4 {
-            for i in 0..4 {
-                expect[j] += x[i] * w.as_mat()[(i, j)];
+        for (j, e) in expect.iter_mut().enumerate() {
+            for (i, xi) in x.iter().enumerate() {
+                *e += xi * w.as_mat()[(i, j)];
             }
         }
         let mut got = x.clone();

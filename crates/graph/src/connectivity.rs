@@ -134,10 +134,7 @@ mod tests {
     fn isolated_vertices_are_components() {
         let g = Graph::new(3);
         assert_eq!(component_count(&g), 3);
-        assert_eq!(
-            connected_components(&g),
-            vec![vec![0], vec![1], vec![2]]
-        );
+        assert_eq!(connected_components(&g), vec![vec![0], vec![1], vec![2]]);
     }
 
     #[test]

@@ -322,7 +322,8 @@ impl<'g> Blossom<'g> {
                 if self.base[u] == self.base[v] || self.mate[u] == v {
                     continue;
                 }
-                if v == root || (self.mate[v] != USIZE_NONE && self.parent[self.mate[v]] != USIZE_NONE)
+                if v == root
+                    || (self.mate[v] != USIZE_NONE && self.parent[self.mate[v]] != USIZE_NONE)
                 {
                     // Odd cycle: contract the blossom.
                     self.contract(u, v, &mut queue);
@@ -443,7 +444,16 @@ mod tests {
         // find the size-3 matching.
         // Triangle A: 0-1-2; Triangle B: 4-5-6; bridge 2-3, 3-4.
         let mut g = Graph::new(7);
-        for (u, v) in [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4), (2, 3), (3, 4)] {
+        for (u, v) in [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (4, 5),
+            (5, 6),
+            (6, 4),
+            (2, 3),
+            (3, 4),
+        ] {
             g.add_edge(u, v);
         }
         let m = maximum_matching(&g);
@@ -550,10 +560,7 @@ mod tests {
     fn larger_random_graphs_agree_with_bruteforce() {
         for seed in 100..110 {
             let g = random_graph(14, 0.25, seed);
-            assert_eq!(
-                maximum_matching(&g).len(),
-                brute_force_maximum_matching(&g)
-            );
+            assert_eq!(maximum_matching(&g).len(), brute_force_maximum_matching(&g));
         }
     }
 }

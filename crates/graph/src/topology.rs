@@ -47,7 +47,10 @@ pub fn complete(n: usize) -> Graph {
 /// `RandomChoose` peer-selection baseline of Fig. 5. Pairs a random
 /// shuffle `(v0,v1), (v2,v3), …`.
 pub fn random_perfect_matching<R: Rng>(n: usize, rng: &mut R) -> Matching {
-    assert!(n % 2 == 0, "a perfect matching needs an even vertex count");
+    assert!(
+        n.is_multiple_of(2),
+        "a perfect matching needs an even vertex count"
+    );
     let mut perm: Vec<usize> = (0..n).collect();
     perm.shuffle(rng);
     let pairs: Vec<(usize, usize)> = perm.chunks(2).map(|c| (c[0], c[1])).collect();
@@ -165,6 +168,6 @@ mod tests {
     #[test]
     fn empty_matching_avg_weight_is_zero() {
         let m = Matching::empty(4);
-        assert_eq!(matching_avg_weight(&m, 4, &vec![1.0; 16]), 0.0);
+        assert_eq!(matching_avg_weight(&m, 4, &[1.0; 16]), 0.0);
     }
 }

@@ -46,9 +46,9 @@ proptest! {
         }
         for src in 0..n {
             let dist = connectivity::bfs_distances(&g, src);
-            for dst in 0..n {
+            for (dst, &d) in dist.iter().enumerate() {
                 prop_assert_eq!(
-                    dist[dst] != usize::MAX,
+                    d != usize::MAX,
                     uf.connected(src, dst),
                     "pair ({}, {})", src, dst
                 );
@@ -89,7 +89,7 @@ proptest! {
         let bridges = connectivity::bridge_graph(&rc, &topology::complete(n));
         prop_assert!(bridges.edge_count() > 0);
         let m = matching::maximum_matching(&bridges);
-        prop_assert!(m.len() >= 1);
+        prop_assert!(!m.is_empty());
         let mut merged = rc.clone();
         for (u, v) in m.pairs() {
             merged.add_edge(u, v);

@@ -27,8 +27,16 @@ impl BandwidthMatrix {
                 if i == j {
                     continue;
                 }
-                let a = if raw[i * n + j].is_nan() { 0.0 } else { raw[i * n + j] };
-                let b = if raw[j * n + i].is_nan() { 0.0 } else { raw[j * n + i] };
+                let a = if raw[i * n + j].is_nan() {
+                    0.0
+                } else {
+                    raw[i * n + j]
+                };
+                let b = if raw[j * n + i].is_nan() {
+                    0.0
+                } else {
+                    raw[j * n + i]
+                };
                 mbps[i * n + j] = a.min(b);
             }
         }
@@ -144,9 +152,9 @@ impl BandwidthMatrix {
         seen[0] = true;
         let mut count = 1;
         while let Some(u) = stack.pop() {
-            for v in 0..self.n {
-                if !seen[v] && self.get(u, v) >= thres && u != v {
-                    seen[v] = true;
+            for (v, seen_v) in seen.iter_mut().enumerate() {
+                if !*seen_v && self.get(u, v) >= thres && u != v {
+                    *seen_v = true;
                     count += 1;
                     stack.push(v);
                 }

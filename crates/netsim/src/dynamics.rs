@@ -110,7 +110,7 @@ mod tests {
             for j in 0..4 {
                 if i != j {
                     let v = p.current().get(i, j);
-                    assert!(v >= 0.5 && v <= 8.0, "link ({i},{j}) = {v}");
+                    assert!((0.5..=8.0).contains(&v), "link ({i},{j}) = {v}");
                 }
             }
         }

@@ -49,11 +49,7 @@ pub fn p2p_round_time(bw: &BandwidthMatrix, transfers: &[(usize, usize, u64)]) -
 /// Each `(worker, up_bytes, down_bytes)` entry moves bytes over the
 /// worker↔server link; upload and download share the link's bandwidth.
 /// The round lasts as long as the slowest client. Returns seconds.
-pub fn ps_round_time(
-    bw: &BandwidthMatrix,
-    server: usize,
-    clients: &[(usize, u64, u64)],
-) -> f64 {
+pub fn ps_round_time(bw: &BandwidthMatrix, server: usize, clients: &[(usize, u64, u64)]) -> f64 {
     let mut worst: f64 = 0.0;
     for &(w, up, down) in clients {
         if w == server {
@@ -157,7 +153,11 @@ mod tests {
     fn ps_round_slowest_client_gates() {
         let mut bw = BandwidthMatrix::constant(3, 10.0);
         bw.set(0, 2, 1.0); // worker 0 has a slow link to server 2
-        let t = ps_round_time(&bw, 2, &[(0, 1_000_000, 1_000_000), (1, 1_000_000, 1_000_000)]);
+        let t = ps_round_time(
+            &bw,
+            2,
+            &[(0, 1_000_000, 1_000_000), (1, 1_000_000, 1_000_000)],
+        );
         // Worker 0: 2 MB over 1 MB/s = 2 s; worker 1: 0.2 s.
         assert!((t - 2.0).abs() < 1e-9);
     }

@@ -288,10 +288,7 @@ mod tests {
         }
         let x = Tensor::full(&[1, 1, 3, 3], 1.0);
         let y = conv.forward(&x, true);
-        assert_eq!(
-            y.data(),
-            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
-        );
+        assert_eq!(y.data(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
     }
 
     #[test]

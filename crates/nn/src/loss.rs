@@ -44,13 +44,12 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
     if batch == 0 {
         return 0.0;
     }
-    let mut correct = 0usize;
-    for r in 0..batch {
-        let row = &logits.data()[r * classes..(r + 1) * classes];
-        if ops::argmax(row) == labels[r] {
-            correct += 1;
-        }
-    }
+    let correct = logits
+        .data()
+        .chunks_exact(classes)
+        .zip(labels)
+        .filter(|(row, &label)| ops::argmax(row) == label)
+        .count();
     correct as f32 / batch as f32
 }
 

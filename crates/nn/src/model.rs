@@ -414,10 +414,7 @@ mod tests {
             let b = ds.sample_batch(256, &mut rng);
             m.compute_grads(&b).0
         };
-        assert!(
-            last < first * 0.6,
-            "loss did not drop: {first} -> {last}"
-        );
+        assert!(last < first * 0.6, "loss did not drop: {first} -> {last}");
     }
 
     #[test]

@@ -19,7 +19,7 @@ impl MaxPool2d {
     pub fn new(window: usize, channels: usize, in_h: usize, in_w: usize) -> Self {
         assert!(window >= 1);
         assert!(
-            in_h % window == 0 && in_w % window == 0,
+            in_h.is_multiple_of(window) && in_w.is_multiple_of(window),
             "pooling window must tile the input exactly"
         );
         MaxPool2d {
@@ -135,10 +135,7 @@ impl GlobalAvgPool {
 impl Layer for GlobalAvgPool {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         let batch = input.shape()[0];
-        assert_eq!(
-            input.shape(),
-            &[batch, self.channels, self.in_h, self.in_w]
-        );
+        assert_eq!(input.shape(), &[batch, self.channels, self.in_h, self.in_w]);
         let area = (self.in_h * self.in_w) as f32;
         let mut out = vec![0.0f32; batch * self.channels];
         for n in 0..batch {

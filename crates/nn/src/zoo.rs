@@ -236,10 +236,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         for (name, feat) in [("mnist-cnn", 784), ("resnet-20", 3072)] {
             let mut m = by_name(name, &mut rng).unwrap();
-            let ds = SyntheticSpec::tiny()
-                .features(feat)
-                .samples(4)
-                .generate(1);
+            let ds = SyntheticSpec::tiny().features(feat).samples(4).generate(1);
             let b = ds.sample_batch(2, &mut rng);
             let (loss, _) = m.train_step(&b, 0.01);
             assert!(loss.is_finite(), "{name} loss {loss}");

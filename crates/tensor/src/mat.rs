@@ -113,12 +113,10 @@ impl Mat {
     /// Matrix–vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "Mat::matvec: dimension mismatch");
-        let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
-        }
-        out
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// Whether every row and every column sums to 1 (within `tol`) and all
@@ -168,7 +166,10 @@ impl Mat {
     /// `deflate` vectors, so it converges to the dominant eigenpair of the
     /// subspace orthogonal to them.
     pub fn power_iteration_deflated(&self, deflate: &[Vec<f64>], iters: usize) -> (f64, Vec<f64>) {
-        assert_eq!(self.rows, self.cols, "power iteration needs a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "power iteration needs a square matrix"
+        );
         let n = self.rows;
         let mut rng = StdRng::seed_from_u64(0x5eed_0123);
         let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();

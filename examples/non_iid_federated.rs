@@ -22,7 +22,11 @@ fn main() {
         partition::heterogeneity(&parts)
     );
     for (w, p) in parts.iter().enumerate() {
-        println!("  worker {w}: {:4} samples, histogram {:?}", p.len(), p.class_histogram());
+        println!(
+            "  worker {w}: {:4} samples, histogram {:?}",
+            p.len(),
+            p.class_histogram()
+        );
     }
 
     let bw = BandwidthMatrix::constant(n, 1.0);

@@ -44,14 +44,14 @@ fn main() {
         let rc_ok = connectivity::is_connected(&generator.rc_graph(t as i64));
         let m = generator.next_matching(t, &mut rng);
         let avg = topology::matching_avg_weight(&m, n, bw.as_slice());
-        let pairs: Vec<String> = m
-            .pairs()
-            .iter()
-            .map(|&(a, b)| format!("{a}-{b}"))
-            .collect();
+        let pairs: Vec<String> = m.pairs().iter().map(|&(a, b)| format!("{a}-{b}")).collect();
         println!(
             " {t:2}| {:13} | {:20} | {avg:.3}",
-            if rc_ok { "yes (bandwidth)" } else { "no (bridge)" },
+            if rc_ok {
+                "yes (bandwidth)"
+            } else {
+                "no (bridge)"
+            },
             pairs.join(" ")
         );
     }
@@ -91,8 +91,7 @@ fn main() {
     rand_bw /= rounds as f64;
 
     let ring = topology::ring_edges(n);
-    let ring_bw: f64 =
-        ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
+    let ring_bw: f64 = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
 
     println!("\nmean selected link bandwidth over {rounds} rounds:");
     println!("  SAPS-PSGD (Algorithm 3): {saps_bw:.3} MB/s");

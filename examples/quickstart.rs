@@ -35,7 +35,10 @@ fn main() {
     );
 
     let mut algo = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 32, 4], rng));
-    println!("model: {} parameters", saps::core::Trainer::model_len(&algo));
+    println!(
+        "model: {} parameters",
+        saps::core::Trainer::model_len(&algo)
+    );
 
     let hist = sim::run(
         &mut algo,
@@ -45,8 +48,8 @@ fn main() {
             rounds: 200,
             eval_every: 20,
             eval_samples: 600,
-        max_epochs: f64::INFINITY,
-    },
+            max_epochs: f64::INFINITY,
+        },
     );
 
     println!("\n round | epoch | val acc | traffic (MB) | comm time (s)");

@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: run every algorithm end to end on the
 //! same workload and check the paper's headline orderings.
 
+use rand::rngs::StdRng;
 use saps::baselines::{
     DPsgd, DcdPsgd, FedAvg, FedAvgConfig, Fleet, PsgdAllReduce, RandomChoose, SFedAvg, TopKPsgd,
 };
@@ -8,14 +9,16 @@ use saps::core::{sim, SapsConfig, SapsPsgd, Trainer};
 use saps::data::{Dataset, SyntheticSpec};
 use saps::netsim::BandwidthMatrix;
 use saps::nn::zoo;
-use rand::rngs::StdRng;
 
 const N: usize = 8;
 const BATCH: usize = 16;
 const LR: f32 = 0.1;
 
 fn dataset() -> (Dataset, Dataset) {
-    SyntheticSpec::tiny().samples(2_400).generate(1).split(0.2, 0)
+    SyntheticSpec::tiny()
+        .samples(2_400)
+        .generate(1)
+        .split(0.2, 0)
 }
 
 fn factory(rng: &mut StdRng) -> saps::nn::Model {
@@ -31,8 +34,8 @@ fn opts(rounds: usize) -> sim::RunOptions {
         rounds,
         eval_every: rounds / 4,
         eval_samples: 400,
-            max_epochs: f64::INFINITY,
-        }
+        max_epochs: f64::INFINITY,
+    }
 }
 
 fn all_trainers(train: &Dataset, bw: &BandwidthMatrix) -> Vec<Box<dyn Trainer>> {
@@ -81,17 +84,10 @@ fn saps_has_lowest_worker_traffic() {
         let hist = sim::run(algo.as_mut(), &bw, &val, opts(40));
         results.push((hist.algorithm.clone(), hist.total_worker_traffic_mb));
     }
-    let saps = results
-        .iter()
-        .find(|(n, _)| n == "SAPS-PSGD")
-        .unwrap()
-        .1;
+    let saps = results.iter().find(|(n, _)| n == "SAPS-PSGD").unwrap().1;
     for (name, mb) in &results {
         if name != "SAPS-PSGD" && name != "RandomChoose" {
-            assert!(
-                saps < *mb,
-                "SAPS {saps:.4} MB !< {name} {mb:.4} MB"
-            );
+            assert!(saps < *mb, "SAPS {saps:.4} MB !< {name} {mb:.4} MB");
         }
     }
 }
@@ -134,7 +130,6 @@ fn adaptive_selection_beats_random_on_heterogeneous_network() {
         tthres: 6,
         seed: 3,
         bthres: Some(bw.percentile(0.6)),
-        ..SapsConfig::default()
     };
     let mut saps = SapsPsgd::new(cfg, &train, &bw, factory);
     let saps_hist = sim::run(&mut saps, &bw, &val, opts(200));
@@ -251,5 +246,8 @@ fn measured_traffic_matches_table1_formulas() {
     let measured_params = hist.total_worker_traffic_mb * 1e6 / 4.0;
     let formula = 4.0 * n_params * rounds as f64;
     let ratio = measured_params / formula;
-    assert!((ratio - 1.0).abs() < 0.05, "D-PSGD measured/formula = {ratio:.3}");
+    assert!(
+        (ratio - 1.0).abs() < 0.05,
+        "D-PSGD measured/formula = {ratio:.3}"
+    );
 }

@@ -1,0 +1,56 @@
+//! Smoke coverage for the `examples/` directory.
+//!
+//! `cargo build --examples` (run in CI, see `.github/workflows/ci.yml`)
+//! compiles whatever is present — it cannot notice an example being
+//! renamed, dropped, or left out of the docs. This test pins the canonical
+//! set, so the README table, the CI step, and the directory can't drift
+//! apart silently. `examples/quickstart.rs` is the repo's documented entry
+//! point; its training flow is additionally executed as the facade crate's
+//! doctest on every `cargo test`.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// The five examples the README documents, in `cargo run --example` name
+/// form. Update this list and the README table together.
+const CANONICAL_EXAMPLES: [&str; 5] = [
+    "geo_distributed",
+    "non_iid_federated",
+    "peer_selection_demo",
+    "quickstart",
+    "worker_churn",
+];
+
+fn examples_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("examples")
+}
+
+#[test]
+fn examples_directory_matches_canonical_set() {
+    let found: BTreeSet<String> = std::fs::read_dir(examples_dir())
+        .expect("examples/ directory exists")
+        .filter_map(|e| {
+            let path = e.unwrap().path();
+            (path.extension()? == "rs")
+                .then(|| path.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    let expected: BTreeSet<String> = CANONICAL_EXAMPLES.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        found, expected,
+        "examples/ drifted from the canonical set — update CANONICAL_EXAMPLES and the README table together"
+    );
+}
+
+#[test]
+fn every_example_declares_its_run_command() {
+    // Each example's module docs must carry its `cargo run` line, so a
+    // reader landing in the file knows how to execute it.
+    for name in CANONICAL_EXAMPLES {
+        let src = std::fs::read_to_string(examples_dir().join(format!("{name}.rs"))).unwrap();
+        assert!(
+            src.contains(&format!("--example {name}")),
+            "examples/{name}.rs docs don't mention `cargo run ... --example {name}`"
+        );
+    }
+}

@@ -188,8 +188,8 @@ fn lemma2_rate_matches_algorithm3_stream() {
             *a += h;
         }
     }
-    for t in 0..rounds {
-        let mean = acc[t] / trials as f64;
+    for (t, total) in acc.iter().enumerate() {
+        let mean = total / trials as f64;
         let bound = consensus::lemma2_bound(&x0, rho, c, t + 1);
         assert!(
             mean <= bound * 1.25 + 1e-9,

@@ -1,0 +1,387 @@
+//! Offline stand-in for the `proptest` crate (1.x-compatible subset).
+//!
+//! Vendored because this workspace builds without crates.io access. It keeps
+//! the programming model of real proptest — [`Strategy`] values describing
+//! how to generate inputs, the [`proptest!`] macro turning annotated
+//! functions into `#[test]`s, `prop_assert!`/`prop_assert_eq!` assertions,
+//! and [`ProptestConfig::with_cases`] — but with two deliberate
+//! simplifications:
+//!
+//! 1. **No shrinking.** A failing case panics with the generated inputs
+//!    implicit in the assertion message; it is not minimized.
+//! 2. **Uniform generation.** Values are drawn uniformly (with a small bias
+//!    toward edge values for `any::<T>()` integers) rather than via real
+//!    proptest's size-ramped, edge-biased search.
+//!
+//! Cases are fully deterministic: case `k` of test `name` always sees the
+//! same inputs, derived by hashing `(name, k)`. Set `PROPTEST_CASES` to
+//! override the default case count for tests without an explicit config.
+//!
+//! Swapping the real `proptest = "1"` back in requires no source changes.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+/// The user-facing prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Per-block configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for generating values of type `Value`.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Generates one value. Deterministic in `rng`.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Generates with a strategy derived from each generated value
+    /// (dependent generation, e.g. a matrix then entries sized to it).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let intermediate = self.source.generate(rng);
+        (self.f)(intermediate).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical "any value" strategy; see [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                // Bias 1-in-8 draws toward the edge values real proptest
+                // probes first; tests here mostly use this for RNG seeds.
+                if rng.gen_range(0u32..8) == 0 {
+                    *[<$t>::MIN, <$t>::MAX, 0, 1].choose_with(rng)
+                } else {
+                    rng.gen()
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Spread mass across magnitudes; keep values finite.
+        let mantissa: f64 = rng.gen_range(-1.0..1.0);
+        let exp: i32 = rng.gen_range(-64..64);
+        mantissa * (exp as f64).exp2()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+trait ChooseWith<T> {
+    fn choose_with(&self, rng: &mut StdRng) -> &T;
+}
+
+impl<T> ChooseWith<T> for [T] {
+    fn choose_with(&self, rng: &mut StdRng) -> &T {
+        &self[rng.gen_range(0..self.len())]
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// The error type a property-test body may return (`return Ok(())` /
+/// `Err(...)`), mirroring `proptest::test_runner::TestCaseError`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Builds the deterministic RNG for one test case. Public for the
+/// [`proptest!`] macro expansion, not for direct use.
+#[doc(hidden)]
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+}
+
+/// Declares property tests. Mirrors real proptest's surface syntax:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// // In real code the functions carry `#[test]`; here the generated
+/// // function is called directly so the doctest exercises it.
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                // Bodies may `return Ok(())` early, as in real proptest,
+                // so each case runs inside a Result-returning closure.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        Ok(())
+                    })();
+                if let Err(e) = __outcome {
+                    panic!("proptest case {} of {} failed: {}", __case, stringify!($name), e);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; this
+/// stub does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = case_rng("ranges", 0);
+        for _ in 0..1000 {
+            let (a, b) = (1usize..6, -2.0f32..2.0).generate(&mut rng);
+            assert!((1..6).contains(&a));
+            assert!((-2.0..2.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn flat_map_sees_intermediate() {
+        let strat = (1usize..4).prop_flat_map(|n| (Just(n), collection::vec(0u32..10, n)));
+        let mut rng = case_rng("flat_map", 0);
+        for _ in 0..200 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = any::<u64>().generate(&mut case_rng("det", 3));
+        let b = any::<u64>().generate(&mut case_rng("det", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_end_to_end((n, v) in (2usize..5).prop_flat_map(|n| (Just(n), collection::vec(0i64..100, n)))) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 0u32..10, y in 0u32..10) {
+            prop_assert!(x + y < 20);
+        }
+    }
+}

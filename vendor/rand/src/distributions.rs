@@ -1,0 +1,178 @@
+//! Distributions: the [`Distribution`] trait, the [`Standard`] distribution,
+//! and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng` as the entropy source.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: full range for integers, `[0, 1)`
+/// for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 uniform bits into [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform range sampling, mirroring `rand::distributions::uniform`.
+pub mod uniform {
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can produce uniform samples of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range. Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! range_int {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty integer range");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let v = (rng.next_u64() as i128).rem_euclid(span);
+                    ((self.start as i128) + v) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty integer range");
+                    let span = (hi as i128) - (lo as i128) + 1;
+                    let v = (rng.next_u64() as i128).rem_euclid(span);
+                    ((lo as i128) + v) as $t
+                }
+            }
+        )*};
+    }
+    range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! range_float {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty float range");
+                    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    let v = self.start + (self.end - self.start) * (u as $t);
+                    // Guard against rounding up to the excluded endpoint:
+                    // fall back to the largest float below `end` (sign-aware;
+                    // bit tricks like `to_bits() - 1` break for end <= 0).
+                    if v < self.end {
+                        v
+                    } else {
+                        let down = if self.end > 0.0 {
+                            <$t>::from_bits(self.end.to_bits() - 1)
+                        } else if self.end == 0.0 {
+                            -<$t>::from_bits(1) // largest value below +0.0
+                        } else {
+                            <$t>::from_bits(self.end.to_bits() + 1)
+                        };
+                        down.max(self.start)
+                    }
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty float range");
+                    let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                    lo + (hi - lo) * (u as $t)
+                }
+            }
+        )*};
+    }
+    range_float!(f32, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_open_endpoint() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&v));
+            let w: f32 = rng.gen_range(-2.0f32..=2.0);
+            assert!((-2.0..=2.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_with_nonpositive_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(-1.0..0.0);
+            assert!((-1.0..0.0).contains(&v));
+            let w: f32 = rng.gen_range(-2.0f32..-1.0);
+            assert!((-2.0..-1.0).contains(&w));
+        }
+        // One-ULP-wide range: the endpoint guard must still stay in range.
+        let lo = 1.0f64;
+        let hi = f64::from_bits(lo.to_bits() + 1);
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(lo..hi), lo);
+        }
+    }
+
+    #[test]
+    fn all_ints_reachable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,101 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! This workspace builds in environments with no access to crates.io, so the
+//! external dependencies the code imports are vendored as small, API-compatible
+//! reimplementations. This crate covers exactly the surface the workspace
+//! uses:
+//!
+//! * [`RngCore`], [`Rng`] (`gen`, `gen_range`, `gen_bool`, `sample`),
+//!   [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`] — a deterministic splitmix64-based generator (NOT the
+//!   upstream ChaCha12; streams differ from real `rand`, but every consumer in
+//!   this workspace only relies on determinism and statistical uniformity);
+//! * [`distributions::Distribution`] + [`distributions::Standard`];
+//! * [`seq::SliceRandom`] (`shuffle`, `choose`).
+//!
+//! Swapping the real `rand = "0.8"` back in requires no source changes — only
+//! re-pointing the `[workspace.dependencies]` entry at crates.io.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (high half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (`low..high` or `low..=high`).
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: probability {p} outside [0, 1]"
+        );
+        self.gen::<f64>() < p
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed. Deterministic across platforms.
+    fn seed_from_u64(state: u64) -> Self;
+}
