@@ -1,18 +1,21 @@
 //! Shared scaffolding for baseline algorithms: a fleet of workers with
-//! identical initial replicas.
+//! identical initial replicas and a first-class membership (active) mask,
+//! so worker churn is driven uniformly through the [`saps_core::Trainer`]
+//! interface instead of per-algorithm side doors.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use saps_core::Worker;
+use saps_core::{ConfigError, Worker};
 use saps_data::{partition, Dataset};
 use saps_nn::Model;
 use saps_tensor::rng::{derive_seed, streams};
 
 /// A fleet of `n` workers with identically initialized model replicas,
-/// an IID (or caller-supplied) data partition, and a scratch model for
-/// consensus evaluation.
+/// an IID (or caller-supplied) data partition, a scratch model for
+/// consensus evaluation, and an active mask for churn.
 pub struct Fleet {
     workers: Vec<Worker>,
+    active: Vec<bool>,
     eval_model: Model,
     n_params: usize,
     /// Mini-batch size per worker per round.
@@ -25,6 +28,7 @@ impl std::fmt::Debug for Fleet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Fleet")
             .field("workers", &self.workers.len())
+            .field("active", &self.active_count())
             .field("n_params", &self.n_params)
             .finish()
     }
@@ -39,7 +43,7 @@ impl Fleet {
         seed: u64,
         batch_size: usize,
         lr: f32,
-    ) -> Self {
+    ) -> Result<Self, ConfigError> {
         let parts = partition::iid(train, n, derive_seed(seed, 0, streams::DATA));
         Self::with_partitions(parts, factory, seed, batch_size, lr)
     }
@@ -51,8 +55,13 @@ impl Fleet {
         seed: u64,
         batch_size: usize,
         lr: f32,
-    ) -> Self {
-        assert!(parts.len() >= 2, "need at least two workers");
+    ) -> Result<Self, ConfigError> {
+        if parts.len() < 2 {
+            return Err(ConfigError::invalid("Fleet", "need at least two workers"));
+        }
+        if batch_size == 0 {
+            return Err(ConfigError::invalid("Fleet", "batch_size must be >= 1"));
+        }
         let make = || {
             let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0, streams::INIT));
             factory(&mut rng)
@@ -64,16 +73,17 @@ impl Fleet {
             .collect();
         let eval_model = make();
         let n_params = eval_model.num_params();
-        Fleet {
+        Ok(Fleet {
+            active: vec![true; workers.len()],
             workers,
             eval_model,
             n_params,
             batch_size,
             lr,
-        }
+        })
     }
 
-    /// Number of workers.
+    /// Number of workers (active and inactive).
     pub fn len(&self) -> usize {
         self.workers.len()
     }
@@ -98,45 +108,102 @@ impl Fleet {
         &mut self.workers[rank]
     }
 
-    /// Runs one local SGD step on every worker; returns the mean
+    /// Whether `rank` is currently active.
+    pub fn is_active(&self, rank: usize) -> bool {
+        self.active[rank]
+    }
+
+    /// Number of active workers.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Ranks of currently active workers, ascending.
+    pub fn active_ranks(&self) -> Vec<usize> {
+        (0..self.workers.len())
+            .filter(|&r| self.active[r])
+            .collect()
+    }
+
+    /// Marks a worker active/inactive. Inactive workers keep their model
+    /// (they re-join where they left off unless the algorithm resyncs
+    /// them). Fails if `rank` is out of range or if `min_active` workers
+    /// would not remain.
+    pub fn set_active(
+        &mut self,
+        rank: usize,
+        active: bool,
+        min_active: usize,
+    ) -> Result<(), ConfigError> {
+        if rank >= self.workers.len() {
+            return Err(ConfigError::invalid(
+                "Fleet",
+                format!("worker rank {rank} out of range ({})", self.workers.len()),
+            ));
+        }
+        if self.active[rank] == active {
+            return Ok(());
+        }
+        if !active && self.active_count() <= min_active {
+            return Err(ConfigError::invalid(
+                "Fleet",
+                format!("cannot deactivate: at least {min_active} workers must stay active"),
+            ));
+        }
+        self.active[rank] = active;
+        Ok(())
+    }
+
+    /// Runs one local SGD step on every *active* worker; returns the mean
     /// `(loss, accuracy)`.
     pub fn sgd_step_all(&mut self) -> (f32, f32) {
         let mut loss = 0.0f64;
         let mut acc = 0.0f64;
         let (bs, lr) = (self.batch_size, self.lr);
-        for w in &mut self.workers {
-            let (l, a) = w.sgd_step(bs, lr);
+        let mut m = 0usize;
+        for (w, &a) in self.workers.iter_mut().zip(&self.active) {
+            if !a {
+                continue;
+            }
+            let (l, ac) = w.sgd_step(bs, lr);
             loss += l as f64;
-            acc += a as f64;
+            acc += ac as f64;
+            m += 1;
         }
-        let n = self.workers.len() as f64;
+        let n = m.max(1) as f64;
         ((loss / n) as f32, (acc / n) as f32)
     }
 
-    /// Accumulates gradients on every worker without stepping; returns
-    /// the mean `(loss, accuracy)`.
+    /// Accumulates gradients on every *active* worker without stepping;
+    /// returns the mean `(loss, accuracy)`.
     pub fn accumulate_grads_all(&mut self) -> (f32, f32) {
         let mut loss = 0.0f64;
         let mut acc = 0.0f64;
         let bs = self.batch_size;
-        for w in &mut self.workers {
-            let (l, a) = w.accumulate_grads(bs);
+        let mut m = 0usize;
+        for (w, &a) in self.workers.iter_mut().zip(&self.active) {
+            if !a {
+                continue;
+            }
+            let (l, ac) = w.accumulate_grads(bs);
             loss += l as f64;
-            acc += a as f64;
+            acc += ac as f64;
+            m += 1;
         }
-        let n = self.workers.len() as f64;
+        let n = m.max(1) as f64;
         ((loss / n) as f32, (acc / n) as f32)
     }
 
-    /// The mean of all workers' flat models.
+    /// The mean of all *active* workers' flat models.
     pub fn average_model(&self) -> Vec<f32> {
+        let ranks = self.active_ranks();
         let mut acc = vec![0.0f32; self.n_params];
-        for w in &self.workers {
-            for (a, v) in acc.iter_mut().zip(w.flat()) {
+        for &r in &ranks {
+            for (a, v) in acc.iter_mut().zip(self.workers[r].flat()) {
                 *a += v;
             }
         }
-        let inv = 1.0 / self.workers.len() as f32;
+        let inv = 1.0 / ranks.len().max(1) as f32;
         for a in &mut acc {
             *a *= inv;
         }
@@ -149,18 +216,23 @@ impl Fleet {
         self.eval_model.evaluate(val, max_samples)
     }
 
-    /// Validation accuracy of the fleet-average model.
+    /// Validation accuracy of the active-fleet-average model.
     pub fn evaluate_average(&mut self, val: &Dataset, max_samples: usize) -> f32 {
         let avg = self.average_model();
         self.evaluate_flat(&avg, val, max_samples)
     }
 
-    /// Mean local-dataset size (for epoch accounting).
+    /// Mean *active* local-dataset size (for epoch accounting).
     pub fn mean_partition_len(&self) -> f64 {
-        self.workers.iter().map(|w| w.data_len()).sum::<usize>() as f64 / self.workers.len() as f64
+        let ranks = self.active_ranks();
+        ranks
+            .iter()
+            .map(|&r| self.workers[r].data_len())
+            .sum::<usize>() as f64
+            / ranks.len().max(1) as f64
     }
 
-    /// Fraction of an epoch advanced by one batch per worker.
+    /// Fraction of an epoch advanced by one batch per active worker.
     pub fn epochs_per_round(&self) -> f64 {
         self.batch_size as f64 / self.mean_partition_len().max(1.0)
     }
@@ -174,7 +246,7 @@ mod tests {
 
     fn fleet(n: usize) -> Fleet {
         let ds = SyntheticSpec::tiny().samples(400).generate(1);
-        Fleet::new(n, &ds, |rng| zoo::mlp(&[16, 12, 4], rng), 7, 16, 0.1)
+        Fleet::new(n, &ds, |rng| zoo::mlp(&[16, 12, 4], rng), 7, 16, 0.1).unwrap()
     }
 
     #[test]
@@ -211,5 +283,44 @@ mod tests {
         let f = fleet(4);
         // 400 samples / 4 workers = 100 per worker; batch 16 -> 0.16.
         assert!((f.epochs_per_round() - 0.16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_fleets_are_rejected() {
+        let ds = SyntheticSpec::tiny().samples(100).generate(1);
+        assert!(Fleet::new(1, &ds, |rng| zoo::mlp(&[16, 12, 4], rng), 7, 16, 0.1).is_err());
+        assert!(Fleet::new(4, &ds, |rng| zoo::mlp(&[16, 12, 4], rng), 7, 0, 0.1).is_err());
+    }
+
+    #[test]
+    fn inactive_workers_freeze_and_drop_out_of_averages() {
+        let mut f = fleet(4);
+        f.sgd_step_all();
+        f.set_active(3, false, 2).unwrap();
+        let frozen = f.worker(3).flat();
+        f.sgd_step_all();
+        assert_eq!(f.worker(3).flat(), frozen, "inactive worker trained");
+        assert_eq!(f.active_ranks(), vec![0, 1, 2]);
+        // Average over the 3 active workers only.
+        let avg = f.average_model();
+        let mut manual = vec![0.0f32; f.n_params()];
+        for r in 0..3 {
+            for (m, v) in manual.iter_mut().zip(f.worker(r).flat()) {
+                *m += v / 3.0;
+            }
+        }
+        for (a, b) in avg.iter().zip(&manual) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn min_active_guard_holds() {
+        let mut f = fleet(3);
+        f.set_active(0, false, 2).unwrap();
+        assert!(f.set_active(1, false, 2).is_err());
+        assert!(f.set_active(7, false, 2).is_err());
+        f.set_active(0, true, 2).unwrap();
+        assert_eq!(f.active_count(), 3);
     }
 }

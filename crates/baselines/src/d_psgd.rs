@@ -1,10 +1,10 @@
-//! D-PSGD: decentralized parallel SGD on a fixed ring [25].
+//! D-PSGD: decentralized parallel SGD on a fixed ring \[25\].
 
 use crate::Fleet;
-use saps_core::{RoundReport, Trainer};
+use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
 use saps_graph::topology;
-use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
+use saps_netsim::timemodel;
 
 /// D-PSGD on the fixed ring `0 → 1 → … → n−1 → 0` (the paper's Section
 /// IV-D setup): each round every worker runs one SGD step, sends its
@@ -12,16 +12,22 @@ use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
 /// with the three-way average `x_i ← (x_{i−1} + x_i + x_{i+1})/3`.
 ///
 /// Per-worker traffic is `4·N` parameters per round (2 sends + 2
-/// receives) — the communication-hungry baseline of Fig. 4.
+/// receives) — the communication-hungry baseline of Fig. 4. Under churn
+/// the ring closes over the surviving active ranks in rank order.
 pub struct DPsgd {
     fleet: Fleet,
 }
 
 impl DPsgd {
     /// Wraps a fleet (needs ≥ 3 workers for a proper ring).
-    pub fn new(fleet: Fleet) -> Self {
-        assert!(fleet.len() >= 3, "D-PSGD ring needs at least 3 workers");
-        DPsgd { fleet }
+    pub fn new(fleet: Fleet) -> Result<Self, ConfigError> {
+        if fleet.len() < 3 {
+            return Err(ConfigError::invalid(
+                "DPsgd",
+                "D-PSGD ring needs at least 3 workers",
+            ));
+        }
+        Ok(DPsgd { fleet })
     }
 }
 
@@ -30,48 +36,53 @@ impl Trainer for DPsgd {
         "D-PSGD"
     }
 
-    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
-        let n = self.fleet.len();
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
+        let bw = ctx.bw;
+        let traffic = &mut *ctx.traffic;
+        let ranks = self.fleet.active_ranks();
+        let m = ranks.len();
         let (loss, acc) = self.fleet.sgd_step_all();
 
-        // Snapshot all models, then mix: x_i = (x_{i-1} + x_i + x_{i+1})/3.
-        let snapshots: Vec<Vec<f32>> = (0..n).map(|r| self.fleet.worker(r).flat()).collect();
-        for r in 0..n {
-            let prev = &snapshots[(r + n - 1) % n];
-            let next = &snapshots[(r + 1) % n];
-            let me = &snapshots[r];
+        // Snapshot active models, then mix over the active ring:
+        // x_i = (x_{i-1} + x_i + x_{i+1})/3.
+        let snapshots: Vec<Vec<f32>> = ranks.iter().map(|&r| self.fleet.worker(r).flat()).collect();
+        for i in 0..m {
+            let prev = &snapshots[(i + m - 1) % m];
+            let next = &snapshots[(i + 1) % m];
+            let me = &snapshots[i];
             let mixed: Vec<f32> = (0..me.len())
-                .map(|i| (prev[i] + me[i] + next[i]) / 3.0)
+                .map(|k| (prev[k] + me[k] + next[k]) / 3.0)
                 .collect();
-            self.fleet.worker_mut(r).set_flat(&mixed);
+            self.fleet.worker_mut(ranks[i]).set_flat(&mixed);
         }
 
-        // Traffic: every worker sends its dense model to both neighbours.
+        // Traffic: every active worker sends its dense model to both ring
+        // neighbours.
         let dense_bytes = 4 * self.fleet.n_params() as u64;
-        let mut transfers = Vec::with_capacity(2 * n);
-        for r in 0..n {
-            for peer in [(r + 1) % n, (r + n - 1) % n] {
-                traffic.record_p2p(r, peer, dense_bytes);
-                transfers.push((r, peer, dense_bytes));
+        let mut transfers = Vec::with_capacity(2 * m);
+        for i in 0..m {
+            for peer in [ranks[(i + 1) % m], ranks[(i + m - 1) % m]] {
+                traffic.record_p2p(ranks[i], peer, dense_bytes);
+                transfers.push((ranks[i], peer, dense_bytes));
             }
         }
         traffic.end_round();
         let comm_time_s = timemodel::p2p_round_time(bw, &transfers);
 
-        let ring = topology::ring_edges(n);
+        let ring = topology::ring_edges_over(&ranks);
         let mean_link = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
         let min_link = ring
             .iter()
             .map(|&(a, b)| bw.get(a, b))
             .fold(f64::INFINITY, f64::min);
-        RoundReport {
-            mean_loss: loss,
-            mean_acc: acc,
-            comm_time_s,
-            epochs_advanced: self.fleet.epochs_per_round(),
-            mean_link_bandwidth: mean_link,
-            min_link_bandwidth: min_link,
-        }
+        let mut rep = RoundReport::new();
+        rep.mean_loss = loss;
+        rep.mean_acc = acc;
+        rep.comm_time_s = comm_time_s;
+        rep.epochs_advanced = self.fleet.epochs_per_round();
+        rep.mean_link_bandwidth = mean_link;
+        rep.min_link_bandwidth = min_link;
+        rep
     }
 
     fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
@@ -85,19 +96,29 @@ impl Trainer for DPsgd {
     fn worker_count(&self) -> usize {
         self.fleet.len()
     }
+
+    fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        // The ring needs at least 3 live workers to stay a ring.
+        self.fleet.set_active(rank, active, 3)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use saps_data::SyntheticSpec;
+    use saps_netsim::{BandwidthMatrix, TrafficAccountant};
     use saps_nn::zoo;
 
     fn setup(n: usize) -> (DPsgd, Dataset, BandwidthMatrix) {
         let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
         let (train, val) = ds.split(0.25, 0);
-        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
-        (DPsgd::new(fleet), val, BandwidthMatrix::constant(n, 1.0))
+        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1).unwrap();
+        (
+            DPsgd::new(fleet).unwrap(),
+            val,
+            BandwidthMatrix::constant(n, 1.0),
+        )
     }
 
     #[test]
@@ -115,9 +136,8 @@ mod tests {
     fn mixing_preserves_global_average() {
         let (mut algo, _, bw) = setup(4);
         let mut t = TrafficAccountant::new(4);
-        // After SGD the models differ; record the average and one more
-        // mixing-only effect via a zero-lr fleet is overkill — instead
-        // check the invariant across a round with lr = 0.
+        // After SGD the models differ; check the mixing invariant across
+        // a round with lr = 0.
         algo.fleet.lr = 0.0;
         let before = algo.fleet.average_model();
         algo.round(&mut t, &bw);
@@ -136,6 +156,26 @@ mod tests {
         }
         let acc = algo.evaluate(&val, 300);
         assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn churn_closes_the_ring_over_survivors() {
+        let (mut algo, _, bw) = setup(5);
+        let mut t = TrafficAccountant::new(5);
+        algo.set_worker_active(2, false).unwrap();
+        let frozen = algo.fleet.worker(2).flat();
+        for _ in 0..5 {
+            let rep = algo.round(&mut t, &bw);
+            assert!(rep.mean_loss.is_finite());
+        }
+        assert_eq!(algo.fleet.worker(2).flat(), frozen);
+        assert_eq!(t.worker_total(2), 0, "inactive worker exchanged");
+        // Survivors each still send 2 dense models per round.
+        let dense = 4 * algo.model_len() as u64;
+        assert_eq!(t.worker_sent(0), 5 * 2 * dense);
+        // Dropping below 3 active is refused.
+        algo.set_worker_active(0, false).unwrap();
+        assert!(algo.set_worker_active(1, false).is_err());
     }
 
     #[test]

@@ -1,12 +1,12 @@
-//! DCD-PSGD: difference-compressed decentralized SGD on a ring [26].
+//! DCD-PSGD: difference-compressed decentralized SGD on a ring \[26\].
 
 use crate::Fleet;
 use saps_compress::codec;
 use saps_compress::topk::{densify, top_k_indices};
-use saps_core::{RoundReport, Trainer};
+use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
 use saps_graph::topology;
-use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
+use saps_netsim::timemodel;
 
 /// DCD-PSGD on the fixed ring: each worker maintains a **replica** of
 /// each neighbour's model (the memory cost the paper criticizes) and
@@ -17,7 +17,10 @@ use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
 ///
 /// The paper finds DCD-PSGD tolerates only mild compression (`c = 4`);
 /// larger `c` diverges — our convergence tests confirm `c = 4` trains
-/// while traffic stays `4·np·N/c` per Table I.
+/// while traffic stays `4·np·N/c` per Table I. Under churn the ring
+/// closes over the surviving active ranks; per-rank broadcast replicas
+/// are kept, so a returning worker resumes from its last broadcast
+/// state.
 pub struct DcdPsgd {
     fleet: Fleet,
     compression: f64,
@@ -28,15 +31,25 @@ pub struct DcdPsgd {
 
 impl DcdPsgd {
     /// Wraps a fleet with compression ratio `c` (the paper uses 4).
-    pub fn new(fleet: Fleet, compression: f64) -> Self {
-        assert!(fleet.len() >= 3, "DCD-PSGD ring needs at least 3 workers");
-        assert!(compression >= 1.0);
+    pub fn new(fleet: Fleet, compression: f64) -> Result<Self, ConfigError> {
+        if fleet.len() < 3 {
+            return Err(ConfigError::invalid(
+                "DcdPsgd",
+                "DCD-PSGD ring needs at least 3 workers",
+            ));
+        }
+        if !(compression >= 1.0 && compression.is_finite()) {
+            return Err(ConfigError::invalid(
+                "DcdPsgd",
+                format!("compression {compression} must be a finite ratio >= 1"),
+            ));
+        }
         let broadcast = (0..fleet.len()).map(|r| fleet.worker(r).flat()).collect();
-        DcdPsgd {
+        Ok(DcdPsgd {
             fleet,
             compression,
             broadcast,
-        }
+        })
     }
 
     /// The compression ratio in use.
@@ -50,16 +63,19 @@ impl Trainer for DcdPsgd {
         "DCD-PSGD"
     }
 
-    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
-        let n = self.fleet.len();
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
+        let bw = ctx.bw;
+        let traffic = &mut *ctx.traffic;
+        let ranks = self.fleet.active_ranks();
+        let m = ranks.len();
         let n_params = self.fleet.n_params();
         let k = ((n_params as f64 / self.compression).round() as usize).max(1);
         let (loss, acc) = self.fleet.sgd_step_all();
 
-        // Each worker compresses (x_i − broadcast_i) and updates its own
-        // broadcast state; neighbours apply the identical patch.
+        // Each active worker compresses (x_i − broadcast_i) and updates
+        // its own broadcast state; neighbours apply the identical patch.
         let mut payload_bytes = 0u64;
-        for r in 0..n {
+        for &r in &ranks {
             let x = self.fleet.worker(r).flat();
             let diff: Vec<f32> = x
                 .iter()
@@ -75,46 +91,48 @@ impl Trainer for DcdPsgd {
             payload_bytes = codec::sparse_iv_bytes(idx.len());
         }
 
-        // Mixing with replica averages: x_i ← (x̂_{i−1} + x_i + x̂_{i+1})/3.
-        let mut mixed_all = Vec::with_capacity(n);
-        for r in 0..n {
-            let prev = &self.broadcast[(r + n - 1) % n];
-            let next = &self.broadcast[(r + 1) % n];
-            let me = self.fleet.worker(r).flat();
+        // Mixing with replica averages over the active ring:
+        // x_i ← (x̂_{i−1} + x_i + x̂_{i+1})/3.
+        let mut mixed_all = Vec::with_capacity(m);
+        for i in 0..m {
+            let prev = &self.broadcast[ranks[(i + m - 1) % m]];
+            let next = &self.broadcast[ranks[(i + 1) % m]];
+            let me = self.fleet.worker(ranks[i]).flat();
             let mixed: Vec<f32> = (0..n_params)
-                .map(|i| (prev[i] + me[i] + next[i]) / 3.0)
+                .map(|p| (prev[p] + me[p] + next[p]) / 3.0)
                 .collect();
             mixed_all.push(mixed);
         }
-        for (r, mixed) in mixed_all.into_iter().enumerate() {
-            self.fleet.worker_mut(r).set_flat(&mixed);
+        for (i, mixed) in mixed_all.into_iter().enumerate() {
+            self.fleet.worker_mut(ranks[i]).set_flat(&mixed);
         }
 
-        // Traffic: each worker sends its sparse diff to both neighbours.
-        let mut transfers = Vec::with_capacity(2 * n);
-        for r in 0..n {
-            for peer in [(r + 1) % n, (r + n - 1) % n] {
-                traffic.record_p2p(r, peer, payload_bytes);
-                transfers.push((r, peer, payload_bytes));
+        // Traffic: each active worker sends its sparse diff to both ring
+        // neighbours.
+        let mut transfers = Vec::with_capacity(2 * m);
+        for i in 0..m {
+            for peer in [ranks[(i + 1) % m], ranks[(i + m - 1) % m]] {
+                traffic.record_p2p(ranks[i], peer, payload_bytes);
+                transfers.push((ranks[i], peer, payload_bytes));
             }
         }
         traffic.end_round();
         let comm_time_s = timemodel::p2p_round_time(bw, &transfers);
 
-        let ring = topology::ring_edges(n);
+        let ring = topology::ring_edges_over(&ranks);
         let mean_link = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
         let min_link = ring
             .iter()
             .map(|&(a, b)| bw.get(a, b))
             .fold(f64::INFINITY, f64::min);
-        RoundReport {
-            mean_loss: loss,
-            mean_acc: acc,
-            comm_time_s,
-            epochs_advanced: self.fleet.epochs_per_round(),
-            mean_link_bandwidth: mean_link,
-            min_link_bandwidth: min_link,
-        }
+        let mut rep = RoundReport::new();
+        rep.mean_loss = loss;
+        rep.mean_acc = acc;
+        rep.comm_time_s = comm_time_s;
+        rep.epochs_advanced = self.fleet.epochs_per_round();
+        rep.mean_link_bandwidth = mean_link;
+        rep.min_link_bandwidth = min_link;
+        rep
     }
 
     fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
@@ -128,20 +146,32 @@ impl Trainer for DcdPsgd {
     fn worker_count(&self) -> usize {
         self.fleet.len()
     }
+
+    fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        self.fleet.set_active(rank, active, 3)?;
+        if active {
+            // A returning worker's neighbours resume from its broadcast
+            // state; re-anchor the broadcast to its actual (frozen) model
+            // so the first diff after rejoin is small and honest.
+            self.broadcast[rank] = self.fleet.worker(rank).flat();
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use saps_data::SyntheticSpec;
+    use saps_netsim::{BandwidthMatrix, TrafficAccountant};
     use saps_nn::zoo;
 
     fn setup(n: usize, c: f64) -> (DcdPsgd, Dataset, BandwidthMatrix) {
         let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
         let (train, val) = ds.split(0.25, 0);
-        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
+        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1).unwrap();
         (
-            DcdPsgd::new(fleet, c),
+            DcdPsgd::new(fleet, c).unwrap(),
             val,
             BandwidthMatrix::constant(n, 1.0),
         )
@@ -188,13 +218,33 @@ mod tests {
     }
 
     #[test]
+    fn churn_survivors_keep_training() {
+        let (mut algo, val, bw) = setup(5, 4.0);
+        let mut t = TrafficAccountant::new(5);
+        for _ in 0..20 {
+            algo.round(&mut t, &bw);
+        }
+        algo.set_worker_active(4, false).unwrap();
+        for _ in 0..40 {
+            let rep = algo.round(&mut t, &bw);
+            assert!(rep.mean_loss.is_finite());
+        }
+        algo.set_worker_active(4, true).unwrap();
+        for _ in 0..40 {
+            algo.round(&mut t, &bw);
+        }
+        let acc = algo.evaluate(&val, 300);
+        assert!(acc > 0.4, "post-churn accuracy {acc}");
+    }
+
+    #[test]
     fn cheaper_than_dpsgd() {
         use crate::DPsgd;
         let (mut dcd, _, bw) = setup(4, 4.0);
         let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
         let (train, _) = ds.split(0.25, 0);
-        let fleet = Fleet::new(4, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
-        let mut dp = DPsgd::new(fleet);
+        let fleet = Fleet::new(4, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1).unwrap();
+        let mut dp = DPsgd::new(fleet).unwrap();
         let mut t1 = TrafficAccountant::new(4);
         let mut t2 = TrafficAccountant::new(4);
         dcd.round(&mut t1, &bw);

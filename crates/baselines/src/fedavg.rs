@@ -4,9 +4,9 @@ use crate::Fleet;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use saps_core::{RoundReport, Trainer};
+use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
-use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
+use saps_netsim::timemodel;
 use saps_tensor::rng::{derive_seed, streams};
 
 /// FedAvg hyper-parameters.
@@ -27,32 +27,51 @@ impl Default for FedAvgConfig {
     }
 }
 
-/// FedAvg [35]: each round the server samples a fraction of workers,
-/// ships them the global model, lets them run several local SGD steps,
-/// and averages their uploaded models.
+/// FedAvg \[35\]: each round the server samples a fraction of the *active*
+/// workers, ships them the global model, lets them run several local SGD
+/// steps, and averages their uploaded models.
 ///
 /// The server is placed at the best-connected node
-/// ([`BandwidthMatrix::best_server`]) exactly as the paper's Section IV-D
-/// does when charging FedAvg's communication time.
+/// ([`saps_netsim::BandwidthMatrix::best_server`]) exactly as the paper's
+/// Section IV-D does when charging FedAvg's communication time. Placement
+/// is decided once, from the first round's measurements, and then pinned:
+/// under drifting bandwidths a per-round re-placement would teleport the
+/// server model between nodes at zero cost, undercharging FedAvg in
+/// exactly the dynamic-network comparisons. Churn is trivial for a PS
+/// algorithm: inactive workers simply drop out of the sampling pool (the
+/// server model is the source of truth).
 pub struct FedAvg {
     fleet: Fleet,
     cfg: FedAvgConfig,
     server_model: Vec<f32>,
+    /// Pinned server placement (decided on the first round).
+    server: Option<usize>,
     rng: StdRng,
 }
 
 impl FedAvg {
     /// Wraps a fleet. `seed` drives client sampling.
-    pub fn new(fleet: Fleet, cfg: FedAvgConfig, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&cfg.participation) && cfg.participation > 0.0);
-        assert!(cfg.local_steps >= 1);
+    pub fn new(fleet: Fleet, cfg: FedAvgConfig, seed: u64) -> Result<Self, ConfigError> {
+        if !(cfg.participation > 0.0 && cfg.participation <= 1.0) {
+            return Err(ConfigError::invalid(
+                "FedAvgConfig",
+                format!("participation {} must be in (0, 1]", cfg.participation),
+            ));
+        }
+        if cfg.local_steps == 0 {
+            return Err(ConfigError::invalid(
+                "FedAvgConfig",
+                "local_steps must be >= 1",
+            ));
+        }
         let server_model = fleet.worker(0).flat();
-        FedAvg {
+        Ok(FedAvg {
             fleet,
             cfg,
             server_model,
+            server: None,
             rng: StdRng::seed_from_u64(derive_seed(seed, 0, streams::CLIENT_SAMPLE)),
-        }
+        })
     }
 
     /// The hyper-parameters in use.
@@ -60,31 +79,33 @@ impl FedAvg {
         self.cfg
     }
 
-    /// Samples this round's client set.
+    /// Samples this round's client set from the active workers.
     fn sample_clients(&mut self) -> Vec<usize> {
-        let n = self.fleet.len();
-        let k = ((n as f64 * self.cfg.participation).round() as usize).clamp(1, n);
-        let mut ranks: Vec<usize> = (0..n).collect();
+        let mut ranks = self.fleet.active_ranks();
+        let m = ranks.len();
+        let k = ((m as f64 * self.cfg.participation).round() as usize).clamp(1, m);
         ranks.shuffle(&mut self.rng);
         ranks.truncate(k);
         ranks.sort_unstable();
         ranks
     }
+}
 
-    /// One FedAvg round (dense download + dense upload).
-    fn dense_round(
-        &mut self,
-        traffic: &mut TrafficAccountant,
-        bw: &BandwidthMatrix,
-    ) -> RoundReport {
+impl Trainer for FedAvg {
+    fn name(&self) -> &'static str {
+        "FedAvg"
+    }
+
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
+        let bw = ctx.bw;
         let clients = self.sample_clients();
-        let server = bw.best_server();
+        let server = *self.server.get_or_insert_with(|| bw.best_server());
         let n_params = self.fleet.n_params();
         let dense_bytes = 4 * n_params as u64;
 
         for &r in &clients {
             self.fleet.worker_mut(r).set_flat(&self.server_model);
-            traffic.record_download(r, dense_bytes);
+            ctx.traffic.record_download(r, dense_bytes);
         }
 
         let mut loss = 0.0f64;
@@ -105,14 +126,14 @@ impl FedAvg {
             for (a, v) in accum.iter_mut().zip(&flat) {
                 *a += v;
             }
-            traffic.record_upload(r, dense_bytes);
+            ctx.traffic.record_upload(r, dense_bytes);
         }
         let inv = 1.0 / clients.len() as f32;
         for a in &mut accum {
             *a *= inv;
         }
         self.server_model = accum;
-        traffic.end_round();
+        ctx.traffic.end_round();
 
         let transfers: Vec<(usize, u64, u64)> = clients
             .iter()
@@ -120,26 +141,13 @@ impl FedAvg {
             .collect();
         let comm_time_s = timemodel::ps_round_time(bw, server, &transfers);
 
-        RoundReport {
-            mean_loss: (loss / steps) as f32,
-            mean_acc: (acc / steps) as f32,
-            comm_time_s,
-            epochs_advanced: self.fleet.epochs_per_round()
-                * self.cfg.local_steps as f64
-                * self.cfg.participation,
-            mean_link_bandwidth: 0.0,
-            min_link_bandwidth: 0.0,
-        }
-    }
-}
-
-impl Trainer for FedAvg {
-    fn name(&self) -> &'static str {
-        "FedAvg"
-    }
-
-    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
-        self.dense_round(traffic, bw)
+        let mut rep = RoundReport::new();
+        rep.mean_loss = (loss / steps) as f32;
+        rep.mean_acc = (acc / steps) as f32;
+        rep.comm_time_s = comm_time_s;
+        rep.epochs_advanced =
+            self.fleet.epochs_per_round() * self.cfg.local_steps as f64 * self.cfg.participation;
+        rep
     }
 
     fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
@@ -154,20 +162,25 @@ impl Trainer for FedAvg {
     fn worker_count(&self) -> usize {
         self.fleet.len()
     }
+
+    fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        self.fleet.set_active(rank, active, 2)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use saps_data::SyntheticSpec;
+    use saps_netsim::{BandwidthMatrix, TrafficAccountant};
     use saps_nn::zoo;
 
     fn setup(n: usize) -> (FedAvg, Dataset, BandwidthMatrix) {
         let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
         let (train, val) = ds.split(0.25, 0);
-        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
+        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1).unwrap();
         (
-            FedAvg::new(fleet, FedAvgConfig::default(), 5),
+            FedAvg::new(fleet, FedAvgConfig::default(), 5).unwrap(),
             val,
             BandwidthMatrix::constant(n, 1.0),
         )
@@ -178,6 +191,22 @@ mod tests {
         let (mut algo, _, _) = setup(8);
         let c = algo.sample_clients();
         assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let ds = SyntheticSpec::tiny().samples(400).generate(1);
+        let mk = || Fleet::new(4, &ds, |rng| zoo::mlp(&[16, 12, 4], rng), 3, 16, 0.1).unwrap();
+        let cfg = FedAvgConfig {
+            participation: 0.0,
+            local_steps: 5,
+        };
+        assert!(FedAvg::new(mk(), cfg, 5).is_err());
+        let cfg = FedAvgConfig {
+            participation: 0.5,
+            local_steps: 0,
+        };
+        assert!(FedAvg::new(mk(), cfg, 5).is_err());
     }
 
     #[test]
@@ -199,6 +228,22 @@ mod tests {
         }
         let acc = algo.evaluate(&val, 300);
         assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn inactive_workers_leave_the_sampling_pool() {
+        let (mut algo, _, bw) = setup(8);
+        algo.set_worker_active(0, false).unwrap();
+        algo.set_worker_active(1, false).unwrap();
+        for _ in 0..20 {
+            let c = algo.sample_clients();
+            assert_eq!(c.len(), 3); // round(6 * 0.5)
+            assert!(c.iter().all(|&r| r >= 2), "sampled inactive worker: {c:?}");
+        }
+        let mut t = TrafficAccountant::new(8);
+        let rep = algo.round(&mut t, &bw);
+        assert!(rep.mean_loss.is_finite());
+        assert_eq!(t.worker_total(0), 0);
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! Every implementation charges its real payload bytes to the
 //! [`saps_netsim::TrafficAccountant`] and computes round time from the
 //! bandwidth matrix, so Figs. 4-6 and Table IV compare like for like.
+//!
+//! Construction goes through [`registry`] — the full eight-algorithm
+//! [`saps_core::AlgorithmRegistry`] behind the
+//! [`saps_core::Experiment`] driver. Worker churn is first-class: every
+//! baseline honours [`saps_core::Trainer::set_worker_active`] through
+//! the [`Fleet`]'s membership mask.
 
 #![warn(missing_docs)]
 
@@ -20,6 +26,7 @@ mod dcd_psgd;
 mod fedavg;
 mod psgd;
 mod random_choose;
+mod registry;
 mod s_fedavg;
 mod topk_psgd;
 
@@ -29,5 +36,6 @@ pub use dcd_psgd::DcdPsgd;
 pub use fedavg::{FedAvg, FedAvgConfig};
 pub use psgd::PsgdAllReduce;
 pub use random_choose::RandomChoose;
+pub use registry::{register_baselines, registry};
 pub use s_fedavg::SFedAvg;
 pub use topk_psgd::TopKPsgd;

@@ -1,26 +1,28 @@
 //! PSGD with ring all-reduce — the classical dense baseline.
 
 use crate::Fleet;
-use saps_core::{RoundReport, Trainer};
+use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
-use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
+use saps_graph::topology;
+use saps_netsim::timemodel;
 use saps_tensor::ops;
 
-/// Synchronous parallel SGD: every round the workers' gradients are
-/// globally averaged by a ring all-reduce and each replica applies the
-/// same update (Eq. 1), so replicas stay bit-identical.
+/// Synchronous parallel SGD: every round the active workers' gradients
+/// are globally averaged by a ring all-reduce and each replica applies
+/// the same update (Eq. 1), so replicas stay bit-identical.
 ///
 /// Traffic: a ring all-reduce moves `2·(n−1)/n · N` parameters through
 /// each worker per round (reduce-scatter + all-gather), ≈ the `2N` of
-/// Table I.
+/// Table I. A worker that re-joins after churn is resynced from a live
+/// replica, preserving the bit-identical invariant.
 pub struct PsgdAllReduce {
     fleet: Fleet,
 }
 
 impl PsgdAllReduce {
     /// Wraps a fleet.
-    pub fn new(fleet: Fleet) -> Self {
-        PsgdAllReduce { fleet }
+    pub fn new(fleet: Fleet) -> Result<Self, ConfigError> {
+        Ok(PsgdAllReduce { fleet })
     }
 }
 
@@ -29,24 +31,27 @@ impl Trainer for PsgdAllReduce {
         "PSGD"
     }
 
-    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
-        let n = self.fleet.len();
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
+        let bw = ctx.bw;
+        let traffic = &mut *ctx.traffic;
+        let ranks = self.fleet.active_ranks();
+        let m = ranks.len();
         let (loss, acc) = self.fleet.accumulate_grads_all();
 
-        // Global gradient average.
+        // Global gradient average over the active workers.
         let n_params = self.fleet.n_params();
         let mut mean_grad = vec![0.0f32; n_params];
-        for r in 0..n {
+        for &r in &ranks {
             let g = self.fleet.worker(r).model().flat_grads();
             ops::axpy(1.0, &g, &mut mean_grad);
         }
-        let inv = 1.0 / n as f32;
+        let inv = 1.0 / m as f32;
         for g in &mut mean_grad {
             *g *= inv;
         }
-        // Identical update on every replica.
+        // Identical update on every active replica.
         let lr = self.fleet.lr;
-        for r in 0..n {
+        for &r in &ranks {
             let w = self.fleet.worker_mut(r);
             let mut flat = w.flat();
             ops::axpy(-lr, &mean_grad, &mut flat);
@@ -54,35 +59,37 @@ impl Trainer for PsgdAllReduce {
             w.model_mut().zero_grads();
         }
 
-        // Ring all-reduce traffic: each worker forwards 2(n-1) chunks of
-        // N/n parameters to its ring successor.
-        let chunk_bytes = (n_params as u64 * 4) / n as u64;
-        let per_worker = 2 * (n as u64 - 1) * chunk_bytes;
-        for r in 0..n {
-            traffic.record_p2p(r, (r + 1) % n, per_worker);
+        // Ring all-reduce traffic over the active ring: each worker
+        // forwards 2(m-1) chunks of N/m parameters to its ring successor.
+        let chunk_bytes = (n_params as u64 * 4) / m as u64;
+        let per_worker = 2 * (m as u64 - 1) * chunk_bytes;
+        for i in 0..m {
+            traffic.record_p2p(ranks[i], ranks[(i + 1) % m], per_worker);
         }
         traffic.end_round();
-        let comm_time_s = timemodel::allreduce_ring_time(bw, per_worker);
-
-        // Fig. 5 reports the *links used*; for the ring that is the mean
-        // ring-link bandwidth.
-        let mean_link = (0..n).map(|i| bw.get(i, (i + 1) % n)).sum::<f64>() / n as f64;
-        let min_link = (0..n)
-            .map(|i| bw.get(i, (i + 1) % n))
+        // The slowest active ring link gates every all-reduce step.
+        let comm_time_s = timemodel::allreduce_ring_time_over(bw, &ranks, per_worker);
+        let ring = topology::ring_edges_over(&ranks);
+        let mean_link = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
+        let min_link = ring
+            .iter()
+            .map(|&(a, b)| bw.get(a, b))
             .fold(f64::INFINITY, f64::min);
-        RoundReport {
-            mean_loss: loss,
-            mean_acc: acc,
-            comm_time_s,
-            epochs_advanced: self.fleet.epochs_per_round(),
-            mean_link_bandwidth: mean_link,
-            min_link_bandwidth: min_link,
-        }
+
+        let mut rep = RoundReport::new();
+        rep.mean_loss = loss;
+        rep.mean_acc = acc;
+        rep.comm_time_s = comm_time_s;
+        rep.epochs_advanced = self.fleet.epochs_per_round();
+        rep.mean_link_bandwidth = mean_link;
+        rep.min_link_bandwidth = min_link;
+        rep
     }
 
     fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
-        // Replicas are identical; evaluate worker 0's model.
-        let flat = self.fleet.worker(0).flat();
+        // Active replicas are identical; evaluate the first one.
+        let first = self.fleet.active_ranks()[0];
+        let flat = self.fleet.worker(first).flat();
         self.fleet.evaluate_flat(&flat, val, max_samples)
     }
 
@@ -93,20 +100,39 @@ impl Trainer for PsgdAllReduce {
     fn worker_count(&self) -> usize {
         self.fleet.len()
     }
+
+    fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        self.fleet.set_active(rank, active, 2)?;
+        if active {
+            // Resync the joiner so replicas stay bit-identical.
+            let donor = self
+                .fleet
+                .active_ranks()
+                .into_iter()
+                .find(|&r| r != rank)
+                .expect("at least two active workers");
+            let flat = self.fleet.worker(donor).flat();
+            let joiner = self.fleet.worker_mut(rank);
+            joiner.set_flat(&flat);
+            joiner.model_mut().zero_grads();
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use saps_data::SyntheticSpec;
+    use saps_netsim::{BandwidthMatrix, TrafficAccountant};
     use saps_nn::zoo;
 
     fn setup(n: usize) -> (PsgdAllReduce, Dataset, BandwidthMatrix) {
         let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
         let (train, val) = ds.split(0.25, 0);
-        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
+        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1).unwrap();
         (
-            PsgdAllReduce::new(fleet),
+            PsgdAllReduce::new(fleet).unwrap(),
             val,
             BandwidthMatrix::constant(n, 1.0),
         )
@@ -153,5 +179,23 @@ mod tests {
         let mut t = TrafficAccountant::new(4);
         let rep = algo.round(&mut t, &bw);
         assert!(rep.comm_time_s > 0.0);
+    }
+
+    #[test]
+    fn rejoining_worker_is_resynced() {
+        let (mut algo, _, bw) = setup(4);
+        let mut t = TrafficAccountant::new(4);
+        algo.round(&mut t, &bw);
+        algo.set_worker_active(3, false).unwrap();
+        for _ in 0..3 {
+            algo.round(&mut t, &bw);
+        }
+        // The frozen replica is stale now.
+        assert_ne!(algo.fleet.worker(3).flat(), algo.fleet.worker(0).flat());
+        algo.set_worker_active(3, true).unwrap();
+        assert_eq!(algo.fleet.worker(3).flat(), algo.fleet.worker(0).flat());
+        algo.round(&mut t, &bw);
+        // Identical again after the next synchronous round.
+        assert_eq!(algo.fleet.worker(3).flat(), algo.fleet.worker(0).flat());
     }
 }

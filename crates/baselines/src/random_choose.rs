@@ -9,17 +9,19 @@
 
 use crate::Fleet;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use saps_compress::codec;
 use saps_compress::mask::RandomMask;
-use saps_core::{RoundReport, Trainer};
+use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
 use saps_graph::topology::random_perfect_matching;
-use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
+use saps_netsim::timemodel;
 use saps_tensor::rng::{derive_seed, streams};
 
 /// SAPS-PSGD's sparse single-peer exchange with uniformly random peer
-/// selection (requires an even worker count).
+/// selection. With an odd number of active workers one randomly chosen
+/// worker idles each round (as in SAPS-PSGD's own odd-fleet behaviour).
 pub struct RandomChoose {
     fleet: Fleet,
     compression: f64,
@@ -28,18 +30,43 @@ pub struct RandomChoose {
 }
 
 impl RandomChoose {
-    /// Wraps a fleet (even worker count) with compression ratio `c`.
-    pub fn new(fleet: Fleet, compression: f64, seed: u64) -> Self {
-        assert!(
-            fleet.len().is_multiple_of(2),
-            "RandomChoose needs an even worker count"
-        );
-        assert!(compression >= 1.0);
-        RandomChoose {
+    /// Wraps a fleet with compression ratio `c`.
+    pub fn new(fleet: Fleet, compression: f64, seed: u64) -> Result<Self, ConfigError> {
+        if !(compression >= 1.0 && compression.is_finite()) {
+            return Err(ConfigError::invalid(
+                "RandomChoose",
+                format!("compression {compression} must be a finite ratio >= 1"),
+            ));
+        }
+        Ok(RandomChoose {
             fleet,
             compression,
             rng: StdRng::seed_from_u64(derive_seed(seed, 2, streams::MATCHING)),
             round: 0,
+        })
+    }
+
+    /// This round's random pairs over the active ranks (global rank
+    /// space). With an odd active count one random worker sits out.
+    fn random_pairs(&mut self) -> Vec<(usize, usize)> {
+        let mut ranks = self.fleet.active_ranks();
+        let m = ranks.len();
+        if m < 2 {
+            return Vec::new();
+        }
+        if m.is_multiple_of(2) {
+            // Even: exactly the historical uniformly-random perfect
+            // matching over active-subset positions.
+            let matching = random_perfect_matching(m, &mut self.rng);
+            matching
+                .pairs()
+                .iter()
+                .map(|&(i, j)| (ranks[i], ranks[j]))
+                .collect()
+        } else {
+            // Odd: shuffle and pair consecutively, leaving one out.
+            ranks.shuffle(&mut self.rng);
+            ranks.chunks_exact(2).map(|c| (c[0], c[1])).collect()
         }
     }
 }
@@ -49,19 +76,19 @@ impl Trainer for RandomChoose {
         "RandomChoose"
     }
 
-    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
-        let n = self.fleet.len();
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
+        let bw = ctx.bw;
+        let traffic = &mut *ctx.traffic;
         let n_params = self.fleet.n_params();
         let (loss, acc) = self.fleet.sgd_step_all();
 
-        let matching = random_perfect_matching(n, &mut self.rng);
+        let pairs = self.random_pairs();
         let mask = RandomMask::generate(n_params, self.compression, self.rng.gen(), self.round);
         let payload_bytes = codec::sparse_shared_mask_bytes(mask.nnz());
 
         let mut transfers = Vec::new();
         let mut link_sum = 0.0f64;
         let mut link_min = f64::INFINITY;
-        let pairs = matching.pairs();
         for &(i, j) in &pairs {
             let pi = self.fleet.worker(i).sparse_payload(&mask);
             let pj = self.fleet.worker(j).sparse_payload(&mask);
@@ -78,18 +105,18 @@ impl Trainer for RandomChoose {
         self.round += 1;
         let comm_time_s = timemodel::p2p_round_time(bw, &transfers);
 
-        RoundReport {
-            mean_loss: loss,
-            mean_acc: acc,
-            comm_time_s,
-            epochs_advanced: self.fleet.epochs_per_round(),
-            mean_link_bandwidth: if pairs.is_empty() {
-                0.0
-            } else {
-                link_sum / pairs.len() as f64
-            },
-            min_link_bandwidth: if pairs.is_empty() { 0.0 } else { link_min },
-        }
+        let mut rep = RoundReport::new();
+        rep.mean_loss = loss;
+        rep.mean_acc = acc;
+        rep.comm_time_s = comm_time_s;
+        rep.epochs_advanced = self.fleet.epochs_per_round();
+        rep.mean_link_bandwidth = if pairs.is_empty() {
+            0.0
+        } else {
+            link_sum / pairs.len() as f64
+        };
+        rep.min_link_bandwidth = if pairs.is_empty() { 0.0 } else { link_min };
+        rep
     }
 
     fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
@@ -103,20 +130,25 @@ impl Trainer for RandomChoose {
     fn worker_count(&self) -> usize {
         self.fleet.len()
     }
+
+    fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        self.fleet.set_active(rank, active, 2)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use saps_data::SyntheticSpec;
+    use saps_netsim::{BandwidthMatrix, TrafficAccountant};
     use saps_nn::zoo;
 
     fn setup(n: usize, c: f64) -> (RandomChoose, Dataset, BandwidthMatrix) {
         let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
         let (train, val) = ds.split(0.25, 0);
-        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
+        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1).unwrap();
         (
-            RandomChoose::new(fleet, c, 7),
+            RandomChoose::new(fleet, c, 7).unwrap(),
             val,
             BandwidthMatrix::constant(n, 1.0),
         )
@@ -131,6 +163,24 @@ mod tests {
         assert!(sent0 > 0);
         for r in 1..6 {
             assert_eq!(t.worker_sent(r), sent0);
+        }
+    }
+
+    #[test]
+    fn odd_active_count_idles_one_worker_per_round() {
+        let (mut algo, _, bw) = setup(6, 4.0);
+        algo.set_worker_active(5, false).unwrap();
+        let mut t = TrafficAccountant::new(6);
+        for _ in 0..20 {
+            let rep = algo.round(&mut t, &bw);
+            assert!(rep.mean_loss.is_finite());
+            // 5 active -> 2 pairs per round.
+            assert_eq!(t.rounds().last().unwrap().total_sent % 4, 0);
+        }
+        assert_eq!(t.worker_total(5), 0, "inactive worker exchanged");
+        // Over 20 rounds every active worker got matched at least once.
+        for r in 0..5 {
+            assert!(t.worker_sent(r) > 0, "worker {r} never exchanged");
         }
     }
 
@@ -151,8 +201,8 @@ mod tests {
         let ds = SyntheticSpec::tiny().samples(800).generate(1);
         let (train, _) = ds.split(0.25, 0);
         let bw = BandwidthMatrix::constant(4, 1.0);
-        let fleet = Fleet::new(4, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
-        let mut rc = RandomChoose::new(fleet, 4.0, 7);
+        let fleet = Fleet::new(4, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1).unwrap();
+        let mut rc = RandomChoose::new(fleet, 4.0, 7).unwrap();
         let cfg = SapsConfig {
             workers: 4,
             compression: 4.0,
@@ -161,7 +211,7 @@ mod tests {
             seed: 3,
             ..SapsConfig::default()
         };
-        let mut saps = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 24, 4], rng));
+        let mut saps = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 24, 4], rng)).unwrap();
         let mut t1 = TrafficAccountant::new(4);
         let mut t2 = TrafficAccountant::new(4);
         for _ in 0..20 {

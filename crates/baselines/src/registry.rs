@@ -1,0 +1,162 @@
+//! The full eight-algorithm registry.
+//!
+//! `saps-core` can only register SAPS-PSGD itself (the baselines live
+//! above it in the crate graph); this module contributes the seven
+//! comparison algorithms and exposes [`registry`] — the registry every
+//! binary, example and test hands to [`saps_core::Experiment::run`].
+
+use crate::{
+    DPsgd, DcdPsgd, FedAvg, FedAvgConfig, Fleet, PsgdAllReduce, RandomChoose, SFedAvg, TopKPsgd,
+};
+use saps_core::{AlgorithmRegistry, AlgorithmSpec, BuildCtx, ConfigError, Trainer};
+
+/// The complete registry: SAPS-PSGD plus all seven baselines.
+pub fn registry() -> AlgorithmRegistry {
+    let mut reg = AlgorithmRegistry::core();
+    register_baselines(&mut reg);
+    reg
+}
+
+/// Adds the seven baseline builders to an existing registry.
+pub fn register_baselines(reg: &mut AlgorithmRegistry) {
+    reg.register("psgd", build_psgd);
+    reg.register("topk", build_topk);
+    reg.register("fedavg", build_fedavg);
+    reg.register("sfedavg", build_sfedavg);
+    reg.register("dpsgd", build_dpsgd);
+    reg.register("dcd", build_dcd);
+    reg.register("random", build_random);
+}
+
+fn fleet(ctx: BuildCtx<'_>) -> Result<Fleet, ConfigError> {
+    let factory = ctx.factory.clone();
+    Fleet::with_partitions(
+        ctx.partitions,
+        move |rng| factory(rng),
+        ctx.seed,
+        ctx.batch_size,
+        ctx.lr,
+    )
+}
+
+fn build_psgd(spec: &AlgorithmSpec, ctx: BuildCtx<'_>) -> Result<Box<dyn Trainer>, ConfigError> {
+    let AlgorithmSpec::Psgd = spec else {
+        return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+    };
+    Ok(Box::new(PsgdAllReduce::new(fleet(ctx)?)?))
+}
+
+fn build_topk(spec: &AlgorithmSpec, ctx: BuildCtx<'_>) -> Result<Box<dyn Trainer>, ConfigError> {
+    let AlgorithmSpec::TopK { compression } = *spec else {
+        return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+    };
+    Ok(Box::new(TopKPsgd::new(fleet(ctx)?, compression)?))
+}
+
+fn build_fedavg(spec: &AlgorithmSpec, ctx: BuildCtx<'_>) -> Result<Box<dyn Trainer>, ConfigError> {
+    let AlgorithmSpec::FedAvg {
+        participation,
+        local_steps,
+    } = *spec
+    else {
+        return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+    };
+    let seed = ctx.seed;
+    let cfg = FedAvgConfig {
+        participation,
+        local_steps,
+    };
+    Ok(Box::new(FedAvg::new(fleet(ctx)?, cfg, seed)?))
+}
+
+fn build_sfedavg(spec: &AlgorithmSpec, ctx: BuildCtx<'_>) -> Result<Box<dyn Trainer>, ConfigError> {
+    let AlgorithmSpec::SFedAvg {
+        participation,
+        local_steps,
+        compression,
+    } = *spec
+    else {
+        return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+    };
+    let seed = ctx.seed;
+    Ok(Box::new(SFedAvg::new(
+        fleet(ctx)?,
+        participation,
+        local_steps,
+        compression,
+        seed,
+    )?))
+}
+
+fn build_dpsgd(spec: &AlgorithmSpec, ctx: BuildCtx<'_>) -> Result<Box<dyn Trainer>, ConfigError> {
+    let AlgorithmSpec::DPsgd = spec else {
+        return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+    };
+    Ok(Box::new(DPsgd::new(fleet(ctx)?)?))
+}
+
+fn build_dcd(spec: &AlgorithmSpec, ctx: BuildCtx<'_>) -> Result<Box<dyn Trainer>, ConfigError> {
+    let AlgorithmSpec::DcdPsgd { compression } = *spec else {
+        return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+    };
+    Ok(Box::new(DcdPsgd::new(fleet(ctx)?, compression)?))
+}
+
+fn build_random(spec: &AlgorithmSpec, ctx: BuildCtx<'_>) -> Result<Box<dyn Trainer>, ConfigError> {
+    let AlgorithmSpec::RandomChoose { compression } = *spec else {
+        return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+    };
+    let seed = ctx.seed;
+    Ok(Box::new(RandomChoose::new(fleet(ctx)?, compression, seed)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saps_data::{partition, SyntheticSpec};
+    use saps_netsim::BandwidthMatrix;
+    use saps_nn::zoo;
+    use saps_tensor::rng::{derive_seed, streams};
+    use std::sync::Arc;
+
+    fn ctx(bw: &BandwidthMatrix, workers: usize) -> BuildCtx<'_> {
+        let ds = SyntheticSpec::tiny().samples(600).generate(1);
+        BuildCtx {
+            partitions: partition::iid(&ds, workers, derive_seed(0, 0, streams::DATA)),
+            bw,
+            batch_size: 16,
+            lr: 0.1,
+            seed: 0,
+            factory: Arc::new(|rng| zoo::mlp(&[16, 12, 4], rng)),
+        }
+    }
+
+    #[test]
+    fn registry_knows_all_eight_algorithms() {
+        let reg = registry();
+        let keys: Vec<&str> = reg.keys().collect();
+        assert_eq!(
+            keys,
+            vec!["dcd", "dpsgd", "fedavg", "psgd", "random", "saps", "sfedavg", "topk"]
+        );
+    }
+
+    #[test]
+    fn every_paper_spec_builds_and_reports_its_label() {
+        let reg = registry();
+        let bw = BandwidthMatrix::constant(4, 1.0);
+        for spec in AlgorithmSpec::paper_defaults() {
+            let trainer = reg.build(&spec, ctx(&bw, 4)).unwrap();
+            assert_eq!(trainer.name(), spec.label());
+            assert_eq!(trainer.worker_count(), 4);
+            assert!(trainer.model_len() > 0);
+        }
+    }
+
+    #[test]
+    fn builders_reject_mismatched_specs() {
+        let bw = BandwidthMatrix::constant(4, 1.0);
+        assert!(build_psgd(&AlgorithmSpec::DPsgd, ctx(&bw, 4)).is_err());
+        assert!(build_topk(&AlgorithmSpec::Psgd, ctx(&bw, 4)).is_err());
+    }
+}

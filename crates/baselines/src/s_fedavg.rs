@@ -1,4 +1,4 @@
-//! S-FedAvg: FedAvg with random-mask sparsified uploads [5].
+//! S-FedAvg: FedAvg with random-mask sparsified uploads \[5\].
 
 use crate::Fleet;
 use rand::rngs::StdRng;
@@ -6,9 +6,9 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use saps_compress::codec;
 use saps_compress::mask::RandomMask;
-use saps_core::{RoundReport, Trainer};
+use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
-use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
+use saps_netsim::timemodel;
 use saps_tensor::rng::{derive_seed, streams};
 
 /// Sparse FedAvg (Konečný et al.'s "random mask" structured update):
@@ -19,12 +19,17 @@ use saps_tensor::rng::{derive_seed, streams};
 ///
 /// Per Table I the worker cost is `(N + 2N/c)·T`: the dense down-link is
 /// untouched — the asymmetry SAPS-PSGD's shared-seed trick removes.
+/// Like [`crate::FedAvg`], server placement is pinned from the first
+/// round's measurements so drifting bandwidths can't migrate the server
+/// for free.
 pub struct SFedAvg {
     fleet: Fleet,
     participation: f64,
     local_steps: usize,
     compression: f64,
     server_model: Vec<f32>,
+    /// Pinned server placement (decided on the first round).
+    server: Option<usize>,
     rng: StdRng,
     round: u64,
 }
@@ -37,19 +42,33 @@ impl SFedAvg {
         local_steps: usize,
         compression: f64,
         seed: u64,
-    ) -> Self {
-        assert!((0.0..=1.0).contains(&participation) && participation > 0.0);
-        assert!(compression >= 1.0 && local_steps >= 1);
+    ) -> Result<Self, ConfigError> {
+        if !(participation > 0.0 && participation <= 1.0) {
+            return Err(ConfigError::invalid(
+                "SFedAvg",
+                format!("participation {participation} must be in (0, 1]"),
+            ));
+        }
+        if local_steps == 0 {
+            return Err(ConfigError::invalid("SFedAvg", "local_steps must be >= 1"));
+        }
+        if !(compression >= 1.0 && compression.is_finite()) {
+            return Err(ConfigError::invalid(
+                "SFedAvg",
+                format!("compression {compression} must be a finite ratio >= 1"),
+            ));
+        }
         let server_model = fleet.worker(0).flat();
-        SFedAvg {
+        Ok(SFedAvg {
             fleet,
             participation,
             local_steps,
             compression,
             server_model,
+            server: None,
             rng: StdRng::seed_from_u64(derive_seed(seed, 1, streams::CLIENT_SAMPLE)),
             round: 0,
-        }
+        })
     }
 }
 
@@ -58,20 +77,21 @@ impl Trainer for SFedAvg {
         "S-FedAvg"
     }
 
-    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
-        let n = self.fleet.len();
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
+        let bw = ctx.bw;
         let n_params = self.fleet.n_params();
-        let k = ((n as f64 * self.participation).round() as usize).clamp(1, n);
-        let mut clients: Vec<usize> = (0..n).collect();
+        let mut clients = self.fleet.active_ranks();
+        let m = clients.len();
+        let k = ((m as f64 * self.participation).round() as usize).clamp(1, m);
         clients.shuffle(&mut self.rng);
         clients.truncate(k);
 
-        let server = bw.best_server();
+        let server = *self.server.get_or_insert_with(|| bw.best_server());
         let dense_bytes = 4 * n_params as u64;
 
         for &r in &clients {
             self.fleet.worker_mut(r).set_flat(&self.server_model);
-            traffic.record_download(r, dense_bytes);
+            ctx.traffic.record_download(r, dense_bytes);
         }
 
         let mut loss = 0.0f64;
@@ -93,7 +113,6 @@ impl Trainer for SFedAvg {
         // it, so the union of masks covers most of the model each round.
         let mut sums = vec![0.0f32; n_params];
         let mut counts = vec![0u32; n_params];
-        let mut max_up_bytes = 0u64;
         let mut up_bytes_of = Vec::with_capacity(clients.len());
         for &r in &clients {
             let mask = RandomMask::generate(n_params, self.compression, self.rng.gen(), self.round);
@@ -103,16 +122,15 @@ impl Trainer for SFedAvg {
                 counts[i as usize] += 1;
             }
             let up = codec::sparse_iv_bytes(mask.nnz());
-            traffic.record_upload(r, up);
+            ctx.traffic.record_upload(r, up);
             up_bytes_of.push(up);
-            max_up_bytes = max_up_bytes.max(up);
         }
         for i in 0..n_params {
             if counts[i] > 0 {
                 self.server_model[i] = sums[i] / counts[i] as f32;
             }
         }
-        traffic.end_round();
+        ctx.traffic.end_round();
         self.round += 1;
 
         let transfers: Vec<(usize, u64, u64)> = clients
@@ -122,16 +140,13 @@ impl Trainer for SFedAvg {
             .collect();
         let comm_time_s = timemodel::ps_round_time(bw, server, &transfers);
 
-        RoundReport {
-            mean_loss: (loss / steps) as f32,
-            mean_acc: (acc / steps) as f32,
-            comm_time_s,
-            epochs_advanced: self.fleet.epochs_per_round()
-                * self.local_steps as f64
-                * self.participation,
-            mean_link_bandwidth: 0.0,
-            min_link_bandwidth: 0.0,
-        }
+        let mut rep = RoundReport::new();
+        rep.mean_loss = (loss / steps) as f32;
+        rep.mean_acc = (acc / steps) as f32;
+        rep.comm_time_s = comm_time_s;
+        rep.epochs_advanced =
+            self.fleet.epochs_per_round() * self.local_steps as f64 * self.participation;
+        rep
     }
 
     fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
@@ -146,20 +161,25 @@ impl Trainer for SFedAvg {
     fn worker_count(&self) -> usize {
         self.fleet.len()
     }
+
+    fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        self.fleet.set_active(rank, active, 2)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use saps_data::SyntheticSpec;
+    use saps_netsim::{BandwidthMatrix, TrafficAccountant};
     use saps_nn::zoo;
 
     fn setup(n: usize, c: f64) -> (SFedAvg, Dataset, BandwidthMatrix) {
         let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
         let (train, val) = ds.split(0.25, 0);
-        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
+        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1).unwrap();
         (
-            SFedAvg::new(fleet, 0.5, 5, c, 5),
+            SFedAvg::new(fleet, 0.5, 5, c, 5).unwrap(),
             val,
             BandwidthMatrix::constant(n, 1.0),
         )
@@ -181,6 +201,15 @@ mod tests {
     }
 
     #[test]
+    fn invalid_configs_are_rejected() {
+        let ds = SyntheticSpec::tiny().samples(400).generate(1);
+        let mk = || Fleet::new(4, &ds, |rng| zoo::mlp(&[16, 12, 4], rng), 3, 16, 0.1).unwrap();
+        assert!(SFedAvg::new(mk(), 0.0, 5, 10.0, 5).is_err());
+        assert!(SFedAvg::new(mk(), 0.5, 0, 10.0, 5).is_err());
+        assert!(SFedAvg::new(mk(), 0.5, 5, 0.5, 5).is_err());
+    }
+
+    #[test]
     fn converges_with_moderate_compression() {
         let (mut algo, val, bw) = setup(8, 10.0);
         let mut t = TrafficAccountant::new(8);
@@ -192,13 +221,24 @@ mod tests {
     }
 
     #[test]
+    fn churned_workers_are_not_sampled() {
+        let (mut algo, _, bw) = setup(8, 10.0);
+        algo.set_worker_active(7, false).unwrap();
+        let mut t = TrafficAccountant::new(8);
+        for _ in 0..10 {
+            algo.round(&mut t, &bw);
+        }
+        assert_eq!(t.worker_total(7), 0, "inactive worker was selected");
+    }
+
+    #[test]
     fn cheaper_than_dense_fedavg_per_round() {
         use crate::{FedAvg, FedAvgConfig};
         let (mut sparse, _, bw) = setup(8, 100.0);
         let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
         let (train, _) = ds.split(0.25, 0);
-        let fleet = Fleet::new(8, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
-        let mut dense = FedAvg::new(fleet, FedAvgConfig::default(), 5);
+        let fleet = Fleet::new(8, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1).unwrap();
+        let mut dense = FedAvg::new(fleet, FedAvgConfig::default(), 5).unwrap();
         let mut ts = TrafficAccountant::new(8);
         let mut td = TrafficAccountant::new(8);
         for _ in 0..5 {

@@ -3,13 +3,12 @@
 use crate::Fleet;
 use saps_compress::codec;
 use saps_compress::topk::{densify, ErrorFeedbackTopK};
-use saps_core::{RoundReport, Trainer};
+use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
-use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
-use saps_tensor::ops;
+use saps_netsim::timemodel;
 
-/// TopK-PSGD [20], [34]: each worker sends the top `N/c` coordinates of
-/// its error-compensated gradient to **all** other workers (sparse
+/// TopK-PSGD \[20\], \[34\]: each worker sends the top `N/c` coordinates of
+/// its error-compensated gradient to **all** other active workers (sparse
 /// allgather), then every replica applies the same averaged sparse
 /// update.
 ///
@@ -24,16 +23,22 @@ pub struct TopKPsgd {
 
 impl TopKPsgd {
     /// Wraps a fleet with compression ratio `c` (the paper uses 1000).
-    pub fn new(fleet: Fleet, compression: f64) -> Self {
+    pub fn new(fleet: Fleet, compression: f64) -> Result<Self, ConfigError> {
+        if !(compression >= 1.0 && compression.is_finite()) {
+            return Err(ConfigError::invalid(
+                "TopKPsgd",
+                format!("compression {compression} must be a finite ratio >= 1"),
+            ));
+        }
         let n_params = fleet.n_params();
         let compressors = (0..fleet.len())
             .map(|_| ErrorFeedbackTopK::with_ratio(n_params, compression))
             .collect();
-        TopKPsgd {
+        Ok(TopKPsgd {
             fleet,
             compressors,
             compression,
-        }
+        })
     }
 
     /// The compression ratio in use.
@@ -47,14 +52,18 @@ impl Trainer for TopKPsgd {
         "TopK-PSGD"
     }
 
-    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
-        let n = self.fleet.len();
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
+        let bw = ctx.bw;
+        let traffic = &mut *ctx.traffic;
+        let ranks = self.fleet.active_ranks();
+        let m = ranks.len();
         let n_params = self.fleet.n_params();
         let (loss, acc) = self.fleet.accumulate_grads_all();
 
-        // Compress every worker's gradient with its private residual.
-        let mut payloads = Vec::with_capacity(n);
-        for r in 0..n {
+        // Compress every active worker's gradient with its private
+        // residual.
+        let mut payloads = Vec::with_capacity(m);
+        for &r in &ranks {
             let g = self.fleet.worker(r).model().flat_grads();
             payloads.push(self.compressors[r].compress(&g));
         }
@@ -63,53 +72,60 @@ impl Trainer for TopKPsgd {
         let mut mean_grad = vec![0.0f32; n_params];
         for (idx, vals) in &payloads {
             let dense = densify(n_params, idx, vals);
-            ops::axpy(1.0 / n as f32, &dense, &mut mean_grad);
+            saps_tensor::ops::axpy(1.0 / m as f32, &dense, &mut mean_grad);
         }
         let lr = self.fleet.lr;
-        for r in 0..n {
+        for &r in &ranks {
             let w = self.fleet.worker_mut(r);
             let mut flat = w.flat();
-            ops::axpy(-lr, &mean_grad, &mut flat);
+            saps_tensor::ops::axpy(-lr, &mean_grad, &mut flat);
             w.set_flat(&flat);
             w.model_mut().zero_grads();
         }
 
-        // Allgather traffic: each ordered pair moves one sparse payload.
+        // Allgather traffic: each ordered active pair moves one sparse
+        // payload.
         let mut payload_bytes = 0u64;
-        for (src, (idx, _)) in payloads.iter().enumerate() {
+        for (i, (idx, _)) in payloads.iter().enumerate() {
             let bytes = codec::sparse_iv_bytes(idx.len());
             payload_bytes = payload_bytes.max(bytes);
-            for dst in 0..n {
-                if dst != src {
-                    traffic.record_p2p(src, dst, bytes);
+            for (j, &dst) in ranks.iter().enumerate() {
+                if j != i {
+                    traffic.record_p2p(ranks[i], dst, bytes);
                 }
             }
         }
         traffic.end_round();
-        let comm_time_s = timemodel::allgather_time(bw, payload_bytes);
-
-        RoundReport {
-            mean_loss: loss,
-            mean_acc: acc,
-            comm_time_s,
-            epochs_advanced: self.fleet.epochs_per_round(),
-            mean_link_bandwidth: bw.mean(),
-            min_link_bandwidth: {
-                let mut m = f64::INFINITY;
-                for i in 0..n {
-                    for j in 0..n {
-                        if i != j {
-                            m = m.min(bw.get(i, j));
-                        }
-                    }
+        // (m-1) sequential chunks over the slowest active link gate the
+        // allgather.
+        let comm_time_s = timemodel::allgather_time_over(bw, &ranks, payload_bytes);
+        let mut min_link = f64::INFINITY;
+        let mut sum_link = 0.0f64;
+        let mut links = 0usize;
+        for i in 0..m {
+            for j in 0..m {
+                if i != j {
+                    let l = bw.get(ranks[i], ranks[j]);
+                    min_link = min_link.min(l);
+                    sum_link += l;
+                    links += 1;
                 }
-                m
-            },
+            }
         }
+
+        let mut rep = RoundReport::new();
+        rep.mean_loss = loss;
+        rep.mean_acc = acc;
+        rep.comm_time_s = comm_time_s;
+        rep.epochs_advanced = self.fleet.epochs_per_round();
+        rep.mean_link_bandwidth = sum_link / links.max(1) as f64;
+        rep.min_link_bandwidth = min_link;
+        rep
     }
 
     fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
-        let flat = self.fleet.worker(0).flat();
+        let first = self.fleet.active_ranks()[0];
+        let flat = self.fleet.worker(first).flat();
         self.fleet.evaluate_flat(&flat, val, max_samples)
     }
 
@@ -120,20 +136,42 @@ impl Trainer for TopKPsgd {
     fn worker_count(&self) -> usize {
         self.fleet.len()
     }
+
+    fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        self.fleet.set_active(rank, active, 2)?;
+        if active {
+            // Resync the joiner so replicas stay bit-identical; its stale
+            // error-feedback residual is cleared with the model.
+            let donor = self
+                .fleet
+                .active_ranks()
+                .into_iter()
+                .find(|&r| r != rank)
+                .expect("at least two active workers");
+            let flat = self.fleet.worker(donor).flat();
+            let joiner = self.fleet.worker_mut(rank);
+            joiner.set_flat(&flat);
+            joiner.model_mut().zero_grads();
+            self.compressors[rank] =
+                ErrorFeedbackTopK::with_ratio(self.fleet.n_params(), self.compression);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use saps_data::SyntheticSpec;
+    use saps_netsim::{BandwidthMatrix, TrafficAccountant};
     use saps_nn::zoo;
 
     fn setup(n: usize, c: f64) -> (TopKPsgd, Dataset, BandwidthMatrix) {
         let ds = SyntheticSpec::tiny().samples(1_200).generate(1);
         let (train, val) = ds.split(0.25, 0);
-        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1);
+        let fleet = Fleet::new(n, &train, |rng| zoo::mlp(&[16, 24, 4], rng), 3, 16, 0.1).unwrap();
         (
-            TopKPsgd::new(fleet, c),
+            TopKPsgd::new(fleet, c).unwrap(),
             val,
             BandwidthMatrix::constant(n, 1.0),
         )
@@ -184,5 +222,30 @@ mod tests {
         let k = (algo.model_len() as f64 / 10.0).round() as usize;
         let expect_per_peer = codec::sparse_iv_bytes(k);
         assert_eq!(t.worker_sent(0), expect_per_peer * 3);
+    }
+
+    #[test]
+    fn invalid_compression_is_rejected() {
+        let ds = SyntheticSpec::tiny().samples(400).generate(1);
+        let fleet = Fleet::new(4, &ds, |rng| zoo::mlp(&[16, 12, 4], rng), 3, 16, 0.1).unwrap();
+        assert!(TopKPsgd::new(fleet, 0.0).is_err());
+    }
+
+    #[test]
+    fn churn_keeps_survivors_identical() {
+        let (mut algo, _, bw) = setup(4, 10.0);
+        let mut t = TrafficAccountant::new(4);
+        algo.round(&mut t, &bw);
+        algo.set_worker_active(1, false).unwrap();
+        for _ in 0..3 {
+            algo.round(&mut t, &bw);
+        }
+        let ranks = algo.fleet.active_ranks();
+        let base = algo.fleet.worker(ranks[0]).flat();
+        for &r in &ranks[1..] {
+            assert_eq!(base, algo.fleet.worker(r).flat());
+        }
+        algo.set_worker_active(1, true).unwrap();
+        assert_eq!(algo.fleet.worker(1).flat(), base);
     }
 }

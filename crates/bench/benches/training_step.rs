@@ -27,14 +27,16 @@ fn bench_round(c: &mut Criterion) {
             tthres: 6,
             ..SapsConfig::default()
         };
-        let mut algo = SapsPsgd::new(cfg, &ds, &bw, |rng| zoo::mlp(&[16, 32, 4], rng));
+        let mut algo =
+            SapsPsgd::new(cfg, &ds, &bw, |rng| zoo::mlp(&[16, 32, 4], rng)).expect("bench config");
         let mut traffic = TrafficAccountant::new(n);
         b.iter(|| black_box(algo.round(&mut traffic, &bw)))
     });
 
     g.bench_function("dpsgd_round_8workers", |b| {
-        let fleet = Fleet::new(n, &ds, |rng| zoo::mlp(&[16, 32, 4], rng), 1, 16, 0.1);
-        let mut algo = DPsgd::new(fleet);
+        let fleet =
+            Fleet::new(n, &ds, |rng| zoo::mlp(&[16, 32, 4], rng), 1, 16, 0.1).expect("fleet");
+        let mut algo = DPsgd::new(fleet).expect("ring");
         let mut traffic = TrafficAccountant::new(n);
         b.iter(|| black_box(algo.round(&mut traffic, &bw)))
     });

@@ -9,7 +9,6 @@
 //! budgets (several minutes in release mode).
 
 use saps_bench::{paper_lineup, run_algorithms, table, Workload};
-use saps_core::sim::RunOptions;
 use saps_netsim::BandwidthMatrix;
 
 fn main() {
@@ -39,13 +38,19 @@ fn main() {
             "\n=== Fig. 3: {} — {} workers, {} epochs (round cap {}) ===",
             w.name, workers, w.epochs, rounds
         );
-        let opts = RunOptions {
-            rounds,
-            eval_every: (rounds / 20).max(1),
-            eval_samples: 1_000,
-            max_epochs,
-        };
-        let hists = run_algorithms(&paper_lineup(w.c_scale), w, &bw, workers, opts, 42);
+        let hists = run_algorithms(
+            &paper_lineup(w.c_scale, Some(bw.percentile(0.6))),
+            w,
+            &bw,
+            workers,
+            42,
+            |e| {
+                e.rounds(rounds)
+                    .eval_every((rounds / 20).max(1))
+                    .eval_samples(1_000)
+                    .max_epochs(max_epochs)
+            },
+        );
         for h in &hists {
             let series: Vec<(f64, f64)> = h
                 .points

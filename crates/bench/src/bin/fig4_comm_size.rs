@@ -9,8 +9,7 @@
 //! `--sweep-c` runs the compression-ratio ablation instead: SAPS-PSGD at
 //! c ∈ {2, 10, 50, 100} on the MNIST-scaled workload.
 
-use saps_bench::{paper_lineup, run_algorithms, table, AlgoKind, Workload};
-use saps_core::sim::RunOptions;
+use saps_bench::{paper_lineup, run_algorithms, table, AlgorithmSpec, Workload};
 use saps_netsim::BandwidthMatrix;
 
 fn main() {
@@ -41,13 +40,19 @@ fn main() {
             "\n=== Fig. 4: {} — accuracy vs per-worker communication size ===",
             w.name
         );
-        let opts = RunOptions {
-            rounds,
-            eval_every: (rounds / 20).max(1),
-            eval_samples: 1_000,
-            max_epochs,
-        };
-        let hists = run_algorithms(&paper_lineup(w.c_scale), w, &bw, workers, opts, 42);
+        let hists = run_algorithms(
+            &paper_lineup(w.c_scale, Some(bw.percentile(0.6))),
+            w,
+            &bw,
+            workers,
+            42,
+            |e| {
+                e.rounds(rounds)
+                    .eval_every((rounds / 20).max(1))
+                    .eval_samples(1_000)
+                    .max_epochs(max_epochs)
+            },
+        );
         for h in &hists {
             let series: Vec<(f64, f64)> = h
                 .points
@@ -90,27 +95,26 @@ fn sweep_c() {
     let w = Workload::mnist_scaled();
     let workers = 32;
     let bw = BandwidthMatrix::constant(workers, 1.0);
-    let opts = RunOptions {
-        rounds: w.default_rounds,
-        eval_every: (w.default_rounds / 20).max(1),
-        eval_samples: 1_000,
-        max_epochs: f64::INFINITY,
-    };
     println!(
         "=== Ablation: SAPS-PSGD compression ratio sweep ({}) ===",
         w.name
     );
-    let kinds: Vec<AlgoKind> = [2.0, 10.0, 50.0, 100.0]
+    let kinds: Vec<AlgorithmSpec> = [2.0, 10.0, 50.0, 100.0]
         .iter()
-        .map(|&c| AlgoKind::Saps { c })
+        .map(|&c| AlgorithmSpec::Saps {
+            compression: c,
+            tthres: 8,
+            bthres: Some(bw.percentile(0.6)),
+        })
         .collect();
-    let hists = run_algorithms(&kinds, &w, &bw, workers, opts, 42);
+    let hists = run_algorithms(&kinds, &w, &bw, workers, 42, |e| {
+        e.rounds(w.default_rounds)
+            .eval_every((w.default_rounds / 20).max(1))
+            .eval_samples(1_000)
+    });
     let mut rows = Vec::new();
     for (kind, h) in kinds.iter().zip(&hists) {
-        let c = match kind {
-            AlgoKind::Saps { c } => *c,
-            _ => unreachable!(),
-        };
+        let c = kind.compression().expect("saps always has c");
         rows.push(vec![
             format!("{c}"),
             format!("{:.2}", h.final_acc * 100.0),

@@ -13,7 +13,6 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saps_bench::{paper_lineup, run_algorithms, table, Workload};
-use saps_core::sim::RunOptions;
 use saps_netsim::BandwidthMatrix;
 
 fn main() {
@@ -41,13 +40,19 @@ fn main() {
             "\n=== Fig. 6: {} — accuracy vs communication time ===",
             w.name
         );
-        let opts = RunOptions {
-            rounds,
-            eval_every: (rounds / 20).max(1),
-            eval_samples: 1_000,
-            max_epochs,
-        };
-        let hists = run_algorithms(&paper_lineup(w.c_scale), w, &bw, workers, opts, 42);
+        let hists = run_algorithms(
+            &paper_lineup(w.c_scale, Some(bw.percentile(0.6))),
+            w,
+            &bw,
+            workers,
+            42,
+            |e| {
+                e.rounds(rounds)
+                    .eval_every((rounds / 20).max(1))
+                    .eval_samples(1_000)
+                    .max_epochs(max_epochs)
+            },
+        );
         for h in &hists {
             let series: Vec<(f64, f64)> = h
                 .points

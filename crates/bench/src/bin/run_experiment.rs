@@ -2,7 +2,10 @@
 //!
 //! The figure/table binaries print the paper's exact views; this binary
 //! is the downstream-user tool — pick any algorithm/workload/network and
-//! get the full trajectory as CSV for your own plotting.
+//! get the full trajectory as CSV for your own plotting. The algorithm
+//! name goes straight through [`AlgorithmSpec::parse`] and the
+//! eight-algorithm registry; the trajectory is streamed by a
+//! [`saps_core::CsvSink`] observer as the run progresses.
 //!
 //! ```sh
 //! cargo run -p saps-bench --release --bin run_experiment -- \
@@ -14,12 +17,15 @@
 //! * `--algo` — saps | psgd | topk | fedavg | sfedavg | dpsgd | dcd | random
 //! * `--workload` — mnist | cifar | resnet
 //! * `--network` — constant | random | cities (14 workers, Fig. 1)
-//! * `--workers`, `--rounds`, `--epochs`, `--c`, `--seed`, `--eval-every`
+//! * `--workers`, `--rounds`, `--epochs`, `--seed`, `--eval-every`
+//! * `--c F` — compression ratio; omit to use the algorithm's paper
+//!   default (SAPS 100, TopK 1000, S-FedAvg 100, DCD 4)
+//! * `--target-acc F` — stop early at the first evaluation reaching `F`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use saps_bench::{build_trainer, AlgoKind, Workload};
-use saps_core::sim::{self, RunOptions};
+use saps_bench::{experiment, registry, AlgorithmSpec, Workload};
+use saps_core::CsvSink;
 use saps_netsim::{citydata, BandwidthMatrix};
 
 #[derive(Debug)]
@@ -30,9 +36,10 @@ struct Args {
     workers: usize,
     rounds: usize,
     epochs: f64,
-    c: f64,
+    c: Option<f64>,
     seed: u64,
     eval_every: usize,
+    target_acc: Option<f32>,
 }
 
 impl Args {
@@ -44,9 +51,10 @@ impl Args {
             workers: 32,
             rounds: 200,
             epochs: f64::INFINITY,
-            c: 10.0,
+            c: None,
             seed: 42,
             eval_every: 10,
+            target_acc: None,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -62,10 +70,13 @@ impl Args {
                 "--workers" => a.workers = val.parse().unwrap_or_else(|_| usage("bad --workers")),
                 "--rounds" => a.rounds = val.parse().unwrap_or_else(|_| usage("bad --rounds")),
                 "--epochs" => a.epochs = val.parse().unwrap_or_else(|_| usage("bad --epochs")),
-                "--c" => a.c = val.parse().unwrap_or_else(|_| usage("bad --c")),
+                "--c" => a.c = Some(val.parse().unwrap_or_else(|_| usage("bad --c"))),
                 "--seed" => a.seed = val.parse().unwrap_or_else(|_| usage("bad --seed")),
                 "--eval-every" => {
                     a.eval_every = val.parse().unwrap_or_else(|_| usage("bad --eval-every"))
+                }
+                "--target-acc" => {
+                    a.target_acc = Some(val.parse().unwrap_or_else(|_| usage("bad --target-acc")))
                 }
                 other => usage(&format!("unknown option {other}")),
             }
@@ -80,7 +91,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: run_experiment [--algo saps|psgd|topk|fedavg|sfedavg|dpsgd|dcd|random]\n\
          \u{20}                     [--workload mnist|cifar|resnet] [--network constant|random|cities]\n\
-         \u{20}                     [--workers N] [--rounds N] [--epochs F] [--c F] [--seed N] [--eval-every N]"
+         \u{20}                     [--workers N] [--rounds N] [--epochs F] [--c F] [--seed N]\n\
+         \u{20}                     [--eval-every N] [--target-acc F]"
     );
     std::process::exit(2);
 }
@@ -89,17 +101,10 @@ fn main() {
     let args = Args::parse();
     let workload = Workload::by_name(&args.workload)
         .unwrap_or_else(|| usage(&format!("unknown workload {}", args.workload)));
-    let kind = match args.algo.as_str() {
-        "saps" => AlgoKind::Saps { c: args.c },
-        "psgd" => AlgoKind::Psgd,
-        "topk" => AlgoKind::TopK { c: args.c },
-        "fedavg" => AlgoKind::FedAvg,
-        "sfedavg" => AlgoKind::SFedAvg { c: args.c },
-        "dpsgd" => AlgoKind::DPsgd,
-        "dcd" => AlgoKind::Dcd { c: args.c },
-        "random" => AlgoKind::RandomChoose { c: args.c },
-        other => usage(&format!("unknown algorithm {other}")),
-    };
+    let mut spec = AlgorithmSpec::parse(&args.algo).unwrap_or_else(|e| usage(&e.to_string()));
+    if let Some(c) = args.c {
+        spec = spec.with_compression(c);
+    }
     let (workers, bw) = match args.network.as_str() {
         "constant" => (args.workers, BandwidthMatrix::constant(args.workers, 1.0)),
         "random" => {
@@ -113,42 +118,27 @@ fn main() {
         other => usage(&format!("unknown network {other}")),
     };
 
-    let (train, val) = workload.dataset(args.seed);
-    let mut trainer = build_trainer(kind, &workload, &train, &bw, workers, args.seed);
+    let mut exp = experiment(spec, &workload, &bw, workers, args.seed)
+        .rounds(args.rounds)
+        .eval_every(args.eval_every)
+        .eval_samples(1_000)
+        .max_epochs(args.epochs)
+        .observer(Box::new(CsvSink::new(std::io::stdout())));
+    if let Some(t) = args.target_acc {
+        exp = exp.target_accuracy(t);
+    }
     eprintln!(
-        "# {} on {} — {} workers, N = {}, network = {}",
-        trainer.name(),
+        "# {} on {} — {} workers, network = {}",
+        spec.label(),
         workload.name,
         workers,
-        trainer.model_len(),
         args.network
     );
-    let hist = sim::run(
-        trainer.as_mut(),
-        &bw,
-        &val,
-        RunOptions {
-            rounds: args.rounds,
-            eval_every: args.eval_every,
-            eval_samples: 1_000,
-            max_epochs: args.epochs,
-        },
-    );
+    let hist = exp.run(&registry()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
 
-    println!("round,epoch,val_acc,train_loss,worker_traffic_mb,comm_time_s,link_bw,bottleneck_bw");
-    for p in &hist.points {
-        println!(
-            "{},{:.4},{:.4},{:.5},{:.6},{:.6},{:.4},{:.4}",
-            p.round + 1,
-            p.epoch,
-            p.val_acc,
-            p.train_loss,
-            p.worker_traffic_mb,
-            p.comm_time_s,
-            p.link_bandwidth,
-            p.bottleneck_bandwidth,
-        );
-    }
     eprintln!(
         "# final acc {:.2}% | worker traffic {:.4} MB | server {:.4} MB | comm time {:.2} s",
         hist.final_acc * 100.0,

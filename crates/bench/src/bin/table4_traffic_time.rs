@@ -9,14 +9,18 @@
 //!    rounds-to-target with Table I's traffic formulas at the paper's
 //!    full model sizes, reproducing Table IV's magnitudes.
 //!
+//! "At reaching" uses [`saps_core::experiment::RunHistory::first_reaching`],
+//! which only matches *freshly evaluated* points — rounds between
+//! evaluations carry the last measured accuracy and must not be credited
+//! with the crossing.
+//!
 //! ```sh
 //! cargo run -p saps-bench --release --bin table4_traffic_time [mnist|cifar|resnet]
 //! ```
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use saps_bench::{paper_lineup, run_algorithms, table, AlgoKind, Workload};
-use saps_core::sim::RunOptions;
+use saps_bench::{paper_lineup, run_algorithms, table, AlgorithmSpec, Workload};
 use saps_netsim::BandwidthMatrix;
 
 fn main() {
@@ -38,14 +42,13 @@ fn main() {
             w.name,
             w.target_acc * 100.0
         );
-        let opts = RunOptions {
-            rounds: w.default_rounds,
-            eval_every: (w.default_rounds / 40).max(1),
-            eval_samples: 1_000,
-            max_epochs: w.epochs,
-        };
-        let kinds = paper_lineup(w.c_scale);
-        let hists = run_algorithms(&kinds, w, &bw, workers, opts, 42);
+        let kinds = paper_lineup(w.c_scale, Some(bw.percentile(0.6)));
+        let hists = run_algorithms(&kinds, w, &bw, workers, 42, |e| {
+            e.rounds(w.default_rounds)
+                .eval_every((w.default_rounds / 40).max(1))
+                .eval_samples(1_000)
+                .max_epochs(w.epochs)
+        });
 
         let mut rows = Vec::new();
         let mut projection_rows = Vec::new();
@@ -81,14 +84,14 @@ fn main() {
         let mut rows = Vec::new();
         for (kind, h, rounds) in projection_rows {
             let per_round_params: f64 = match kind {
-                AlgoKind::Saps { .. } => 2.0 * w.paper_params as f64 / 100.0,
-                AlgoKind::Psgd => 2.0 * w.paper_params as f64,
-                AlgoKind::TopK { .. } => 2.0 * workers as f64 * w.paper_params as f64 / 1000.0,
-                AlgoKind::FedAvg => 2.0 * w.paper_params as f64,
-                AlgoKind::SFedAvg { .. } => (1.0 + 2.0 / 100.0) * w.paper_params as f64,
-                AlgoKind::DPsgd => 4.0 * w.paper_params as f64,
-                AlgoKind::Dcd { .. } => 4.0 * w.paper_params as f64 / 4.0,
-                AlgoKind::RandomChoose { .. } => 2.0 * w.paper_params as f64 / 100.0,
+                AlgorithmSpec::Saps { .. } => 2.0 * w.paper_params as f64 / 100.0,
+                AlgorithmSpec::Psgd => 2.0 * w.paper_params as f64,
+                AlgorithmSpec::TopK { .. } => 2.0 * workers as f64 * w.paper_params as f64 / 1000.0,
+                AlgorithmSpec::FedAvg { .. } => 2.0 * w.paper_params as f64,
+                AlgorithmSpec::SFedAvg { .. } => (1.0 + 2.0 / 100.0) * w.paper_params as f64,
+                AlgorithmSpec::DPsgd => 4.0 * w.paper_params as f64,
+                AlgorithmSpec::DcdPsgd { .. } => 4.0 * w.paper_params as f64 / 4.0,
+                AlgorithmSpec::RandomChoose { .. } => 2.0 * w.paper_params as f64 / 100.0,
             };
             let traffic_mb = per_round_params * 4.0 * rounds as f64 / 1e6;
             // Effective bandwidth: measured traffic over measured time.

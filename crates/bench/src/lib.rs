@@ -4,83 +4,90 @@
 //! the same rows/series the paper reports. This library holds what they
 //! share: the three scaled workloads standing in for MNIST-CNN,
 //! CIFAR10-CNN and ResNet-20 (DESIGN.md §6 explains the substitution),
-//! a uniform way to construct every algorithm, and plain-text table
-//! helpers.
+//! the [`experiment`] helper that turns an [`AlgorithmSpec`] + workload
+//! into a configured [`Experiment`], and plain-text table helpers.
+//!
+//! Algorithms are never constructed directly here — everything goes
+//! through [`registry`] (re-exported from `saps-baselines`), so adding
+//! an algorithm is a registry change, not a 10-binary rewire.
 
 #![warn(missing_docs)]
 
 pub mod table;
 pub mod workload;
 
-pub use workload::{AlgoKind, Workload};
+pub use saps_baselines::registry;
+pub use saps_core::{AlgorithmSpec, Experiment};
+pub use workload::Workload;
 
-use rand::rngs::StdRng;
-use saps_core::sim::{self, RunHistory, RunOptions};
-use saps_core::Trainer;
-use saps_data::Dataset;
+use saps_core::experiment::RunHistory;
 use saps_netsim::BandwidthMatrix;
 
-/// Builds the trainer for an algorithm kind over a workload's data.
-pub fn build_trainer(
-    kind: AlgoKind,
+/// A configured [`Experiment`] for one algorithm over one workload: the
+/// workload supplies dataset, model factory and hyper-parameters; the
+/// caller layers rounds/eval cadence/events on top with the builder's
+/// setters.
+pub fn experiment(
+    spec: AlgorithmSpec,
     workload: &Workload,
-    train: &Dataset,
     bw: &BandwidthMatrix,
     workers: usize,
     seed: u64,
-) -> Box<dyn Trainer> {
-    use saps_baselines::*;
-    use saps_core::{SapsConfig, SapsPsgd};
-    let factory = workload.factory();
-    let fleet = || {
-        Fleet::new(
-            workers,
-            train,
-            |rng: &mut StdRng| factory(rng),
-            seed,
-            workload.batch_size,
-            workload.lr,
-        )
-    };
-    match kind {
-        AlgoKind::Saps { c } => {
-            let cfg = SapsConfig {
-                workers,
-                compression: c,
-                lr: workload.lr,
-                batch_size: workload.batch_size,
-                tthres: 8,
-                seed,
-                bthres: Some(bw.percentile(0.6)),
-            };
-            Box::new(SapsPsgd::new(cfg, train, bw, factory))
-        }
-        AlgoKind::Psgd => Box::new(PsgdAllReduce::new(fleet())),
-        AlgoKind::TopK { c } => Box::new(TopKPsgd::new(fleet(), c)),
-        AlgoKind::FedAvg => Box::new(FedAvg::new(fleet(), FedAvgConfig::default(), seed)),
-        AlgoKind::SFedAvg { c } => Box::new(SFedAvg::new(fleet(), 0.5, 5, c, seed)),
-        AlgoKind::DPsgd => Box::new(DPsgd::new(fleet())),
-        AlgoKind::Dcd { c } => Box::new(DcdPsgd::new(fleet(), c)),
-        AlgoKind::RandomChoose { c } => Box::new(RandomChoose::new(fleet(), c, seed)),
-    }
+) -> Experiment {
+    let (train, val) = workload.dataset(seed);
+    experiment_with_data(spec, workload, train, val, bw, workers, seed)
+}
+
+/// [`experiment`] with a pre-generated `(train, val)` split — lets
+/// multi-algorithm sweeps generate the workload's dataset once.
+pub fn experiment_with_data(
+    spec: AlgorithmSpec,
+    workload: &Workload,
+    train: saps_data::Dataset,
+    val: saps_data::Dataset,
+    bw: &BandwidthMatrix,
+    workers: usize,
+    seed: u64,
+) -> Experiment {
+    Experiment::new(spec)
+        .train(train)
+        .validation(val)
+        .workers(workers)
+        .batch_size(workload.batch_size)
+        .lr(workload.lr)
+        .seed(seed)
+        .bandwidth_matrix(bw.clone())
+        .model(workload.factory())
 }
 
 /// Runs a set of algorithms on one workload over the same bandwidth
-/// matrix and validation set.
+/// matrix and validation set (generated once). `configure` layers run
+/// settings (rounds, eval cadence, epoch budget, events) onto each
+/// experiment.
 pub fn run_algorithms(
-    kinds: &[AlgoKind],
+    specs: &[AlgorithmSpec],
     workload: &Workload,
     bw: &BandwidthMatrix,
     workers: usize,
-    opts: RunOptions,
     seed: u64,
+    configure: impl Fn(Experiment) -> Experiment,
 ) -> Vec<RunHistory> {
+    let reg = registry();
     let (train, val) = workload.dataset(seed);
-    kinds
+    specs
         .iter()
-        .map(|&kind| {
-            let mut algo = build_trainer(kind, workload, &train, bw, workers, seed);
-            sim::run(algo.as_mut(), bw, &val, opts)
+        .map(|&spec| {
+            configure(experiment_with_data(
+                spec,
+                workload,
+                train.clone(),
+                val.clone(),
+                bw,
+                workers,
+                seed,
+            ))
+            .run(&reg)
+            .unwrap_or_else(|e| panic!("{} failed to run: {e}", spec.label()))
         })
         .collect()
 }
@@ -89,18 +96,33 @@ pub fn run_algorithms(
 /// settings (Section IV-A): TopK `c = 1000`, S-FedAvg `c = 100`,
 /// DCD `c = 4`, SAPS `c = 100`. Scaled-down models use proportionally
 /// smaller `c` so that `N/c` stays meaningful; pass the workload's
-/// `c_scale` to shrink them uniformly.
-pub fn paper_lineup(c_scale: f64) -> Vec<AlgoKind> {
+/// `c_scale` to shrink them uniformly. `saps_bthres` is SAPS-PSGD's
+/// `B_thres`; the figure binaries pass the 60th percentile of their
+/// bandwidth matrix (Section IV-D), `None` auto-connects.
+pub fn paper_lineup(c_scale: f64, saps_bthres: Option<f64>) -> Vec<AlgorithmSpec> {
     let c = |v: f64| (v / c_scale).max(1.0);
     vec![
-        AlgoKind::Psgd,
-        AlgoKind::TopK { c: c(1000.0) },
-        AlgoKind::FedAvg,
-        AlgoKind::SFedAvg { c: c(100.0) },
-        AlgoKind::DPsgd,
-        AlgoKind::Dcd {
-            c: 4.0_f64.min(c(4.0)).max(1.5),
+        AlgorithmSpec::Psgd,
+        AlgorithmSpec::TopK {
+            compression: c(1000.0),
         },
-        AlgoKind::Saps { c: c(100.0) },
+        AlgorithmSpec::FedAvg {
+            participation: 0.5,
+            local_steps: 5,
+        },
+        AlgorithmSpec::SFedAvg {
+            participation: 0.5,
+            local_steps: 5,
+            compression: c(100.0),
+        },
+        AlgorithmSpec::DPsgd,
+        AlgorithmSpec::DcdPsgd {
+            compression: 4.0_f64.min(c(4.0)).max(1.5),
+        },
+        AlgorithmSpec::Saps {
+            compression: c(100.0),
+            tthres: 8,
+            bthres: saps_bthres,
+        },
     ]
 }

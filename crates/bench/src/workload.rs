@@ -4,58 +4,6 @@ use rand::rngs::StdRng;
 use saps_data::{Dataset, SyntheticSpec};
 use saps_nn::{zoo, Model};
 
-/// Identifies an algorithm plus its compression setting.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum AlgoKind {
-    /// SAPS-PSGD with compression ratio `c`.
-    Saps {
-        /// Compression ratio.
-        c: f64,
-    },
-    /// PSGD with ring all-reduce.
-    Psgd,
-    /// TopK-PSGD with compression ratio `c`.
-    TopK {
-        /// Compression ratio.
-        c: f64,
-    },
-    /// FedAvg (participation 0.5, 5 local steps).
-    FedAvg,
-    /// S-FedAvg with compression ratio `c`.
-    SFedAvg {
-        /// Compression ratio.
-        c: f64,
-    },
-    /// D-PSGD on the fixed ring.
-    DPsgd,
-    /// DCD-PSGD with compression ratio `c`.
-    Dcd {
-        /// Compression ratio.
-        c: f64,
-    },
-    /// SAPS exchange with random peers (Fig. 5 ablation).
-    RandomChoose {
-        /// Compression ratio.
-        c: f64,
-    },
-}
-
-impl AlgoKind {
-    /// The paper's name for the algorithm.
-    pub fn label(&self) -> &'static str {
-        match self {
-            AlgoKind::Saps { .. } => "SAPS-PSGD",
-            AlgoKind::Psgd => "PSGD",
-            AlgoKind::TopK { .. } => "TopK-PSGD",
-            AlgoKind::FedAvg => "FedAvg",
-            AlgoKind::SFedAvg { .. } => "S-FedAvg",
-            AlgoKind::DPsgd => "D-PSGD",
-            AlgoKind::Dcd { .. } => "DCD-PSGD",
-            AlgoKind::RandomChoose { .. } => "RandomChoose",
-        }
-    }
-}
-
 /// A scaled stand-in for one Table II row: model family, synthetic data
 /// shaped like the paper's dataset, and training hyper-parameters.
 #[derive(Debug, Clone)]
@@ -221,21 +169,5 @@ mod tests {
         assert!(Workload::by_name("cifar").is_some());
         assert!(Workload::by_name("resnet").is_some());
         assert!(Workload::by_name("imagenet").is_none());
-    }
-
-    #[test]
-    fn labels_cover_all_algorithms() {
-        let kinds = [
-            AlgoKind::Saps { c: 10.0 },
-            AlgoKind::Psgd,
-            AlgoKind::TopK { c: 10.0 },
-            AlgoKind::FedAvg,
-            AlgoKind::SFedAvg { c: 10.0 },
-            AlgoKind::DPsgd,
-            AlgoKind::Dcd { c: 4.0 },
-            AlgoKind::RandomChoose { c: 10.0 },
-        ];
-        let labels: std::collections::HashSet<&str> = kinds.iter().map(|k| k.label()).collect();
-        assert_eq!(labels.len(), kinds.len());
     }
 }

@@ -7,7 +7,7 @@
 //!   coordinator's seed into the *same* mask, so peers agree on which
 //!   coordinates travel without exchanging indices.
 //! * [`topk`] — Top-k sparsification with **error feedback** residuals,
-//!   used by TopK-PSGD [20] and DCD-PSGD-style compression.
+//!   used by TopK-PSGD \[20\] and DCD-PSGD-style compression.
 //! * [`codec`] — wire encodings for sparse and dense payloads, with exact
 //!   byte accounting (the traffic numbers of Table IV and Fig. 4 come from
 //!   these sizes).

@@ -1,6 +1,6 @@
 //! Top-k sparsification with error-feedback residuals.
 //!
-//! TopK-PSGD [20], [34] zeroes out all but the `k = N/c` largest-magnitude
+//! TopK-PSGD \[20\], \[34\] zeroes out all but the `k = N/c` largest-magnitude
 //! gradient coordinates and accumulates what was dropped into a local
 //! residual that is added back before the next selection ("error
 //! compensation"). The paper uses it as the strongest sparsification

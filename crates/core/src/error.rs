@@ -1,0 +1,84 @@
+//! The error type of the experiment surface.
+//!
+//! Every fallible construction or configuration path in the workspace —
+//! parsing an [`crate::AlgorithmSpec`], building a trainer through the
+//! [`crate::AlgorithmRegistry`], validating an [`crate::Experiment`],
+//! applying a [`crate::ScenarioEvent`] — reports through this one enum,
+//! replacing the `assert!`-on-bad-input style the constructors used to
+//! have.
+
+/// Why an experiment could not be configured or driven.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The algorithm name is not in the registry (or not parseable).
+    UnknownAlgorithm(String),
+    /// A parameter is out of its valid range, or two parameters are
+    /// mutually inconsistent. `context` names the component that
+    /// rejected it.
+    InvalidParameter {
+        /// The component that rejected the parameter (e.g. `"SapsConfig"`).
+        context: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The algorithm does not support the requested runtime feature
+    /// (e.g. worker churn on a trainer without a membership concept).
+    Unsupported {
+        /// Algorithm name (paper spelling).
+        algorithm: String,
+        /// The unsupported feature.
+        feature: String,
+    },
+}
+
+impl ConfigError {
+    /// Shorthand for [`ConfigError::InvalidParameter`].
+    pub fn invalid(context: &'static str, message: impl Into<String>) -> Self {
+        ConfigError::InvalidParameter {
+            context,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for [`ConfigError::Unsupported`].
+    pub fn unsupported(algorithm: impl Into<String>, feature: impl Into<String>) -> Self {
+        ConfigError::Unsupported {
+            algorithm: algorithm.into(),
+            feature: feature.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::UnknownAlgorithm(name) => {
+                write!(f, "unknown algorithm {name:?}")
+            }
+            ConfigError::InvalidParameter { context, message } => {
+                write!(f, "invalid parameter for {context}: {message}")
+            }
+            ConfigError::Unsupported { algorithm, feature } => {
+                write!(f, "{algorithm} does not support {feature}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ConfigError::UnknownAlgorithm("sapz".into());
+        assert!(e.to_string().contains("sapz"));
+        let e = ConfigError::invalid("SapsConfig", "compression must be >= 1");
+        assert!(e.to_string().contains("SapsConfig"));
+        let e = ConfigError::unsupported("PSGD", "worker churn");
+        assert!(e.to_string().contains("PSGD"));
+    }
+}

@@ -14,37 +14,33 @@
 //!   model exchange;
 //! * [`SapsPsgd`] — the full algorithm wired into the [`Trainer`]
 //!   interface shared with every baseline;
-//! * [`sim`] — the deterministic round-based simulator that runs any
-//!   `Trainer` and records accuracy / traffic / time curves (the data
-//!   behind Figs. 3, 4, 6 and Tables III, IV);
+//! * [`AlgorithmSpec`] + [`AlgorithmRegistry`] — the declarative,
+//!   fallible construction path every binary/example goes through;
+//! * [`Experiment`] — the event-driven driver: dataset + partition
+//!   strategy + bandwidth model + [`ScenarioEvent`] schedule + observers,
+//!   producing the [`experiment::RunHistory`] curves behind Figs. 3-6 and
+//!   Tables III/IV;
 //! * [`complexity`] — Table I's analytic communication-cost formulas.
 //!
 //! # Example
 //!
 //! ```
-//! use saps_core::{SapsConfig, SapsPsgd, Trainer};
+//! use saps_core::{AlgorithmRegistry, AlgorithmSpec, Experiment};
 //! use saps_data::SyntheticSpec;
-//! use saps_netsim::{BandwidthMatrix, TrafficAccountant};
-//! use rand::SeedableRng;
 //!
-//! let ds = SyntheticSpec::tiny().samples(256).generate(1);
-//! let bw = BandwidthMatrix::constant(4, 1.0);
-//! let cfg = SapsConfig {
-//!     workers: 4,
-//!     compression: 4.0,
-//!     lr: 0.1,
-//!     batch_size: 16,
-//!     ..SapsConfig::default()
-//! };
-//! let mut algo = SapsPsgd::new(
-//!     cfg,
-//!     &ds,
-//!     &bw,
-//!     |rng| saps_nn::zoo::mlp(&[16, 16, 4], rng),
-//! );
-//! let mut traffic = TrafficAccountant::new(4);
-//! let report = algo.round(&mut traffic, &bw);
-//! assert!(report.mean_loss.is_finite());
+//! let ds = SyntheticSpec::tiny().samples(512).generate(1);
+//! let (train, val) = ds.split(0.25, 0);
+//! let spec = AlgorithmSpec::parse("saps").unwrap().with_compression(4.0);
+//! let hist = Experiment::new(spec)
+//!     .train(train)
+//!     .validation(val)
+//!     .workers(4)
+//!     .batch_size(16)
+//!     .model(|rng| saps_nn::zoo::mlp(&[16, 16, 4], rng))
+//!     .rounds(5)
+//!     .run(&AlgorithmRegistry::core())
+//!     .unwrap();
+//! assert!(hist.points.iter().all(|p| p.train_loss.is_finite()));
 //! ```
 
 #![warn(missing_docs)]
@@ -52,14 +48,26 @@
 pub mod checkpoint;
 pub mod complexity;
 mod coordinator;
+mod error;
+pub mod experiment;
 mod gossipgen;
+mod registry;
+mod scenario;
 pub mod sim;
+mod spec;
 mod trainer;
 mod worker;
 
 pub use coordinator::Coordinator;
+pub use error::ConfigError;
+pub use experiment::{
+    CsvSink, Experiment, HistoryPoint, PartitionStrategy, RoundObserver, RunHistory,
+};
 pub use gossipgen::{GossipGenerator, PeerStrategy};
-pub use trainer::{RoundReport, Trainer};
+pub use registry::{AlgorithmRegistry, BuildCtx, BuilderFn, ModelFactory};
+pub use scenario::{BandwidthModel, ScenarioEvent, ScheduledEvent};
+pub use spec::AlgorithmSpec;
+pub use trainer::{RoundCtx, RoundReport, Trainer};
 pub use worker::Worker;
 
 mod saps;

@@ -1,13 +1,13 @@
 //! SAPS-PSGD wired together: Algorithms 1 + 2 + 3 behind the [`Trainer`]
 //! interface.
 
-use crate::{Coordinator, RoundReport, Trainer, Worker};
+use crate::{ConfigError, Coordinator, RoundCtx, RoundReport, Trainer, Worker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saps_compress::codec;
 use saps_compress::mask::RandomMask;
 use saps_data::{partition, Dataset};
-use saps_netsim::{timemodel, BandwidthMatrix, TrafficAccountant};
+use saps_netsim::{timemodel, BandwidthMatrix};
 use saps_nn::Model;
 use saps_tensor::rng::{derive_seed, streams};
 
@@ -42,6 +42,37 @@ impl Default for SapsConfig {
             tthres: 10,
             seed: 0,
         }
+    }
+}
+
+impl SapsConfig {
+    /// Checks the configuration is internally consistent.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers < 2 {
+            return Err(ConfigError::invalid(
+                "SapsConfig",
+                "need at least two workers",
+            ));
+        }
+        if !(self.compression >= 1.0 && self.compression.is_finite()) {
+            return Err(ConfigError::invalid(
+                "SapsConfig",
+                format!(
+                    "compression {} must be a finite ratio >= 1",
+                    self.compression
+                ),
+            ));
+        }
+        if self.tthres == 0 {
+            return Err(ConfigError::invalid("SapsConfig", "tthres must be >= 1"));
+        }
+        if self.batch_size == 0 {
+            return Err(ConfigError::invalid(
+                "SapsConfig",
+                "batch_size must be >= 1",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -81,7 +112,7 @@ impl SapsPsgd {
         train: &Dataset,
         bw: &BandwidthMatrix,
         factory: impl Fn(&mut StdRng) -> Model,
-    ) -> Self {
+    ) -> Result<Self, ConfigError> {
         let parts = partition::iid(train, cfg.workers, derive_seed(cfg.seed, 0, streams::DATA));
         Self::with_partitions(cfg, parts, bw, factory)
     }
@@ -94,10 +125,28 @@ impl SapsPsgd {
         parts: Vec<Dataset>,
         bw: &BandwidthMatrix,
         factory: impl Fn(&mut StdRng) -> Model,
-    ) -> Self {
-        assert_eq!(parts.len(), cfg.workers, "one partition per worker");
-        assert_eq!(bw.len(), cfg.workers, "bandwidth matrix size");
-        assert!(cfg.workers >= 2, "need at least two workers");
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if parts.len() != cfg.workers {
+            return Err(ConfigError::invalid(
+                "SapsConfig",
+                format!(
+                    "{} partitions for {} workers (need one each)",
+                    parts.len(),
+                    cfg.workers
+                ),
+            ));
+        }
+        if bw.len() != cfg.workers {
+            return Err(ConfigError::invalid(
+                "SapsConfig",
+                format!(
+                    "bandwidth matrix covers {} workers, config has {}",
+                    bw.len(),
+                    cfg.workers
+                ),
+            ));
+        }
         let make_model = || {
             let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 0, streams::INIT));
             factory(&mut rng)
@@ -110,7 +159,7 @@ impl SapsPsgd {
         let eval_model = make_model();
         let n_params = eval_model.num_params();
         let coordinator = Coordinator::new(bw, cfg.bthres, cfg.tthres, cfg.seed);
-        SapsPsgd {
+        Ok(SapsPsgd {
             active: vec![true; cfg.workers],
             cfg,
             coordinator,
@@ -118,7 +167,7 @@ impl SapsPsgd {
             bw_snapshot: bw.clone(),
             eval_model,
             n_params,
-        }
+        })
     }
 
     /// The configuration in use.
@@ -140,16 +189,30 @@ impl SapsPsgd {
     }
 
     /// Marks a worker active/inactive (join/leave churn). Peer selection
-    /// is rebuilt over the active subset; surviving RC timestamps are
-    /// kept. Inactive workers keep their model and re-join where they
-    /// left off.
-    pub fn set_active(&mut self, rank: usize, active: bool) {
-        assert!(rank < self.workers.len());
+    /// is rebuilt over the active subset. Inactive workers keep their
+    /// model and re-join where they left off.
+    ///
+    /// Fails if `rank` is out of range or deactivation would leave fewer
+    /// than two active workers.
+    pub fn set_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        if rank >= self.workers.len() {
+            return Err(ConfigError::invalid(
+                "SapsPsgd",
+                format!("worker rank {rank} out of range ({})", self.workers.len()),
+            ));
+        }
         if self.active[rank] == active {
-            return;
+            return Ok(());
+        }
+        if !active && self.active.iter().filter(|&&a| a).count() <= 2 {
+            return Err(ConfigError::invalid(
+                "SapsPsgd",
+                "cannot deactivate: at least two workers must stay active",
+            ));
         }
         self.active[rank] = active;
         self.rebuild_coordinator();
+        Ok(())
     }
 
     /// Updates the coordinator's bandwidth snapshot (the paper's
@@ -230,7 +293,9 @@ impl Trainer for SapsPsgd {
         "SAPS-PSGD"
     }
 
-    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
+        let bw = ctx.bw;
+        let traffic = &mut *ctx.traffic;
         let ranks = self.active_ranks();
         let plan = self.coordinator.begin_round();
 
@@ -279,18 +344,18 @@ impl Trainer for SapsPsgd {
             .map(|&r| self.workers[r].data_len())
             .sum::<usize>() as f64
             / ranks.len().max(1) as f64;
-        RoundReport {
-            mean_loss: (loss_acc / ranks.len().max(1) as f64) as f32,
-            mean_acc: (acc_acc / ranks.len().max(1) as f64) as f32,
-            comm_time_s,
-            epochs_advanced: self.cfg.batch_size as f64 / mean_part.max(1.0),
-            mean_link_bandwidth: if pairs.is_empty() {
-                0.0
-            } else {
-                link_bw_sum / pairs.len() as f64
-            },
-            min_link_bandwidth: if pairs.is_empty() { 0.0 } else { link_bw_min },
-        }
+        let mut rep = RoundReport::new();
+        rep.mean_loss = (loss_acc / ranks.len().max(1) as f64) as f32;
+        rep.mean_acc = (acc_acc / ranks.len().max(1) as f64) as f32;
+        rep.comm_time_s = comm_time_s;
+        rep.epochs_advanced = self.cfg.batch_size as f64 / mean_part.max(1.0);
+        rep.mean_link_bandwidth = if pairs.is_empty() {
+            0.0
+        } else {
+            link_bw_sum / pairs.len() as f64
+        };
+        rep.min_link_bandwidth = if pairs.is_empty() { 0.0 } else { link_bw_min };
+        rep
     }
 
     fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
@@ -306,12 +371,21 @@ impl Trainer for SapsPsgd {
     fn worker_count(&self) -> usize {
         self.workers.len()
     }
+
+    fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        self.set_active(rank, active)
+    }
+
+    fn refresh_bandwidth(&mut self, bw: &BandwidthMatrix) {
+        SapsPsgd::refresh_bandwidth(self, bw);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use saps_data::SyntheticSpec;
+    use saps_netsim::TrafficAccountant;
     use saps_nn::zoo;
 
     fn setup(workers: usize, c: f64) -> (SapsPsgd, Dataset, BandwidthMatrix) {
@@ -326,7 +400,7 @@ mod tests {
             tthres: 5,
             ..SapsConfig::default()
         };
-        let algo = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 24, 4], rng));
+        let algo = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 24, 4], rng)).unwrap();
         (algo, val, bw)
     }
 
@@ -338,6 +412,30 @@ mod tests {
             assert_eq!(f0, algo.worker(r).flat());
         }
         assert!(algo.consensus_distance_sq() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let ds = SyntheticSpec::tiny().samples(200).generate(1);
+        let bw = BandwidthMatrix::constant(1, 1.0);
+        let cfg = SapsConfig {
+            workers: 1,
+            ..SapsConfig::default()
+        };
+        assert!(SapsPsgd::new(cfg, &ds, &bw, |rng| zoo::mlp(&[16, 8, 4], rng)).is_err());
+        let bw = BandwidthMatrix::constant(4, 1.0);
+        let cfg = SapsConfig {
+            workers: 4,
+            compression: 0.5,
+            ..SapsConfig::default()
+        };
+        assert!(SapsPsgd::new(cfg, &ds, &bw, |rng| zoo::mlp(&[16, 8, 4], rng)).is_err());
+        let cfg = SapsConfig {
+            workers: 4,
+            ..SapsConfig::default()
+        };
+        let small = BandwidthMatrix::constant(3, 1.0);
+        assert!(SapsPsgd::new(cfg, &ds, &small, |rng| zoo::mlp(&[16, 8, 4], rng)).is_err());
     }
 
     #[test]
@@ -417,7 +515,7 @@ mod tests {
         for _ in 0..10 {
             algo.round(&mut traffic, &bw);
         }
-        algo.set_active(5, false);
+        algo.set_active(5, false).unwrap();
         assert_eq!(algo.active_ranks().len(), 5);
         let frozen = algo.worker(5).flat();
         for _ in 0..10 {
@@ -425,13 +523,24 @@ mod tests {
         }
         // The inactive worker's model is untouched.
         assert_eq!(algo.worker(5).flat(), frozen);
-        algo.set_active(5, true);
+        algo.set_active(5, true).unwrap();
         for _ in 0..10 {
             algo.round(&mut traffic, &bw);
         }
         assert_ne!(algo.worker(5).flat(), frozen);
         let acc = algo.evaluate(&val, 200);
         assert!(acc > 0.25, "post-churn accuracy {acc}");
+    }
+
+    #[test]
+    fn churn_guards_minimum_active_fleet() {
+        let (mut algo, _, _) = setup(4, 10.0);
+        algo.set_active(0, false).unwrap();
+        algo.set_active(1, false).unwrap();
+        // Two active workers left — dropping another must fail.
+        assert!(algo.set_active(2, false).is_err());
+        assert!(algo.set_active(9, false).is_err());
+        assert_eq!(algo.active_ranks(), vec![2, 3]);
     }
 
     #[test]
@@ -455,7 +564,7 @@ mod tests {
     fn churn_to_odd_active_count() {
         let (mut algo, _, bw) = setup(6, 4.0);
         let mut traffic = TrafficAccountant::new(6);
-        algo.set_active(2, false); // 5 active
+        algo.set_active(2, false).unwrap(); // 5 active
         for _ in 0..20 {
             let rep = algo.round(&mut traffic, &bw);
             assert!(rep.mean_loss.is_finite());

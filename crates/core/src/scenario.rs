@@ -1,0 +1,379 @@
+//! Declarative network/membership scenarios.
+//!
+//! The paper motivates SAPS-PSGD with *dynamic* federated networks —
+//! workers leave and join, links drift and fail — but evaluates on static
+//! matrices. Here a scenario is data: a [`BandwidthModel`] for the
+//! continuous part and a schedule of [`ScenarioEvent`]s for the discrete
+//! part. The [`crate::Experiment`] driver applies both uniformly to
+//! *every* algorithm, so churn robustness is no longer a SAPS-only side
+//! door.
+
+use crate::ConfigError;
+use saps_netsim::dynamics::BandwidthProcess;
+use saps_netsim::BandwidthMatrix;
+
+/// A discrete change to the world, applied at the start of its scheduled
+/// round, before the round's local computation and exchange.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioEvent {
+    /// Worker `rank` leaves the fleet (battery, network loss). Its model
+    /// is frozen until it rejoins.
+    WorkerLeave {
+        /// Rank of the leaving worker.
+        rank: usize,
+    },
+    /// Worker `rank` rejoins the fleet with whatever model it left with.
+    WorkerJoin {
+        /// Rank of the joining worker.
+        rank: usize,
+    },
+    /// Every link's bandwidth is multiplied by `scale` (congestion when
+    /// `< 1`, recovery when `> 1`). Scales compose across events.
+    BandwidthShift {
+        /// Multiplicative factor applied to all links.
+        scale: f64,
+    },
+    /// One link is set to `mbps` (0 severs it). Under a
+    /// [`BandwidthModel::Drifting`] process, 0 cuts the link and any
+    /// positive value restores it to its baseline.
+    LinkChange {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// New bandwidth in MB/s; 0 severs the link.
+        mbps: f64,
+    },
+}
+
+/// An event bound to the round it fires at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent {
+    /// 0-based round index the event is applied before.
+    pub round: usize,
+    /// What happens.
+    pub event: ScenarioEvent,
+}
+
+impl ScheduledEvent {
+    /// Bounds-checks the event against the fleet size.
+    pub fn validate(&self, workers: usize) -> Result<(), ConfigError> {
+        let check = |rank: usize| {
+            if rank >= workers {
+                Err(ConfigError::invalid(
+                    "ScheduledEvent",
+                    format!(
+                        "round {}: worker rank {rank} out of range (fleet size {workers})",
+                        self.round
+                    ),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        match &self.event {
+            ScenarioEvent::WorkerLeave { rank } | ScenarioEvent::WorkerJoin { rank } => {
+                check(*rank)
+            }
+            ScenarioEvent::BandwidthShift { scale } => {
+                if !(scale.is_finite() && *scale >= 0.0) {
+                    return Err(ConfigError::invalid(
+                        "ScheduledEvent",
+                        format!(
+                            "round {}: bandwidth scale {scale} must be finite and >= 0",
+                            self.round
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            ScenarioEvent::LinkChange { a, b, mbps } => {
+                check(*a)?;
+                check(*b)?;
+                if !(mbps.is_finite() && *mbps >= 0.0) {
+                    return Err(ConfigError::invalid(
+                        "ScheduledEvent",
+                        format!(
+                            "round {}: link bandwidth {mbps} must be finite and >= 0",
+                            self.round
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// How link bandwidths evolve over the run, independent of scheduled
+/// events.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum BandwidthModel {
+    /// The matrix stays fixed (the paper's evaluation setting), modulo
+    /// scheduled events.
+    Static(BandwidthMatrix),
+    /// Per-link multiplicative random walk around a baseline
+    /// ([`saps_netsim::dynamics::BandwidthProcess`]); the trainer's
+    /// topology-planning view is refreshed every `refresh_every` rounds,
+    /// mirroring the paper's "regularly reported" measurements.
+    Drifting {
+        /// The matrix the walk reverts around.
+        baseline: BandwidthMatrix,
+        /// Per-step log-space drift scale (e.g. 0.05 ≈ ±5 % per round).
+        volatility: f64,
+        /// Links stay within `[baseline/range, baseline*range]`.
+        range: f64,
+        /// Seed of the walk (independent of the experiment seed).
+        seed: u64,
+        /// How often (rounds) the trainer's bandwidth view is refreshed.
+        refresh_every: usize,
+    },
+}
+
+impl BandwidthModel {
+    /// Number of workers the model covers.
+    pub fn len(&self) -> usize {
+        match self {
+            BandwidthModel::Static(m) => m.len(),
+            BandwidthModel::Drifting { baseline, .. } => baseline.len(),
+        }
+    }
+
+    /// Whether the model covers zero workers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks the model parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let BandwidthModel::Drifting {
+            volatility,
+            range,
+            refresh_every,
+            ..
+        } = self
+        {
+            if *volatility < 0.0 || !volatility.is_finite() {
+                return Err(ConfigError::invalid(
+                    "BandwidthModel",
+                    "volatility must be finite and non-negative",
+                ));
+            }
+            if *range < 1.0 || !range.is_finite() {
+                return Err(ConfigError::invalid(
+                    "BandwidthModel",
+                    "range must be finite and at least 1",
+                ));
+            }
+            if *refresh_every == 0 {
+                return Err(ConfigError::invalid(
+                    "BandwidthModel",
+                    "refresh_every must be >= 1 round",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runtime state of a [`BandwidthModel`] inside the driver: the evolving
+/// matrix plus the composed scale of all `BandwidthShift` events so far.
+#[derive(Debug)]
+pub(crate) enum BandwidthState {
+    Static {
+        current: BandwidthMatrix,
+    },
+    Drifting {
+        process: BandwidthProcess,
+        scale: f64,
+        refresh_every: usize,
+    },
+}
+
+impl BandwidthState {
+    pub(crate) fn new(model: BandwidthModel) -> Self {
+        match model {
+            BandwidthModel::Static(current) => BandwidthState::Static { current },
+            BandwidthModel::Drifting {
+                baseline,
+                volatility,
+                range,
+                seed,
+                refresh_every,
+            } => BandwidthState::Drifting {
+                process: BandwidthProcess::new(baseline, volatility, range, seed),
+                scale: 1.0,
+                refresh_every,
+            },
+        }
+    }
+
+    /// Advances the continuous part one round and returns the matrix the
+    /// round sees.
+    pub(crate) fn advance(&mut self) -> BandwidthMatrix {
+        match self {
+            BandwidthState::Static { current } => current.clone(),
+            BandwidthState::Drifting { process, scale, .. } => {
+                let stepped = process.step().clone();
+                scaled(&stepped, *scale)
+            }
+        }
+    }
+
+    /// The matrix as of the last [`BandwidthState::advance`] (without
+    /// stepping).
+    pub(crate) fn current(&self) -> BandwidthMatrix {
+        match self {
+            BandwidthState::Static { current } => current.clone(),
+            BandwidthState::Drifting { process, scale, .. } => scaled(process.current(), *scale),
+        }
+    }
+
+    /// Rounds between topology-view refreshes. `usize::MAX` for static
+    /// models: a static matrix only changes through events, and the
+    /// driver refreshes eagerly after every bandwidth-affecting event.
+    pub(crate) fn refresh_every(&self) -> usize {
+        match self {
+            BandwidthState::Static { .. } => usize::MAX,
+            BandwidthState::Drifting { refresh_every, .. } => *refresh_every,
+        }
+    }
+
+    /// Applies a bandwidth-affecting event. Returns `true` if the matrix
+    /// changed (the driver then refreshes the trainer's view).
+    pub(crate) fn apply(&mut self, event: &ScenarioEvent) -> bool {
+        match (event, &mut *self) {
+            (ScenarioEvent::BandwidthShift { scale }, BandwidthState::Static { current }) => {
+                *current = scaled(current, *scale);
+                true
+            }
+            (
+                ScenarioEvent::BandwidthShift { scale },
+                BandwidthState::Drifting { scale: s, .. },
+            ) => {
+                *s *= *scale;
+                true
+            }
+            (ScenarioEvent::LinkChange { a, b, mbps }, BandwidthState::Static { current }) => {
+                current.set(*a, *b, *mbps);
+                true
+            }
+            (
+                ScenarioEvent::LinkChange { a, b, mbps },
+                BandwidthState::Drifting { process, .. },
+            ) => {
+                if *mbps <= 0.0 {
+                    process.cut_link(*a, *b);
+                } else {
+                    process.restore_link(*a, *b);
+                }
+                true
+            }
+            (ScenarioEvent::WorkerLeave { .. } | ScenarioEvent::WorkerJoin { .. }, _) => false,
+        }
+    }
+}
+
+/// A copy of `bw` with every link multiplied by `factor`.
+fn scaled(bw: &BandwidthMatrix, factor: f64) -> BandwidthMatrix {
+    let n = bw.len();
+    let mut out = bw.clone();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out.set(i, j, bw.get(i, j) * factor);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_validation_checks_ranks_and_values() {
+        let ev = |event| ScheduledEvent { round: 3, event };
+        assert!(ev(ScenarioEvent::WorkerLeave { rank: 7 })
+            .validate(8)
+            .is_ok());
+        assert!(ev(ScenarioEvent::WorkerLeave { rank: 8 })
+            .validate(8)
+            .is_err());
+        assert!(ev(ScenarioEvent::BandwidthShift { scale: 0.5 })
+            .validate(8)
+            .is_ok());
+        assert!(ev(ScenarioEvent::BandwidthShift { scale: -1.0 })
+            .validate(8)
+            .is_err());
+        assert!(ev(ScenarioEvent::LinkChange {
+            a: 0,
+            b: 9,
+            mbps: 1.0
+        })
+        .validate(8)
+        .is_err());
+        assert!(ev(ScenarioEvent::LinkChange {
+            a: 0,
+            b: 1,
+            mbps: f64::NAN
+        })
+        .validate(8)
+        .is_err());
+    }
+
+    #[test]
+    fn static_state_applies_shift_and_link_events() {
+        let mut st = BandwidthState::new(BandwidthModel::Static(BandwidthMatrix::constant(3, 2.0)));
+        assert!(st.apply(&ScenarioEvent::BandwidthShift { scale: 0.5 }));
+        let m = st.advance();
+        assert!((m.get(0, 1) - 1.0).abs() < 1e-12);
+        assert!(st.apply(&ScenarioEvent::LinkChange {
+            a: 0,
+            b: 1,
+            mbps: 0.0
+        }));
+        assert_eq!(st.current().get(0, 1), 0.0);
+        assert!((st.current().get(1, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drifting_state_scales_and_cuts() {
+        let model = BandwidthModel::Drifting {
+            baseline: BandwidthMatrix::constant(3, 2.0),
+            volatility: 0.0,
+            range: 1.0,
+            seed: 1,
+            refresh_every: 5,
+        };
+        model.validate().unwrap();
+        let mut st = BandwidthState::new(model);
+        st.apply(&ScenarioEvent::BandwidthShift { scale: 2.0 });
+        assert!((st.advance().get(0, 1) - 4.0).abs() < 1e-12);
+        st.apply(&ScenarioEvent::LinkChange {
+            a: 0,
+            b: 1,
+            mbps: 0.0,
+        });
+        assert_eq!(st.advance().get(0, 1), 0.0);
+        st.apply(&ScenarioEvent::LinkChange {
+            a: 0,
+            b: 1,
+            mbps: 1.0,
+        });
+        assert!(st.advance().get(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn drifting_model_validation() {
+        let bad = BandwidthModel::Drifting {
+            baseline: BandwidthMatrix::constant(3, 2.0),
+            volatility: -0.1,
+            range: 2.0,
+            seed: 1,
+            refresh_every: 5,
+        };
+        assert!(bad.validate().is_err());
+    }
+}

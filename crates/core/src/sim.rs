@@ -1,89 +1,35 @@
-//! The round-based experiment engine.
+//! Deprecated round-loop shim.
 //!
-//! Drives any [`Trainer`] for a number of rounds over a fixed bandwidth
-//! matrix, recording the full measurement tuple the paper plots:
-//! validation accuracy × {epochs (Fig. 3), per-worker traffic (Fig. 4),
-//! communication time (Fig. 6), per-round link bandwidth (Fig. 5)}.
+//! The engine behind this module moved to [`crate::experiment`]: the
+//! [`crate::Experiment`] builder owns dataset, partition strategy,
+//! bandwidth model, event schedule and observers, and is the supported
+//! way to run an algorithm. `sim::run` survives for one PR as a thin
+//! wrapper for code that already holds a constructed [`Trainer`] and a
+//! static matrix.
 
-use crate::Trainer;
+pub use crate::experiment::{HistoryPoint, RunHistory};
+use crate::{RoundCtx, Trainer};
 use saps_data::Dataset;
 use saps_netsim::{to_mb, BandwidthMatrix, TrafficAccountant};
 
-/// One sampled point of a training run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HistoryPoint {
-    /// Communication round index (0-based, recorded *after* the round).
-    pub round: usize,
-    /// Epochs of local data processed so far.
-    pub epoch: f64,
-    /// Top-1 validation accuracy of the consensus model, in `[0, 1]`.
-    pub val_acc: f32,
-    /// Mean training loss at this round.
-    pub train_loss: f32,
-    /// Busiest worker's cumulative traffic so far (MB) — Fig. 4's x-axis.
-    pub worker_traffic_mb: f64,
-    /// Cumulative communication time so far (seconds) — Fig. 6's x-axis.
-    pub comm_time_s: f64,
-    /// Mean bandwidth of this round's peer links (MB/s).
-    pub link_bandwidth: f64,
-    /// Bottleneck bandwidth of this round's peer links (MB/s) — the
-    /// effective iteration bandwidth Fig. 5 ranks algorithms by.
-    pub bottleneck_bandwidth: f64,
-}
-
-/// A completed run: the algorithm name plus its sampled trajectory.
-#[derive(Debug, Clone)]
-pub struct RunHistory {
-    /// Algorithm name (paper spelling).
-    pub algorithm: String,
-    /// Sampled points, in round order.
-    pub points: Vec<HistoryPoint>,
-    /// Final consensus-model validation accuracy.
-    pub final_acc: f32,
-    /// Total traffic on the busiest worker (MB).
-    pub total_worker_traffic_mb: f64,
-    /// Total server traffic (MB); 0 for serverless algorithms.
-    pub total_server_traffic_mb: f64,
-    /// Total communication time (seconds).
-    pub total_comm_time_s: f64,
-}
-
-impl RunHistory {
-    /// The first point at which validation accuracy reached `target`,
-    /// if ever — the paper's "at reaching target accuracy" rows
-    /// (Table IV).
-    pub fn first_reaching(&self, target: f32) -> Option<&HistoryPoint> {
-        self.points.iter().find(|p| p.val_acc >= target)
-    }
-
-    /// Mean link bandwidth across all sampled rounds (Fig. 5 summary).
-    pub fn mean_link_bandwidth(&self) -> f64 {
-        if self.points.is_empty() {
-            return 0.0;
-        }
-        self.points.iter().map(|p| p.link_bandwidth).sum::<f64>() / self.points.len() as f64
-    }
-}
-
 /// Experiment-loop options.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Experiment` builder's rounds/eval_every/eval_samples/max_epochs setters"
+)]
 #[derive(Debug, Clone, Copy)]
 pub struct RunOptions {
     /// Total communication rounds to run.
     pub rounds: usize,
-    /// Evaluate validation accuracy every `eval_every` rounds (the points
-    /// between evaluations reuse the last accuracy, so curves stay dense
-    /// without paying evaluation cost each round).
+    /// Evaluate validation accuracy every `eval_every` rounds.
     pub eval_every: usize,
     /// Cap on validation examples per evaluation.
     pub eval_samples: usize,
-    /// Stop once this many epochs of local data have been processed
-    /// (whichever of `rounds` / `max_epochs` hits first). The paper's
-    /// Fig. 3 compares algorithms at equal *epochs*, which matters
-    /// because FedAvg-style algorithms take several local steps per
-    /// communication round.
+    /// Stop once this many epochs of local data have been processed.
     pub max_epochs: f64,
 }
 
+#[allow(deprecated)]
 impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
@@ -95,7 +41,13 @@ impl Default for RunOptions {
     }
 }
 
-/// Runs `trainer` for `opts.rounds` rounds and records its trajectory.
+/// Runs `trainer` for `opts.rounds` rounds over a fixed bandwidth matrix
+/// and records its trajectory.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Experiment` builder (spec + registry + events) instead"
+)]
+#[allow(deprecated)]
 pub fn run(
     trainer: &mut dyn Trainer,
     bw: &BandwidthMatrix,
@@ -109,23 +61,28 @@ pub fn run(
     let mut time_s = 0.0f64;
     let mut last_acc = trainer.evaluate(val, opts.eval_samples);
     for round in 0..opts.rounds {
-        let rep = trainer.round(&mut traffic, bw);
+        let rep = {
+            let mut ctx = RoundCtx::new(round, bw, &mut traffic, 0);
+            trainer.step(&mut ctx)
+        };
         epoch += rep.epochs_advanced;
         time_s += rep.comm_time_s;
         let done = round + 1 == opts.rounds || epoch >= opts.max_epochs;
-        if (round + 1) % opts.eval_every == 0 || done {
+        let evaluated = (round + 1) % opts.eval_every == 0 || done;
+        if evaluated {
             last_acc = trainer.evaluate(val, opts.eval_samples);
         }
-        points.push(HistoryPoint {
-            round,
-            epoch,
-            val_acc: last_acc,
-            train_loss: rep.mean_loss,
-            worker_traffic_mb: to_mb(traffic.max_worker_total()),
-            comm_time_s: time_s,
-            link_bandwidth: rep.mean_link_bandwidth,
-            bottleneck_bandwidth: rep.min_link_bandwidth,
-        });
+        let mut point = HistoryPoint::new();
+        point.round = round;
+        point.epoch = epoch;
+        point.val_acc = last_acc;
+        point.evaluated = evaluated;
+        point.train_loss = rep.mean_loss;
+        point.worker_traffic_mb = to_mb(traffic.max_worker_total());
+        point.comm_time_s = time_s;
+        point.link_bandwidth = rep.mean_link_bandwidth;
+        point.bottleneck_bandwidth = rep.min_link_bandwidth;
+        points.push(point);
         if epoch >= opts.max_epochs {
             break;
         }
@@ -137,74 +94,5 @@ pub fn run(
         total_server_traffic_mb: to_mb(traffic.server_total()),
         total_comm_time_s: time_s,
         points,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::{SapsConfig, SapsPsgd};
-    use saps_data::SyntheticSpec;
-    use saps_nn::zoo;
-
-    #[test]
-    fn run_produces_monotone_axes() {
-        let ds = SyntheticSpec::tiny().samples(800).generate(1);
-        let (train, val) = ds.split(0.25, 0);
-        let bw = BandwidthMatrix::constant(4, 2.0);
-        let cfg = SapsConfig {
-            workers: 4,
-            compression: 4.0,
-            lr: 0.1,
-            batch_size: 16,
-            tthres: 4,
-            ..SapsConfig::default()
-        };
-        let mut algo = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 16, 4], rng));
-        let hist = run(
-            &mut algo,
-            &bw,
-            &val,
-            RunOptions {
-                rounds: 30,
-                eval_every: 5,
-                eval_samples: 200,
-                max_epochs: f64::INFINITY,
-            },
-        );
-        assert_eq!(hist.points.len(), 30);
-        for w in hist.points.windows(2) {
-            assert!(w[1].epoch > w[0].epoch);
-            assert!(w[1].worker_traffic_mb >= w[0].worker_traffic_mb);
-            assert!(w[1].comm_time_s >= w[0].comm_time_s);
-        }
-        assert_eq!(hist.algorithm, "SAPS-PSGD");
-        assert_eq!(hist.total_server_traffic_mb, 0.0);
-        assert!(hist.total_worker_traffic_mb > 0.0);
-    }
-
-    #[test]
-    fn first_reaching_finds_crossing() {
-        let mk = |acc: f32, traffic: f64| HistoryPoint {
-            round: 0,
-            epoch: 0.0,
-            val_acc: acc,
-            train_loss: 0.0,
-            worker_traffic_mb: traffic,
-            comm_time_s: 0.0,
-            link_bandwidth: 0.0,
-            bottleneck_bandwidth: 0.0,
-        };
-        let h = RunHistory {
-            algorithm: "x".into(),
-            points: vec![mk(0.3, 1.0), mk(0.6, 2.0), mk(0.9, 3.0)],
-            final_acc: 0.9,
-            total_worker_traffic_mb: 3.0,
-            total_server_traffic_mb: 0.0,
-            total_comm_time_s: 0.0,
-        };
-        assert_eq!(h.first_reaching(0.5).unwrap().worker_traffic_mb, 2.0);
-        assert!(h.first_reaching(0.99).is_none());
-        assert!(h.mean_link_bandwidth().abs() < 1e-12);
     }
 }

@@ -1,0 +1,313 @@
+//! Declarative algorithm identification.
+//!
+//! An [`AlgorithmSpec`] names one of the paper's eight algorithms plus its
+//! hyper-parameters, without constructing anything. Specs are plain data:
+//! they can be parsed from a CLI string, stored in a scenario file, and
+//! handed to an [`crate::AlgorithmRegistry`] to build the actual
+//! [`crate::Trainer`]. This is the single construction path the figure
+//! binaries, examples and tests go through — no more hand-wired
+//! constructors at every call site.
+
+use crate::ConfigError;
+
+/// One of the paper's eight algorithms with its hyper-parameters.
+///
+/// Defaults (via [`AlgorithmSpec::parse`] or the `from_str` impl) follow
+/// Section IV-A: SAPS `c = 100`, TopK `c = 1000`, S-FedAvg `c = 100`,
+/// DCD `c = 4`, FedAvg-style participation `0.5` with 5 local steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgorithmSpec {
+    /// SAPS-PSGD (the paper's algorithm).
+    Saps {
+        /// Compression ratio `c` (keep probability `1/c`).
+        compression: f64,
+        /// RC window `T_thres` of Algorithm 3 (rounds).
+        tthres: u32,
+        /// Bandwidth threshold `B_thres`; `None` auto-selects the largest
+        /// threshold that keeps `B*` connected.
+        bthres: Option<f64>,
+    },
+    /// PSGD with ring all-reduce (dense, centralized update).
+    Psgd,
+    /// TopK-PSGD: sparse allgather with error feedback.
+    TopK {
+        /// Compression ratio `c`.
+        compression: f64,
+    },
+    /// FedAvg: dense parameter-server rounds.
+    FedAvg {
+        /// Fraction of workers selected per round.
+        participation: f64,
+        /// Local SGD steps per selected worker per round.
+        local_steps: usize,
+    },
+    /// S-FedAvg: FedAvg with random-mask sparsified uploads.
+    SFedAvg {
+        /// Fraction of workers selected per round.
+        participation: f64,
+        /// Local SGD steps per selected worker per round.
+        local_steps: usize,
+        /// Compression ratio `c` of the upload mask.
+        compression: f64,
+    },
+    /// D-PSGD on the fixed ring (dense, decentralized).
+    DPsgd,
+    /// DCD-PSGD: ring with difference compression.
+    DcdPsgd {
+        /// Compression ratio `c` (the paper uses 4).
+        compression: f64,
+    },
+    /// SAPS exchange with uniformly random peers (Fig. 5 ablation).
+    RandomChoose {
+        /// Compression ratio `c`.
+        compression: f64,
+    },
+}
+
+impl AlgorithmSpec {
+    /// The registry key / CLI name (`saps`, `psgd`, `topk`, `fedavg`,
+    /// `sfedavg`, `dpsgd`, `dcd`, `random`).
+    pub fn key(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::Saps { .. } => "saps",
+            AlgorithmSpec::Psgd => "psgd",
+            AlgorithmSpec::TopK { .. } => "topk",
+            AlgorithmSpec::FedAvg { .. } => "fedavg",
+            AlgorithmSpec::SFedAvg { .. } => "sfedavg",
+            AlgorithmSpec::DPsgd => "dpsgd",
+            AlgorithmSpec::DcdPsgd { .. } => "dcd",
+            AlgorithmSpec::RandomChoose { .. } => "random",
+        }
+    }
+
+    /// The paper's spelling of the algorithm name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::Saps { .. } => "SAPS-PSGD",
+            AlgorithmSpec::Psgd => "PSGD",
+            AlgorithmSpec::TopK { .. } => "TopK-PSGD",
+            AlgorithmSpec::FedAvg { .. } => "FedAvg",
+            AlgorithmSpec::SFedAvg { .. } => "S-FedAvg",
+            AlgorithmSpec::DPsgd => "D-PSGD",
+            AlgorithmSpec::DcdPsgd { .. } => "DCD-PSGD",
+            AlgorithmSpec::RandomChoose { .. } => "RandomChoose",
+        }
+    }
+
+    /// Parses a spec from a name string (CLI key or paper label,
+    /// case-insensitive), with the paper's Section IV-A hyper-parameter
+    /// defaults.
+    pub fn parse(name: &str) -> Result<Self, ConfigError> {
+        let spec = match name.to_ascii_lowercase().as_str() {
+            "saps" | "saps-psgd" => AlgorithmSpec::Saps {
+                compression: 100.0,
+                tthres: 10,
+                bthres: None,
+            },
+            "psgd" => AlgorithmSpec::Psgd,
+            "topk" | "topk-psgd" => AlgorithmSpec::TopK {
+                compression: 1000.0,
+            },
+            "fedavg" => AlgorithmSpec::FedAvg {
+                participation: 0.5,
+                local_steps: 5,
+            },
+            "sfedavg" | "s-fedavg" => AlgorithmSpec::SFedAvg {
+                participation: 0.5,
+                local_steps: 5,
+                compression: 100.0,
+            },
+            "dpsgd" | "d-psgd" => AlgorithmSpec::DPsgd,
+            "dcd" | "dcd-psgd" => AlgorithmSpec::DcdPsgd { compression: 4.0 },
+            "random" | "randomchoose" | "random-choose" => {
+                AlgorithmSpec::RandomChoose { compression: 100.0 }
+            }
+            _ => return Err(ConfigError::UnknownAlgorithm(name.to_string())),
+        };
+        Ok(spec)
+    }
+
+    /// Returns the spec with its compression ratio replaced, for the
+    /// variants that have one; dense algorithms are returned unchanged.
+    pub fn with_compression(self, c: f64) -> Self {
+        match self {
+            AlgorithmSpec::Saps { tthres, bthres, .. } => AlgorithmSpec::Saps {
+                compression: c,
+                tthres,
+                bthres,
+            },
+            AlgorithmSpec::TopK { .. } => AlgorithmSpec::TopK { compression: c },
+            AlgorithmSpec::SFedAvg {
+                participation,
+                local_steps,
+                ..
+            } => AlgorithmSpec::SFedAvg {
+                participation,
+                local_steps,
+                compression: c,
+            },
+            AlgorithmSpec::DcdPsgd { .. } => AlgorithmSpec::DcdPsgd { compression: c },
+            AlgorithmSpec::RandomChoose { .. } => AlgorithmSpec::RandomChoose { compression: c },
+            dense @ (AlgorithmSpec::Psgd | AlgorithmSpec::FedAvg { .. } | AlgorithmSpec::DPsgd) => {
+                dense
+            }
+        }
+    }
+
+    /// The compression ratio, if this algorithm sparsifies.
+    pub fn compression(&self) -> Option<f64> {
+        match self {
+            AlgorithmSpec::Saps { compression, .. }
+            | AlgorithmSpec::TopK { compression }
+            | AlgorithmSpec::SFedAvg { compression, .. }
+            | AlgorithmSpec::DcdPsgd { compression }
+            | AlgorithmSpec::RandomChoose { compression } => Some(*compression),
+            AlgorithmSpec::Psgd | AlgorithmSpec::FedAvg { .. } | AlgorithmSpec::DPsgd => None,
+        }
+    }
+
+    /// Checks the hyper-parameters are in range.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(c) = self.compression() {
+            if !(c >= 1.0 && c.is_finite()) {
+                return Err(ConfigError::invalid(
+                    "AlgorithmSpec",
+                    format!(
+                        "{}: compression {c} must be a finite ratio >= 1",
+                        self.key()
+                    ),
+                ));
+            }
+        }
+        match self {
+            AlgorithmSpec::Saps { tthres, bthres, .. } => {
+                if *tthres == 0 {
+                    return Err(ConfigError::invalid(
+                        "AlgorithmSpec",
+                        "saps: tthres must be >= 1 round",
+                    ));
+                }
+                if let Some(b) = bthres {
+                    if !(b.is_finite() && *b >= 0.0) {
+                        return Err(ConfigError::invalid(
+                            "AlgorithmSpec",
+                            format!("saps: bthres {b} must be finite and non-negative"),
+                        ));
+                    }
+                }
+            }
+            AlgorithmSpec::FedAvg {
+                participation,
+                local_steps,
+            }
+            | AlgorithmSpec::SFedAvg {
+                participation,
+                local_steps,
+                ..
+            } => {
+                if !(*participation > 0.0 && *participation <= 1.0) {
+                    return Err(ConfigError::invalid(
+                        "AlgorithmSpec",
+                        format!(
+                            "{}: participation {participation} must be in (0, 1]",
+                            self.key()
+                        ),
+                    ));
+                }
+                if *local_steps == 0 {
+                    return Err(ConfigError::invalid(
+                        "AlgorithmSpec",
+                        format!("{}: local_steps must be >= 1", self.key()),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// All eight algorithms with their paper-default hyper-parameters, in
+    /// Table I order.
+    pub fn paper_defaults() -> Vec<AlgorithmSpec> {
+        [
+            "psgd", "topk", "fedavg", "sfedavg", "dpsgd", "dcd", "random", "saps",
+        ]
+        .iter()
+        .map(|k| AlgorithmSpec::parse(k).expect("built-in key"))
+        .collect()
+    }
+}
+
+impl std::str::FromStr for AlgorithmSpec {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AlgorithmSpec::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_cli_keys_and_paper_labels() {
+        for (name, key) in [
+            ("saps", "saps"),
+            ("SAPS-PSGD", "saps"),
+            ("psgd", "psgd"),
+            ("TopK-PSGD", "topk"),
+            ("fedavg", "fedavg"),
+            ("S-FedAvg", "sfedavg"),
+            ("D-PSGD", "dpsgd"),
+            ("dcd", "dcd"),
+            ("RandomChoose", "random"),
+        ] {
+            assert_eq!(AlgorithmSpec::parse(name).unwrap().key(), key, "{name}");
+        }
+        assert!(AlgorithmSpec::parse("adam").is_err());
+    }
+
+    #[test]
+    fn with_compression_applies_where_meaningful() {
+        let s = AlgorithmSpec::parse("saps").unwrap().with_compression(10.0);
+        assert_eq!(s.compression(), Some(10.0));
+        let p = AlgorithmSpec::Psgd.with_compression(10.0);
+        assert_eq!(p.compression(), None);
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(AlgorithmSpec::TopK { compression: 0.5 }.validate().is_err());
+        assert!(AlgorithmSpec::FedAvg {
+            participation: 0.0,
+            local_steps: 5
+        }
+        .validate()
+        .is_err());
+        assert!(AlgorithmSpec::FedAvg {
+            participation: 0.5,
+            local_steps: 0
+        }
+        .validate()
+        .is_err());
+        assert!(AlgorithmSpec::Saps {
+            compression: 100.0,
+            tthres: 0,
+            bthres: None
+        }
+        .validate()
+        .is_err());
+        for spec in AlgorithmSpec::paper_defaults() {
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn paper_defaults_cover_all_eight() {
+        let specs = AlgorithmSpec::paper_defaults();
+        assert_eq!(specs.len(), 8);
+        let labels: std::collections::HashSet<&str> = specs.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 8);
+    }
+}

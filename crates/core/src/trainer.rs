@@ -2,20 +2,80 @@
 //!
 //! SAPS-PSGD and all seven comparison algorithms expose the same
 //! round-based surface so the simulator, benches and examples can treat
-//! them interchangeably.
+//! them interchangeably. A round is driven through a [`RoundCtx`] — the
+//! round index, the current bandwidth view, the traffic accountant and a
+//! per-round RNG — so the experiment driver can vary the network and the
+//! membership between rounds without each algorithm growing its own side
+//! channel.
 
+use crate::ConfigError;
+use rand::rngs::StdRng;
 use saps_data::Dataset;
 use saps_netsim::{BandwidthMatrix, TrafficAccountant};
+use saps_tensor::rng::{rng_for, streams};
+
+/// Everything one communication round is allowed to see and charge.
+///
+/// Built by the experiment driver (or by [`RoundCtx::new`] in tests);
+/// the bandwidth view reflects any [`crate::ScenarioEvent`]s applied
+/// before this round.
+pub struct RoundCtx<'a> {
+    round: usize,
+    /// Link speeds in effect for this round's time model.
+    pub bw: &'a BandwidthMatrix,
+    /// Where every byte moved this round must be charged.
+    pub traffic: &'a mut TrafficAccountant,
+    /// Per-round randomness, derived deterministically from the
+    /// experiment seed and the round index. Algorithms with their own
+    /// internal RNG streams may ignore it.
+    pub rng: StdRng,
+}
+
+impl<'a> RoundCtx<'a> {
+    /// Builds the context for round `round`. `seed` is the experiment
+    /// seed the per-round RNG derives from.
+    pub fn new(
+        round: usize,
+        bw: &'a BandwidthMatrix,
+        traffic: &'a mut TrafficAccountant,
+        seed: u64,
+    ) -> Self {
+        RoundCtx {
+            round,
+            bw,
+            traffic,
+            rng: rng_for(seed, round as u64, streams::ROUND),
+        }
+    }
+
+    /// The 0-based communication round index.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+}
+
+impl std::fmt::Debug for RoundCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundCtx")
+            .field("round", &self.round)
+            .field("workers", &self.bw.len())
+            .finish()
+    }
+}
 
 /// What one communication round produced.
-#[derive(Debug, Clone, Copy)]
+///
+/// `#[non_exhaustive]` so future metric fields are not breaking changes;
+/// construct via [`RoundReport::new`] and assign the fields you measure.
+#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
 pub struct RoundReport {
     /// Mean training loss over the workers' local batches this round.
     pub mean_loss: f32,
     /// Mean training accuracy over the workers' local batches.
     pub mean_acc: f32,
     /// Wall-clock communication time of this round in seconds, under the
-    /// bandwidth matrix passed to [`Trainer::round`].
+    /// bandwidth matrix of the [`RoundCtx`].
     pub comm_time_s: f64,
     /// Fraction of one epoch advanced this round (worker-side samples
     /// processed / local dataset size).
@@ -30,6 +90,13 @@ pub struct RoundReport {
     pub min_link_bandwidth: f64,
 }
 
+impl RoundReport {
+    /// An all-zero report; assign the fields the round measured.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A distributed training algorithm driven round by round.
 pub trait Trainer {
     /// Algorithm name as the paper spells it (e.g. `"SAPS-PSGD"`).
@@ -37,8 +104,9 @@ pub trait Trainer {
 
     /// Runs one communication round: local computation plus the
     /// algorithm's exchange pattern. Byte movement must be charged to
-    /// `traffic`; `bw` supplies the link speeds for the time model.
-    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport;
+    /// `ctx.traffic`; `ctx.bw` supplies the link speeds for the time
+    /// model.
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport;
 
     /// Validation accuracy of the algorithm's current *consensus* model
     /// (the average of worker models for decentralized algorithms, the
@@ -48,6 +116,33 @@ pub trait Trainer {
     /// Model size `N` (scalar parameters).
     fn model_len(&self) -> usize;
 
-    /// Number of workers `n`.
+    /// Number of workers `n` (the fleet size; inactive workers count).
     fn worker_count(&self) -> usize;
+
+    /// Convenience wrapper for driving single rounds without an
+    /// [`crate::Experiment`]: builds a [`RoundCtx`] whose round index is
+    /// the accountant's closed-round count and calls [`Trainer::step`].
+    fn round(&mut self, traffic: &mut TrafficAccountant, bw: &BandwidthMatrix) -> RoundReport {
+        let round = traffic.rounds().len();
+        let mut ctx = RoundCtx::new(round, bw, traffic, 0);
+        self.step(&mut ctx)
+    }
+
+    /// Marks a worker active/inactive (join/leave churn). The experiment
+    /// driver calls this for [`crate::ScenarioEvent::WorkerLeave`] /
+    /// [`crate::ScenarioEvent::WorkerJoin`]; algorithms without a
+    /// membership concept return [`ConfigError::Unsupported`].
+    fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        let _ = (rank, active);
+        Err(ConfigError::unsupported(self.name(), "worker churn"))
+    }
+
+    /// Tells the algorithm the measured bandwidths changed (the paper's
+    /// "regularly reported" speed measurements). Algorithms that plan
+    /// topology from bandwidth (SAPS-PSGD) rebuild their selection state;
+    /// the default is a no-op because most baselines read `ctx.bw`
+    /// directly each round.
+    fn refresh_bandwidth(&mut self, bw: &BandwidthMatrix) {
+        let _ = bw;
+    }
 }

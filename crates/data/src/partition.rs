@@ -3,7 +3,7 @@
 //! Federated-learning evaluations distinguish IID partitions (each worker
 //! sees the global distribution) from non-IID ones (workers see skewed
 //! class mixtures). The paper's setting — geo-distributed, dynamic workers
-//! — is the non-IID regime FedAvg [35] was designed for; the bounded
+//! — is the non-IID regime FedAvg \[35\] was designed for; the bounded
 //! heterogeneity ζ² of Assumption 4 is precisely what these partitioners
 //! control.
 

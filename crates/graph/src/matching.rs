@@ -2,7 +2,7 @@
 //!
 //! The paper (Section II-C) pairs workers each round by computing a maximum
 //! matching on the filtered bandwidth graph `B*`, using "the blossom
-//! algorithm [33] to solve the problem of maximum match in a general
+//! algorithm \[33\] to solve the problem of maximum match in a general
 //! graph. And by randomly starting from different node in a graph, we
 //! implement the RandomlyMaxMatch function."
 //!

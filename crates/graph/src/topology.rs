@@ -23,13 +23,22 @@ pub fn ring(n: usize) -> Graph {
 
 /// Ring edges in order: `(0,1), (1,2), …, (n-1,0)`.
 pub fn ring_edges(n: usize) -> Vec<(usize, usize)> {
-    if n < 2 {
+    let all: Vec<usize> = (0..n).collect();
+    ring_edges_over(&all)
+}
+
+/// The ring closed over an explicit vertex list, in list order — the
+/// D-PSGD/DCD-PSGD topology when churn has shrunk the live fleet.
+/// Returns `(ranks[i], ranks[i+1 mod m])` successor edges.
+pub fn ring_edges_over(ranks: &[usize]) -> Vec<(usize, usize)> {
+    let m = ranks.len();
+    if m < 2 {
         return Vec::new();
     }
-    if n == 2 {
-        return vec![(0, 1)];
+    if m == 2 {
+        return vec![(ranks[0], ranks[1])];
     }
-    (0..n).map(|i| (i, (i + 1) % n)).collect()
+    (0..m).map(|i| (ranks[i], ranks[(i + 1) % m])).collect()
 }
 
 /// The complete graph on `n` vertices.

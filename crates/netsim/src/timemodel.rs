@@ -12,8 +12,9 @@
 //! * [`ps_round_time`] — parameter-server rounds (FedAvg, S-FedAvg): the
 //!   slowest chosen client–server link gates the round; the server is the
 //!   best-connected node per the paper;
-//! * [`allreduce_ring_time`] — ring all-reduce (PSGD) and sparse
-//!   allgather (TopK-PSGD) over the worker ring.
+//! * [`allreduce_ring_time`] / [`allgather_time`] — ring all-reduce
+//!   (PSGD) and sparse allgather (TopK-PSGD); the `*_over` variants take
+//!   an explicit active-rank list for churned fleets.
 
 use crate::BandwidthMatrix;
 
@@ -75,13 +76,24 @@ pub fn ps_round_time(bw: &BandwidthMatrix, server: usize, clients: &[(usize, u64
 /// `bytes_per_worker / min_link_bandwidth` — the slowest ring link gates
 /// every step. Returns seconds.
 pub fn allreduce_ring_time(bw: &BandwidthMatrix, bytes_per_worker: u64) -> f64 {
-    let n = bw.len();
-    if n < 2 {
+    let all: Vec<usize> = (0..bw.len()).collect();
+    allreduce_ring_time_over(bw, &all, bytes_per_worker)
+}
+
+/// [`allreduce_ring_time`] restricted to a ring over `ranks` (in order) —
+/// the PSGD pattern when churn has shrunk the live fleet.
+pub fn allreduce_ring_time_over(
+    bw: &BandwidthMatrix,
+    ranks: &[usize],
+    bytes_per_worker: u64,
+) -> f64 {
+    let m = ranks.len();
+    if m < 2 {
         return 0.0;
     }
     let mut min_bw = f64::INFINITY;
-    for i in 0..n {
-        min_bw = min_bw.min(bw.get(i, (i + 1) % n));
+    for i in 0..m {
+        min_bw = min_bw.min(bw.get(ranks[i], ranks[(i + 1) % m]));
     }
     if min_bw <= 0.0 {
         return f64::INFINITY;
@@ -93,25 +105,32 @@ pub fn allreduce_ring_time(bw: &BandwidthMatrix, bytes_per_worker: u64) -> f64 {
 /// `n−1` others (the TopK-PSGD pattern). Modeled as sequential pairwise
 /// sends over each worker's slowest outgoing link used.
 pub fn allgather_time(bw: &BandwidthMatrix, bytes: u64) -> f64 {
-    let n = bw.len();
-    if n < 2 {
+    let all: Vec<usize> = (0..bw.len()).collect();
+    allgather_time_over(bw, &all, bytes)
+}
+
+/// [`allgather_time`] restricted to the mesh over `ranks` — the
+/// TopK-PSGD pattern when churn has shrunk the live fleet.
+pub fn allgather_time_over(bw: &BandwidthMatrix, ranks: &[usize], bytes: u64) -> f64 {
+    let m = ranks.len();
+    if m < 2 {
         return 0.0;
     }
-    // Each worker must deliver its payload to n-1 peers; with all links
+    // Each worker must deliver its payload to m-1 peers; with all links
     // active concurrently, the slowest link in the whole mesh carrying
-    // (n-1) sequential chunks gates the operation.
+    // (m-1) sequential chunks gates the operation.
     let mut min_bw = f64::INFINITY;
-    for i in 0..n {
-        for j in 0..n {
+    for i in 0..m {
+        for j in 0..m {
             if i != j {
-                min_bw = min_bw.min(bw.get(i, j));
+                min_bw = min_bw.min(bw.get(ranks[i], ranks[j]));
             }
         }
     }
     if min_bw <= 0.0 {
         return f64::INFINITY;
     }
-    (bytes * (n as u64 - 1)) as f64 / (min_bw * 1e6)
+    (bytes * (m as u64 - 1)) as f64 / (min_bw * 1e6)
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //!
 //! Table II of the paper lists MNIST-CNN (6,653,628 params), CIFAR10-CNN
 //! (7,025,886) and ResNet-20 (269,722). The first two follow McMahan et
-//! al. [35]; since [35] does not pin every width, our reconstructions use
+//! al. \[35\]; since \[35\] does not pin every width, our reconstructions use
 //! the standard layer recipe with dense widths chosen to land close to
 //! the published counts. The exact counts our builders produce are
 //! reported by `zoo::param_count` and printed next to the paper's numbers
@@ -32,7 +32,7 @@ pub fn logistic<R: Rng>(in_dim: usize, classes: usize, rng: &mut R) -> Model {
     mlp(&[in_dim, classes], rng)
 }
 
-/// The MNIST-CNN of [35]: two 5×5 conv + max-pool stages (32 and 64
+/// The MNIST-CNN of \[35\]: two 5×5 conv + max-pool stages (32 and 64
 /// channels) and a 2048-wide dense head — sized to approximate the
 /// paper's 6,653,628 parameters.
 pub fn mnist_cnn<R: Rng>(rng: &mut R) -> Model {
@@ -58,7 +58,7 @@ pub fn mnist_cnn<R: Rng>(rng: &mut R) -> Model {
     )
 }
 
-/// The CIFAR10-CNN of [35]: two 5×5 conv + pool stages (64 channels each)
+/// The CIFAR10-CNN of \[35\]: two 5×5 conv + pool stages (64 channels each)
 /// and a 1536/384 dense head — sized to approximate the paper's
 /// 7,025,886 parameters.
 pub fn cifar10_cnn<R: Rng>(rng: &mut R) -> Model {
@@ -86,7 +86,7 @@ pub fn cifar10_cnn<R: Rng>(rng: &mut R) -> Model {
     )
 }
 
-/// ResNet-20 for CIFAR-10 [27]: 3×3 stem, three stages of three basic
+/// ResNet-20 for CIFAR-10 \[27\]: 3×3 stem, three stages of three basic
 /// blocks (16/32/64 channels), global average pooling, 10-way head.
 /// ~272 k parameters (the paper reports 269,722; the delta is batch-norm
 /// bookkeeping).

@@ -3,14 +3,16 @@
 //!
 //! Reproduces the paper's core claim in miniature: adaptive peer
 //! selection picks fast links, so SAPS-PSGD's *communication time*
-//! advantage exceeds its (already large) traffic advantage.
+//! advantage exceeds its (already large) traffic advantage. All three
+//! algorithms run through the same [`Experiment`] spec — only the
+//! [`AlgorithmSpec`] differs.
 //!
 //! ```sh
 //! cargo run --release --example geo_distributed
 //! ```
 
-use saps::baselines::{DPsgd, Fleet, RandomChoose};
-use saps::core::{sim, SapsConfig, SapsPsgd};
+use saps::baselines::registry;
+use saps::core::{AlgorithmSpec, Experiment};
 use saps::data::SyntheticSpec;
 use saps::netsim::citydata;
 use saps::nn::zoo;
@@ -23,41 +25,44 @@ fn main() {
 
     let ds = SyntheticSpec::tiny().samples(2_800).generate(7);
     let (train, val) = ds.split(0.2, 0);
-    let factory = |rng: &mut rand::rngs::StdRng| zoo::mlp(&[16, 32, 4], rng);
-    let opts = sim::RunOptions {
-        rounds: 150,
-        eval_every: 25,
-        eval_samples: 500,
-        max_epochs: f64::INFINITY,
-    };
 
     // SAPS-PSGD: bandwidth-aware matching. B_thres keeps only the fastest
     // 40% of links in B*; Algorithm 3's bridging keeps slow workers
-    // reachable.
-    let cfg = SapsConfig {
-        workers: n,
-        compression: 10.0,
-        lr: 0.1,
-        batch_size: 32,
-        tthres: 8,
-        bthres: Some(bw.percentile(0.6)),
-        ..SapsConfig::default()
-    };
-    let mut saps = SapsPsgd::new(cfg, &train, &bw, factory);
-    let saps_hist = sim::run(&mut saps, &bw, &val, opts);
+    // reachable. RandomChoose: same exchange, random peers. D-PSGD: the
+    // fixed city ring.
+    let specs = [
+        AlgorithmSpec::Saps {
+            compression: 10.0,
+            tthres: 8,
+            bthres: Some(bw.percentile(0.6)),
+        },
+        AlgorithmSpec::RandomChoose { compression: 10.0 },
+        AlgorithmSpec::DPsgd,
+    ];
 
-    // RandomChoose: same exchange, random peers.
-    let fleet = Fleet::new(n, &train, factory, 0, 32, 0.1);
-    let mut rand_choose = RandomChoose::new(fleet, 10.0, 0);
-    let rand_hist = sim::run(&mut rand_choose, &bw, &val, opts);
-
-    // D-PSGD on the fixed city ring.
-    let fleet = Fleet::new(n, &train, factory, 0, 32, 0.1);
-    let mut dpsgd = DPsgd::new(fleet);
-    let dpsgd_hist = sim::run(&mut dpsgd, &bw, &val, opts);
+    let reg = registry();
+    let hists: Vec<_> = specs
+        .iter()
+        .map(|&spec| {
+            Experiment::new(spec)
+                .train(train.clone())
+                .validation(val.clone())
+                .workers(n)
+                .batch_size(32)
+                .lr(0.1)
+                .seed(0)
+                .bandwidth_matrix(bw.clone())
+                .model(|rng| zoo::mlp(&[16, 32, 4], rng))
+                .rounds(150)
+                .eval_every(25)
+                .eval_samples(500)
+                .run(&reg)
+                .expect("geo run")
+        })
+        .collect();
 
     println!(" algorithm    | final acc | worker MB | comm time (s) | mean link MB/s");
-    for h in [&saps_hist, &rand_hist, &dpsgd_hist] {
+    for h in &hists {
         println!(
             " {:12} | {:8.1}% | {:9.3} | {:13.1} | {:10.3}",
             h.algorithm,
@@ -68,7 +73,7 @@ fn main() {
         );
     }
 
-    let speedup = rand_hist.total_comm_time_s / saps_hist.total_comm_time_s;
+    let speedup = hists[1].total_comm_time_s / hists[0].total_comm_time_s;
     println!(
         "\nadaptive peer selection is {speedup:.1}x faster than random \
          peers at identical traffic"

@@ -1,22 +1,29 @@
 //! Federated setting with non-IID data: a Dirichlet(α = 0.5) partition
 //! across 8 workers, comparing SAPS-PSGD against FedAvg and S-FedAvg on
-//! accuracy vs per-worker traffic.
+//! accuracy vs per-worker traffic. The skewed split is one line of the
+//! experiment spec — [`PartitionStrategy::Dirichlet`] — applied
+//! identically by the driver for every algorithm.
 //!
 //! ```sh
 //! cargo run --release --example non_iid_federated
 //! ```
 
-use saps::baselines::{FedAvg, FedAvgConfig, Fleet, SFedAvg};
-use saps::core::{sim, SapsConfig, SapsPsgd};
+use saps::baselines::registry;
+use saps::core::{AlgorithmSpec, Experiment, PartitionStrategy};
 use saps::data::{partition, SyntheticSpec};
 use saps::netsim::BandwidthMatrix;
 use saps::nn::zoo;
 
 fn main() {
     let n = 8;
+    let seed = 11;
     let ds = SyntheticSpec::tiny().samples(4_000).generate(3);
     let (train, val) = ds.split(0.2, 0);
-    let parts = partition::dirichlet(&train, n, 0.5, 11);
+
+    // Preview the exact partition the experiments will train on:
+    // PartitionStrategy::apply is the same code path Experiment::run uses.
+    let strategy = PartitionStrategy::Dirichlet { alpha: 0.5 };
+    let parts = strategy.apply(&train, n, seed);
     println!(
         "non-IID partition (Dirichlet α=0.5): heterogeneity {:.3} (0 = IID)",
         partition::heterogeneity(&parts)
@@ -29,36 +36,47 @@ fn main() {
         );
     }
 
-    let bw = BandwidthMatrix::constant(n, 1.0);
-    let factory = |rng: &mut rand::rngs::StdRng| zoo::mlp(&[16, 32, 4], rng);
-    let opts = sim::RunOptions {
-        rounds: 250,
-        eval_every: 25,
-        eval_samples: 500,
-        max_epochs: f64::INFINITY,
-    };
+    let specs = [
+        AlgorithmSpec::Saps {
+            compression: 10.0,
+            tthres: 8,
+            bthres: None,
+        },
+        AlgorithmSpec::FedAvg {
+            participation: 0.5,
+            local_steps: 5,
+        },
+        AlgorithmSpec::SFedAvg {
+            participation: 0.5,
+            local_steps: 5,
+            compression: 10.0,
+        },
+    ];
 
-    let cfg = SapsConfig {
-        workers: n,
-        compression: 10.0,
-        lr: 0.1,
-        batch_size: 32,
-        tthres: 8,
-        ..SapsConfig::default()
-    };
-    let mut saps = SapsPsgd::with_partitions(cfg, parts.clone(), &bw, factory);
-    let saps_hist = sim::run(&mut saps, &bw, &val, opts);
-
-    let fleet = Fleet::with_partitions(parts.clone(), factory, 0, 32, 0.1);
-    let mut fedavg = FedAvg::new(fleet, FedAvgConfig::default(), 0);
-    let fed_hist = sim::run(&mut fedavg, &bw, &val, opts);
-
-    let fleet = Fleet::with_partitions(parts, factory, 0, 32, 0.1);
-    let mut sfedavg = SFedAvg::new(fleet, 0.5, 5, 10.0, 0);
-    let sfed_hist = sim::run(&mut sfedavg, &bw, &val, opts);
+    let reg = registry();
+    let hists: Vec<_> = specs
+        .iter()
+        .map(|&spec| {
+            Experiment::new(spec)
+                .train(train.clone())
+                .validation(val.clone())
+                .partition(strategy)
+                .workers(n)
+                .batch_size(32)
+                .lr(0.1)
+                .seed(seed)
+                .bandwidth_matrix(BandwidthMatrix::constant(n, 1.0))
+                .model(|rng| zoo::mlp(&[16, 32, 4], rng))
+                .rounds(250)
+                .eval_every(25)
+                .eval_samples(500)
+                .run(&reg)
+                .expect("non-IID run")
+        })
+        .collect();
 
     println!("\n algorithm | final acc | worker MB | server MB");
-    for h in [&saps_hist, &fed_hist, &sfed_hist] {
+    for h in &hists {
         println!(
             " {:9} | {:8.1}% | {:9.3} | {:9.3}",
             h.algorithm,
@@ -70,6 +88,6 @@ fn main() {
     println!(
         "\nSAPS-PSGD moves no model bytes through any server; FedAvg's \
          server moved {:.2} MB",
-        fed_hist.total_server_traffic_mb
+        hists[1].total_server_traffic_mb
     );
 }

@@ -5,7 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use saps::core::{sim, SapsConfig, SapsPsgd};
+use saps::baselines::registry;
+use saps::core::{AlgorithmSpec, Experiment};
 use saps::data::SyntheticSpec;
 use saps::netsim::BandwidthMatrix;
 use saps::nn::zoo;
@@ -15,42 +16,34 @@ fn main() {
     let ds = SyntheticSpec::tiny().samples(4_000).generate(42);
     let (train, val) = ds.split(0.2, 0);
 
-    // 8 workers, every pair connected at 1 MB/s.
-    let n = 8;
-    let bw = BandwidthMatrix::constant(n, 1.0);
-
     // SAPS-PSGD with 10× sparsification: each round a worker exchanges
     // only ~10% of its model with a single peer.
-    let cfg = SapsConfig {
-        workers: n,
+    let spec = AlgorithmSpec::Saps {
         compression: 10.0,
-        lr: 0.1,
-        batch_size: 32,
         tthres: 8,
-        ..SapsConfig::default()
+        bthres: None,
     };
+    let n = 8;
     println!(
-        "SAPS-PSGD quickstart: {} workers, c = {}, batch = {}",
-        cfg.workers, cfg.compression, cfg.batch_size
+        "SAPS-PSGD quickstart: {n} workers, c = {}, batch = 32",
+        spec.compression().unwrap()
     );
 
-    let mut algo = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 32, 4], rng));
-    println!(
-        "model: {} parameters",
-        saps::core::Trainer::model_len(&algo)
-    );
-
-    let hist = sim::run(
-        &mut algo,
-        &bw,
-        &val,
-        sim::RunOptions {
-            rounds: 200,
-            eval_every: 20,
-            eval_samples: 600,
-            max_epochs: f64::INFINITY,
-        },
-    );
+    // 8 workers, every pair connected at 1 MB/s; the whole run described
+    // declaratively and driven through the registry.
+    let hist = Experiment::new(spec)
+        .train(train)
+        .validation(val)
+        .workers(n)
+        .batch_size(32)
+        .lr(0.1)
+        .bandwidth_matrix(BandwidthMatrix::constant(n, 1.0))
+        .model(|rng| zoo::mlp(&[16, 32, 4], rng))
+        .rounds(200)
+        .eval_every(20)
+        .eval_samples(600)
+        .run(&registry())
+        .expect("experiment config");
 
     println!("\n round | epoch | val acc | traffic (MB) | comm time (s)");
     for p in hist.points.iter().step_by(20) {

@@ -1,73 +1,97 @@
 //! Robustness to worker churn (the "R." column of Table I): workers leave
-//! and re-join mid-training; SAPS-PSGD keeps converging because peer
-//! selection is recomputed every round over the live membership.
+//! and re-join mid-training, and the network degrades and recovers — all
+//! expressed as [`ScenarioEvent`]s applied by the experiment driver, so
+//! the *identical* scenario runs against SAPS-PSGD, D-PSGD and FedAvg
+//! without touching any algorithm internals.
 //!
 //! ```sh
 //! cargo run --release --example worker_churn
 //! ```
 
-use saps::core::{SapsConfig, SapsPsgd, Trainer};
+use saps::baselines::registry;
+use saps::core::{AlgorithmSpec, Experiment, ScenarioEvent};
 use saps::data::SyntheticSpec;
-use saps::netsim::{BandwidthMatrix, TrafficAccountant};
+use saps::netsim::BandwidthMatrix;
 use saps::nn::zoo;
 
+const N: usize = 10;
+
+/// One scenario, reused verbatim for every algorithm: three workers drop
+/// out at round 60 (battery / network loss), the network loses half its
+/// bandwidth at round 80, everyone is back and the network recovers by
+/// round 120.
+fn scenario(
+    spec: AlgorithmSpec,
+    train: &saps::data::Dataset,
+    val: &saps::data::Dataset,
+) -> Experiment {
+    Experiment::new(spec)
+        .train(train.clone())
+        .validation(val.clone())
+        .workers(N)
+        .batch_size(32)
+        .lr(0.1)
+        .bandwidth_matrix(BandwidthMatrix::constant(N, 1.0))
+        .model(|rng| zoo::mlp(&[16, 32, 4], rng))
+        .rounds(200)
+        .eval_every(20)
+        .eval_samples(500)
+        .event(60, ScenarioEvent::WorkerLeave { rank: 7 })
+        .event(60, ScenarioEvent::WorkerLeave { rank: 8 })
+        .event(60, ScenarioEvent::WorkerLeave { rank: 9 })
+        .event(80, ScenarioEvent::BandwidthShift { scale: 0.5 })
+        .event(120, ScenarioEvent::WorkerJoin { rank: 7 })
+        .event(120, ScenarioEvent::WorkerJoin { rank: 8 })
+        .event(120, ScenarioEvent::WorkerJoin { rank: 9 })
+        .event(120, ScenarioEvent::BandwidthShift { scale: 2.0 })
+}
+
 fn main() {
-    let n = 10;
     let ds = SyntheticSpec::tiny().samples(4_000).generate(9);
     let (train, val) = ds.split(0.2, 0);
-    let bw = BandwidthMatrix::constant(n, 1.0);
-    let cfg = SapsConfig {
-        workers: n,
-        compression: 10.0,
-        lr: 0.1,
-        batch_size: 32,
-        tthres: 6,
-        ..SapsConfig::default()
-    };
-    let mut algo = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 32, 4], rng));
-    let mut traffic = TrafficAccountant::new(n);
 
-    println!("phase 1: all {n} workers training");
-    for _ in 0..60 {
-        algo.round(&mut traffic, &bw);
-    }
     println!(
-        "  accuracy {:.1}% with {} active workers",
-        algo.evaluate(&val, 500) * 100.0,
-        algo.active_ranks().len()
+        "churn scenario on {N} workers: 7,8,9 leave @60, bandwidth halves @80, \
+         all back @120\n"
     );
 
-    println!("phase 2: workers 7, 8, 9 drop out (battery / network loss)");
-    for rank in [7, 8, 9] {
-        algo.set_active(rank, false);
-    }
-    for _ in 0..60 {
-        algo.round(&mut traffic, &bw);
-    }
-    println!(
-        "  accuracy {:.1}% with {} active workers",
-        algo.evaluate(&val, 500) * 100.0,
-        algo.active_ranks().len()
-    );
+    let specs = [
+        AlgorithmSpec::Saps {
+            compression: 10.0,
+            tthres: 6,
+            bthres: None,
+        },
+        AlgorithmSpec::DPsgd,
+        AlgorithmSpec::FedAvg {
+            participation: 0.5,
+            local_steps: 5,
+        },
+    ];
 
-    println!("phase 3: workers re-join with stale models");
-    for rank in [7, 8, 9] {
-        algo.set_active(rank, true);
+    println!(" algorithm  | acc @60 | acc @120 | final acc | worker MB | comm time (s)");
+    for spec in specs {
+        let hist = scenario(spec, &train, &val)
+            .run(&registry())
+            .expect("scenario runs on every algorithm");
+        let acc_at = |round: usize| {
+            hist.points
+                .iter()
+                .rfind(|p| p.evaluated && p.round < round)
+                .map(|p| p.val_acc * 100.0)
+                .unwrap_or(f32::NAN)
+        };
+        println!(
+            " {:10} | {:6.1}% | {:7.1}% | {:8.1}% | {:9.3} | {:10.2}",
+            hist.algorithm,
+            acc_at(60),
+            acc_at(120),
+            hist.final_acc * 100.0,
+            hist.total_worker_traffic_mb,
+            hist.total_comm_time_s,
+        );
     }
-    for _ in 0..80 {
-        algo.round(&mut traffic, &bw);
-    }
     println!(
-        "  accuracy {:.1}% with {} active workers",
-        algo.evaluate(&val, 500) * 100.0,
-        algo.active_ranks().len()
-    );
-    println!(
-        "\nconsensus distance after re-join: {:.4} (gossip re-absorbed the stale replicas)",
-        algo.consensus_distance_sq()
-    );
-    println!(
-        "total busiest-worker traffic: {:.3} MB",
-        saps::netsim::to_mb(traffic.max_worker_total())
+        "\nevery algorithm absorbed the same WorkerLeave/WorkerJoin/BandwidthShift \
+         schedule through the driver — churn is no longer a SAPS-only side door"
     );
 }

@@ -9,11 +9,11 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`core`] | the SAPS-PSGD algorithm: coordinator, worker, adaptive peer selection, simulator |
-//! | [`baselines`] | PSGD, TopK-PSGD, FedAvg, S-FedAvg, D-PSGD, DCD-PSGD, RandomChoose |
+//! | [`core`] | the SAPS-PSGD algorithm, the [`core::Trainer`] interface, the [`core::AlgorithmSpec`] registry, and the [`core::Experiment`] driver |
+//! | [`baselines`] | PSGD, TopK-PSGD, FedAvg, S-FedAvg, D-PSGD, DCD-PSGD, RandomChoose, and [`baselines::registry`] (all eight algorithms) |
 //! | [`nn`] | the neural-network substrate and the paper's model zoo |
 //! | [`data`] | synthetic MNIST/CIFAR-shaped datasets, IID/non-IID partitioners |
-//! | [`netsim`] | bandwidth matrices (incl. the paper's Fig. 1 data), traffic/time accounting |
+//! | [`netsim`] | bandwidth matrices (incl. the paper's Fig. 1 data), dynamics, traffic/time accounting |
 //! | [`graph`] | Edmonds' blossom matching, connectivity, topologies |
 //! | [`gossip`] | gossip matrices, spectral ρ, consensus simulation |
 //! | [`compress`] | shared-seed random masks, top-k + error feedback, codecs |
@@ -21,30 +21,37 @@
 //!
 //! ## Quickstart
 //!
+//! Experiments are declarative: pick an [`core::AlgorithmSpec`], describe
+//! the run with the [`core::Experiment`] builder, and run it against the
+//! eight-algorithm [`baselines::registry`].
+//!
 //! ```
-//! use saps::core::{SapsConfig, SapsPsgd, sim};
+//! use saps::baselines::registry;
+//! use saps::core::{AlgorithmSpec, Experiment, ScenarioEvent};
 //! use saps::data::SyntheticSpec;
 //! use saps::netsim::BandwidthMatrix;
 //! use saps::nn::zoo;
 //!
-//! // 8 workers on a uniform-bandwidth network, c = 10 sparsification.
+//! // 8 workers on a uniform-bandwidth network, c = 10 sparsification,
+//! // with one worker dropping out mid-run and returning later.
 //! let ds = SyntheticSpec::tiny().samples(2_000).generate(42);
 //! let (train, val) = ds.split(0.2, 0);
-//! let bw = BandwidthMatrix::constant(8, 1.0);
-//! let cfg = SapsConfig {
-//!     workers: 8,
-//!     compression: 10.0,
-//!     lr: 0.1,
-//!     batch_size: 32,
-//!     ..SapsConfig::default()
-//! };
-//! let mut algo = SapsPsgd::new(cfg, &train, &bw, |rng| zoo::mlp(&[16, 24, 4], rng));
-//! let hist = sim::run(&mut algo, &bw, &val, sim::RunOptions {
-//!     rounds: 50,
-//!     eval_every: 10,
-//!     eval_samples: 400,
-//!     max_epochs: f64::INFINITY,
-//! });
+//! let spec = AlgorithmSpec::parse("saps").unwrap().with_compression(10.0);
+//! let hist = Experiment::new(spec)
+//!     .train(train)
+//!     .validation(val)
+//!     .workers(8)
+//!     .batch_size(32)
+//!     .lr(0.1)
+//!     .bandwidth_matrix(BandwidthMatrix::constant(8, 1.0))
+//!     .model(|rng| zoo::mlp(&[16, 24, 4], rng))
+//!     .rounds(50)
+//!     .eval_every(10)
+//!     .eval_samples(400)
+//!     .event(20, ScenarioEvent::WorkerLeave { rank: 7 })
+//!     .event(35, ScenarioEvent::WorkerJoin { rank: 7 })
+//!     .run(&registry())
+//!     .unwrap();
 //! assert!(hist.final_acc > 0.25); // beats 4-class chance
 //! ```
 

@@ -1,11 +1,9 @@
 //! Cross-crate integration tests: run every algorithm end to end on the
-//! same workload and check the paper's headline orderings.
+//! same workload through the [`Experiment`] API and check the paper's
+//! headline orderings.
 
-use rand::rngs::StdRng;
-use saps::baselines::{
-    DPsgd, DcdPsgd, FedAvg, FedAvgConfig, Fleet, PsgdAllReduce, RandomChoose, SFedAvg, TopKPsgd,
-};
-use saps::core::{sim, SapsConfig, SapsPsgd, Trainer};
+use saps::baselines::registry;
+use saps::core::{AlgorithmSpec, Experiment, PartitionStrategy};
 use saps::data::{Dataset, SyntheticSpec};
 use saps::netsim::BandwidthMatrix;
 use saps::nn::zoo;
@@ -13,6 +11,7 @@ use saps::nn::zoo;
 const N: usize = 8;
 const BATCH: usize = 16;
 const LR: f32 = 0.1;
+const SEED: u64 = 3;
 
 fn dataset() -> (Dataset, Dataset) {
     SyntheticSpec::tiny()
@@ -21,51 +20,50 @@ fn dataset() -> (Dataset, Dataset) {
         .split(0.2, 0)
 }
 
-fn factory(rng: &mut StdRng) -> saps::nn::Model {
-    zoo::mlp(&[16, 24, 4], rng)
-}
-
-fn fleet(train: &Dataset) -> Fleet {
-    Fleet::new(N, train, factory, 3, BATCH, LR)
-}
-
-fn opts(rounds: usize) -> sim::RunOptions {
-    sim::RunOptions {
-        rounds,
-        eval_every: rounds / 4,
-        eval_samples: 400,
-        max_epochs: f64::INFINITY,
-    }
-}
-
-fn all_trainers(train: &Dataset, bw: &BandwidthMatrix) -> Vec<Box<dyn Trainer>> {
-    let cfg = SapsConfig {
-        workers: N,
-        compression: 10.0,
-        lr: LR,
-        batch_size: BATCH,
-        tthres: 6,
-        seed: 3,
-        ..SapsConfig::default()
-    };
+fn all_specs() -> Vec<AlgorithmSpec> {
     vec![
-        Box::new(SapsPsgd::new(cfg, train, bw, factory)),
-        Box::new(PsgdAllReduce::new(fleet(train))),
-        Box::new(TopKPsgd::new(fleet(train), 20.0)),
-        Box::new(FedAvg::new(fleet(train), FedAvgConfig::default(), 3)),
-        Box::new(SFedAvg::new(fleet(train), 0.5, 5, 10.0, 3)),
-        Box::new(DPsgd::new(fleet(train))),
-        Box::new(DcdPsgd::new(fleet(train), 4.0)),
-        Box::new(RandomChoose::new(fleet(train), 10.0, 3)),
+        AlgorithmSpec::Saps {
+            compression: 10.0,
+            tthres: 6,
+            bthres: None,
+        },
+        AlgorithmSpec::Psgd,
+        AlgorithmSpec::TopK { compression: 20.0 },
+        AlgorithmSpec::FedAvg {
+            participation: 0.5,
+            local_steps: 5,
+        },
+        AlgorithmSpec::SFedAvg {
+            participation: 0.5,
+            local_steps: 5,
+            compression: 10.0,
+        },
+        AlgorithmSpec::DPsgd,
+        AlgorithmSpec::DcdPsgd { compression: 4.0 },
+        AlgorithmSpec::RandomChoose { compression: 10.0 },
     ]
+}
+
+fn experiment(spec: AlgorithmSpec, train: &Dataset, val: &Dataset, rounds: usize) -> Experiment {
+    Experiment::new(spec)
+        .train(train.clone())
+        .validation(val.clone())
+        .workers(N)
+        .batch_size(BATCH)
+        .lr(LR)
+        .seed(SEED)
+        .model(|rng| zoo::mlp(&[16, 24, 4], rng))
+        .rounds(rounds)
+        .eval_every((rounds / 4).max(1))
+        .eval_samples(400)
 }
 
 #[test]
 fn every_algorithm_learns() {
     let (train, val) = dataset();
-    let bw = BandwidthMatrix::constant(N, 1.0);
-    for mut algo in all_trainers(&train, &bw) {
-        let hist = sim::run(algo.as_mut(), &bw, &val, opts(160));
+    let reg = registry();
+    for spec in all_specs() {
+        let hist = experiment(spec, &train, &val, 160).run(&reg).unwrap();
         assert!(
             hist.final_acc > 0.5,
             "{} stuck at {:.1}% (chance 25%)",
@@ -78,10 +76,10 @@ fn every_algorithm_learns() {
 #[test]
 fn saps_has_lowest_worker_traffic() {
     let (train, val) = dataset();
-    let bw = BandwidthMatrix::constant(N, 1.0);
+    let reg = registry();
     let mut results = Vec::new();
-    for mut algo in all_trainers(&train, &bw) {
-        let hist = sim::run(algo.as_mut(), &bw, &val, opts(40));
+    for spec in all_specs() {
+        let hist = experiment(spec, &train, &val, 40).run(&reg).unwrap();
         results.push((hist.algorithm.clone(), hist.total_worker_traffic_mb));
     }
     let saps = results.iter().find(|(n, _)| n == "SAPS-PSGD").unwrap().1;
@@ -95,18 +93,19 @@ fn saps_has_lowest_worker_traffic() {
 #[test]
 fn decentralized_algorithms_move_no_server_bytes() {
     let (train, val) = dataset();
-    let bw = BandwidthMatrix::constant(N, 1.0);
-    for mut algo in all_trainers(&train, &bw) {
-        let name = algo.name().to_string();
-        let hist = sim::run(algo.as_mut(), &bw, &val, opts(12));
-        match name.as_str() {
+    let reg = registry();
+    for spec in all_specs() {
+        let hist = experiment(spec, &train, &val, 12).run(&reg).unwrap();
+        match hist.algorithm.as_str() {
             "FedAvg" | "S-FedAvg" => assert!(
                 hist.total_server_traffic_mb > 0.0,
-                "{name} should use the server"
+                "{} should use the server",
+                hist.algorithm
             ),
             _ => assert_eq!(
                 hist.total_server_traffic_mb, 0.0,
-                "{name} must not move model bytes through a server"
+                "{} must not move model bytes through a server",
+                hist.algorithm
             ),
         }
     }
@@ -117,38 +116,41 @@ fn adaptive_selection_beats_random_on_heterogeneous_network() {
     // On a network with a few fast and many slow links, SAPS-PSGD's
     // bottleneck bandwidth must beat RandomChoose's, and its total
     // communication time must be lower at equal traffic.
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
     let (train, val) = dataset();
     let mut rng = StdRng::seed_from_u64(5);
     let bw = BandwidthMatrix::uniform_random(N, 5.0, &mut rng);
+    let reg = registry();
 
-    let cfg = SapsConfig {
-        workers: N,
-        compression: 10.0,
-        lr: LR,
-        batch_size: BATCH,
-        tthres: 6,
-        seed: 3,
-        bthres: Some(bw.percentile(0.6)),
+    let saps_hist = experiment(
+        AlgorithmSpec::Saps {
+            compression: 10.0,
+            tthres: 6,
+            bthres: Some(bw.percentile(0.6)),
+        },
+        &train,
+        &val,
+        200,
+    )
+    .bandwidth_matrix(bw.clone())
+    .run(&reg)
+    .unwrap();
+    let rand_hist = experiment(
+        AlgorithmSpec::RandomChoose { compression: 10.0 },
+        &train,
+        &val,
+        200,
+    )
+    .bandwidth_matrix(bw.clone())
+    .run(&reg)
+    .unwrap();
+
+    let mean_bottleneck = |h: &saps::core::RunHistory| {
+        h.points.iter().map(|p| p.bottleneck_bandwidth).sum::<f64>() / h.points.len() as f64
     };
-    let mut saps = SapsPsgd::new(cfg, &train, &bw, factory);
-    let saps_hist = sim::run(&mut saps, &bw, &val, opts(200));
-
-    let mut random = RandomChoose::new(fleet(&train), 10.0, 3);
-    let rand_hist = sim::run(&mut random, &bw, &val, opts(200));
-
-    let saps_bottleneck: f64 = saps_hist
-        .points
-        .iter()
-        .map(|p| p.bottleneck_bandwidth)
-        .sum::<f64>()
-        / saps_hist.points.len() as f64;
-    let rand_bottleneck: f64 = rand_hist
-        .points
-        .iter()
-        .map(|p| p.bottleneck_bandwidth)
-        .sum::<f64>()
-        / rand_hist.points.len() as f64;
+    let saps_bottleneck = mean_bottleneck(&saps_hist);
+    let rand_bottleneck = mean_bottleneck(&rand_hist);
     assert!(
         saps_bottleneck > rand_bottleneck,
         "bottleneck: SAPS {saps_bottleneck:.3} !> random {rand_bottleneck:.3}"
@@ -164,22 +166,14 @@ fn adaptive_selection_beats_random_on_heterogeneous_network() {
 #[test]
 fn runs_are_deterministic_across_invocations() {
     let (train, val) = dataset();
-    let bw = BandwidthMatrix::constant(N, 1.0);
-    let run_once = || {
-        let cfg = SapsConfig {
-            workers: N,
-            compression: 10.0,
-            lr: LR,
-            batch_size: BATCH,
-            tthres: 6,
-            seed: 3,
-            ..SapsConfig::default()
-        };
-        let mut algo = SapsPsgd::new(cfg, &train, &bw, factory);
-        sim::run(&mut algo, &bw, &val, opts(30))
+    let reg = registry();
+    let spec = AlgorithmSpec::Saps {
+        compression: 10.0,
+        tthres: 6,
+        bthres: None,
     };
-    let a = run_once();
-    let b = run_once();
+    let a = experiment(spec, &train, &val, 30).run(&reg).unwrap();
+    let b = experiment(spec, &train, &val, 30).run(&reg).unwrap();
     assert_eq!(a.final_acc, b.final_acc);
     assert_eq!(a.total_worker_traffic_mb, b.total_worker_traffic_mb);
     for (pa, pb) in a.points.iter().zip(&b.points) {
@@ -190,19 +184,16 @@ fn runs_are_deterministic_across_invocations() {
 #[test]
 fn non_iid_partitions_still_converge() {
     let (train, val) = dataset();
-    let bw = BandwidthMatrix::constant(N, 1.0);
-    let parts = saps::data::partition::dirichlet(&train, N, 0.5, 7);
-    let cfg = SapsConfig {
-        workers: N,
+    let spec = AlgorithmSpec::Saps {
         compression: 10.0,
-        lr: LR,
-        batch_size: BATCH,
         tthres: 6,
-        seed: 3,
-        ..SapsConfig::default()
+        bthres: None,
     };
-    let mut algo = SapsPsgd::with_partitions(cfg, parts, &bw, factory);
-    let hist = sim::run(&mut algo, &bw, &val, opts(250));
+    let hist = experiment(spec, &train, &val, 250)
+        .partition(PartitionStrategy::Dirichlet { alpha: 0.5 })
+        .seed(7)
+        .run(&registry())
+        .unwrap();
     assert!(
         hist.final_acc > 0.5,
         "non-IID accuracy {:.1}%",
@@ -211,27 +202,49 @@ fn non_iid_partitions_still_converge() {
 }
 
 #[test]
+fn early_stop_at_target_accuracy() {
+    let (train, val) = dataset();
+    let spec = AlgorithmSpec::Psgd;
+    let hist = experiment(spec, &train, &val, 400)
+        .eval_every(5)
+        .target_accuracy(0.5)
+        .run(&registry())
+        .unwrap();
+    assert!(hist.final_acc >= 0.5);
+    assert!(hist.points.len() < 400, "never stopped early");
+    let crossing = hist.first_reaching(0.5).unwrap();
+    assert!(crossing.evaluated, "crossing must be a fresh evaluation");
+    assert_eq!(crossing.round, hist.points.last().unwrap().round);
+}
+
+#[test]
 fn measured_traffic_matches_table1_formulas() {
     // Measured bytes (converted to "parameters") must track Table I for
     // the algorithms whose wire format matches the paper's accounting.
     let (train, val) = dataset();
-    let bw = BandwidthMatrix::constant(N, 1.0);
+    let reg = registry();
     let rounds = 20;
 
     // SAPS-PSGD: 2(N/c)T parameters per worker.
     let c = 10.0;
-    let cfg = SapsConfig {
-        workers: N,
-        compression: c,
-        lr: LR,
-        batch_size: BATCH,
-        tthres: 6,
-        seed: 3,
-        ..SapsConfig::default()
+    let hist = experiment(
+        AlgorithmSpec::Saps {
+            compression: c,
+            tthres: 6,
+            bthres: None,
+        },
+        &train,
+        &val,
+        rounds,
+    )
+    .run(&reg)
+    .unwrap();
+    // Model size of the shared factory (mlp 16-24-4).
+    let n_params = {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        zoo::mlp(&[16, 24, 4], &mut rng).num_params() as f64
     };
-    let mut algo = SapsPsgd::new(cfg, &train, &bw, factory);
-    let n_params = algo.model_len() as f64;
-    let hist = sim::run(&mut algo, &bw, &val, opts(rounds));
     let measured_params = hist.total_worker_traffic_mb * 1e6 / 4.0;
     let formula = 2.0 * (n_params / c) * rounds as f64;
     let ratio = measured_params / formula;
@@ -241,8 +254,9 @@ fn measured_traffic_matches_table1_formulas() {
     );
 
     // D-PSGD: 4·N·T parameters per worker (np = 2 neighbours).
-    let mut dpsgd = DPsgd::new(fleet(&train));
-    let hist = sim::run(&mut dpsgd, &bw, &val, opts(rounds));
+    let hist = experiment(AlgorithmSpec::DPsgd, &train, &val, rounds)
+        .run(&reg)
+        .unwrap();
     let measured_params = hist.total_worker_traffic_mb * 1e6 / 4.0;
     let formula = 4.0 * n_params * rounds as f64;
     let ratio = measured_params / formula;

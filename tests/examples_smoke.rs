@@ -6,10 +6,17 @@
 //! set, so the README table, the CI step, and the directory can't drift
 //! apart silently. `examples/quickstart.rs` is the repo's documented entry
 //! point; its training flow is additionally executed as the facade crate's
-//! doctest on every `cargo test`.
+//! doctest on every `cargo test`. The `worker_churn` example's scenario
+//! flow — churn expressed as [`ScenarioEvent`]s through the public
+//! [`Experiment`] driver — is executed here at test scale.
 
 use std::collections::BTreeSet;
 use std::path::Path;
+
+use saps::baselines::registry;
+use saps::core::{AlgorithmSpec, Experiment, ScenarioEvent};
+use saps::data::SyntheticSpec;
+use saps::nn::zoo;
 
 /// The five examples the README documents, in `cargo run --example` name
 /// form. Update this list and the README table together.
@@ -52,5 +59,72 @@ fn every_example_declares_its_run_command() {
             src.contains(&format!("--example {name}")),
             "examples/{name}.rs docs don't mention `cargo run ... --example {name}`"
         );
+    }
+}
+
+#[test]
+fn worker_churn_example_uses_scenario_events() {
+    // The churn example must express churn as driver events, not by
+    // reaching into algorithm internals (`set_active` was the old side
+    // door).
+    let src = std::fs::read_to_string(examples_dir().join("worker_churn.rs")).unwrap();
+    assert!(
+        src.contains("ScenarioEvent::WorkerLeave") && src.contains("ScenarioEvent::WorkerJoin"),
+        "worker_churn.rs must schedule WorkerLeave/WorkerJoin ScenarioEvents"
+    );
+    assert!(
+        !src.contains("set_active"),
+        "worker_churn.rs must not call the set_active side door"
+    );
+}
+
+/// The `worker_churn` example's flow at test scale: the same
+/// leave / bandwidth-shift / rejoin schedule, exercised through the
+/// public driver against the three algorithm families the example
+/// compares (gossip, ring, parameter server).
+#[test]
+fn worker_churn_scenario_flow_runs_at_test_scale() {
+    let n = 8;
+    let ds = SyntheticSpec::tiny().samples(1_600).generate(9);
+    let (train, val) = ds.split(0.2, 0);
+    let specs = [
+        AlgorithmSpec::Saps {
+            compression: 8.0,
+            tthres: 4,
+            bthres: None,
+        },
+        AlgorithmSpec::DPsgd,
+        AlgorithmSpec::FedAvg {
+            participation: 0.5,
+            local_steps: 3,
+        },
+    ];
+    let reg = registry();
+    for spec in specs {
+        let hist = Experiment::new(spec)
+            .train(train.clone())
+            .validation(val.clone())
+            .workers(n)
+            .batch_size(16)
+            .lr(0.1)
+            .seed(9)
+            .model(|rng| zoo::mlp(&[16, 20, 4], rng))
+            .rounds(40)
+            .eval_every(10)
+            .eval_samples(200)
+            .event(10, ScenarioEvent::WorkerLeave { rank: 6 })
+            .event(10, ScenarioEvent::WorkerLeave { rank: 7 })
+            .event(20, ScenarioEvent::BandwidthShift { scale: 0.5 })
+            .event(30, ScenarioEvent::WorkerJoin { rank: 6 })
+            .event(30, ScenarioEvent::WorkerJoin { rank: 7 })
+            .run(&reg)
+            .unwrap_or_else(|e| panic!("{}: churn scenario failed: {e}", spec.label()));
+        assert_eq!(hist.points.len(), 40, "{}", hist.algorithm);
+        assert!(
+            hist.points.iter().all(|p| p.train_loss.is_finite()),
+            "{}",
+            hist.algorithm
+        );
+        assert!(hist.final_acc > 0.25, "{} below chance", hist.algorithm);
     }
 }

@@ -1,0 +1,219 @@
+//! Cross-algorithm conformance: every algorithm in the registry honours
+//! the shared [`Trainer`] contract when driven through the public
+//! [`Experiment`] API and through raw [`RoundCtx`] stepping.
+
+use saps::baselines::registry;
+use saps::core::{AlgorithmSpec, BuildCtx, Experiment, PartitionStrategy, RoundCtx};
+use saps::data::{Dataset, SyntheticSpec};
+use saps::netsim::{BandwidthMatrix, TrafficAccountant};
+use saps::nn::zoo;
+use std::sync::Arc;
+
+const N: usize = 6;
+const ROUNDS: usize = 5;
+
+fn dataset() -> (Dataset, Dataset) {
+    SyntheticSpec::tiny()
+        .samples(1_200)
+        .generate(2)
+        .split(0.25, 0)
+}
+
+/// Test-scale hyper-parameters for all eight algorithms (the paper's
+/// compression settings assume million-parameter models).
+fn all_specs() -> Vec<AlgorithmSpec> {
+    vec![
+        AlgorithmSpec::Saps {
+            compression: 8.0,
+            tthres: 4,
+            bthres: None,
+        },
+        AlgorithmSpec::Psgd,
+        AlgorithmSpec::TopK { compression: 10.0 },
+        AlgorithmSpec::FedAvg {
+            participation: 0.5,
+            local_steps: 3,
+        },
+        AlgorithmSpec::SFedAvg {
+            participation: 0.5,
+            local_steps: 3,
+            compression: 10.0,
+        },
+        AlgorithmSpec::DPsgd,
+        AlgorithmSpec::DcdPsgd { compression: 4.0 },
+        AlgorithmSpec::RandomChoose { compression: 8.0 },
+    ]
+}
+
+const SERVERFUL: [&str; 2] = ["FedAvg", "S-FedAvg"];
+
+/// Drive all 8 algorithms through the `Experiment` driver and assert the
+/// invariants every `RunHistory` must satisfy.
+#[test]
+fn all_algorithms_satisfy_history_invariants() {
+    let (train, val) = dataset();
+    let reg = registry();
+    let mut seen = Vec::new();
+    for spec in all_specs() {
+        let hist = Experiment::new(spec)
+            .train(train.clone())
+            .validation(val.clone())
+            .workers(N)
+            .batch_size(16)
+            .lr(0.1)
+            .seed(4)
+            .model(|rng| zoo::mlp(&[16, 20, 4], rng))
+            .rounds(ROUNDS)
+            .eval_every(2)
+            .eval_samples(200)
+            .run(&reg)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+        assert_eq!(hist.algorithm, spec.label());
+        assert_eq!(hist.points.len(), ROUNDS, "{}", hist.algorithm);
+
+        // Finite loss and accuracy in range at every point.
+        for p in &hist.points {
+            assert!(p.train_loss.is_finite(), "{} loss", hist.algorithm);
+            assert!(
+                (0.0..=1.0).contains(&p.val_acc),
+                "{} val_acc {}",
+                hist.algorithm,
+                p.val_acc
+            );
+            assert_eq!(p.evaluated, (p.round + 1) % 2 == 0 || p.round + 1 == ROUNDS);
+        }
+        // Monotone epochs / traffic / time.
+        for w in hist.points.windows(2) {
+            assert!(w[1].epoch > w[0].epoch, "{} epochs", hist.algorithm);
+            assert!(
+                w[1].worker_traffic_mb >= w[0].worker_traffic_mb,
+                "{} traffic",
+                hist.algorithm
+            );
+            assert!(
+                w[1].comm_time_s >= w[0].comm_time_s,
+                "{} time",
+                hist.algorithm
+            );
+        }
+        assert!(hist.total_worker_traffic_mb > 0.0, "{}", hist.algorithm);
+        assert!(hist.total_comm_time_s > 0.0, "{}", hist.algorithm);
+
+        // Serverless algorithms charge zero server traffic.
+        if SERVERFUL.contains(&hist.algorithm.as_str()) {
+            assert!(
+                hist.total_server_traffic_mb > 0.0,
+                "{} must bill its server",
+                hist.algorithm
+            );
+        } else {
+            assert_eq!(
+                hist.total_server_traffic_mb, 0.0,
+                "{} billed a server",
+                hist.algorithm
+            );
+        }
+        seen.push(hist.algorithm);
+    }
+    assert_eq!(seen.len(), 8);
+}
+
+/// Drive all 8 trainers directly through `RoundCtx` stepping (the layer
+/// below `Experiment`) and assert the per-trainer contract: stable
+/// `worker_count`/`model_len`, sane per-round reports.
+#[test]
+fn all_trainers_keep_shape_stable_under_stepping() {
+    let (train, val) = dataset();
+    let reg = registry();
+    let bw = BandwidthMatrix::constant(N, 1.0);
+    for spec in all_specs() {
+        let partitions = PartitionStrategy::Iid.apply(&train, N, 4);
+        let mut trainer = reg
+            .build(
+                &spec,
+                BuildCtx {
+                    partitions,
+                    bw: &bw,
+                    batch_size: 16,
+                    lr: 0.1,
+                    seed: 4,
+                    factory: Arc::new(|rng| zoo::mlp(&[16, 20, 4], rng)),
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+        let (n0, m0) = (trainer.worker_count(), trainer.model_len());
+        assert_eq!(n0, N);
+        assert!(m0 > 0);
+        let mut traffic = TrafficAccountant::new(N);
+        for round in 0..ROUNDS {
+            let rep = {
+                let mut ctx = RoundCtx::new(round, &bw, &mut traffic, 4);
+                trainer.step(&mut ctx)
+            };
+            assert!(rep.mean_loss.is_finite(), "{} loss", spec.label());
+            assert!(
+                (0.0..=1.0).contains(&rep.mean_acc),
+                "{} acc {}",
+                spec.label(),
+                rep.mean_acc
+            );
+            assert!(rep.epochs_advanced > 0.0, "{}", spec.label());
+            assert!(
+                rep.comm_time_s.is_finite() && rep.comm_time_s >= 0.0,
+                "{}",
+                spec.label()
+            );
+            // Shape must not drift across rounds.
+            assert_eq!(trainer.worker_count(), n0, "{}", spec.label());
+            assert_eq!(trainer.model_len(), m0, "{}", spec.label());
+        }
+        assert_eq!(traffic.rounds().len(), ROUNDS, "{}", spec.label());
+        let acc = trainer.evaluate(&val, 200);
+        assert!((0.0..=1.0).contains(&acc), "{}", spec.label());
+    }
+}
+
+/// Churn is part of the shared contract now: every algorithm accepts a
+/// leave + rejoin cycle through `Trainer::set_worker_active` and keeps
+/// producing finite rounds (the inactive worker moving no bytes).
+#[test]
+fn all_trainers_accept_basic_churn() {
+    let (train, _val) = dataset();
+    let reg = registry();
+    let bw = BandwidthMatrix::constant(N, 1.0);
+    for spec in all_specs() {
+        let partitions = PartitionStrategy::Iid.apply(&train, N, 4);
+        let mut trainer = reg
+            .build(
+                &spec,
+                BuildCtx {
+                    partitions,
+                    bw: &bw,
+                    batch_size: 16,
+                    lr: 0.1,
+                    seed: 4,
+                    factory: Arc::new(|rng| zoo::mlp(&[16, 20, 4], rng)),
+                },
+            )
+            .unwrap();
+        let mut traffic = TrafficAccountant::new(N);
+        trainer.round(&mut traffic, &bw);
+        trainer
+            .set_worker_active(N - 1, false)
+            .unwrap_or_else(|e| panic!("{} rejects churn: {e}", spec.label()));
+        let before = traffic.worker_total(N - 1);
+        for _ in 0..3 {
+            let rep = trainer.round(&mut traffic, &bw);
+            assert!(rep.mean_loss.is_finite(), "{}", spec.label());
+        }
+        assert_eq!(
+            traffic.worker_total(N - 1),
+            before,
+            "{} moved bytes for an inactive worker",
+            spec.label()
+        );
+        trainer.set_worker_active(N - 1, true).unwrap();
+        let rep = trainer.round(&mut traffic, &bw);
+        assert!(rep.mean_loss.is_finite(), "{}", spec.label());
+    }
+}
