@@ -5,10 +5,27 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use saps_core::{ConfigError, Worker};
+use saps_core::{ConfigError, Executor, Worker};
 use saps_data::{partition, Dataset};
 use saps_nn::Model;
 use saps_tensor::rng::{derive_seed, streams};
+
+/// `(index, item)` pairs for the items at `ranks`, in ascending index
+/// order regardless of the order of `ranks` — the shared selector
+/// behind every per-rank fan-out (workers, broadcast replicas,
+/// compressors). Centralized so the determinism contract (stable
+/// ascending order) cannot drift per call site.
+pub fn select_ranked_mut<'a, T>(items: &'a mut [T], ranks: &[usize]) -> Vec<(usize, &'a mut T)> {
+    let mut selected = vec![false; items.len()];
+    for &r in ranks {
+        selected[r] = true;
+    }
+    items
+        .iter_mut()
+        .enumerate()
+        .filter(|(i, _)| selected[*i])
+        .collect()
+}
 
 /// A fleet of `n` workers with identically initialized model replicas,
 /// an IID (or caller-supplied) data partition, a scratch model for
@@ -154,41 +171,94 @@ impl Fleet {
         Ok(())
     }
 
-    /// Runs one local SGD step on every *active* worker; returns the mean
-    /// `(loss, accuracy)`.
-    pub fn sgd_step_all(&mut self) -> (f32, f32) {
-        let mut loss = 0.0f64;
-        let mut acc = 0.0f64;
-        let (bs, lr) = (self.batch_size, self.lr);
-        let mut m = 0usize;
-        for (w, &a) in self.workers.iter_mut().zip(&self.active) {
-            if !a {
-                continue;
-            }
-            let (l, ac) = w.sgd_step(bs, lr);
-            loss += l as f64;
-            acc += ac as f64;
-            m += 1;
-        }
-        let n = m.max(1) as f64;
-        ((loss / n) as f32, (acc / n) as f32)
+    /// `(global rank, worker)` pairs for the active workers, in
+    /// ascending rank order — the unit of work the round engine fans
+    /// out.
+    pub fn active_workers_mut(&mut self) -> Vec<(usize, &mut Worker)> {
+        let active = &self.active;
+        self.workers
+            .iter_mut()
+            .enumerate()
+            .filter(|(r, _)| active[*r])
+            .collect()
     }
 
-    /// Accumulates gradients on every *active* worker without stepping;
-    /// returns the mean `(loss, accuracy)`.
+    /// `(global rank, worker)` pairs for the given rank subset, in
+    /// ascending rank order regardless of the order of `ranks` (so the
+    /// fan-out and its reduction are deterministic for any caller).
+    pub fn workers_mut_at(&mut self, ranks: &[usize]) -> Vec<(usize, &mut Worker)> {
+        select_ranked_mut(&mut self.workers, ranks)
+    }
+
+    /// FedAvg-style client phase: every worker in `ranks` downloads
+    /// `global` and runs `steps` local SGD steps, fanned out across
+    /// `exec`; returns the `(Σ loss, Σ accuracy)` over all steps,
+    /// reduced in ascending-rank order (bit-identical at any thread
+    /// count). Shared by [`crate::FedAvg`] and [`crate::SFedAvg`].
+    pub fn local_steps_on(
+        &mut self,
+        exec: &Executor,
+        ranks: &[usize],
+        global: &[f32],
+        steps: usize,
+    ) -> (f64, f64) {
+        let (bs, lr) = (self.batch_size, self.lr);
+        let items = self.workers_mut_at(ranks);
+        let results = exec.par_map(items, |_, (_, w)| {
+            w.set_flat(global);
+            let mut l = 0.0f64;
+            let mut a = 0.0f64;
+            for _ in 0..steps {
+                let (li, ai) = w.sgd_step(bs, lr);
+                l += li as f64;
+                a += ai as f64;
+            }
+            (l, a)
+        });
+        results
+            .into_iter()
+            .fold((0.0, 0.0), |(l, a), (li, ai)| (l + li, a + ai))
+    }
+
+    /// Runs one local SGD step on every *active* worker, fanning out
+    /// across `exec`'s threads; returns the mean `(loss, accuracy)`.
+    /// The reduction runs in rank order, so the result is bit-identical
+    /// at any thread count.
+    pub fn sgd_step_all_on(&mut self, exec: &Executor) -> (f32, f32) {
+        let (bs, lr) = (self.batch_size, self.lr);
+        let items = self.active_workers_mut();
+        let m = items.len();
+        let results = exec.par_map(items, |_, (_, w)| w.sgd_step(bs, lr));
+        Self::mean_loss_acc(&results, m)
+    }
+
+    /// [`Fleet::sgd_step_all_on`] on the calling thread only.
+    pub fn sgd_step_all(&mut self) -> (f32, f32) {
+        self.sgd_step_all_on(&Executor::sequential())
+    }
+
+    /// Accumulates gradients on every *active* worker without stepping,
+    /// fanning out across `exec`'s threads; returns the mean
+    /// `(loss, accuracy)`.
+    pub fn accumulate_grads_all_on(&mut self, exec: &Executor) -> (f32, f32) {
+        let bs = self.batch_size;
+        let items = self.active_workers_mut();
+        let m = items.len();
+        let results = exec.par_map(items, |_, (_, w)| w.accumulate_grads(bs));
+        Self::mean_loss_acc(&results, m)
+    }
+
+    /// [`Fleet::accumulate_grads_all_on`] on the calling thread only.
     pub fn accumulate_grads_all(&mut self) -> (f32, f32) {
+        self.accumulate_grads_all_on(&Executor::sequential())
+    }
+
+    fn mean_loss_acc(results: &[(f32, f32)], m: usize) -> (f32, f32) {
         let mut loss = 0.0f64;
         let mut acc = 0.0f64;
-        let bs = self.batch_size;
-        let mut m = 0usize;
-        for (w, &a) in self.workers.iter_mut().zip(&self.active) {
-            if !a {
-                continue;
-            }
-            let (l, ac) = w.accumulate_grads(bs);
+        for &(l, a) in results {
             loss += l as f64;
-            acc += ac as f64;
-            m += 1;
+            acc += a as f64;
         }
         let n = m.max(1) as f64;
         ((loss / n) as f32, (acc / n) as f32)
@@ -312,6 +382,36 @@ mod tests {
         for (a, b) in avg.iter().zip(&manual) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn parallel_sgd_step_matches_sequential_bitwise() {
+        let mut seq = fleet(5);
+        let mut par = fleet(5);
+        let exec = Executor::new(saps_core::ParallelismPolicy::Threads(3));
+        for _ in 0..3 {
+            let a = seq.sgd_step_all();
+            let b = par.sgd_step_all_on(&exec);
+            assert_eq!(a, b);
+        }
+        for r in 0..5 {
+            assert_eq!(seq.worker(r).flat(), par.worker(r).flat(), "worker {r}");
+        }
+    }
+
+    #[test]
+    fn worker_subset_helpers_return_ascending_ranks() {
+        let mut f = fleet(5);
+        f.set_active(2, false, 2).unwrap();
+        let active: Vec<usize> = f.active_workers_mut().iter().map(|(r, _)| *r).collect();
+        assert_eq!(active, vec![0, 1, 3, 4]);
+        // Ascending regardless of the requested order.
+        let picked: Vec<usize> = f
+            .workers_mut_at(&[4, 0, 3])
+            .iter()
+            .map(|(r, _)| *r)
+            .collect();
+        assert_eq!(picked, vec![0, 3, 4]);
     }
 
     #[test]

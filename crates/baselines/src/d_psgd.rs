@@ -38,23 +38,27 @@ impl Trainer for DPsgd {
 
     fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
         let bw = ctx.bw;
+        let exec = ctx.exec;
         let traffic = &mut *ctx.traffic;
         let ranks = self.fleet.active_ranks();
         let m = ranks.len();
-        let (loss, acc) = self.fleet.sgd_step_all();
+        let (loss, acc) = self.fleet.sgd_step_all_on(&exec);
 
         // Snapshot active models, then mix over the active ring:
-        // x_i = (x_{i-1} + x_i + x_{i+1})/3.
+        // x_i = (x_{i-1} + x_i + x_{i+1})/3. Every worker's mixed model
+        // depends only on the immutable snapshots, so the mixing fans
+        // out too (each lane rewrites its own worker in place).
         let snapshots: Vec<Vec<f32>> = ranks.iter().map(|&r| self.fleet.worker(r).flat()).collect();
-        for i in 0..m {
+        let items = self.fleet.workers_mut_at(&ranks);
+        exec.par_map(items, |i, (_, w)| {
             let prev = &snapshots[(i + m - 1) % m];
             let next = &snapshots[(i + 1) % m];
-            let me = &snapshots[i];
-            let mixed: Vec<f32> = (0..me.len())
-                .map(|k| (prev[k] + me[k] + next[k]) / 3.0)
-                .collect();
-            self.fleet.worker_mut(ranks[i]).set_flat(&mixed);
-        }
+            w.update_flat(|flat| {
+                for k in 0..flat.len() {
+                    flat[k] = (prev[k] + flat[k] + next[k]) / 3.0;
+                }
+            });
+        });
 
         // Traffic: every active worker sends its dense model to both ring
         // neighbours.

@@ -65,47 +65,52 @@ impl Trainer for DcdPsgd {
 
     fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
         let bw = ctx.bw;
+        let exec = ctx.exec;
         let traffic = &mut *ctx.traffic;
         let ranks = self.fleet.active_ranks();
         let m = ranks.len();
         let n_params = self.fleet.n_params();
         let k = ((n_params as f64 / self.compression).round() as usize).max(1);
-        let (loss, acc) = self.fleet.sgd_step_all();
+        let (loss, acc) = self.fleet.sgd_step_all_on(&exec);
 
         // Each active worker compresses (x_i − broadcast_i) and updates
         // its own broadcast state; neighbours apply the identical patch.
-        let mut payload_bytes = 0u64;
-        for &r in &ranks {
-            let x = self.fleet.worker(r).flat();
-            let diff: Vec<f32> = x
-                .iter()
-                .zip(&self.broadcast[r])
-                .map(|(a, b)| a - b)
-                .collect();
-            let idx = top_k_indices(&diff, k);
-            let vals: Vec<f32> = idx.iter().map(|&i| diff[i as usize]).collect();
-            let sparse = densify(n_params, &idx, &vals);
-            for (b, s) in self.broadcast[r].iter_mut().zip(&sparse) {
-                *b += s;
-            }
-            payload_bytes = codec::sparse_iv_bytes(idx.len());
-        }
+        // Worker r touches only broadcast[r], so the diff + top-k fans
+        // out with the compute phase.
+        let payload_nnz = {
+            let fleet = &self.fleet;
+            let bcast_items = crate::select_ranked_mut(&mut self.broadcast, &ranks);
+            exec.par_map(bcast_items, |_, (r, bcast)| {
+                let x = fleet.worker(r).flat();
+                let diff: Vec<f32> = x.iter().zip(bcast.iter()).map(|(a, b)| a - b).collect();
+                let idx = top_k_indices(&diff, k);
+                let vals: Vec<f32> = idx.iter().map(|&i| diff[i as usize]).collect();
+                let sparse = densify(n_params, &idx, &vals);
+                for (b, s) in bcast.iter_mut().zip(&sparse) {
+                    *b += s;
+                }
+                idx.len()
+            })
+        };
+        let payload_bytes = payload_nnz
+            .last()
+            .map_or(0, |&nnz| codec::sparse_iv_bytes(nnz));
 
         // Mixing with replica averages over the active ring:
-        // x_i ← (x̂_{i−1} + x_i + x̂_{i+1})/3.
-        let mut mixed_all = Vec::with_capacity(m);
-        for i in 0..m {
-            let prev = &self.broadcast[ranks[(i + m - 1) % m]];
-            let next = &self.broadcast[ranks[(i + 1) % m]];
-            let me = self.fleet.worker(ranks[i]).flat();
-            let mixed: Vec<f32> = (0..n_params)
-                .map(|p| (prev[p] + me[p] + next[p]) / 3.0)
-                .collect();
-            mixed_all.push(mixed);
-        }
-        for (i, mixed) in mixed_all.into_iter().enumerate() {
-            self.fleet.worker_mut(ranks[i]).set_flat(&mixed);
-        }
+        // x_i ← (x̂_{i−1} + x_i + x̂_{i+1})/3. Reads only the (now
+        // settled) broadcast replicas, writes only worker i — parallel
+        // per lane.
+        let broadcast = &self.broadcast;
+        let items = self.fleet.workers_mut_at(&ranks);
+        exec.par_map(items, |i, (_, w)| {
+            let prev = &broadcast[ranks[(i + m - 1) % m]];
+            let next = &broadcast[ranks[(i + 1) % m]];
+            w.update_flat(|flat| {
+                for p in 0..flat.len() {
+                    flat[p] = (prev[p] + flat[p] + next[p]) / 3.0;
+                }
+            });
+        });
 
         // Traffic: each active worker sends its sparse diff to both ring
         // neighbours.

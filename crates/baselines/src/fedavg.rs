@@ -98,26 +98,22 @@ impl Trainer for FedAvg {
 
     fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
         let bw = ctx.bw;
+        let exec = ctx.exec;
         let clients = self.sample_clients();
         let server = *self.server.get_or_insert_with(|| bw.best_server());
         let n_params = self.fleet.n_params();
         let dense_bytes = 4 * n_params as u64;
 
         for &r in &clients {
-            self.fleet.worker_mut(r).set_flat(&self.server_model);
             ctx.traffic.record_download(r, dense_bytes);
         }
 
-        let mut loss = 0.0f64;
-        let mut acc = 0.0f64;
-        let (bs, lr) = (self.fleet.batch_size, self.fleet.lr);
-        for &r in &clients {
-            for _ in 0..self.cfg.local_steps {
-                let (l, a) = self.fleet.worker_mut(r).sgd_step(bs, lr);
-                loss += l as f64;
-                acc += a as f64;
-            }
-        }
+        // Each selected client pulls the global model and runs its local
+        // steps — fully independent per client, fanned out across the
+        // round executor; the loss reduction runs in client-rank order.
+        let (loss, acc) =
+            self.fleet
+                .local_steps_on(&exec, &clients, &self.server_model, self.cfg.local_steps);
         let steps = (clients.len() * self.cfg.local_steps) as f64;
 
         let mut accum = vec![0.0f32; n_params];

@@ -30,7 +30,7 @@ mod registry;
 mod s_fedavg;
 mod topk_psgd;
 
-pub use common::Fleet;
+pub use common::{select_ranked_mut, Fleet};
 pub use d_psgd::DPsgd;
 pub use dcd_psgd::DcdPsgd;
 pub use fedavg::{FedAvg, FedAvgConfig};

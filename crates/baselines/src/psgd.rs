@@ -6,6 +6,7 @@ use saps_data::Dataset;
 use saps_graph::topology;
 use saps_netsim::timemodel;
 use saps_tensor::ops;
+use saps_tensor::scratch::BufferPool;
 
 /// Synchronous parallel SGD: every round the active workers' gradients
 /// are globally averaged by a ring all-reduce and each replica applies
@@ -17,12 +18,17 @@ use saps_tensor::ops;
 /// replica, preserving the bit-identical invariant.
 pub struct PsgdAllReduce {
     fleet: Fleet,
+    /// Scratch for the per-round mean gradient, reused across rounds.
+    pool: BufferPool,
 }
 
 impl PsgdAllReduce {
     /// Wraps a fleet.
     pub fn new(fleet: Fleet) -> Result<Self, ConfigError> {
-        Ok(PsgdAllReduce { fleet })
+        Ok(PsgdAllReduce {
+            fleet,
+            pool: BufferPool::new(),
+        })
     }
 }
 
@@ -33,14 +39,17 @@ impl Trainer for PsgdAllReduce {
 
     fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
         let bw = ctx.bw;
+        let exec = ctx.exec;
         let traffic = &mut *ctx.traffic;
         let ranks = self.fleet.active_ranks();
         let m = ranks.len();
-        let (loss, acc) = self.fleet.accumulate_grads_all();
+        let (loss, acc) = self.fleet.accumulate_grads_all_on(&exec);
 
-        // Global gradient average over the active workers.
+        // Global gradient average over the active workers — the reduce
+        // runs in rank order on one thread so it is independent of the
+        // fan-out above.
         let n_params = self.fleet.n_params();
-        let mut mean_grad = vec![0.0f32; n_params];
+        let mut mean_grad = self.pool.take_zeroed(n_params);
         for &r in &ranks {
             let g = self.fleet.worker(r).model().flat_grads();
             ops::axpy(1.0, &g, &mut mean_grad);
@@ -49,15 +58,16 @@ impl Trainer for PsgdAllReduce {
         for g in &mut mean_grad {
             *g *= inv;
         }
-        // Identical update on every active replica.
+        // Identical update on every active replica, fanned out (each
+        // lane reads the shared mean and rewrites its own replica).
         let lr = self.fleet.lr;
-        for &r in &ranks {
-            let w = self.fleet.worker_mut(r);
-            let mut flat = w.flat();
-            ops::axpy(-lr, &mean_grad, &mut flat);
-            w.set_flat(&flat);
+        let mean = &mean_grad;
+        let items = self.fleet.workers_mut_at(&ranks);
+        exec.par_map(items, |_, (_, w)| {
+            w.add_scaled(-lr, mean);
             w.model_mut().zero_grads();
-        }
+        });
+        self.pool.give(mean_grad);
 
         // Ring all-reduce traffic over the active ring: each worker
         // forwards 2(m-1) chunks of N/m parameters to its ring successor.

@@ -27,6 +27,8 @@ pub struct RandomChoose {
     compression: f64,
     rng: StdRng,
     round: u64,
+    /// The per-round mask, regenerated in place to reuse its buffer.
+    mask: RandomMask,
 }
 
 impl RandomChoose {
@@ -38,11 +40,13 @@ impl RandomChoose {
                 format!("compression {compression} must be a finite ratio >= 1"),
             ));
         }
+        let mask = RandomMask::from_indices(fleet.n_params(), Vec::new());
         Ok(RandomChoose {
             fleet,
             compression,
             rng: StdRng::seed_from_u64(derive_seed(seed, 2, streams::MATCHING)),
             round: 0,
+            mask,
         })
     }
 
@@ -78,22 +82,25 @@ impl Trainer for RandomChoose {
 
     fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
         let bw = ctx.bw;
+        let exec = ctx.exec;
         let traffic = &mut *ctx.traffic;
         let n_params = self.fleet.n_params();
-        let (loss, acc) = self.fleet.sgd_step_all();
+        let (loss, acc) = self.fleet.sgd_step_all_on(&exec);
 
         let pairs = self.random_pairs();
-        let mask = RandomMask::generate(n_params, self.compression, self.rng.gen(), self.round);
+        self.mask
+            .regenerate(n_params, self.compression, self.rng.gen(), self.round);
+        let mask = &self.mask;
         let payload_bytes = codec::sparse_shared_mask_bytes(mask.nnz());
 
         let mut transfers = Vec::new();
         let mut link_sum = 0.0f64;
         let mut link_min = f64::INFINITY;
         for &(i, j) in &pairs {
-            let pi = self.fleet.worker(i).sparse_payload(&mask);
-            let pj = self.fleet.worker(j).sparse_payload(&mask);
-            self.fleet.worker_mut(i).merge_sparse(&mask, &pj);
-            self.fleet.worker_mut(j).merge_sparse(&mask, &pi);
+            let pi = self.fleet.worker(i).sparse_payload(mask);
+            let pj = self.fleet.worker(j).sparse_payload(mask);
+            self.fleet.worker_mut(i).merge_sparse(mask, &pj);
+            self.fleet.worker_mut(j).merge_sparse(mask, &pi);
             traffic.record_p2p(i, j, payload_bytes);
             traffic.record_p2p(j, i, payload_bytes);
             transfers.push((i, j, payload_bytes));

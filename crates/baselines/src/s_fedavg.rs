@@ -32,6 +32,9 @@ pub struct SFedAvg {
     server: Option<usize>,
     rng: StdRng,
     round: u64,
+    /// The per-client upload mask, regenerated in place per client to
+    /// reuse its buffer.
+    mask: RandomMask,
 }
 
 impl SFedAvg {
@@ -59,6 +62,7 @@ impl SFedAvg {
             ));
         }
         let server_model = fleet.worker(0).flat();
+        let mask = RandomMask::from_indices(fleet.n_params(), Vec::new());
         Ok(SFedAvg {
             fleet,
             participation,
@@ -68,6 +72,7 @@ impl SFedAvg {
             server: None,
             rng: StdRng::seed_from_u64(derive_seed(seed, 1, streams::CLIENT_SAMPLE)),
             round: 0,
+            mask,
         })
     }
 }
@@ -79,6 +84,7 @@ impl Trainer for SFedAvg {
 
     fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
         let bw = ctx.bw;
+        let exec = ctx.exec;
         let n_params = self.fleet.n_params();
         let mut clients = self.fleet.active_ranks();
         let m = clients.len();
@@ -90,20 +96,15 @@ impl Trainer for SFedAvg {
         let dense_bytes = 4 * n_params as u64;
 
         for &r in &clients {
-            self.fleet.worker_mut(r).set_flat(&self.server_model);
             ctx.traffic.record_download(r, dense_bytes);
         }
 
-        let mut loss = 0.0f64;
-        let mut acc = 0.0f64;
-        let (bs, lr) = (self.fleet.batch_size, self.fleet.lr);
-        for &r in &clients {
-            for _ in 0..self.local_steps {
-                let (l, a) = self.fleet.worker_mut(r).sgd_step(bs, lr);
-                loss += l as f64;
-                acc += a as f64;
-            }
-        }
+        // Dense download + local steps per selected client, fanned out
+        // (the client set and every mask below still come from the
+        // sequential sampling RNG, so the exchange stays untouched).
+        let (loss, acc) =
+            self.fleet
+                .local_steps_on(&exec, &clients, &self.server_model, self.local_steps);
         let steps = (clients.len() * self.local_steps) as f64;
 
         // Sparse uploads over *per-client* random masks ([5]'s "random
@@ -115,8 +116,10 @@ impl Trainer for SFedAvg {
         let mut counts = vec![0u32; n_params];
         let mut up_bytes_of = Vec::with_capacity(clients.len());
         for &r in &clients {
-            let mask = RandomMask::generate(n_params, self.compression, self.rng.gen(), self.round);
-            let payload = self.fleet.worker(r).sparse_payload(&mask);
+            self.mask
+                .regenerate(n_params, self.compression, self.rng.gen(), self.round);
+            let mask = &self.mask;
+            let payload = self.fleet.worker(r).sparse_payload(mask);
             for (&i, &v) in mask.indices().iter().zip(&payload) {
                 sums[i as usize] += v;
                 counts[i as usize] += 1;

@@ -6,6 +6,7 @@ use saps_compress::topk::{densify, ErrorFeedbackTopK};
 use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
 use saps_netsim::timemodel;
+use saps_tensor::scratch::BufferPool;
 
 /// TopK-PSGD \[20\], \[34\]: each worker sends the top `N/c` coordinates of
 /// its error-compensated gradient to **all** other active workers (sparse
@@ -19,6 +20,8 @@ pub struct TopKPsgd {
     fleet: Fleet,
     compressors: Vec<ErrorFeedbackTopK>,
     compression: f64,
+    /// Scratch for the per-round mean gradient, reused across rounds.
+    pool: BufferPool,
 }
 
 impl TopKPsgd {
@@ -38,6 +41,7 @@ impl TopKPsgd {
             fleet,
             compressors,
             compression,
+            pool: BufferPool::new(),
         })
     }
 
@@ -54,34 +58,37 @@ impl Trainer for TopKPsgd {
 
     fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
         let bw = ctx.bw;
+        let exec = ctx.exec;
         let traffic = &mut *ctx.traffic;
         let ranks = self.fleet.active_ranks();
         let m = ranks.len();
         let n_params = self.fleet.n_params();
-        let (loss, acc) = self.fleet.accumulate_grads_all();
+        let (loss, acc) = self.fleet.accumulate_grads_all_on(&exec);
 
         // Compress every active worker's gradient with its private
-        // residual.
-        let mut payloads = Vec::with_capacity(m);
-        for &r in &ranks {
-            let g = self.fleet.worker(r).model().flat_grads();
-            payloads.push(self.compressors[r].compress(&g));
-        }
+        // residual — per-worker state, so the top-k selection fans out
+        // with the compute phase.
+        let fleet = &self.fleet;
+        let comp_items = crate::select_ranked_mut(&mut self.compressors, &ranks);
+        let payloads = exec.par_map(comp_items, |_, (r, comp)| {
+            comp.compress(&fleet.worker(r).model().flat_grads())
+        });
 
-        // Average of the densified sparse gradients.
-        let mut mean_grad = vec![0.0f32; n_params];
+        // Average of the densified sparse gradients, reduced in rank
+        // order on one thread.
+        let mut mean_grad = self.pool.take_zeroed(n_params);
         for (idx, vals) in &payloads {
             let dense = densify(n_params, idx, vals);
             saps_tensor::ops::axpy(1.0 / m as f32, &dense, &mut mean_grad);
         }
         let lr = self.fleet.lr;
-        for &r in &ranks {
-            let w = self.fleet.worker_mut(r);
-            let mut flat = w.flat();
-            saps_tensor::ops::axpy(-lr, &mean_grad, &mut flat);
-            w.set_flat(&flat);
+        let mean = &mean_grad;
+        let items = self.fleet.workers_mut_at(&ranks);
+        exec.par_map(items, |_, (_, w)| {
+            w.add_scaled(-lr, mean);
             w.model_mut().zero_grads();
-        }
+        });
+        self.pool.give(mean_grad);
 
         // Allgather traffic: each ordered active pair moves one sparse
         // payload.

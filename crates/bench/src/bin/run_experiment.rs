@@ -21,12 +21,20 @@
 //! * `--c F` — compression ratio; omit to use the algorithm's paper
 //!   default (SAPS 100, TopK 1000, S-FedAvg 100, DCD 4)
 //! * `--target-acc F` — stop early at the first evaluation reaching `F`
+//! * `--threads seq|auto|N` — round-engine thread count (default auto;
+//!   every setting produces the bit-identical trajectory)
+//!
+//! Besides the CSV on stdout, every run records its round throughput
+//! (rounds/sec, threads, algorithm, workload) to
+//! `BENCH_round_throughput.json` in the working directory.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use saps_bench::{experiment, registry, AlgorithmSpec, Workload};
+use saps_bench::throughput::{self, ThroughputEntry};
+use saps_bench::{experiment, registry, AlgorithmSpec, ParallelismPolicy, Workload};
 use saps_core::CsvSink;
 use saps_netsim::{citydata, BandwidthMatrix};
+use std::path::Path;
 
 #[derive(Debug)]
 struct Args {
@@ -40,6 +48,7 @@ struct Args {
     seed: u64,
     eval_every: usize,
     target_acc: Option<f32>,
+    threads: ParallelismPolicy,
 }
 
 impl Args {
@@ -55,6 +64,7 @@ impl Args {
             seed: 42,
             eval_every: 10,
             target_acc: None,
+            threads: ParallelismPolicy::Auto,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -78,6 +88,10 @@ impl Args {
                 "--target-acc" => {
                     a.target_acc = Some(val.parse().unwrap_or_else(|_| usage("bad --target-acc")))
                 }
+                "--threads" => {
+                    a.threads =
+                        throughput::parse_policy(val).unwrap_or_else(|| usage("bad --threads"))
+                }
                 other => usage(&format!("unknown option {other}")),
             }
             i += 2;
@@ -92,7 +106,7 @@ fn usage(err: &str) -> ! {
         "usage: run_experiment [--algo saps|psgd|topk|fedavg|sfedavg|dpsgd|dcd|random]\n\
          \u{20}                     [--workload mnist|cifar|resnet] [--network constant|random|cities]\n\
          \u{20}                     [--workers N] [--rounds N] [--epochs F] [--c F] [--seed N]\n\
-         \u{20}                     [--eval-every N] [--target-acc F]"
+         \u{20}                     [--eval-every N] [--target-acc F] [--threads seq|auto|N]"
     );
     std::process::exit(2);
 }
@@ -123,27 +137,36 @@ fn main() {
         .eval_every(args.eval_every)
         .eval_samples(1_000)
         .max_epochs(args.epochs)
+        .parallelism(args.threads)
         .observer(Box::new(CsvSink::new(std::io::stdout())));
     if let Some(t) = args.target_acc {
         exp = exp.target_accuracy(t);
     }
     eprintln!(
-        "# {} on {} — {} workers, network = {}",
+        "# {} on {} — {} workers, network = {}, {} thread(s)",
         spec.label(),
         workload.name,
         workers,
-        args.network
+        args.network,
+        args.threads.resolve(),
     );
     let hist = exp.run(&registry()).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
 
+    let entry = ThroughputEntry::from_run(&hist, workload.name, workers, args.threads);
     eprintln!(
-        "# final acc {:.2}% | worker traffic {:.4} MB | server {:.4} MB | comm time {:.2} s",
+        "# final acc {:.2}% | worker traffic {:.4} MB | server {:.4} MB | comm time {:.2} s | {:.2} rounds/s wall",
         hist.final_acc * 100.0,
         hist.total_worker_traffic_mb,
         hist.total_server_traffic_mb,
         hist.total_comm_time_s,
+        entry.rounds_per_sec,
     );
+    let path = Path::new(throughput::BENCH_FILE);
+    match throughput::record(path, &[entry]) {
+        Ok(()) => eprintln!("# round throughput recorded to {}", path.display()),
+        Err(e) => eprintln!("# warning: could not write {}: {e}", path.display()),
+    }
 }

@@ -14,10 +14,11 @@
 #![warn(missing_docs)]
 
 pub mod table;
+pub mod throughput;
 pub mod workload;
 
 pub use saps_baselines::registry;
-pub use saps_core::{AlgorithmSpec, Experiment};
+pub use saps_core::{AlgorithmSpec, Experiment, ParallelismPolicy};
 pub use workload::Workload;
 
 use saps_core::experiment::RunHistory;

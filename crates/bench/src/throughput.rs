@@ -1,0 +1,266 @@
+//! Round-throughput recording: the perf trajectory's machine-readable
+//! baseline.
+//!
+//! Every PR that touches the round engine needs a number to move, so
+//! the runner binaries (`run_experiment` and `fig6_comm_time
+//! --throughput`) record *rounds per wall-clock second* — algorithm,
+//! workload, worker count and thread count included — into
+//! `BENCH_round_throughput.json` in the working directory. The file is
+//! plain JSON written by hand (no serde in the dependency-free build),
+//! stable enough to diff across commits.
+
+use saps_core::experiment::RunHistory;
+use saps_core::ParallelismPolicy;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Canonical output file name, written to the working directory.
+pub const BENCH_FILE: &str = "BENCH_round_throughput.json";
+
+/// One measured configuration: how fast the driver stepped rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputEntry {
+    /// Algorithm name (paper spelling).
+    pub algorithm: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Fleet size `n`.
+    pub workers: usize,
+    /// Resolved thread count of the run's [`ParallelismPolicy`].
+    pub threads: usize,
+    /// Rounds actually driven.
+    pub rounds: usize,
+    /// Wall-clock seconds the driver spent ([`RunHistory::wall_time_s`]).
+    pub wall_s: f64,
+    /// `rounds / wall_s` — the headline number.
+    pub rounds_per_sec: f64,
+}
+
+impl ThroughputEntry {
+    /// Builds an entry from a finished run.
+    pub fn from_run(
+        hist: &RunHistory,
+        workload: &str,
+        workers: usize,
+        policy: ParallelismPolicy,
+    ) -> Self {
+        let rounds = hist.points.len();
+        let wall = hist.wall_time_s.max(f64::MIN_POSITIVE);
+        ThroughputEntry {
+            algorithm: hist.algorithm.clone(),
+            workload: workload.to_string(),
+            workers,
+            threads: policy.resolve(),
+            rounds,
+            wall_s: hist.wall_time_s,
+            rounds_per_sec: rounds as f64 / wall,
+        }
+    }
+}
+
+/// Parses a `--threads` CLI value: `seq`, `auto`, or a thread count.
+pub fn parse_policy(value: &str) -> Option<ParallelismPolicy> {
+    match value {
+        "seq" | "sequential" | "1" => Some(ParallelismPolicy::Sequential),
+        "auto" => Some(ParallelismPolicy::Auto),
+        n => n.parse().ok().map(ParallelismPolicy::Threads),
+    }
+}
+
+/// Merges `new_entries` into the record at `path` and rewrites it:
+/// an existing entry with the same `(algorithm, workload, workers,
+/// threads)` key is replaced in place, everything else is kept, and new
+/// configurations append. This is what the binaries call, so
+/// `run_experiment` runs don't clobber the `fig6_comm_time
+/// --throughput` acceptance record (or vice versa). A file in an
+/// unrecognized format is rewritten from scratch.
+pub fn record(path: &Path, new_entries: &[ThroughputEntry]) -> io::Result<()> {
+    let mut entries = read_entries(path).unwrap_or_default();
+    for ne in new_entries {
+        match entries.iter_mut().find(|e| key(e) == key(ne)) {
+            Some(slot) => *slot = ne.clone(),
+            None => entries.push(ne.clone()),
+        }
+    }
+    write_json(path, &entries)
+}
+
+fn key(e: &ThroughputEntry) -> (&str, &str, usize, usize) {
+    (&e.algorithm, &e.workload, e.workers, e.threads)
+}
+
+/// Best-effort parse of a file this module wrote (one entry per line).
+/// Returns `None` when the file is missing or any entry line does not
+/// parse — callers start a fresh record in that case.
+pub fn read_entries(path: &Path) -> Option<Vec<ThroughputEntry>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with("{\"algorithm\"") {
+            continue;
+        }
+        out.push(parse_entry(line)?);
+    }
+    Some(out)
+}
+
+fn parse_entry(line: &str) -> Option<ThroughputEntry> {
+    Some(ThroughputEntry {
+        algorithm: field_str(line, "algorithm")?,
+        workload: field_str(line, "workload")?,
+        workers: field_num(line, "workers")?.parse().ok()?,
+        threads: field_num(line, "threads")?.parse().ok()?,
+        rounds: field_num(line, "rounds")?.parse().ok()?,
+        wall_s: field_num(line, "wall_s")?.parse().ok()?,
+        rounds_per_sec: field_num(line, "rounds_per_sec")?.parse().ok()?,
+    })
+}
+
+/// Reads (and unescapes) the string value of `"name": "…"` in `line`.
+fn field_str(line: &str, name: &str) -> Option<String> {
+    let pat = format!("\"{name}\": \"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => out.push(chars.next()?),
+            '"' => return Some(out),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Reads the numeric token of `"name": …` in `line`.
+fn field_num<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("\"{name}\": ");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+/// Serializes entries to the JSON layout below and writes them to
+/// `path` (atomically enough for a bench artifact: truncate + write).
+///
+/// ```json
+/// {
+///   "bench": "round_throughput",
+///   "entries": [
+///     {"algorithm": "SAPS-PSGD", "workload": "CIFAR10-CNN (scaled)",
+///      "workers": 16, "threads": 4, "rounds": 30,
+///      "wall_s": 1.234567, "rounds_per_sec": 24.3} ]
+/// }
+/// ```
+pub fn write_json(path: &Path, entries: &[ThroughputEntry]) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "{}", render_json(entries))?;
+    f.flush()
+}
+
+fn render_json(entries: &[ThroughputEntry]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"round_throughput\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"workload\": \"{}\", \"workers\": {}, \
+             \"threads\": {}, \"rounds\": {}, \"wall_s\": {:.6}, \"rounds_per_sec\": {:.3}}}{}\n",
+            escape(&e.algorithm),
+            escape(&e.workload),
+            e.workers,
+            e.threads,
+            e.rounds,
+            e.wall_s,
+            e.rounds_per_sec,
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(threads: usize, rps: f64) -> ThroughputEntry {
+        ThroughputEntry {
+            algorithm: "SAPS-PSGD".into(),
+            workload: "CIFAR10-CNN (scaled)".into(),
+            workers: 16,
+            threads,
+            rounds: 30,
+            wall_s: 30.0 / rps,
+            rounds_per_sec: rps,
+        }
+    }
+
+    #[test]
+    fn json_layout_is_stable() {
+        let text = render_json(&[entry(1, 10.0), entry(4, 25.0)]);
+        assert!(text.starts_with("{\n  \"bench\": \"round_throughput\""));
+        assert_eq!(text.matches("\"algorithm\": \"SAPS-PSGD\"").count(), 2);
+        assert_eq!(
+            text.matches("},\n").count(),
+            1,
+            "comma between entries only"
+        );
+        assert!(text.contains("\"threads\": 4"));
+        assert!(text.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(parse_policy("seq"), Some(ParallelismPolicy::Sequential));
+        assert_eq!(parse_policy("auto"), Some(ParallelismPolicy::Auto));
+        assert_eq!(parse_policy("4"), Some(ParallelismPolicy::Threads(4)));
+        assert_eq!(parse_policy("bogus"), None);
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut e = entry(1, 10.0);
+        e.workload = "odd \"name\"".into();
+        assert!(render_json(&[e]).contains("odd \\\"name\\\""));
+    }
+
+    #[test]
+    fn record_roundtrips_and_merges_instead_of_clobbering() {
+        let dir = std::env::temp_dir().join(format!("saps-throughput-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(BENCH_FILE);
+        let _ = std::fs::remove_file(&path);
+
+        // Values chosen so wall_s/rounds_per_sec survive the %.6/%.3
+        // formatting exactly, making the roundtrip comparison strict.
+        // Fresh file from the acceptance benchmark…
+        record(&path, &[entry(1, 10.0), entry(4, 25.0)]).unwrap();
+        // …then an unrelated run_experiment configuration must append…
+        let mut other = entry(2, 15.0);
+        other.algorithm = "D-PSGD".into();
+        other.workload = "odd \"name\"".into();
+        record(&path, &[other.clone()]).unwrap();
+        // …and a re-measurement of an existing key must replace it.
+        record(&path, &[entry(4, 12.0)]).unwrap();
+
+        let got = read_entries(&path).unwrap();
+        assert_eq!(got, vec![entry(1, 10.0), entry(4, 12.0), other]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unrecognized_files_start_fresh() {
+        let dir = std::env::temp_dir().join(format!("saps-throughput-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(BENCH_FILE);
+        std::fs::write(&path, "{\"algorithm\" but not really json").unwrap();
+        assert_eq!(read_entries(&path), None);
+        record(&path, &[entry(1, 10.0)]).unwrap();
+        assert_eq!(read_entries(&path).unwrap().len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -37,15 +37,35 @@ impl RandomMask {
     ///
     /// Panics if `c < 1` (a keep probability above 1 is meaningless).
     pub fn generate(model_len: usize, c: f64, seed: u64, round: u64) -> Self {
+        let mut mask = RandomMask {
+            model_len,
+            indices: Vec::new(),
+        };
+        mask.regenerate(model_len, c, seed, round);
+        mask
+    }
+
+    /// Re-runs [`RandomMask::generate`] in place, reusing the index
+    /// buffer's capacity — trainers that keep one mask per algorithm
+    /// instance call this every round instead of allocating a fresh
+    /// mask. Produces exactly the mask `generate` would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c < 1` (a keep probability above 1 is meaningless).
+    pub fn regenerate(&mut self, model_len: usize, c: f64, seed: u64, round: u64) {
         assert!(c >= 1.0, "compression ratio must be >= 1, got {c}");
         let p = 1.0 / c;
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, round, MASK_STREAM));
+        self.model_len = model_len;
+        let indices = &mut self.indices;
+        indices.clear();
         // Sampling a geometric gap between kept indices is O(nnz) instead
         // of O(N) Bernoulli draws; for c=1000 and N in the millions this
         // is the difference between microseconds and milliseconds.
-        let mut indices = Vec::with_capacity((model_len as f64 * p * 1.2) as usize + 4);
+        indices.reserve((model_len as f64 * p * 1.2) as usize + 4);
         if p >= 1.0 {
-            indices = (0..model_len as u32).collect();
+            indices.extend(0..model_len as u32);
         } else {
             let log_q = (1.0 - p).ln();
             let mut i: usize = 0;
@@ -61,7 +81,6 @@ impl RandomMask {
                 i += 1;
             }
         }
-        RandomMask { model_len, indices }
     }
 
     /// Builds a mask from explicit indices (test/bench helper). Indices
@@ -104,8 +123,18 @@ impl RandomMask {
     /// Applies the mask: returns the kept values of `x` in index order
     /// (the sparse payload `x̃ = x ∘ m` of Eq. 2, minus the zeros).
     pub fn apply(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.indices.len());
+        self.apply_into(x, &mut out);
+        out
+    }
+
+    /// [`RandomMask::apply`] into a caller-owned buffer, reusing its
+    /// capacity (the exchange hot path calls this once per payload per
+    /// round).
+    pub fn apply_into(&self, x: &[f32], out: &mut Vec<f32>) {
         assert_eq!(x.len(), self.model_len, "mask/model length mismatch");
-        self.indices.iter().map(|&i| x[i as usize]).collect()
+        out.clear();
+        out.extend(self.indices.iter().map(|&i| x[i as usize]));
     }
 
     /// Dense 0/1 representation (test helper; O(N)).
@@ -214,6 +243,28 @@ mod tests {
         for &i in m.indices() {
             assert_eq!(x[i as usize], y[i as usize]);
         }
+    }
+
+    #[test]
+    fn regenerate_matches_generate_and_reuses_capacity() {
+        let mut m = RandomMask::generate(50_000, 10.0, 9, 0);
+        let cap = m.indices.capacity();
+        for round in 1..5u64 {
+            m.regenerate(50_000, 10.0, 9, round);
+            assert_eq!(m, RandomMask::generate(50_000, 10.0, 9, round));
+        }
+        assert_eq!(m.indices.capacity(), cap, "regenerate reallocated");
+    }
+
+    #[test]
+    fn apply_into_reuses_buffer() {
+        let m = RandomMask::from_indices(4, vec![1, 3]);
+        let mut buf = Vec::with_capacity(16);
+        m.apply_into(&[10.0, 11.0, 12.0, 13.0], &mut buf);
+        assert_eq!(buf, vec![11.0, 13.0]);
+        m.apply_into(&[0.0, 1.0, 2.0, 3.0], &mut buf);
+        assert_eq!(buf, vec![1.0, 3.0]);
+        assert!(buf.capacity() >= 16);
     }
 
     #[test]

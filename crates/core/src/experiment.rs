@@ -1,7 +1,8 @@
 //! The experiment driver: declarative spec → registry → event-driven run.
 //!
-//! [`Experiment`] replaces the old free `sim::run` + `RunOptions` pair.
-//! It owns the whole recipe of one run — dataset and partition strategy,
+//! [`Experiment`] is the one supported way to run an algorithm (the old
+//! free `sim::run` + `RunOptions` pair is gone after its deprecation
+//! window). It owns the whole recipe of one run — dataset and partition strategy,
 //! bandwidth model, algorithm spec, event schedule, evaluation cadence,
 //! early stop — builds the trainer through an
 //! [`crate::AlgorithmRegistry`], and drives it round by round through
@@ -39,9 +40,11 @@ use rand::rngs::StdRng;
 use saps_data::{partition, Dataset};
 use saps_netsim::{to_mb, BandwidthMatrix, TrafficAccountant};
 use saps_nn::Model;
+use saps_runtime::{Executor, ParallelismPolicy};
 use saps_tensor::rng::{derive_seed, streams};
 use std::io::Write;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One sampled point of a training run.
 ///
@@ -97,6 +100,12 @@ pub struct RunHistory {
     pub total_server_traffic_mb: f64,
     /// Total communication time (seconds).
     pub total_comm_time_s: f64,
+    /// Wall-clock time the driver spent stepping and evaluating
+    /// (seconds) — the throughput denominator of
+    /// `BENCH_round_throughput.json`. Unlike every other field it is
+    /// *not* deterministic, so comparisons of run equality should skip
+    /// it.
+    pub wall_time_s: f64,
 }
 
 impl RunHistory {
@@ -253,6 +262,7 @@ pub struct Experiment {
     events: Vec<ScheduledEvent>,
     factory: Option<ModelFactory>,
     observers: Vec<Box<dyn RoundObserver>>,
+    parallelism: ParallelismPolicy,
 }
 
 impl std::fmt::Debug for Experiment {
@@ -288,6 +298,7 @@ impl Experiment {
             events: Vec::new(),
             factory: None,
             observers: Vec::new(),
+            parallelism: ParallelismPolicy::Auto,
         }
     }
 
@@ -411,6 +422,16 @@ impl Experiment {
         self.observer(Box::new(f))
     }
 
+    /// How many threads the per-worker compute phase of each round may
+    /// use (default [`ParallelismPolicy::Auto`]: all cores). Every
+    /// policy produces the bit-identical [`RunHistory`] — switch to
+    /// [`ParallelismPolicy::Sequential`] only to debug or profile a
+    /// single lane.
+    pub fn parallelism(mut self, policy: ParallelismPolicy) -> Self {
+        self.parallelism = policy;
+        self
+    }
+
     /// Builds the trainer through `registry` and drives the full run.
     pub fn run(mut self, registry: &AlgorithmRegistry) -> Result<RunHistory, ConfigError> {
         self.spec.validate()?;
@@ -478,6 +499,8 @@ impl Experiment {
         events.sort_by_key(|e| e.round);
         let mut next_event = 0usize;
 
+        let exec = Executor::new(self.parallelism);
+        let started = Instant::now();
         let mut traffic = TrafficAccountant::new(self.workers);
         let mut points = Vec::with_capacity(self.rounds);
         let mut epoch = 0.0f64;
@@ -508,6 +531,7 @@ impl Experiment {
                         total_worker_traffic_mb: to_mb(traffic.max_worker_total()),
                         total_server_traffic_mb: to_mb(traffic.server_total()),
                         total_comm_time_s: time_s,
+                        wall_time_s: started.elapsed().as_secs_f64(),
                         points,
                     };
                     for obs in &mut self.observers {
@@ -530,7 +554,8 @@ impl Experiment {
             }
 
             let rep = {
-                let mut ctx = RoundCtx::new(round, &current, &mut traffic, self.seed);
+                let mut ctx =
+                    RoundCtx::new(round, &current, &mut traffic, self.seed).with_executor(exec);
                 trainer.step(&mut ctx)
             };
             epoch += rep.epochs_advanced;
@@ -568,6 +593,7 @@ impl Experiment {
             total_worker_traffic_mb: to_mb(traffic.max_worker_total()),
             total_server_traffic_mb: to_mb(traffic.server_total()),
             total_comm_time_s: time_s,
+            wall_time_s: started.elapsed().as_secs_f64(),
             points,
         };
         for obs in &mut self.observers {
@@ -656,6 +682,7 @@ mod tests {
             total_worker_traffic_mb: 0.0,
             total_server_traffic_mb: 0.0,
             total_comm_time_s: 0.0,
+            wall_time_s: 0.0,
         };
         assert_eq!(h.first_reaching(0.5).unwrap().round, 4);
         assert!(h.first_reaching(0.99).is_none());
@@ -800,6 +827,24 @@ mod tests {
         let s = seen.borrow();
         assert_eq!(s.0, 3, "three rounds should have streamed");
         assert!(s.1, "on_complete must flush the partial history");
+    }
+
+    #[test]
+    fn parallel_policy_is_bit_identical_to_sequential() {
+        let run = |p: ParallelismPolicy| {
+            base()
+                .rounds(10)
+                .eval_every(5)
+                .eval_samples(150)
+                .parallelism(p)
+                .run(&AlgorithmRegistry::core())
+                .unwrap()
+        };
+        let seq = run(ParallelismPolicy::Sequential);
+        let par = run(ParallelismPolicy::Threads(3));
+        assert_eq!(seq.points, par.points);
+        assert_eq!(seq.final_acc, par.final_acc);
+        assert_eq!(seq.total_comm_time_s, par.total_comm_time_s);
     }
 
     #[test]

@@ -20,7 +20,14 @@
 //!   strategy + bandwidth model + [`ScenarioEvent`] schedule + observers,
 //!   producing the [`experiment::RunHistory`] curves behind Figs. 3-6 and
 //!   Tables III/IV;
+//! * [`Executor`] / [`ParallelismPolicy`] (re-exported from
+//!   `saps-runtime`) — the deterministic multi-threaded round engine:
+//!   every round's per-worker compute phase fans out across threads and
+//!   produces bit-identical results at any thread count;
 //! * [`complexity`] — Table I's analytic communication-cost formulas.
+//!
+//! The crate map, actor roles and round lifecycle are documented
+//! end-to-end in `docs/ARCHITECTURE.md` at the repository root.
 //!
 //! # Example
 //!
@@ -43,7 +50,7 @@
 //! assert!(hist.points.iter().all(|p| p.train_loss.is_finite()));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod checkpoint;
 pub mod complexity;
@@ -53,7 +60,6 @@ pub mod experiment;
 mod gossipgen;
 mod registry;
 mod scenario;
-pub mod sim;
 mod spec;
 mod trainer;
 mod worker;
@@ -65,6 +71,7 @@ pub use experiment::{
 };
 pub use gossipgen::{GossipGenerator, PeerStrategy};
 pub use registry::{AlgorithmRegistry, BuildCtx, BuilderFn, ModelFactory};
+pub use saps_runtime::{Executor, ParallelismPolicy};
 pub use scenario::{BandwidthModel, ScenarioEvent, ScheduledEvent};
 pub use spec::AlgorithmSpec;
 pub use trainer::{RoundCtx, RoundReport, Trainer};

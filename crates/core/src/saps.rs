@@ -88,6 +88,13 @@ pub struct SapsPsgd {
     bw_snapshot: BandwidthMatrix,
     eval_model: Model,
     n_params: usize,
+    /// The shared per-round mask, regenerated in place each round so its
+    /// index buffer is reused instead of reallocated.
+    mask: RandomMask,
+    /// The two payload buffers of the pairwise exchange, reused across
+    /// pairs and rounds.
+    pay_a: Vec<f32>,
+    pay_b: Vec<f32>,
 }
 
 impl std::fmt::Debug for SapsPsgd {
@@ -167,6 +174,9 @@ impl SapsPsgd {
             bw_snapshot: bw.clone(),
             eval_model,
             n_params,
+            mask: RandomMask::from_indices(n_params, Vec::new()),
+            pay_a: Vec::new(),
+            pay_b: Vec::new(),
         })
     }
 
@@ -295,40 +305,61 @@ impl Trainer for SapsPsgd {
 
     fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
         let bw = ctx.bw;
+        let exec = ctx.exec;
         let traffic = &mut *ctx.traffic;
         let ranks = self.active_ranks();
         let plan = self.coordinator.begin_round();
 
-        // Local SGD on every active worker (Algorithm 2, line 5).
+        // Local SGD on every active worker (Algorithm 2, line 5) — the
+        // compute phase, fanned out across the round executor. Each
+        // worker owns its model/data/RNG, and the results are reduced in
+        // rank order, so any thread count yields identical numbers.
+        let (bs, lr) = (self.cfg.batch_size, self.cfg.lr);
+        let active = &self.active;
+        let step_workers: Vec<&mut Worker> = self
+            .workers
+            .iter_mut()
+            .zip(active)
+            .filter_map(|(w, &a)| a.then_some(w))
+            .collect();
+        let results = exec.par_map(step_workers, |_, w| w.sgd_step(bs, lr));
         let mut loss_acc = 0.0f64;
         let mut acc_acc = 0.0f64;
-        for &r in &ranks {
-            let (l, a) = self.workers[r].sgd_step(self.cfg.batch_size, self.cfg.lr);
+        for (l, a) in results {
             loss_acc += l as f64;
             acc_acc += a as f64;
         }
 
-        // Shared-seed mask (line 6); identical on every worker.
-        let mask = RandomMask::generate(
+        // Shared-seed mask (line 6); identical on every worker,
+        // regenerated in place to reuse the index buffer.
+        self.mask.regenerate(
             self.n_params,
             self.cfg.compression,
             plan.mask_seed,
             plan.round,
         );
-        let payload_bytes = codec::sparse_shared_mask_bytes(mask.nnz());
+        let payload_bytes = codec::sparse_shared_mask_bytes(self.mask.nnz());
 
-        // Exchange over the matched pairs (lines 8-10). The matching is
-        // over active-subset indices; translate to global ranks.
+        // Exchange over the matched pairs (lines 8-10) on the deltas the
+        // compute phase produced. The matching is over active-subset
+        // indices; translate to global ranks.
         let mut transfers = Vec::new();
         let mut link_bw_sum = 0.0f64;
         let mut link_bw_min = f64::INFINITY;
         let pairs = plan.matching.pairs();
         for &(ai, aj) in &pairs {
             let (ri, rj) = (ranks[ai], ranks[aj]);
-            let pi = self.workers[ri].sparse_payload(&mask);
-            let pj = self.workers[rj].sparse_payload(&mask);
-            self.workers[ri].merge_sparse(&mask, &pj);
-            self.workers[rj].merge_sparse(&mask, &pi);
+            let SapsPsgd {
+                workers,
+                mask,
+                pay_a,
+                pay_b,
+                ..
+            } = self;
+            workers[ri].sparse_payload_into(mask, pay_a);
+            workers[rj].sparse_payload_into(mask, pay_b);
+            workers[ri].merge_sparse(mask, pay_b);
+            workers[rj].merge_sparse(mask, pay_a);
             traffic.record_p2p(ri, rj, payload_bytes);
             traffic.record_p2p(rj, ri, payload_bytes);
             transfers.push((ri, rj, payload_bytes));

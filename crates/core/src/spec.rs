@@ -15,6 +15,23 @@ use crate::ConfigError;
 /// Defaults (via [`AlgorithmSpec::parse`] or the `from_str` impl) follow
 /// Section IV-A: SAPS `c = 100`, TopK `c = 1000`, S-FedAvg `c = 100`,
 /// DCD `c = 4`, FedAvg-style participation `0.5` with 5 local steps.
+///
+/// # Example
+///
+/// ```
+/// use saps_core::AlgorithmSpec;
+///
+/// // Parse by CLI key or paper label, then tweak hyper-parameters.
+/// let spec = AlgorithmSpec::parse("SAPS-PSGD").unwrap().with_compression(10.0);
+/// assert_eq!(spec.key(), "saps");
+/// assert_eq!(spec.label(), "SAPS-PSGD");
+/// assert_eq!(spec.compression(), Some(10.0));
+/// assert!(spec.validate().is_ok());
+///
+/// // Specs are plain data: hand one to `Experiment::new` and run it
+/// // against a registry that knows the key (see `Experiment`'s docs).
+/// assert_eq!(AlgorithmSpec::paper_defaults().len(), 8);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AlgorithmSpec {
     /// SAPS-PSGD (the paper's algorithm).

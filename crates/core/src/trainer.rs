@@ -12,6 +12,7 @@ use crate::ConfigError;
 use rand::rngs::StdRng;
 use saps_data::Dataset;
 use saps_netsim::{BandwidthMatrix, TrafficAccountant};
+use saps_runtime::Executor;
 use saps_tensor::rng::{rng_for, streams};
 
 /// Everything one communication round is allowed to see and charge.
@@ -29,11 +30,19 @@ pub struct RoundCtx<'a> {
     /// experiment seed and the round index. Algorithms with their own
     /// internal RNG streams may ignore it.
     pub rng: StdRng,
+    /// The execution lane for the round's per-worker compute phase.
+    /// Parallel and sequential executors produce bit-identical rounds
+    /// (see [`saps_runtime`]); [`RoundCtx::new`] defaults to sequential
+    /// so hand-driven stepping stays single-threaded, and the
+    /// [`crate::Experiment`] driver installs the configured executor via
+    /// [`RoundCtx::with_executor`].
+    pub exec: Executor,
 }
 
 impl<'a> RoundCtx<'a> {
     /// Builds the context for round `round`. `seed` is the experiment
-    /// seed the per-round RNG derives from.
+    /// seed the per-round RNG derives from. The compute executor
+    /// defaults to [`Executor::sequential`].
     pub fn new(
         round: usize,
         bw: &'a BandwidthMatrix,
@@ -45,7 +54,14 @@ impl<'a> RoundCtx<'a> {
             bw,
             traffic,
             rng: rng_for(seed, round as u64, streams::ROUND),
+            exec: Executor::sequential(),
         }
+    }
+
+    /// Replaces the compute executor (builder style).
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The 0-based communication round index.

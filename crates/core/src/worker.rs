@@ -9,11 +9,19 @@ use saps_tensor::rng::{derive_seed, streams};
 
 /// A training worker: a local model, a local data shard and a private
 /// batch-sampling RNG.
+///
+/// Workers are self-contained — model, data and RNG are owned, nothing
+/// is shared — which is what lets the round engine fan their compute
+/// phase out across threads without changing any result.
 pub struct Worker {
     rank: usize,
     model: Model,
     data: Dataset,
     rng: StdRng,
+    /// Model-sized scratch reused by every flat read-modify-write
+    /// ([`Worker::update_flat`]) so steady-state rounds allocate nothing
+    /// model-sized.
+    flat_scratch: Vec<f32>,
 }
 
 impl std::fmt::Debug for Worker {
@@ -36,6 +44,7 @@ impl Worker {
             model,
             data,
             rng: StdRng::seed_from_u64(derive_seed(seed, rank as u64, streams::BATCH)),
+            flat_scratch: Vec::new(),
         }
     }
 
@@ -91,12 +100,34 @@ impl Worker {
         mask.apply(&self.model.flat_params())
     }
 
+    /// [`Worker::sparse_payload`] into a caller-owned buffer, staging
+    /// the flat parameters through this worker's scratch — the
+    /// allocation-free form the per-round exchange uses.
+    pub fn sparse_payload_into(&mut self, mask: &RandomMask, out: &mut Vec<f32>) {
+        self.model.copy_flat_params_into(&mut self.flat_scratch);
+        mask.apply_into(&self.flat_scratch, out);
+    }
+
+    /// Flat read-modify-write through the worker's reusable scratch:
+    /// loads the model into the scratch buffer, lets `f` rewrite it,
+    /// and stores it back. The building block for every dense update
+    /// (`merge_sparse`, ring mixing, all-reduce application) that used
+    /// to allocate a fresh `N`-vector per call.
+    pub fn update_flat(&mut self, f: impl FnOnce(&mut [f32])) {
+        self.model.copy_flat_params_into(&mut self.flat_scratch);
+        f(&mut self.flat_scratch);
+        self.model.set_flat_params(&self.flat_scratch);
+    }
+
+    /// `x ← x + scale · v` over the flat parameters (allocation-free).
+    pub fn add_scaled(&mut self, scale: f32, v: &[f32]) {
+        self.update_flat(|flat| saps_tensor::ops::axpy(scale, v, flat));
+    }
+
     /// The exchange-and-average step (Algorithm 2 lines 9-10):
     /// `x ← x ∘ ¬m + (x̃ + x̃_peer)/2` on the masked coordinates.
     pub fn merge_sparse(&mut self, mask: &RandomMask, peer_values: &[f32]) {
-        let mut flat = self.model.flat_params();
-        mask.average_into(&mut flat, peer_values);
-        self.model.set_flat_params(&flat);
+        self.update_flat(|flat| mask.average_into(flat, peer_values));
     }
 
     /// Overwrites the whole model from a flat vector (used by PS-style
@@ -186,6 +217,27 @@ mod tests {
             let expect = 0.5 * (fa0[i] + fb0[i]);
             assert!((fa1[i] - expect).abs() < 1e-7);
         }
+    }
+
+    #[test]
+    fn update_flat_and_add_scaled_reuse_scratch() {
+        let mut w = worker(0, 3);
+        let before = w.flat();
+        w.add_scaled(-1.0, &before);
+        assert!(w.flat().iter().all(|&v| v == 0.0));
+        w.update_flat(|flat| flat.copy_from_slice(&before));
+        assert_eq!(w.flat(), before);
+    }
+
+    #[test]
+    fn sparse_payload_into_matches_allocating_form() {
+        let mut w = worker(0, 5);
+        let n = w.model().num_params();
+        let mask = RandomMask::generate(n, 4.0, 3, 1);
+        let expect = w.sparse_payload(&mask);
+        let mut buf = Vec::new();
+        w.sparse_payload_into(&mask, &mut buf);
+        assert_eq!(buf, expect);
     }
 
     #[test]

@@ -9,7 +9,12 @@ use saps_tensor::Tensor;
 /// [`Layer::backward`] call consumes that cache (one backward per
 /// forward). Parameter gradients accumulate into the layer until
 /// [`Layer::zero_grads`].
-pub trait Layer {
+///
+/// `Send + Sync` are supertraits so whole models can move between the
+/// round engine's worker threads (and be read through `&` from several
+/// of them); layers are plain tensors plus caches with no interior
+/// mutability, so every implementation satisfies both for free.
+pub trait Layer: Send + Sync {
     /// Computes the layer output. `train` distinguishes training-mode
     /// behaviour (e.g. batch-norm statistics).
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;

@@ -140,12 +140,21 @@ impl Model {
     /// distributed algorithm exchanges.
     pub fn flat_params(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.num_params());
+        self.copy_flat_params_into(&mut out);
+        out
+    }
+
+    /// [`Model::flat_params`] into a caller-owned buffer, reusing its
+    /// capacity — the allocation-free variant the per-round exchange
+    /// paths use with their scratch buffers.
+    pub fn copy_flat_params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.num_params());
         for layer in &self.layers {
             for p in layer.params() {
                 out.extend_from_slice(p.data());
             }
         }
-        out
     }
 
     /// Overwrites all parameters from a flat vector (inverse of

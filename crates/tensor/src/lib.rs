@@ -34,6 +34,7 @@
 mod mat;
 pub mod ops;
 pub mod rng;
+pub mod scratch;
 mod tensor;
 
 pub use mat::Mat;

@@ -1,0 +1,106 @@
+//! Reusable `f32` buffers for per-round hot paths.
+//!
+//! Every communication round used to allocate (and drop) a handful of
+//! model-sized vectors per worker — flattened parameters, mean
+//! gradients, mixed models. A [`BufferPool`] keeps those vectors alive
+//! between rounds: a trainer checks a buffer out at the start of a
+//! phase, fills it, and checks it back in when the phase ends, so after
+//! the first round the steady state performs no model-sized allocations.
+//!
+//! The pool is deliberately value-dumb: buffers come back with whatever
+//! contents the last user left (sized to the request, zero-filled on
+//! growth), so callers must fully overwrite them — which every current
+//! user does by construction (`copy_from_slice`, `clear` + `extend`,
+//! or writing all `n` coordinates).
+
+/// A last-in-first-out pool of `Vec<f32>` scratch buffers.
+///
+/// ```
+/// use saps_tensor::scratch::BufferPool;
+///
+/// let mut pool = BufferPool::new();
+/// let mut a = pool.take(4);
+/// assert_eq!(a.len(), 4);
+/// a.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+/// pool.give(a);
+/// // The next taker reuses the allocation.
+/// let b = pool.take(4);
+/// assert!(b.capacity() >= 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<f32>>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufferPool { free: Vec::new() }
+    }
+
+    /// Checks out a buffer resized to exactly `len` elements, reusing a
+    /// previously returned allocation when one is available. Contents
+    /// are unspecified (stale values up to the old length, zeros
+    /// beyond) — overwrite before reading.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Like [`BufferPool::take`] but zero-filled, for accumulators.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take(len);
+        buf.iter_mut().for_each(|v| *v = 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for the next [`BufferPool::take`].
+    pub fn give(&mut self, buf: Vec<f32>) {
+        self.free.push(buf);
+    }
+
+    /// Number of buffers currently checked in.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_resizes_and_give_recycles() {
+        let mut pool = BufferPool::new();
+        let a = pool.take(8);
+        assert_eq!(a.len(), 8);
+        let ptr = a.as_ptr();
+        pool.give(a);
+        assert_eq!(pool.available(), 1);
+        let b = pool.take(6);
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.as_ptr(), ptr, "allocation was not reused");
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_values() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.take(4);
+        a.copy_from_slice(&[9.0; 4]);
+        pool.give(a);
+        let b = pool.take_zeroed(4);
+        assert_eq!(b, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn growth_zero_fills_the_tail() {
+        let mut pool = BufferPool::new();
+        let mut a = pool.take(2);
+        a.copy_from_slice(&[5.0, 5.0]);
+        pool.give(a);
+        let b = pool.take(4);
+        assert_eq!(&b[2..], &[0.0, 0.0]);
+    }
+}

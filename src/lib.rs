@@ -18,6 +18,7 @@
 //! | [`gossip`] | gossip matrices, spectral ρ, consensus simulation |
 //! | [`compress`] | shared-seed random masks, top-k + error feedback, codecs |
 //! | [`tensor`] | dense tensors and f64 linear algebra |
+//! | [`runtime`] | the deterministic multi-threaded round engine ([`runtime::Executor`], [`runtime::ParallelismPolicy`]) |
 //!
 //! ## Quickstart
 //!
@@ -63,4 +64,5 @@ pub use saps_gossip as gossip;
 pub use saps_graph as graph;
 pub use saps_netsim as netsim;
 pub use saps_nn as nn;
+pub use saps_runtime as runtime;
 pub use saps_tensor as tensor;

@@ -3,7 +3,10 @@
 //! [`Experiment`] API and through raw [`RoundCtx`] stepping.
 
 use saps::baselines::registry;
-use saps::core::{AlgorithmSpec, BuildCtx, Experiment, PartitionStrategy, RoundCtx};
+use saps::core::{
+    AlgorithmSpec, BuildCtx, Experiment, ParallelismPolicy, PartitionStrategy, RoundCtx,
+    ScenarioEvent,
+};
 use saps::data::{Dataset, SyntheticSpec};
 use saps::netsim::{BandwidthMatrix, TrafficAccountant};
 use saps::nn::zoo;
@@ -170,6 +173,63 @@ fn all_trainers_keep_shape_stable_under_stepping() {
         assert_eq!(traffic.rounds().len(), ROUNDS, "{}", spec.label());
         let acc = trainer.evaluate(&val, 200);
         assert!((0.0..=1.0).contains(&acc), "{}", spec.label());
+    }
+}
+
+/// The round engine's determinism contract: for every algorithm, a run
+/// whose compute phase fans out over 4 threads produces the
+/// bit-identical `RunHistory` of a sequential run — same losses, same
+/// accuracies, same traffic, same simulated communication time — even
+/// while churn events reshape the fleet mid-run. This is what makes
+/// `ParallelismPolicy::Auto` safe as the default.
+#[test]
+fn parallel_runs_are_bit_identical_to_sequential_for_all_algorithms() {
+    let (train, val) = dataset();
+    let reg = registry();
+    for spec in all_specs() {
+        let run = |policy: ParallelismPolicy| {
+            Experiment::new(spec)
+                .train(train.clone())
+                .validation(val.clone())
+                .workers(N)
+                .batch_size(16)
+                .lr(0.1)
+                .seed(4)
+                .model(|rng| zoo::mlp(&[16, 20, 4], rng))
+                .rounds(6)
+                .eval_every(2)
+                .eval_samples(200)
+                // Churn mid-run: a worker leaves and later rejoins, so
+                // the fan-out also has to be deterministic while the
+                // active set shrinks and grows.
+                .event(2, ScenarioEvent::WorkerLeave { rank: N - 1 })
+                .event(4, ScenarioEvent::WorkerJoin { rank: N - 1 })
+                .parallelism(policy)
+                .run(&reg)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.label()))
+        };
+        let seq = run(ParallelismPolicy::Sequential);
+        let par = run(ParallelismPolicy::Threads(4));
+        assert_eq!(seq.points, par.points, "{} diverged", spec.label());
+        assert_eq!(seq.final_acc, par.final_acc, "{}", spec.label());
+        assert_eq!(
+            seq.total_worker_traffic_mb,
+            par.total_worker_traffic_mb,
+            "{}",
+            spec.label()
+        );
+        assert_eq!(
+            seq.total_comm_time_s,
+            par.total_comm_time_s,
+            "{}",
+            spec.label()
+        );
+        assert_eq!(
+            seq.total_server_traffic_mb,
+            par.total_server_traffic_mb,
+            "{}",
+            spec.label()
+        );
     }
 }
 
