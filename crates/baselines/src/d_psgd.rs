@@ -4,7 +4,6 @@ use crate::Fleet;
 use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
 use saps_graph::topology;
-use saps_netsim::timemodel;
 
 /// D-PSGD on the fixed ring `0 → 1 → … → n−1 → 0` (the paper's Section
 /// IV-D setup): each round every worker runs one SGD step, sends its
@@ -71,7 +70,7 @@ impl Trainer for DPsgd {
             }
         }
         traffic.end_round();
-        let comm_time_s = timemodel::p2p_round_time(bw, &transfers);
+        let timing = ctx.price_p2p(&transfers);
 
         let ring = topology::ring_edges_over(&ranks);
         let mean_link = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
@@ -82,7 +81,7 @@ impl Trainer for DPsgd {
         let mut rep = RoundReport::new();
         rep.mean_loss = loss;
         rep.mean_acc = acc;
-        rep.comm_time_s = comm_time_s;
+        rep.set_timing(&timing);
         rep.epochs_advanced = self.fleet.epochs_per_round();
         rep.mean_link_bandwidth = mean_link;
         rep.min_link_bandwidth = min_link;

@@ -6,7 +6,6 @@ use saps_compress::topk::{densify, top_k_indices};
 use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
 use saps_graph::topology;
-use saps_netsim::timemodel;
 
 /// DCD-PSGD on the fixed ring: each worker maintains a **replica** of
 /// each neighbour's model (the memory cost the paper criticizes) and
@@ -122,7 +121,7 @@ impl Trainer for DcdPsgd {
             }
         }
         traffic.end_round();
-        let comm_time_s = timemodel::p2p_round_time(bw, &transfers);
+        let timing = ctx.price_p2p(&transfers);
 
         let ring = topology::ring_edges_over(&ranks);
         let mean_link = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
@@ -133,7 +132,7 @@ impl Trainer for DcdPsgd {
         let mut rep = RoundReport::new();
         rep.mean_loss = loss;
         rep.mean_acc = acc;
-        rep.comm_time_s = comm_time_s;
+        rep.set_timing(&timing);
         rep.epochs_advanced = self.fleet.epochs_per_round();
         rep.mean_link_bandwidth = mean_link;
         rep.min_link_bandwidth = min_link;

@@ -6,7 +6,6 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
-use saps_netsim::timemodel;
 use saps_tensor::rng::{derive_seed, streams};
 
 /// FedAvg hyper-parameters.
@@ -135,12 +134,12 @@ impl Trainer for FedAvg {
             .iter()
             .map(|&r| (r, dense_bytes, dense_bytes))
             .collect();
-        let comm_time_s = timemodel::ps_round_time(bw, server, &transfers);
+        let timing = ctx.price_ps(server, &transfers);
 
         let mut rep = RoundReport::new();
         rep.mean_loss = (loss / steps) as f32;
         rep.mean_acc = (acc / steps) as f32;
-        rep.comm_time_s = comm_time_s;
+        rep.set_timing(&timing);
         rep.epochs_advanced =
             self.fleet.epochs_per_round() * self.cfg.local_steps as f64 * self.cfg.participation;
         rep

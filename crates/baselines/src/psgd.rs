@@ -4,7 +4,6 @@ use crate::Fleet;
 use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
 use saps_graph::topology;
-use saps_netsim::timemodel;
 use saps_tensor::ops;
 use saps_tensor::scratch::BufferPool;
 
@@ -78,7 +77,7 @@ impl Trainer for PsgdAllReduce {
         }
         traffic.end_round();
         // The slowest active ring link gates every all-reduce step.
-        let comm_time_s = timemodel::allreduce_ring_time_over(bw, &ranks, per_worker);
+        let timing = ctx.price_allreduce(&ranks, per_worker);
         let ring = topology::ring_edges_over(&ranks);
         let mean_link = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
         let min_link = ring
@@ -89,7 +88,7 @@ impl Trainer for PsgdAllReduce {
         let mut rep = RoundReport::new();
         rep.mean_loss = loss;
         rep.mean_acc = acc;
-        rep.comm_time_s = comm_time_s;
+        rep.set_timing(&timing);
         rep.epochs_advanced = self.fleet.epochs_per_round();
         rep.mean_link_bandwidth = mean_link;
         rep.min_link_bandwidth = min_link;

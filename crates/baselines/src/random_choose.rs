@@ -16,7 +16,6 @@ use saps_compress::mask::RandomMask;
 use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
 use saps_graph::topology::random_perfect_matching;
-use saps_netsim::timemodel;
 use saps_tensor::rng::{derive_seed, streams};
 
 /// SAPS-PSGD's sparse single-peer exchange with uniformly random peer
@@ -110,12 +109,12 @@ impl Trainer for RandomChoose {
         }
         traffic.end_round();
         self.round += 1;
-        let comm_time_s = timemodel::p2p_round_time(bw, &transfers);
+        let timing = ctx.price_p2p(&transfers);
 
         let mut rep = RoundReport::new();
         rep.mean_loss = loss;
         rep.mean_acc = acc;
-        rep.comm_time_s = comm_time_s;
+        rep.set_timing(&timing);
         rep.epochs_advanced = self.fleet.epochs_per_round();
         rep.mean_link_bandwidth = if pairs.is_empty() {
             0.0

@@ -8,7 +8,6 @@ use saps_compress::codec;
 use saps_compress::mask::RandomMask;
 use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
-use saps_netsim::timemodel;
 use saps_tensor::rng::{derive_seed, streams};
 
 /// Sparse FedAvg (Konečný et al.'s "random mask" structured update):
@@ -141,12 +140,12 @@ impl Trainer for SFedAvg {
             .zip(&up_bytes_of)
             .map(|(&r, &up)| (r, up, dense_bytes))
             .collect();
-        let comm_time_s = timemodel::ps_round_time(bw, server, &transfers);
+        let timing = ctx.price_ps(server, &transfers);
 
         let mut rep = RoundReport::new();
         rep.mean_loss = (loss / steps) as f32;
         rep.mean_acc = (acc / steps) as f32;
-        rep.comm_time_s = comm_time_s;
+        rep.set_timing(&timing);
         rep.epochs_advanced =
             self.fleet.epochs_per_round() * self.local_steps as f64 * self.participation;
         rep

@@ -5,7 +5,6 @@ use saps_compress::codec;
 use saps_compress::topk::{densify, ErrorFeedbackTopK};
 use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
-use saps_netsim::timemodel;
 use saps_tensor::scratch::BufferPool;
 
 /// TopK-PSGD \[20\], \[34\]: each worker sends the top `N/c` coordinates of
@@ -105,7 +104,7 @@ impl Trainer for TopKPsgd {
         traffic.end_round();
         // (m-1) sequential chunks over the slowest active link gate the
         // allgather.
-        let comm_time_s = timemodel::allgather_time_over(bw, &ranks, payload_bytes);
+        let timing = ctx.price_allgather(&ranks, payload_bytes);
         let mut min_link = f64::INFINITY;
         let mut sum_link = 0.0f64;
         let mut links = 0usize;
@@ -123,7 +122,7 @@ impl Trainer for TopKPsgd {
         let mut rep = RoundReport::new();
         rep.mean_loss = loss;
         rep.mean_acc = acc;
-        rep.comm_time_s = comm_time_s;
+        rep.set_timing(&timing);
         rep.epochs_advanced = self.fleet.epochs_per_round();
         rep.mean_link_bandwidth = sum_link / links.max(1) as f64;
         rep.min_link_bandwidth = min_link;

@@ -7,8 +7,17 @@
 //! slowest ring link for all-reduce).
 //!
 //! ```sh
-//! cargo run -p saps-bench --release --bin fig6_comm_time [mnist|cifar|resnet] [rounds]
+//! cargo run -p saps-bench --release --bin fig6_comm_time -- \
+//!     [--time-model=analytic|des] [mnist|cifar|resnet] [rounds]
 //! ```
+//!
+//! `--time-model=des` prices every round through the discrete-event
+//! network simulator (5 ms per-link latency, fair-share contention —
+//! see `docs/NETWORK_SIM.md`) instead of the closed-form analytic
+//! formulas; losses and traffic are bit-identical between the two, so
+//! the records are directly comparable. Either way the per-algorithm
+//! numbers are merged into `BENCH_comm_time.json`, keyed by
+//! `(algorithm, workload, workers, time_model)`.
 //!
 //! `--throughput [rounds]` instead runs the round-engine benchmark
 //! behind the paper's headline wall-clock claim: SAPS-PSGD on the
@@ -18,13 +27,52 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use saps_bench::commtime::{self, CommTimeEntry};
 use saps_bench::throughput::{self, ThroughputEntry};
 use saps_bench::{
     experiment, paper_lineup, registry, run_algorithms, table, AlgorithmSpec, ParallelismPolicy,
-    Workload,
+    TimeModel, Workload,
 };
 use saps_netsim::BandwidthMatrix;
 use std::path::Path;
+
+/// Extracts `--time-model=NAME` / `--time-model NAME` from `args`
+/// (both forms, matching `run_experiment`'s space-separated style).
+fn parse_time_model(args: &mut Vec<String>) -> TimeModel {
+    let mut model = TimeModel::Analytic;
+    let mut resolve = |name: &str| match name {
+        "analytic" => model = TimeModel::Analytic,
+        "des" => {
+            model = TimeModel::EventDriven {
+                latency: commtime::DES_DEFAULT_LATENCY_S,
+                contention: true,
+            }
+        }
+        other => {
+            eprintln!("unknown time model {other}; use --time-model=analytic|des");
+            std::process::exit(2);
+        }
+    };
+    let mut kept = Vec::with_capacity(args.len());
+    let mut it = std::mem::take(args).into_iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--time-model=") {
+            resolve(name);
+        } else if a == "--time-model" {
+            match it.next() {
+                Some(name) => resolve(&name),
+                None => {
+                    eprintln!("missing value for --time-model (analytic|des)");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            kept.push(a);
+        }
+    }
+    *args = kept;
+    model
+}
 
 /// Sequential vs 4-thread round throughput of SAPS-PSGD on the
 /// 16-worker CIFAR-style workload (the acceptance workload for the
@@ -76,7 +124,8 @@ fn throughput_bench(rounds: usize) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let time_model = parse_time_model(&mut args);
     if args.first().map(String::as_str) == Some("--throughput") {
         let rounds = args
             .get(1)
@@ -105,8 +154,9 @@ fn main() {
             w.epochs
         };
         println!(
-            "\n=== Fig. 6: {} — accuracy vs communication time ===",
-            w.name
+            "\n=== Fig. 6: {} — accuracy vs communication time [{}] ===",
+            w.name,
+            time_model.label()
         );
         let hists = run_algorithms(
             &paper_lineup(w.c_scale, Some(bw.percentile(0.6))),
@@ -119,6 +169,7 @@ fn main() {
                     .eval_every((rounds / 20).max(1))
                     .eval_samples(1_000)
                     .max_epochs(max_epochs)
+                    .time_model(time_model)
             },
         );
         for h in &hists {
@@ -148,6 +199,16 @@ fn main() {
                     h.final_acc * 100.0
                 ),
             }
+        }
+
+        let entries: Vec<CommTimeEntry> = hists
+            .iter()
+            .map(|h| CommTimeEntry::from_run(h, w.name, workers, time_model.label(), w.target_acc))
+            .collect();
+        let path = Path::new(commtime::BENCH_FILE);
+        match commtime::record(path, &entries) {
+            Ok(()) => println!("recorded {} entries to {}", entries.len(), path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
 }

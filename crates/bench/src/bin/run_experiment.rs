@@ -23,6 +23,10 @@
 //! * `--target-acc F` — stop early at the first evaluation reaching `F`
 //! * `--threads seq|auto|N` — round-engine thread count (default auto;
 //!   every setting produces the bit-identical trajectory)
+//! * `--time-model analytic|des` — price rounds with the closed-form
+//!   formulas (default) or the discrete-event network simulator (5 ms
+//!   per-link latency, fair-share contention; see
+//!   `docs/NETWORK_SIM.md`) — losses and traffic stay bit-identical
 //!
 //! Besides the CSV on stdout, every run records its round throughput
 //! (rounds/sec, threads, algorithm, workload) to
@@ -31,7 +35,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saps_bench::throughput::{self, ThroughputEntry};
-use saps_bench::{experiment, registry, AlgorithmSpec, ParallelismPolicy, Workload};
+use saps_bench::{experiment, registry, AlgorithmSpec, ParallelismPolicy, TimeModel, Workload};
 use saps_core::CsvSink;
 use saps_netsim::{citydata, BandwidthMatrix};
 use std::path::Path;
@@ -49,6 +53,7 @@ struct Args {
     eval_every: usize,
     target_acc: Option<f32>,
     threads: ParallelismPolicy,
+    time_model: TimeModel,
 }
 
 impl Args {
@@ -65,6 +70,7 @@ impl Args {
             eval_every: 10,
             target_acc: None,
             threads: ParallelismPolicy::Auto,
+            time_model: TimeModel::Analytic,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -92,6 +98,16 @@ impl Args {
                     a.threads =
                         throughput::parse_policy(val).unwrap_or_else(|| usage("bad --threads"))
                 }
+                "--time-model" => {
+                    a.time_model = match val.as_str() {
+                        "analytic" => TimeModel::Analytic,
+                        "des" => TimeModel::EventDriven {
+                            latency: saps_bench::commtime::DES_DEFAULT_LATENCY_S,
+                            contention: true,
+                        },
+                        _ => usage("bad --time-model (use analytic|des)"),
+                    }
+                }
                 other => usage(&format!("unknown option {other}")),
             }
             i += 2;
@@ -106,7 +122,8 @@ fn usage(err: &str) -> ! {
         "usage: run_experiment [--algo saps|psgd|topk|fedavg|sfedavg|dpsgd|dcd|random]\n\
          \u{20}                     [--workload mnist|cifar|resnet] [--network constant|random|cities]\n\
          \u{20}                     [--workers N] [--rounds N] [--epochs F] [--c F] [--seed N]\n\
-         \u{20}                     [--eval-every N] [--target-acc F] [--threads seq|auto|N]"
+         \u{20}                     [--eval-every N] [--target-acc F] [--threads seq|auto|N]\n\
+         \u{20}                     [--time-model analytic|des]"
     );
     std::process::exit(2);
 }
@@ -138,6 +155,7 @@ fn main() {
         .eval_samples(1_000)
         .max_epochs(args.epochs)
         .parallelism(args.threads)
+        .time_model(args.time_model)
         .observer(Box::new(CsvSink::new(std::io::stdout())));
     if let Some(t) = args.target_acc {
         exp = exp.target_accuracy(t);

@@ -13,12 +13,13 @@
 
 #![warn(missing_docs)]
 
+pub mod commtime;
 pub mod table;
 pub mod throughput;
 pub mod workload;
 
 pub use saps_baselines::registry;
-pub use saps_core::{AlgorithmSpec, Experiment, ParallelismPolicy};
+pub use saps_core::{AlgorithmSpec, Experiment, ParallelismPolicy, TimeModel};
 pub use workload::Workload;
 
 use saps_core::experiment::RunHistory;

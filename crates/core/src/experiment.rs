@@ -38,7 +38,7 @@ use crate::{
 };
 use rand::rngs::StdRng;
 use saps_data::{partition, Dataset};
-use saps_netsim::{to_mb, BandwidthMatrix, TrafficAccountant};
+use saps_netsim::{to_mb, BandwidthMatrix, TimeModel, TrafficAccountant};
 use saps_nn::Model;
 use saps_runtime::{Executor, ParallelismPolicy};
 use saps_tensor::rng::{derive_seed, streams};
@@ -71,6 +71,16 @@ pub struct HistoryPoint {
     pub worker_traffic_mb: f64,
     /// Cumulative communication time so far (seconds) — Fig. 6's x-axis.
     pub comm_time_s: f64,
+    /// Cumulative compute-phase time so far (seconds); 0 unless the
+    /// experiment models compute time ([`Experiment::compute_time`]).
+    pub compute_time_s: f64,
+    /// Cumulative mean per-worker idle time so far (seconds) — the
+    /// "waiting on stragglers / slow links" share of the critical path.
+    pub idle_time_s: f64,
+    /// Cumulative full round time so far: the sum of every round's
+    /// [`crate::RoundReport::round_time_s`] critical path
+    /// (`compute_time_s + comm_time_s` up to float rounding).
+    pub total_time_s: f64,
     /// Mean bandwidth of this round's peer links (MB/s).
     pub link_bandwidth: f64,
     /// Bottleneck bandwidth of this round's peer links (MB/s) — the
@@ -100,6 +110,10 @@ pub struct RunHistory {
     pub total_server_traffic_mb: f64,
     /// Total communication time (seconds).
     pub total_comm_time_s: f64,
+    /// Total compute-phase time (seconds); 0 unless compute is modeled.
+    pub total_compute_time_s: f64,
+    /// Total mean per-worker idle time (seconds).
+    pub total_idle_time_s: f64,
     /// Wall-clock time the driver spent stepping and evaluating
     /// (seconds) — the throughput denominator of
     /// `BENCH_round_throughput.json`. Unlike every other field it is
@@ -213,13 +227,13 @@ impl<W: Write> RoundObserver for CsvSink<W> {
         if !self.wrote_header {
             let _ = writeln!(
                 self.out,
-                "round,epoch,val_acc,evaluated,train_loss,worker_traffic_mb,comm_time_s,link_bw,bottleneck_bw"
+                "round,epoch,val_acc,evaluated,train_loss,worker_traffic_mb,comm_time_s,link_bw,bottleneck_bw,compute_s,idle_s,total_s"
             );
             self.wrote_header = true;
         }
         let _ = writeln!(
             self.out,
-            "{},{:.4},{:.4},{},{:.5},{:.6},{:.6},{:.4},{:.4}",
+            "{},{:.4},{:.4},{},{:.5},{:.6},{:.6},{:.4},{:.4},{:.6},{:.6},{:.6}",
             p.round + 1,
             p.epoch,
             p.val_acc,
@@ -229,6 +243,9 @@ impl<W: Write> RoundObserver for CsvSink<W> {
             p.comm_time_s,
             p.link_bandwidth,
             p.bottleneck_bandwidth,
+            p.compute_time_s,
+            p.idle_time_s,
+            p.total_time_s,
         );
     }
 
@@ -263,6 +280,8 @@ pub struct Experiment {
     factory: Option<ModelFactory>,
     observers: Vec<Box<dyn RoundObserver>>,
     parallelism: ParallelismPolicy,
+    time_model: TimeModel,
+    compute_time: f64,
 }
 
 impl std::fmt::Debug for Experiment {
@@ -299,6 +318,8 @@ impl Experiment {
             factory: None,
             observers: Vec::new(),
             parallelism: ParallelismPolicy::Auto,
+            time_model: TimeModel::Analytic,
+            compute_time: 0.0,
         }
     }
 
@@ -432,6 +453,34 @@ impl Experiment {
         self
     }
 
+    /// How each round's transfer set is priced into communication time
+    /// (default [`TimeModel::Analytic`], the paper's closed-form
+    /// accounting). Switching to [`TimeModel::EventDriven`] changes
+    /// *only* time and idle accounting — losses, models and traffic are
+    /// bit-identical under every model (pinned by
+    /// `tests/trainer_conformance.rs`).
+    pub fn time_model(mut self, model: TimeModel) -> Self {
+        self.time_model = model;
+        self
+    }
+
+    /// Seconds of local compute per round at nominal speed (default 0:
+    /// compute is not modeled). With a non-zero base, scheduled
+    /// [`ScenarioEvent::Straggler`] slowdowns stagger when each
+    /// worker's transfers can start, and the per-round critical-path
+    /// breakdown (compute vs transfer vs idle) becomes non-trivial.
+    ///
+    /// Compute is modeled *fleet-wide*: every active worker is assumed
+    /// to spend the base × slowdown seconds each round, including
+    /// parameter-server clients that happen not to be sampled that
+    /// round — the driver does not see algorithm-internal sampling.
+    /// Departed workers ([`ScenarioEvent::WorkerLeave`]) do no compute
+    /// and are excluded from the idle accounting.
+    pub fn compute_time(mut self, seconds_per_round: f64) -> Self {
+        self.compute_time = seconds_per_round;
+        self
+    }
+
     /// Builds the trainer through `registry` and drives the full run.
     pub fn run(mut self, registry: &AlgorithmRegistry) -> Result<RunHistory, ConfigError> {
         self.spec.validate()?;
@@ -477,6 +526,12 @@ impl Experiment {
         for ev in &self.events {
             ev.validate(self.workers)?;
         }
+        if !(self.compute_time.is_finite() && self.compute_time >= 0.0) {
+            return Err(ConfigError::invalid(
+                "Experiment",
+                "compute_time must be finite and >= 0",
+            ));
+        }
 
         let partitions = self.partition.apply(&train, self.workers, self.seed);
         let mut bw_state = BandwidthState::new(bandwidth);
@@ -505,8 +560,16 @@ impl Experiment {
         let mut points = Vec::with_capacity(self.rounds);
         let mut epoch = 0.0f64;
         let mut time_s = 0.0f64;
+        let mut compute_s = 0.0f64;
+        let mut idle_s = 0.0f64;
+        let mut total_s = 0.0f64;
         let mut last_acc = trainer.evaluate(&val, self.eval_samples);
         let refresh_every = bw_state.refresh_every();
+        // Straggler / membership state for the compute schedule: only
+        // active workers contribute compute time to the round's
+        // critical path.
+        let mut slowdowns = vec![1.0f64; self.workers];
+        let mut active = vec![true; self.workers];
 
         for round in 0..self.rounds {
             // Discrete events scheduled before this round. A failing
@@ -517,8 +580,24 @@ impl Experiment {
             while next_event < events.len() && events[next_event].round <= round {
                 let ev = &events[next_event].event;
                 let applied = match ev {
-                    ScenarioEvent::WorkerLeave { rank } => trainer.set_worker_active(*rank, false),
-                    ScenarioEvent::WorkerJoin { rank } => trainer.set_worker_active(*rank, true),
+                    ScenarioEvent::WorkerLeave { rank } => {
+                        let applied = trainer.set_worker_active(*rank, false);
+                        if applied.is_ok() {
+                            active[*rank] = false;
+                        }
+                        applied
+                    }
+                    ScenarioEvent::WorkerJoin { rank } => {
+                        let applied = trainer.set_worker_active(*rank, true);
+                        if applied.is_ok() {
+                            active[*rank] = true;
+                        }
+                        applied
+                    }
+                    ScenarioEvent::Straggler { rank, slowdown } => {
+                        slowdowns[*rank] = *slowdown;
+                        Ok(())
+                    }
                     _ => {
                         bw_changed |= bw_state.apply(ev);
                         Ok(())
@@ -531,6 +610,8 @@ impl Experiment {
                         total_worker_traffic_mb: to_mb(traffic.max_worker_total()),
                         total_server_traffic_mb: to_mb(traffic.server_total()),
                         total_comm_time_s: time_s,
+                        total_compute_time_s: compute_s,
+                        total_idle_time_s: idle_s,
                         wall_time_s: started.elapsed().as_secs_f64(),
                         points,
                     };
@@ -553,13 +634,36 @@ impl Experiment {
                 trainer.refresh_bandwidth(&current);
             }
 
+            // Compute schedule for this round: active workers finish
+            // their local steps at base × slowdown; departed workers
+            // are marked NaN so the pricing layer neither gates flow
+            // releases on them nor bills them idle time. All-zero
+            // schedules skip the allocation.
+            let starts: Vec<f64> = if self.compute_time > 0.0 {
+                (0..self.workers)
+                    .map(|r| {
+                        if active[r] {
+                            self.compute_time * slowdowns[r]
+                        } else {
+                            f64::NAN
+                        }
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
             let rep = {
-                let mut ctx =
-                    RoundCtx::new(round, &current, &mut traffic, self.seed).with_executor(exec);
+                let mut ctx = RoundCtx::new(round, &current, &mut traffic, self.seed)
+                    .with_executor(exec)
+                    .with_time_model(self.time_model)
+                    .with_compute_starts(starts);
                 trainer.step(&mut ctx)
             };
             epoch += rep.epochs_advanced;
             time_s += rep.comm_time_s;
+            compute_s += rep.compute_time_s;
+            idle_s += rep.idle_time_s;
+            total_s += rep.round_time_s;
             let done = round + 1 == self.rounds || epoch >= self.max_epochs;
             let evaluated = (round + 1) % self.eval_every == 0 || done;
             if evaluated {
@@ -573,6 +677,9 @@ impl Experiment {
             point.train_loss = rep.mean_loss;
             point.worker_traffic_mb = to_mb(traffic.max_worker_total());
             point.comm_time_s = time_s;
+            point.compute_time_s = compute_s;
+            point.idle_time_s = idle_s;
+            point.total_time_s = total_s;
             point.link_bandwidth = rep.mean_link_bandwidth;
             point.bottleneck_bandwidth = rep.min_link_bandwidth;
             for obs in &mut self.observers {
@@ -593,6 +700,8 @@ impl Experiment {
             total_worker_traffic_mb: to_mb(traffic.max_worker_total()),
             total_server_traffic_mb: to_mb(traffic.server_total()),
             total_comm_time_s: time_s,
+            total_compute_time_s: compute_s,
+            total_idle_time_s: idle_s,
             wall_time_s: started.elapsed().as_secs_f64(),
             points,
         };
@@ -682,6 +791,8 @@ mod tests {
             total_worker_traffic_mb: 0.0,
             total_server_traffic_mb: 0.0,
             total_comm_time_s: 0.0,
+            total_compute_time_s: 0.0,
+            total_idle_time_s: 0.0,
             wall_time_s: 0.0,
         };
         assert_eq!(h.first_reaching(0.5).unwrap().round, 4);
@@ -754,6 +865,121 @@ mod tests {
             congested.total_comm_time_s,
             normal.total_comm_time_s
         );
+    }
+
+    #[test]
+    fn event_driven_pricing_changes_time_but_not_learning() {
+        let run = |model: TimeModel| {
+            base()
+                .rounds(8)
+                .eval_every(4)
+                .eval_samples(150)
+                .time_model(model)
+                .run(&AlgorithmRegistry::core())
+                .unwrap()
+        };
+        let analytic = run(TimeModel::Analytic);
+        let des = run(TimeModel::event_driven(0.05));
+        for (a, d) in analytic.points.iter().zip(&des.points) {
+            assert_eq!(a.train_loss, d.train_loss);
+            assert_eq!(a.val_acc, d.val_acc);
+            assert_eq!(a.worker_traffic_mb, d.worker_traffic_mb);
+        }
+        assert_eq!(analytic.final_acc, des.final_acc);
+        // 50 ms of per-link latency must make the DES run strictly
+        // slower than the closed-form accounting.
+        assert!(des.total_comm_time_s > analytic.total_comm_time_s);
+    }
+
+    #[test]
+    fn stragglers_stretch_the_critical_path() {
+        let run = |events: Vec<ScheduledEvent>| {
+            base()
+                .rounds(10)
+                .eval_every(10)
+                .eval_samples(100)
+                .compute_time(0.5)
+                .time_model(TimeModel::event_driven(0.0))
+                .events(events)
+                .run(&AlgorithmRegistry::core())
+                .unwrap()
+        };
+        let nominal = run(vec![]);
+        let straggled = run(vec![ScheduledEvent {
+            round: 0,
+            event: ScenarioEvent::Straggler {
+                rank: 1,
+                slowdown: 6.0,
+            },
+        }]);
+        // Learning dynamics identical; only the clock moves.
+        for (a, b) in nominal.points.iter().zip(&straggled.points) {
+            assert_eq!(a.train_loss, b.train_loss);
+        }
+        // Compute critical path: 0.5 s/round nominal vs 3 s/round with
+        // the straggler gating every round.
+        assert!((nominal.total_compute_time_s - 5.0).abs() < 1e-9);
+        assert!((straggled.total_compute_time_s - 30.0).abs() < 1e-9);
+        assert!(straggled.total_idle_time_s > nominal.total_idle_time_s);
+        for p in &straggled.points {
+            assert!((p.total_time_s - (p.compute_time_s + p.comm_time_s)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn departed_workers_are_not_billed_idle() {
+        // 4 equal workers computing 1 s/round: nobody waits at the
+        // barrier, so idle must be 0 — and must stay 0 after a worker
+        // leaves (a departed worker is not "waiting", under either
+        // time model).
+        for model in [TimeModel::Analytic, TimeModel::event_driven(0.0)] {
+            let run = |events: Vec<ScheduledEvent>| {
+                base()
+                    .rounds(6)
+                    .eval_every(6)
+                    .eval_samples(100)
+                    .compute_time(1.0)
+                    .time_model(model)
+                    .events(events)
+                    .run(&AlgorithmRegistry::core())
+                    .unwrap()
+            };
+            let full = run(vec![]);
+            let churned = run(vec![ScheduledEvent {
+                round: 1,
+                event: ScenarioEvent::WorkerLeave { rank: 3 },
+            }]);
+            assert!((full.total_compute_time_s - 6.0).abs() < 1e-9, "{model:?}");
+            assert!(
+                (churned.total_compute_time_s - 6.0).abs() < 1e-9,
+                "{model:?}"
+            );
+            if matches!(model, TimeModel::Analytic) {
+                assert_eq!(full.total_idle_time_s, 0.0, "{model:?}");
+                assert_eq!(
+                    churned.total_idle_time_s, 0.0,
+                    "{model:?} billed a departed worker as idle"
+                );
+            } else {
+                // DES idle includes the (tiny, millisecond-scale)
+                // transfer waits; the old bug billed the departed
+                // worker the full 1 s compute barrier every round
+                // (≥ 1.25 s over 5 churned rounds at the 1/4 mean).
+                assert!(
+                    churned.total_idle_time_s < 0.5,
+                    "{model:?}: departed worker billed idle ({} s)",
+                    churned.total_idle_time_s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compute_time_must_be_finite() {
+        let err = base()
+            .compute_time(f64::NAN)
+            .run(&AlgorithmRegistry::core());
+        assert!(err.is_err());
     }
 
     #[test]

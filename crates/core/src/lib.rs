@@ -71,6 +71,7 @@ pub use experiment::{
 };
 pub use gossipgen::{GossipGenerator, PeerStrategy};
 pub use registry::{AlgorithmRegistry, BuildCtx, BuilderFn, ModelFactory};
+pub use saps_netsim::{RoundTiming, TimeModel};
 pub use saps_runtime::{Executor, ParallelismPolicy};
 pub use scenario::{BandwidthModel, ScenarioEvent, ScheduledEvent};
 pub use spec::AlgorithmSpec;

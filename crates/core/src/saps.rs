@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use saps_compress::codec;
 use saps_compress::mask::RandomMask;
 use saps_data::{partition, Dataset};
-use saps_netsim::{timemodel, BandwidthMatrix};
+use saps_netsim::BandwidthMatrix;
 use saps_nn::Model;
 use saps_tensor::rng::{derive_seed, streams};
 
@@ -369,7 +369,7 @@ impl Trainer for SapsPsgd {
         }
         traffic.end_round();
 
-        let comm_time_s = timemodel::p2p_round_time(bw, &transfers);
+        let timing = ctx.price_p2p(&transfers);
         let mean_part = ranks
             .iter()
             .map(|&r| self.workers[r].data_len())
@@ -378,7 +378,7 @@ impl Trainer for SapsPsgd {
         let mut rep = RoundReport::new();
         rep.mean_loss = (loss_acc / ranks.len().max(1) as f64) as f32;
         rep.mean_acc = (acc_acc / ranks.len().max(1) as f64) as f32;
-        rep.comm_time_s = comm_time_s;
+        rep.set_timing(&timing);
         rep.epochs_advanced = self.cfg.batch_size as f64 / mean_part.max(1.0);
         rep.mean_link_bandwidth = if pairs.is_empty() {
             0.0

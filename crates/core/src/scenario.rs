@@ -45,6 +45,20 @@ pub enum ScenarioEvent {
         /// New bandwidth in MB/s; 0 severs the link.
         mbps: f64,
     },
+    /// Worker `rank`'s local compute slows down by `slowdown`× from this
+    /// round on (thermal throttling, background load). Affects only the
+    /// round's *timing* — flows release later, never the training
+    /// dynamics. `1.0` restores nominal speed; values below 1 model a
+    /// speedup. Requires the experiment to model compute time
+    /// (`Experiment::compute_time`), otherwise a multiple of zero stays
+    /// zero.
+    Straggler {
+        /// Rank of the straggling worker.
+        rank: usize,
+        /// Multiplier on the worker's per-round compute time; must be
+        /// finite and positive.
+        slowdown: f64,
+    },
 }
 
 /// An event bound to the round it fires at.
@@ -96,6 +110,19 @@ impl ScheduledEvent {
                         "ScheduledEvent",
                         format!(
                             "round {}: link bandwidth {mbps} must be finite and >= 0",
+                            self.round
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            ScenarioEvent::Straggler { rank, slowdown } => {
+                check(*rank)?;
+                if !(slowdown.is_finite() && *slowdown > 0.0) {
+                    return Err(ConfigError::invalid(
+                        "ScheduledEvent",
+                        format!(
+                            "round {}: straggler slowdown {slowdown} must be finite and > 0",
                             self.round
                         ),
                     ));
@@ -271,7 +298,12 @@ impl BandwidthState {
                 }
                 true
             }
-            (ScenarioEvent::WorkerLeave { .. } | ScenarioEvent::WorkerJoin { .. }, _) => false,
+            (
+                ScenarioEvent::WorkerLeave { .. }
+                | ScenarioEvent::WorkerJoin { .. }
+                | ScenarioEvent::Straggler { .. },
+                _,
+            ) => false,
         }
     }
 }
@@ -321,6 +353,34 @@ mod tests {
         })
         .validate(8)
         .is_err());
+        assert!(ev(ScenarioEvent::Straggler {
+            rank: 3,
+            slowdown: 4.0
+        })
+        .validate(8)
+        .is_ok());
+        assert!(ev(ScenarioEvent::Straggler {
+            rank: 8,
+            slowdown: 4.0
+        })
+        .validate(8)
+        .is_err());
+        assert!(ev(ScenarioEvent::Straggler {
+            rank: 0,
+            slowdown: 0.0
+        })
+        .validate(8)
+        .is_err());
+    }
+
+    #[test]
+    fn straggler_events_leave_bandwidth_untouched() {
+        let mut st = BandwidthState::new(BandwidthModel::Static(BandwidthMatrix::constant(3, 2.0)));
+        assert!(!st.apply(&ScenarioEvent::Straggler {
+            rank: 1,
+            slowdown: 3.0
+        }));
+        assert_eq!(st.current().get(0, 1), 2.0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::ConfigError;
 use rand::rngs::StdRng;
 use saps_data::Dataset;
-use saps_netsim::{BandwidthMatrix, TrafficAccountant};
+use saps_netsim::{BandwidthMatrix, RoundTiming, TimeModel, TrafficAccountant};
 use saps_runtime::Executor;
 use saps_tensor::rng::{rng_for, streams};
 
@@ -37,6 +37,15 @@ pub struct RoundCtx<'a> {
     /// [`crate::Experiment`] driver installs the configured executor via
     /// [`RoundCtx::with_executor`].
     pub exec: Executor,
+    /// How this round's transfer set is priced into communication time
+    /// ([`TimeModel::Analytic`] by default). Algorithms never read this
+    /// directly — they call [`RoundCtx::price_p2p`] and friends, so the
+    /// driver can swap the model without touching trainer code.
+    pub time: TimeModel,
+    /// Per-rank compute-finish times in seconds (straggler modeling);
+    /// empty means all workers finish at 0. Installed by the driver via
+    /// [`RoundCtx::with_compute_starts`].
+    compute_starts: Vec<f64>,
 }
 
 impl<'a> RoundCtx<'a> {
@@ -55,6 +64,8 @@ impl<'a> RoundCtx<'a> {
             traffic,
             rng: rng_for(seed, round as u64, streams::ROUND),
             exec: Executor::sequential(),
+            time: TimeModel::Analytic,
+            compute_starts: Vec::new(),
         }
     }
 
@@ -64,9 +75,54 @@ impl<'a> RoundCtx<'a> {
         self
     }
 
+    /// Replaces the transfer-time model (builder style).
+    pub fn with_time_model(mut self, time: TimeModel) -> Self {
+        self.time = time;
+        self
+    }
+
+    /// Installs per-rank compute-finish times (builder style). The
+    /// driver derives them from its compute-time base and any
+    /// [`crate::ScenarioEvent::Straggler`] slowdowns in effect.
+    pub fn with_compute_starts(mut self, starts: Vec<f64>) -> Self {
+        self.compute_starts = starts;
+        self
+    }
+
     /// The 0-based communication round index.
     pub fn round(&self) -> usize {
         self.round
+    }
+
+    /// Prices one round of concurrent pairwise transfers
+    /// `(src, dst, bytes)` under this round's time model and compute
+    /// schedule (the SAPS-PSGD / D-PSGD / DCD-PSGD / RandomChoose
+    /// pattern).
+    pub fn price_p2p(&self, transfers: &[(usize, usize, u64)]) -> RoundTiming {
+        self.time
+            .price_p2p(self.bw, transfers, &self.compute_starts)
+    }
+
+    /// Prices one parameter-server round: each `(worker, up, down)`
+    /// client moves its bytes over the worker↔server link (the FedAvg /
+    /// S-FedAvg pattern).
+    pub fn price_ps(&self, server: usize, clients: &[(usize, u64, u64)]) -> RoundTiming {
+        self.time
+            .price_ps(self.bw, server, clients, &self.compute_starts)
+    }
+
+    /// Prices a ring all-reduce over `ranks` moving `bytes_per_worker`
+    /// through every worker (the PSGD pattern).
+    pub fn price_allreduce(&self, ranks: &[usize], bytes_per_worker: u64) -> RoundTiming {
+        self.time
+            .price_allreduce(self.bw, ranks, bytes_per_worker, &self.compute_starts)
+    }
+
+    /// Prices a sparse allgather over `ranks`, every worker delivering
+    /// `bytes` to each of the others (the TopK-PSGD pattern).
+    pub fn price_allgather(&self, ranks: &[usize], bytes: u64) -> RoundTiming {
+        self.time
+            .price_allgather(self.bw, ranks, bytes, &self.compute_starts)
     }
 }
 
@@ -91,8 +147,21 @@ pub struct RoundReport {
     /// Mean training accuracy over the workers' local batches.
     pub mean_acc: f32,
     /// Wall-clock communication time of this round in seconds, under the
-    /// bandwidth matrix of the [`RoundCtx`].
+    /// bandwidth matrix and [`TimeModel`] of the [`RoundCtx`] — the
+    /// transfer segment of the round's critical path
+    /// ([`RoundTiming::transfer_s`]).
     pub comm_time_s: f64,
+    /// Compute segment of the round's critical path: when the last
+    /// active worker finished its local steps
+    /// ([`RoundTiming::compute_s`]; 0 unless the experiment models
+    /// compute time).
+    pub compute_time_s: f64,
+    /// Mean per-worker idle time within the round
+    /// ([`RoundTiming::idle_s`]).
+    pub idle_time_s: f64,
+    /// Full wall-clock length of the round
+    /// (`compute_time_s + comm_time_s`, [`RoundTiming::total_s`]).
+    pub round_time_s: f64,
     /// Fraction of one epoch advanced this round (worker-side samples
     /// processed / local dataset size).
     pub epochs_advanced: f64,
@@ -110,6 +179,15 @@ impl RoundReport {
     /// An all-zero report; assign the fields the round measured.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Copies a [`RoundTiming`] breakdown into the report's four timing
+    /// fields.
+    pub fn set_timing(&mut self, t: &RoundTiming) {
+        self.comm_time_s = t.transfer_s;
+        self.compute_time_s = t.compute_s;
+        self.idle_time_s = t.idle_s;
+        self.round_time_s = t.total_s;
     }
 }
 

@@ -1,0 +1,490 @@
+//! Round pricing: the closed-form analytic model vs the discrete-event
+//! flow simulator, behind one [`TimeModel`] switch.
+//!
+//! Trainers describe *what* moved (a transfer set in one of the paper's
+//! four communication patterns); a `TimeModel` decides *how long* it
+//! took:
+//!
+//! * [`TimeModel::Analytic`] — the closed-form formulas of
+//!   [`crate::timemodel`] (slowest-link max). Zero latency, no
+//!   contention between pairs, no straggler overlap. This is the
+//!   paper's own accounting and the default.
+//! * [`TimeModel::EventDriven`] — each transfer becomes a flow in the
+//!   [`crate::flows`] simulator: per-link latency, fair-share bandwidth
+//!   splitting among concurrent flows on a link, and staggered flow
+//!   releases when stragglers finish their local compute late.
+//!
+//! Both models price the *same* transfer set — switching the model can
+//! change time and nothing else. For the peer-to-peer,
+//! parameter-server and ring all-reduce (m ≥ 3) patterns the
+//! event-driven model with zero latency reproduces the analytic
+//! numbers exactly and latency/stragglers only add time. The sparse
+//! allgather is the loose pattern: the analytic formula is deliberately
+//! conservative (every chunk gated by the global bottleneck link), and
+//! the simulated serialized-sender schedule usually prices under it,
+//! never beyond 2× (duplex-direction collisions on a shared pair).
+//! `crates/netsim/tests/proptest_des.rs` pins these relationships.
+//!
+//! Every pricing call returns a [`RoundTiming`] critical-path breakdown
+//! (compute vs transfer vs idle), which the experiment driver surfaces
+//! per round in `RunHistory`.
+
+use crate::flows::{simulate, FlowSpec, SimConfig, SimReport};
+use crate::timemodel;
+use crate::BandwidthMatrix;
+
+/// How a round's communication time is computed from its transfer set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub enum TimeModel {
+    /// Closed-form slowest-link formulas ([`crate::timemodel`]) — the
+    /// paper's accounting and the default.
+    #[default]
+    Analytic,
+    /// Discrete-event fluid simulation ([`crate::flows`]).
+    EventDriven {
+        /// One-way per-link latency in seconds (paid per transfer, or
+        /// per step for multi-step collectives).
+        latency: f64,
+        /// Fair-share bandwidth splitting among concurrent flows on the
+        /// same link. `false` idealizes links as uncontended.
+        contention: bool,
+    },
+}
+
+impl TimeModel {
+    /// An event-driven model with `latency` seconds per link and
+    /// fair-share contention enabled.
+    pub fn event_driven(latency: f64) -> Self {
+        TimeModel::EventDriven {
+            latency,
+            contention: true,
+        }
+    }
+
+    /// A short stable name for bench records: `"analytic"` or `"des"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TimeModel::Analytic => "analytic",
+            TimeModel::EventDriven { .. } => "des",
+        }
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        match *self {
+            TimeModel::Analytic => SimConfig::default(),
+            TimeModel::EventDriven {
+                latency,
+                contention,
+            } => SimConfig {
+                latency_s: latency,
+                contention,
+            },
+        }
+    }
+}
+
+/// Critical-path breakdown of one synchronous round.
+///
+/// `total_s = compute_s + transfer_s`; `idle_s` is diagnostic (mean
+/// seconds a worker spent neither computing nor transferring while the
+/// round ran) and is not part of the identity.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RoundTiming {
+    /// Wall-clock length of the whole round (compute + exchange).
+    pub total_s: f64,
+    /// When the last worker finished local compute (the compute phase's
+    /// critical path; 0 when compute is not modeled).
+    pub compute_s: f64,
+    /// Time from the last compute finish to the last byte delivered —
+    /// the round's communication time. With no compute modeling this is
+    /// exactly the transfer makespan.
+    pub transfer_s: f64,
+    /// Mean per-worker idle time: round length minus the worker's own
+    /// compute and the time it had at least one active transfer.
+    pub idle_s: f64,
+}
+
+/// Per-rank compute-finish times. An empty slice means "all zero"
+/// (compute not modeled); missing ranks read as 0. A `NaN` entry marks
+/// a rank that sat the round out entirely (a departed worker): it never
+/// gates a release or the compute barrier and is excluded from the
+/// idle mean.
+fn start_of(starts: &[f64], rank: usize) -> f64 {
+    starts.get(rank).copied().unwrap_or(0.0)
+}
+
+fn max_start(starts: &[f64]) -> f64 {
+    // `f64::max` ignores a NaN operand, so departed ranks drop out.
+    starts.iter().copied().fold(0.0f64, f64::max)
+}
+
+/// Mean of `per_rank(r)` over the ranks participating in the round
+/// (finite start), 0 when nobody participates.
+fn idle_mean(n: usize, starts: &[f64], per_rank: impl Fn(usize, f64) -> f64) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for r in 0..n {
+        let start = start_of(starts, r);
+        if start.is_finite() {
+            sum += per_rank(r, start);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Breakdown for the analytic model: the round barriers on the slowest
+/// compute, then the closed-form transfer time; idle is the mean
+/// barrier wait.
+fn analytic_timing(n: usize, starts: &[f64], transfer_s: f64) -> RoundTiming {
+    let compute_s = max_start(starts);
+    RoundTiming {
+        total_s: compute_s + transfer_s,
+        compute_s,
+        transfer_s,
+        idle_s: idle_mean(n, starts, |_, start| compute_s - start),
+    }
+}
+
+/// Breakdown from a simulator report: the round ends when the last flow
+/// lands (but no earlier than the last compute finish).
+fn des_timing(bw: &BandwidthMatrix, starts: &[f64], rep: &SimReport) -> RoundTiming {
+    let compute_s = max_start(starts);
+    let total_s = rep.makespan_s.max(compute_s);
+    let idle_s = if !total_s.is_finite() {
+        0.0
+    } else {
+        idle_mean(bw.len(), starts, |r, start| {
+            (total_s - start - rep.busy_s[r]).max(0.0)
+        })
+    };
+    RoundTiming {
+        total_s,
+        compute_s,
+        transfer_s: total_s - compute_s,
+        idle_s,
+    }
+}
+
+impl TimeModel {
+    /// Prices one round of concurrent pairwise transfers (the
+    /// SAPS-PSGD / D-PSGD / DCD-PSGD / RandomChoose pattern).
+    ///
+    /// `transfers` lists `(src, dst, bytes)`; `starts` gives per-rank
+    /// compute-finish times (empty = all zero). Each transfer is
+    /// released once **both** endpoints finished computing (a pairwise
+    /// exchange needs both parties).
+    pub fn price_p2p(
+        &self,
+        bw: &BandwidthMatrix,
+        transfers: &[(usize, usize, u64)],
+        starts: &[f64],
+    ) -> RoundTiming {
+        match self {
+            TimeModel::Analytic => {
+                analytic_timing(bw.len(), starts, timemodel::p2p_round_time(bw, transfers))
+            }
+            TimeModel::EventDriven { .. } => {
+                let flows: Vec<FlowSpec> = transfers
+                    .iter()
+                    .map(|&(src, dst, bytes)| {
+                        // `f64::max` drops NaN (departed-rank) starts;
+                        // the trailing .max(0.0) keeps the release
+                        // finite even if a caller lists a transfer
+                        // between two departed ranks.
+                        let release = start_of(starts, src).max(start_of(starts, dst)).max(0.0);
+                        FlowSpec::new(src, dst, bytes as f64).released_at(release)
+                    })
+                    .collect();
+                let rep = simulate(bw, &self.sim_config(), &flows, &[]);
+                des_timing(bw, starts, &rep)
+            }
+        }
+    }
+
+    /// Prices one parameter-server round (FedAvg / S-FedAvg): each
+    /// `(worker, up_bytes, down_bytes)` client moves its bytes over the
+    /// worker↔server link, upload then download chained per client (the
+    /// two directions of one client never overlap, matching the
+    /// analytic `(up+down)/bw` rule). A client co-located with the
+    /// server is free.
+    pub fn price_ps(
+        &self,
+        bw: &BandwidthMatrix,
+        server: usize,
+        clients: &[(usize, u64, u64)],
+        starts: &[f64],
+    ) -> RoundTiming {
+        match self {
+            TimeModel::Analytic => analytic_timing(
+                bw.len(),
+                starts,
+                timemodel::ps_round_time(bw, server, clients),
+            ),
+            TimeModel::EventDriven { .. } => {
+                let mut flows = Vec::with_capacity(2 * clients.len());
+                for (chain, &(w, up, down)) in clients.iter().enumerate() {
+                    if w == server {
+                        continue;
+                    }
+                    let release = start_of(starts, w).max(start_of(starts, server)).max(0.0);
+                    flows.push(
+                        FlowSpec::new(w, server, up as f64)
+                            .released_at(release)
+                            .on_chain(chain),
+                    );
+                    flows.push(
+                        FlowSpec::new(server, w, down as f64)
+                            .released_at(release)
+                            .on_chain(chain),
+                    );
+                }
+                let rep = simulate(bw, &self.sim_config(), &flows, &[]);
+                des_timing(bw, starts, &rep)
+            }
+        }
+    }
+
+    /// Prices a ring all-reduce over `ranks` in order (the PSGD
+    /// pattern): `2(m−1)` steps, each moving a `1/(2(m−1))` chunk of
+    /// `bytes_per_worker` over every ring link concurrently. In the
+    /// event-driven model each ring link carries one flow of the full
+    /// per-worker payload paying `2(m−1)` step latencies, released at
+    /// the collective's barrier (the slowest compute). For `m = 2` the
+    /// two ring directions share the single duplex pair under
+    /// contention, pricing 2× the analytic formula.
+    pub fn price_allreduce(
+        &self,
+        bw: &BandwidthMatrix,
+        ranks: &[usize],
+        bytes_per_worker: u64,
+        starts: &[f64],
+    ) -> RoundTiming {
+        match self {
+            TimeModel::Analytic => analytic_timing(
+                bw.len(),
+                starts,
+                timemodel::allreduce_ring_time_over(bw, ranks, bytes_per_worker),
+            ),
+            TimeModel::EventDriven { .. } => {
+                let m = ranks.len();
+                let barrier = max_start(starts);
+                let mut flows = Vec::with_capacity(m);
+                if m >= 2 {
+                    let steps = 2 * (m as u32 - 1);
+                    for i in 0..m {
+                        flows.push(
+                            FlowSpec::new(ranks[i], ranks[(i + 1) % m], bytes_per_worker as f64)
+                                .released_at(barrier)
+                                .with_latency_units(steps),
+                        );
+                    }
+                }
+                let rep = simulate(bw, &self.sim_config(), &flows, &[]);
+                des_timing(bw, starts, &rep)
+            }
+        }
+    }
+
+    /// Prices a sparse allgather over `ranks` (the TopK-PSGD pattern):
+    /// every worker delivers `bytes` to each of the other `m−1`. The
+    /// analytic model conservatively gates all `m−1` chunks on the
+    /// slowest mesh link; the event-driven model serializes each
+    /// sender's `m−1` transfers on a chain (a node sends to one peer at
+    /// a time) using the shifted schedule `k ↦ (i+k+1) mod m`, released
+    /// at the collective's barrier. On heterogeneous meshes it usually
+    /// prices *under* the analytic bound, and never beyond 2× of it
+    /// (each pair carries exactly one transfer per direction, so fair
+    /// sharing at worst halves a link).
+    pub fn price_allgather(
+        &self,
+        bw: &BandwidthMatrix,
+        ranks: &[usize],
+        bytes: u64,
+        starts: &[f64],
+    ) -> RoundTiming {
+        match self {
+            TimeModel::Analytic => analytic_timing(
+                bw.len(),
+                starts,
+                timemodel::allgather_time_over(bw, ranks, bytes),
+            ),
+            TimeModel::EventDriven { .. } => {
+                let m = ranks.len();
+                let barrier = max_start(starts);
+                let mut flows = Vec::with_capacity(m.saturating_sub(1) * m);
+                if m >= 2 {
+                    for i in 0..m {
+                        for k in 0..(m - 1) {
+                            let j = (i + k + 1) % m;
+                            flows.push(
+                                FlowSpec::new(ranks[i], ranks[j], bytes as f64)
+                                    .released_at(barrier)
+                                    .on_chain(i),
+                            );
+                        }
+                    }
+                }
+                let rep = simulate(bw, &self.sim_config(), &flows, &[]);
+                des_timing(bw, starts, &rep)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
+    }
+
+    #[test]
+    fn labels_and_default() {
+        assert_eq!(TimeModel::default(), TimeModel::Analytic);
+        assert_eq!(TimeModel::Analytic.label(), "analytic");
+        assert_eq!(TimeModel::event_driven(0.01).label(), "des");
+    }
+
+    #[test]
+    fn p2p_zero_latency_matches_analytic() {
+        let mut bw = BandwidthMatrix::constant(4, 10.0);
+        bw.set(2, 3, 1.0);
+        let transfers = [
+            (0usize, 1usize, 10_000_000u64),
+            (1, 0, 10_000_000),
+            (2, 3, 1_000_000),
+            (3, 2, 1_000_000),
+        ];
+        let a = TimeModel::Analytic.price_p2p(&bw, &transfers, &[]);
+        let d = TimeModel::event_driven(0.0).price_p2p(&bw, &transfers, &[]);
+        approx(d.transfer_s, a.transfer_s);
+        approx(d.total_s, 2.0);
+    }
+
+    #[test]
+    fn p2p_latency_adds_time() {
+        let bw = BandwidthMatrix::constant(2, 1.0);
+        let transfers = [(0usize, 1usize, 1_000_000u64)];
+        let d = TimeModel::event_driven(0.5).price_p2p(&bw, &transfers, &[]);
+        approx(d.total_s, 1.5);
+    }
+
+    #[test]
+    fn straggler_staggers_releases_and_shows_in_breakdown() {
+        let bw = BandwidthMatrix::constant(4, 1.0);
+        // Pairs (0,1) and (2,3); worker 3 computes until t=2.
+        let transfers = [
+            (0usize, 1usize, 1_000_000u64),
+            (1, 0, 1_000_000),
+            (2, 3, 1_000_000),
+            (3, 2, 1_000_000),
+        ];
+        let starts = [0.0, 0.0, 0.0, 2.0];
+        let d = TimeModel::event_driven(0.0).price_p2p(&bw, &transfers, &starts);
+        // Pair (0,1) finishes at 2.0; pair (2,3) runs from 2.0 to 4.0.
+        approx(d.total_s, 4.0);
+        approx(d.compute_s, 2.0);
+        approx(d.transfer_s, 2.0);
+        assert!(d.idle_s > 0.0);
+        // The analytic model barriers: compute 2.0 + transfer 2.0.
+        let a = TimeModel::Analytic.price_p2p(&bw, &transfers, &starts);
+        approx(a.total_s, 4.0);
+        approx(a.compute_s, 2.0);
+    }
+
+    #[test]
+    fn ps_zero_latency_matches_analytic() {
+        let mut bw = BandwidthMatrix::constant(3, 10.0);
+        bw.set(0, 2, 1.0);
+        let clients = [
+            (0usize, 1_000_000u64, 1_000_000u64),
+            (1, 1_000_000, 1_000_000),
+        ];
+        let a = TimeModel::Analytic.price_ps(&bw, 2, &clients, &[]);
+        let d = TimeModel::event_driven(0.0).price_ps(&bw, 2, &clients, &[]);
+        approx(d.transfer_s, a.transfer_s);
+        approx(d.total_s, 2.0);
+    }
+
+    #[test]
+    fn ps_colocated_client_is_free() {
+        let bw = BandwidthMatrix::constant(2, 1.0);
+        let d = TimeModel::event_driven(0.0).price_ps(&bw, 0, &[(0, 1_000_000, 1_000_000)], &[]);
+        assert_eq!(d.total_s, 0.0);
+    }
+
+    #[test]
+    fn allreduce_zero_latency_matches_analytic() {
+        let mut bw = BandwidthMatrix::constant(4, 10.0);
+        bw.set(1, 2, 2.0);
+        let ranks = [0usize, 1, 2, 3];
+        let a = TimeModel::Analytic.price_allreduce(&bw, &ranks, 8_000_000, &[]);
+        let d = TimeModel::event_driven(0.0).price_allreduce(&bw, &ranks, 8_000_000, &[]);
+        approx(d.transfer_s, a.transfer_s);
+        approx(d.total_s, 4.0);
+    }
+
+    #[test]
+    fn allreduce_pays_step_latencies() {
+        let bw = BandwidthMatrix::constant(4, 1.0);
+        let ranks = [0usize, 1, 2, 3];
+        let zero = TimeModel::event_driven(0.0).price_allreduce(&bw, &ranks, 1_000_000, &[]);
+        let lat = TimeModel::event_driven(0.1).price_allreduce(&bw, &ranks, 1_000_000, &[]);
+        // 2(m-1) = 6 steps of 0.1 s latency on top.
+        approx(lat.total_s - zero.total_s, 0.6);
+    }
+
+    #[test]
+    fn allgather_constant_mesh_matches_analytic() {
+        // On a homogeneous mesh the serialized-sender schedule hits the
+        // analytic (m−1)·bytes/bw exactly.
+        let bw = BandwidthMatrix::constant(5, 1.0);
+        let ranks = [0usize, 1, 2, 3, 4];
+        let a = TimeModel::Analytic.price_allgather(&bw, &ranks, 1_000_000, &[]);
+        let d = TimeModel::event_driven(0.0).price_allgather(&bw, &ranks, 1_000_000, &[]);
+        approx(d.transfer_s, a.transfer_s);
+    }
+
+    #[test]
+    fn allgather_heterogeneous_mesh_undercuts_analytic() {
+        let mut bw = BandwidthMatrix::constant(5, 10.0);
+        bw.set(0, 1, 1.0);
+        let ranks = [0usize, 1, 2, 3, 4];
+        let a = TimeModel::Analytic.price_allgather(&bw, &ranks, 1_000_000, &[]);
+        let d = TimeModel::event_driven(0.0).price_allgather(&bw, &ranks, 1_000_000, &[]);
+        assert!(
+            d.transfer_s <= a.transfer_s + 1e-9,
+            "des {} > analytic {}",
+            d.transfer_s,
+            a.transfer_s
+        );
+    }
+
+    #[test]
+    fn degenerate_collectives_are_zero() {
+        let bw = BandwidthMatrix::constant(1, 5.0);
+        let d = TimeModel::event_driven(0.1);
+        assert_eq!(d.price_allreduce(&bw, &[0], 100, &[]).total_s, 0.0);
+        assert_eq!(d.price_allgather(&bw, &[0], 100, &[]).total_s, 0.0);
+    }
+
+    #[test]
+    fn timing_identity_holds() {
+        let bw = BandwidthMatrix::constant(3, 1.0);
+        let starts = [0.5, 1.0, 0.0];
+        for model in [TimeModel::Analytic, TimeModel::event_driven(0.02)] {
+            let t = model.price_p2p(&bw, &[(0, 1, 500_000)], &starts);
+            approx(t.total_s, t.compute_s + t.transfer_s);
+        }
+    }
+}

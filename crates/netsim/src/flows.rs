@@ -1,0 +1,586 @@
+//! The fluid-flow core of the discrete-event network simulator.
+//!
+//! A round's communication is a set of [`FlowSpec`]s: directed transfers
+//! over the links of a [`BandwidthMatrix`]. The simulator advances a
+//! virtual clock from event to event (flow releases, latency expiries,
+//! completions, [`RateUpdate`]s) and moves bytes continuously between
+//! events under the **fair-share rule**: all flows transferring on the
+//! same unordered link pair at the same instant split that pair's
+//! bandwidth equally, and a flow's rate is recomputed whenever the set
+//! of its link's concurrent flows (or the matrix itself) changes.
+//!
+//! Everything is deterministic: no wall clock, no hashing, no RNG —
+//! flows are processed in submission order and ties resolve by index,
+//! so two simulations of the same inputs produce bit-identical
+//! [`SimReport`]s.
+//!
+//! The higher-level [`crate::des::TimeModel`] builds flow sets for the
+//! four communication patterns of the paper and prices them through
+//! [`simulate`]; use this module directly for custom traffic patterns or
+//! for mid-flight bandwidth changes (congestion hitting a round that is
+//! already in progress).
+
+use crate::BandwidthMatrix;
+
+/// Fraction of a flow's original bytes below which the remainder is
+/// considered delivered (absorbs float rounding when a completion event
+/// lands exactly on the clock).
+const COMPLETION_EPS: f64 = 1e-9;
+
+/// One directed transfer handed to the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Sending worker rank.
+    pub src: usize,
+    /// Receiving worker rank.
+    pub dst: usize,
+    /// Payload size in bytes.
+    pub bytes: f64,
+    /// Earliest virtual time (seconds) the flow may start — typically
+    /// the sender's compute-finish time.
+    pub release_s: f64,
+    /// Chain id: flows sharing a chain id run strictly in submission
+    /// order (each starts when its predecessor completes). `None` means
+    /// the flow is independent.
+    pub chain: Option<usize>,
+    /// How many per-hop latencies the flow pays before its first byte
+    /// arrives (1 for a plain transfer; collectives with internal steps
+    /// collapsed into one flow use the step count).
+    pub latency_units: u32,
+}
+
+impl FlowSpec {
+    /// An independent flow of `bytes` from `src` to `dst`, released at
+    /// time 0 with a single latency unit.
+    pub fn new(src: usize, dst: usize, bytes: f64) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            bytes,
+            release_s: 0.0,
+            chain: None,
+            latency_units: 1,
+        }
+    }
+
+    /// Sets the release time (builder style).
+    pub fn released_at(mut self, t: f64) -> Self {
+        self.release_s = t;
+        self
+    }
+
+    /// Puts the flow on a chain (builder style).
+    pub fn on_chain(mut self, chain: usize) -> Self {
+        self.chain = Some(chain);
+        self
+    }
+
+    /// Sets the latency multiplier (builder style).
+    pub fn with_latency_units(mut self, units: u32) -> Self {
+        self.latency_units = units;
+        self
+    }
+}
+
+/// Simulator knobs shared by every flow of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// One-way link latency in seconds, paid once per
+    /// [`FlowSpec::latency_units`] before bytes arrive.
+    pub latency_s: f64,
+    /// Whether concurrent flows on the same unordered link pair split
+    /// its bandwidth fairly. With `false` every flow sees the full link
+    /// rate (an idealized full-duplex, infinitely-queued link).
+    pub contention: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency_s: 0.0,
+            contention: true,
+        }
+    }
+}
+
+/// A scheduled change to the link-rate matrix while flows are in flight
+/// — a `BandwidthShift`/`LinkChange` scenario event or a drifting
+/// bandwidth refresh landing mid-round. In-flight flows keep the bytes
+/// they already moved and continue at the new rates.
+#[derive(Debug, Clone)]
+pub struct RateUpdate {
+    /// Virtual time (seconds) the new matrix takes effect.
+    pub at_s: f64,
+    /// The matrix in effect from `at_s` on.
+    pub bw: BandwidthMatrix,
+}
+
+/// Per-flow outcome of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowOutcome {
+    /// When the flow was allowed to start (release + chain wait).
+    pub start_s: f64,
+    /// When its last byte arrived. `f64::INFINITY` if the flow starved
+    /// on a zero-bandwidth link.
+    pub finish_s: f64,
+}
+
+/// What one simulation run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Completion time of the last flow (0 for an empty flow set);
+    /// `f64::INFINITY` if any flow starved.
+    pub makespan_s: f64,
+    /// Outcome per input flow, in submission order.
+    pub flows: Vec<FlowOutcome>,
+    /// Seconds each worker rank spent with at least one flow actively
+    /// transferring on one of its links (sender or receiver side).
+    pub busy_s: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum St {
+    /// Waiting for the chain predecessor to complete.
+    WaitChain,
+    /// Released; bytes start flowing at `ready`.
+    Latency { ready: f64 },
+    /// Transferring.
+    Active,
+    /// Delivered at the stored time.
+    Done(f64),
+}
+
+/// Runs the fluid fair-share simulation of `flows` over `bw`, applying
+/// `updates` (which must be sorted by [`RateUpdate::at_s`]) as the clock
+/// passes them. Returns per-flow start/finish times, per-rank busy
+/// times and the makespan.
+///
+/// # Panics
+///
+/// Panics if a flow references a rank outside the matrix, has negative
+/// or non-finite bytes or release time, or if `updates` are unsorted or
+/// sized differently from `bw`.
+pub fn simulate(
+    bw: &BandwidthMatrix,
+    cfg: &SimConfig,
+    flows: &[FlowSpec],
+    updates: &[RateUpdate],
+) -> SimReport {
+    let n = bw.len();
+    for f in flows {
+        assert!(f.src < n && f.dst < n, "flow endpoint out of range");
+        assert!(
+            f.bytes.is_finite() && f.bytes >= 0.0,
+            "flow bytes must be finite and non-negative"
+        );
+        assert!(
+            f.release_s.is_finite() && f.release_s >= 0.0,
+            "flow release must be finite and non-negative"
+        );
+    }
+    for w in updates.windows(2) {
+        assert!(w[0].at_s <= w[1].at_s, "rate updates must be sorted");
+    }
+    for u in updates {
+        assert_eq!(u.bw.len(), n, "rate update matrix size mismatch");
+        assert!(u.at_s.is_finite() && u.at_s >= 0.0);
+    }
+
+    let mut report = SimReport {
+        makespan_s: 0.0,
+        flows: vec![
+            FlowOutcome {
+                start_s: 0.0,
+                finish_s: f64::INFINITY,
+            };
+            flows.len()
+        ],
+        busy_s: vec![0.0; n],
+    };
+    if flows.is_empty() {
+        return report;
+    }
+
+    // Chain bookkeeping: within a chain, flow k+1 starts when flow k
+    // completes (in submission order).
+    let mut chain_pred: Vec<Option<usize>> = vec![None; flows.len()];
+    let mut chain_succ: Vec<Option<usize>> = vec![None; flows.len()];
+    {
+        let mut last_of_chain: Vec<(usize, usize)> = Vec::new(); // (chain, flow idx)
+        for (i, f) in flows.iter().enumerate() {
+            if let Some(c) = f.chain {
+                if let Some(entry) = last_of_chain.iter_mut().find(|(cc, _)| *cc == c) {
+                    chain_pred[i] = Some(entry.1);
+                    chain_succ[entry.1] = Some(i);
+                    entry.1 = i;
+                } else {
+                    last_of_chain.push((c, i));
+                }
+            }
+        }
+    }
+
+    let mut state: Vec<St> = flows
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            if chain_pred[i].is_some() {
+                St::WaitChain
+            } else {
+                report.flows[i].start_s = f.release_s;
+                St::Latency {
+                    ready: f.release_s + cfg.latency_s * f.latency_units as f64,
+                }
+            }
+        })
+        .collect();
+    let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes).collect();
+    let eps: Vec<f64> = flows
+        .iter()
+        .map(|f| COMPLETION_EPS * f.bytes.max(1.0))
+        .collect();
+
+    let mut current = bw.clone();
+    let mut next_update = 0usize;
+    let mut t = 0.0f64;
+    let mut done = 0usize;
+
+    // Marks flow `i` delivered at time `at` and releases its chain
+    // successor.
+    macro_rules! complete {
+        ($i:expr, $at:expr, $state:ident, $report:ident) => {{
+            let i = $i;
+            $state[i] = St::Done($at);
+            $report.flows[i].finish_s = $at;
+            done += 1;
+            if let Some(s) = chain_succ[i] {
+                let start = flows[s].release_s.max($at);
+                $report.flows[s].start_s = start;
+                $state[s] = St::Latency {
+                    ready: start + cfg.latency_s * flows[s].latency_units as f64,
+                };
+            }
+        }};
+    }
+
+    while done < flows.len() {
+        // Promote latency expiries due at the current clock, completing
+        // empty flows on the spot.
+        loop {
+            let mut promoted = false;
+            for i in 0..flows.len() {
+                if let St::Latency { ready } = state[i] {
+                    if ready <= t {
+                        if remaining[i] <= eps[i] {
+                            complete!(i, ready.max(t), state, report);
+                        } else {
+                            state[i] = St::Active;
+                        }
+                        promoted = true;
+                    }
+                }
+            }
+            if !promoted {
+                break;
+            }
+        }
+        if done == flows.len() {
+            break;
+        }
+
+        // Fair-share rates for the active set: count the active flows on
+        // each unordered pair, then give each flow its pair's capacity
+        // divided by that count (or the full capacity without
+        // contention).
+        let mut pair_load: Vec<(usize, usize, u32)> = Vec::new();
+        if cfg.contention {
+            for (i, f) in flows.iter().enumerate() {
+                if matches!(state[i], St::Active) {
+                    let key = (f.src.min(f.dst), f.src.max(f.dst));
+                    match pair_load.iter_mut().find(|(a, b, _)| (*a, *b) == key) {
+                        Some(e) => e.2 += 1,
+                        None => pair_load.push((key.0, key.1, 1)),
+                    }
+                }
+            }
+        }
+        let rate = |i: usize| -> f64 {
+            let f = &flows[i];
+            let cap = current.get(f.src, f.dst) * 1e6; // MB/s → bytes/s
+            if !cfg.contention {
+                return cap;
+            }
+            let key = (f.src.min(f.dst), f.src.max(f.dst));
+            let load = pair_load
+                .iter()
+                .find(|(a, b, _)| (*a, *b) == key)
+                .map_or(1, |e| e.2);
+            cap / load as f64
+        };
+
+        // Next event: earliest completion, latency expiry, or rate
+        // update.
+        let mut t_next = f64::INFINITY;
+        for i in 0..flows.len() {
+            match state[i] {
+                St::Active => {
+                    let r = rate(i);
+                    if r > 0.0 {
+                        t_next = t_next.min(t + remaining[i] / r);
+                    }
+                }
+                St::Latency { ready } => t_next = t_next.min(ready),
+                _ => {}
+            }
+        }
+        if next_update < updates.len() {
+            t_next = t_next.min(updates[next_update].at_s.max(t));
+        }
+        if !t_next.is_finite() {
+            // Every remaining flow sits on a dead link with no update in
+            // sight: the round never finishes.
+            report.makespan_s = f64::INFINITY;
+            return report;
+        }
+
+        // Advance bytes and busy clocks over [t, t_next]. A flow
+        // starved on a dead link (rate 0, waiting for a rate update)
+        // moves nothing and does not make its endpoints busy.
+        let dt = (t_next - t).max(0.0);
+        if dt > 0.0 {
+            let mut engaged = vec![false; n];
+            for i in 0..flows.len() {
+                if matches!(state[i], St::Active) {
+                    let r = rate(i);
+                    if r > 0.0 {
+                        remaining[i] = (remaining[i] - r * dt).max(0.0);
+                        engaged[flows[i].src] = true;
+                        engaged[flows[i].dst] = true;
+                    }
+                }
+            }
+            for (b, e) in report.busy_s.iter_mut().zip(&engaged) {
+                if *e {
+                    *b += dt;
+                }
+            }
+        }
+        t = t_next;
+
+        // Apply rate updates that have come due.
+        while next_update < updates.len() && updates[next_update].at_s <= t {
+            current = updates[next_update].bw.clone();
+            next_update += 1;
+        }
+
+        // Complete drained flows.
+        for i in 0..flows.len() {
+            if matches!(state[i], St::Active) && remaining[i] <= eps[i] {
+                complete!(i, t, state, report);
+            }
+        }
+    }
+
+    report.makespan_s = report
+        .flows
+        .iter()
+        .map(|f| f.finish_s)
+        .fold(0.0f64, f64::max);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+            "expected {b}, got {a}"
+        );
+    }
+
+    #[test]
+    fn single_flow_is_bytes_over_bandwidth() {
+        let bw = BandwidthMatrix::constant(2, 2.0); // 2 MB/s
+        let rep = simulate(&bw, &SimConfig::default(), &[FlowSpec::new(0, 1, 4e6)], &[]);
+        approx(rep.makespan_s, 2.0);
+        approx(rep.busy_s[0], 2.0);
+        approx(rep.busy_s[1], 2.0);
+    }
+
+    #[test]
+    fn fair_share_on_one_link_preserves_total_time() {
+        // Two equal flows share the pair: each runs at half rate, both
+        // finish when the link has moved the total bytes.
+        let bw = BandwidthMatrix::constant(2, 1.0);
+        let rep = simulate(
+            &bw,
+            &SimConfig::default(),
+            &[FlowSpec::new(0, 1, 1e6), FlowSpec::new(1, 0, 1e6)],
+            &[],
+        );
+        approx(rep.makespan_s, 2.0);
+        approx(rep.flows[0].finish_s, 2.0);
+        approx(rep.flows[1].finish_s, 2.0);
+    }
+
+    #[test]
+    fn short_flow_releases_capacity_to_long_flow() {
+        // 1 MB and 3 MB share a 2 MB/s link: the short one finishes at
+        // t=1 (1 MB at 1 MB/s), after which the long one runs at full
+        // rate: 1 MB moved by t=1, 2 MB left at 2 MB/s → t=2.
+        let bw = BandwidthMatrix::constant(2, 2.0);
+        let rep = simulate(
+            &bw,
+            &SimConfig::default(),
+            &[FlowSpec::new(0, 1, 1e6), FlowSpec::new(1, 0, 3e6)],
+            &[],
+        );
+        approx(rep.flows[0].finish_s, 1.0);
+        approx(rep.flows[1].finish_s, 2.0);
+    }
+
+    #[test]
+    fn contention_off_overlaps_flows() {
+        let bw = BandwidthMatrix::constant(2, 1.0);
+        let cfg = SimConfig {
+            latency_s: 0.0,
+            contention: false,
+        };
+        let rep = simulate(
+            &bw,
+            &cfg,
+            &[FlowSpec::new(0, 1, 1e6), FlowSpec::new(1, 0, 1e6)],
+            &[],
+        );
+        approx(rep.makespan_s, 1.0);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let bw = BandwidthMatrix::constant(2, 1.0);
+        let cfg = SimConfig {
+            latency_s: 0.25,
+            contention: true,
+        };
+        let rep = simulate(&bw, &cfg, &[FlowSpec::new(0, 1, 1e6)], &[]);
+        approx(rep.makespan_s, 1.25);
+        let rep2 = simulate(
+            &bw,
+            &cfg,
+            &[FlowSpec::new(0, 1, 1e6).with_latency_units(4)],
+            &[],
+        );
+        approx(rep2.makespan_s, 2.0);
+    }
+
+    #[test]
+    fn chains_serialize_flows() {
+        let bw = BandwidthMatrix::constant(3, 1.0);
+        let rep = simulate(
+            &bw,
+            &SimConfig::default(),
+            &[
+                FlowSpec::new(0, 1, 1e6).on_chain(7),
+                FlowSpec::new(0, 2, 1e6).on_chain(7),
+            ],
+            &[],
+        );
+        approx(rep.flows[0].finish_s, 1.0);
+        approx(rep.flows[1].start_s, 1.0);
+        approx(rep.flows[1].finish_s, 2.0);
+    }
+
+    #[test]
+    fn release_time_offsets_start() {
+        let bw = BandwidthMatrix::constant(2, 1.0);
+        let rep = simulate(
+            &bw,
+            &SimConfig::default(),
+            &[FlowSpec::new(0, 1, 1e6).released_at(3.0)],
+            &[],
+        );
+        approx(rep.flows[0].start_s, 3.0);
+        approx(rep.makespan_s, 4.0);
+    }
+
+    #[test]
+    fn mid_flight_rate_update_changes_pace() {
+        // 4 MB at 2 MB/s; at t=1 the link halves to 1 MB/s: 2 MB moved,
+        // 2 MB left at 1 MB/s → finish at t=3 (vs 2 s undisturbed).
+        let bw = BandwidthMatrix::constant(2, 2.0);
+        let rep = simulate(
+            &bw,
+            &SimConfig::default(),
+            &[FlowSpec::new(0, 1, 4e6)],
+            &[RateUpdate {
+                at_s: 1.0,
+                bw: BandwidthMatrix::constant(2, 1.0),
+            }],
+        );
+        approx(rep.makespan_s, 3.0);
+    }
+
+    #[test]
+    fn rate_update_can_rescue_a_dead_link() {
+        let bw = BandwidthMatrix::constant(2, 0.0);
+        let rep = simulate(
+            &bw,
+            &SimConfig::default(),
+            &[FlowSpec::new(0, 1, 1e6)],
+            &[RateUpdate {
+                at_s: 5.0,
+                bw: BandwidthMatrix::constant(2, 1.0),
+            }],
+        );
+        approx(rep.makespan_s, 6.0);
+        // The starved interval [0, 5) is not transfer activity: the
+        // endpoints were only busy while bytes actually moved.
+        approx(rep.busy_s[0], 1.0);
+        approx(rep.busy_s[1], 1.0);
+    }
+
+    #[test]
+    fn dead_link_without_update_is_infinite() {
+        let bw = BandwidthMatrix::constant(2, 0.0);
+        let rep = simulate(&bw, &SimConfig::default(), &[FlowSpec::new(0, 1, 1.0)], &[]);
+        assert!(rep.makespan_s.is_infinite());
+        assert!(rep.flows[0].finish_s.is_infinite());
+    }
+
+    #[test]
+    fn empty_flow_set_is_zero_time() {
+        let bw = BandwidthMatrix::constant(2, 1.0);
+        let rep = simulate(&bw, &SimConfig::default(), &[], &[]);
+        assert_eq!(rep.makespan_s, 0.0);
+    }
+
+    #[test]
+    fn zero_byte_flow_finishes_at_its_latency() {
+        let bw = BandwidthMatrix::constant(2, 1.0);
+        let cfg = SimConfig {
+            latency_s: 0.5,
+            contention: true,
+        };
+        let rep = simulate(&bw, &cfg, &[FlowSpec::new(0, 1, 0.0)], &[]);
+        approx(rep.makespan_s, 0.5);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let bw = BandwidthMatrix::constant(4, 1.5);
+        let flows: Vec<FlowSpec> = (0..12)
+            .map(|i| {
+                FlowSpec::new(i % 4, (i + 1) % 4, 1e6 + i as f64 * 1e5).released_at(i as f64 * 0.1)
+            })
+            .collect();
+        let cfg = SimConfig {
+            latency_s: 0.01,
+            contention: true,
+        };
+        let a = simulate(&bw, &cfg, &flows, &[]);
+        let b = simulate(&bw, &cfg, &flows, &[]);
+        assert_eq!(a, b);
+    }
+}

@@ -12,9 +12,14 @@
 //!   Fig. 1;
 //! * [`TrafficAccountant`] — exact per-worker / per-round byte counting
 //!   (the source of every traffic number in Table IV and Fig. 4);
-//! * [`timemodel`] — transfer-time models for peer-to-peer rounds,
-//!   parameter-server rounds and ring all-reduce (the source of every
-//!   "communication time" number in Table IV and Fig. 6).
+//! * [`timemodel`] — closed-form transfer-time models for peer-to-peer
+//!   rounds, parameter-server rounds and ring all-reduce (the source of
+//!   every "communication time" number in Table IV and Fig. 6);
+//! * [`flows`] + [`des`] — the discrete-event network simulator: flows
+//!   with per-link latency and fair-share bandwidth splitting, priced
+//!   behind the [`TimeModel`] switch (`Analytic` keeps the closed
+//!   forms; `EventDriven` simulates latency, contention, stragglers and
+//!   mid-flight bandwidth changes). See `docs/NETWORK_SIM.md`.
 //!
 //! # Example
 //!
@@ -33,9 +38,12 @@
 
 mod bandwidth;
 pub mod citydata;
+pub mod des;
 pub mod dynamics;
+pub mod flows;
 pub mod timemodel;
 mod traffic;
 
 pub use bandwidth::BandwidthMatrix;
+pub use des::{RoundTiming, TimeModel};
 pub use traffic::{to_mb, RoundTraffic, TrafficAccountant};

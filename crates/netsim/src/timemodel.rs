@@ -24,13 +24,16 @@ use crate::BandwidthMatrix;
 /// pair are summed (full-duplex links are *not* assumed: the two
 /// directions of one exchange share the pair's bottleneck bandwidth,
 /// matching the paper's `min(B_ij, B_ji)` rule). The round time is the
-/// maximum per-pair time. Returns seconds.
+/// maximum per-pair time. Per-pair byte sums saturate at `u64::MAX`
+/// rather than wrapping, so absurdly large transfer sets price as "very
+/// long" instead of silently short. Returns seconds.
 pub fn p2p_round_time(bw: &BandwidthMatrix, transfers: &[(usize, usize, u64)]) -> f64 {
     use std::collections::HashMap;
     let mut per_pair: HashMap<(usize, usize), u64> = HashMap::new();
     for &(src, dst, bytes) in transfers {
         let key = (src.min(dst), src.max(dst));
-        *per_pair.entry(key).or_insert(0) += bytes;
+        let sum = per_pair.entry(key).or_insert(0);
+        *sum = sum.saturating_add(bytes);
     }
     let mut worst: f64 = 0.0;
     for ((i, j), bytes) in per_pair {
@@ -166,6 +169,30 @@ mod tests {
     fn p2p_empty_round_is_zero() {
         let bw = BandwidthMatrix::constant(2, 1.0);
         assert_eq!(p2p_round_time(&bw, &[]), 0.0);
+    }
+
+    #[test]
+    fn p2p_huge_transfers_saturate_instead_of_wrapping() {
+        // Two near-max transfers on one pair used to wrap the u64 sum to
+        // almost zero in release builds; now they saturate and price as
+        // an enormous (finite) time.
+        let bw = BandwidthMatrix::constant(2, 1.0);
+        let t = p2p_round_time(&bw, &[(0, 1, u64::MAX - 1), (1, 0, u64::MAX - 1)]);
+        let single = p2p_round_time(&bw, &[(0, 1, u64::MAX - 1)]);
+        assert!(t.is_finite());
+        assert!(
+            t >= single,
+            "saturated sum {t} priced below one side {single}"
+        );
+        assert_eq!(t, u64::MAX as f64 / 1e6);
+    }
+
+    #[test]
+    fn p2p_huge_transfer_on_dead_link_is_infinite() {
+        // The 0-bandwidth path must still dominate the saturation path.
+        let bw = BandwidthMatrix::constant(2, 0.0);
+        let t = p2p_round_time(&bw, &[(0, 1, u64::MAX), (1, 0, u64::MAX)]);
+        assert!(t.is_infinite());
     }
 
     #[test]

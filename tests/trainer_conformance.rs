@@ -2,10 +2,12 @@
 //! the shared [`Trainer`] contract when driven through the public
 //! [`Experiment`] API and through raw [`RoundCtx`] stepping.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use saps::baselines::registry;
 use saps::core::{
     AlgorithmSpec, BuildCtx, Experiment, ParallelismPolicy, PartitionStrategy, RoundCtx,
-    ScenarioEvent,
+    ScenarioEvent, TimeModel,
 };
 use saps::data::{Dataset, SyntheticSpec};
 use saps::netsim::{BandwidthMatrix, TrafficAccountant};
@@ -229,6 +231,102 @@ fn parallel_runs_are_bit_identical_to_sequential_for_all_algorithms() {
             par.total_server_traffic_mb,
             "{}",
             spec.label()
+        );
+    }
+}
+
+/// The time model is accounting, never dynamics: for every algorithm, a
+/// run priced by the discrete-event simulator (with latency, contention,
+/// modeled compute and a mid-run straggler) produces the bit-identical
+/// *training state* — losses, accuracies, evaluated checkpoints, final
+/// consensus accuracy, traffic — of the analytic run. Only the
+/// time/idle columns may (and, with positive latency, must somewhere)
+/// differ. This is what makes `Experiment::time_model` safe to flip on
+/// any existing experiment.
+#[test]
+fn time_model_never_changes_training_state_for_any_algorithm() {
+    let (train, val) = dataset();
+    let reg = registry();
+    let mut rng = StdRng::seed_from_u64(11);
+    let bw = BandwidthMatrix::uniform_random(N, 5.0, &mut rng);
+    for spec in all_specs() {
+        let run = |model: TimeModel| {
+            Experiment::new(spec)
+                .train(train.clone())
+                .validation(val.clone())
+                .workers(N)
+                .batch_size(16)
+                .lr(0.1)
+                .seed(4)
+                .bandwidth_matrix(bw.clone())
+                .model(|rng| zoo::mlp(&[16, 20, 4], rng))
+                .rounds(6)
+                .eval_every(2)
+                .eval_samples(200)
+                .compute_time(0.2)
+                .event(
+                    2,
+                    ScenarioEvent::Straggler {
+                        rank: 1,
+                        slowdown: 5.0,
+                    },
+                )
+                .time_model(model)
+                .run(&reg)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.label()))
+        };
+        let analytic = run(TimeModel::Analytic);
+        let des = run(TimeModel::EventDriven {
+            latency: 0.01,
+            contention: true,
+        });
+        assert_eq!(analytic.points.len(), des.points.len(), "{}", spec.label());
+        let mut any_time_diff = false;
+        for (a, d) in analytic.points.iter().zip(&des.points) {
+            // Training state: bit-identical.
+            assert_eq!(a.train_loss, d.train_loss, "{} loss", spec.label());
+            assert_eq!(a.val_acc, d.val_acc, "{} val_acc", spec.label());
+            assert_eq!(a.evaluated, d.evaluated, "{} cadence", spec.label());
+            assert_eq!(a.epoch, d.epoch, "{} epochs", spec.label());
+            assert_eq!(
+                a.worker_traffic_mb,
+                d.worker_traffic_mb,
+                "{} traffic",
+                spec.label()
+            );
+            any_time_diff |= a.comm_time_s != d.comm_time_s;
+        }
+        assert_eq!(analytic.final_acc, des.final_acc, "{}", spec.label());
+        assert_eq!(
+            analytic.total_worker_traffic_mb,
+            des.total_worker_traffic_mb,
+            "{}",
+            spec.label()
+        );
+        assert_eq!(
+            analytic.total_server_traffic_mb,
+            des.total_server_traffic_mb,
+            "{}",
+            spec.label()
+        );
+        assert!(
+            any_time_diff,
+            "{}: 10 ms latency left every round's comm time unchanged",
+            spec.label()
+        );
+        // Both runs modeled the same compute phase: 0.2 s/round nominal,
+        // the rank-1 straggler gating rounds 2.. at 1.0 s.
+        assert_eq!(
+            analytic.total_compute_time_s,
+            des.total_compute_time_s,
+            "{}",
+            spec.label()
+        );
+        assert!(
+            (analytic.total_compute_time_s - (2.0 * 0.2 + 4.0 * 1.0)).abs() < 1e-9,
+            "{}: compute critical path {}",
+            spec.label(),
+            analytic.total_compute_time_s
         );
     }
 }
