@@ -27,15 +27,22 @@
 //!   formulas (default) or the discrete-event network simulator (5 ms
 //!   per-link latency, fair-share contention; see
 //!   `docs/NETWORK_SIM.md`) — losses and traffic stay bit-identical
+//! * `--driver memory|cluster` — run the algorithm in-memory (default)
+//!   or through the `saps-cluster` message-driven runtime, where every
+//!   round crosses the wire as serialized `saps-proto` frames
+//!   (`docs/PROTOCOL.md`; SAPS only). Losses and worker-row traffic are
+//!   bit-identical; round time additionally prices the frame envelopes,
+//!   and the control plane lands on the server row.
 //!
 //! Besides the CSV on stdout, every run records its round throughput
-//! (rounds/sec, threads, algorithm, workload) to
+//! (rounds/sec, threads, algorithm, workload, driver, on-wire MB) to
 //! `BENCH_round_throughput.json` in the working directory.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saps_bench::throughput::{self, ThroughputEntry};
 use saps_bench::{experiment, registry, AlgorithmSpec, ParallelismPolicy, TimeModel, Workload};
+use saps_cluster::{cluster_registry, WireTap};
 use saps_core::CsvSink;
 use saps_netsim::{citydata, BandwidthMatrix};
 use std::path::Path;
@@ -54,6 +61,7 @@ struct Args {
     target_acc: Option<f32>,
     threads: ParallelismPolicy,
     time_model: TimeModel,
+    driver: String,
 }
 
 impl Args {
@@ -71,6 +79,7 @@ impl Args {
             target_acc: None,
             threads: ParallelismPolicy::Auto,
             time_model: TimeModel::Analytic,
+            driver: "memory".into(),
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -108,6 +117,12 @@ impl Args {
                         _ => usage("bad --time-model (use analytic|des)"),
                     }
                 }
+                "--driver" => {
+                    a.driver = match val.as_str() {
+                        "memory" | "cluster" => val.clone(),
+                        _ => usage("bad --driver (use memory|cluster)"),
+                    }
+                }
                 other => usage(&format!("unknown option {other}")),
             }
             i += 2;
@@ -123,7 +138,7 @@ fn usage(err: &str) -> ! {
          \u{20}                     [--workload mnist|cifar|resnet] [--network constant|random|cities]\n\
          \u{20}                     [--workers N] [--rounds N] [--epochs F] [--c F] [--seed N]\n\
          \u{20}                     [--eval-every N] [--target-acc F] [--threads seq|auto|N]\n\
-         \u{20}                     [--time-model analytic|des]"
+         \u{20}                     [--time-model analytic|des] [--driver memory|cluster]"
     );
     std::process::exit(2);
 }
@@ -149,6 +164,22 @@ fn main() {
         other => usage(&format!("unknown network {other}")),
     };
 
+    // The cluster driver runs only the paper's own algorithm — baselines
+    // have no message protocol (yet).
+    let tap = WireTap::new();
+    let reg = match args.driver.as_str() {
+        "cluster" => {
+            if spec.key() != "saps" {
+                usage(&format!(
+                    "--driver cluster supports only saps, got {}",
+                    spec.key()
+                ));
+            }
+            cluster_registry(tap.clone())
+        }
+        _ => registry(),
+    };
+
     let mut exp = experiment(spec, &workload, &bw, workers, args.seed)
         .rounds(args.rounds)
         .eval_every(args.eval_every)
@@ -161,19 +192,22 @@ fn main() {
         exp = exp.target_accuracy(t);
     }
     eprintln!(
-        "# {} on {} — {} workers, network = {}, {} thread(s)",
+        "# {} on {} — {} workers, network = {}, {} thread(s), {} driver",
         spec.label(),
         workload.name,
         workers,
         args.network,
         args.threads.resolve(),
+        args.driver,
     );
-    let hist = exp.run(&registry()).unwrap_or_else(|e| {
+    let hist = exp.run(&reg).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
 
-    let entry = ThroughputEntry::from_run(&hist, workload.name, workers, args.threads);
+    let wire = tap.snapshot();
+    let entry = ThroughputEntry::from_run(&hist, workload.name, workers, args.threads)
+        .with_driver(&args.driver, wire.total_bytes as f64 / 1e6);
     eprintln!(
         "# final acc {:.2}% | worker traffic {:.4} MB | server {:.4} MB | comm time {:.2} s | {:.2} rounds/s wall",
         hist.final_acc * 100.0,
@@ -182,6 +216,15 @@ fn main() {
         hist.total_comm_time_s,
         entry.rounds_per_sec,
     );
+    if args.driver == "cluster" {
+        eprintln!(
+            "# on the wire: {:.4} MB total ({:.4} MB masked values, {:.4} MB control plane, {:.4} MB model plane)",
+            wire.total_bytes as f64 / 1e6,
+            wire.data_bytes as f64 / 1e6,
+            wire.control_bytes as f64 / 1e6,
+            wire.model_bytes as f64 / 1e6,
+        );
+    }
     let path = Path::new(throughput::BENCH_FILE);
     match throughput::record(path, &[entry]) {
         Ok(()) => eprintln!("# round throughput recorded to {}", path.display()),

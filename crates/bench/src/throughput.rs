@@ -28,16 +28,23 @@ pub struct ThroughputEntry {
     pub workers: usize,
     /// Resolved thread count of the run's [`ParallelismPolicy`].
     pub threads: usize,
+    /// Execution driver: `"memory"` (in-memory trainer) or `"cluster"`
+    /// (the message-driven `saps-cluster` runtime).
+    pub driver: String,
     /// Rounds actually driven.
     pub rounds: usize,
     /// Wall-clock seconds the driver spent ([`RunHistory::wall_time_s`]).
     pub wall_s: f64,
     /// `rounds / wall_s` — the headline number.
     pub rounds_per_sec: f64,
+    /// Bytes actually framed on the wire (MB, all traffic classes);
+    /// 0 for in-memory runs, which frame nothing.
+    pub wire_mb: f64,
 }
 
 impl ThroughputEntry {
-    /// Builds an entry from a finished run.
+    /// Builds an entry from a finished run (in-memory driver; see
+    /// [`ThroughputEntry::with_driver`] for cluster runs).
     pub fn from_run(
         hist: &RunHistory,
         workload: &str,
@@ -51,10 +58,20 @@ impl ThroughputEntry {
             workload: workload.to_string(),
             workers,
             threads: policy.resolve(),
+            driver: "memory".to_string(),
             rounds,
             wall_s: hist.wall_time_s,
             rounds_per_sec: rounds as f64 / wall,
+            wire_mb: 0.0,
         }
+    }
+
+    /// Re-labels the entry with its execution driver and the on-wire
+    /// megabytes its transport framed.
+    pub fn with_driver(mut self, driver: &str, wire_mb: f64) -> Self {
+        self.driver = driver.to_string();
+        self.wire_mb = wire_mb;
+        self
     }
 }
 
@@ -85,8 +102,8 @@ pub fn record(path: &Path, new_entries: &[ThroughputEntry]) -> io::Result<()> {
     write_json(path, &entries)
 }
 
-fn key(e: &ThroughputEntry) -> (&str, &str, usize, usize) {
-    (&e.algorithm, &e.workload, e.workers, e.threads)
+fn key(e: &ThroughputEntry) -> (&str, &str, usize, usize, &str) {
+    (&e.algorithm, &e.workload, e.workers, e.threads, &e.driver)
 }
 
 /// Best-effort parse of a file this module wrote (one entry per line).
@@ -111,9 +128,15 @@ fn parse_entry(line: &str) -> Option<ThroughputEntry> {
         workload: field_str(line, "workload")?,
         workers: field_num(line, "workers")?.parse().ok()?,
         threads: field_num(line, "threads")?.parse().ok()?,
+        // Fields added after the first release: records written before
+        // the cluster driver existed read as in-memory runs.
+        driver: field_str(line, "driver").unwrap_or_else(|| "memory".to_string()),
         rounds: field_num(line, "rounds")?.parse().ok()?,
         wall_s: field_num(line, "wall_s")?.parse().ok()?,
         rounds_per_sec: field_num(line, "rounds_per_sec")?.parse().ok()?,
+        wire_mb: field_num(line, "wire_mb")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0),
     })
 }
 
@@ -164,14 +187,17 @@ fn render_json(entries: &[ThroughputEntry]) -> String {
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"algorithm\": \"{}\", \"workload\": \"{}\", \"workers\": {}, \
-             \"threads\": {}, \"rounds\": {}, \"wall_s\": {:.6}, \"rounds_per_sec\": {:.3}}}{}\n",
+             \"threads\": {}, \"driver\": \"{}\", \"rounds\": {}, \"wall_s\": {:.6}, \
+             \"rounds_per_sec\": {:.3}, \"wire_mb\": {:.6}}}{}\n",
             escape(&e.algorithm),
             escape(&e.workload),
             e.workers,
             e.threads,
+            escape(&e.driver),
             e.rounds,
             e.wall_s,
             e.rounds_per_sec,
+            e.wire_mb,
             if i + 1 < entries.len() { "," } else { "" },
         ));
     }
@@ -193,9 +219,11 @@ mod tests {
             workload: "CIFAR10-CNN (scaled)".into(),
             workers: 16,
             threads,
+            driver: "memory".into(),
             rounds: 30,
             wall_s: 30.0 / rps,
             rounds_per_sec: rps,
+            wire_mb: 0.0,
         }
     }
 
@@ -250,6 +278,44 @@ mod tests {
         let got = read_entries(&path).unwrap();
         assert_eq!(got, vec![entry(1, 10.0), entry(4, 12.0), other]);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cluster_and_memory_records_coexist() {
+        let dir = std::env::temp_dir().join(format!("saps-throughput-drv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(BENCH_FILE);
+        let _ = std::fs::remove_file(&path);
+
+        // Same (algorithm, workload, workers, threads), different driver:
+        // both records must survive side by side.
+        let memory = entry(1, 10.0);
+        let cluster = entry(1, 8.0).with_driver("cluster", 12.5);
+        record(&path, std::slice::from_ref(&memory)).unwrap();
+        record(&path, std::slice::from_ref(&cluster)).unwrap();
+        let got = read_entries(&path).unwrap();
+        assert_eq!(got, vec![memory, cluster.clone()]);
+        // Re-measuring the cluster key replaces only the cluster record.
+        // (7.5 rounds/s → wall 4.0 s survives the %.6 formatting exactly,
+        // keeping the roundtrip comparison strict.)
+        let faster = entry(1, 7.5).with_driver("cluster", 12.5);
+        record(&path, std::slice::from_ref(&faster)).unwrap();
+        let got = read_entries(&path).unwrap();
+        assert_eq!(got, vec![entry(1, 10.0), faster]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn records_without_driver_fields_read_as_memory_runs() {
+        // The pre-cluster file layout (no driver / wire_mb fields) must
+        // keep parsing, so landing this feature doesn't wipe committed
+        // benchmark history.
+        let line = "    {\"algorithm\": \"SAPS-PSGD\", \"workload\": \"w\", \"workers\": 16, \
+                    \"threads\": 2, \"rounds\": 30, \"wall_s\": 3.000000, \"rounds_per_sec\": 10.000}";
+        let e = parse_entry(line.trim()).unwrap();
+        assert_eq!(e.driver, "memory");
+        assert_eq!(e.wire_mb, 0.0);
+        assert_eq!(e.threads, 2);
     }
 
     #[test]

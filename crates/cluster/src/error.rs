@@ -1,0 +1,46 @@
+//! Cluster runtime errors.
+
+use saps_core::ConfigError;
+use saps_proto::ProtoError;
+
+/// Everything that can go wrong driving a cluster run.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A frame failed to decode (corruption on the wire).
+    Proto(ProtoError),
+    /// A control request was rejected (e.g. churn below the minimum
+    /// fleet) — carries the same [`ConfigError`] the in-memory trainer
+    /// would have returned.
+    Config(ConfigError),
+    /// The transport failed to move bytes (socket errors, unknown
+    /// destination).
+    Transport(String),
+    /// A node received a message the protocol does not allow in its
+    /// current state, or a round stalled with messages outstanding.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Proto(e) => write!(f, "wire decode error: {e}"),
+            ClusterError::Config(e) => write!(f, "control request rejected: {e}"),
+            ClusterError::Transport(e) => write!(f, "transport error: {e}"),
+            ClusterError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<ProtoError> for ClusterError {
+    fn from(e: ProtoError) -> Self {
+        ClusterError::Proto(e)
+    }
+}
+
+impl From<ConfigError> for ClusterError {
+    fn from(e: ConfigError) -> Self {
+        ClusterError::Config(e)
+    }
+}

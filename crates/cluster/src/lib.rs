@@ -1,0 +1,73 @@
+//! The SAPS-PSGD cluster runtime: Algorithms 1–2 as message-driven
+//! coordinator/worker nodes over a pluggable transport.
+//!
+//! The in-memory [`saps_core::SapsPsgd`] trainer runs the paper's
+//! protocol as shared-memory method calls; this crate runs the *same
+//! protocol logic* (the same [`saps_core::SapsControl`] planning state,
+//! the same [`saps_core::Worker`] arithmetic) through real serialized
+//! [`saps_proto`] frames:
+//!
+//! * [`CoordinatorNode`] / [`WorkerNode`] — the two sides of the
+//!   protocol as event-loop state machines (`handle(from, message) →
+//!   outgoing messages`), transport-agnostic and individually testable;
+//! * [`Transport`] — the pluggable byte mover, with the deterministic
+//!   in-process [`LoopbackTransport`] as the default and a localhost
+//!   `tcp::TcpTransport` behind the `tcp` feature;
+//! * [`ClusterTrainer`] — a [`saps_core::Trainer`] that pumps the nodes
+//!   through a transport, so the standard [`saps_core::Experiment`]
+//!   driver (events, observers, evaluation cadence) runs a cluster
+//!   experiment end to end; worker message handling fans out across the
+//!   `saps-runtime` round engine;
+//! * [`WireTap`] / [`WireStats`] — per-class on-wire byte metering, the
+//!   ground truth the driver bills rounds from.
+//!
+//! **The headline invariant** (pinned by `tests/cluster_conformance.rs`
+//! at the workspace root): a cluster-driven run is bit-identical in
+//! training state and per-round loss to the in-memory run of the same
+//! spec, and the bytes framed on the wire reconcile exactly with the
+//! `TrafficAccountant` — each masked payload's values section (`4·nnz`)
+//! on the worker rows, every other byte on the server row. Round timing
+//! is priced from the full framed sizes, closing the loop between the
+//! `saps-netsim` time models and the wire. `docs/PROTOCOL.md` documents
+//! the frame layout and the per-message cost table.
+//!
+//! # Example
+//!
+//! ```
+//! use saps_cluster::{cluster_registry, WireTap};
+//! use saps_core::{AlgorithmSpec, Experiment};
+//! use saps_data::SyntheticSpec;
+//! use saps_nn::zoo;
+//!
+//! let ds = SyntheticSpec::tiny().samples(600).generate(1);
+//! let (train, val) = ds.split(0.25, 0);
+//! let tap = WireTap::new();
+//! let hist = Experiment::new(AlgorithmSpec::parse("saps").unwrap().with_compression(4.0))
+//!     .train(train)
+//!     .validation(val)
+//!     .workers(4)
+//!     .batch_size(16)
+//!     .model(|rng| zoo::mlp(&[16, 16, 4], rng))
+//!     .rounds(5)
+//!     .eval_every(5)
+//!     .eval_samples(100)
+//!     .run(&cluster_registry(tap.clone()))
+//!     .unwrap();
+//! assert_eq!(hist.points.len(), 5);
+//! let wire = tap.snapshot();
+//! assert!(wire.data_bytes > 0 && wire.control_bytes > 0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod node;
+#[cfg(feature = "tcp")]
+pub mod tcp;
+mod trainer;
+mod transport;
+
+pub use error::ClusterError;
+pub use node::{CoordinatorNode, Outbox, RoundMeta, WorkerNode};
+pub use trainer::{cluster_registry, ClusterTrainer};
+pub use transport::{Addr, LoopbackTransport, Transport, WireStats, WireTap, WireTransfer};

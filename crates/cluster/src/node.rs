@@ -1,0 +1,505 @@
+//! The coordinator and worker event-loop state machines.
+//!
+//! Each node is a pure message processor: `handle(from, message)`
+//! mutates local state and emits outgoing `(Addr, Message)` pairs, with
+//! no knowledge of the transport underneath. That makes the round logic
+//! transport-agnostic (loopback and TCP drive the identical machines)
+//! and testable without any wiring.
+//!
+//! Both machines are thin shells over `saps-core`: the coordinator wraps
+//! [`SapsControl`] (the same peer-selection/churn state the in-memory
+//! trainer uses) and the worker wraps [`saps_core::Worker`] (the same
+//! local-SGD/merge arithmetic) — so a message-driven round reproduces
+//! the in-memory round bit for bit.
+
+use crate::transport::Addr;
+use crate::ClusterError;
+use saps_compress::mask::RandomMask;
+use saps_core::{checkpoint, SapsControl, Worker};
+use saps_netsim::BandwidthMatrix;
+use saps_proto::Message;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Outgoing messages a node emits while handling one input.
+pub type Outbox = Vec<(Addr, Message)>;
+
+/// What [`CoordinatorNode::start_round`] fixes for one round.
+#[derive(Debug, Clone)]
+pub struct RoundMeta {
+    /// The round counter `t`.
+    pub round: u64,
+    /// The shared mask seed `s`.
+    pub mask_seed: u64,
+    /// Active ranks at round start, ascending.
+    pub ranks: Vec<usize>,
+    /// The matching as global-rank pairs, in plan order.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+/// In-flight state of one round at the coordinator.
+#[derive(Debug)]
+struct Inflight {
+    round: u64,
+    pending: BTreeSet<u32>,
+    stats: BTreeMap<u32, (f32, f32)>,
+}
+
+/// Algorithm 1 as an event-loop state machine: broadcasts
+/// [`Message::NotifyTrain`], waits for every active worker's
+/// [`Message::RoundEnd`], and services churn / bandwidth / model-fetch
+/// control frames.
+#[derive(Debug)]
+pub struct CoordinatorNode {
+    control: SapsControl,
+    inflight: Option<Inflight>,
+    /// Checkpoints collected from `FinalModel` replies, by rank.
+    collected: BTreeMap<u32, Vec<u8>>,
+    /// Ranks with an outstanding `FetchModel`.
+    awaiting_models: BTreeSet<u32>,
+    /// Control frames successfully applied (join/leave/bandwidth) — a
+    /// progress counter the driver waits on after sending one.
+    control_epoch: u64,
+}
+
+impl CoordinatorNode {
+    /// Creates the coordinator over the initial bandwidth matrix.
+    /// Parameters as in [`SapsControl::new`].
+    pub fn new(bw: &BandwidthMatrix, bthres: Option<f64>, tthres: u32, seed: u64) -> Self {
+        CoordinatorNode {
+            control: SapsControl::new(bw, bthres, tthres, seed),
+            inflight: None,
+            collected: BTreeMap::new(),
+            awaiting_models: BTreeSet::new(),
+            control_epoch: 0,
+        }
+    }
+
+    /// Count of control frames (join/leave/bandwidth) applied so far.
+    pub fn control_epoch(&self) -> u64 {
+        self.control_epoch
+    }
+
+    /// Ranks of currently active workers, ascending.
+    pub fn active_ranks(&self) -> Vec<usize> {
+        self.control.active_ranks()
+    }
+
+    /// Fleet size `n` (inactive workers included).
+    pub fn fleet_size(&self) -> usize {
+        self.control.fleet_size()
+    }
+
+    /// Begins a round: generates the plan over the active subset and
+    /// emits one [`Message::NotifyTrain`] per active worker.
+    pub fn start_round(&mut self, out: &mut Outbox) -> Result<RoundMeta, ClusterError> {
+        if self.inflight.is_some() {
+            return Err(ClusterError::Protocol(
+                "start_round while a round is in flight".into(),
+            ));
+        }
+        let ranks = self.control.active_ranks();
+        let plan = self.control.begin_round();
+        let pairs = self.control.global_pairs(&plan.matching);
+        let matching: Vec<(u32, u32)> = pairs.iter().map(|&(a, b)| (a as u32, b as u32)).collect();
+        for &rank in &ranks {
+            out.push((
+                Addr::Worker(rank as u32),
+                Message::NotifyTrain {
+                    round: plan.round,
+                    mask_seed: plan.mask_seed,
+                    matching: matching.clone(),
+                },
+            ));
+        }
+        self.inflight = Some(Inflight {
+            round: plan.round,
+            pending: ranks.iter().map(|&r| r as u32).collect(),
+            stats: BTreeMap::new(),
+        });
+        Ok(RoundMeta {
+            round: plan.round,
+            mask_seed: plan.mask_seed,
+            ranks,
+            pairs,
+        })
+    }
+
+    /// Whether every active worker has acknowledged the in-flight round.
+    pub fn round_complete(&self) -> bool {
+        self.inflight.as_ref().is_some_and(|f| f.pending.is_empty())
+    }
+
+    /// Closes the completed round, returning per-worker `(loss, acc)`
+    /// training statistics in ascending rank order — the order the
+    /// in-memory trainer reduces them in.
+    pub fn finish_round(&mut self) -> Result<Vec<(f32, f32)>, ClusterError> {
+        match self.inflight.take() {
+            Some(f) if f.pending.is_empty() => Ok(f.stats.into_values().collect()),
+            Some(f) => {
+                let stalled = f.round;
+                self.inflight = Some(f);
+                Err(ClusterError::Protocol(format!(
+                    "round {stalled} still has workers pending"
+                )))
+            }
+            None => Err(ClusterError::Protocol("no round in flight".into())),
+        }
+    }
+
+    /// Emits a [`Message::FetchModel`] to each of `ranks`.
+    pub fn request_models(&mut self, ranks: &[usize], out: &mut Outbox) {
+        for &rank in ranks {
+            self.awaiting_models.insert(rank as u32);
+            out.push((
+                Addr::Worker(rank as u32),
+                Message::FetchModel { rank: rank as u32 },
+            ));
+        }
+    }
+
+    /// Whether every requested model has arrived.
+    pub fn models_complete(&self) -> bool {
+        self.awaiting_models.is_empty()
+    }
+
+    /// Takes the collected checkpoints, by rank.
+    pub fn take_models(&mut self) -> BTreeMap<u32, Vec<u8>> {
+        std::mem::take(&mut self.collected)
+    }
+
+    /// Handles one incoming message.
+    pub fn handle(
+        &mut self,
+        from: Addr,
+        msg: Message,
+        _out: &mut Outbox,
+    ) -> Result<(), ClusterError> {
+        match msg {
+            Message::RoundEnd {
+                round,
+                rank,
+                loss,
+                acc,
+            } => {
+                let inflight = self.inflight.as_mut().ok_or_else(|| {
+                    ClusterError::Protocol(format!("RoundEnd({round}) with no round in flight"))
+                })?;
+                if round != inflight.round {
+                    return Err(ClusterError::Protocol(format!(
+                        "RoundEnd for round {round}, expected {}",
+                        inflight.round
+                    )));
+                }
+                if !inflight.pending.remove(&rank) {
+                    return Err(ClusterError::Protocol(format!(
+                        "duplicate or unexpected RoundEnd from rank {rank}"
+                    )));
+                }
+                inflight.stats.insert(rank, (loss, acc));
+                Ok(())
+            }
+            Message::FinalModel { rank, checkpoint } => {
+                if !self.awaiting_models.remove(&rank) {
+                    return Err(ClusterError::Protocol(format!(
+                        "unsolicited FinalModel from rank {rank}"
+                    )));
+                }
+                self.collected.insert(rank, checkpoint);
+                Ok(())
+            }
+            Message::Join { rank } => {
+                self.control.set_active(rank as usize, true)?;
+                self.control_epoch += 1;
+                Ok(())
+            }
+            Message::Leave { rank } => {
+                self.control.set_active(rank as usize, false)?;
+                self.control_epoch += 1;
+                Ok(())
+            }
+            Message::BandwidthReport { n, mbps } => {
+                if n as usize != self.control.fleet_size() {
+                    return Err(ClusterError::Protocol(format!(
+                        "bandwidth report covers {n} workers, fleet has {}",
+                        self.control.fleet_size()
+                    )));
+                }
+                let bw = BandwidthMatrix::from_raw(n as usize, &mbps);
+                self.control.refresh_bandwidth(&bw);
+                self.control_epoch += 1;
+                Ok(())
+            }
+            other => Err(ClusterError::Protocol(format!(
+                "coordinator cannot handle {} from {from}",
+                other.label()
+            ))),
+        }
+    }
+}
+
+/// Per-round state of a worker between `NotifyTrain` and its
+/// `RoundEnd`.
+#[derive(Debug)]
+struct WorkerRound {
+    round: u64,
+    /// The peer this worker exchanges with, if matched.
+    mate: Option<u32>,
+    /// This round's local `(loss, acc)`.
+    stats: (f32, f32),
+}
+
+/// Algorithm 2 as an event-loop state machine: on `NotifyTrain` run a
+/// local SGD step, derive the shared mask, and send the masked payload
+/// to the matched peer; on the peer's payload, merge and acknowledge
+/// with `RoundEnd`; on `FetchModel`, reply with a checkpoint-encoded
+/// `FinalModel`.
+pub struct WorkerNode {
+    worker: Worker,
+    rank: u32,
+    batch_size: usize,
+    lr: f32,
+    compression: f64,
+    n_params: usize,
+    mask: RandomMask,
+    payload: Vec<f32>,
+    round: Option<WorkerRound>,
+    /// Payloads that arrived before their round's `NotifyTrain` (stream
+    /// transports interleave senders arbitrarily).
+    stash: Vec<(u32, u64, Vec<f32>)>,
+    /// Rounds completed — stamped into `FinalModel` checkpoints.
+    rounds_done: u64,
+    shutdown: bool,
+}
+
+impl std::fmt::Debug for WorkerNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerNode")
+            .field("rank", &self.rank)
+            .field("rounds_done", &self.rounds_done)
+            .finish()
+    }
+}
+
+impl WorkerNode {
+    /// Wraps a core [`Worker`] as a protocol node.
+    pub fn new(worker: Worker, batch_size: usize, lr: f32, compression: f64) -> Self {
+        let rank = worker.rank() as u32;
+        let n_params = worker.model().num_params();
+        WorkerNode {
+            worker,
+            rank,
+            batch_size,
+            lr,
+            compression,
+            n_params,
+            mask: RandomMask::from_indices(n_params, Vec::new()),
+            payload: Vec::new(),
+            round: None,
+            stash: Vec::new(),
+            rounds_done: 0,
+            shutdown: false,
+        }
+    }
+
+    /// This worker's global rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Number of local training examples (round-report bookkeeping).
+    pub fn data_len(&self) -> usize {
+        self.worker.data_len()
+    }
+
+    /// The wrapped core worker (tests, conformance checks).
+    pub fn worker(&self) -> &Worker {
+        &self.worker
+    }
+
+    /// Whether a [`Message::Shutdown`] has been received.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Handles one incoming message, pushing any replies onto `out`.
+    pub fn handle(
+        &mut self,
+        from: Addr,
+        msg: Message,
+        out: &mut Outbox,
+    ) -> Result<(), ClusterError> {
+        match msg {
+            Message::NotifyTrain {
+                round,
+                mask_seed,
+                matching,
+            } => {
+                if self.round.is_some() {
+                    return Err(ClusterError::Protocol(format!(
+                        "rank {}: NotifyTrain({round}) while a round is open",
+                        self.rank
+                    )));
+                }
+                // Algorithm 2 line 5: the local compute phase.
+                let stats = self.worker.sgd_step(self.batch_size, self.lr);
+                // Line 6: the shared-seed mask, identical on every worker.
+                self.mask
+                    .regenerate(self.n_params, self.compression, mask_seed, round);
+                let mate = matching.iter().find_map(|&(a, b)| {
+                    (a == self.rank)
+                        .then_some(b)
+                        .or_else(|| (b == self.rank).then_some(a))
+                });
+                self.round = Some(WorkerRound { round, mate, stats });
+                match mate {
+                    Some(peer) => {
+                        // Line 7: ship the values-only payload to the peer.
+                        let WorkerNode {
+                            worker,
+                            mask,
+                            payload,
+                            ..
+                        } = self;
+                        worker.sparse_payload_into(mask, payload);
+                        out.push((
+                            Addr::Worker(peer),
+                            Message::MaskedPayload {
+                                round,
+                                values: payload.clone(),
+                            },
+                        ));
+                        // A stream transport may already have delivered
+                        // the peer's payload for this round.
+                        if let Some(pos) = self
+                            .stash
+                            .iter()
+                            .position(|&(p, r, _)| p == peer && r == round)
+                        {
+                            let (peer, round, values) = self.stash.remove(pos);
+                            self.merge_and_ack(peer, round, &values, out)?;
+                        }
+                        Ok(())
+                    }
+                    None => {
+                        // Unmatched this round: train only, acknowledge.
+                        self.ack_round(out);
+                        Ok(())
+                    }
+                }
+            }
+            Message::MaskedPayload { round, values } => {
+                let from_rank = match from {
+                    Addr::Worker(r) => r,
+                    Addr::Coordinator => {
+                        return Err(ClusterError::Protocol(
+                            "masked payload from the coordinator".into(),
+                        ))
+                    }
+                };
+                match &self.round {
+                    Some(st) if st.round == round && st.mate == Some(from_rank) => {
+                        self.merge_and_ack(from_rank, round, &values, out)
+                    }
+                    // Not in that round yet — the NotifyTrain is still in
+                    // flight. Park the payload.
+                    Some(st) if round > st.round => self.stash_payload(from_rank, round, values),
+                    None => self.stash_payload(from_rank, round, values),
+                    Some(st) => Err(ClusterError::Protocol(format!(
+                        "rank {}: payload for round {round} from {from_rank}, \
+                         open round is {} with mate {:?}",
+                        self.rank, st.round, st.mate
+                    ))),
+                }
+            }
+            Message::FetchModel { rank } => {
+                if rank != self.rank {
+                    return Err(ClusterError::Protocol(format!(
+                        "FetchModel for rank {rank} delivered to rank {}",
+                        self.rank
+                    )));
+                }
+                let blob = checkpoint::encode(&self.worker.flat(), self.rounds_done);
+                out.push((
+                    Addr::Coordinator,
+                    Message::FinalModel {
+                        rank: self.rank,
+                        checkpoint: blob.to_vec(),
+                    },
+                ));
+                Ok(())
+            }
+            Message::Shutdown => {
+                self.shutdown = true;
+                Ok(())
+            }
+            other => Err(ClusterError::Protocol(format!(
+                "worker {} cannot handle {} from {from}",
+                self.rank,
+                other.label()
+            ))),
+        }
+    }
+
+    /// Parks a payload that overtook its round's `NotifyTrain`. At most
+    /// one early payload (the open round's, from this worker's one mate)
+    /// is legitimate at a time; a transport redelivering stale or
+    /// duplicate payloads would otherwise grow the stash without bound,
+    /// so overflow is a protocol error rather than silent accumulation.
+    fn stash_payload(
+        &mut self,
+        from_rank: u32,
+        round: u64,
+        values: Vec<f32>,
+    ) -> Result<(), ClusterError> {
+        const STASH_LIMIT: usize = 4;
+        if self.stash.len() >= STASH_LIMIT {
+            return Err(ClusterError::Protocol(format!(
+                "rank {}: payload stash overflow ({} parked) — stale or duplicate payloads",
+                self.rank,
+                self.stash.len()
+            )));
+        }
+        self.stash.push((from_rank, round, values));
+        Ok(())
+    }
+
+    /// Algorithm 2 lines 9–10: average the peer's payload into the local
+    /// model on the masked coordinates, then acknowledge the round.
+    fn merge_and_ack(
+        &mut self,
+        peer: u32,
+        round: u64,
+        values: &[f32],
+        out: &mut Outbox,
+    ) -> Result<(), ClusterError> {
+        if values.len() != self.mask.nnz() {
+            return Err(ClusterError::Protocol(format!(
+                "rank {}: payload from {peer} for round {round} has {} values, mask keeps {}",
+                self.rank,
+                values.len(),
+                self.mask.nnz()
+            )));
+        }
+        self.worker.merge_sparse(&self.mask, values);
+        self.ack_round(out);
+        Ok(())
+    }
+
+    fn ack_round(&mut self, out: &mut Outbox) {
+        let st = self.round.take().expect("ack with a round open");
+        // Count, don't copy the plan counter: the coordinator's round
+        // counter restarts at 0 whenever peer selection is rebuilt
+        // (churn, bandwidth refresh), but "rounds this worker completed"
+        // must keep monotonically increasing across rebuilds.
+        self.rounds_done += 1;
+        out.push((
+            Addr::Coordinator,
+            Message::RoundEnd {
+                round: st.round,
+                rank: self.rank,
+                loss: st.stats.0,
+                acc: st.stats.1,
+            },
+        ));
+    }
+}

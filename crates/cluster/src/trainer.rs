@@ -1,0 +1,497 @@
+//! The cluster driver: a [`Trainer`] whose rounds run through real
+//! serialized messages.
+
+use crate::node::{CoordinatorNode, Outbox, RoundMeta, WorkerNode};
+use crate::transport::{Addr, LoopbackTransport, Transport, WireTap};
+use crate::ClusterError;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use saps_core::{
+    build_replicas, checkpoint, saps_round_report, AlgorithmRegistry, AlgorithmSpec, ConfigError,
+    RoundCtx, RoundReport, SapsConfig, Trainer,
+};
+use saps_data::Dataset;
+use saps_netsim::BandwidthMatrix;
+use saps_nn::Model;
+use saps_proto::{frame, Message};
+use saps_runtime::Executor;
+use std::collections::BTreeMap;
+
+/// Sweeps of an empty transport tolerated before a round is declared
+/// stalled (each idle sweep sleeps 1 ms, so this is a ~5 s timeout for
+/// stream transports; the loopback transport either completes or stalls
+/// on the first idle sweep).
+const STALL_SWEEP_LIMIT: u32 = 5_000;
+
+/// SAPS-PSGD driven as a message-passing cluster: a
+/// [`CoordinatorNode`] and `n` [`WorkerNode`]s exchanging
+/// `saps-proto` frames over a pluggable [`Transport`].
+///
+/// `ClusterTrainer` implements [`Trainer`], so the standard
+/// [`saps_core::Experiment`] driver runs a cluster experiment end to end
+/// — events, observers, evaluation cadence and all — with every round
+/// flowing through encode → transport → decode. The training state it
+/// produces is **bit-identical** to the in-memory
+/// [`saps_core::SapsPsgd`] under the same spec and seed (pinned by
+/// `tests/cluster_conformance.rs`): both paths share the same
+/// [`saps_core::SapsControl`] planning state, [`saps_core::Worker`]
+/// arithmetic and reduction order.
+///
+/// Accounting follows Table I exactly: each masked payload bills its
+/// values section (`4·nnz` bytes) to the sender/receiver worker rows,
+/// and all control-plane bytes — control frames plus every
+/// training-frame envelope — are billed to the server row
+/// ([`saps_netsim::TrafficAccountant::record_control`]). Round *timing*
+/// is priced from the full framed transfer sizes, so the bytes the
+/// `saps-netsim` time model simulates are the bytes actually put on the
+/// wire. Evaluation-time model collection (`FetchModel`/`FinalModel`)
+/// is instrumentation, not protocol traffic: metered by the
+/// [`WireTap`]'s model-plane counter, never billed to the accountant.
+///
+/// Protocol violations (a decode failure, a stalled round) are driver
+/// bugs, not recoverable conditions — [`Trainer::step`] panics with the
+/// underlying [`ClusterError`].
+pub struct ClusterTrainer<T: Transport> {
+    coordinator: CoordinatorNode,
+    workers: Vec<WorkerNode>,
+    transport: T,
+    tap: WireTap,
+    eval_model: Model,
+    n_params: usize,
+    batch_size: usize,
+    /// Control-plane bytes already billed to the accountant's server
+    /// row; the difference to the tap's cumulative counter is billed at
+    /// each round close, so between-round control frames (churn,
+    /// bandwidth reports) are charged exactly once.
+    billed_control: u64,
+}
+
+impl<T: Transport> std::fmt::Debug for ClusterTrainer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterTrainer")
+            .field("workers", &self.workers.len())
+            .field("n_params", &self.n_params)
+            .finish()
+    }
+}
+
+impl ClusterTrainer<LoopbackTransport> {
+    /// Builds a cluster over the default in-process loopback transport,
+    /// metering its wire bytes through `tap`.
+    pub fn loopback(
+        cfg: SapsConfig,
+        parts: Vec<Dataset>,
+        bw: &BandwidthMatrix,
+        factory: impl Fn(&mut StdRng) -> Model,
+        tap: WireTap,
+    ) -> Result<Self, ConfigError> {
+        let transport = LoopbackTransport::new(tap.clone());
+        Self::with_transport(cfg, parts, bw, factory, transport, tap)
+    }
+}
+
+impl<T: Transport> ClusterTrainer<T> {
+    /// Builds a cluster over an arbitrary transport. `tap` must be the
+    /// tap `transport` reports to — the driver reads its per-round
+    /// transfer log to bill and price rounds.
+    ///
+    /// Construction mirrors [`saps_core::SapsPsgd::with_partitions`]
+    /// exactly (same validation, same replica seeding), so both paths
+    /// start from the same state.
+    pub fn with_transport(
+        cfg: SapsConfig,
+        parts: Vec<Dataset>,
+        bw: &BandwidthMatrix,
+        factory: impl Fn(&mut StdRng) -> Model,
+        transport: T,
+        tap: WireTap,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        if parts.len() != cfg.workers {
+            return Err(ConfigError::invalid(
+                "ClusterTrainer",
+                format!(
+                    "{} partitions for {} workers (need one each)",
+                    parts.len(),
+                    cfg.workers
+                ),
+            ));
+        }
+        if bw.len() != cfg.workers {
+            return Err(ConfigError::invalid(
+                "ClusterTrainer",
+                format!(
+                    "bandwidth matrix covers {} workers, config has {}",
+                    bw.len(),
+                    cfg.workers
+                ),
+            ));
+        }
+        let (workers, eval_model) = build_replicas(parts, cfg.seed, factory);
+        let n_params = eval_model.num_params();
+        let nodes = workers
+            .into_iter()
+            .map(|w| WorkerNode::new(w, cfg.batch_size, cfg.lr, cfg.compression))
+            .collect();
+        // The tap may be shared across experiments (cluster_registry
+        // clones one handle into every trainer it builds): bill only
+        // control bytes framed from this trainer's start, not whatever a
+        // previous run already accumulated.
+        let billed_control = tap.snapshot().control_bytes;
+        Ok(ClusterTrainer {
+            coordinator: CoordinatorNode::new(bw, cfg.bthres, cfg.tthres, cfg.seed),
+            workers: nodes,
+            transport,
+            tap,
+            eval_model,
+            n_params,
+            batch_size: cfg.batch_size,
+            billed_control,
+        })
+    }
+
+    /// The wire tap this cluster meters through.
+    pub fn tap(&self) -> &WireTap {
+        &self.tap
+    }
+
+    /// Direct access to a worker node (tests, conformance checks).
+    pub fn worker(&self, rank: usize) -> &WorkerNode {
+        &self.workers[rank]
+    }
+
+    /// Ranks of currently active workers.
+    pub fn active_ranks(&self) -> Vec<usize> {
+        self.coordinator.active_ranks()
+    }
+
+    /// Collects one worker's model through real
+    /// [`Message::FetchModel`]/[`Message::FinalModel`] frames, returning
+    /// the decoded checkpoint `(params, rounds_done)`.
+    pub fn fetch_model(&mut self, rank: usize) -> Result<(Vec<f32>, u64), ClusterError> {
+        let mut out = Outbox::new();
+        self.coordinator.request_models(&[rank], &mut out);
+        self.dispatch(Addr::Coordinator, out)?;
+        self.pump_until(Executor::sequential(), |c, _| c.models_complete())?;
+        let blob = self
+            .coordinator
+            .take_models()
+            .remove(&(rank as u32))
+            .ok_or_else(|| ClusterError::Protocol(format!("no model collected for {rank}")))?;
+        checkpoint::decode(Bytes::from(blob))
+            .map_err(|e| ClusterError::Protocol(format!("final model checkpoint: {e}")))
+    }
+
+    /// The consensus (average) model over active workers, collected
+    /// through the wire — the same rank-ascending f32 reduction
+    /// [`saps_core::SapsPsgd::average_model`] performs, so the result is
+    /// bit-identical to the in-memory consensus.
+    pub fn consensus_model(&mut self) -> Result<Vec<f32>, ClusterError> {
+        let ranks = self.coordinator.active_ranks();
+        let mut out = Outbox::new();
+        self.coordinator.request_models(&ranks, &mut out);
+        self.dispatch(Addr::Coordinator, out)?;
+        self.pump_until(Executor::sequential(), |c, _| c.models_complete())?;
+        let models = self.coordinator.take_models();
+        let mut acc = vec![0.0f32; self.n_params];
+        for (rank, blob) in models {
+            let (params, _) = checkpoint::decode(Bytes::from(blob))
+                .map_err(|e| ClusterError::Protocol(format!("model from rank {rank}: {e}")))?;
+            if params.len() != self.n_params {
+                return Err(ClusterError::Protocol(format!(
+                    "model from rank {rank} has {} params, expected {}",
+                    params.len(),
+                    self.n_params
+                )));
+            }
+            for (a, v) in acc.iter_mut().zip(&params) {
+                *a += v;
+            }
+        }
+        let inv = 1.0 / ranks.len() as f32;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        Ok(acc)
+    }
+
+    /// Sends [`Message::Shutdown`] to every worker and waits until all
+    /// have processed it (an orderly end of the experiment).
+    pub fn shutdown(&mut self) -> Result<(), ClusterError> {
+        let n = self.workers.len();
+        for rank in 0..n {
+            self.transport.send(
+                Addr::Coordinator,
+                Addr::Worker(rank as u32),
+                frame::encode(&Message::Shutdown),
+            )?;
+        }
+        self.pump_until(Executor::sequential(), |_, workers| {
+            workers.iter().all(WorkerNode::is_shut_down)
+        })
+    }
+
+    /// Encodes and sends every message in `out`, as `from`.
+    fn dispatch(&mut self, from: Addr, out: Outbox) -> Result<(), ClusterError> {
+        for (to, msg) in out {
+            self.transport.send(from, to, frame::encode(&msg))?;
+        }
+        Ok(())
+    }
+
+    /// Delivers queued frames to their nodes — worker inboxes fanned out
+    /// across `exec` (the `saps-runtime` round engine), coordinator
+    /// frames in arrival order — until `done` reports the awaited
+    /// protocol state. Sweeps with no delivered frame count toward a
+    /// stall limit (stream transports may have bytes in flight; the
+    /// loopback transport never does).
+    fn pump_until(
+        &mut self,
+        exec: Executor,
+        done: impl Fn(&CoordinatorNode, &[WorkerNode]) -> bool,
+    ) -> Result<(), ClusterError> {
+        let mut idle_sweeps = 0u32;
+        loop {
+            if done(&self.coordinator, &self.workers) {
+                return Ok(());
+            }
+            let mut progressed = false;
+
+            // Worker-bound frames, decoded on this thread, handled in
+            // parallel (results re-serialized in rank order so dispatch
+            // order — and therefore every queue — is deterministic).
+            let mut inboxes: BTreeMap<usize, Vec<(Addr, Message)>> = BTreeMap::new();
+            for rank in 0..self.workers.len() {
+                let at = Addr::Worker(rank as u32);
+                while let Some((from, bytes)) = self.transport.recv(at)? {
+                    inboxes
+                        .entry(rank)
+                        .or_default()
+                        .push((from, frame::decode(&bytes)?));
+                }
+            }
+            if !inboxes.is_empty() {
+                progressed = true;
+                let items: Vec<(&mut WorkerNode, Vec<(Addr, Message)>)> = self
+                    .workers
+                    .iter_mut()
+                    .enumerate()
+                    .filter_map(|(r, w)| inboxes.remove(&r).map(|inbox| (w, inbox)))
+                    .collect();
+                let results = exec.par_map(items, |_, (node, inbox)| {
+                    let mut out = Outbox::new();
+                    for (from, msg) in inbox {
+                        node.handle(from, msg, &mut out)?;
+                    }
+                    Ok::<(Addr, Outbox), ClusterError>((Addr::Worker(node.rank()), out))
+                });
+                for result in results {
+                    let (from, out) = result?;
+                    self.dispatch(from, out)?;
+                }
+            }
+
+            // Coordinator-bound frames, in arrival order (the node's
+            // own bookkeeping is rank-ordered, so arrival order never
+            // leaks into results).
+            while let Some((from, bytes)) = self.transport.recv(Addr::Coordinator)? {
+                progressed = true;
+                let msg = frame::decode(&bytes)?;
+                let mut out = Outbox::new();
+                self.coordinator.handle(from, msg, &mut out)?;
+                self.dispatch(Addr::Coordinator, out)?;
+            }
+
+            if progressed {
+                idle_sweeps = 0;
+            } else {
+                idle_sweeps += 1;
+                if idle_sweeps > STALL_SWEEP_LIMIT {
+                    return Err(ClusterError::Protocol(
+                        "transport quiescent but the awaited protocol state never arrived".into(),
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Runs one full protocol round and reconciles the wire observations
+    /// into the round context's accounting.
+    fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        let mut out = Outbox::new();
+        let meta: RoundMeta = self.coordinator.start_round(&mut out)?;
+        // Discard transfers logged outside rounds (there are none — only
+        // MaskedPayload frames are logged — but stay safe).
+        self.tap.take_transfers();
+        self.dispatch(Addr::Coordinator, out)?;
+        self.pump_until(ctx.exec, |c, _| c.round_complete())?;
+        let stats = self.coordinator.finish_round()?;
+        let after = self.tap.snapshot();
+
+        // Bill exactly what was framed. Worker rows get each payload's
+        // values section (4·nnz — Table I's worker cost and bit-equal to
+        // the in-memory accounting); the server row gets every other
+        // byte this round put on the wire (control frames + envelopes).
+        let by_dir: BTreeMap<(u32, u32), (u64, u64)> = self
+            .tap
+            .take_transfers()
+            .into_iter()
+            .map(|(s, d, frame_bytes, value_bytes)| ((s, d), (frame_bytes, value_bytes)))
+            .collect();
+        let mut priced = Vec::with_capacity(2 * meta.pairs.len());
+        for &(ri, rj) in &meta.pairs {
+            for (s, d) in [(ri, rj), (rj, ri)] {
+                let &(frame_bytes, value_bytes) =
+                    by_dir.get(&(s as u32, d as u32)).ok_or_else(|| {
+                        ClusterError::Protocol(format!(
+                            "no payload framed for matched direction {s} → {d}"
+                        ))
+                    })?;
+                ctx.traffic.record_p2p(s, d, value_bytes);
+                // Time is priced on the full frame: what the DES
+                // simulates is what the wire carried.
+                priced.push((s, d, frame_bytes));
+            }
+        }
+        ctx.traffic
+            .record_control(after.control_bytes - self.billed_control);
+        self.billed_control = after.control_bytes;
+        ctx.traffic.end_round();
+
+        let timing = ctx.price_p2p(&priced);
+        let mean_part = meta
+            .ranks
+            .iter()
+            .map(|&r| self.workers[r].data_len())
+            .sum::<usize>() as f64
+            / meta.ranks.len().max(1) as f64;
+        Ok(saps_round_report(
+            &stats,
+            &meta.pairs,
+            ctx.bw,
+            &timing,
+            self.batch_size,
+            mean_part,
+        ))
+    }
+}
+
+impl<T: Transport> Trainer for ClusterTrainer<T> {
+    fn name(&self) -> &'static str {
+        // The algorithm is SAPS-PSGD either way; in-memory and cluster
+        // runs of the same spec produce directly comparable histories
+        // (benchmark records key on the driver separately).
+        "SAPS-PSGD"
+    }
+
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
+        self.run_round(ctx)
+            .unwrap_or_else(|e| panic!("cluster round failed: {e}"))
+    }
+
+    fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
+        let avg = self
+            .consensus_model()
+            .unwrap_or_else(|e| panic!("model collection failed: {e}"));
+        self.eval_model.set_flat_params(&avg);
+        self.eval_model.evaluate(val, max_samples)
+    }
+
+    fn model_len(&self) -> usize {
+        self.n_params
+    }
+
+    fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        if rank >= self.workers.len() {
+            return Err(ConfigError::invalid(
+                "ClusterTrainer",
+                format!("worker rank {rank} out of range ({})", self.workers.len()),
+            ));
+        }
+        let msg = if active {
+            Message::Join { rank: rank as u32 }
+        } else {
+            Message::Leave { rank: rank as u32 }
+        };
+        let epoch = self.coordinator.control_epoch();
+        self.transport
+            .send(
+                Addr::Worker(rank as u32),
+                Addr::Coordinator,
+                frame::encode(&msg),
+            )
+            .map_err(into_config)?;
+        self.pump_until(Executor::sequential(), |c, _| c.control_epoch() > epoch)
+            .map_err(into_config)
+    }
+
+    fn refresh_bandwidth(&mut self, bw: &BandwidthMatrix) {
+        assert_eq!(bw.len(), self.workers.len());
+        let msg = Message::BandwidthReport {
+            n: bw.len() as u32,
+            mbps: bw.as_slice().to_vec(),
+        };
+        let epoch = self.coordinator.control_epoch();
+        // The report originates at the coordinator's own measurement
+        // service; it still crosses the wire as a real frame.
+        self.transport
+            .send(Addr::Coordinator, Addr::Coordinator, frame::encode(&msg))
+            .unwrap_or_else(|e| panic!("bandwidth report failed: {e}"));
+        self.pump_until(Executor::sequential(), |c, _| c.control_epoch() > epoch)
+            .unwrap_or_else(|e| panic!("bandwidth refresh failed: {e}"));
+    }
+}
+
+/// Maps a cluster error back to the [`ConfigError`] the in-memory
+/// trainer would have surfaced (churn below the minimum fleet, etc.).
+fn into_config(e: ClusterError) -> ConfigError {
+    match e {
+        ClusterError::Config(c) => c,
+        other => ConfigError::invalid("ClusterTrainer", other.to_string()),
+    }
+}
+
+/// An [`AlgorithmRegistry`] whose `"saps"` key builds a
+/// [`ClusterTrainer`] over the loopback transport, metering through
+/// `tap` — hand it to [`saps_core::Experiment::run`] to execute the
+/// whole experiment through the wire protocol.
+pub fn cluster_registry(tap: WireTap) -> AlgorithmRegistry {
+    let mut reg = AlgorithmRegistry::empty();
+    reg.register(
+        "saps",
+        move |spec: &AlgorithmSpec, ctx: saps_core::BuildCtx<'_>| {
+            let AlgorithmSpec::Saps {
+                compression,
+                tthres,
+                bthres,
+            } = *spec
+            else {
+                return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+            };
+            let cfg = SapsConfig {
+                workers: ctx.partitions.len(),
+                compression,
+                lr: ctx.lr,
+                batch_size: ctx.batch_size,
+                bthres,
+                tthres,
+                seed: ctx.seed,
+            };
+            let factory = ctx.factory.clone();
+            let trainer = ClusterTrainer::loopback(
+                cfg,
+                ctx.partitions,
+                ctx.bw,
+                move |rng| factory(rng),
+                tap.clone(),
+            )?;
+            Ok(Box::new(trainer) as Box<dyn Trainer>)
+        },
+    );
+    reg
+}

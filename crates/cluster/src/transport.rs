@@ -1,0 +1,233 @@
+//! The pluggable transport layer and its wire-statistics tap.
+
+use crate::ClusterError;
+use bytes::Bytes;
+use saps_proto::{frame, Message, TrafficClass};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// A node address: the coordinator or one worker by global rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Addr {
+    /// The (single) coordinator.
+    Coordinator,
+    /// Worker `rank`.
+    Worker(u32),
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Coordinator => write!(f, "coordinator"),
+            Addr::Worker(r) => write!(f, "worker {r}"),
+        }
+    }
+}
+
+/// Moves encoded frames between nodes.
+///
+/// The contract is datagram-like: one [`Transport::send`] delivers one
+/// complete frame to `to`'s inbox, and [`Transport::recv`] pops frames
+/// in an order that is FIFO *per sender* (stream transports may
+/// interleave senders arbitrarily; the node state machines tolerate
+/// that). Transports are lossless and unordered-across-senders — see
+/// `docs/PROTOCOL.md` for the full contract.
+pub trait Transport {
+    /// Queues `frame` from `from` to `to`.
+    fn send(&mut self, from: Addr, to: Addr, frame: Bytes) -> Result<(), ClusterError>;
+
+    /// Pops the next frame addressed to `at`, with its sender. `None`
+    /// means nothing is available *right now* (a stream transport may
+    /// still have bytes in flight).
+    fn recv(&mut self, at: Addr) -> Result<Option<(Addr, Bytes)>, ClusterError>;
+}
+
+/// Cumulative on-wire byte counters, split by [`TrafficClass`].
+///
+/// `data_bytes` counts only the values sections of
+/// [`Message::MaskedPayload`] frames — the `4·nnz` Table I worker-row
+/// cost; the payload frames' envelopes (header, round field, value
+/// count, checksum) are counted in `control_bytes` together with whole
+/// control frames. `model_bytes` counts the `FetchModel`/`FinalModel`
+/// instrumentation plane. Invariant:
+/// `total_bytes = data_bytes + control_bytes + model_bytes`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Frames sent.
+    pub frames: u64,
+    /// All bytes framed on the wire.
+    pub total_bytes: u64,
+    /// Masked-value payload bytes (worker rows, `4·nnz` per payload).
+    pub data_bytes: u64,
+    /// Control frames plus all framing overhead (server row).
+    pub control_bytes: u64,
+    /// Model-collection frames (`FetchModel`/`FinalModel`).
+    pub model_bytes: u64,
+}
+
+/// One observed data-plane transfer: `(src, dst, frame_bytes,
+/// value_bytes)` of a worker-to-worker [`Message::MaskedPayload`].
+pub type WireTransfer = (u32, u32, u64, u64);
+
+#[derive(Debug, Default)]
+struct TapInner {
+    stats: WireStats,
+    transfers: Vec<WireTransfer>,
+}
+
+/// A shared tap every transport reports sent frames to: cumulative
+/// [`WireStats`] plus the per-transfer data-plane log the cluster driver
+/// prices rounds from.
+///
+/// Cloning shares the underlying counters (it's an `Arc`), so a caller
+/// can keep one handle while the transport inside a running experiment
+/// holds another.
+#[derive(Debug, Clone, Default)]
+pub struct WireTap(Arc<Mutex<TapInner>>);
+
+impl WireTap {
+    /// A fresh tap with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the cumulative counters.
+    pub fn snapshot(&self) -> WireStats {
+        self.0.lock().expect("wire tap lock").stats
+    }
+
+    /// Drains the data-plane transfer log accumulated since the last
+    /// call (the driver calls this once per round).
+    pub fn take_transfers(&self) -> Vec<WireTransfer> {
+        std::mem::take(&mut self.0.lock().expect("wire tap lock").transfers)
+    }
+
+    /// Meters one sent frame. Transports call this from
+    /// [`Transport::send`]; the tag is peeked from the header, the body
+    /// is never decoded.
+    pub fn record(&self, from: Addr, to: Addr, frame_bytes: &[u8]) {
+        let mut inner = self.0.lock().expect("wire tap lock");
+        inner.stats.frames += 1;
+        inner.stats.total_bytes += frame_bytes.len() as u64;
+        let Ok(Some(info)) = frame::peek(frame_bytes) else {
+            // A frame we cannot classify still counts as control chatter.
+            inner.stats.control_bytes += frame_bytes.len() as u64;
+            return;
+        };
+        match Message::traffic_class_of(info.tag) {
+            Some(TrafficClass::DataPlane) => {
+                // MaskedPayload body = round (8) + count (4) + values.
+                let values = info.body_len.saturating_sub(12) as u64;
+                let envelope = frame_bytes.len() as u64 - values;
+                inner.stats.data_bytes += values;
+                inner.stats.control_bytes += envelope;
+                if let (Addr::Worker(src), Addr::Worker(dst)) = (from, to) {
+                    inner
+                        .transfers
+                        .push((src, dst, frame_bytes.len() as u64, values));
+                }
+            }
+            Some(TrafficClass::ModelPlane) => inner.stats.model_bytes += frame_bytes.len() as u64,
+            Some(TrafficClass::ControlPlane) | None => {
+                inner.stats.control_bytes += frame_bytes.len() as u64
+            }
+        }
+    }
+}
+
+/// The default in-process transport: per-destination FIFO queues,
+/// deterministic, no sockets. Frames are still fully encoded and decoded
+/// — loopback exercises the real wire format, it only skips the kernel.
+#[derive(Debug, Default)]
+pub struct LoopbackTransport {
+    queues: BTreeMap<Addr, VecDeque<(Addr, Bytes)>>,
+    tap: WireTap,
+}
+
+impl LoopbackTransport {
+    /// A loopback transport reporting to `tap`.
+    pub fn new(tap: WireTap) -> Self {
+        LoopbackTransport {
+            queues: BTreeMap::new(),
+            tap,
+        }
+    }
+
+    /// Total frames currently queued, over all destinations.
+    pub fn queued(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, from: Addr, to: Addr, frame: Bytes) -> Result<(), ClusterError> {
+        self.tap.record(from, to, &frame);
+        self.queues.entry(to).or_default().push_back((from, frame));
+        Ok(())
+    }
+
+    fn recv(&mut self, at: Addr) -> Result<Option<(Addr, Bytes)>, ClusterError> {
+        Ok(self.queues.get_mut(&at).and_then(VecDeque::pop_front))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_is_fifo_per_destination() {
+        let mut t = LoopbackTransport::new(WireTap::new());
+        let f1 = frame::encode(&Message::Join { rank: 1 });
+        let f2 = frame::encode(&Message::Leave { rank: 1 });
+        t.send(Addr::Worker(1), Addr::Coordinator, f1.clone())
+            .unwrap();
+        t.send(Addr::Worker(2), Addr::Coordinator, f2.clone())
+            .unwrap();
+        assert_eq!(t.queued(), 2);
+        let (from, got) = t.recv(Addr::Coordinator).unwrap().unwrap();
+        assert_eq!((from, got), (Addr::Worker(1), f1));
+        let (from, got) = t.recv(Addr::Coordinator).unwrap().unwrap();
+        assert_eq!((from, got), (Addr::Worker(2), f2));
+        assert!(t.recv(Addr::Coordinator).unwrap().is_none());
+        assert!(t.recv(Addr::Worker(5)).unwrap().is_none());
+    }
+
+    #[test]
+    fn tap_splits_classes_and_balances_totals() {
+        let tap = WireTap::new();
+        let mut t = LoopbackTransport::new(tap.clone());
+        let payload = Message::MaskedPayload {
+            round: 0,
+            values: vec![1.0; 5],
+        };
+        let control = Message::RoundEnd {
+            round: 0,
+            rank: 0,
+            loss: 0.0,
+            acc: 0.0,
+        };
+        let model = Message::FetchModel { rank: 0 };
+        for (to, msg) in [
+            (Addr::Worker(1), &payload),
+            (Addr::Coordinator, &control),
+            (Addr::Worker(0), &model),
+        ] {
+            t.send(Addr::Worker(0), to, frame::encode(msg)).unwrap();
+        }
+        let s = tap.snapshot();
+        assert_eq!(s.frames, 3);
+        assert_eq!(s.data_bytes, 20, "values-only section is 4·nnz");
+        assert_eq!(s.model_bytes, frame::encoded_len(&model) as u64);
+        assert_eq!(
+            s.total_bytes,
+            s.data_bytes + s.control_bytes + s.model_bytes
+        );
+        let transfers = tap.take_transfers();
+        assert_eq!(
+            transfers,
+            vec![(0, 1, frame::encoded_len(&payload) as u64, 20)]
+        );
+        assert!(tap.take_transfers().is_empty(), "log drains");
+    }
+}

@@ -6,7 +6,7 @@
 //! whole run is a single final model (`N`), which is where Table I's
 //! server-cost row for SAPS-PSGD comes from.
 
-use crate::GossipGenerator;
+use crate::{ConfigError, GossipGenerator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use saps_graph::{Graph, Matching};
@@ -91,6 +91,138 @@ impl Coordinator {
         let full = Graph::from_threshold(n, bw.as_slice(), f64::MIN_POSITIVE);
         self.generator.rebuild(bstar, full, keep);
         self.bthres = thres;
+    }
+}
+
+/// The coordinator-side *control state* of a SAPS-PSGD deployment:
+/// which workers are active, the bandwidth snapshot peer selection plans
+/// from, and the [`Coordinator`] generating round plans over the active
+/// subset.
+///
+/// Both execution paths drive the algorithm through this one type — the
+/// in-memory [`crate::SapsPsgd`] trainer calls it directly, and the
+/// cluster runtime's coordinator node (`saps-cluster`) wraps it behind
+/// the wire protocol — so churn semantics, threshold selection and
+/// matching RNG streams cannot drift between them.
+#[derive(Debug, Clone)]
+pub struct SapsControl {
+    coordinator: Coordinator,
+    active: Vec<bool>,
+    /// Bandwidth snapshot used for peer selection (refreshed on demand,
+    /// mirroring the paper's "regularly reported" measurements).
+    bw_snapshot: BandwidthMatrix,
+    bthres: Option<f64>,
+    tthres: u32,
+    seed: u64,
+}
+
+impl SapsControl {
+    /// Creates the control state for a fully active fleet over `bw`.
+    /// `bthres`/`tthres`/`seed` are as in [`Coordinator::new`].
+    pub fn new(bw: &BandwidthMatrix, bthres: Option<f64>, tthres: u32, seed: u64) -> Self {
+        SapsControl {
+            coordinator: Coordinator::new(bw, bthres, tthres, seed),
+            active: vec![true; bw.len()],
+            bw_snapshot: bw.clone(),
+            bthres,
+            tthres,
+            seed,
+        }
+    }
+
+    /// Fleet size `n` (inactive workers included).
+    pub fn fleet_size(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The bandwidth threshold currently in effect.
+    pub fn bandwidth_threshold(&self) -> f64 {
+        self.coordinator.bandwidth_threshold()
+    }
+
+    /// Whether worker `rank` is currently active.
+    pub fn is_active(&self, rank: usize) -> bool {
+        self.active[rank]
+    }
+
+    /// Ranks of currently active workers, ascending.
+    pub fn active_ranks(&self) -> Vec<usize> {
+        (0..self.active.len()).filter(|&r| self.active[r]).collect()
+    }
+
+    /// Marks a worker active/inactive (join/leave churn). Peer selection
+    /// is rebuilt over the active subset; inactive workers keep their
+    /// model and re-join where they left off.
+    ///
+    /// Fails if `rank` is out of range or deactivation would leave fewer
+    /// than two active workers.
+    pub fn set_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        if rank >= self.active.len() {
+            return Err(ConfigError::invalid(
+                "SapsControl",
+                format!("worker rank {rank} out of range ({})", self.active.len()),
+            ));
+        }
+        if self.active[rank] == active {
+            return Ok(());
+        }
+        if !active && self.active.iter().filter(|&&a| a).count() <= 2 {
+            return Err(ConfigError::invalid(
+                "SapsControl",
+                "cannot deactivate: at least two workers must stay active",
+            ));
+        }
+        self.active[rank] = active;
+        self.rebuild();
+        Ok(())
+    }
+
+    /// Updates the bandwidth snapshot (the paper's periodically reported
+    /// speed measurements) and rebuilds peer selection.
+    pub fn refresh_bandwidth(&mut self, bw: &BandwidthMatrix) {
+        assert_eq!(bw.len(), self.active.len());
+        self.bw_snapshot = bw.clone();
+        self.rebuild();
+    }
+
+    /// Runs Algorithm 1's per-round step over the active subset: the
+    /// returned plan's matching is indexed by *active-subset position*
+    /// (translate with [`SapsControl::global_pairs`]).
+    pub fn begin_round(&mut self) -> RoundPlan {
+        self.coordinator.begin_round()
+    }
+
+    /// Translates a plan's active-subset matching into global-rank
+    /// pairs, in the matching's pair order.
+    pub fn global_pairs(&self, matching: &Matching) -> Vec<(usize, usize)> {
+        let ranks = self.active_ranks();
+        matching
+            .pairs()
+            .iter()
+            .map(|&(ai, aj)| (ranks[ai], ranks[aj]))
+            .collect()
+    }
+
+    fn rebuild(&mut self) {
+        let ranks = self.active_ranks();
+        let m = ranks.len();
+        // Submatrix of the snapshot over the active ranks.
+        let mut raw = vec![0.0f64; m * m];
+        for (i, &ri) in ranks.iter().enumerate() {
+            for (j, &rj) in ranks.iter().enumerate() {
+                raw[i * m + j] = self.bw_snapshot.get(ri, rj);
+            }
+        }
+        let sub = BandwidthMatrix::from_raw(m, &raw);
+        // The coordinator indexes the active subset; rebuilding from
+        // scratch with fresh timestamps is the simple, always-correct
+        // choice (stale timestamps only delay bridging).
+        self.coordinator = Coordinator::new(
+            &sub,
+            self.bthres,
+            self.tthres,
+            derive_seed(self.seed, ranks.len() as u64, streams::CHURN),
+        );
     }
 }
 

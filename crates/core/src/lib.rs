@@ -64,7 +64,7 @@ mod spec;
 mod trainer;
 mod worker;
 
-pub use coordinator::Coordinator;
+pub use coordinator::{Coordinator, RoundPlan, SapsControl};
 pub use error::ConfigError;
 pub use experiment::{
     CsvSink, Experiment, HistoryPoint, PartitionStrategy, RoundObserver, RunHistory,
@@ -79,4 +79,4 @@ pub use trainer::{RoundCtx, RoundReport, Trainer};
 pub use worker::Worker;
 
 mod saps;
-pub use saps::{SapsConfig, SapsPsgd};
+pub use saps::{build_replicas, saps_round_report, SapsConfig, SapsPsgd};

@@ -50,9 +50,15 @@ impl std::fmt::Debug for BuildCtx<'_> {
     }
 }
 
-/// A builder function: turns a validated spec plus context into a boxed
-/// trainer.
-pub type BuilderFn = fn(&AlgorithmSpec, BuildCtx<'_>) -> Result<Box<dyn Trainer>, ConfigError>;
+/// A builder: turns a validated spec plus context into a boxed trainer.
+///
+/// Shared (`Arc`) rather than a plain `fn` pointer so builders can
+/// capture state — the cluster runtime registers a closure carrying its
+/// wire-statistics tap, for example. Plain functions still register
+/// as-is through [`AlgorithmRegistry::register`].
+pub type BuilderFn = Arc<
+    dyn Fn(&AlgorithmSpec, BuildCtx<'_>) -> Result<Box<dyn Trainer>, ConfigError> + Send + Sync,
+>;
 
 /// Maps [`AlgorithmSpec::key`]s to builder functions.
 #[derive(Clone)]
@@ -78,8 +84,14 @@ impl AlgorithmRegistry {
     }
 
     /// Registers (or replaces) the builder for `key`.
-    pub fn register(&mut self, key: &'static str, builder: BuilderFn) {
-        self.builders.insert(key, builder);
+    pub fn register<F>(&mut self, key: &'static str, builder: F)
+    where
+        F: Fn(&AlgorithmSpec, BuildCtx<'_>) -> Result<Box<dyn Trainer>, ConfigError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.builders.insert(key, Arc::new(builder));
     }
 
     /// The registered keys, sorted.

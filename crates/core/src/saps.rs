@@ -1,13 +1,13 @@
 //! SAPS-PSGD wired together: Algorithms 1 + 2 + 3 behind the [`Trainer`]
 //! interface.
 
-use crate::{ConfigError, Coordinator, RoundCtx, RoundReport, Trainer, Worker};
+use crate::{ConfigError, RoundCtx, RoundReport, SapsControl, Trainer, Worker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saps_compress::codec;
 use saps_compress::mask::RandomMask;
 use saps_data::{partition, Dataset};
-use saps_netsim::BandwidthMatrix;
+use saps_netsim::{BandwidthMatrix, RoundTiming};
 use saps_nn::Model;
 use saps_tensor::rng::{derive_seed, streams};
 
@@ -76,16 +76,83 @@ impl SapsConfig {
     }
 }
 
+/// Builds the worker fleet plus the shared evaluation replica from the
+/// per-worker data partitions, exactly as both execution paths must:
+/// every model replica (and the evaluation model) is constructed from an
+/// identically seeded RNG so all replicas start equal
+/// (`‖X_0 − X̄_0‖² = 0`), and worker `rank` derives its private
+/// batch-sampling stream from `(seed, rank)`.
+///
+/// Shared by the in-memory [`SapsPsgd`] constructor and the cluster
+/// runtime (`saps-cluster`), so a cluster-driven run starts from the
+/// bit-identical state an in-memory run does.
+pub fn build_replicas(
+    parts: Vec<Dataset>,
+    seed: u64,
+    factory: impl Fn(&mut StdRng) -> Model,
+) -> (Vec<Worker>, Model) {
+    let make_model = || {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0, streams::INIT));
+        factory(&mut rng)
+    };
+    let workers: Vec<Worker> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(rank, data)| Worker::new(rank, make_model(), data, seed))
+        .collect();
+    (workers, make_model())
+}
+
+/// Assembles a SAPS-PSGD [`RoundReport`] from one round's raw
+/// measurements: per-worker training statistics (in ascending rank
+/// order), the exchanged pairs (in plan order), the bandwidth view, and
+/// the priced timing.
+///
+/// Shared by the in-memory [`SapsPsgd::step`] and the cluster driver so
+/// both reduce the identical floating-point arithmetic in the identical
+/// order — the per-round loss of a cluster run is bit-equal to the
+/// in-memory run's, not merely close.
+pub fn saps_round_report(
+    stats: &[(f32, f32)],
+    pairs: &[(usize, usize)],
+    bw: &BandwidthMatrix,
+    timing: &RoundTiming,
+    batch_size: usize,
+    mean_partition_len: f64,
+) -> RoundReport {
+    let mut loss_acc = 0.0f64;
+    let mut acc_acc = 0.0f64;
+    for &(l, a) in stats {
+        loss_acc += l as f64;
+        acc_acc += a as f64;
+    }
+    let mut link_bw_sum = 0.0f64;
+    let mut link_bw_min = f64::INFINITY;
+    for &(ri, rj) in pairs {
+        link_bw_sum += bw.get(ri, rj);
+        link_bw_min = link_bw_min.min(bw.get(ri, rj));
+    }
+    let workers = stats.len().max(1) as f64;
+    let mut rep = RoundReport::new();
+    rep.mean_loss = (loss_acc / workers) as f32;
+    rep.mean_acc = (acc_acc / workers) as f32;
+    rep.set_timing(timing);
+    rep.epochs_advanced = batch_size as f64 / mean_partition_len.max(1.0);
+    rep.mean_link_bandwidth = if pairs.is_empty() {
+        0.0
+    } else {
+        link_bw_sum / pairs.len() as f64
+    };
+    rep.min_link_bandwidth = if pairs.is_empty() { 0.0 } else { link_bw_min };
+    rep
+}
+
 /// The SAPS-PSGD algorithm: a coordinator plus `n` workers, exchanging
 /// shared-seed sparse models over adaptively selected peers.
 pub struct SapsPsgd {
     cfg: SapsConfig,
-    coordinator: Coordinator,
+    control: SapsControl,
     workers: Vec<Worker>,
-    active: Vec<bool>,
-    /// Bandwidth snapshot used for peer selection (refreshed on demand,
-    /// mirroring the paper's "regularly reported" measurements).
-    bw_snapshot: BandwidthMatrix,
     eval_model: Model,
     n_params: usize,
     /// The shared per-round mask, regenerated in place each round so its
@@ -154,24 +221,13 @@ impl SapsPsgd {
                 ),
             ));
         }
-        let make_model = || {
-            let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 0, streams::INIT));
-            factory(&mut rng)
-        };
-        let workers: Vec<Worker> = parts
-            .into_iter()
-            .enumerate()
-            .map(|(rank, data)| Worker::new(rank, make_model(), data, cfg.seed))
-            .collect();
-        let eval_model = make_model();
+        let (workers, eval_model) = build_replicas(parts, cfg.seed, factory);
         let n_params = eval_model.num_params();
-        let coordinator = Coordinator::new(bw, cfg.bthres, cfg.tthres, cfg.seed);
+        let control = SapsControl::new(bw, cfg.bthres, cfg.tthres, cfg.seed);
         Ok(SapsPsgd {
-            active: vec![true; cfg.workers],
             cfg,
-            coordinator,
+            control,
             workers,
-            bw_snapshot: bw.clone(),
             eval_model,
             n_params,
             mask: RandomMask::from_indices(n_params, Vec::new()),
@@ -205,62 +261,19 @@ impl SapsPsgd {
     /// Fails if `rank` is out of range or deactivation would leave fewer
     /// than two active workers.
     pub fn set_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
-        if rank >= self.workers.len() {
-            return Err(ConfigError::invalid(
-                "SapsPsgd",
-                format!("worker rank {rank} out of range ({})", self.workers.len()),
-            ));
-        }
-        if self.active[rank] == active {
-            return Ok(());
-        }
-        if !active && self.active.iter().filter(|&&a| a).count() <= 2 {
-            return Err(ConfigError::invalid(
-                "SapsPsgd",
-                "cannot deactivate: at least two workers must stay active",
-            ));
-        }
-        self.active[rank] = active;
-        self.rebuild_coordinator();
-        Ok(())
+        self.control.set_active(rank, active)
     }
 
     /// Updates the coordinator's bandwidth snapshot (the paper's
     /// periodically reported speed measurements).
     pub fn refresh_bandwidth(&mut self, bw: &BandwidthMatrix) {
         assert_eq!(bw.len(), self.workers.len());
-        self.bw_snapshot = bw.clone();
-        self.rebuild_coordinator();
+        self.control.refresh_bandwidth(bw);
     }
 
     /// Ranks of currently active workers.
     pub fn active_ranks(&self) -> Vec<usize> {
-        (0..self.workers.len())
-            .filter(|&r| self.active[r])
-            .collect()
-    }
-
-    fn rebuild_coordinator(&mut self) {
-        let ranks = self.active_ranks();
-        let m = ranks.len();
-        // Submatrix of the snapshot over the active ranks.
-        let mut raw = vec![0.0f64; m * m];
-        for (i, &ri) in ranks.iter().enumerate() {
-            for (j, &rj) in ranks.iter().enumerate() {
-                raw[i * m + j] = self.bw_snapshot.get(ri, rj);
-            }
-        }
-        let sub = BandwidthMatrix::from_raw(m, &raw);
-        // The coordinator indexes the active subset; keep[i] is the
-        // *previous* active position of the worker now at position i.
-        // Rebuilding from scratch with fresh timestamps is the simple,
-        // always-correct choice (stale timestamps only delay bridging).
-        self.coordinator = Coordinator::new(
-            &sub,
-            self.cfg.bthres,
-            self.cfg.tthres,
-            derive_seed(self.cfg.seed, ranks.len() as u64, streams::CHURN),
-        );
+        self.control.active_ranks()
     }
 
     /// The consensus (average) model over active workers, as flat params.
@@ -307,28 +320,22 @@ impl Trainer for SapsPsgd {
         let bw = ctx.bw;
         let exec = ctx.exec;
         let traffic = &mut *ctx.traffic;
-        let ranks = self.active_ranks();
-        let plan = self.coordinator.begin_round();
+        let ranks = self.control.active_ranks();
+        let plan = self.control.begin_round();
 
         // Local SGD on every active worker (Algorithm 2, line 5) — the
         // compute phase, fanned out across the round executor. Each
         // worker owns its model/data/RNG, and the results are reduced in
         // rank order, so any thread count yields identical numbers.
         let (bs, lr) = (self.cfg.batch_size, self.cfg.lr);
-        let active = &self.active;
+        let control = &self.control;
         let step_workers: Vec<&mut Worker> = self
             .workers
             .iter_mut()
-            .zip(active)
-            .filter_map(|(w, &a)| a.then_some(w))
+            .enumerate()
+            .filter_map(|(r, w)| control.is_active(r).then_some(w))
             .collect();
-        let results = exec.par_map(step_workers, |_, w| w.sgd_step(bs, lr));
-        let mut loss_acc = 0.0f64;
-        let mut acc_acc = 0.0f64;
-        for (l, a) in results {
-            loss_acc += l as f64;
-            acc_acc += a as f64;
-        }
+        let stats = exec.par_map(step_workers, |_, w| w.sgd_step(bs, lr));
 
         // Shared-seed mask (line 6); identical on every worker,
         // regenerated in place to reuse the index buffer.
@@ -343,12 +350,9 @@ impl Trainer for SapsPsgd {
         // Exchange over the matched pairs (lines 8-10) on the deltas the
         // compute phase produced. The matching is over active-subset
         // indices; translate to global ranks.
-        let mut transfers = Vec::new();
-        let mut link_bw_sum = 0.0f64;
-        let mut link_bw_min = f64::INFINITY;
-        let pairs = plan.matching.pairs();
-        for &(ai, aj) in &pairs {
-            let (ri, rj) = (ranks[ai], ranks[aj]);
+        let pairs = self.control.global_pairs(&plan.matching);
+        let mut transfers = Vec::with_capacity(2 * pairs.len());
+        for &(ri, rj) in &pairs {
             let SapsPsgd {
                 workers,
                 mask,
@@ -364,8 +368,6 @@ impl Trainer for SapsPsgd {
             traffic.record_p2p(rj, ri, payload_bytes);
             transfers.push((ri, rj, payload_bytes));
             transfers.push((rj, ri, payload_bytes));
-            link_bw_sum += bw.get(ri, rj);
-            link_bw_min = link_bw_min.min(bw.get(ri, rj));
         }
         traffic.end_round();
 
@@ -375,18 +377,7 @@ impl Trainer for SapsPsgd {
             .map(|&r| self.workers[r].data_len())
             .sum::<usize>() as f64
             / ranks.len().max(1) as f64;
-        let mut rep = RoundReport::new();
-        rep.mean_loss = (loss_acc / ranks.len().max(1) as f64) as f32;
-        rep.mean_acc = (acc_acc / ranks.len().max(1) as f64) as f32;
-        rep.set_timing(&timing);
-        rep.epochs_advanced = self.cfg.batch_size as f64 / mean_part.max(1.0);
-        rep.mean_link_bandwidth = if pairs.is_empty() {
-            0.0
-        } else {
-            link_bw_sum / pairs.len() as f64
-        };
-        rep.min_link_bandwidth = if pairs.is_empty() { 0.0 } else { link_bw_min };
-        rep
+        saps_round_report(&stats, &pairs, bw, &timing, self.cfg.batch_size, mean_part)
     }
 
     fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {

@@ -82,6 +82,18 @@ impl TrafficAccountant {
         self.cur_server += bytes;
     }
 
+    /// Records control-plane traffic on the server/coordinator row
+    /// *only* — round plans, round-end notices, churn frames and all
+    /// wire framing overhead of a message-driven deployment. Unlike
+    /// [`TrafficAccountant::record_upload`]/`record_download`, no worker
+    /// row is charged: Table I's worker cost counts model payload bytes,
+    /// and the coordinator's control chatter belongs to the server row
+    /// alone.
+    pub fn record_control(&mut self, bytes: u64) {
+        self.server += bytes;
+        self.cur_server += bytes;
+    }
+
     /// Closes the current round, returning its snapshot.
     pub fn end_round(&mut self) -> RoundTraffic {
         let rt = RoundTraffic {
@@ -194,6 +206,19 @@ mod tests {
         // Cumulative counters unaffected by round boundaries.
         assert_eq!(t.worker_sent(0), 30);
         assert_eq!(t.grand_total_sent(), 60);
+    }
+
+    #[test]
+    fn control_traffic_bills_only_the_server_row() {
+        let mut t = TrafficAccountant::new(2);
+        t.record_control(64);
+        t.record_p2p(0, 1, 100);
+        let r = t.end_round();
+        assert_eq!(r.server_bytes, 64);
+        assert_eq!(r.total_sent, 100);
+        assert_eq!(t.server_total(), 64);
+        assert_eq!(t.worker_total(0), 100);
+        assert_eq!(t.worker_total(1), 100);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Typed decode errors.
+
+/// Everything that can go wrong decoding a frame.
+///
+/// Decoding never panics and never allocates more than the declared
+/// (bounds-checked) body length — hostile input surfaces as one of these
+/// variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer ends before the frame does.
+    Truncated,
+    /// The magic bytes don't match — this is not a SAPS protocol frame.
+    BadMagic,
+    /// The frame's format version is newer than this library understands.
+    UnsupportedVersion(u16),
+    /// The header's message tag names no known message type.
+    UnknownTag(u8),
+    /// The declared body length exceeds the frame size limit
+    /// ([`crate::frame::MAX_BODY_BYTES`]).
+    Oversized {
+        /// Body length the header declares.
+        declared: u64,
+        /// The enforced limit.
+        limit: u64,
+    },
+    /// The buffer's length disagrees with the header's declared length.
+    LengthMismatch {
+        /// Frame length implied by the header.
+        expected: u64,
+        /// Bytes actually supplied.
+        actual: u64,
+    },
+    /// The trailing checksum doesn't match the frame contents.
+    ChecksumMismatch,
+    /// The body's internal structure contradicts itself (e.g. an element
+    /// count that doesn't fit the declared body length).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame truncated"),
+            ProtoError::BadMagic => write!(f, "not a SAPS protocol frame"),
+            ProtoError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            ProtoError::Oversized { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds limit {limit}")
+            }
+            ProtoError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "frame length mismatch: header implies {expected}, got {actual}"
+                )
+            }
+            ProtoError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            ProtoError::Malformed(what) => write!(f, "malformed body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}

@@ -1,0 +1,51 @@
+//! The SAPS-PSGD wire protocol: every message of Algorithms 1–2 as bytes.
+//!
+//! The paper's coordinator/worker interaction is an explicit message
+//! protocol — `NotifyWorkerToTrain(W_t, t, s)` broadcasts, masked-value
+//! exchanges between matched peers, "ROUND END" notifications, and a
+//! final model collection. This crate pins that protocol down as a
+//! **versioned wire format** so the cluster runtime (`saps-cluster`) can
+//! run the algorithm over real serialized frames instead of shared-memory
+//! method calls:
+//!
+//! * [`Message`] — the full round lifecycle as a typed enum, including
+//!   the join/leave control frames that back
+//!   `ScenarioEvent::WorkerJoin`/`WorkerLeave` churn;
+//! * [`frame`] — length-prefixed framing with magic, version and
+//!   trailing checksum (the same envelope discipline as
+//!   `saps_core::checkpoint`), plus an incremental [`frame::FrameDecoder`]
+//!   for stream transports;
+//! * [`ProtoError`] — typed decode errors; hostile input (truncated,
+//!   bit-flipped, oversized, or lying about its lengths) is always an
+//!   `Err`, never a panic or an unbounded allocation.
+//!
+//! Byte accounting follows Table I of the paper: a
+//! [`Message::MaskedPayload`] carries **values only** (`4·nnz` bytes —
+//! the receiver reconstructs indices from the shared mask seed), and
+//! that values section is the worker-row cost; everything else —
+//! headers, checksums, control frames — is control plane, billed to the
+//! server row. [`Message::data_bytes`] and [`TrafficClass`] encode that
+//! split so transports can meter wire bytes into the same rows the
+//! in-memory `TrafficAccountant` uses. `docs/PROTOCOL.md` documents the
+//! layout and the per-message cost table.
+//!
+//! # Example
+//!
+//! ```
+//! use saps_proto::{frame, Message};
+//!
+//! let msg = Message::MaskedPayload { round: 7, values: vec![1.5, -2.0] };
+//! let bytes = frame::encode(&msg);
+//! assert_eq!(bytes.len(), frame::encoded_len(&msg));
+//! assert_eq!(frame::decode(&bytes).unwrap(), msg);
+//! assert_eq!(msg.data_bytes(), 8); // 4 bytes per masked value
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+pub mod frame;
+mod message;
+
+pub use error::ProtoError;
+pub use message::{Message, TrafficClass};

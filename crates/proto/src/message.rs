@@ -1,0 +1,349 @@
+//! The round-lifecycle message set.
+
+use crate::ProtoError;
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Which Table I row a message's bytes are billed to.
+///
+/// The paper's accounting splits traffic into the worker row (model
+/// payload bytes moved between peers) and the server row (everything the
+/// lightweight coordinator touches). Evaluation-time model collection is
+/// kept in a class of its own so instrumentation reads don't pollute
+/// either row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Peer-to-peer model payload — the worker-row cost (`4·nnz` per
+    /// values-only payload).
+    DataPlane,
+    /// Coordinator control traffic (round plans, round-end notices,
+    /// churn, bandwidth reports) plus all framing overhead — the
+    /// server-row cost.
+    ControlPlane,
+    /// Full-model collection (`FetchModel` / `FinalModel`) — Table I's
+    /// one-final-model server cost, and the evaluation instrumentation
+    /// path.
+    ModelPlane,
+}
+
+/// One protocol message: the whole SAPS-PSGD round lifecycle.
+///
+/// The variants mirror the paper's Algorithms 1–2 line by line:
+/// [`Message::NotifyTrain`] is Algorithm 1's
+/// `NotifyWorkerToTrain(W_t, t, s)` broadcast, [`Message::MaskedPayload`]
+/// the masked-value exchange of Algorithm 2 lines 7–9,
+/// [`Message::RoundEnd`] the "ROUND END" notification, and
+/// [`Message::FetchModel`] / [`Message::FinalModel`] the final model
+/// collection (Algorithm 1 line 8) carrying a `saps_core::checkpoint`
+/// blob. [`Message::Join`] / [`Message::Leave`] /
+/// [`Message::BandwidthReport`] are the control frames behind worker
+/// churn and the "regularly reported" bandwidth measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Coordinator → every active worker: start round `round`.
+    NotifyTrain {
+        /// The round counter `t`.
+        round: u64,
+        /// The shared seed `s` every worker derives the mask from.
+        mask_seed: u64,
+        /// The matching `W_t` as global-rank pairs; a worker not present
+        /// in any pair trains but does not exchange this round.
+        matching: Vec<(u32, u32)>,
+    },
+    /// Worker → matched peer: the values-only sparse payload
+    /// `x̃ = x ∘ m_t` (indices are implied by the shared mask seed).
+    MaskedPayload {
+        /// The round the payload belongs to.
+        round: u64,
+        /// The model's values at the mask's surviving indices, in index
+        /// order. On the wire this section is exactly `4·nnz` bytes —
+        /// the Table I worker-row cost.
+        values: Vec<f32>,
+    },
+    /// Worker → coordinator: "ROUND END", with the round's local
+    /// training statistics piggy-backed so the coordinator can assemble
+    /// the round report.
+    RoundEnd {
+        /// The round being acknowledged.
+        round: u64,
+        /// The sender's global rank.
+        rank: u32,
+        /// Training loss on this round's local batch.
+        loss: f32,
+        /// Training accuracy on this round's local batch.
+        acc: f32,
+    },
+    /// Coordinator → worker: send back your full model.
+    FetchModel {
+        /// Global rank of the addressed worker.
+        rank: u32,
+    },
+    /// Worker → coordinator: the full model as a
+    /// `saps_core::checkpoint`-encoded blob (magic, version, round,
+    /// params, checksum — the existing checkpoint wire format, nested
+    /// intact inside this frame).
+    FinalModel {
+        /// The sender's global rank.
+        rank: u32,
+        /// The checkpoint-encoded model.
+        checkpoint: Vec<u8>,
+    },
+    /// Control: worker `rank` (re-)joins the fleet
+    /// (`ScenarioEvent::WorkerJoin`).
+    Join {
+        /// Global rank of the joining worker.
+        rank: u32,
+    },
+    /// Control: worker `rank` leaves the fleet
+    /// (`ScenarioEvent::WorkerLeave`).
+    Leave {
+        /// Global rank of the leaving worker.
+        rank: u32,
+    },
+    /// Control: refreshed pairwise bandwidth measurements (row-major
+    /// `n × n` MB/s), the paper's "regularly reported" speeds.
+    BandwidthReport {
+        /// Fleet size `n`.
+        n: u32,
+        /// Row-major `n²` link speeds in MB/s.
+        mbps: Vec<f64>,
+    },
+    /// Control: orderly end of the experiment.
+    Shutdown,
+}
+
+pub(crate) const TAG_NOTIFY_TRAIN: u8 = 1;
+pub(crate) const TAG_MASKED_PAYLOAD: u8 = 2;
+pub(crate) const TAG_ROUND_END: u8 = 3;
+pub(crate) const TAG_FETCH_MODEL: u8 = 4;
+pub(crate) const TAG_FINAL_MODEL: u8 = 5;
+pub(crate) const TAG_JOIN: u8 = 6;
+pub(crate) const TAG_LEAVE: u8 = 7;
+pub(crate) const TAG_BANDWIDTH_REPORT: u8 = 8;
+pub(crate) const TAG_SHUTDOWN: u8 = 9;
+
+impl Message {
+    /// The one-byte wire tag identifying this message type.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::NotifyTrain { .. } => TAG_NOTIFY_TRAIN,
+            Message::MaskedPayload { .. } => TAG_MASKED_PAYLOAD,
+            Message::RoundEnd { .. } => TAG_ROUND_END,
+            Message::FetchModel { .. } => TAG_FETCH_MODEL,
+            Message::FinalModel { .. } => TAG_FINAL_MODEL,
+            Message::Join { .. } => TAG_JOIN,
+            Message::Leave { .. } => TAG_LEAVE,
+            Message::BandwidthReport { .. } => TAG_BANDWIDTH_REPORT,
+            Message::Shutdown => TAG_SHUTDOWN,
+        }
+    }
+
+    /// A short human-readable name (logging, protocol docs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::NotifyTrain { .. } => "NotifyTrain",
+            Message::MaskedPayload { .. } => "MaskedPayload",
+            Message::RoundEnd { .. } => "RoundEnd",
+            Message::FetchModel { .. } => "FetchModel",
+            Message::FinalModel { .. } => "FinalModel",
+            Message::Join { .. } => "Join",
+            Message::Leave { .. } => "Leave",
+            Message::BandwidthReport { .. } => "BandwidthReport",
+            Message::Shutdown => "Shutdown",
+        }
+    }
+
+    /// Which Table I row this message type is billed to. See also
+    /// [`Message::traffic_class_of`] for classifying from a peeked tag.
+    pub fn traffic_class(&self) -> TrafficClass {
+        Self::traffic_class_of(self.tag()).expect("own tag is known")
+    }
+
+    /// [`Message::traffic_class`] keyed by wire tag, for transports that
+    /// meter frames without fully decoding them.
+    pub fn traffic_class_of(tag: u8) -> Option<TrafficClass> {
+        match tag {
+            TAG_MASKED_PAYLOAD => Some(TrafficClass::DataPlane),
+            TAG_FETCH_MODEL | TAG_FINAL_MODEL => Some(TrafficClass::ModelPlane),
+            TAG_NOTIFY_TRAIN | TAG_ROUND_END | TAG_JOIN | TAG_LEAVE | TAG_BANDWIDTH_REPORT
+            | TAG_SHUTDOWN => Some(TrafficClass::ControlPlane),
+            _ => None,
+        }
+    }
+
+    /// The data-plane (worker-row) bytes of this message: `4·nnz` for a
+    /// [`Message::MaskedPayload`] — exactly
+    /// `saps_compress::codec::sparse_shared_mask_bytes(nnz)` — and 0 for
+    /// everything else. The rest of the frame (envelope, round header,
+    /// whole control messages) is control plane.
+    pub fn data_bytes(&self) -> u64 {
+        match self {
+            Message::MaskedPayload { values, .. } => 4 * values.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// The body length in bytes (excluding the frame envelope).
+    pub(crate) fn body_len(&self) -> usize {
+        match self {
+            Message::NotifyTrain { matching, .. } => 8 + 8 + 4 + 8 * matching.len(),
+            Message::MaskedPayload { values, .. } => 8 + 4 + 4 * values.len(),
+            Message::RoundEnd { .. } => 8 + 4 + 4 + 4,
+            Message::FetchModel { .. } => 4,
+            Message::FinalModel { checkpoint, .. } => 4 + 4 + checkpoint.len(),
+            Message::Join { .. } | Message::Leave { .. } => 4,
+            Message::BandwidthReport { mbps, .. } => 4 + 8 * mbps.len(),
+            Message::Shutdown => 0,
+        }
+    }
+
+    /// Appends the body encoding to `buf`.
+    pub(crate) fn encode_body(&self, buf: &mut BytesMut) {
+        match self {
+            Message::NotifyTrain {
+                round,
+                mask_seed,
+                matching,
+            } => {
+                buf.put_u64_le(*round);
+                buf.put_u64_le(*mask_seed);
+                buf.put_u32_le(matching.len() as u32);
+                for &(a, b) in matching {
+                    buf.put_u32_le(a);
+                    buf.put_u32_le(b);
+                }
+            }
+            Message::MaskedPayload { round, values } => {
+                buf.put_u64_le(*round);
+                buf.put_u32_le(values.len() as u32);
+                for &v in values {
+                    buf.put_f32_le(v);
+                }
+            }
+            Message::RoundEnd {
+                round,
+                rank,
+                loss,
+                acc,
+            } => {
+                buf.put_u64_le(*round);
+                buf.put_u32_le(*rank);
+                buf.put_f32_le(*loss);
+                buf.put_f32_le(*acc);
+            }
+            Message::FetchModel { rank } => buf.put_u32_le(*rank),
+            Message::FinalModel { rank, checkpoint } => {
+                buf.put_u32_le(*rank);
+                buf.put_u32_le(checkpoint.len() as u32);
+                buf.put_slice(checkpoint);
+            }
+            Message::Join { rank } | Message::Leave { rank } => buf.put_u32_le(*rank),
+            Message::BandwidthReport { n, mbps } => {
+                buf.put_u32_le(*n);
+                for &v in mbps {
+                    buf.put_f64_le(v);
+                }
+            }
+            Message::Shutdown => {}
+        }
+    }
+
+    /// Decodes a body of exactly `body.len()` bytes for `tag`. All
+    /// element counts are validated against the body length *before* any
+    /// allocation, so a hostile count can't trigger an over-allocation.
+    pub(crate) fn decode_body(tag: u8, mut body: &[u8]) -> Result<Message, ProtoError> {
+        let buf = &mut body;
+        let msg = match tag {
+            TAG_NOTIFY_TRAIN => {
+                let (round, mask_seed) = (need_u64(buf)?, need_u64(buf)?);
+                let count = need_u32(buf)? as usize;
+                if buf.len() != 8 * count {
+                    return Err(ProtoError::Malformed("matching count vs body length"));
+                }
+                let mut matching = Vec::with_capacity(count);
+                for _ in 0..count {
+                    matching.push((buf.get_u32_le(), buf.get_u32_le()));
+                }
+                Message::NotifyTrain {
+                    round,
+                    mask_seed,
+                    matching,
+                }
+            }
+            TAG_MASKED_PAYLOAD => {
+                let round = need_u64(buf)?;
+                let count = need_u32(buf)? as usize;
+                if buf.len() != 4 * count {
+                    return Err(ProtoError::Malformed("value count vs body length"));
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(buf.get_f32_le());
+                }
+                Message::MaskedPayload { round, values }
+            }
+            TAG_ROUND_END => Message::RoundEnd {
+                round: need_u64(buf)?,
+                rank: need_u32(buf)?,
+                loss: need_f32(buf)?,
+                acc: need_f32(buf)?,
+            },
+            TAG_FETCH_MODEL => Message::FetchModel {
+                rank: need_u32(buf)?,
+            },
+            TAG_FINAL_MODEL => {
+                let rank = need_u32(buf)?;
+                let len = need_u32(buf)? as usize;
+                if buf.len() != len {
+                    return Err(ProtoError::Malformed("checkpoint length vs body length"));
+                }
+                let checkpoint = buf.to_vec();
+                buf.advance(len);
+                Message::FinalModel { rank, checkpoint }
+            }
+            TAG_JOIN => Message::Join {
+                rank: need_u32(buf)?,
+            },
+            TAG_LEAVE => Message::Leave {
+                rank: need_u32(buf)?,
+            },
+            TAG_BANDWIDTH_REPORT => {
+                let n = need_u32(buf)?;
+                let cells = (n as u64)
+                    .checked_mul(n as u64)
+                    .and_then(|c| c.checked_mul(8));
+                if cells != Some(buf.len() as u64) {
+                    return Err(ProtoError::Malformed("matrix size vs body length"));
+                }
+                let mut mbps = Vec::with_capacity((n as usize) * (n as usize));
+                for _ in 0..(n as usize) * (n as usize) {
+                    mbps.push(buf.get_f64_le());
+                }
+                Message::BandwidthReport { n, mbps }
+            }
+            TAG_SHUTDOWN => Message::Shutdown,
+            other => return Err(ProtoError::UnknownTag(other)),
+        };
+        if !buf.is_empty() {
+            return Err(ProtoError::Malformed("trailing bytes after body"));
+        }
+        Ok(msg)
+    }
+}
+
+fn need_u64(buf: &mut &[u8]) -> Result<u64, ProtoError> {
+    if buf.len() < 8 {
+        return Err(ProtoError::Malformed("body too short for u64 field"));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn need_u32(buf: &mut &[u8]) -> Result<u32, ProtoError> {
+    if buf.len() < 4 {
+        return Err(ProtoError::Malformed("body too short for u32 field"));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn need_f32(buf: &mut &[u8]) -> Result<f32, ProtoError> {
+    Ok(f32::from_bits(need_u32(buf)?))
+}

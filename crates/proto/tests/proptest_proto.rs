@@ -1,0 +1,172 @@
+//! Property tests for the wire protocol (mirroring `proptest_des.rs`).
+//!
+//! The contract pinned here (see `docs/PROTOCOL.md`):
+//!
+//! * **Exact round-trip** — every [`Message`], over its whole value
+//!   space (including NaN/∞ floats, whose *bit patterns* must survive),
+//!   encodes to exactly [`frame::encoded_len`] bytes and decodes back
+//!   bit-identically.
+//! * **Hostile input never panics** — truncations, single-bit flips,
+//!   oversized length declarations and arbitrary byte soup all return a
+//!   typed [`ProtoError`]; the decoder allocates no more than the
+//!   (bounds-checked) declared body.
+//! * **Streams reassemble** — a concatenation of frames fed to the
+//!   [`frame::FrameDecoder`] in arbitrary chunkings yields the original
+//!   message sequence.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saps_proto::{frame, Message, ProtoError};
+
+/// Deterministically builds one arbitrary message from a seed, covering
+/// every variant and adversarial float bit patterns.
+fn arbitrary_message(seed: u64) -> Message {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Raw bit reinterpretation: NaNs and infinities must round-trip
+    // bit-exactly, so generate floats from arbitrary bits.
+    let f32_bits = |rng: &mut StdRng| f32::from_bits(rng.gen::<u32>());
+    match rng.gen_range(0..9u32) {
+        0 => {
+            let pairs = rng.gen_range(0..20usize);
+            Message::NotifyTrain {
+                round: rng.gen(),
+                mask_seed: rng.gen(),
+                matching: (0..pairs).map(|_| (rng.gen(), rng.gen())).collect(),
+            }
+        }
+        1 => {
+            let n = rng.gen_range(0..600usize);
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(f32_bits(&mut rng));
+            }
+            Message::MaskedPayload {
+                round: rng.gen(),
+                values,
+            }
+        }
+        2 => Message::RoundEnd {
+            round: rng.gen(),
+            rank: rng.gen(),
+            loss: f32_bits(&mut rng),
+            acc: f32_bits(&mut rng),
+        },
+        3 => Message::FetchModel { rank: rng.gen() },
+        4 => {
+            let n = rng.gen_range(0..400usize);
+            Message::FinalModel {
+                rank: rng.gen(),
+                checkpoint: (0..n).map(|_| rng.gen()).collect(),
+            }
+        }
+        5 => Message::Join { rank: rng.gen() },
+        6 => Message::Leave { rank: rng.gen() },
+        7 => {
+            let n = rng.gen_range(0..8u32);
+            let cells = (n * n) as usize;
+            let mut mbps = Vec::with_capacity(cells);
+            for _ in 0..cells {
+                mbps.push(f64::from_bits(rng.gen::<u64>()));
+            }
+            Message::BandwidthReport { n, mbps }
+        }
+        _ => Message::Shutdown,
+    }
+}
+
+/// Bit-exact message equality (PartialEq on f32/f64 treats NaN != NaN,
+/// so compare through the encoded bytes instead).
+fn bit_equal(a: &Message, b: &Message) -> bool {
+    frame::encode(a).as_slice() == frame::encode(b).as_slice()
+}
+
+proptest! {
+    #[test]
+    fn every_message_roundtrips_bit_identically(seed in any::<u64>()) {
+        let msg = arbitrary_message(seed);
+        let bytes = frame::encode(&msg);
+        prop_assert_eq!(bytes.len(), frame::encoded_len(&msg));
+        let back = frame::decode(&bytes).unwrap();
+        prop_assert!(bit_equal(&msg, &back), "{} did not round-trip", msg.label());
+        // The header peek agrees with the full decode.
+        let info = frame::peek(&bytes).unwrap().unwrap();
+        prop_assert_eq!(info.tag, msg.tag());
+        prop_assert_eq!(info.frame_len, bytes.len());
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors(seed in any::<u64>(), frac in 0.0f64..1.0) {
+        let msg = arbitrary_message(seed);
+        let bytes = frame::encode(&msg);
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert_eq!(frame::decode(&bytes[..cut]), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn bit_flips_never_decode_to_the_original(seed in any::<u64>(), pos_seed in any::<u64>()) {
+        let msg = arbitrary_message(seed);
+        let mut raw = frame::encode(&msg).to_vec();
+        let mut rng = StdRng::seed_from_u64(pos_seed);
+        let pos = rng.gen_range(0..raw.len());
+        let bit = 1u8 << rng.gen_range(0..8);
+        raw[pos] ^= bit;
+        // A flip must surface as a typed error — flips in the trailing
+        // checksum itself, or in the body with an (astronomically
+        // unlikely) colliding checksum, could still decode, but never to
+        // a frame that re-encodes to the original bytes.
+        match frame::decode(&raw) {
+            Err(_) => {}
+            Ok(back) => prop_assert!(!bit_equal(&msg, &back), "flip at {} went unnoticed", pos),
+        }
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics(soup in vec(0u8..=255, 0..256)) {
+        // Any result is acceptable; what's pinned is "no panic".
+        let _ = frame::decode(&soup);
+        let _ = frame::peek(&soup);
+        let mut dec = frame::FrameDecoder::new();
+        dec.feed(&soup);
+        let _ = dec.next();
+    }
+
+    #[test]
+    fn oversized_declarations_never_allocate(declared in (frame::MAX_BODY_BYTES + 1)..u32::MAX as u64) {
+        // A header declaring an enormous body must be rejected from the
+        // 11 header bytes alone — no body needs to exist at all, and no
+        // buffer is reserved for it.
+        let mut raw = frame::encode(&Message::Shutdown).to_vec();
+        raw[7..11].copy_from_slice(&(declared as u32).to_le_bytes());
+        prop_assert!(matches!(
+            frame::decode(&raw[..frame::HEADER_LEN]),
+            Err(ProtoError::Oversized { declared: d, .. }) if d == declared
+        ));
+    }
+
+    #[test]
+    fn streams_reassemble_under_any_chunking(
+        seeds in vec(any::<u64>(), 1..8),
+        chunk in 1usize..64,
+    ) {
+        let msgs: Vec<Message> = seeds.iter().map(|&s| arbitrary_message(s)).collect();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&frame::encode(m));
+        }
+        let mut dec = frame::FrameDecoder::new();
+        let mut out = Vec::new();
+        for part in stream.chunks(chunk) {
+            dec.feed(part);
+            while let Some(m) = dec.next().unwrap() {
+                out.push(m);
+            }
+        }
+        prop_assert_eq!(out.len(), msgs.len());
+        for (a, b) in msgs.iter().zip(&out) {
+            prop_assert!(bit_equal(a, b));
+        }
+        prop_assert_eq!(dec.pending(), 0);
+    }
+}

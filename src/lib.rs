@@ -19,6 +19,8 @@
 //! | [`compress`] | shared-seed random masks, top-k + error feedback, codecs |
 //! | [`tensor`] | dense tensors and f64 linear algebra |
 //! | [`runtime`] | the deterministic multi-threaded round engine ([`runtime::Executor`], [`runtime::ParallelismPolicy`]) |
+//! | [`proto`] | the versioned wire protocol (`docs/PROTOCOL.md`): framed round-lifecycle messages with typed decode errors |
+//! | [`cluster`] | the message-driven coordinator/worker runtime ([`cluster::ClusterTrainer`], loopback + TCP transports) |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +59,7 @@
 //! ```
 
 pub use saps_baselines as baselines;
+pub use saps_cluster as cluster;
 pub use saps_compress as compress;
 pub use saps_core as core;
 pub use saps_data as data;
@@ -64,5 +67,6 @@ pub use saps_gossip as gossip;
 pub use saps_graph as graph;
 pub use saps_netsim as netsim;
 pub use saps_nn as nn;
+pub use saps_proto as proto;
 pub use saps_runtime as runtime;
 pub use saps_tensor as tensor;

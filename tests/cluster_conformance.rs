@@ -1,0 +1,345 @@
+//! Cluster ↔ in-memory conformance: the headline invariant of the
+//! message-driven runtime.
+//!
+//! 1. **Bit-identity** — a cluster-driven SAPS run (every round through
+//!    real serialized `saps-proto` frames over the loopback transport)
+//!    produces bit-identical training state (every worker's parameters),
+//!    per-round loss, and worker-row traffic to the in-memory
+//!    [`SapsPsgd`] run of the same spec — including across churn and
+//!    bandwidth-refresh events.
+//! 2. **Wire ↔ accountant reconciliation** — per round, the bytes framed
+//!    on the wire equal the `TrafficAccountant`'s Table I accounting
+//!    exactly: each masked payload's values section (`4·nnz`) on the
+//!    worker rows, all control-plane bytes (control frames + envelopes)
+//!    on the server row.
+//! 3. **Checkpoint reuse** — the coordinator-collected `FinalModel`
+//!    (a nested `core::checkpoint` blob) decodes equal to the in-memory
+//!    worker's flat parameters.
+//!
+//! This test runs inside the CI determinism matrix (`SAPS_THREADS ∈
+//! {1, 2}`), so the invariants hold at every round-engine width.
+
+use saps::cluster::{cluster_registry, ClusterTrainer, WireTap};
+use saps::core::{
+    AlgorithmRegistry, AlgorithmSpec, Experiment, RoundCtx, SapsConfig, SapsPsgd, ScenarioEvent,
+    Trainer,
+};
+use saps::data::{partition, Dataset, SyntheticSpec};
+use saps::netsim::{BandwidthMatrix, TrafficAccountant};
+use saps::nn::zoo;
+use saps::tensor::rng::{derive_seed, streams};
+
+const SEED: u64 = 11;
+
+fn dataset() -> (Dataset, Dataset) {
+    SyntheticSpec::tiny()
+        .samples(1_800)
+        .generate(7)
+        .split(0.2, 0)
+}
+
+fn parts(train: &Dataset, workers: usize) -> Vec<Dataset> {
+    partition::iid(train, workers, derive_seed(SEED, 0, streams::DATA))
+}
+
+fn cfg(workers: usize) -> SapsConfig {
+    SapsConfig {
+        workers,
+        compression: 4.0,
+        lr: 0.1,
+        batch_size: 16,
+        bthres: None,
+        tthres: 5,
+        seed: SEED,
+    }
+}
+
+fn pair(
+    workers: usize,
+) -> (
+    SapsPsgd,
+    ClusterTrainer<saps::cluster::LoopbackTransport>,
+    WireTap,
+) {
+    let (train, _) = dataset();
+    let bw = BandwidthMatrix::constant(workers, 1.0);
+    let mem = SapsPsgd::with_partitions(cfg(workers), parts(&train, workers), &bw, |rng| {
+        zoo::mlp(&[16, 20, 4], rng)
+    })
+    .unwrap();
+    let tap = WireTap::new();
+    let clu = ClusterTrainer::loopback(
+        cfg(workers),
+        parts(&train, workers),
+        &bw,
+        |rng| zoo::mlp(&[16, 20, 4], rng),
+        tap.clone(),
+    )
+    .unwrap();
+    (mem, clu, tap)
+}
+
+#[test]
+fn cluster_rounds_are_bit_identical_to_in_memory() {
+    let workers = 6;
+    let (mut mem, mut clu, _tap) = pair(workers);
+    let bw = BandwidthMatrix::constant(workers, 1.0);
+    let mut t_mem = TrafficAccountant::new(workers);
+    let mut t_clu = TrafficAccountant::new(workers);
+
+    for round in 0..12 {
+        // Mid-run churn, applied identically to both paths (the cluster
+        // side goes through real Join/Leave frames).
+        if round == 4 {
+            mem.set_active(5, false).unwrap();
+            clu.set_worker_active(5, false).unwrap();
+        }
+        if round == 8 {
+            mem.set_active(5, true).unwrap();
+            clu.set_worker_active(5, true).unwrap();
+        }
+        let rep_mem = {
+            let mut ctx = RoundCtx::new(round, &bw, &mut t_mem, SEED);
+            mem.step(&mut ctx)
+        };
+        let rep_clu = {
+            let mut ctx = RoundCtx::new(round, &bw, &mut t_clu, SEED);
+            Trainer::step(&mut clu, &mut ctx)
+        };
+        // Per-round loss/acc: bit-equal, not merely close.
+        assert_eq!(
+            rep_mem.mean_loss.to_bits(),
+            rep_clu.mean_loss.to_bits(),
+            "round {round} loss"
+        );
+        assert_eq!(
+            rep_mem.mean_acc.to_bits(),
+            rep_clu.mean_acc.to_bits(),
+            "round {round} acc"
+        );
+        assert_eq!(rep_mem.epochs_advanced, rep_clu.epochs_advanced);
+        assert_eq!(rep_mem.mean_link_bandwidth, rep_clu.mean_link_bandwidth);
+    }
+
+    // Training state: every worker's parameters, bit for bit.
+    for r in 0..workers {
+        assert_eq!(
+            mem.worker(r).flat(),
+            clu.worker(r).worker().flat(),
+            "worker {r} diverged"
+        );
+    }
+    // Consensus model via the wire equals the in-memory average exactly.
+    assert_eq!(mem.average_model(), clu.consensus_model().unwrap());
+
+    // Checkpoint round stamps survive churn: the coordinator's plan
+    // counter restarted twice (leave + rejoin rebuilds), but each
+    // worker's completed-round count keeps increasing monotonically.
+    assert_eq!(clu.fetch_model(0).unwrap().1, 12, "worker 0 ran all rounds");
+    assert_eq!(
+        clu.fetch_model(5).unwrap().1,
+        8,
+        "worker 5 sat out rounds 4..8"
+    );
+
+    // Worker-row traffic: identical (4·nnz per payload, both paths).
+    for r in 0..workers {
+        assert_eq!(
+            t_mem.worker_sent(r),
+            t_clu.worker_sent(r),
+            "worker {r} sent"
+        );
+        assert_eq!(
+            t_mem.worker_recv(r),
+            t_clu.worker_recv(r),
+            "worker {r} recv"
+        );
+    }
+    // Server row: the in-memory path models control traffic as free; the
+    // cluster bills every control byte actually framed.
+    assert_eq!(t_mem.server_total(), 0);
+    assert!(t_clu.server_total() > 0, "control plane must be billed");
+}
+
+#[test]
+fn wire_bytes_reconcile_with_the_accountant_exactly() {
+    let workers = 5; // odd fleet: one unmatched worker per round
+    let (_, mut clu, tap) = pair(workers);
+    let bw = BandwidthMatrix::constant(workers, 1.0);
+    let mut traffic = TrafficAccountant::new(workers);
+
+    let mut billed_data = 0u64;
+    let mut billed_control = 0u64;
+    for round in 0..6 {
+        let before = tap.snapshot();
+        {
+            let mut ctx = RoundCtx::new(round, &bw, &mut traffic, SEED);
+            Trainer::step(&mut clu, &mut ctx);
+        }
+        let after = tap.snapshot();
+        let snap = *traffic.rounds().last().unwrap();
+        // Worker rows carry exactly the values sections framed this
+        // round (4·nnz per payload, both directions of each pair)…
+        assert_eq!(
+            snap.total_sent,
+            after.data_bytes - before.data_bytes,
+            "round {round} data plane"
+        );
+        // …and the server row carries every other byte framed: control
+        // frames (NotifyTrain, RoundEnd) plus all envelopes.
+        assert_eq!(
+            snap.server_bytes,
+            after.control_bytes - before.control_bytes,
+            "round {round} control plane"
+        );
+        billed_data += snap.total_sent;
+        billed_control += snap.server_bytes;
+        // No eval ran, so nothing was metered on the model plane.
+        assert_eq!(after.model_bytes, before.model_bytes);
+    }
+    // Cumulative: every byte framed on the wire is accounted for.
+    let total = tap.snapshot();
+    assert_eq!(
+        total.total_bytes,
+        billed_data + billed_control + total.model_bytes
+    );
+    assert_eq!(total.data_bytes, billed_data);
+    assert_eq!(total.control_bytes, billed_control);
+}
+
+#[test]
+fn final_model_checkpoint_decodes_to_the_in_memory_params() {
+    let workers = 4;
+    let (mut mem, mut clu, tap) = pair(workers);
+    let bw = BandwidthMatrix::constant(workers, 1.0);
+    let mut t_mem = TrafficAccountant::new(workers);
+    let mut t_clu = TrafficAccountant::new(workers);
+    for round in 0..5 {
+        let mut ctx = RoundCtx::new(round, &bw, &mut t_mem, SEED);
+        mem.step(&mut ctx);
+        let mut ctx = RoundCtx::new(round, &bw, &mut t_clu, SEED);
+        Trainer::step(&mut clu, &mut ctx);
+    }
+    let model_plane_before = tap.snapshot().model_bytes;
+    for r in 0..workers {
+        let (params, rounds_done) = clu.fetch_model(r).unwrap();
+        assert_eq!(params, mem.worker(r).flat(), "worker {r} final model");
+        assert_eq!(rounds_done, 5);
+    }
+    // Model collection is metered on its own plane, never billed to the
+    // training accountant.
+    assert!(tap.snapshot().model_bytes > model_plane_before);
+    assert_eq!(
+        t_clu.server_total(),
+        t_clu.rounds().iter().map(|r| r.server_bytes).sum()
+    );
+}
+
+#[test]
+fn reused_registry_does_not_rebill_prior_runs_control_plane() {
+    // cluster_registry clones one WireTap handle into every trainer it
+    // builds; a second experiment through the same registry must bill
+    // only its own control bytes, not the first run's backlog.
+    let (train, val) = dataset();
+    let tap = WireTap::new();
+    let reg = cluster_registry(tap.clone());
+    let run = || {
+        Experiment::new(AlgorithmSpec::Saps {
+            compression: 4.0,
+            tthres: 4,
+            bthres: None,
+        })
+        .train(train.clone())
+        .validation(val.clone())
+        .workers(4)
+        .batch_size(16)
+        .seed(SEED)
+        .model(|rng| zoo::mlp(&[16, 20, 4], rng))
+        .rounds(6)
+        .eval_every(6)
+        .eval_samples(100)
+        .run(&reg)
+        .unwrap()
+    };
+    let first = run();
+    let second = run();
+    // Identical spec + seed → identical frames → identical server rows.
+    assert_eq!(
+        first.total_server_traffic_mb,
+        second.total_server_traffic_mb
+    );
+    assert!(first.total_server_traffic_mb > 0.0);
+}
+
+#[test]
+fn experiment_driver_runs_cluster_and_memory_to_the_same_history() {
+    let (train, val) = dataset();
+    let build = |registry: &AlgorithmRegistry| {
+        Experiment::new(AlgorithmSpec::Saps {
+            compression: 4.0,
+            tthres: 4,
+            bthres: None,
+        })
+        .train(train.clone())
+        .validation(val.clone())
+        .workers(6)
+        .batch_size(16)
+        .lr(0.1)
+        .seed(SEED)
+        .model(|rng| zoo::mlp(&[16, 20, 4], rng))
+        .rounds(20)
+        .eval_every(5)
+        .eval_samples(200)
+        .event(6, ScenarioEvent::WorkerLeave { rank: 5 })
+        .event(9, ScenarioEvent::BandwidthShift { scale: 0.5 })
+        .event(14, ScenarioEvent::WorkerJoin { rank: 5 })
+        .run(registry)
+        .unwrap()
+    };
+    let mem = build(&AlgorithmRegistry::core());
+    let tap = WireTap::new();
+    let clu = build(&cluster_registry(tap.clone()));
+
+    assert_eq!(mem.algorithm, clu.algorithm);
+    assert_eq!(mem.points.len(), clu.points.len());
+    for (a, b) in mem.points.iter().zip(&clu.points) {
+        assert_eq!(
+            a.train_loss.to_bits(),
+            b.train_loss.to_bits(),
+            "round {}",
+            a.round
+        );
+        assert_eq!(
+            a.val_acc.to_bits(),
+            b.val_acc.to_bits(),
+            "round {}",
+            a.round
+        );
+        assert_eq!(a.evaluated, b.evaluated);
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(
+            a.worker_traffic_mb, b.worker_traffic_mb,
+            "round {}",
+            a.round
+        );
+        // Time is priced on the full framed bytes, so the cluster pays
+        // the envelope overhead (31 bytes per payload frame) on top of
+        // the payload time — noticeable on this deliberately tiny test
+        // model (~100 masked values/payload), bounded well under the
+        // ~7.5% it costs here.
+        assert!(b.comm_time_s >= a.comm_time_s, "round {}", a.round);
+        assert!(
+            b.comm_time_s <= a.comm_time_s * 1.15,
+            "round {}: envelope overhead out of bounds ({} vs {})",
+            a.round,
+            b.comm_time_s,
+            a.comm_time_s
+        );
+    }
+    assert_eq!(mem.final_acc, clu.final_acc);
+    assert_eq!(mem.total_worker_traffic_mb, clu.total_worker_traffic_mb);
+    assert_eq!(mem.total_server_traffic_mb, 0.0);
+    assert!(clu.total_server_traffic_mb > 0.0);
+    let wire = tap.snapshot();
+    assert!(wire.data_bytes > 0 && wire.control_bytes > 0 && wire.model_bytes > 0);
+}

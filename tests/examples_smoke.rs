@@ -14,13 +14,15 @@ use std::collections::BTreeSet;
 use std::path::Path;
 
 use saps::baselines::registry;
+use saps::cluster::{cluster_registry, WireTap};
 use saps::core::{AlgorithmSpec, Experiment, ScenarioEvent};
 use saps::data::SyntheticSpec;
 use saps::nn::zoo;
 
-/// The five examples the README documents, in `cargo run --example` name
+/// The six examples the README documents, in `cargo run --example` name
 /// form. Update this list and the README table together.
-const CANONICAL_EXAMPLES: [&str; 5] = [
+const CANONICAL_EXAMPLES: [&str; 6] = [
+    "cluster_demo",
     "geo_distributed",
     "non_iid_federated",
     "peer_selection_demo",
@@ -75,6 +77,43 @@ fn worker_churn_example_uses_scenario_events() {
     assert!(
         !src.contains("set_active"),
         "worker_churn.rs must not call the set_active side door"
+    );
+}
+
+/// The `cluster_demo` example's flow at test scale: a SAPS experiment
+/// driven through the message-passing cluster runtime (loopback
+/// transport) with churn mid-run, via the public `Experiment` driver and
+/// `cluster_registry`.
+#[test]
+fn cluster_demo_flow_runs_at_test_scale() {
+    let ds = SyntheticSpec::tiny().samples(1_000).generate(21);
+    let (train, val) = ds.split(0.2, 0);
+    let tap = WireTap::new();
+    let hist = Experiment::new(AlgorithmSpec::Saps {
+        compression: 6.0,
+        tthres: 4,
+        bthres: None,
+    })
+    .train(train)
+    .validation(val)
+    .workers(8)
+    .batch_size(16)
+    .seed(21)
+    .model(|rng| zoo::mlp(&[16, 20, 4], rng))
+    .rounds(12)
+    .eval_every(6)
+    .eval_samples(200)
+    .event(4, ScenarioEvent::WorkerLeave { rank: 7 })
+    .event(8, ScenarioEvent::WorkerJoin { rank: 7 })
+    .run(&cluster_registry(tap.clone()))
+    .expect("cluster flow");
+    assert_eq!(hist.points.len(), 12);
+    assert!(hist.points.iter().all(|p| p.train_loss.is_finite()));
+    let wire = tap.snapshot();
+    assert!(wire.data_bytes > 0, "payloads crossed the wire");
+    assert!(
+        hist.total_server_traffic_mb > 0.0,
+        "control plane billed to the server row"
     );
 }
 
