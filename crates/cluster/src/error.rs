@@ -18,6 +18,17 @@ pub enum ClusterError {
     /// A node received a message the protocol does not allow in its
     /// current state, or a round stalled with messages outstanding.
     Protocol(String),
+    /// A worker sent provably invalid traffic — a frame that fails to
+    /// decode, or a payload violating the round's mask contract. The
+    /// trainer quarantines the rank and replays the round without it;
+    /// this variant surfaces when that recovery itself is impossible
+    /// (e.g. the fleet would drop below the minimum).
+    Byzantine {
+        /// The offending worker's rank.
+        rank: u32,
+        /// What the worker sent.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -27,6 +38,9 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Config(e) => write!(f, "control request rejected: {e}"),
             ClusterError::Transport(e) => write!(f, "transport error: {e}"),
             ClusterError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            ClusterError::Byzantine { rank, detail } => {
+                write!(f, "byzantine worker {rank}: {detail}")
+            }
         }
     }
 }

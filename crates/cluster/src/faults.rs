@@ -1,0 +1,456 @@
+//! Seeded fault injection over any [`Transport`].
+//!
+//! [`FaultyTransport`] wraps a real transport and damages traffic
+//! according to a [`FaultPlan`]: per frame it may **drop** (the frame
+//! never reaches the wire), **corrupt** (one bit flipped in the
+//! checksum trailer, so decoding is guaranteed to fail while the header
+//! — and therefore stream resync — stays intact), **delay** (held back
+//! for 1–3 receive polls at its destination) or **reorder** (held one
+//! slot, so it arrives behind the next frame to the same destination).
+//! Faults are mutually exclusive per frame and drawn from one seeded
+//! RNG, so a fault schedule is a pure function of `(seed, traffic)` —
+//! every failing test replays exactly.
+//!
+//! The plan lives behind a shared [`PlanHandle`], so a test can run
+//! clean rounds and flip the plan mid-experiment (e.g. turn a worker
+//! byzantine at round 3) without rebuilding the trainer.
+//!
+//! Metering: dropped frames are discarded *before* the inner transport
+//! sees them, so the [`crate::WireTap`] never counts bytes that never
+//! hit the wire; delayed and reordered frames are metered when they are
+//! actually forwarded.
+
+use crate::transport::{Addr, Transport};
+use crate::ClusterError;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saps_proto::{frame, Message, TrafficClass};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Which frames a [`FaultPlan`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultScope {
+    /// Every frame is eligible.
+    All,
+    /// Only frames sent by this address.
+    From(Addr),
+    /// Only data-plane ([`Message::MaskedPayload`]) frames sent by this
+    /// address — the shape of a byzantine worker that speaks the control
+    /// protocol correctly but poisons its model exchanges.
+    PayloadsFrom(Addr),
+}
+
+/// Per-frame fault probabilities. Each eligible frame suffers at most
+/// one fault, drawn in the order drop → corrupt → delay → reorder; the
+/// probabilities must therefore each lie in `[0, 1]` and sum to at most
+/// 1 (checked at construction and on every [`PlanHandle::set`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability the frame is silently discarded.
+    pub drop: f64,
+    /// Probability one bit of the frame's checksum trailer is flipped.
+    pub corrupt: f64,
+    /// Probability the frame is withheld for 1–3 receive polls.
+    pub delay: f64,
+    /// Probability the frame arrives behind the next frame to the same
+    /// destination.
+    pub reorder: f64,
+    /// Which frames are eligible.
+    pub scope: FaultScope,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            drop: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            reorder: 0.0,
+            scope: FaultScope::All,
+        }
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Sets the corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    /// Sets the delay probability.
+    pub fn with_delay(mut self, p: f64) -> Self {
+        self.delay = p;
+        self
+    }
+
+    /// Sets the reorder probability.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder = p;
+        self
+    }
+
+    /// Restricts the plan to `scope`.
+    pub fn scoped(mut self, scope: FaultScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    fn validate(&self) {
+        let ps = [self.drop, self.corrupt, self.delay, self.reorder];
+        assert!(
+            ps.iter().all(|p| (0.0..=1.0).contains(p)),
+            "fault probabilities must lie in [0, 1]: {self:?}"
+        );
+        assert!(
+            ps.iter().sum::<f64>() <= 1.0,
+            "fault probabilities must sum to at most 1: {self:?}"
+        );
+    }
+
+    /// Whether a frame from `from` falls under this plan's scope.
+    fn eligible(&self, from: Addr, raw: &[u8]) -> bool {
+        match self.scope {
+            FaultScope::All => true,
+            FaultScope::From(a) => from == a,
+            FaultScope::PayloadsFrom(a) => {
+                from == a
+                    && matches!(
+                        frame::peek(raw),
+                        Ok(Some(info))
+                            if Message::traffic_class_of(info.tag)
+                                == Some(TrafficClass::DataPlane)
+                    )
+            }
+        }
+    }
+}
+
+/// A shared, swappable handle on a [`FaultyTransport`]'s plan: clone it
+/// out of the transport before handing the transport to a trainer, then
+/// flip the plan mid-run.
+#[derive(Debug, Clone, Default)]
+pub struct PlanHandle(Arc<Mutex<FaultPlan>>);
+
+impl PlanHandle {
+    /// The current plan.
+    pub fn get(&self) -> FaultPlan {
+        *self.0.lock().expect("fault plan lock")
+    }
+
+    /// Replaces the plan (validated), effective from the next send.
+    pub fn set(&self, plan: FaultPlan) {
+        plan.validate();
+        *self.0.lock().expect("fault plan lock") = plan;
+    }
+}
+
+/// The fault a single frame drew.
+enum Fault {
+    None,
+    Drop,
+    Corrupt,
+    Delay(u32),
+    Reorder,
+}
+
+/// A [`Transport`] decorator that injects seeded faults — see the
+/// module docs for the fault menu and determinism contract.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    plan: PlanHandle,
+    rng: StdRng,
+    /// Delayed frames per destination, each with a countdown of receive
+    /// polls left before it is forwarded (in original order).
+    delayed: BTreeMap<Addr, Vec<(u32, Addr, Bytes)>>,
+    /// At most one reordered frame held back per destination; released
+    /// behind the next frame sent there, or when the destination would
+    /// otherwise read empty.
+    held: BTreeMap<Addr, (Addr, Bytes)>,
+}
+
+impl<T: Transport> std::fmt::Debug for FaultyTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyTransport")
+            .field("plan", &self.plan.get())
+            .finish()
+    }
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner`, drawing faults per `plan` from a RNG seeded with
+    /// `seed`.
+    pub fn new(inner: T, plan: FaultPlan, seed: u64) -> Self {
+        plan.validate();
+        FaultyTransport {
+            inner,
+            plan: PlanHandle(Arc::new(Mutex::new(plan))),
+            rng: StdRng::seed_from_u64(seed),
+            delayed: BTreeMap::new(),
+            held: BTreeMap::new(),
+        }
+    }
+
+    /// A handle for swapping the plan mid-run.
+    pub fn plan_handle(&self) -> PlanHandle {
+        self.plan.clone()
+    }
+
+    fn draw(&mut self, plan: &FaultPlan) -> Fault {
+        let u: f64 = self.rng.gen();
+        let mut edge = plan.drop;
+        if u < edge {
+            return Fault::Drop;
+        }
+        edge += plan.corrupt;
+        if u < edge {
+            return Fault::Corrupt;
+        }
+        edge += plan.delay;
+        if u < edge {
+            return Fault::Delay(self.rng.gen_range(1..=3));
+        }
+        edge += plan.reorder;
+        if u < edge {
+            return Fault::Reorder;
+        }
+        Fault::None
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, from: Addr, to: Addr, frame: Bytes) -> Result<(), ClusterError> {
+        let plan = self.plan.get();
+        let fault = if plan.eligible(from, &frame) {
+            self.draw(&plan)
+        } else {
+            Fault::None
+        };
+        match fault {
+            Fault::Drop => return Ok(()),
+            Fault::Delay(polls) => {
+                self.delayed
+                    .entry(to)
+                    .or_default()
+                    .push((polls, from, frame));
+                return Ok(());
+            }
+            Fault::Reorder if !self.held.contains_key(&to) => {
+                self.held.insert(to, (from, frame));
+                return Ok(());
+            }
+            Fault::Corrupt => {
+                // Flip one bit of the checksum trailer: the header (and
+                // with it the decoder's framing and resync) stays
+                // intact, while decoding is guaranteed to fail.
+                let mut raw = frame.to_vec();
+                let last = raw.len() - 1;
+                raw[last] ^= 0x01;
+                self.inner.send(from, to, Bytes::from(raw))?;
+            }
+            Fault::None | Fault::Reorder => self.inner.send(from, to, frame)?,
+        }
+        // A frame went through: any held frame follows it — the swap
+        // that makes a one-slot reorder.
+        if let Some((hfrom, hframe)) = self.held.remove(&to) {
+            self.inner.send(hfrom, to, hframe)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, at: Addr) -> Result<Option<(Addr, Bytes)>, ClusterError> {
+        // Age this destination's delayed frames; forward the ripe ones
+        // in their original order.
+        if let Some(q) = self.delayed.get_mut(&at) {
+            let mut ripe = Vec::new();
+            q.retain_mut(|(polls, from, frame)| {
+                *polls -= 1;
+                if *polls == 0 {
+                    ripe.push((*from, frame.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            if q.is_empty() {
+                self.delayed.remove(&at);
+            }
+            for (from, f) in ripe {
+                self.inner.send(from, at, f)?;
+            }
+        }
+        if let Some(got) = self.inner.recv(at)? {
+            return Ok(Some(got));
+        }
+        // Nothing else is coming: release a reorder hold rather than
+        // starve the destination.
+        if let Some((from, f)) = self.held.remove(&at) {
+            self.inner.send(from, at, f)?;
+            return self.inner.recv(at);
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{LoopbackTransport, WireTap};
+
+    fn loopback() -> LoopbackTransport {
+        LoopbackTransport::new(WireTap::new())
+    }
+
+    fn payload() -> Bytes {
+        frame::encode(&Message::MaskedPayload {
+            round: 3,
+            values: vec![1.0, 2.0, 3.0],
+        })
+    }
+
+    fn control() -> Bytes {
+        frame::encode(&Message::Join { rank: 1 })
+    }
+
+    #[test]
+    fn no_faults_is_a_transparent_wrapper() {
+        let mut t = FaultyTransport::new(loopback(), FaultPlan::none(), 1);
+        let f = payload();
+        t.send(Addr::Worker(0), Addr::Worker(1), f.clone()).unwrap();
+        let (from, got) = t.recv(Addr::Worker(1)).unwrap().unwrap();
+        assert_eq!((from, got), (Addr::Worker(0), f));
+        assert!(t.recv(Addr::Worker(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn certain_drop_loses_the_frame_before_the_tap() {
+        let tap = WireTap::new();
+        let inner = LoopbackTransport::new(tap.clone());
+        let mut t = FaultyTransport::new(inner, FaultPlan::none().with_drop(1.0), 1);
+        t.send(Addr::Worker(0), Addr::Worker(1), payload()).unwrap();
+        assert!(t.recv(Addr::Worker(1)).unwrap().is_none());
+        assert_eq!(
+            tap.snapshot().frames,
+            0,
+            "dropped frames never hit the wire"
+        );
+    }
+
+    #[test]
+    fn certain_corruption_defeats_decoding_but_not_framing() {
+        let mut t = FaultyTransport::new(loopback(), FaultPlan::none().with_corrupt(1.0), 1);
+        t.send(Addr::Worker(0), Addr::Worker(1), payload()).unwrap();
+        let (_, raw) = t.recv(Addr::Worker(1)).unwrap().unwrap();
+        assert!(
+            frame::decode(&raw).is_err(),
+            "corrupt frame must not decode"
+        );
+        let info = frame::peek(&raw).unwrap().unwrap();
+        assert_eq!(info.frame_len, raw.len(), "header stays parseable");
+    }
+
+    #[test]
+    fn delayed_frames_arrive_within_three_polls() {
+        let mut t = FaultyTransport::new(loopback(), FaultPlan::none().with_delay(1.0), 7);
+        let f = payload();
+        t.send(Addr::Worker(0), Addr::Worker(1), f.clone()).unwrap();
+        let mut polls = 0;
+        let got = loop {
+            polls += 1;
+            assert!(polls <= 3, "delay must release within three polls");
+            if let Some(got) = t.recv(Addr::Worker(1)).unwrap() {
+                break got;
+            }
+        };
+        assert_eq!(got, (Addr::Worker(0), f));
+    }
+
+    #[test]
+    fn reorder_swaps_two_frames_and_flushes_a_lone_hold() {
+        let mut t = FaultyTransport::new(loopback(), FaultPlan::none().with_reorder(1.0), 5);
+        let (f1, f2) = (payload(), control());
+        t.send(Addr::Worker(1), Addr::Worker(0), f1.clone())
+            .unwrap();
+        t.send(Addr::Worker(2), Addr::Worker(0), f2.clone())
+            .unwrap();
+        // The second frame overtakes the held first one.
+        assert_eq!(t.recv(Addr::Worker(0)).unwrap().unwrap().1, f2);
+        assert_eq!(t.recv(Addr::Worker(0)).unwrap().unwrap().1, f1);
+        // A hold with no successor is released rather than starved.
+        t.send(Addr::Worker(1), Addr::Worker(0), f1.clone())
+            .unwrap();
+        assert_eq!(t.recv(Addr::Worker(0)).unwrap().unwrap().1, f1);
+    }
+
+    #[test]
+    fn payload_scope_spares_control_traffic_and_other_senders() {
+        let plan = FaultPlan::none()
+            .with_drop(1.0)
+            .scoped(FaultScope::PayloadsFrom(Addr::Worker(3)));
+        let mut t = FaultyTransport::new(loopback(), plan, 2);
+        // The scoped worker's payloads vanish…
+        t.send(Addr::Worker(3), Addr::Worker(1), payload()).unwrap();
+        assert!(t.recv(Addr::Worker(1)).unwrap().is_none());
+        // …its control frames and everyone else's payloads survive.
+        t.send(Addr::Worker(3), Addr::Coordinator, control())
+            .unwrap();
+        assert!(t.recv(Addr::Coordinator).unwrap().is_some());
+        t.send(Addr::Worker(2), Addr::Worker(1), payload()).unwrap();
+        assert!(t.recv(Addr::Worker(1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn plan_handle_flips_faults_mid_stream() {
+        let mut t = FaultyTransport::new(loopback(), FaultPlan::none(), 9);
+        let handle = t.plan_handle();
+        t.send(Addr::Worker(0), Addr::Worker(1), payload()).unwrap();
+        assert!(t.recv(Addr::Worker(1)).unwrap().is_some());
+        handle.set(FaultPlan::none().with_drop(1.0));
+        t.send(Addr::Worker(0), Addr::Worker(1), payload()).unwrap();
+        assert!(t.recv(Addr::Worker(1)).unwrap().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn oversubscribed_plan_is_rejected() {
+        FaultyTransport::new(
+            loopback(),
+            FaultPlan::none().with_drop(0.8).with_corrupt(0.3),
+            1,
+        );
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let plan = FaultPlan::none().with_drop(0.3).with_corrupt(0.3);
+        let outcomes = |seed: u64| {
+            let mut t = FaultyTransport::new(loopback(), plan, seed);
+            (0..32)
+                .map(|_| {
+                    t.send(Addr::Worker(0), Addr::Worker(1), payload()).unwrap();
+                    match t.recv(Addr::Worker(1)).unwrap() {
+                        None => 0u8,
+                        Some((_, raw)) if frame::decode(&raw).is_err() => 1,
+                        Some(_) => 2,
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(outcomes(42), outcomes(42));
+        assert_ne!(outcomes(42), outcomes(43), "different seeds should differ");
+    }
+}

@@ -13,6 +13,10 @@
 //! * [`Transport`] — the pluggable byte mover, with the deterministic
 //!   in-process [`LoopbackTransport`] as the default and a localhost
 //!   `tcp::TcpTransport` behind the `tcp` feature;
+//! * [`FaultyTransport`] — a seeded fault-injection decorator over any
+//!   transport (drop / corrupt / delay / reorder per frame, scoped down
+//!   to one sender's payloads) — the adversary used by the workspace
+//!   fault-injection tests;
 //! * [`ClusterTrainer`] — a [`saps_core::Trainer`] that pumps the nodes
 //!   through a transport, so the standard [`saps_core::Experiment`]
 //!   driver (events, observers, evaluation cadence) runs a cluster
@@ -61,6 +65,7 @@
 #![deny(missing_docs)]
 
 mod error;
+mod faults;
 mod node;
 #[cfg(feature = "tcp")]
 pub mod tcp;
@@ -68,6 +73,7 @@ mod trainer;
 mod transport;
 
 pub use error::ClusterError;
-pub use node::{CoordinatorNode, Outbox, RoundMeta, WorkerNode};
+pub use faults::{FaultPlan, FaultScope, FaultyTransport, PlanHandle};
+pub use node::{CoordinatorNode, NodeSnapshot, Outbox, RoundMeta, WorkerNode};
 pub use trainer::{cluster_registry, ClusterTrainer};
 pub use transport::{Addr, LoopbackTransport, Transport, WireStats, WireTap, WireTransfer};

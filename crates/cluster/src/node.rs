@@ -15,7 +15,7 @@
 use crate::transport::Addr;
 use crate::ClusterError;
 use saps_compress::mask::RandomMask;
-use saps_core::{checkpoint, SapsControl, Worker};
+use saps_core::{checkpoint, SapsControl, Worker, WorkerState};
 use saps_netsim::BandwidthMatrix;
 use saps_proto::Message;
 use std::collections::{BTreeMap, BTreeSet};
@@ -129,6 +129,14 @@ impl CoordinatorNode {
         self.inflight.as_ref().is_some_and(|f| f.pending.is_empty())
     }
 
+    /// Abandons the in-flight round without closing it: discards the
+    /// pending set and any stats already collected. Used by the
+    /// trainer's byzantine recovery before replaying a round with the
+    /// offender quarantined; a no-op when no round is in flight.
+    pub fn abort_round(&mut self) {
+        self.inflight = None;
+    }
+
     /// Closes the completed round, returning per-worker `(loss, acc)`
     /// training statistics in ascending rank order — the order the
     /// in-memory trainer reduces them in.
@@ -237,6 +245,16 @@ impl CoordinatorNode {
     }
 }
 
+/// A point-in-time snapshot of a [`WorkerNode`]'s replayable state —
+/// see [`WorkerNode::snapshot`]. Opaque: only good for handing back to
+/// [`WorkerNode::restore`] on the node it came from.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    state: WorkerState,
+    rounds_done: u64,
+    stash: Vec<(u32, u64, Vec<f32>)>,
+}
+
 /// Per-round state of a worker between `NotifyTrain` and its
 /// `RoundEnd`.
 #[derive(Debug)]
@@ -319,6 +337,29 @@ impl WorkerNode {
     /// Whether a [`Message::Shutdown`] has been received.
     pub fn is_shut_down(&self) -> bool {
         self.shutdown
+    }
+
+    /// Captures everything [`WorkerNode::restore`] needs to replay this
+    /// node from the current instant: the core worker's parameters and
+    /// batch RNG, the rounds-completed counter and any parked payloads.
+    /// Taken between rounds (no round open) by the trainer's byzantine
+    /// recovery.
+    pub fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            state: self.worker.save_state(),
+            rounds_done: self.rounds_done,
+            stash: self.stash.clone(),
+        }
+    }
+
+    /// Restores a [`WorkerNode::snapshot`]: the worker replays
+    /// bit-identically from the captured instant. Any half-open round is
+    /// abandoned (the trainer aborts the coordinator side to match).
+    pub fn restore(&mut self, snap: &NodeSnapshot) {
+        self.worker.rollback(&snap.state);
+        self.rounds_done = snap.rounds_done;
+        self.stash = snap.stash.clone();
+        self.round = None;
     }
 
     /// Handles one incoming message, pushing any replies onto `out`.
@@ -473,12 +514,17 @@ impl WorkerNode {
         out: &mut Outbox,
     ) -> Result<(), ClusterError> {
         if values.len() != self.mask.nnz() {
-            return Err(ClusterError::Protocol(format!(
-                "rank {}: payload from {peer} for round {round} has {} values, mask keeps {}",
-                self.rank,
-                values.len(),
-                self.mask.nnz()
-            )));
+            // The mask is derived from the shared seed, so a correct
+            // peer cannot disagree on its size: a wrong-length payload
+            // is provably the sender's fault, not a framing accident.
+            return Err(ClusterError::Byzantine {
+                rank: peer,
+                detail: format!(
+                    "payload for round {round} has {} values, mask keeps {}",
+                    values.len(),
+                    self.mask.nnz()
+                ),
+            });
         }
         self.worker.merge_sparse(&self.mask, values);
         self.ack_round(out);

@@ -314,6 +314,107 @@ mod tests {
     }
 
     #[test]
+    fn partial_writes_park_in_userspace_and_drain_across_recv_sweeps() {
+        // A frame bigger than the kernel's socket buffers is only
+        // partially accepted by the first write; the rest must sit in
+        // `OutConn::pending` and drain opportunistically on later recv
+        // sweeps — never block, never be dropped.
+        let tap = WireTap::new();
+        let mut t = TcpTransport::for_cluster(1, tap).unwrap();
+        let msg = Message::FinalModel {
+            rank: 0,
+            checkpoint: vec![0xAB; 8_000_000],
+        };
+        let frame_bytes = frame::encode(&msg);
+        t.send(Addr::Worker(0), Addr::Coordinator, frame_bytes.clone())
+            .unwrap();
+        let backlog = t.outbound[&(Addr::Worker(0), Addr::Coordinator)]
+            .pending
+            .len();
+        assert!(
+            backlog > 0,
+            "an 8 MB frame must overflow localhost socket buffers"
+        );
+        let (_, got) = loop {
+            if let Some(got) = t.recv(Addr::Coordinator).unwrap() {
+                break got;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        assert_eq!(got, frame_bytes);
+        assert!(
+            t.outbound[&(Addr::Worker(0), Addr::Coordinator)]
+                .pending
+                .is_empty(),
+            "delivery must have drained the userspace backlog"
+        );
+    }
+
+    #[test]
+    fn peer_disconnect_mid_frame_is_pruned_without_error() {
+        // A raw socket sends its hello plus half a frame and vanishes.
+        // The dangling bytes can never complete, so the connection must
+        // be pruned on the next sweep — no hang, no transport error.
+        let tap = WireTap::new();
+        let mut t = TcpTransport::for_cluster(1, tap).unwrap();
+        let port = t.ports[&Addr::Worker(0)];
+        {
+            let mut s = TcpStream::connect(port).unwrap();
+            let raw = frame::encode(&Message::Join { rank: 0 });
+            s.write_all(&addr_id(Addr::Coordinator).to_le_bytes())
+                .unwrap();
+            s.write_all(&raw[..raw.len() / 2]).unwrap();
+        } // dropped: peer disconnects with a partial frame in flight
+        for _ in 0..50 {
+            assert!(t.recv(Addr::Worker(0)).unwrap().is_none());
+            if t.endpoints[&Addr::Worker(0)].inbound.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(
+            t.endpoints[&Addr::Worker(0)].inbound.is_empty(),
+            "a dead connection with an incomplete frame must be pruned"
+        );
+    }
+
+    #[test]
+    fn peer_disconnect_after_complete_frames_still_delivers_them() {
+        // Disconnecting is not data loss: frames fully on the wire
+        // before the close must reach the receiver, and only then is
+        // the dead connection forgotten.
+        let tap = WireTap::new();
+        let mut t = TcpTransport::for_cluster(1, tap).unwrap();
+        let port = t.ports[&Addr::Worker(0)];
+        let msgs = [Message::Join { rank: 0 }, Message::Leave { rank: 0 }];
+        {
+            let mut s = TcpStream::connect(port).unwrap();
+            s.write_all(&addr_id(Addr::Coordinator).to_le_bytes())
+                .unwrap();
+            for m in &msgs {
+                s.write_all(&frame::encode(m)).unwrap();
+            }
+        } // dropped: clean close right after two complete frames
+        let mut got = Vec::new();
+        for _ in 0..200 {
+            if let Some((from, bytes)) = t.recv(Addr::Worker(0)).unwrap() {
+                assert_eq!(from, Addr::Coordinator);
+                got.push(frame::decode(&bytes).unwrap());
+                if got.len() == msgs.len() {
+                    break;
+                }
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        assert_eq!(got, msgs);
+        assert!(
+            t.endpoints[&Addr::Worker(0)].inbound.is_empty(),
+            "the closed connection must be pruned once drained"
+        );
+    }
+
+    #[test]
     fn per_sender_ordering_survives_segmentation() {
         let tap = WireTap::new();
         let mut t = TcpTransport::for_cluster(1, tap).unwrap();

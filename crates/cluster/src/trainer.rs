@@ -1,7 +1,7 @@
 //! The cluster driver: a [`Trainer`] whose rounds run through real
 //! serialized messages.
 
-use crate::node::{CoordinatorNode, Outbox, RoundMeta, WorkerNode};
+use crate::node::{CoordinatorNode, NodeSnapshot, Outbox, RoundMeta, WorkerNode};
 use crate::transport::{Addr, LoopbackTransport, Transport, WireTap};
 use crate::ClusterError;
 use bytes::Bytes;
@@ -15,7 +15,7 @@ use saps_netsim::BandwidthMatrix;
 use saps_nn::Model;
 use saps_proto::{frame, Message};
 use saps_runtime::Executor;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Sweeps of an empty transport tolerated before a round is declared
 /// stalled (each idle sweep sleeps 1 ms, so this is a ~5 s timeout for
@@ -48,9 +48,19 @@ const STALL_SWEEP_LIMIT: u32 = 5_000;
 /// is instrumentation, not protocol traffic: metered by the
 /// [`WireTap`]'s model-plane counter, never billed to the accountant.
 ///
-/// Protocol violations (a decode failure, a stalled round) are driver
-/// bugs, not recoverable conditions — [`Trainer::step`] panics with the
-/// underlying [`ClusterError`].
+/// **Byzantine tolerance**: a worker whose traffic is provably invalid
+/// — a frame that fails to decode, or a payload violating the round's
+/// shared-mask contract — is quarantined. The attempt is aborted, every
+/// worker rolls back to the round's start, the offender is expelled
+/// through the normal churn path and the round replays without it.
+/// Because peer selection rebuilds as a pure function of the active
+/// set, honest workers end bit-identical to a run where the offender
+/// left gracefully (pinned by `tests/fault_injection.rs`).
+///
+/// Other protocol violations (a corrupted coordinator frame, a stalled
+/// round) are driver bugs, not recoverable conditions —
+/// [`Trainer::step`] panics with the underlying [`ClusterError`];
+/// [`ClusterTrainer::try_step`] surfaces it as a value instead.
 pub struct ClusterTrainer<T: Transport> {
     coordinator: CoordinatorNode,
     workers: Vec<WorkerNode>,
@@ -64,6 +74,12 @@ pub struct ClusterTrainer<T: Transport> {
     /// each round close, so between-round control frames (churn,
     /// bandwidth reports) are charged exactly once.
     billed_control: u64,
+    /// Ranks expelled by byzantine recovery: their frames are dropped on
+    /// receipt and they take no part in any later round.
+    quarantined: BTreeSet<u32>,
+    /// Idle sweeps tolerated before a round is declared stalled — see
+    /// [`ClusterTrainer::with_stall_limit`].
+    stall_limit: u32,
 }
 
 impl<T: Transport> std::fmt::Debug for ClusterTrainer<T> {
@@ -147,7 +163,22 @@ impl<T: Transport> ClusterTrainer<T> {
             n_params,
             batch_size: cfg.batch_size,
             billed_control,
+            quarantined: BTreeSet::new(),
+            stall_limit: STALL_SWEEP_LIMIT,
         })
+    }
+
+    /// Replaces the idle-sweep stall limit (default ~5 s of quiescence).
+    /// Fault-injection tests lower it so a transport that silently drops
+    /// frames surfaces its typed stall error in milliseconds.
+    pub fn with_stall_limit(mut self, sweeps: u32) -> Self {
+        self.stall_limit = sweeps;
+        self
+    }
+
+    /// Ranks expelled by byzantine recovery, ascending.
+    pub fn quarantined(&self) -> Vec<u32> {
+        self.quarantined.iter().copied().collect()
     }
 
     /// The wire tap this cluster meters through.
@@ -264,10 +295,14 @@ impl<T: Transport> ClusterTrainer<T> {
             for rank in 0..self.workers.len() {
                 let at = Addr::Worker(rank as u32);
                 while let Some((from, bytes)) = self.transport.recv(at)? {
+                    if self.silenced(from) {
+                        progressed = true;
+                        continue;
+                    }
                     inboxes
                         .entry(rank)
                         .or_default()
-                        .push((from, frame::decode(&bytes)?));
+                        .push((from, decode_from(from, &bytes)?));
                 }
             }
             if !inboxes.is_empty() {
@@ -296,7 +331,10 @@ impl<T: Transport> ClusterTrainer<T> {
             // leaks into results).
             while let Some((from, bytes)) = self.transport.recv(Addr::Coordinator)? {
                 progressed = true;
-                let msg = frame::decode(&bytes)?;
+                if self.silenced(from) {
+                    continue;
+                }
+                let msg = decode_from(from, &bytes)?;
                 let mut out = Outbox::new();
                 self.coordinator.handle(from, msg, &mut out)?;
                 self.dispatch(Addr::Coordinator, out)?;
@@ -306,7 +344,7 @@ impl<T: Transport> ClusterTrainer<T> {
                 idle_sweeps = 0;
             } else {
                 idle_sweeps += 1;
-                if idle_sweeps > STALL_SWEEP_LIMIT {
+                if idle_sweeps > self.stall_limit {
                     return Err(ClusterError::Protocol(
                         "transport quiescent but the awaited protocol state never arrived".into(),
                     ));
@@ -316,9 +354,108 @@ impl<T: Transport> ClusterTrainer<T> {
         }
     }
 
-    /// Runs one full protocol round and reconciles the wire observations
-    /// into the round context's accounting.
+    /// Runs one round like [`Trainer::step`], but surfaces failures as a
+    /// typed [`ClusterError`] instead of panicking — including the fatal
+    /// [`ClusterError::Byzantine`] when quarantine is impossible (the
+    /// fleet would drop below the control plane's minimum).
+    pub fn try_step(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        self.run_round(ctx)
+    }
+
+    /// Whether frames from `from` are dropped on receipt: a quarantined
+    /// worker no longer gets a say, whatever it keeps sending.
+    fn silenced(&self, from: Addr) -> bool {
+        matches!(from, Addr::Worker(r) if self.quarantined.contains(&r))
+    }
+
+    /// Runs one full protocol round, replaying it with the offender
+    /// expelled whenever an attempt dies on byzantine traffic. Each
+    /// recovery shrinks the active fleet by one, so the loop terminates:
+    /// eventually the control plane refuses the leave and the fault
+    /// surfaces as fatal.
     fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        loop {
+            let snaps: Vec<NodeSnapshot> = self.workers.iter().map(WorkerNode::snapshot).collect();
+            match self.round_attempt(ctx) {
+                Ok(report) => return Ok(report),
+                Err(ClusterError::Byzantine { rank, detail }) => {
+                    self.recover(rank, &detail, &snaps)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Byzantine recovery: roll every worker back to the round's start,
+    /// abort the coordinator's half-open round, flush the aborted
+    /// attempt's in-flight frames, and expel the offender through the
+    /// normal churn path — so the rebuilt peer-selection state is
+    /// exactly the one a graceful leave produces, and the replay is
+    /// bit-identical to a run that never matched the offender.
+    fn recover(
+        &mut self,
+        rank: u32,
+        detail: &str,
+        snaps: &[NodeSnapshot],
+    ) -> Result<(), ClusterError> {
+        for (node, snap) in self.workers.iter_mut().zip(snaps) {
+            node.restore(snap);
+        }
+        self.coordinator.abort_round();
+        self.drain_transport()?;
+        let epoch = self.coordinator.control_epoch();
+        self.transport.send(
+            Addr::Worker(rank),
+            Addr::Coordinator,
+            frame::encode(&Message::Leave { rank }),
+        )?;
+        match self.pump_until(Executor::sequential(), |c, _| c.control_epoch() > epoch) {
+            Ok(()) => {}
+            // The control plane refused the leave (fleet at the
+            // minimum): recovery is impossible, the fault is fatal.
+            Err(ClusterError::Config(e)) => {
+                return Err(ClusterError::Byzantine {
+                    rank,
+                    detail: format!("{detail}; quarantine refused: {e}"),
+                })
+            }
+            Err(e) => return Err(e),
+        }
+        self.quarantined.insert(rank);
+        Ok(())
+    }
+
+    /// Discards everything in flight — the aborted attempt's frames must
+    /// not leak into the replay, where their stale round numbers would
+    /// poison worker stashes. Stream transports may still have bytes on
+    /// the wire, so a few idle sweeps must pass before the drain is
+    /// trusted.
+    fn drain_transport(&mut self) -> Result<(), ClusterError> {
+        const DRAIN_IDLE_SWEEPS: u32 = 25;
+        let mut idle = 0u32;
+        while idle < DRAIN_IDLE_SWEEPS {
+            let mut got = false;
+            for rank in 0..self.workers.len() {
+                while self.transport.recv(Addr::Worker(rank as u32))?.is_some() {
+                    got = true;
+                }
+            }
+            while self.transport.recv(Addr::Coordinator)?.is_some() {
+                got = true;
+            }
+            if got {
+                idle = 0;
+            } else {
+                idle += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        Ok(())
+    }
+
+    /// One attempt at a protocol round, reconciling the wire
+    /// observations into the round context's accounting.
+    fn round_attempt(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
         let mut out = Outbox::new();
         let meta: RoundMeta = self.coordinator.start_round(&mut out)?;
         // Discard transfers logged outside rounds (there are none — only
@@ -445,6 +582,19 @@ impl<T: Transport> Trainer for ClusterTrainer<T> {
         self.pump_until(Executor::sequential(), |c, _| c.control_epoch() > epoch)
             .unwrap_or_else(|e| panic!("bandwidth refresh failed: {e}"));
     }
+}
+
+/// Decodes a frame, attributing an undecodable frame from a worker to
+/// that worker as byzantine traffic. The coordinator is part of the
+/// driver and trusted, so its decode failures stay plain wire errors.
+fn decode_from(from: Addr, bytes: &[u8]) -> Result<Message, ClusterError> {
+    frame::decode(bytes).map_err(|e| match from {
+        Addr::Worker(rank) => ClusterError::Byzantine {
+            rank,
+            detail: format!("undecodable frame: {e}"),
+        },
+        Addr::Coordinator => ClusterError::Proto(e),
+    })
 }
 
 /// Maps a cluster error back to the [`ConfigError`] the in-memory

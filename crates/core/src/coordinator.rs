@@ -44,7 +44,10 @@ impl Coordinator {
     pub fn new(bw: &BandwidthMatrix, bthres: Option<f64>, tthres: u32, seed: u64) -> Self {
         let n = bw.len();
         let thres = bthres.unwrap_or_else(|| bw.max_connecting_threshold());
-        let bstar = Graph::from_adjacency(n, &bw.threshold(thres));
+        // A disconnected (e.g. partitioned) matrix auto-selects thres 0;
+        // dead links must still never enter B*, so the filter stays
+        // strictly positive and matching is confined to live islands.
+        let bstar = Graph::from_adjacency(n, &bw.threshold(thres.max(f64::MIN_POSITIVE)));
         let full = Graph::from_threshold(n, bw.as_slice(), f64::MIN_POSITIVE);
         Coordinator {
             generator: GossipGenerator::new(bstar, full, tthres),
@@ -87,7 +90,9 @@ impl Coordinator {
         let n = bw.len();
         assert_eq!(n, keep.len());
         let thres = bw.max_connecting_threshold().min(self.bthres);
-        let bstar = Graph::from_adjacency(n, &bw.threshold(thres));
+        // As in `new`: never admit dead links to B*, even when a
+        // partitioned matrix drives the auto-selected threshold to 0.
+        let bstar = Graph::from_adjacency(n, &bw.threshold(thres.max(f64::MIN_POSITIVE)));
         let full = Graph::from_threshold(n, bw.as_slice(), f64::MIN_POSITIVE);
         self.generator.rebuild(bstar, full, keep);
         self.bthres = thres;

@@ -73,10 +73,10 @@ pub use gossipgen::{GossipGenerator, PeerStrategy};
 pub use registry::{AlgorithmRegistry, BuildCtx, BuilderFn, ModelFactory};
 pub use saps_netsim::{RoundTiming, TimeModel};
 pub use saps_runtime::{Executor, ParallelismPolicy};
-pub use scenario::{BandwidthModel, ScenarioEvent, ScheduledEvent};
+pub use scenario::{zoo, BandwidthModel, ScenarioEvent, ScheduledEvent};
 pub use spec::AlgorithmSpec;
 pub use trainer::{RoundCtx, RoundReport, Trainer};
-pub use worker::Worker;
+pub use worker::{Worker, WorkerState};
 
 mod saps;
 pub use saps::{build_replicas, saps_round_report, SapsConfig, SapsPsgd};

@@ -320,9 +320,211 @@ fn scaled(bw: &BandwidthMatrix, factor: f64) -> BandwidthMatrix {
     out
 }
 
+pub mod zoo {
+    //! Prebuilt adversarial scenarios ("the scenario zoo").
+    //!
+    //! Each builder returns a plain `Vec<ScheduledEvent>` of the
+    //! ordinary event vocabulary — nothing here is a new mechanism, just
+    //! named, validated compositions of [`ScenarioEvent`]s that the
+    //! paper's dynamic-network story motivates. Feed them to
+    //! [`crate::Experiment::events`]; `docs/SCENARIOS.md` catalogues
+    //! them with the golden traces that pin their behaviour.
+
+    use super::{ScenarioEvent, ScheduledEvent};
+    use saps_netsim::BandwidthMatrix;
+
+    /// A network partition that heals: every link between `group` and
+    /// the rest of the fleet is severed at round `at` and restored to
+    /// its value in `baseline` at round `heal_at`. While split, peer
+    /// matching is confined to each side (dead links are never
+    /// matched); after healing, the sides re-mix.
+    ///
+    /// # Panics
+    ///
+    /// If `group` is empty or not a proper subset of the fleet, names a
+    /// rank outside `baseline`, or `heal_at <= at`.
+    pub fn partition_heal(
+        baseline: &BandwidthMatrix,
+        group: &[usize],
+        at: usize,
+        heal_at: usize,
+    ) -> Vec<ScheduledEvent> {
+        let n = baseline.len();
+        assert!(
+            !group.is_empty() && group.len() < n,
+            "partition group must be a non-empty proper subset of the fleet"
+        );
+        assert!(
+            group.iter().all(|&r| r < n),
+            "partition group names a rank outside the fleet"
+        );
+        assert!(heal_at > at, "a partition must heal after it forms");
+        let inside = |r: usize| group.contains(&r);
+        let mut events = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if inside(a) == inside(b) {
+                    continue;
+                }
+                events.push(ScheduledEvent {
+                    round: at,
+                    event: ScenarioEvent::LinkChange { a, b, mbps: 0.0 },
+                });
+                events.push(ScheduledEvent {
+                    round: heal_at,
+                    event: ScenarioEvent::LinkChange {
+                        a,
+                        b,
+                        mbps: baseline.get(a, b),
+                    },
+                });
+            }
+        }
+        events
+    }
+
+    /// Day/night bandwidth cycles: starting at round `first_night`,
+    /// every link drops to `night_scale`× for the first half of each
+    /// `period`-round cycle and recovers at dawn (the shifts compose to
+    /// exactly 1 per cycle). Model diurnal congestion over a measured
+    /// matrix such as [`saps_netsim::citydata::fig1_bandwidth`].
+    ///
+    /// # Panics
+    ///
+    /// If `period < 2`, `cycles == 0`, or `night_scale` is not a finite
+    /// positive value.
+    pub fn day_night(
+        first_night: usize,
+        period: usize,
+        cycles: usize,
+        night_scale: f64,
+    ) -> Vec<ScheduledEvent> {
+        assert!(period >= 2, "a day/night cycle needs at least 2 rounds");
+        assert!(cycles > 0, "at least one cycle");
+        assert!(
+            night_scale.is_finite() && night_scale > 0.0,
+            "night scale must be finite and positive"
+        );
+        let mut events = Vec::new();
+        for c in 0..cycles {
+            let night = first_night + c * period;
+            events.push(ScheduledEvent {
+                round: night,
+                event: ScenarioEvent::BandwidthShift { scale: night_scale },
+            });
+            events.push(ScheduledEvent {
+                round: night + period / 2,
+                event: ScenarioEvent::BandwidthShift {
+                    scale: 1.0 / night_scale,
+                },
+            });
+        }
+        events
+    }
+
+    /// A slow-loris straggler: worker `rank`'s compute slows by another
+    /// `factor`× each round for `steps` rounds (compounding to
+    /// `factor^steps`), then snaps back to nominal speed. Only round
+    /// *timing* is affected — training dynamics stay bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// If `steps == 0` or `factor` is not finite and `> 1`.
+    pub fn slow_loris(rank: usize, start: usize, steps: usize, factor: f64) -> Vec<ScheduledEvent> {
+        assert!(steps > 0, "at least one slowdown step");
+        assert!(
+            factor.is_finite() && factor > 1.0,
+            "a slow loris must actually slow down (factor > 1)"
+        );
+        let mut events: Vec<ScheduledEvent> = (1..=steps)
+            .map(|k| ScheduledEvent {
+                round: start + k - 1,
+                event: ScenarioEvent::Straggler {
+                    rank,
+                    slowdown: factor.powi(k as i32),
+                },
+            })
+            .collect();
+        events.push(ScheduledEvent {
+            round: start + steps,
+            event: ScenarioEvent::Straggler {
+                rank,
+                slowdown: 1.0,
+            },
+        });
+        events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zoo_partition_heal_severs_exactly_the_cut_and_restores_baseline() {
+        let bw = BandwidthMatrix::constant(4, 3.0);
+        let events = zoo::partition_heal(&bw, &[0, 1], 2, 5);
+        // The cut {0,1}|{2,3} has 4 cross links, each severed + healed.
+        assert_eq!(events.len(), 8);
+        for ev in &events {
+            ev.validate(4).unwrap();
+            let ScenarioEvent::LinkChange { a, b, mbps } = ev.event else {
+                panic!("partition emits only link changes");
+            };
+            assert!((a < 2) != (b < 2), "only cross-partition links touched");
+            match ev.round {
+                2 => assert_eq!(mbps, 0.0),
+                5 => assert_eq!(mbps, 3.0),
+                r => panic!("unexpected round {r}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proper subset")]
+    fn zoo_partition_of_the_whole_fleet_is_rejected() {
+        zoo::partition_heal(&BandwidthMatrix::constant(3, 1.0), &[0, 1, 2], 0, 1);
+    }
+
+    #[test]
+    fn zoo_day_night_shifts_cancel_per_cycle() {
+        let events = zoo::day_night(4, 6, 3, 0.25);
+        assert_eq!(events.len(), 6);
+        let product: f64 = events
+            .iter()
+            .map(|ev| {
+                ev.validate(8).unwrap();
+                let ScenarioEvent::BandwidthShift { scale } = ev.event else {
+                    panic!("day/night emits only shifts");
+                };
+                scale
+            })
+            .product();
+        assert!((product - 1.0).abs() < 1e-12, "cycles must compose to 1");
+        assert_eq!(events[0].round, 4);
+        assert_eq!(events[1].round, 7, "dawn at half period");
+        assert_eq!(events[2].round, 10, "next night one period later");
+    }
+
+    #[test]
+    fn zoo_slow_loris_compounds_then_recovers() {
+        let events = zoo::slow_loris(2, 3, 4, 2.0);
+        assert_eq!(events.len(), 5);
+        for (k, ev) in events.iter().enumerate() {
+            ev.validate(4).unwrap();
+            assert_eq!(ev.round, 3 + k);
+            let ScenarioEvent::Straggler { rank, slowdown } = ev.event else {
+                panic!("slow loris emits only stragglers");
+            };
+            assert_eq!(rank, 2);
+            let expect = if k < 4 {
+                2.0f64.powi(k as i32 + 1)
+            } else {
+                1.0
+            };
+            assert_eq!(slowdown, expect);
+        }
+    }
 
     #[test]
     fn event_validation_checks_ranks_and_values() {

@@ -140,6 +140,35 @@ impl Worker {
     pub fn flat(&self) -> Vec<f32> {
         self.model.flat_params()
     }
+
+    /// Captures everything a later [`Worker::rollback`] needs to replay
+    /// this worker from the current instant: the flat parameters and
+    /// the private batch-sampling RNG. Batch sampling depends only on
+    /// this state — never on who the worker was matched with — so a
+    /// rolled-back worker re-run under a different matching still draws
+    /// the same batches.
+    pub fn save_state(&self) -> WorkerState {
+        WorkerState {
+            params: self.model.flat_params(),
+            rng: self.rng.clone(),
+        }
+    }
+
+    /// Restores a [`Worker::save_state`] snapshot: parameters and RNG
+    /// return to the captured instant bit-exactly.
+    pub fn rollback(&mut self, state: &WorkerState) {
+        self.model.set_flat_params(&state.params);
+        self.rng = state.rng.clone();
+    }
+}
+
+/// A point-in-time snapshot of a worker's replayable state — see
+/// [`Worker::save_state`]. The dataset and rank are not captured: they
+/// never change mid-round.
+#[derive(Debug, Clone)]
+pub struct WorkerState {
+    params: Vec<f32>,
+    rng: StdRng,
 }
 
 #[cfg(test)]
@@ -247,5 +276,21 @@ mod tests {
         flat[0] = 42.0;
         w.set_flat(&flat);
         assert_eq!(w.flat()[0], 42.0);
+    }
+
+    #[test]
+    fn rollback_replays_bit_identically() {
+        let mut w = worker(0, 11);
+        w.sgd_step(8, 0.1);
+        let snap = w.save_state();
+        let (l1, _) = w.sgd_step(8, 0.1);
+        let after_one = w.flat();
+        w.sgd_step(8, 0.1);
+        // Roll back two steps, replay one: parameters and RNG must land
+        // exactly where the first replayed step originally did.
+        w.rollback(&snap);
+        let (l2, _) = w.sgd_step(8, 0.1);
+        assert_eq!(l1, l2);
+        assert_eq!(w.flat(), after_one);
     }
 }

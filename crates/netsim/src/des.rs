@@ -13,8 +13,13 @@
 //!   [`crate::flows`] simulator: per-link latency, fair-share bandwidth
 //!   splitting among concurrent flows on a link, and staggered flow
 //!   releases when stragglers finish their local compute late.
+//! * [`TimeModel::Packet`] — the same flow sets priced by the
+//!   packet-level engine ([`crate::packet`]): per-flow AIMD congestion
+//!   windows, finite link queues, seeded random loss and RTT. With an
+//!   ideal [`PacketConfig`] (zero RTT, zero loss) it reproduces the
+//!   event-driven prices bit-for-bit.
 //!
-//! Both models price the *same* transfer set — switching the model can
+//! All models price the *same* transfer set — switching the model can
 //! change time and nothing else. For the peer-to-peer,
 //! parameter-server and ring all-reduce (m ≥ 3) patterns the
 //! event-driven model with zero latency reproduces the analytic
@@ -30,6 +35,7 @@
 //! per round in `RunHistory`.
 
 use crate::flows::{simulate, FlowSpec, SimConfig, SimReport};
+use crate::packet::{simulate_packets, PacketConfig};
 use crate::timemodel;
 use crate::BandwidthMatrix;
 
@@ -50,6 +56,11 @@ pub enum TimeModel {
         /// same link. `false` idealizes links as uncontended.
         contention: bool,
     },
+    /// Packet-level simulation ([`crate::packet`]): the event-driven
+    /// flow sets priced with per-flow AIMD congestion windows, finite
+    /// link queues, seeded random loss and round-trip latency.
+    /// Contention is always on.
+    Packet(PacketConfig),
 }
 
 impl TimeModel {
@@ -62,17 +73,24 @@ impl TimeModel {
         }
     }
 
-    /// A short stable name for bench records: `"analytic"` or `"des"`.
+    /// A packet-level model with the given link configuration.
+    pub fn packet(cfg: PacketConfig) -> Self {
+        TimeModel::Packet(cfg)
+    }
+
+    /// A short stable name for bench records: `"analytic"`, `"des"` or
+    /// `"packet"`.
     pub fn label(&self) -> &'static str {
         match self {
             TimeModel::Analytic => "analytic",
             TimeModel::EventDriven { .. } => "des",
+            TimeModel::Packet(_) => "packet",
         }
     }
 
     fn sim_config(&self) -> SimConfig {
         match *self {
-            TimeModel::Analytic => SimConfig::default(),
+            TimeModel::Analytic | TimeModel::Packet(_) => SimConfig::default(),
             TimeModel::EventDriven {
                 latency,
                 contention,
@@ -80,6 +98,16 @@ impl TimeModel {
                 latency_s: latency,
                 contention,
             },
+        }
+    }
+
+    /// Prices an already-built flow set through whichever simulator this
+    /// model selects. Callers guarantee the model is not `Analytic`.
+    fn run_flows(&self, bw: &BandwidthMatrix, flows: &[FlowSpec]) -> SimReport {
+        match self {
+            TimeModel::Analytic => unreachable!("analytic pricing never builds flows"),
+            TimeModel::EventDriven { .. } => simulate(bw, &self.sim_config(), flows, &[]),
+            TimeModel::Packet(cfg) => simulate_packets(bw, cfg, flows, &[]),
         }
     }
 }
@@ -189,7 +217,7 @@ impl TimeModel {
             TimeModel::Analytic => {
                 analytic_timing(bw.len(), starts, timemodel::p2p_round_time(bw, transfers))
             }
-            TimeModel::EventDriven { .. } => {
+            TimeModel::EventDriven { .. } | TimeModel::Packet(_) => {
                 let flows: Vec<FlowSpec> = transfers
                     .iter()
                     .map(|&(src, dst, bytes)| {
@@ -201,7 +229,7 @@ impl TimeModel {
                         FlowSpec::new(src, dst, bytes as f64).released_at(release)
                     })
                     .collect();
-                let rep = simulate(bw, &self.sim_config(), &flows, &[]);
+                let rep = self.run_flows(bw, &flows);
                 des_timing(bw, starts, &rep)
             }
         }
@@ -226,7 +254,7 @@ impl TimeModel {
                 starts,
                 timemodel::ps_round_time(bw, server, clients),
             ),
-            TimeModel::EventDriven { .. } => {
+            TimeModel::EventDriven { .. } | TimeModel::Packet(_) => {
                 let mut flows = Vec::with_capacity(2 * clients.len());
                 for (chain, &(w, up, down)) in clients.iter().enumerate() {
                     if w == server {
@@ -244,7 +272,7 @@ impl TimeModel {
                             .on_chain(chain),
                     );
                 }
-                let rep = simulate(bw, &self.sim_config(), &flows, &[]);
+                let rep = self.run_flows(bw, &flows);
                 des_timing(bw, starts, &rep)
             }
         }
@@ -271,7 +299,7 @@ impl TimeModel {
                 starts,
                 timemodel::allreduce_ring_time_over(bw, ranks, bytes_per_worker),
             ),
-            TimeModel::EventDriven { .. } => {
+            TimeModel::EventDriven { .. } | TimeModel::Packet(_) => {
                 let m = ranks.len();
                 let barrier = max_start(starts);
                 let mut flows = Vec::with_capacity(m);
@@ -285,7 +313,7 @@ impl TimeModel {
                         );
                     }
                 }
-                let rep = simulate(bw, &self.sim_config(), &flows, &[]);
+                let rep = self.run_flows(bw, &flows);
                 des_timing(bw, starts, &rep)
             }
         }
@@ -314,7 +342,7 @@ impl TimeModel {
                 starts,
                 timemodel::allgather_time_over(bw, ranks, bytes),
             ),
-            TimeModel::EventDriven { .. } => {
+            TimeModel::EventDriven { .. } | TimeModel::Packet(_) => {
                 let m = ranks.len();
                 let barrier = max_start(starts);
                 let mut flows = Vec::with_capacity(m.saturating_sub(1) * m);
@@ -330,7 +358,7 @@ impl TimeModel {
                         }
                     }
                 }
-                let rep = simulate(bw, &self.sim_config(), &flows, &[]);
+                let rep = self.run_flows(bw, &flows);
                 des_timing(bw, starts, &rep)
             }
         }
@@ -353,6 +381,60 @@ mod tests {
         assert_eq!(TimeModel::default(), TimeModel::Analytic);
         assert_eq!(TimeModel::Analytic.label(), "analytic");
         assert_eq!(TimeModel::event_driven(0.01).label(), "des");
+        assert_eq!(TimeModel::packet(PacketConfig::ideal()).label(), "packet");
+    }
+
+    #[test]
+    fn ideal_packet_model_prices_like_zero_latency_des() {
+        let mut bw = BandwidthMatrix::constant(4, 10.0);
+        bw.set(2, 3, 1.0);
+        let transfers = [
+            (0usize, 1usize, 10_000_000u64),
+            (1, 0, 10_000_000),
+            (2, 3, 1_000_000),
+            (3, 2, 1_000_000),
+        ];
+        let ranks = [0usize, 1, 2, 3];
+        let clients = [(0usize, 1_000_000u64, 1_000_000u64), (1, 500_000, 500_000)];
+        let des = TimeModel::event_driven(0.0);
+        let pkt = TimeModel::packet(PacketConfig::ideal());
+        approx(
+            pkt.price_p2p(&bw, &transfers, &[]).transfer_s,
+            des.price_p2p(&bw, &transfers, &[]).transfer_s,
+        );
+        approx(
+            pkt.price_ps(&bw, 2, &clients, &[]).transfer_s,
+            des.price_ps(&bw, 2, &clients, &[]).transfer_s,
+        );
+        approx(
+            pkt.price_allreduce(&bw, &ranks, 8_000_000, &[]).transfer_s,
+            des.price_allreduce(&bw, &ranks, 8_000_000, &[]).transfer_s,
+        );
+        approx(
+            pkt.price_allgather(&bw, &ranks, 1_000_000, &[]).transfer_s,
+            des.price_allgather(&bw, &ranks, 1_000_000, &[]).transfer_s,
+        );
+    }
+
+    #[test]
+    fn lossy_packet_model_only_adds_time() {
+        let bw = BandwidthMatrix::constant(4, 1.0);
+        let transfers = [(0usize, 1usize, 5_000_000u64), (2, 3, 5_000_000)];
+        let clean = TimeModel::packet(PacketConfig::ideal());
+        let rough = TimeModel::packet(
+            PacketConfig::ideal()
+                .with_loss(0.05)
+                .with_rtt(0.02)
+                .with_seed(3),
+        );
+        let c = clean.price_p2p(&bw, &transfers, &[]);
+        let r = rough.price_p2p(&bw, &transfers, &[]);
+        assert!(
+            r.transfer_s > c.transfer_s,
+            "loss + rtt must add time ({} vs {})",
+            r.transfer_s,
+            c.transfer_s
+        );
     }
 
     #[test]

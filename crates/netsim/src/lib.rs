@@ -20,6 +20,11 @@
 //!   behind the [`TimeModel`] switch (`Analytic` keeps the closed
 //!   forms; `EventDriven` simulates latency, contention, stragglers and
 //!   mid-flight bandwidth changes). See `docs/NETWORK_SIM.md`.
+//! * [`packet`] — the packet-level extension of the flow simulator:
+//!   per-flow AIMD congestion windows, finite link queues, seeded
+//!   random loss and RTT, selected with [`TimeModel::Packet`]. An
+//!   ideal [`PacketConfig`] degenerates to the fluid simulator
+//!   exactly.
 //!
 //! # Example
 //!
@@ -41,9 +46,11 @@ pub mod citydata;
 pub mod des;
 pub mod dynamics;
 pub mod flows;
+pub mod packet;
 pub mod timemodel;
 mod traffic;
 
 pub use bandwidth::BandwidthMatrix;
 pub use des::{RoundTiming, TimeModel};
+pub use packet::PacketConfig;
 pub use traffic::{to_mb, RoundTraffic, TrafficAccountant};

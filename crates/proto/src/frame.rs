@@ -78,8 +78,10 @@ pub struct FrameInfo {
 ///
 /// Returns `Ok(None)` when `buf` holds fewer bytes than a header — feed
 /// more data and retry. A present-but-invalid header (bad magic, future
-/// version, oversized declaration) is a hard error: the stream cannot be
-/// resynchronized.
+/// version, oversized declaration) is a hard error. `peek` itself is
+/// stateless; [`FrameDecoder`] recovers from such errors by skipping to
+/// the next magic boundary, while transports peeking at datagrams
+/// should drop the offending frame.
 pub fn peek(buf: &[u8]) -> Result<Option<FrameInfo>, ProtoError> {
     if buf.len() < HEADER_LEN {
         return Ok(None);
@@ -178,8 +180,25 @@ impl FrameDecoder {
     }
 
     /// Pops the next complete message, `Ok(None)` if more bytes are
-    /// needed. After an `Err` the stream is corrupt and cannot be
-    /// resynchronized; the transport should drop the connection.
+    /// needed.
+    ///
+    /// An `Err` reports one damaged frame, not a dead stream: the
+    /// decoder **resynchronizes** and later calls continue with the
+    /// next intact frame. Body-level errors (checksum, unknown tag,
+    /// malformed body) consume exactly the framed bytes they describe;
+    /// header-level errors (bad magic, version skew, oversized
+    /// declaration) skip forward to the next [`MAGIC`] boundary —
+    /// garbage between frames costs one error per candidate boundary,
+    /// never a stuck decoder. Transports may still choose to treat any
+    /// error as fatal for the connection; that is policy, not a decoder
+    /// limitation.
+    ///
+    /// One documented gap: corruption of a frame's *length field* that
+    /// keeps the header plausible makes the decoder wait for (or
+    /// swallow) the declared span before the checksum exposes the
+    /// damage — length-prefixed framing must trust the length until
+    /// then. Recovery still happens at the next magic boundary after
+    /// the swallowed span; only the frames inside it are lost.
     ///
     /// (Named `next` to match upstream codec idiom; it is not an
     /// `Iterator` because decoding is fallible per call.)
@@ -196,11 +215,20 @@ impl FrameDecoder {
     /// length bound) — transports that just *move* frames use this to
     /// split the stream without paying body decode + re-encode; the
     /// consumer's [`decode`] still verifies the checksum and body.
+    ///
+    /// On a header-level error the unparseable bytes are skipped up to
+    /// the next [`MAGIC`] boundary (see [`FrameDecoder::next`]) before
+    /// the error is returned, so the following call resumes at the
+    /// first candidate frame.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtoError> {
         let avail = &self.buf[self.consumed..];
-        let info = match peek(avail)? {
-            Some(info) => info,
-            None => return Ok(None),
+        let info = match peek(avail) {
+            Ok(Some(info)) => info,
+            Ok(None) => return Ok(None),
+            Err(e) => {
+                self.resync();
+                return Err(e);
+            }
         };
         if avail.len() < info.frame_len {
             return Ok(None);
@@ -208,6 +236,22 @@ impl FrameDecoder {
         let frame = avail[..info.frame_len].to_vec();
         self.consumed += info.frame_len;
         Ok(Some(frame))
+    }
+
+    /// Advances past an unparseable header to the next candidate magic
+    /// boundary: the next occurrence of [`MAGIC`] at offset ≥ 1, or —
+    /// when none is buffered yet — far enough that only a possible
+    /// magic prefix (3 bytes) remains. Always advances at least one
+    /// byte, so repeated errors always make progress.
+    fn resync(&mut self) {
+        let avail = &self.buf[self.consumed..];
+        let skip = avail
+            .windows(MAGIC.len())
+            .skip(1)
+            .position(|w| w == MAGIC)
+            .map(|p| p + 1)
+            .unwrap_or_else(|| avail.len().saturating_sub(MAGIC.len() - 1).max(1));
+        self.consumed += skip;
     }
 }
 
@@ -428,11 +472,85 @@ mod tests {
     }
 
     #[test]
-    fn frame_decoder_surfaces_corruption() {
+    fn frame_decoder_surfaces_corruption_then_recovers() {
         let mut raw = encode(&Message::Join { rank: 1 }).to_vec();
         raw[HEADER_LEN] ^= 0xFF;
         let mut dec = FrameDecoder::new();
         dec.feed(&raw);
+        dec.feed(&encode(&Message::Leave { rank: 2 }));
         assert_eq!(dec.next(), Err(ProtoError::ChecksumMismatch));
+        // The damaged frame was consumed whole; the stream continues.
+        assert_eq!(dec.next(), Ok(Some(Message::Leave { rank: 2 })));
+        assert_eq!(dec.next(), Ok(None));
+    }
+
+    #[test]
+    fn frame_decoder_resyncs_on_magic_after_header_corruption() {
+        // Smash the first frame's magic: the decoder must report
+        // BadMagic, then skip to the second frame's magic boundary and
+        // decode it.
+        let mut stream = encode(&Message::Join { rank: 1 }).to_vec();
+        stream[0] ^= 0xFF;
+        stream.extend_from_slice(&encode(&Message::Shutdown));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        assert_eq!(dec.next(), Err(ProtoError::BadMagic));
+        assert_eq!(dec.next(), Ok(Some(Message::Shutdown)));
+        assert_eq!(dec.next(), Ok(None));
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_survives_interframe_garbage() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(b"not a frame at all");
+        stream.extend_from_slice(&encode(&Message::FetchModel { rank: 3 }));
+        stream.extend_from_slice(&[0xAA; 7]);
+        stream.extend_from_slice(&encode(&Message::Shutdown));
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut errors = 0;
+        for chunk in stream.chunks(5) {
+            dec.feed(chunk);
+            loop {
+                match dec.next() {
+                    Ok(Some(m)) => got.push(m),
+                    Ok(None) => break,
+                    Err(_) => errors += 1,
+                }
+            }
+        }
+        assert_eq!(
+            got,
+            vec![Message::FetchModel { rank: 3 }, Message::Shutdown]
+        );
+        assert!(errors > 0, "the garbage must have been reported");
+    }
+
+    #[test]
+    fn frame_decoder_resync_keeps_a_possible_magic_prefix() {
+        // Garbage ending with a split magic: resync must not eat the
+        // prefix of the next frame that hasn't fully arrived yet.
+        let frame = encode(&Message::Shutdown);
+        let mut dec = FrameDecoder::new();
+        let mut garbage = vec![0x11; HEADER_LEN];
+        garbage.extend_from_slice(&frame[..3]); // "SAP"
+        dec.feed(&garbage);
+        assert_eq!(dec.next(), Err(ProtoError::BadMagic));
+        dec.feed(&frame[3..]);
+        assert_eq!(dec.next(), Ok(Some(Message::Shutdown)));
+    }
+
+    #[test]
+    fn frame_decoder_version_skew_skips_one_frame() {
+        let mut bad = encode(&Message::Join { rank: 9 }).to_vec();
+        bad[4..6].copy_from_slice(&7u16.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bad);
+        dec.feed(&encode(&Message::Leave { rank: 9 }));
+        assert_eq!(dec.next(), Err(ProtoError::UnsupportedVersion(7)));
+        // The skewed frame has no other magic inside, so resync lands
+        // exactly on the next frame.
+        assert_eq!(dec.next(), Ok(Some(Message::Leave { rank: 9 })));
     }
 }

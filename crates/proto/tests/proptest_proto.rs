@@ -13,6 +13,12 @@
 //! * **Streams reassemble** — a concatenation of frames fed to the
 //!   [`frame::FrameDecoder`] in arbitrary chunkings yields the original
 //!   message sequence.
+//! * **Corruption is contained** — damage inside one frame's body (or
+//!   its magic) is reported as a typed error and the decoder resyncs on
+//!   the next magic boundary: every frame after the victim still
+//!   decodes bit-identically. (The documented exception is a corrupted
+//!   *length field*, which can swallow following frames before the
+//!   checksum exposes it — see `FrameDecoder::next`.)
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -163,6 +169,106 @@ proptest! {
                 out.push(m);
             }
         }
+        prop_assert_eq!(out.len(), msgs.len());
+        for (a, b) in msgs.iter().zip(&out) {
+            prop_assert!(bit_equal(a, b));
+        }
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn body_corruption_is_contained_to_one_frame(
+        seeds in vec(any::<u64>(), 2..8),
+        corrupt_seed in any::<u64>(),
+        chunk in 1usize..64,
+    ) {
+        let msgs: Vec<Message> = seeds.iter().map(|&s| arbitrary_message(s)).collect();
+        let mut rng = StdRng::seed_from_u64(corrupt_seed);
+        let victim = rng.gen_range(0..msgs.len());
+        let mut stream = Vec::new();
+        let mut victim_span = (0, 0);
+        for (i, m) in msgs.iter().enumerate() {
+            let f = frame::encode(m);
+            if i == victim {
+                victim_span = (stream.len(), stream.len() + f.len());
+            }
+            stream.extend_from_slice(&f);
+        }
+        // Flip 1..=4 random bits strictly below the victim's header —
+        // body and checksum only, so the frame is still consumed whole
+        // and the damage surfaces at decode time.
+        let lo = victim_span.0 + frame::HEADER_LEN;
+        for _ in 0..rng.gen_range(1..=4usize) {
+            let pos = rng.gen_range(lo..victim_span.1);
+            stream[pos] ^= 1u8 << rng.gen_range(0..8);
+        }
+        let mut dec = frame::FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut errors = 0;
+        for part in stream.chunks(chunk) {
+            dec.feed(part);
+            loop {
+                match dec.next() {
+                    Ok(Some(m)) => out.push(m),
+                    Ok(None) => break,
+                    Err(_) => errors += 1,
+                }
+            }
+        }
+        // Every frame after the victim decodes bit-identically. (The
+        // victim itself normally reports ChecksumMismatch; a colliding
+        // decode would merely add one message before the suffix.)
+        let suffix = &msgs[victim + 1..];
+        prop_assert!(out.len() >= suffix.len(), "tail lost: {} < {}", out.len(), suffix.len());
+        for (a, b) in suffix.iter().rev().zip(out.iter().rev()) {
+            prop_assert!(bit_equal(a, b), "tail frame drifted after corruption");
+        }
+        prop_assert!(errors > 0 || out.len() > suffix.len());
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn magic_corruption_resyncs_on_the_next_boundary(
+        seeds in vec(any::<u64>(), 1..6),
+        victim_slot in any::<u64>(),
+        flip in (0usize..4, 0u32..8),
+    ) {
+        // A Shutdown frame with one bit flipped in its magic, spliced
+        // between arbitrary frames: the decoder must report BadMagic,
+        // skip the damaged frame, and decode everything after it. The
+        // rest of a Shutdown frame is fixed bytes verified magic-free,
+        // so resync lands exactly on the next real frame.
+        let victim_bytes = {
+            let mut raw = frame::encode(&Message::Shutdown).to_vec();
+            raw[flip.0] ^= 1u8 << flip.1;
+            prop_assert!(
+                !raw[1..].windows(frame::MAGIC.len()).any(|w| w == frame::MAGIC),
+                "test premise: no spurious magic inside the damaged frame"
+            );
+            raw
+        };
+        let msgs: Vec<Message> = seeds.iter().map(|&s| arbitrary_message(s)).collect();
+        let victim = (victim_slot % msgs.len() as u64) as usize;
+        let mut stream = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            if i == victim {
+                stream.extend_from_slice(&victim_bytes);
+            }
+            stream.extend_from_slice(&frame::encode(m));
+        }
+        let mut dec = frame::FrameDecoder::new();
+        dec.feed(&stream);
+        let mut out = Vec::new();
+        let mut bad_magic = 0;
+        loop {
+            match dec.next() {
+                Ok(Some(m)) => out.push(m),
+                Ok(None) => break,
+                Err(ProtoError::BadMagic) => bad_magic += 1,
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+        prop_assert_eq!(bad_magic, 1);
         prop_assert_eq!(out.len(), msgs.len());
         for (a, b) in msgs.iter().zip(&out) {
             prop_assert!(bit_equal(a, b));

@@ -1,0 +1,269 @@
+//! Fault injection against the cluster runtime: the wire is hostile,
+//! training must not be.
+//!
+//! Driven through [`FaultyTransport`], a seeded per-frame adversary
+//! wrapping the loopback transport, these tests pin three contracts:
+//!
+//! 1. **Tolerated faults are invisible** — delays and reorders change
+//!    only delivery schedules; every round's loss and every worker's
+//!    parameters stay bit-identical to a clean run.
+//! 2. **Lost frames surface as typed errors** — a transport that
+//!    silently drops frames produces a stall error from
+//!    [`ClusterTrainer::try_step`], never a hang or a wrong answer.
+//! 3. **Byzantine workers are quarantined and replayed away** — a
+//!    worker whose payloads are corrupt (or malformed) is expelled
+//!    mid-round and the round replays without it, leaving *every*
+//!    worker — honest ones and the rolled-back offender — bit-identical
+//!    to a run where the offender left gracefully at the same round.
+//!    This is the acceptance criterion of the byzantine scenario; it
+//!    runs inside the CI determinism matrix (`SAPS_THREADS ∈ {1, 2}`).
+
+use saps::cluster::{
+    Addr, ClusterError, ClusterTrainer, FaultPlan, FaultScope, FaultyTransport, LoopbackTransport,
+    Outbox, WireTap, WorkerNode,
+};
+use saps::core::{RoundCtx, SapsConfig, Trainer, Worker};
+use saps::data::{partition, Dataset, SyntheticSpec};
+use saps::netsim::{BandwidthMatrix, TrafficAccountant};
+use saps::nn::zoo;
+use saps::proto::Message;
+use saps::tensor::rng::{derive_seed, streams};
+
+const SEED: u64 = 23;
+
+fn parts(workers: usize) -> Vec<Dataset> {
+    let (train, _) = SyntheticSpec::tiny()
+        .samples(1_600)
+        .generate(5)
+        .split(0.2, 0);
+    partition::iid(&train, workers, derive_seed(SEED, 0, streams::DATA))
+}
+
+fn cfg(workers: usize) -> SapsConfig {
+    SapsConfig {
+        workers,
+        compression: 4.0,
+        lr: 0.1,
+        batch_size: 16,
+        bthres: None,
+        tthres: 5,
+        seed: SEED,
+    }
+}
+
+fn model(rng: &mut rand::rngs::StdRng) -> saps::nn::Model {
+    zoo::mlp(&[16, 20, 4], rng)
+}
+
+fn clean_trainer(workers: usize) -> ClusterTrainer<LoopbackTransport> {
+    ClusterTrainer::loopback(
+        cfg(workers),
+        parts(workers),
+        &BandwidthMatrix::constant(workers, 1.0),
+        model,
+        WireTap::new(),
+    )
+    .unwrap()
+}
+
+fn faulty_trainer(
+    workers: usize,
+    plan: FaultPlan,
+    seed: u64,
+) -> ClusterTrainer<FaultyTransport<LoopbackTransport>> {
+    let tap = WireTap::new();
+    let transport = FaultyTransport::new(LoopbackTransport::new(tap.clone()), plan, seed);
+    ClusterTrainer::with_transport(
+        cfg(workers),
+        parts(workers),
+        &BandwidthMatrix::constant(workers, 1.0),
+        model,
+        transport,
+        tap,
+    )
+    .unwrap()
+}
+
+fn step(trainer: &mut impl Trainer, round: usize, traffic: &mut TrafficAccountant) -> f32 {
+    let bw = BandwidthMatrix::constant(trainer.worker_count(), 1.0);
+    let mut ctx = RoundCtx::new(round, &bw, traffic, SEED);
+    trainer.step(&mut ctx).mean_loss
+}
+
+#[test]
+fn delays_and_reorders_leave_training_bit_identical() {
+    let workers = 6;
+    let mut clean = clean_trainer(workers);
+    // Heavy but survivable weather: almost half of all frames arrive
+    // late or behind a successor.
+    let plan = FaultPlan::none().with_delay(0.25).with_reorder(0.2);
+    let mut faulty = faulty_trainer(workers, plan, 77);
+    let (mut tc, mut tf) = (
+        TrafficAccountant::new(workers),
+        TrafficAccountant::new(workers),
+    );
+    for round in 0..8 {
+        let lc = step(&mut clean, round, &mut tc);
+        let lf = step(&mut faulty, round, &mut tf);
+        assert_eq!(lc.to_bits(), lf.to_bits(), "round {round} loss drifted");
+    }
+    for r in 0..workers {
+        assert_eq!(
+            clean.worker(r).worker().flat(),
+            faulty.worker(r).worker().flat(),
+            "worker {r} diverged under delay/reorder faults"
+        );
+    }
+    assert!(faulty.quarantined().is_empty(), "no one was at fault");
+}
+
+#[test]
+fn dropped_frames_surface_as_a_typed_stall_not_a_hang() {
+    let workers = 4;
+    let plan = FaultPlan::none().with_drop(1.0);
+    let mut clu = faulty_trainer(workers, plan, 3).with_stall_limit(50);
+    let bw = BandwidthMatrix::constant(workers, 1.0);
+    let mut traffic = TrafficAccountant::new(workers);
+    let mut ctx = RoundCtx::new(0, &bw, &mut traffic, SEED);
+    match clu.try_step(&mut ctx) {
+        Err(ClusterError::Protocol(msg)) => {
+            assert!(msg.contains("quiescent"), "unexpected stall message: {msg}")
+        }
+        other => panic!("expected a stall error, got {other:?}"),
+    }
+}
+
+#[test]
+fn byzantine_worker_is_quarantined_and_honest_workers_match_a_graceful_leave() {
+    const WORKERS: usize = 4;
+    const ROUNDS: usize = 8;
+    const EVIL_RANK: usize = 3;
+    const ATTACK_ROUND: usize = 3;
+
+    // Baseline: the offender leaves gracefully just before the attack
+    // round — the world the quarantine must reproduce exactly.
+    let mut baseline = clean_trainer(WORKERS);
+    // Attacked run: identical spec; from the attack round on, every
+    // payload the offender sends is corrupted in flight.
+    let mut attacked = {
+        let tap = WireTap::new();
+        let transport =
+            FaultyTransport::new(LoopbackTransport::new(tap.clone()), FaultPlan::none(), 7);
+        let handle = transport.plan_handle();
+        let clu = ClusterTrainer::with_transport(
+            cfg(WORKERS),
+            parts(WORKERS),
+            &BandwidthMatrix::constant(WORKERS, 1.0),
+            model,
+            transport,
+            tap,
+        )
+        .unwrap();
+        (clu, handle)
+    };
+
+    let (mut tb, mut ta) = (
+        TrafficAccountant::new(WORKERS),
+        TrafficAccountant::new(WORKERS),
+    );
+    for round in 0..ROUNDS {
+        if round == ATTACK_ROUND {
+            baseline.set_worker_active(EVIL_RANK, false).unwrap();
+            attacked.1.set(
+                FaultPlan::none()
+                    .with_corrupt(1.0)
+                    .scoped(FaultScope::PayloadsFrom(Addr::Worker(EVIL_RANK as u32))),
+            );
+        }
+        let lb = step(&mut baseline, round, &mut tb);
+        let la = step(&mut attacked.0, round, &mut ta);
+        assert_eq!(
+            lb.to_bits(),
+            la.to_bits(),
+            "round {round}: attacked run's loss drifted from the graceful-leave baseline"
+        );
+    }
+
+    // The offender was expelled, exactly once, and the fleets agree.
+    assert_eq!(attacked.0.quarantined(), vec![EVIL_RANK as u32]);
+    assert!(baseline.quarantined().is_empty());
+    assert_eq!(attacked.0.active_ranks(), baseline.active_ranks());
+
+    // Every worker is bit-identical: the honest ones because the replay
+    // matched the graceful-leave world, the offender because the aborted
+    // attempt was rolled back (its local step was undone, like the
+    // frozen model of a worker that left).
+    for r in 0..WORKERS {
+        assert_eq!(
+            baseline.worker(r).worker().flat(),
+            attacked.0.worker(r).worker().flat(),
+            "worker {r} params diverged from the graceful-leave baseline"
+        );
+    }
+    // The consensus over honest workers agrees through the wire too.
+    assert_eq!(
+        baseline.consensus_model().unwrap(),
+        attacked.0.consensus_model().unwrap()
+    );
+}
+
+#[test]
+fn quarantine_below_the_minimum_fleet_is_a_fatal_byzantine_error() {
+    // With two workers, expelling the offender would leave one — the
+    // control plane refuses, and the fault surfaces as fatal instead of
+    // retrying forever.
+    let workers = 2;
+    let plan = FaultPlan::none()
+        .with_corrupt(1.0)
+        .scoped(FaultScope::PayloadsFrom(Addr::Worker(1)));
+    let mut clu = faulty_trainer(workers, plan, 11);
+    let bw = BandwidthMatrix::constant(workers, 1.0);
+    let mut traffic = TrafficAccountant::new(workers);
+    let mut ctx = RoundCtx::new(0, &bw, &mut traffic, SEED);
+    match clu.try_step(&mut ctx) {
+        Err(ClusterError::Byzantine { rank, detail }) => {
+            assert_eq!(rank, 1);
+            assert!(detail.contains("quarantine refused"), "detail: {detail}");
+        }
+        other => panic!("expected a fatal byzantine error, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_payload_is_attributed_to_its_sender() {
+    // Decode-level corruption is caught by the frame checksum; a frame
+    // that decodes fine but violates the round's shared-mask contract
+    // (wrong payload length) must be pinned on the sender too.
+    let data = parts(2).remove(0);
+    let mut rng = rand::SeedableRng::seed_from_u64(1);
+    let worker = Worker::new(0, model(&mut rng), data, SEED);
+    let mut node = WorkerNode::new(worker, 16, 0.1, 4.0);
+    let mut out = Outbox::new();
+    node.handle(
+        Addr::Coordinator,
+        Message::NotifyTrain {
+            round: 0,
+            mask_seed: 9,
+            matching: vec![(0, 1)],
+        },
+        &mut out,
+    )
+    .unwrap();
+    let err = node
+        .handle(
+            Addr::Worker(1),
+            Message::MaskedPayload {
+                round: 0,
+                values: Vec::new(),
+            },
+            &mut out,
+        )
+        .unwrap_err();
+    match err {
+        ClusterError::Byzantine { rank, detail } => {
+            assert_eq!(rank, 1);
+            assert!(detail.contains("mask keeps"), "detail: {detail}");
+        }
+        other => panic!("expected byzantine attribution, got {other:?}"),
+    }
+}

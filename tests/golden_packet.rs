@@ -1,0 +1,344 @@
+//! Golden traces for the packet-mode scenario zoo.
+//!
+//! Three adversarial scenarios run under the packet-level
+//! [`TimeModel::packet`] and their per-round trajectories are pinned
+//! against committed CSVs in `tests/golden/`:
+//!
+//! * **partition-heal** — the fleet splits into two islands at round 3
+//!   and re-merges at round 8 (`zoo::partition_heal`);
+//! * **day-night** — diurnal bandwidth cycles over the paper's Fig. 1
+//!   14-city matrix (`zoo::day_night` over `citydata`);
+//! * **byzantine-quarantine** — a worker's payloads are corrupted in
+//!   flight from round 3 on; the cluster trainer quarantines it and
+//!   replays, and the trace records the world after recovery.
+//!
+//! Regenerate intentionally changed traces with:
+//!
+//! ```sh
+//! SAPS_GOLDEN_REGEN=1 cargo test --test golden_packet
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps::baselines::registry;
+use saps::cluster::{
+    Addr, ClusterTrainer, FaultPlan, FaultScope, FaultyTransport, LoopbackTransport, WireTap,
+};
+use saps::core::{
+    zoo as scenario_zoo, AlgorithmSpec, Experiment, RoundCtx, SapsConfig, TimeModel, Trainer,
+};
+use saps::data::{partition, Dataset, SyntheticSpec};
+use saps::netsim::{citydata, BandwidthMatrix, PacketConfig, TrafficAccountant};
+use saps::nn::zoo;
+use saps::tensor::rng::{derive_seed, streams};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const ABS_TOL: f64 = 5e-6;
+const REL_TOL: f64 = 1e-4;
+const SEED: u64 = 4;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn dataset() -> (Dataset, Dataset) {
+    SyntheticSpec::tiny()
+        .samples(1_200)
+        .generate(2)
+        .split(0.25, 0)
+}
+
+fn saps_spec() -> AlgorithmSpec {
+    AlgorithmSpec::Saps {
+        compression: 8.0,
+        tthres: 4,
+        bthres: None,
+    }
+}
+
+fn packet_model() -> TimeModel {
+    TimeModel::packet(
+        PacketConfig::ideal()
+            .with_rtt(0.02)
+            .with_loss(0.02)
+            .with_seed(5),
+    )
+}
+
+/// Renders an [`Experiment`] history in the shared golden CSV format.
+fn render_history(points: &[saps::core::HistoryPoint]) -> String {
+    let mut out = String::from("round,train_loss,worker_traffic_mb,comm_time_s\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6},{:.6}",
+            p.round + 1,
+            p.train_loss,
+            p.worker_traffic_mb,
+            p.comm_time_s
+        );
+    }
+    out
+}
+
+/// Cell 1: a partition across the fleet that heals five rounds later,
+/// priced by the packet model.
+fn render_partition_heal() -> String {
+    const WORKERS: usize = 6;
+    let (train, val) = dataset();
+    let mut rng = StdRng::seed_from_u64(9);
+    let bw = BandwidthMatrix::uniform_random(WORKERS, 5.0, &mut rng);
+    let events = scenario_zoo::partition_heal(&bw, &[0, 1], 3, 8);
+    let hist = Experiment::new(saps_spec())
+        .train(train)
+        .validation(val)
+        .workers(WORKERS)
+        .batch_size(16)
+        .lr(0.1)
+        .seed(SEED)
+        .bandwidth_matrix(bw)
+        .model(|rng| zoo::mlp(&[16, 20, 4], rng))
+        .rounds(12)
+        .eval_every(4)
+        .eval_samples(200)
+        .events(events)
+        .time_model(packet_model())
+        .run(&registry())
+        .expect("partition-heal workload must run");
+    render_history(&hist.points)
+}
+
+/// Cell 2: day/night bandwidth cycles over the paper's Fig. 1 matrix,
+/// priced by the packet model.
+fn render_day_night() -> String {
+    let bw = citydata::fig1_bandwidth();
+    let workers = bw.len();
+    let (train, val) = dataset();
+    let events = scenario_zoo::day_night(2, 6, 2, 0.25);
+    let hist = Experiment::new(saps_spec())
+        .train(train)
+        .validation(val)
+        .workers(workers)
+        .batch_size(16)
+        .lr(0.1)
+        .seed(SEED)
+        .bandwidth_matrix(bw)
+        .model(|rng| zoo::mlp(&[16, 20, 4], rng))
+        .rounds(12)
+        .eval_every(4)
+        .eval_samples(200)
+        .events(events)
+        .time_model(packet_model())
+        .run(&registry())
+        .expect("day-night workload must run");
+    render_history(&hist.points)
+}
+
+/// Cell 3: a byzantine worker (corrupt payloads from round 3 on) is
+/// quarantined mid-round; the trace records the recovered run. Driven
+/// by hand so the fault plan can flip mid-experiment; the columns keep
+/// the shared format, with `worker_traffic_mb` the busiest worker's
+/// cumulative sent bytes and `comm_time_s` the round's packet-priced
+/// transfer time.
+fn render_byzantine_quarantine() -> String {
+    const WORKERS: usize = 4;
+    const ROUNDS: usize = 10;
+    const ATTACK_ROUND: usize = 3;
+    const EVIL_RANK: u32 = 3;
+
+    let (train, _) = dataset();
+    let parts = partition::iid(&train, WORKERS, derive_seed(SEED, 0, streams::DATA));
+    let cfg = SapsConfig {
+        workers: WORKERS,
+        compression: 8.0,
+        lr: 0.1,
+        batch_size: 16,
+        bthres: None,
+        tthres: 4,
+        seed: SEED,
+    };
+    let mut rng = StdRng::seed_from_u64(9);
+    let bw = BandwidthMatrix::uniform_random(WORKERS, 5.0, &mut rng);
+    let tap = WireTap::new();
+    let transport = FaultyTransport::new(LoopbackTransport::new(tap.clone()), FaultPlan::none(), 7);
+    let handle = transport.plan_handle();
+    let mut clu = ClusterTrainer::with_transport(
+        cfg,
+        parts,
+        &bw,
+        |rng| zoo::mlp(&[16, 20, 4], rng),
+        transport,
+        tap,
+    )
+    .expect("byzantine workload must build");
+
+    let mut traffic = TrafficAccountant::new(WORKERS);
+    let mut out = String::from("round,train_loss,worker_traffic_mb,comm_time_s\n");
+    for round in 0..ROUNDS {
+        if round == ATTACK_ROUND {
+            handle.set(
+                FaultPlan::none()
+                    .with_corrupt(1.0)
+                    .scoped(FaultScope::PayloadsFrom(Addr::Worker(EVIL_RANK))),
+            );
+        }
+        let report = {
+            let mut ctx =
+                RoundCtx::new(round, &bw, &mut traffic, SEED).with_time_model(packet_model());
+            Trainer::step(&mut clu, &mut ctx)
+        };
+        let busiest_mb = (0..WORKERS)
+            .map(|r| traffic.worker_sent(r))
+            .max()
+            .unwrap_or(0) as f64
+            / 1e6;
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6},{:.6}",
+            round + 1,
+            report.mean_loss,
+            busiest_mb,
+            report.comm_time_s
+        );
+    }
+    assert_eq!(
+        clu.quarantined(),
+        vec![EVIL_RANK],
+        "the byzantine golden run must actually quarantine its attacker"
+    );
+    out
+}
+
+fn parse(text: &str, path: &str) -> Vec<(u32, f64, f64, f64)> {
+    text.lines()
+        .skip(1)
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| {
+            let mut it = line.split(',');
+            let mut next = || -> f64 {
+                it.next()
+                    .unwrap_or_else(|| panic!("{path}: short row {line:?}"))
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|e| panic!("{path}: bad number in {line:?}: {e}"))
+            };
+            (next() as u32, next(), next(), next())
+        })
+        .collect()
+}
+
+fn drifted(golden: f64, got: f64) -> bool {
+    (golden - got).abs() > ABS_TOL + REL_TOL * golden.abs()
+}
+
+#[test]
+fn packet_scenario_traces_are_stable() {
+    let dir = golden_dir();
+    let regen = std::env::var("SAPS_GOLDEN_REGEN").is_ok_and(|v| v == "1");
+    if regen {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+    type Cell = (&'static str, fn() -> String);
+    let cells: Vec<Cell> = vec![
+        ("packet_partition_heal.csv", render_partition_heal),
+        ("packet_day_night.csv", render_day_night),
+        (
+            "packet_byzantine_quarantine.csv",
+            render_byzantine_quarantine,
+        ),
+    ];
+    let mut diffs: Vec<String> = Vec::new();
+    for (name, render) in cells {
+        let path = dir.join(name);
+        let fresh = render();
+        if regen {
+            std::fs::write(&path, &fresh).unwrap_or_else(|e| panic!("write {name}: {e}"));
+            eprintln!("regenerated {name}");
+            continue;
+        }
+        let golden_text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden trace {name} ({e}); regenerate with \
+                 `SAPS_GOLDEN_REGEN=1 cargo test --test golden_packet`"
+            )
+        });
+        let golden = parse(&golden_text, name);
+        let got = parse(&fresh, name);
+        if golden.len() != got.len() {
+            diffs.push(format!(
+                "{name}: {} golden rounds vs {} fresh rounds",
+                golden.len(),
+                got.len()
+            ));
+            continue;
+        }
+        for (g, f) in golden.iter().zip(&got) {
+            let fields = [
+                ("train_loss", g.1, f.1),
+                ("worker_traffic_mb", g.2, f.2),
+                ("comm_time_s", g.3, f.3),
+            ];
+            for (field, gv, fv) in fields {
+                if drifted(gv, fv) {
+                    diffs.push(format!(
+                        "{name} round {}: {field} golden={gv:.6} got={fv:.6} (Δ={:+.2e})",
+                        g.0,
+                        fv - gv
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "packet scenario traces drifted in {} place(s) — if intentional, regenerate with \
+         `SAPS_GOLDEN_REGEN=1 cargo test --test golden_packet` and commit the diff:\n  {}",
+        diffs.len(),
+        diffs.join("\n  ")
+    );
+}
+
+/// The partition must actually bite: while split, no cross-island link
+/// carries traffic, and after healing cross-island pairs reappear.
+#[test]
+fn partition_rounds_never_price_cross_island_links() {
+    const WORKERS: usize = 6;
+    let (train, val) = dataset();
+    let mut rng = StdRng::seed_from_u64(9);
+    let bw = BandwidthMatrix::uniform_random(WORKERS, 5.0, &mut rng);
+    let run = |events: Vec<saps::core::ScheduledEvent>| {
+        Experiment::new(saps_spec())
+            .train(train.clone())
+            .validation(val.clone())
+            .workers(WORKERS)
+            .batch_size(16)
+            .lr(0.1)
+            .seed(SEED)
+            .bandwidth_matrix(bw.clone())
+            .model(|rng| zoo::mlp(&[16, 20, 4], rng))
+            .rounds(12)
+            .eval_every(12)
+            .eval_samples(100)
+            .events(events)
+            .time_model(packet_model())
+            .run(&registry())
+            .expect("must run")
+    };
+    let split = run(scenario_zoo::partition_heal(&bw, &[0, 1], 3, 8));
+    let clean = run(Vec::new());
+    // The runs share rounds 0..3 and diverge while partitioned: the
+    // severed links change who gets matched with whom.
+    for (p, q) in split.points.iter().zip(&clean.points).take(3) {
+        assert_eq!(p.train_loss.to_bits(), q.train_loss.to_bits());
+    }
+    assert!(
+        split
+            .points
+            .iter()
+            .zip(&clean.points)
+            .skip(3)
+            .any(|(p, q)| p.train_loss != q.train_loss),
+        "a healed partition should have altered at least one matched round"
+    );
+}

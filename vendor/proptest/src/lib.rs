@@ -14,10 +14,29 @@
 //!    proptest's size-ramped, edge-biased search.
 //!
 //! Cases are fully deterministic: case `k` of test `name` always sees the
-//! same inputs, derived by hashing `(name, k)`. Set `PROPTEST_CASES` to
-//! override the default case count for tests without an explicit config.
+//! same inputs, derived by hashing `(name, k)` into a 64-bit seed. Set
+//! `PROPTEST_CASES` to override the default case count for tests without
+//! an explicit config.
 //!
-//! Swapping the real `proptest = "1"` back in requires no source changes.
+//! **Replaying a failure.** When a case fails, the harness prints a
+//! breadcrumb of the form
+//!
+//! ```text
+//! proptest: case 17 of my_property failed; replay with SAPS_PROPTEST_SEED=0x1234abcd5678ef00
+//! ```
+//!
+//! Re-running the same test with that variable set (decimal or `0x`-hex)
+//! runs exactly the one failing case:
+//!
+//! ```sh
+//! SAPS_PROPTEST_SEED=0x1234abcd5678ef00 cargo test --test proptest_des my_property
+//! ```
+//!
+//! The seed fully determines the generated inputs, so the replayed case is
+//! bit-identical to the failure.
+//!
+//! Swapping the real `proptest = "1"` back in requires no source changes
+//! beyond losing the replay variable.
 
 use std::marker::PhantomData;
 use std::ops::Range;
@@ -254,17 +273,52 @@ impl std::fmt::Display for TestCaseError {
     }
 }
 
-/// Builds the deterministic RNG for one test case. Public for the
-/// [`proptest!`] macro expansion, not for direct use.
+/// The 64-bit seed that fully determines one test case's inputs.
+/// Printed on failure so `SAPS_PROPTEST_SEED` can replay it. Public for
+/// the [`proptest!`] macro expansion, not for direct use.
 #[doc(hidden)]
-pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
     // FNV-1a over the test name, mixed with the case index.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in test_name.bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100_0000_01b3);
     }
-    StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case))
+    h ^ (u64::from(case) << 32) ^ u64::from(case)
+}
+
+/// Builds the RNG generating the inputs for `seed` (one test case).
+/// Public for the [`proptest!`] macro expansion, not for direct use.
+#[doc(hidden)]
+pub fn seed_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Builds the deterministic RNG for one test case. Public for the
+/// [`proptest!`] macro expansion, not for direct use.
+#[doc(hidden)]
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    seed_rng(case_seed(test_name, case))
+}
+
+/// Parses a `SAPS_PROPTEST_SEED` value: decimal or `0x`/`0X`-prefixed
+/// hexadecimal.
+pub fn parse_replay_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// Reads the replay seed from the environment, if set and well-formed.
+/// Public for the [`proptest!`] macro expansion, not for direct use.
+#[doc(hidden)]
+pub fn replay_seed() -> Option<u64> {
+    std::env::var("SAPS_PROPTEST_SEED")
+        .ok()
+        .and_then(|v| parse_replay_seed(&v))
 }
 
 /// Declares property tests. Mirrors real proptest's surface syntax:
@@ -294,19 +348,46 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
-            for __case in 0..__config.cases {
-                let mut __rng = $crate::case_rng(stringify!($name), __case);
-                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
-                // Bodies may `return Ok(())` early, as in real proptest,
-                // so each case runs inside a Result-returning closure.
-                #[allow(clippy::redundant_closure_call)]
-                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                    (move || {
-                        $body
-                        Ok(())
-                    })();
-                if let Err(e) = __outcome {
-                    panic!("proptest case {} of {} failed: {}", __case, stringify!($name), e);
+            // With SAPS_PROPTEST_SEED set, replay exactly the one case
+            // that seed describes; otherwise enumerate the configured
+            // cases, printing the failing case's seed as a replay
+            // breadcrumb.
+            let __seeds: ::std::vec::Vec<u64> = match $crate::replay_seed() {
+                Some(s) => vec![s],
+                None => (0..__config.cases)
+                    .map(|c| $crate::case_seed(stringify!($name), c))
+                    .collect(),
+            };
+            for (__case, __seed) in __seeds.into_iter().enumerate() {
+                let __run = || {
+                    let mut __rng = $crate::seed_rng(__seed);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    // Bodies may `return Ok(())` early, as in real
+                    // proptest, so each case runs inside a
+                    // Result-returning closure.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(e) = __outcome {
+                        panic!(
+                            "proptest case {} of {} failed: {}",
+                            __case, stringify!($name), e
+                        );
+                    }
+                };
+                if let Err(__panic) =
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run))
+                {
+                    eprintln!(
+                        "proptest: case {} of {} failed; replay with SAPS_PROPTEST_SEED={:#x}",
+                        __case,
+                        stringify!($name),
+                        __seed
+                    );
+                    ::std::panic::resume_unwind(__panic);
                 }
             }
         }
@@ -369,6 +450,34 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    #[test]
+    fn replay_seed_parses_decimal_and_hex() {
+        assert_eq!(parse_replay_seed("12345"), Some(12345));
+        assert_eq!(parse_replay_seed(" 12345 \n"), Some(12345));
+        assert_eq!(parse_replay_seed("0xff"), Some(255));
+        assert_eq!(parse_replay_seed("0XFF"), Some(255));
+        assert_eq!(
+            parse_replay_seed("0xdeadbeefdeadbeef"),
+            Some(0xdead_beef_dead_beef)
+        );
+        assert_eq!(parse_replay_seed(""), None);
+        assert_eq!(parse_replay_seed("0x"), None);
+        assert_eq!(parse_replay_seed("not a seed"), None);
+        assert_eq!(parse_replay_seed("-3"), None);
+    }
+
+    #[test]
+    fn seed_replay_reproduces_the_exact_case() {
+        // The breadcrumb prints `case_seed`; feeding it back through
+        // `seed_rng` must regenerate the same inputs the failing case
+        // saw.
+        let seed = case_seed("some_property", 17);
+        let strat = (0u64..u64::MAX, 0.0f64..1.0);
+        let original = strat.generate(&mut case_rng("some_property", 17));
+        let replayed = strat.generate(&mut seed_rng(seed));
+        assert_eq!(original, replayed);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(8))]
         #[test]
@@ -383,5 +492,22 @@ mod tests {
         fn macro_default_config(x in 0u32..10, y in 0u32..10) {
             prop_assert!(x + y < 20);
         }
+    }
+
+    // No #[test] attribute: invoked (and expected to panic) from the
+    // breadcrumb test below rather than by the harness.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        fn always_fails(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+
+    #[test]
+    fn failing_case_still_panics_through_the_breadcrumb_wrapper() {
+        // The replay breadcrumb is printed via catch_unwind +
+        // resume_unwind; the failure itself must still propagate.
+        let outcome = std::panic::catch_unwind(always_fails);
+        assert!(outcome.is_err(), "failing property must panic");
     }
 }
