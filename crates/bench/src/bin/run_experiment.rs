@@ -206,8 +206,16 @@ fn main() {
     });
 
     let wire = tap.snapshot();
-    let entry = ThroughputEntry::from_run(&hist, workload.name, workers, args.threads)
-        .with_driver(&args.driver, wire.total_bytes as f64 / 1e6);
+    // Cluster runs report the bytes actually framed on the wire; memory
+    // runs carry the accountant's logical byte total forward — the tap
+    // sees nothing when no wire exists, and 0 would misread as "free".
+    let entry = ThroughputEntry::from_run(&hist, workload.name, workers, args.threads);
+    let wire_mb = if args.driver == "cluster" {
+        wire.total_bytes as f64 / 1e6
+    } else {
+        entry.wire_mb
+    };
+    let entry = entry.with_driver(&args.driver, wire_mb);
     eprintln!(
         "# final acc {:.2}% | worker traffic {:.4} MB | server {:.4} MB | comm time {:.2} s | {:.2} rounds/s wall",
         hist.final_acc * 100.0,

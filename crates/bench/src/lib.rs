@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod commtime;
+pub mod serving;
 pub mod table;
 pub mod throughput;
 pub mod workload;

@@ -37,8 +37,12 @@ pub struct ThroughputEntry {
     pub wall_s: f64,
     /// `rounds / wall_s` — the headline number.
     pub rounds_per_sec: f64,
-    /// Bytes actually framed on the wire (MB, all traffic classes);
-    /// 0 for in-memory runs, which frame nothing.
+    /// Traffic the run moved, in MB. For cluster runs this is the bytes
+    /// actually framed on the wire (all traffic classes); for in-memory
+    /// runs it is the accountant's logical byte total
+    /// ([`RunHistory::total_traffic_mb`]) — the same values-plus-control
+    /// accounting the wire reconciles against, so memory rows are no
+    /// longer recorded as a meaningless `0.000000`.
     pub wire_mb: f64,
 }
 
@@ -62,7 +66,7 @@ impl ThroughputEntry {
             rounds,
             wall_s: hist.wall_time_s,
             rounds_per_sec: rounds as f64 / wall,
-            wire_mb: 0.0,
+            wire_mb: hist.total_traffic_mb,
         }
     }
 

@@ -89,6 +89,11 @@ impl CoordinatorNode {
         self.control.fleet_size()
     }
 
+    /// Training rounds started so far (checkpoint exports stamp this).
+    pub fn rounds_done(&self) -> u64 {
+        self.control.rounds_done()
+    }
+
     /// Begins a round: generates the plan over the active subset and
     /// emits one [`Message::NotifyTrain`] per active worker.
     pub fn start_round(&mut self, out: &mut Outbox) -> Result<RoundMeta, ClusterError> {
@@ -431,10 +436,10 @@ impl WorkerNode {
             Message::MaskedPayload { round, values } => {
                 let from_rank = match from {
                     Addr::Worker(r) => r,
-                    Addr::Coordinator => {
-                        return Err(ClusterError::Protocol(
-                            "masked payload from the coordinator".into(),
-                        ))
+                    other => {
+                        return Err(ClusterError::Protocol(format!(
+                            "masked payload from non-worker address ({other})"
+                        )))
                     }
                 };
                 match &self.round {

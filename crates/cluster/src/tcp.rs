@@ -26,19 +26,23 @@ fn io_err(what: &str, e: std::io::Error) -> ClusterError {
     ClusterError::Transport(format!("{what}: {e}"))
 }
 
-/// Encodes a node address as the 4-byte connection hello.
+/// Encodes a node address as the 4-byte connection hello: the low two
+/// bits select the address kind, the rest carry the rank/id.
 fn addr_id(a: Addr) -> u32 {
     match a {
         Addr::Coordinator => 0,
-        Addr::Worker(r) => r + 1,
+        Addr::Worker(r) => (r << 2) | 1,
+        Addr::Replica(r) => (r << 2) | 2,
+        Addr::Client(c) => (c << 2) | 3,
     }
 }
 
 fn id_addr(id: u32) -> Addr {
-    if id == 0 {
-        Addr::Coordinator
-    } else {
-        Addr::Worker(id - 1)
+    match id & 3 {
+        1 => Addr::Worker(id >> 2),
+        2 => Addr::Replica(id >> 2),
+        3 => Addr::Client(id >> 2),
+        _ => Addr::Coordinator,
     }
 }
 
@@ -115,11 +119,18 @@ impl TcpTransport {
     /// Binds one listener per node (the coordinator plus `workers`
     /// workers) on ephemeral localhost ports.
     pub fn for_cluster(workers: usize, tap: WireTap) -> Result<Self, ClusterError> {
-        let mut endpoints = BTreeMap::new();
-        let mut ports = BTreeMap::new();
         let mut addrs = vec![Addr::Coordinator];
         addrs.extend((0..workers as u32).map(Addr::Worker));
-        for addr in addrs {
+        Self::for_nodes(&addrs, tap)
+    }
+
+    /// Binds one listener per address in `nodes` — any mix of training
+    /// and serving addresses (the `saps-serve` plane uses this to put
+    /// replicas and clients on the same socket fabric).
+    pub fn for_nodes(nodes: &[Addr], tap: WireTap) -> Result<Self, ClusterError> {
+        let mut endpoints = BTreeMap::new();
+        let mut ports = BTreeMap::new();
+        for &addr in nodes {
             let listener =
                 TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("bind listener", e))?;
             listener
@@ -412,6 +423,30 @@ mod tests {
             t.endpoints[&Addr::Worker(0)].inbound.is_empty(),
             "the closed connection must be pruned once drained"
         );
+    }
+
+    #[test]
+    fn serving_addresses_ride_the_same_fabric() {
+        // The serving plane binds replicas and clients with for_nodes;
+        // the tagged hello must round-trip the new address kinds.
+        let tap = WireTap::new();
+        let mut t =
+            TcpTransport::for_nodes(&[Addr::Replica(0), Addr::Client(3)], tap.clone()).unwrap();
+        let msg = Message::InferRequest {
+            id: 9,
+            features: vec![1.0, 2.0],
+        };
+        t.send(Addr::Client(3), Addr::Replica(0), frame::encode(&msg))
+            .unwrap();
+        let (from, bytes) = loop {
+            if let Some(got) = t.recv(Addr::Replica(0)).unwrap() {
+                break got;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        assert_eq!(from, Addr::Client(3));
+        assert_eq!(frame::decode(&bytes).unwrap(), msg);
+        assert_eq!(tap.snapshot().serve_bytes, frame::encoded_len(&msg) as u64);
     }
 
     #[test]

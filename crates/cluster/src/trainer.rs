@@ -567,6 +567,13 @@ impl<T: Transport> Trainer for ClusterTrainer<T> {
             .map_err(into_config)
     }
 
+    fn export_checkpoint(&mut self) -> Result<Vec<u8>, ConfigError> {
+        // The consensus crosses the wire as real FetchModel/FinalModel
+        // frames, then is re-encoded with the coordinator's round stamp.
+        let params = self.consensus_model().map_err(into_config)?;
+        Ok(checkpoint::encode(&params, self.coordinator.rounds_done()).to_vec())
+    }
+
     fn refresh_bandwidth(&mut self, bw: &BandwidthMatrix) {
         assert_eq!(bw.len(), self.workers.len());
         let msg = Message::BandwidthReport {
@@ -593,7 +600,9 @@ fn decode_from(from: Addr, bytes: &[u8]) -> Result<Message, ClusterError> {
             rank,
             detail: format!("undecodable frame: {e}"),
         },
-        Addr::Coordinator => ClusterError::Proto(e),
+        // The coordinator is trusted driver state, and serving-plane
+        // addresses never reach the training pump.
+        Addr::Coordinator | Addr::Replica(_) | Addr::Client(_) => ClusterError::Proto(e),
     })
 }
 

@@ -6,13 +6,19 @@ use saps_proto::{frame, Message, TrafficClass};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-/// A node address: the coordinator or one worker by global rank.
+/// A node address: a training-plane node (coordinator or worker) or a
+/// serving-plane node (`saps-serve` replica or client).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Addr {
     /// The (single) coordinator.
     Coordinator,
     /// Worker `rank`.
     Worker(u32),
+    /// Serving replica `id` (the `saps-serve` inference plane).
+    Replica(u32),
+    /// Serving client `id` — a request source, never a frame target of
+    /// the training plane.
+    Client(u32),
 }
 
 impl std::fmt::Display for Addr {
@@ -20,6 +26,8 @@ impl std::fmt::Display for Addr {
         match self {
             Addr::Coordinator => write!(f, "coordinator"),
             Addr::Worker(r) => write!(f, "worker {r}"),
+            Addr::Replica(r) => write!(f, "replica {r}"),
+            Addr::Client(c) => write!(f, "client {c}"),
         }
     }
 }
@@ -48,9 +56,12 @@ pub trait Transport {
 /// [`Message::MaskedPayload`] frames — the `4·nnz` Table I worker-row
 /// cost; the payload frames' envelopes (header, round field, value
 /// count, checksum) are counted in `control_bytes` together with whole
-/// control frames. `model_bytes` counts the `FetchModel`/`FinalModel`
-/// instrumentation plane. Invariant:
-/// `total_bytes = data_bytes + control_bytes + model_bytes`.
+/// control frames. `model_bytes` counts the
+/// `FetchModel`/`FinalModel`/`ModelAnnounce` distribution plane, and
+/// `serve_bytes` the `InferRequest`/`InferResponse` inference traffic —
+/// kept out of `control_bytes` so the trainer's per-round control
+/// billing is unchanged by co-located serving load. Invariant:
+/// `total_bytes = data_bytes + control_bytes + model_bytes + serve_bytes`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WireStats {
     /// Frames sent.
@@ -61,8 +72,10 @@ pub struct WireStats {
     pub data_bytes: u64,
     /// Control frames plus all framing overhead (server row).
     pub control_bytes: u64,
-    /// Model-collection frames (`FetchModel`/`FinalModel`).
+    /// Model-distribution frames (`FetchModel`/`FinalModel`/`ModelAnnounce`).
     pub model_bytes: u64,
+    /// Inference frames (`InferRequest`/`InferResponse`).
+    pub serve_bytes: u64,
 }
 
 /// One observed data-plane transfer: `(src, dst, frame_bytes,
@@ -128,6 +141,7 @@ impl WireTap {
                 }
             }
             Some(TrafficClass::ModelPlane) => inner.stats.model_bytes += frame_bytes.len() as u64,
+            Some(TrafficClass::ServePlane) => inner.stats.serve_bytes += frame_bytes.len() as u64,
             Some(TrafficClass::ControlPlane) | None => {
                 inner.stats.control_bytes += frame_bytes.len() as u64
             }
@@ -208,6 +222,10 @@ mod tests {
             acc: 0.0,
         };
         let model = Message::FetchModel { rank: 0 };
+        let infer = Message::InferRequest {
+            id: 1,
+            features: vec![0.5; 3],
+        };
         for (to, msg) in [
             (Addr::Worker(1), &payload),
             (Addr::Coordinator, &control),
@@ -215,13 +233,16 @@ mod tests {
         ] {
             t.send(Addr::Worker(0), to, frame::encode(msg)).unwrap();
         }
+        t.send(Addr::Client(0), Addr::Replica(1), frame::encode(&infer))
+            .unwrap();
         let s = tap.snapshot();
-        assert_eq!(s.frames, 3);
+        assert_eq!(s.frames, 4);
         assert_eq!(s.data_bytes, 20, "values-only section is 4·nnz");
         assert_eq!(s.model_bytes, frame::encoded_len(&model) as u64);
+        assert_eq!(s.serve_bytes, frame::encoded_len(&infer) as u64);
         assert_eq!(
             s.total_bytes,
-            s.data_bytes + s.control_bytes + s.model_bytes
+            s.data_bytes + s.control_bytes + s.model_bytes + s.serve_bytes
         );
         let transfers = tap.take_transfers();
         assert_eq!(

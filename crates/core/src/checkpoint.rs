@@ -101,6 +101,25 @@ pub fn decode(mut buf: Bytes) -> Result<(Vec<f32>, u64), CheckpointError> {
     Ok((params, round))
 }
 
+/// Reads the round stamp from a checkpoint header without decoding (or
+/// validating) the payload. Returns `None` when the buffer is too short
+/// to hold a header or the magic/version don't match.
+///
+/// The serving plane uses this to tag `ModelAnnounce` frames with the
+/// round the checkpoint was taken at; replicas still run the full
+/// checksummed [`decode`] before swapping the model in.
+pub fn peek_round(buf: &[u8]) -> Option<u64> {
+    if buf.len() < 4 + 2 + 8 + 8 + 8 || &buf[..4] != MAGIC {
+        return None;
+    }
+    if u16::from_le_bytes([buf[4], buf[5]]) != VERSION {
+        return None;
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&buf[6..14]);
+    Some(u64::from_le_bytes(raw))
+}
+
 /// FNV-1a 64-bit hash — dependency-free integrity check, adequate for
 /// detecting truncation/corruption (not an adversarial MAC).
 fn fnv1a(data: &[u8]) -> u64 {
@@ -181,6 +200,17 @@ mod tests {
             decode(Bytes::from(raw)),
             Err(CheckpointError::UnsupportedVersion(99))
         );
+    }
+
+    #[test]
+    fn peek_round_reads_header_only() {
+        let enc = encode(&[1.0, 2.0], 17);
+        assert_eq!(peek_round(&enc), Some(17));
+        // Too short / wrong magic → None, no panic.
+        assert_eq!(peek_round(&enc[..8]), None);
+        let mut raw = enc.to_vec();
+        raw[0] = b'X';
+        assert_eq!(peek_round(&raw), None);
     }
 
     #[test]

@@ -67,6 +67,11 @@ impl Coordinator {
         self.generator.len()
     }
 
+    /// Rounds started so far (the next plan's `round` field).
+    pub fn rounds_done(&self) -> u64 {
+        self.round
+    }
+
     /// Runs one round: generates `W_t` (Algorithm 3) and the mask seed,
     /// and advances the round counter. In the real deployment this is the
     /// broadcast to all workers; in the simulator the returned plan is
@@ -195,6 +200,11 @@ impl SapsControl {
     /// (translate with [`SapsControl::global_pairs`]).
     pub fn begin_round(&mut self) -> RoundPlan {
         self.coordinator.begin_round()
+    }
+
+    /// Rounds started so far (checkpoint exports stamp this counter).
+    pub fn rounds_done(&self) -> u64 {
+        self.coordinator.rounds_done()
     }
 
     /// Translates a plan's active-subset matching into global-rank

@@ -34,7 +34,7 @@
 use crate::scenario::BandwidthState;
 use crate::{
     AlgorithmRegistry, AlgorithmSpec, BandwidthModel, BuildCtx, ConfigError, ModelFactory,
-    RoundCtx, ScenarioEvent, ScheduledEvent,
+    RoundCtx, ScenarioEvent, ScheduledEvent, Trainer,
 };
 use rand::rngs::StdRng;
 use saps_data::{partition, Dataset};
@@ -108,6 +108,11 @@ pub struct RunHistory {
     pub total_worker_traffic_mb: f64,
     /// Total server traffic (MB); 0 for serverless algorithms.
     pub total_server_traffic_mb: f64,
+    /// Total logical traffic of the whole run (MB): bytes sent by every
+    /// worker plus the server row. This is the in-memory analog of the
+    /// cluster driver's framed wire total, so memory and cluster
+    /// throughput rows stay comparable.
+    pub total_traffic_mb: f64,
     /// Total communication time (seconds).
     pub total_comm_time_s: f64,
     /// Total compute-phase time (seconds); 0 unless compute is modeled.
@@ -279,10 +284,16 @@ pub struct Experiment {
     events: Vec<ScheduledEvent>,
     factory: Option<ModelFactory>,
     observers: Vec<Box<dyn RoundObserver>>,
+    after_round: Option<AfterRoundHook>,
     parallelism: ParallelismPolicy,
     time_model: TimeModel,
     compute_time: f64,
 }
+
+/// A per-round hook with mutable trainer access — unlike a
+/// [`RoundObserver`] it may *act* on the trainer (export a checkpoint,
+/// announce it to a serving plane) between rounds.
+type AfterRoundHook = Box<dyn FnMut(&mut dyn Trainer, &HistoryPoint)>;
 
 impl std::fmt::Debug for Experiment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -317,6 +328,7 @@ impl Experiment {
             events: Vec::new(),
             factory: None,
             observers: Vec::new(),
+            after_round: None,
             parallelism: ParallelismPolicy::Auto,
             time_model: TimeModel::Analytic,
             compute_time: 0.0,
@@ -441,6 +453,18 @@ impl Experiment {
     /// Attaches a per-round callback.
     pub fn on_round(self, f: impl FnMut(&HistoryPoint) + 'static) -> Self {
         self.observer(Box::new(f))
+    }
+
+    /// Installs a hook called after every round *with mutable trainer
+    /// access*, once the round's observers have seen the point. This is
+    /// the train-and-serve seam: a `saps-serve` plane exports the
+    /// trainer's consensus checkpoint here
+    /// ([`Trainer::export_checkpoint`]) and announces it to its replicas
+    /// while requests keep flowing. Only one hook can be installed; a
+    /// second call replaces the first.
+    pub fn after_round(mut self, f: impl FnMut(&mut dyn Trainer, &HistoryPoint) + 'static) -> Self {
+        self.after_round = Some(Box::new(f));
+        self
     }
 
     /// How many threads the per-worker compute phase of each round may
@@ -609,6 +633,9 @@ impl Experiment {
                         final_acc: last_acc,
                         total_worker_traffic_mb: to_mb(traffic.max_worker_total()),
                         total_server_traffic_mb: to_mb(traffic.server_total()),
+                        total_traffic_mb: to_mb(
+                            traffic.grand_total_sent() + traffic.server_total(),
+                        ),
                         total_comm_time_s: time_s,
                         total_compute_time_s: compute_s,
                         total_idle_time_s: idle_s,
@@ -685,6 +712,9 @@ impl Experiment {
             for obs in &mut self.observers {
                 obs.on_point(&point);
             }
+            if let Some(hook) = self.after_round.as_mut() {
+                hook(&mut *trainer, &point);
+            }
             points.push(point);
             if evaluated && self.target_acc.is_some_and(|t| last_acc >= t) {
                 break;
@@ -699,6 +729,7 @@ impl Experiment {
             final_acc: last_acc,
             total_worker_traffic_mb: to_mb(traffic.max_worker_total()),
             total_server_traffic_mb: to_mb(traffic.server_total()),
+            total_traffic_mb: to_mb(traffic.grand_total_sent() + traffic.server_total()),
             total_comm_time_s: time_s,
             total_compute_time_s: compute_s,
             total_idle_time_s: idle_s,
@@ -790,6 +821,7 @@ mod tests {
             final_acc: 0.9,
             total_worker_traffic_mb: 0.0,
             total_server_traffic_mb: 0.0,
+            total_traffic_mb: 0.0,
             total_comm_time_s: 0.0,
             total_compute_time_s: 0.0,
             total_idle_time_s: 0.0,

@@ -401,6 +401,11 @@ impl Trainer for SapsPsgd {
     fn refresh_bandwidth(&mut self, bw: &BandwidthMatrix) {
         SapsPsgd::refresh_bandwidth(self, bw);
     }
+
+    fn export_checkpoint(&mut self) -> Result<Vec<u8>, ConfigError> {
+        let avg = self.average_model();
+        Ok(crate::checkpoint::encode(&avg, self.control.rounds_done()).to_vec())
+    }
 }
 
 #[cfg(test)]

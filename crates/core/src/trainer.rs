@@ -239,4 +239,13 @@ pub trait Trainer {
     fn refresh_bandwidth(&mut self, bw: &BandwidthMatrix) {
         let _ = bw;
     }
+
+    /// Exports the current *consensus* model as a
+    /// [`crate::checkpoint`]-encoded blob stamped with the number of
+    /// completed rounds — the hand-off the `saps-serve` inference plane
+    /// announces to its replicas between training rounds. Algorithms
+    /// without a consensus snapshot return [`ConfigError::Unsupported`].
+    fn export_checkpoint(&mut self) -> Result<Vec<u8>, ConfigError> {
+        Err(ConfigError::unsupported(self.name(), "checkpoint export"))
+    }
 }

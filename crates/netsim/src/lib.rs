@@ -25,6 +25,9 @@
 //!   random loss and RTT, selected with [`TimeModel::Packet`]. An
 //!   ideal [`PacketConfig`] degenerates to the fluid simulator
 //!   exactly.
+//! * [`workload`] — deterministic request-arrival processes (constant,
+//!   Poisson, diurnal) driving the `saps-serve` inference plane's load
+//!   in mixed training + serving scenarios.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ pub mod flows;
 pub mod packet;
 pub mod timemodel;
 mod traffic;
+pub mod workload;
 
 pub use bandwidth::BandwidthMatrix;
 pub use des::{RoundTiming, TimeModel};

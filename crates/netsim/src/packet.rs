@@ -503,8 +503,16 @@ pub fn simulate_packets(
             if windowed && next_tick[i] <= t && stale_rate[i] > 0.0 {
                 if stale_congested[i] {
                     // Queue overflow: one segment retransmitted, window
-                    // halved.
-                    remaining[i] += cfg.mss;
+                    // halved. The retransmission is capped at half the
+                    // bytes the flow actually sent this RTT — a flow
+                    // draining less than a segment per RTT cannot lose
+                    // a full segment per RTT, and an uncapped charge
+                    // would grow its debt faster than it drains on a
+                    // heavily multiplexed slow link (a livelock: the
+                    // flow never finishes and the event loop never
+                    // runs out of ticks).
+                    let sent = stale_rate[i] * cfg.rtt_s;
+                    remaining[i] += cfg.mss.min(0.5 * sent);
                     cwnd[i] = (cwnd[i] / 2.0).max(cfg.mss);
                 } else {
                     cwnd[i] += cfg.mss;
@@ -584,6 +592,35 @@ mod tests {
         assert!(
             p.makespan_s > f.makespan_s + 0.025,
             "AIMD ramp priced {} vs fluid {}",
+            p.makespan_s,
+            f.makespan_s
+        );
+    }
+
+    #[test]
+    fn multiplexed_tiny_flows_on_a_slow_link_terminate() {
+        // Dozens of sub-MSS flows (a serving plane's requests and
+        // responses) share one slow link: every pair starts congested
+        // (40 initial windows ≫ BDP + queue) and the fair share per
+        // RTT is far below one segment. An uncapped per-tick
+        // retransmission would grow each flow's debt faster than it
+        // drains — the run would never terminate.
+        let bw = BandwidthMatrix::constant(2, 0.05); // 50 kB/s
+        let mut flows = Vec::new();
+        for _ in 0..20 {
+            flows.push(FlowSpec::new(0, 1, 95.0));
+            flows.push(FlowSpec::new(1, 0, 63.0));
+        }
+        let cfg = PacketConfig::ideal().with_rtt(0.005).with_seed(7);
+        let p = simulate_packets(&bw, &cfg, &flows, &[]);
+        assert!(
+            p.makespan_s.is_finite(),
+            "sub-MSS flows must drain, not livelock"
+        );
+        let f = fluid(&bw, &flows);
+        assert!(
+            p.makespan_s >= f.makespan_s,
+            "window dynamics never beat the fluid bound ({} vs {})",
             p.makespan_s,
             f.makespan_s
         );

@@ -1,0 +1,207 @@
+//! Request-arrival processes for the serving plane.
+//!
+//! Training rounds are driven by the experiment clock; *serving* load is
+//! driven by users. This module models that load as a deterministic
+//! arrival process: per tick, how many inference requests reach the
+//! fleet. `saps-serve` drains each tick's arrivals through its replicas,
+//! and the mixed-load benchmark prices the resulting transfers on the
+//! same bandwidth matrix as the training round (see `docs/SERVING.md`).
+//!
+//! All processes are seeded and deterministic: the same seed yields the
+//! same arrival sequence, so serving benchmarks are as reproducible as
+//! training runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The shape of a request-arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Exactly `rate` requests per tick on average, spread evenly:
+    /// fractional remainders accumulate and emit on the tick that rolls
+    /// them over 1 (e.g. rate 2.5 → 2, 3, 2, 3, …).
+    Constant {
+        /// Mean requests per tick.
+        rate: f64,
+    },
+    /// Poisson-distributed arrivals with mean `rate` per tick — bursty,
+    /// like independent users.
+    Poisson {
+        /// Mean requests per tick (λ).
+        rate: f64,
+    },
+    /// A Poisson process whose rate swings sinusoidally between
+    /// `(1 - swing)·rate` and `(1 + swing)·rate` over `period` ticks —
+    /// the diurnal load curve a global user base produces.
+    Diurnal {
+        /// Mean requests per tick at the midline.
+        rate: f64,
+        /// Relative swing amplitude in `[0, 1]`.
+        swing: f64,
+        /// Ticks per full cycle.
+        period: u64,
+    },
+}
+
+/// A deterministic stream of per-tick request counts.
+///
+/// # Example
+///
+/// ```
+/// use saps_netsim::workload::{ArrivalProcess, RequestArrivals};
+///
+/// let mut a = RequestArrivals::new(ArrivalProcess::Poisson { rate: 8.0 }, 42);
+/// let burst: usize = (0..100).map(|_| a.next_tick()).sum();
+/// // Mean 8/tick: over 100 ticks the total concentrates near 800.
+/// assert!(burst > 600 && burst < 1000);
+/// let mut b = RequestArrivals::new(ArrivalProcess::Poisson { rate: 8.0 }, 42);
+/// let again: usize = (0..100).map(|_| b.next_tick()).sum();
+/// assert_eq!(burst, again); // same seed, same arrivals
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequestArrivals {
+    process: ArrivalProcess,
+    rng: StdRng,
+    tick: u64,
+    /// Fractional-request carry for the constant process.
+    carry: f64,
+}
+
+impl RequestArrivals {
+    /// Creates the arrival stream for `process`, seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process rate is negative or non-finite, if a
+    /// diurnal swing is outside `[0, 1]`, or if a diurnal period is 0.
+    pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        let rate = match process {
+            ArrivalProcess::Constant { rate } | ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::Diurnal {
+                rate,
+                swing,
+                period,
+            } => {
+                assert!((0.0..=1.0).contains(&swing), "swing must be in [0, 1]");
+                assert!(period > 0, "period must be >= 1 tick");
+                rate
+            }
+        };
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "rate must be finite and >= 0"
+        );
+        RequestArrivals {
+            process,
+            rng: StdRng::seed_from_u64(seed),
+            tick: 0,
+            carry: 0.0,
+        }
+    }
+
+    /// The number of ticks drawn so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Draws the next tick's request count.
+    pub fn next_tick(&mut self) -> usize {
+        let t = self.tick;
+        self.tick += 1;
+        match self.process {
+            ArrivalProcess::Constant { rate } => {
+                self.carry += rate;
+                let whole = self.carry.floor();
+                self.carry -= whole;
+                whole as usize
+            }
+            ArrivalProcess::Poisson { rate } => self.poisson(rate),
+            ArrivalProcess::Diurnal {
+                rate,
+                swing,
+                period,
+            } => {
+                let phase = (t % period) as f64 / period as f64;
+                let lambda = rate * (1.0 + swing * (phase * std::f64::consts::TAU).sin());
+                self.poisson(lambda)
+            }
+        }
+    }
+
+    /// Knuth's product-of-uniforms Poisson sampler — exact for the small
+    /// per-tick rates serving benchmarks use, and dependency-free.
+    fn poisson(&mut self, lambda: f64) -> usize {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        let limit = (-lambda).exp();
+        let mut k = 0usize;
+        let mut p = 1.0f64;
+        loop {
+            p *= self.rng.gen::<f64>();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_spreads_fractions() {
+        let mut a = RequestArrivals::new(ArrivalProcess::Constant { rate: 2.5 }, 0);
+        let counts: Vec<usize> = (0..4).map(|_| a.next_tick()).collect();
+        assert_eq!(counts, vec![2, 3, 2, 3]);
+        assert_eq!(a.ticks(), 4);
+    }
+
+    #[test]
+    fn poisson_mean_is_close_to_rate() {
+        let mut a = RequestArrivals::new(ArrivalProcess::Poisson { rate: 4.0 }, 7);
+        let total: usize = (0..2_000).map(|_| a.next_tick()).sum();
+        let mean = total as f64 / 2_000.0;
+        assert!((mean - 4.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn same_seed_same_sequence_different_seed_diverges() {
+        let draw = |seed| {
+            let mut a = RequestArrivals::new(ArrivalProcess::Poisson { rate: 3.0 }, seed);
+            (0..50).map(|_| a.next_tick()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    fn diurnal_peak_outdraws_trough() {
+        let mut a = RequestArrivals::new(
+            ArrivalProcess::Diurnal {
+                rate: 20.0,
+                swing: 0.9,
+                period: 100,
+            },
+            3,
+        );
+        // First half-cycle rides the sine peak, second the trough.
+        let peak: usize = (0..50).map(|_| a.next_tick()).sum();
+        let trough: usize = (0..50).map(|_| a.next_tick()).sum();
+        assert!(peak > trough, "peak {peak} !> trough {trough}");
+    }
+
+    #[test]
+    fn zero_rate_is_silence() {
+        let mut a = RequestArrivals::new(ArrivalProcess::Poisson { rate: 0.0 }, 0);
+        assert_eq!((0..10).map(|_| a.next_tick()).sum::<usize>(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn negative_rate_is_rejected() {
+        RequestArrivals::new(ArrivalProcess::Constant { rate: -1.0 }, 0);
+    }
+}

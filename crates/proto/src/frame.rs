@@ -299,6 +299,21 @@ mod tests {
                 mbps: vec![0.0, 1.5, 1.5, 0.0],
             },
             Message::Shutdown,
+            Message::InferRequest {
+                id: 41,
+                features: vec![0.25, -1.0, 3.5],
+            },
+            Message::InferResponse {
+                id: 41,
+                model_round: 12,
+                model_version: 4,
+                logits: vec![0.1, 0.7, 0.2],
+            },
+            Message::ModelAnnounce {
+                round: 12,
+                version: 4,
+                checkpoint: vec![1, 2, 3, 4],
+            },
         ]
     }
 

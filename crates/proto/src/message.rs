@@ -23,6 +23,11 @@ pub enum TrafficClass {
     /// one-final-model server cost, and the evaluation instrumentation
     /// path.
     ModelPlane,
+    /// Inference traffic (`InferRequest` / `InferResponse`) — the
+    /// serving plane added by `saps-serve`. Kept out of the control row
+    /// so the trainer's per-round control billing is unaffected by
+    /// co-located serving load.
+    ServePlane,
 }
 
 /// One protocol message: the whole SAPS-PSGD round lifecycle.
@@ -109,6 +114,43 @@ pub enum Message {
     },
     /// Control: orderly end of the experiment.
     Shutdown,
+    /// Client → replica: run the model forward on one feature row.
+    InferRequest {
+        /// Client-chosen correlation id echoed back in the response.
+        id: u64,
+        /// The flattened input features (row-major, model input shape).
+        features: Vec<f32>,
+    },
+    /// Replica → client: the model's output for [`Message::InferRequest`]
+    /// `id`, tagged with the exact model the forward pass used.
+    InferResponse {
+        /// The correlation id from the request.
+        id: u64,
+        /// Training round the serving model's checkpoint was exported at.
+        model_round: u64,
+        /// The replica's monotone swap counter: bumped once per
+        /// successfully installed [`Message::ModelAnnounce`]. Per replica
+        /// these tags are non-decreasing across responses — the hot-swap
+        /// contract (`docs/SERVING.md`).
+        model_version: u64,
+        /// The model's output logits for the request's features.
+        logits: Vec<f32>,
+    },
+    /// Trainer → every replica: a fresh consensus checkpoint landed.
+    ///
+    /// The body nests a `saps_core::checkpoint` blob intact (magic,
+    /// version, round, params, checksum), so a replica validates the
+    /// checkpoint's own checksum *before* swapping — a torn or corrupted
+    /// announce leaves the old model serving.
+    ModelAnnounce {
+        /// Training round the checkpoint was exported at.
+        round: u64,
+        /// The announce sequence number; replicas adopt it as their
+        /// `model_version` on a successful swap.
+        version: u64,
+        /// The checkpoint-encoded consensus model.
+        checkpoint: Vec<u8>,
+    },
 }
 
 pub(crate) const TAG_NOTIFY_TRAIN: u8 = 1;
@@ -120,6 +162,9 @@ pub(crate) const TAG_JOIN: u8 = 6;
 pub(crate) const TAG_LEAVE: u8 = 7;
 pub(crate) const TAG_BANDWIDTH_REPORT: u8 = 8;
 pub(crate) const TAG_SHUTDOWN: u8 = 9;
+pub(crate) const TAG_INFER_REQUEST: u8 = 10;
+pub(crate) const TAG_INFER_RESPONSE: u8 = 11;
+pub(crate) const TAG_MODEL_ANNOUNCE: u8 = 12;
 
 impl Message {
     /// The one-byte wire tag identifying this message type.
@@ -134,6 +179,9 @@ impl Message {
             Message::Leave { .. } => TAG_LEAVE,
             Message::BandwidthReport { .. } => TAG_BANDWIDTH_REPORT,
             Message::Shutdown => TAG_SHUTDOWN,
+            Message::InferRequest { .. } => TAG_INFER_REQUEST,
+            Message::InferResponse { .. } => TAG_INFER_RESPONSE,
+            Message::ModelAnnounce { .. } => TAG_MODEL_ANNOUNCE,
         }
     }
 
@@ -149,6 +197,9 @@ impl Message {
             Message::Leave { .. } => "Leave",
             Message::BandwidthReport { .. } => "BandwidthReport",
             Message::Shutdown => "Shutdown",
+            Message::InferRequest { .. } => "InferRequest",
+            Message::InferResponse { .. } => "InferResponse",
+            Message::ModelAnnounce { .. } => "ModelAnnounce",
         }
     }
 
@@ -163,9 +214,12 @@ impl Message {
     pub fn traffic_class_of(tag: u8) -> Option<TrafficClass> {
         match tag {
             TAG_MASKED_PAYLOAD => Some(TrafficClass::DataPlane),
-            TAG_FETCH_MODEL | TAG_FINAL_MODEL => Some(TrafficClass::ModelPlane),
+            TAG_FETCH_MODEL | TAG_FINAL_MODEL | TAG_MODEL_ANNOUNCE => {
+                Some(TrafficClass::ModelPlane)
+            }
             TAG_NOTIFY_TRAIN | TAG_ROUND_END | TAG_JOIN | TAG_LEAVE | TAG_BANDWIDTH_REPORT
             | TAG_SHUTDOWN => Some(TrafficClass::ControlPlane),
+            TAG_INFER_REQUEST | TAG_INFER_RESPONSE => Some(TrafficClass::ServePlane),
             _ => None,
         }
     }
@@ -193,6 +247,9 @@ impl Message {
             Message::Join { .. } | Message::Leave { .. } => 4,
             Message::BandwidthReport { mbps, .. } => 4 + 8 * mbps.len(),
             Message::Shutdown => 0,
+            Message::InferRequest { features, .. } => 8 + 4 + 4 * features.len(),
+            Message::InferResponse { logits, .. } => 8 + 8 + 8 + 4 + 4 * logits.len(),
+            Message::ModelAnnounce { checkpoint, .. } => 8 + 8 + 4 + checkpoint.len(),
         }
     }
 
@@ -244,6 +301,37 @@ impl Message {
                 }
             }
             Message::Shutdown => {}
+            Message::InferRequest { id, features } => {
+                buf.put_u64_le(*id);
+                buf.put_u32_le(features.len() as u32);
+                for &v in features {
+                    buf.put_f32_le(v);
+                }
+            }
+            Message::InferResponse {
+                id,
+                model_round,
+                model_version,
+                logits,
+            } => {
+                buf.put_u64_le(*id);
+                buf.put_u64_le(*model_round);
+                buf.put_u64_le(*model_version);
+                buf.put_u32_le(logits.len() as u32);
+                for &v in logits {
+                    buf.put_f32_le(v);
+                }
+            }
+            Message::ModelAnnounce {
+                round,
+                version,
+                checkpoint,
+            } => {
+                buf.put_u64_le(*round);
+                buf.put_u64_le(*version);
+                buf.put_u32_le(checkpoint.len() as u32);
+                buf.put_slice(checkpoint);
+            }
         }
     }
 
@@ -321,6 +409,50 @@ impl Message {
                 Message::BandwidthReport { n, mbps }
             }
             TAG_SHUTDOWN => Message::Shutdown,
+            TAG_INFER_REQUEST => {
+                let id = need_u64(buf)?;
+                let count = need_u32(buf)? as usize;
+                if buf.len() != 4 * count {
+                    return Err(ProtoError::Malformed("feature count vs body length"));
+                }
+                let mut features = Vec::with_capacity(count);
+                for _ in 0..count {
+                    features.push(buf.get_f32_le());
+                }
+                Message::InferRequest { id, features }
+            }
+            TAG_INFER_RESPONSE => {
+                let (id, model_round, model_version) =
+                    (need_u64(buf)?, need_u64(buf)?, need_u64(buf)?);
+                let count = need_u32(buf)? as usize;
+                if buf.len() != 4 * count {
+                    return Err(ProtoError::Malformed("logit count vs body length"));
+                }
+                let mut logits = Vec::with_capacity(count);
+                for _ in 0..count {
+                    logits.push(buf.get_f32_le());
+                }
+                Message::InferResponse {
+                    id,
+                    model_round,
+                    model_version,
+                    logits,
+                }
+            }
+            TAG_MODEL_ANNOUNCE => {
+                let (round, version) = (need_u64(buf)?, need_u64(buf)?);
+                let len = need_u32(buf)? as usize;
+                if buf.len() != len {
+                    return Err(ProtoError::Malformed("checkpoint length vs body length"));
+                }
+                let checkpoint = buf.to_vec();
+                buf.advance(len);
+                Message::ModelAnnounce {
+                    round,
+                    version,
+                    checkpoint,
+                }
+            }
             other => return Err(ProtoError::UnknownTag(other)),
         };
         if !buf.is_empty() {

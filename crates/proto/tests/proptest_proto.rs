@@ -33,7 +33,7 @@ fn arbitrary_message(seed: u64) -> Message {
     // Raw bit reinterpretation: NaNs and infinities must round-trip
     // bit-exactly, so generate floats from arbitrary bits.
     let f32_bits = |rng: &mut StdRng| f32::from_bits(rng.gen::<u32>());
-    match rng.gen_range(0..9u32) {
+    match rng.gen_range(0..12u32) {
         0 => {
             let pairs = rng.gen_range(0..20usize);
             Message::NotifyTrain {
@@ -78,7 +78,39 @@ fn arbitrary_message(seed: u64) -> Message {
             }
             Message::BandwidthReport { n, mbps }
         }
-        _ => Message::Shutdown,
+        8 => Message::Shutdown,
+        9 => {
+            let n = rng.gen_range(0..64usize);
+            let mut features = Vec::with_capacity(n);
+            for _ in 0..n {
+                features.push(f32_bits(&mut rng));
+            }
+            Message::InferRequest {
+                id: rng.gen(),
+                features,
+            }
+        }
+        10 => {
+            let n = rng.gen_range(0..32usize);
+            let mut logits = Vec::with_capacity(n);
+            for _ in 0..n {
+                logits.push(f32_bits(&mut rng));
+            }
+            Message::InferResponse {
+                id: rng.gen(),
+                model_round: rng.gen(),
+                model_version: rng.gen(),
+                logits,
+            }
+        }
+        _ => {
+            let n = rng.gen_range(0..400usize);
+            Message::ModelAnnounce {
+                round: rng.gen(),
+                version: rng.gen(),
+                checkpoint: (0..n).map(|_| rng.gen()).collect(),
+            }
+        }
     }
 }
 

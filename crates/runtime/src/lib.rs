@@ -179,6 +179,41 @@ impl Executor {
             .map(|r| r.expect("par_map slot not filled"))
             .collect()
     }
+
+    /// Splits `items` into consecutive micro-batches of at most
+    /// `batch_size` items, fans the *batches* out with
+    /// [`Executor::par_map`], and returns one result per batch, in batch
+    /// order.
+    ///
+    /// This is the serving-plane entry point (`saps-serve` drains each
+    /// replica's request queue through it): batching amortizes per-call
+    /// overhead while the contiguous split keeps the batch composition —
+    /// and therefore every batched forward pass — independent of the
+    /// thread count. `f` receives the batch index and the owned batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is 0.
+    pub fn par_map_batches<T, R, F>(&self, items: Vec<T>, batch_size: usize, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, Vec<T>) -> R + Sync,
+    {
+        assert!(batch_size > 0, "batch_size must be >= 1");
+        let mut batches: Vec<Vec<T>> = Vec::with_capacity(items.len().div_ceil(batch_size));
+        let mut current = Vec::with_capacity(batch_size.min(items.len()));
+        for item in items {
+            current.push(item);
+            if current.len() == batch_size {
+                batches.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            batches.push(current);
+        }
+        self.par_map(batches, f)
+    }
 }
 
 impl Default for Executor {
@@ -267,5 +302,37 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(exec.par_map(empty, |_, v: u8| v).is_empty());
         assert_eq!(exec.par_map(vec![9u8], |i, v| (i, v)), vec![(0, 9u8)]);
+    }
+
+    #[test]
+    fn par_map_batches_splits_contiguously_at_any_width() {
+        // 10 items at batch 4 → [0..4), [4..8), [8..10) — the same
+        // batches whatever the thread count, so batched forwards stay
+        // bit-identical.
+        let expect = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]];
+        for threads in [1usize, 2, 3, 8] {
+            let exec = Executor::new(ParallelismPolicy::Threads(threads));
+            let got = exec.par_map_batches((0..10).collect::<Vec<i32>>(), 4, |bi, batch| {
+                assert_eq!(batch, expect[bi]);
+                batch
+            });
+            assert_eq!(got, expect, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_map_batches_handles_edges() {
+        let exec = Executor::new(ParallelismPolicy::Threads(4));
+        let empty: Vec<u8> = Vec::new();
+        assert!(exec.par_map_batches(empty, 3, |_, b| b).is_empty());
+        // batch_size larger than the input → one batch.
+        let one = exec.par_map_batches(vec![1u8, 2], 100, |bi, b| (bi, b));
+        assert_eq!(one, vec![(0, vec![1u8, 2])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn par_map_batches_rejects_zero_batch() {
+        Executor::sequential().par_map_batches(vec![1], 0, |_, b: Vec<i32>| b);
     }
 }

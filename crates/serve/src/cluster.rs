@@ -1,0 +1,466 @@
+//! The serving fleet driver: replicas behind a transport, ticked in
+//! lockstep with request batching across the fork-join executor.
+
+use crate::{ReplicaNode, ServeError};
+use bytes::Bytes;
+use saps_cluster::{Addr, LoopbackTransport, Transport, WireTap};
+use saps_core::checkpoint;
+use saps_proto::{frame, Message};
+use saps_runtime::Executor;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One answered request, as observed by the submitting client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedRequest {
+    /// The request id returned by [`ServeCluster::submit`].
+    pub id: u64,
+    /// The client that submitted it.
+    pub client: u32,
+    /// Training round of the model that answered.
+    pub model_round: u64,
+    /// Version tag of the model that answered.
+    pub model_version: u64,
+    /// The model output row.
+    pub logits: Vec<f32>,
+    /// Ticks from submission to the response reaching the client.
+    pub latency_ticks: u64,
+}
+
+/// Cumulative serving-fleet counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Responses delivered back to clients.
+    pub completed: u64,
+    /// Ticks driven.
+    pub ticks: u64,
+    /// Model announces broadcast.
+    pub announces: u64,
+    /// Hot swaps accepted across all replicas.
+    pub swaps: u64,
+    /// Frames that failed to decode (corruption on the wire).
+    pub corrupt_frames: u64,
+}
+
+/// A serving fleet: replicas and their clients behind one [`Transport`].
+///
+/// The driver is tick-based, mirroring the training cluster's round
+/// pump: [`submit`] frames requests onto the wire (round-robin across
+/// replicas), [`announce`] broadcasts a new consensus checkpoint, and
+/// each [`tick`] moves every in-flight frame one hop — replicas ingest
+/// their inboxes and drain their queues in micro-batches, responses are
+/// framed and delivered, clients record completions with per-request
+/// latency. Replica inference fans out across the `saps-runtime`
+/// fork-join [`Executor`] and response framing goes through
+/// `par_map_batches`, so a tick's results are bit-identical at any
+/// thread count.
+///
+/// [`submit`]: ServeCluster::submit
+/// [`announce`]: ServeCluster::announce
+/// [`tick`]: ServeCluster::tick
+pub struct ServeCluster<T: Transport> {
+    replicas: Vec<ReplicaNode>,
+    transport: T,
+    tap: WireTap,
+    exec: Executor,
+    encode_batch: usize,
+    next_replica: usize,
+    next_request: u64,
+    announce_version: u64,
+    clients: BTreeSet<u32>,
+    submit_tick: BTreeMap<u64, u64>,
+    tick: u64,
+    completed: Vec<CompletedRequest>,
+    transfers: Vec<(Addr, Addr, u64)>,
+    stats: ServeStats,
+}
+
+impl ServeCluster<LoopbackTransport> {
+    /// A fleet over the deterministic in-process loopback transport,
+    /// with a fresh [`WireTap`].
+    pub fn loopback(replicas: Vec<ReplicaNode>) -> Result<Self, ServeError> {
+        let tap = WireTap::new();
+        let transport = LoopbackTransport::new(tap.clone());
+        ServeCluster::with_transport(transport, tap, replicas)
+    }
+}
+
+impl<T: Transport> ServeCluster<T> {
+    /// A fleet over an arbitrary transport. `tap` must be the tap the
+    /// transport reports to (so [`ServeCluster::tap`] reflects this
+    /// fleet's wire traffic).
+    pub fn with_transport(
+        transport: T,
+        tap: WireTap,
+        replicas: Vec<ReplicaNode>,
+    ) -> Result<Self, ServeError> {
+        if replicas.is_empty() {
+            return Err(ServeError::Config("need at least one replica".into()));
+        }
+        Ok(ServeCluster {
+            replicas,
+            transport,
+            tap,
+            exec: Executor::default(),
+            encode_batch: 32,
+            next_replica: 0,
+            next_request: 0,
+            announce_version: 0,
+            clients: BTreeSet::new(),
+            submit_tick: BTreeMap::new(),
+            tick: 0,
+            completed: Vec::new(),
+            transfers: Vec::new(),
+            stats: ServeStats::default(),
+        })
+    }
+
+    /// Replaces the fork-join executor replica inference fans out on.
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The wire tap metering this fleet's traffic.
+    pub fn tap(&self) -> &WireTap {
+        &self.tap
+    }
+
+    /// The replica fleet (read-only; the driver owns mutation).
+    pub fn replicas(&self) -> &[ReplicaNode] {
+        &self.replicas
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> ServeStats {
+        let mut s = self.stats;
+        s.swaps = self.replicas.iter().map(ReplicaNode::swaps).sum();
+        s
+    }
+
+    /// Submits one inference request from `client`, round-robin across
+    /// replicas. Returns the request id carried on the response.
+    pub fn submit(&mut self, client: u32, features: Vec<f32>) -> Result<u64, ServeError> {
+        let id = self.next_request;
+        self.next_request += 1;
+        let replica = self.replicas[self.next_replica].id();
+        self.next_replica = (self.next_replica + 1) % self.replicas.len();
+        let frame = frame::encode(&Message::InferRequest { id, features });
+        self.log_transfer(Addr::Client(client), Addr::Replica(replica), frame.len());
+        self.transport
+            .send(Addr::Client(client), Addr::Replica(replica), frame)?;
+        self.clients.insert(client);
+        self.submit_tick.insert(id, self.tick);
+        self.stats.submitted += 1;
+        Ok(id)
+    }
+
+    /// Broadcasts a consensus `checkpoint` (as produced by
+    /// `Trainer::export_checkpoint`) to every replica with a fresh,
+    /// strictly increasing version tag. Returns that version.
+    ///
+    /// The checkpoint's round stamp is read from its header; replicas
+    /// still run the full checksummed decode before swapping, so a
+    /// corrupt broadcast degrades to a counted rejection, never a torn
+    /// model.
+    pub fn announce(&mut self, checkpoint: Vec<u8>) -> Result<u64, ServeError> {
+        let round = checkpoint::peek_round(&checkpoint)
+            .ok_or_else(|| ServeError::Config("announce payload is not a checkpoint".into()))?;
+        self.announce_version += 1;
+        let version = self.announce_version;
+        let msg = Message::ModelAnnounce {
+            round,
+            version,
+            checkpoint,
+        };
+        let frame = frame::encode(&msg);
+        for i in 0..self.replicas.len() {
+            let to = Addr::Replica(self.replicas[i].id());
+            self.log_transfer(Addr::Coordinator, to, frame.len());
+            self.transport.send(Addr::Coordinator, to, frame.clone())?;
+        }
+        self.stats.announces += 1;
+        Ok(version)
+    }
+
+    /// Moves every in-flight frame one hop: replicas ingest and answer,
+    /// clients collect responses. Returns the number of requests
+    /// completed this tick.
+    pub fn tick(&mut self) -> Result<usize, ServeError> {
+        self.tick += 1;
+        self.stats.ticks += 1;
+
+        // Sweep each replica's inbox (the transport needs `&mut self`,
+        // so this part is sequential and replica-ordered).
+        let mut inboxes: Vec<Vec<(Addr, Bytes)>> = Vec::with_capacity(self.replicas.len());
+        for rep in &self.replicas {
+            let at = Addr::Replica(rep.id());
+            let mut inbox = Vec::new();
+            while let Some(item) = self.transport.recv(at)? {
+                inbox.push(item);
+            }
+            inboxes.push(inbox);
+        }
+
+        // Fan replica inference out across the executor: decode, handle,
+        // drain. `par_map` returns results in item order regardless of
+        // thread count, so the response stream is deterministic.
+        let replicas = std::mem::take(&mut self.replicas);
+        let work: Vec<(ReplicaNode, Vec<(Addr, Bytes)>)> =
+            replicas.into_iter().zip(inboxes).collect();
+        let processed = self.exec.par_map(work, |_, (mut rep, inbox)| {
+            let mut corrupt = 0u64;
+            for (from, raw) in inbox {
+                match frame::decode(&raw) {
+                    Ok(msg) => rep.handle(from, msg),
+                    Err(_) => corrupt += 1,
+                }
+            }
+            let out = rep.drain();
+            (rep, out, corrupt)
+        });
+
+        // Reassemble the fleet and frame the responses in micro-batches
+        // across the executor.
+        let mut outgoing: Vec<(Addr, Addr, Message)> = Vec::new();
+        for (rep, responses, corrupt) in processed {
+            self.stats.corrupt_frames += corrupt;
+            let from = Addr::Replica(rep.id());
+            for (client, msg) in responses {
+                outgoing.push((from, client, msg));
+            }
+            self.replicas.push(rep);
+        }
+        let framed: Vec<Vec<(Addr, Addr, Bytes)>> =
+            self.exec
+                .par_map_batches(outgoing, self.encode_batch, |_, batch| {
+                    batch
+                        .into_iter()
+                        .map(|(from, to, msg)| (from, to, frame::encode(&msg)))
+                        .collect()
+                });
+        for (from, to, frame) in framed.into_iter().flatten() {
+            self.log_transfer(from, to, frame.len());
+            self.transport.send(from, to, frame)?;
+        }
+
+        // Clients collect whatever reached them this tick.
+        let mut done = 0usize;
+        for &client in &self.clients.clone() {
+            while let Some((_, raw)) = self.transport.recv(Addr::Client(client))? {
+                let msg = match frame::decode(&raw) {
+                    Ok(msg) => msg,
+                    Err(_) => {
+                        self.stats.corrupt_frames += 1;
+                        continue;
+                    }
+                };
+                if let Message::InferResponse {
+                    id,
+                    model_round,
+                    model_version,
+                    logits,
+                } = msg
+                {
+                    let submitted = self.submit_tick.remove(&id).unwrap_or(self.tick);
+                    self.completed.push(CompletedRequest {
+                        id,
+                        client,
+                        model_round,
+                        model_version,
+                        logits,
+                        latency_ticks: self.tick - submitted,
+                    });
+                    self.stats.completed += 1;
+                    done += 1;
+                }
+            }
+        }
+        Ok(done)
+    }
+
+    /// Drives [`tick`](ServeCluster::tick) until no request is in
+    /// flight (or `max_ticks` elapse). Returns the ticks driven.
+    pub fn drain_in_flight(&mut self, max_ticks: u64) -> Result<u64, ServeError> {
+        let mut driven = 0;
+        while !self.submit_tick.is_empty() && driven < max_ticks {
+            self.tick()?;
+            driven += 1;
+        }
+        Ok(driven)
+    }
+
+    /// Takes the completed requests accumulated since the last call.
+    pub fn take_completed(&mut self) -> Vec<CompletedRequest> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Takes the `(from, to, bytes)` transfer log accumulated since the
+    /// last call — the input to DES pricing via [`ServePlacement`].
+    pub fn take_transfers(&mut self) -> Vec<(Addr, Addr, u64)> {
+        std::mem::take(&mut self.transfers)
+    }
+
+    fn log_transfer(&mut self, from: Addr, to: Addr, bytes: usize) {
+        self.transfers.push((from, to, bytes as u64));
+    }
+}
+
+/// Maps serving-plane addresses onto the physical nodes of a bandwidth
+/// matrix, so serving transfers can be priced on the *same* fabric as
+/// the training round (the mixed-load scenario of `docs/SERVING.md`).
+///
+/// The placement is the simple co-location the paper's environment
+/// implies: the coordinator on node 0, worker `r` and replica `r` on
+/// node `r mod nodes` (a replica shares its host with the worker of the
+/// same rank), client `c` on node `c mod nodes`.
+#[derive(Debug, Clone, Copy)]
+pub struct ServePlacement {
+    /// Physical node count (the bandwidth matrix dimension).
+    pub nodes: usize,
+}
+
+impl ServePlacement {
+    /// The physical node hosting `addr`.
+    pub fn node_of(&self, addr: Addr) -> usize {
+        match addr {
+            Addr::Coordinator => 0,
+            Addr::Worker(r) | Addr::Replica(r) => r as usize % self.nodes,
+            Addr::Client(c) => c as usize % self.nodes,
+        }
+    }
+
+    /// Maps a serving transfer log onto physical `(src, dst, bytes)`
+    /// transfers, dropping same-node hops (loopback traffic never
+    /// crosses the fabric, and the matrix diagonal carries no
+    /// bandwidth).
+    pub fn map(&self, transfers: &[(Addr, Addr, u64)]) -> Vec<(usize, usize, u64)> {
+        transfers
+            .iter()
+            .filter_map(|&(from, to, bytes)| {
+                let (src, dst) = (self.node_of(from), self.node_of(to));
+                (src != dst).then_some((src, dst, bytes))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saps_nn::zoo;
+    use saps_runtime::ParallelismPolicy;
+
+    fn fleet(n: u32, max_batch: usize) -> Vec<ReplicaNode> {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = zoo::mlp(&[4, 6, 2], &mut rng);
+        let ckpt = checkpoint::encode(&model.flat_params(), 1);
+        (0..n)
+            .map(|id| {
+                let mut r = StdRng::seed_from_u64(3);
+                ReplicaNode::new(id, zoo::mlp(&[4, 6, 2], &mut r), &ckpt, max_batch).unwrap()
+            })
+            .collect()
+    }
+
+    fn feats(seed: u64) -> Vec<f32> {
+        (0..4).map(|i| ((seed + i) as f32).sin()).collect()
+    }
+
+    #[test]
+    fn requests_complete_with_latency_and_tags() {
+        let mut sc = ServeCluster::loopback(fleet(2, 4)).unwrap();
+        for i in 0..6 {
+            sc.submit(i % 3, feats(i as u64)).unwrap();
+        }
+        // One tick: replicas ingest, answer, and the loopback delivers
+        // the responses to the client sweep of the same tick.
+        assert_eq!(sc.tick().unwrap(), 6);
+        let done = sc.take_completed();
+        assert_eq!(done.len(), 6);
+        for c in &done {
+            assert_eq!(c.model_round, 1);
+            assert_eq!(c.model_version, 0);
+            assert_eq!(c.logits.len(), 2);
+            assert_eq!(c.latency_ticks, 1);
+        }
+        let s = sc.stats();
+        assert_eq!((s.submitted, s.completed), (6, 6));
+        assert!(sc.tap().snapshot().serve_bytes > 0);
+    }
+
+    #[test]
+    fn identical_at_any_thread_count() {
+        let run = |threads| {
+            let mut sc = ServeCluster::loopback(fleet(3, 2))
+                .unwrap()
+                .with_executor(Executor::new(ParallelismPolicy::Threads(threads)));
+            for i in 0..12 {
+                sc.submit(i % 2, feats(i as u64)).unwrap();
+            }
+            sc.drain_in_flight(16).unwrap();
+            sc.take_completed()
+        };
+        let one = run(1);
+        assert_eq!(one.len(), 12);
+        assert_eq!(one, run(4));
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn announce_swaps_every_replica_in_flight_requests_survive() {
+        let mut sc = ServeCluster::loopback(fleet(2, 4)).unwrap();
+        for i in 0..4 {
+            sc.submit(0, feats(i)).unwrap();
+        }
+        // Announce lands in the same tick the requests are served:
+        // queued work survives the swap and is answered by the new model.
+        let n = sc.replicas()[0].id();
+        assert_eq!(n, 0);
+        let params: Vec<f32> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            let m = zoo::mlp(&[4, 6, 2], &mut rng);
+            (0..m.num_params()).map(|i| (i as f32).cos()).collect()
+        };
+        let v = sc
+            .announce(checkpoint::encode(&params, 7).to_vec())
+            .unwrap();
+        assert_eq!(v, 1);
+        sc.drain_in_flight(8).unwrap();
+        let done = sc.take_completed();
+        assert_eq!(done.len(), 4);
+        for c in &done {
+            assert_eq!((c.model_round, c.model_version), (7, 1));
+        }
+        assert!(sc.replicas().iter().all(|r| r.model_version() == 1));
+        assert_eq!(sc.stats().swaps, 2);
+    }
+
+    #[test]
+    fn placement_prices_on_the_shared_fabric() {
+        let mut sc = ServeCluster::loopback(fleet(2, 4)).unwrap();
+        sc.submit(1, feats(0)).unwrap();
+        sc.drain_in_flight(8).unwrap();
+        let log = sc.take_transfers();
+        assert!(!log.is_empty());
+        let placement = ServePlacement { nodes: 4 };
+        let mapped = placement.map(&log);
+        // Client 1 → replica 0 and back: both hops cross nodes 1↔0.
+        assert_eq!(mapped.len(), 2);
+        assert!(mapped.iter().all(|&(s, d, b)| s != d && b > 0));
+        // Same-node hops are dropped.
+        let same = [(Addr::Client(2), Addr::Replica(2), 100u64)];
+        assert!(placement.map(&same).is_empty());
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert!(matches!(
+            ServeCluster::loopback(Vec::new()),
+            Err(ServeError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,59 @@
+//! Serving-plane errors.
+
+use saps_cluster::ClusterError;
+use saps_core::checkpoint::CheckpointError;
+use saps_proto::ProtoError;
+
+/// Errors produced by the serving plane.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The transport or a cluster-layer invariant failed.
+    Cluster(ClusterError),
+    /// A frame failed to encode or decode.
+    Proto(ProtoError),
+    /// A checkpoint failed to decode.
+    Checkpoint(CheckpointError),
+    /// The caller configured the serving fleet inconsistently (empty
+    /// replica set, feature width mismatch, zero batch size, …).
+    Config(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Cluster(e) => write!(f, "cluster error: {e}"),
+            ServeError::Proto(e) => write!(f, "wire error: {e}"),
+            ServeError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            ServeError::Config(msg) => write!(f, "serving config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Cluster(e) => Some(e),
+            ServeError::Proto(e) => Some(e),
+            ServeError::Checkpoint(e) => Some(e),
+            ServeError::Config(_) => None,
+        }
+    }
+}
+
+impl From<ClusterError> for ServeError {
+    fn from(e: ClusterError) -> Self {
+        ServeError::Cluster(e)
+    }
+}
+
+impl From<ProtoError> for ServeError {
+    fn from(e: ProtoError) -> Self {
+        ServeError::Proto(e)
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}

@@ -1,0 +1,423 @@
+//! A serving replica: one copy of the consensus model answering
+//! inference requests, with hot checkpoint swap.
+
+use crate::ServeError;
+use saps_cluster::Addr;
+use saps_core::checkpoint;
+use saps_nn::Model;
+use saps_proto::Message;
+use std::collections::VecDeque;
+
+/// One queued inference request: the client to answer, the request id,
+/// and the feature row.
+#[derive(Debug, Clone)]
+struct Pending {
+    client: Addr,
+    id: u64,
+    features: Vec<f32>,
+}
+
+/// A serving replica node.
+///
+/// A replica owns a private copy of the model (loaded from a consensus
+/// checkpoint), queues [`Message::InferRequest`] frames, and drains the
+/// queue in micro-batches of at most `max_batch` rows per forward pass.
+/// [`Message::ModelAnnounce`] frames hot-swap the model **atomically
+/// between batches**: the incoming checkpoint is checksum-verified and
+/// shape-checked *before* any weight is touched, so a torn or corrupt
+/// announce leaves the previous model serving and the version tag a
+/// replica reports is monotone non-decreasing. Queued requests survive
+/// a swap — they are simply answered by the new model, and every
+/// response carries the `(round, version)` of the model that actually
+/// produced it.
+///
+/// The state machine is transport-free (`handle` in,
+/// [`drain`](ReplicaNode::drain) out), so it runs identically under the
+/// loopback and TCP fabrics and is directly unit-testable.
+#[derive(Debug)]
+pub struct ReplicaNode {
+    id: u32,
+    model: Model,
+    model_round: u64,
+    model_version: u64,
+    max_batch: usize,
+    queue: VecDeque<Pending>,
+    served: u64,
+    swaps: u64,
+    rejected_announces: u64,
+    rejected_requests: u64,
+}
+
+impl ReplicaNode {
+    /// Boots replica `id` from an encoded consensus `checkpoint`.
+    ///
+    /// `model` supplies the architecture; its weights are overwritten by
+    /// the checkpoint, which must carry exactly `model.num_params()`
+    /// parameters. `max_batch` caps the rows per forward pass.
+    pub fn new(
+        id: u32,
+        mut model: Model,
+        checkpoint: &[u8],
+        max_batch: usize,
+    ) -> Result<Self, ServeError> {
+        if max_batch == 0 {
+            return Err(ServeError::Config("max_batch must be >= 1".into()));
+        }
+        let (params, round) = checkpoint::decode(bytes::Bytes::from(checkpoint.to_vec()))?;
+        if params.len() != model.num_params() {
+            return Err(ServeError::Config(format!(
+                "checkpoint has {} params, model expects {}",
+                params.len(),
+                model.num_params()
+            )));
+        }
+        model.set_flat_params(&params);
+        Ok(ReplicaNode {
+            id,
+            model,
+            model_round: round,
+            model_version: 0,
+            max_batch,
+            queue: VecDeque::new(),
+            served: 0,
+            swaps: 0,
+            rejected_announces: 0,
+            rejected_requests: 0,
+        })
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The version tag of the model currently serving (0 for the boot
+    /// checkpoint; bumped by every accepted announce). Monotone
+    /// non-decreasing by construction.
+    pub fn model_version(&self) -> u64 {
+        self.model_version
+    }
+
+    /// The training round the serving model's checkpoint was taken at.
+    pub fn model_round(&self) -> u64 {
+        self.model_round
+    }
+
+    /// Requests queued and not yet answered.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests answered so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Hot swaps accepted so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Announces rejected (corrupt, torn, wrong shape, or stale).
+    pub fn rejected_announces(&self) -> u64 {
+        self.rejected_announces
+    }
+
+    /// Requests rejected (feature width not matching the model input).
+    pub fn rejected_requests(&self) -> u64 {
+        self.rejected_requests
+    }
+
+    /// Feeds one decoded frame into the replica. Non-serving frames and
+    /// malformed requests are counted and dropped — a replica never
+    /// panics or wedges on hostile traffic.
+    pub fn handle(&mut self, from: Addr, msg: Message) {
+        match msg {
+            Message::InferRequest { id, features } => {
+                if features.len() != self.model.input_dim() {
+                    self.rejected_requests += 1;
+                    return;
+                }
+                self.queue.push_back(Pending {
+                    client: from,
+                    id,
+                    features,
+                });
+            }
+            Message::ModelAnnounce {
+                round,
+                version,
+                checkpoint,
+            } => self.try_swap(round, version, &checkpoint),
+            // Training-plane frames never target replicas; drop rather
+            // than wedge if one arrives anyway.
+            _ => {}
+        }
+    }
+
+    /// Validates an announced checkpoint and swaps it in. Any failure —
+    /// bad checksum (torn write), wrong parameter count, round/version
+    /// not advancing — leaves the current model serving untouched.
+    fn try_swap(&mut self, round: u64, version: u64, checkpoint: &[u8]) {
+        if version <= self.model_version {
+            self.rejected_announces += 1;
+            return;
+        }
+        let decoded = checkpoint::decode(bytes::Bytes::from(checkpoint.to_vec()));
+        let (params, ckpt_round) = match decoded {
+            Ok(ok) => ok,
+            Err(_) => {
+                self.rejected_announces += 1;
+                return;
+            }
+        };
+        if params.len() != self.model.num_params() || ckpt_round != round {
+            self.rejected_announces += 1;
+            return;
+        }
+        self.model.set_flat_params(&params);
+        self.model_round = round;
+        self.model_version = version;
+        self.swaps += 1;
+    }
+
+    /// Answers every queued request, draining the queue in micro-batches
+    /// of at most `max_batch` rows per forward pass. Returns
+    /// `(client, response)` pairs in arrival order — the caller frames
+    /// and sends them.
+    pub fn drain(&mut self) -> Vec<(Addr, Message)> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while !self.queue.is_empty() {
+            let take = self.queue.len().min(self.max_batch);
+            let batch: Vec<Pending> = self.queue.drain(..take).collect();
+            let dim = self.model.input_dim();
+            let mut features = Vec::with_capacity(take * dim);
+            for p in &batch {
+                features.extend_from_slice(&p.features);
+            }
+            let logits = self.model.forward(&features, take, false);
+            let width = logits.data().len() / take;
+            for (row, p) in batch.into_iter().enumerate() {
+                out.push((
+                    p.client,
+                    Message::InferResponse {
+                        id: p.id,
+                        model_round: self.model_round,
+                        model_version: self.model_version,
+                        logits: logits.data()[row * width..(row + 1) * width].to_vec(),
+                    },
+                ));
+                self.served += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saps_nn::zoo;
+
+    fn boot(max_batch: usize) -> ReplicaNode {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = zoo::mlp(&[4, 8, 3], &mut rng);
+        let ckpt = checkpoint::encode(&model.flat_params(), 5);
+        ReplicaNode::new(0, model, &ckpt, max_batch).unwrap()
+    }
+
+    fn request(id: u64, dim: usize) -> Message {
+        Message::InferRequest {
+            id,
+            features: (0..dim).map(|i| i as f32 * 0.1).collect(),
+        }
+    }
+
+    #[test]
+    fn serves_in_micro_batches_with_version_tags() {
+        let mut rep = boot(4);
+        for id in 0..10 {
+            rep.handle(Addr::Client(7), request(id, 4));
+        }
+        let out = rep.drain();
+        assert_eq!(out.len(), 10);
+        assert_eq!(rep.served(), 10);
+        assert_eq!(rep.queued(), 0);
+        for (i, (client, msg)) in out.iter().enumerate() {
+            assert_eq!(*client, Addr::Client(7));
+            match msg {
+                Message::InferResponse {
+                    id,
+                    model_round,
+                    model_version,
+                    logits,
+                } => {
+                    assert_eq!(*id, i as u64);
+                    assert_eq!(*model_round, 5);
+                    assert_eq!(*model_version, 0);
+                    assert_eq!(logits.len(), 3);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batching_is_transparent_to_results() {
+        // The same requests through batch sizes 1 and 4 produce
+        // bit-identical logits — micro-batching is a scheduling detail.
+        let run = |max_batch| {
+            let mut rep = boot(max_batch);
+            for id in 0..7 {
+                rep.handle(Addr::Client(0), request(id, 4));
+            }
+            rep.drain()
+                .into_iter()
+                .map(|(_, m)| match m {
+                    Message::InferResponse { logits, .. } => logits,
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn hot_swap_is_atomic_and_monotone() {
+        let mut rep = boot(4);
+        rep.handle(Addr::Client(0), request(0, 4));
+        let before = match &rep.drain()[0].1 {
+            Message::InferResponse { logits, .. } => logits.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+
+        // A fresh checkpoint with different weights, announced as v1.
+        let new_params: Vec<f32> = (0..count_params()).map(|i| (i as f32).cos()).collect();
+        let ckpt = checkpoint::encode(&new_params, 9).to_vec();
+        rep.handle(
+            Addr::Coordinator,
+            Message::ModelAnnounce {
+                round: 9,
+                version: 1,
+                checkpoint: ckpt.clone(),
+            },
+        );
+        assert_eq!(rep.model_version(), 1);
+        assert_eq!(rep.model_round(), 9);
+        assert_eq!(rep.swaps(), 1);
+
+        rep.handle(Addr::Client(0), request(0, 4));
+        let after = match &rep.drain()[0].1 {
+            Message::InferResponse {
+                model_version,
+                logits,
+                ..
+            } => {
+                assert_eq!(*model_version, 1);
+                logits.clone()
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_ne!(before, after, "swap must change the serving weights");
+
+        // A stale re-announce of v1 is ignored; versions never regress.
+        rep.handle(
+            Addr::Coordinator,
+            Message::ModelAnnounce {
+                round: 9,
+                version: 1,
+                checkpoint: ckpt,
+            },
+        );
+        assert_eq!(rep.model_version(), 1);
+        assert_eq!(rep.rejected_announces(), 1);
+    }
+
+    fn count_params() -> usize {
+        let mut rng = StdRng::seed_from_u64(9);
+        zoo::mlp(&[4, 8, 3], &mut rng).num_params()
+    }
+
+    #[test]
+    fn torn_checkpoint_is_rejected_old_model_keeps_serving() {
+        let mut rep = boot(4);
+        let good: Vec<f32> = (0..count_params()).map(|i| i as f32 * 1e-3).collect();
+        let mut torn = checkpoint::encode(&good, 8).to_vec();
+        let mid = torn.len() / 2;
+        torn[mid] ^= 0xFF; // bit flip mid-payload: checksum now fails
+        rep.handle(
+            Addr::Coordinator,
+            Message::ModelAnnounce {
+                round: 8,
+                version: 1,
+                checkpoint: torn,
+            },
+        );
+        assert_eq!(rep.model_version(), 0, "torn announce must not swap");
+        assert_eq!(rep.rejected_announces(), 1);
+        // Truncation is likewise rejected.
+        let mut short = checkpoint::encode(&good, 8).to_vec();
+        short.truncate(short.len() - 5);
+        rep.handle(
+            Addr::Coordinator,
+            Message::ModelAnnounce {
+                round: 8,
+                version: 2,
+                checkpoint: short,
+            },
+        );
+        assert_eq!(rep.model_version(), 0);
+        assert_eq!(rep.rejected_announces(), 2);
+        // And the replica still answers.
+        rep.handle(Addr::Client(1), request(3, 4));
+        assert_eq!(rep.drain().len(), 1);
+    }
+
+    #[test]
+    fn wrong_shape_announce_and_request_are_rejected() {
+        let mut rep = boot(2);
+        let ckpt = checkpoint::encode(&[1.0, 2.0, 3.0], 8).to_vec();
+        rep.handle(
+            Addr::Coordinator,
+            Message::ModelAnnounce {
+                round: 8,
+                version: 1,
+                checkpoint: ckpt,
+            },
+        );
+        assert_eq!(rep.model_version(), 0);
+        assert_eq!(rep.rejected_announces(), 1);
+        // Feature width mismatch: dropped, not panicked on.
+        rep.handle(Addr::Client(0), request(0, 3));
+        assert_eq!(rep.queued(), 0);
+        assert_eq!(rep.rejected_requests(), 1);
+        // Training-plane frames are ignored.
+        rep.handle(Addr::Coordinator, Message::FetchModel { rank: 1 });
+        assert_eq!(rep.queued(), 0);
+    }
+
+    #[test]
+    fn boot_rejects_bad_config() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = zoo::mlp(&[4, 8, 3], &mut rng);
+        let ckpt = checkpoint::encode(&model.flat_params(), 0);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        assert!(matches!(
+            ReplicaNode::new(0, zoo::mlp(&[4, 8, 3], &mut rng2), &ckpt, 0),
+            Err(ServeError::Config(_))
+        ));
+        let mut rng3 = StdRng::seed_from_u64(9);
+        assert!(matches!(
+            ReplicaNode::new(0, zoo::mlp(&[4, 8, 3], &mut rng3), &[1, 2, 3], 4),
+            Err(ServeError::Checkpoint(_))
+        ));
+        let small = checkpoint::encode(&[0.5; 4], 0);
+        let mut rng4 = StdRng::seed_from_u64(9);
+        assert!(matches!(
+            ReplicaNode::new(0, zoo::mlp(&[4, 8, 3], &mut rng4), &small, 4),
+            Err(ServeError::Config(_))
+        ));
+    }
+}

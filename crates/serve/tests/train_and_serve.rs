@@ -1,0 +1,107 @@
+//! Train-and-serve integration: a cluster-driven SAPS-PSGD run exports
+//! its consensus each round, the serving fleet hot-swaps it while
+//! answering a steady request stream, and every hot-swap guarantee is
+//! checked under live training churn.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saps_cluster::{cluster_registry, WireTap};
+use saps_core::{checkpoint, AlgorithmSpec, Experiment};
+use saps_data::SyntheticSpec;
+use saps_nn::zoo;
+use saps_serve::{ReplicaNode, ServeCluster};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const DIMS: [usize; 3] = [16, 16, 4];
+
+fn fleet(n: u32, ckpt: &[u8]) -> Vec<ReplicaNode> {
+    (0..n)
+        .map(|id| {
+            let mut rng = StdRng::seed_from_u64(77);
+            ReplicaNode::new(id, zoo::mlp(&DIMS, &mut rng), ckpt, 8).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn hot_swap_under_training_churn() {
+    let ds = SyntheticSpec::tiny().samples(400).generate(1);
+    let (train, val) = ds.split(0.25, 0);
+
+    // Boot the fleet from an untrained checkpoint (version 0, round 0).
+    let mut rng = StdRng::seed_from_u64(77);
+    let boot = checkpoint::encode(&zoo::mlp(&DIMS, &mut rng).flat_params(), 0);
+    let serve = Rc::new(RefCell::new(
+        ServeCluster::loopback(fleet(2, &boot)).unwrap(),
+    ));
+
+    // Every training round: export the cluster consensus, announce it,
+    // keep a request stream flowing while the swap lands.
+    let hook_fleet = Rc::clone(&serve);
+    let rounds_seen = Rc::new(RefCell::new(Vec::<u64>::new()));
+    let hook_rounds = Rc::clone(&rounds_seen);
+    let hist = Experiment::new(AlgorithmSpec::parse("saps").unwrap().with_compression(4.0))
+        .train(train)
+        .validation(val)
+        .workers(4)
+        .batch_size(16)
+        .model(|rng| zoo::mlp(&DIMS, rng))
+        .rounds(4)
+        .eval_every(4)
+        .eval_samples(50)
+        .after_round(move |trainer, point| {
+            let ckpt = trainer.export_checkpoint().expect("cluster export");
+            let round = checkpoint::peek_round(&ckpt).expect("round stamp");
+            // `point.round` is 0-based; the stamp counts completed rounds.
+            assert_eq!(round, point.round as u64 + 1, "stamp tracks the trainer");
+            hook_rounds.borrow_mut().push(round);
+            let mut fleet = hook_fleet.borrow_mut();
+            fleet.announce(ckpt).unwrap();
+            for i in 0..3 {
+                fleet.submit(i, vec![0.1; 16]).unwrap();
+            }
+            fleet.tick().unwrap();
+        })
+        .run(&cluster_registry(WireTap::new()))
+        .unwrap();
+    assert_eq!(hist.points.len(), 4);
+    assert_eq!(rounds_seen.borrow().as_slice(), &[1, 2, 3, 4]);
+
+    let mut fleet = Rc::try_unwrap(serve).ok().expect("sole owner").into_inner();
+    fleet.drain_in_flight(16).unwrap();
+
+    // Every replica swapped once per round, versions monotone, no
+    // rejected (torn) announce.
+    for rep in fleet.replicas() {
+        assert_eq!(rep.model_version(), 4, "one swap per announce");
+        assert_eq!(rep.model_round(), 4);
+        assert_eq!(rep.swaps(), 4);
+        assert_eq!(rep.rejected_announces(), 0);
+    }
+
+    // Every request was answered, and the (round, version) tags on the
+    // responses never regress in submission order: a client watching the
+    // stream sees the model only move forward.
+    let mut done = fleet.take_completed();
+    assert_eq!(done.len(), 12);
+    done.sort_by_key(|c| c.id);
+    let mut last = (0u64, 0u64);
+    for c in &done {
+        let tag = (c.model_round, c.model_version);
+        assert!(tag >= last, "tags regressed: {tag:?} after {last:?}");
+        last = tag;
+        assert_eq!(c.logits.len(), 4);
+        assert!(c.logits.iter().all(|v| v.is_finite()));
+    }
+    // The final requests were served by the final consensus.
+    assert_eq!(last, (4, 4));
+
+    let stats = fleet.stats();
+    assert_eq!(stats.submitted, 12);
+    assert_eq!(stats.completed, 12);
+    assert_eq!(stats.announces, 4);
+    assert_eq!(stats.swaps, 8);
+    assert!(fleet.tap().snapshot().serve_bytes > 0);
+    assert!(fleet.tap().snapshot().model_bytes > 0);
+}

@@ -21,6 +21,7 @@
 //! | [`runtime`] | the deterministic multi-threaded round engine ([`runtime::Executor`], [`runtime::ParallelismPolicy`]) |
 //! | [`proto`] | the versioned wire protocol (`docs/PROTOCOL.md`): framed round-lifecycle messages with typed decode errors |
 //! | [`cluster`] | the message-driven coordinator/worker runtime ([`cluster::ClusterTrainer`], loopback + TCP transports) |
+//! | [`serve`] | the inference plane ([`serve::ServeCluster`], [`serve::ReplicaNode`]): replicas serving the consensus model with batched forwards and hot checkpoint swaps |
 //!
 //! ## Quickstart
 //!
@@ -69,4 +70,5 @@ pub use saps_netsim as netsim;
 pub use saps_nn as nn;
 pub use saps_proto as proto;
 pub use saps_runtime as runtime;
+pub use saps_serve as serve;
 pub use saps_tensor as tensor;

@@ -19,14 +19,15 @@ use saps::core::{AlgorithmSpec, Experiment, ScenarioEvent};
 use saps::data::SyntheticSpec;
 use saps::nn::zoo;
 
-/// The six examples the README documents, in `cargo run --example` name
-/// form. Update this list and the README table together.
-const CANONICAL_EXAMPLES: [&str; 6] = [
+/// The seven examples the README documents, in `cargo run --example`
+/// name form. Update this list and the README table together.
+const CANONICAL_EXAMPLES: [&str; 7] = [
     "cluster_demo",
     "geo_distributed",
     "non_iid_federated",
     "peer_selection_demo",
     "quickstart",
+    "serving_demo",
     "worker_churn",
 ];
 
@@ -115,6 +116,64 @@ fn cluster_demo_flow_runs_at_test_scale() {
         hist.total_server_traffic_mb > 0.0,
         "control plane billed to the server row"
     );
+}
+
+/// The `serving_demo` example's flow at test scale: a cluster-driven
+/// SAPS run announcing its consensus to a loopback replica fleet every
+/// round while requests flow, all through the public facade.
+#[test]
+fn serving_demo_flow_runs_at_test_scale() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saps::core::checkpoint;
+    use saps::serve::{ReplicaNode, ServeCluster};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const DIMS: [usize; 3] = [16, 20, 4];
+    const ROUNDS: usize = 5;
+    let ds = SyntheticSpec::tiny().samples(600).generate(33);
+    let (train, val) = ds.split(0.2, 0);
+    let mut rng = StdRng::seed_from_u64(33);
+    let boot = checkpoint::encode(&zoo::mlp(&DIMS, &mut rng).flat_params(), 0);
+    let replicas: Vec<ReplicaNode> = (0..2)
+        .map(|id| {
+            let mut rng = StdRng::seed_from_u64(33);
+            ReplicaNode::new(id, zoo::mlp(&DIMS, &mut rng), &boot, 8).unwrap()
+        })
+        .collect();
+    let fleet = Rc::new(RefCell::new(ServeCluster::loopback(replicas).unwrap()));
+    let hook_fleet = Rc::clone(&fleet);
+    Experiment::new(AlgorithmSpec::parse("saps").unwrap().with_compression(8.0))
+        .train(train)
+        .validation(val)
+        .workers(4)
+        .batch_size(16)
+        .seed(33)
+        .model(|rng| zoo::mlp(&DIMS, rng))
+        .rounds(ROUNDS)
+        .eval_every(ROUNDS)
+        .eval_samples(100)
+        .after_round(move |trainer, _point| {
+            let ckpt = trainer.export_checkpoint().expect("cluster export");
+            let mut fleet = hook_fleet.borrow_mut();
+            fleet.announce(ckpt).unwrap();
+            for client in 0..2 {
+                fleet.submit(client, vec![0.1; DIMS[0]]).unwrap();
+            }
+            fleet.tick().unwrap();
+        })
+        .run(&cluster_registry(WireTap::new()))
+        .expect("train-and-serve flow");
+    let mut fleet = Rc::try_unwrap(fleet).ok().expect("sole owner").into_inner();
+    fleet.drain_in_flight(16).unwrap();
+    let stats = fleet.stats();
+    assert_eq!(stats.completed, stats.submitted);
+    assert_eq!(stats.completed, 2 * ROUNDS as u64);
+    for rep in fleet.replicas() {
+        assert_eq!(rep.model_version(), ROUNDS as u64, "every announce landed");
+        assert_eq!(rep.rejected_announces(), 0);
+    }
 }
 
 /// The `worker_churn` example's flow at test scale: the same
