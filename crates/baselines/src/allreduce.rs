@@ -1,0 +1,183 @@
+//! Ring all-reduce schedule shared by the in-memory PSGD baseline and
+//! the cluster wire driver.
+//!
+//! The classical bandwidth-optimal ring all-reduce over `m` positions
+//! splits the `n`-element vector into `m` contiguous chunks and runs two
+//! phases of `m − 1` steps each:
+//!
+//! * **reduce-scatter** — at step `s`, position `i` sends chunk
+//!   `(i − s) mod m` to its successor `(i + 1) mod m`, which adds its own
+//!   gradient for that chunk to the received partial. Chunk `c` therefore
+//!   travels positions `c, c+1, …` accumulating the *left fold*
+//!   `g[c] + g[c+1] + … + g[c+m−1]` (indices mod `m`) and completes at
+//!   position `(c + m − 1) mod m`, where it is scaled by `1/m`;
+//! * **all-gather** — at step `s`, position `i` forwards chunk
+//!   `(i + 1 − s) mod m` to its successor, so every position ends the
+//!   round holding the full mean vector.
+//!
+//! Everything here is deterministic and position-ordered, so a wire
+//! driver that frames each hop as a real message and applies the decoded
+//! values in schedule order reproduces [`ring_reduce_mean`] bit-for-bit
+//! — that equivalence is what `tests/cluster_conformance.rs` pins.
+
+use std::ops::Range;
+
+/// The contiguous index range of chunk `c` when an `n`-element vector is
+/// split across `m` ring positions. The ranges `0..m` tile `[0, n)`
+/// exactly; when `m ∤ n` the chunk lengths differ by at most one.
+pub fn chunk_range(n: usize, m: usize, c: usize) -> Range<usize> {
+    debug_assert!(c < m);
+    (c * n / m)..((c + 1) * n / m)
+}
+
+/// Chunk sent by position `i` at reduce-scatter step `s ∈ 0..m−1`.
+pub fn reduce_scatter_chunk(m: usize, i: usize, s: usize) -> usize {
+    debug_assert!(s < m);
+    (i + m - s) % m
+}
+
+/// Chunk sent by position `i` at all-gather step `s ∈ 0..m−1`.
+pub fn allgather_chunk(m: usize, i: usize, s: usize) -> usize {
+    debug_assert!(s < m);
+    (i + 1 + m - s) % m
+}
+
+/// Bytes position `i` puts on its successor link over a full all-reduce:
+/// it forwards every chunk except `(i+1) mod m` during reduce-scatter and
+/// every chunk except `(i+2) mod m` during all-gather, 4 bytes per f32.
+/// Degenerates to the textbook `2·(m−1)·4n/m` when `m | n`.
+pub fn ring_send_bytes(n: usize, m: usize, i: usize) -> u64 {
+    let skip_rs = chunk_range(n, m, (i + 1) % m).len() as u64;
+    let skip_ag = chunk_range(n, m, (i + 2) % m).len() as u64;
+    4 * (2 * n as u64 - skip_rs - skip_ag)
+}
+
+/// Mean of `grads` (one vector per ring position, all length `n`) into
+/// `out`, folded exactly as the ring schedule folds it: chunk `c` is
+/// accumulated `g[c] + g[c+1] + … + g[c+m−1]` then scaled by `1/m`.
+///
+/// This is *not* the same f32 bit pattern as a position-0-first fold for
+/// every chunk — it is the bit pattern the wire exchange produces.
+pub fn ring_reduce_mean(grads: &[Vec<f32>], out: &mut [f32]) {
+    let m = grads.len();
+    assert!(m >= 1, "ring all-reduce needs at least one position");
+    let n = out.len();
+    let inv = 1.0 / m as f32;
+    for c in 0..m {
+        let range = chunk_range(n, m, c);
+        out[range.clone()].copy_from_slice(&grads[c][range.clone()]);
+        for k in 1..m {
+            let g = &grads[(c + k) % m];
+            for j in range.clone() {
+                out[j] += g[j];
+            }
+        }
+        for j in range {
+            out[j] *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_tile_the_vector() {
+        for &(n, m) in &[(508usize, 4usize), (509, 4), (7, 3), (5, 5), (3, 2), (0, 2)] {
+            let mut next = 0;
+            for c in 0..m {
+                let r = chunk_range(n, m, c);
+                assert_eq!(r.start, next, "gap before chunk {c} at n={n} m={m}");
+                next = r.end;
+            }
+            assert_eq!(next, n);
+        }
+    }
+
+    #[test]
+    fn send_bytes_degenerate_to_textbook_when_divisible() {
+        let (n, m) = (508usize, 4usize);
+        for i in 0..m {
+            assert_eq!(
+                ring_send_bytes(n, m, i),
+                2 * (m as u64 - 1) * (4 * n as u64 / m as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn send_bytes_conserve_total() {
+        for &(n, m) in &[(509usize, 4usize), (1_000, 7), (16, 2)] {
+            let total: u64 = (0..m).map(|i| ring_send_bytes(n, m, i)).sum();
+            assert_eq!(total, 8 * n as u64 * (m as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn schedule_covers_every_chunk_once() {
+        let m = 5;
+        for i in 0..m {
+            let mut sent: Vec<usize> = (0..m - 1).map(|s| reduce_scatter_chunk(m, i, s)).collect();
+            sent.sort_unstable();
+            sent.dedup();
+            assert_eq!(sent.len(), m - 1);
+            assert!(
+                !sent.contains(&((i + 1) % m)),
+                "never sends its terminal chunk"
+            );
+            let mut fwd: Vec<usize> = (0..m - 1).map(|s| allgather_chunk(m, i, s)).collect();
+            fwd.sort_unstable();
+            fwd.dedup();
+            assert_eq!(fwd.len(), m - 1);
+            assert!(!fwd.contains(&((i + 2) % m)));
+        }
+    }
+
+    /// Simulate the hop-by-hop wire exchange and check the mean helper
+    /// reproduces it bit-for-bit — the invariant the cluster driver
+    /// depends on.
+    #[test]
+    fn mean_matches_simulated_wire_exchange() {
+        let (n, m) = (23usize, 4usize);
+        let grads: Vec<Vec<f32>> = (0..m)
+            .map(|i| (0..n).map(|j| ((i * 31 + j) as f32).sin()).collect())
+            .collect();
+        // Reduce-scatter: partial[c] is the traveling accumulator.
+        let mut partial = grads.clone();
+        for s in 0..m - 1 {
+            for i in 0..m {
+                let c = reduce_scatter_chunk(m, i, s);
+                let dst = (i + 1) % m;
+                let range = chunk_range(n, m, c);
+                let hop: Vec<f32> = partial[i][range.clone()].to_vec();
+                for (j, v) in range.clone().zip(hop) {
+                    partial[dst][j] = v + grads[dst][j];
+                }
+            }
+        }
+        // Scale at each chunk's final owner, then gather.
+        let inv = 1.0 / m as f32;
+        let mut mean = vec![0.0f32; n];
+        for c in 0..m {
+            let owner = (c + m - 1) % m;
+            for j in chunk_range(n, m, c) {
+                mean[j] = partial[owner][j] * inv;
+            }
+        }
+        let mut out = vec![0.0f32; n];
+        ring_reduce_mean(&grads, &mut out);
+        assert_eq!(
+            mean.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_position_is_identity() {
+        let g = vec![vec![1.5f32, -2.25, f32::MIN_POSITIVE]];
+        let mut out = vec![0.0; 3];
+        ring_reduce_mean(&g, &mut out);
+        assert_eq!(out, g[0]);
+    }
+}

@@ -15,6 +15,7 @@ use saps_graph::topology;
 /// the ring closes over the surviving active ranks in rank order.
 pub struct DPsgd {
     fleet: Fleet,
+    rounds: u64,
 }
 
 impl DPsgd {
@@ -26,7 +27,7 @@ impl DPsgd {
                 "D-PSGD ring needs at least 3 workers",
             ));
         }
-        Ok(DPsgd { fleet })
+        Ok(DPsgd { fleet, rounds: 0 })
     }
 }
 
@@ -85,6 +86,7 @@ impl Trainer for DPsgd {
         rep.epochs_advanced = self.fleet.epochs_per_round();
         rep.mean_link_bandwidth = mean_link;
         rep.min_link_bandwidth = min_link;
+        self.rounds += 1;
         rep
     }
 
@@ -103,6 +105,11 @@ impl Trainer for DPsgd {
     fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
         // The ring needs at least 3 live workers to stay a ring.
         self.fleet.set_active(rank, active, 3)
+    }
+
+    fn export_checkpoint(&mut self) -> Result<Vec<u8>, ConfigError> {
+        let avg = self.fleet.average_model();
+        Ok(saps_core::checkpoint::encode(&avg, self.rounds).to_vec())
     }
 }
 

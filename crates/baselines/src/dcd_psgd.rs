@@ -26,6 +26,7 @@ pub struct DcdPsgd {
     /// `broadcast[r]` = the model state of worker `r` as known by its
     /// neighbours (all neighbours see the same broadcast stream).
     broadcast: Vec<Vec<f32>>,
+    rounds: u64,
 }
 
 impl DcdPsgd {
@@ -48,6 +49,7 @@ impl DcdPsgd {
             fleet,
             compression,
             broadcast,
+            rounds: 0,
         })
     }
 
@@ -136,6 +138,7 @@ impl Trainer for DcdPsgd {
         rep.epochs_advanced = self.fleet.epochs_per_round();
         rep.mean_link_bandwidth = mean_link;
         rep.min_link_bandwidth = min_link;
+        self.rounds += 1;
         rep
     }
 
@@ -160,6 +163,11 @@ impl Trainer for DcdPsgd {
             self.broadcast[rank] = self.fleet.worker(rank).flat();
         }
         Ok(())
+    }
+
+    fn export_checkpoint(&mut self) -> Result<Vec<u8>, ConfigError> {
+        let avg = self.fleet.average_model();
+        Ok(saps_core::checkpoint::encode(&avg, self.rounds).to_vec())
     }
 }
 

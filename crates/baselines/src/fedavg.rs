@@ -46,6 +46,7 @@ pub struct FedAvg {
     /// Pinned server placement (decided on the first round).
     server: Option<usize>,
     rng: StdRng,
+    rounds: u64,
 }
 
 impl FedAvg {
@@ -70,6 +71,7 @@ impl FedAvg {
             server_model,
             server: None,
             rng: StdRng::seed_from_u64(derive_seed(seed, 0, streams::CLIENT_SAMPLE)),
+            rounds: 0,
         })
     }
 
@@ -142,6 +144,7 @@ impl Trainer for FedAvg {
         rep.set_timing(&timing);
         rep.epochs_advanced =
             self.fleet.epochs_per_round() * self.cfg.local_steps as f64 * self.cfg.participation;
+        self.rounds += 1;
         rep
     }
 
@@ -160,6 +163,10 @@ impl Trainer for FedAvg {
 
     fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
         self.fleet.set_active(rank, active, 2)
+    }
+
+    fn export_checkpoint(&mut self) -> Result<Vec<u8>, ConfigError> {
+        Ok(saps_core::checkpoint::encode(&self.server_model, self.rounds).to_vec())
     }
 }
 

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod allreduce;
 mod common;
 mod d_psgd;
 mod dcd_psgd;

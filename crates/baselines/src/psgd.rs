@@ -1,10 +1,10 @@
 //! PSGD with ring all-reduce — the classical dense baseline.
 
+use crate::allreduce::{ring_reduce_mean, ring_send_bytes};
 use crate::Fleet;
 use saps_core::{ConfigError, RoundCtx, RoundReport, Trainer};
 use saps_data::Dataset;
 use saps_graph::topology;
-use saps_tensor::ops;
 use saps_tensor::scratch::BufferPool;
 
 /// Synchronous parallel SGD: every round the active workers' gradients
@@ -13,12 +13,16 @@ use saps_tensor::scratch::BufferPool;
 ///
 /// Traffic: a ring all-reduce moves `2·(n−1)/n · N` parameters through
 /// each worker per round (reduce-scatter + all-gather), ≈ the `2N` of
-/// Table I. A worker that re-joins after churn is resynced from a live
-/// replica, preserving the bit-identical invariant.
+/// Table I. The mean is folded in the exact chunk-rotated order the
+/// ring schedule produces (see [`crate::allreduce`]), so the cluster
+/// wire driver that really frames every hop reproduces these bits.
+/// A worker that re-joins after churn is resynced from a live replica,
+/// preserving the bit-identical invariant.
 pub struct PsgdAllReduce {
     fleet: Fleet,
     /// Scratch for the per-round mean gradient, reused across rounds.
     pool: BufferPool,
+    rounds: u64,
 }
 
 impl PsgdAllReduce {
@@ -27,6 +31,7 @@ impl PsgdAllReduce {
         Ok(PsgdAllReduce {
             fleet,
             pool: BufferPool::new(),
+            rounds: 0,
         })
     }
 }
@@ -44,19 +49,16 @@ impl Trainer for PsgdAllReduce {
         let m = ranks.len();
         let (loss, acc) = self.fleet.accumulate_grads_all_on(&exec);
 
-        // Global gradient average over the active workers — the reduce
-        // runs in rank order on one thread so it is independent of the
-        // fan-out above.
+        // Global gradient average via the ring all-reduce schedule: one
+        // gradient per ring position (= ascending active rank), folded
+        // per chunk exactly as the hop-by-hop wire exchange folds it.
         let n_params = self.fleet.n_params();
+        let grads: Vec<Vec<f32>> = ranks
+            .iter()
+            .map(|&r| self.fleet.worker(r).model().flat_grads())
+            .collect();
         let mut mean_grad = self.pool.take_zeroed(n_params);
-        for &r in &ranks {
-            let g = self.fleet.worker(r).model().flat_grads();
-            ops::axpy(1.0, &g, &mut mean_grad);
-        }
-        let inv = 1.0 / m as f32;
-        for g in &mut mean_grad {
-            *g *= inv;
-        }
+        ring_reduce_mean(&grads, &mut mean_grad);
         // Identical update on every active replica, fanned out (each
         // lane reads the shared mean and rewrites its own replica).
         let lr = self.fleet.lr;
@@ -68,16 +70,18 @@ impl Trainer for PsgdAllReduce {
         });
         self.pool.give(mean_grad);
 
-        // Ring all-reduce traffic over the active ring: each worker
-        // forwards 2(m-1) chunks of N/m parameters to its ring successor.
-        let chunk_bytes = (n_params as u64 * 4) / m as u64;
-        let per_worker = 2 * (m as u64 - 1) * chunk_bytes;
+        // Ring all-reduce traffic over the active ring: position i
+        // forwards 2(m−1) chunks to its ring successor (chunk sizes vary
+        // by at most one element when m ∤ N).
+        let mut per_worker_max = 0u64;
         for i in 0..m {
-            traffic.record_p2p(ranks[i], ranks[(i + 1) % m], per_worker);
+            let bytes = ring_send_bytes(n_params, m, i);
+            per_worker_max = per_worker_max.max(bytes);
+            traffic.record_p2p(ranks[i], ranks[(i + 1) % m], bytes);
         }
         traffic.end_round();
         // The slowest active ring link gates every all-reduce step.
-        let timing = ctx.price_allreduce(&ranks, per_worker);
+        let timing = ctx.price_allreduce(&ranks, per_worker_max);
         let ring = topology::ring_edges_over(&ranks);
         let mean_link = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
         let min_link = ring
@@ -92,6 +96,7 @@ impl Trainer for PsgdAllReduce {
         rep.epochs_advanced = self.fleet.epochs_per_round();
         rep.mean_link_bandwidth = mean_link;
         rep.min_link_bandwidth = min_link;
+        self.rounds += 1;
         rep
     }
 
@@ -100,6 +105,12 @@ impl Trainer for PsgdAllReduce {
         let first = self.fleet.active_ranks()[0];
         let flat = self.fleet.worker(first).flat();
         self.fleet.evaluate_flat(&flat, val, max_samples)
+    }
+
+    fn export_checkpoint(&mut self) -> Result<Vec<u8>, ConfigError> {
+        let first = self.fleet.active_ranks()[0];
+        let flat = self.fleet.worker(first).flat();
+        Ok(saps_core::checkpoint::encode(&flat, self.rounds).to_vec())
     }
 
     fn model_len(&self) -> usize {

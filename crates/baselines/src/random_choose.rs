@@ -140,6 +140,11 @@ impl Trainer for RandomChoose {
     fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
         self.fleet.set_active(rank, active, 2)
     }
+
+    fn export_checkpoint(&mut self) -> Result<Vec<u8>, ConfigError> {
+        let avg = self.fleet.average_model();
+        Ok(saps_core::checkpoint::encode(&avg, self.round).to_vec())
+    }
 }
 
 #[cfg(test)]

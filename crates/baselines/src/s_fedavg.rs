@@ -167,6 +167,10 @@ impl Trainer for SFedAvg {
     fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
         self.fleet.set_active(rank, active, 2)
     }
+
+    fn export_checkpoint(&mut self) -> Result<Vec<u8>, ConfigError> {
+        Ok(saps_core::checkpoint::encode(&self.server_model, self.round).to_vec())
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ pub struct TopKPsgd {
     compression: f64,
     /// Scratch for the per-round mean gradient, reused across rounds.
     pool: BufferPool,
+    rounds: u64,
 }
 
 impl TopKPsgd {
@@ -41,6 +42,7 @@ impl TopKPsgd {
             compressors,
             compression,
             pool: BufferPool::new(),
+            rounds: 0,
         })
     }
 
@@ -126,6 +128,7 @@ impl Trainer for TopKPsgd {
         rep.epochs_advanced = self.fleet.epochs_per_round();
         rep.mean_link_bandwidth = sum_link / links.max(1) as f64;
         rep.min_link_bandwidth = min_link;
+        self.rounds += 1;
         rep
     }
 
@@ -162,6 +165,12 @@ impl Trainer for TopKPsgd {
                 ErrorFeedbackTopK::with_ratio(self.fleet.n_params(), self.compression);
         }
         Ok(())
+    }
+
+    fn export_checkpoint(&mut self) -> Result<Vec<u8>, ConfigError> {
+        let first = self.fleet.active_ranks()[0];
+        let flat = self.fleet.worker(first).flat();
+        Ok(saps_core::checkpoint::encode(&flat, self.rounds).to_vec())
     }
 }
 

@@ -30,7 +30,8 @@
 //! * `--driver memory|cluster` — run the algorithm in-memory (default)
 //!   or through the `saps-cluster` message-driven runtime, where every
 //!   round crosses the wire as serialized `saps-proto` frames
-//!   (`docs/PROTOCOL.md`; SAPS only). Losses and worker-row traffic are
+//!   (`docs/PROTOCOL.md`; all eight algorithms). Losses and worker-row
+//!   traffic are
 //!   bit-identical; round time additionally prices the frame envelopes,
 //!   and the control plane lands on the server row.
 //!
@@ -164,19 +165,11 @@ fn main() {
         other => usage(&format!("unknown network {other}")),
     };
 
-    // The cluster driver runs only the paper's own algorithm — baselines
-    // have no message protocol (yet).
+    // The cluster registry covers every algorithm key (SAPS plus the
+    // seven wire baselines), so any --algo runs under either driver.
     let tap = WireTap::new();
     let reg = match args.driver.as_str() {
-        "cluster" => {
-            if spec.key() != "saps" {
-                usage(&format!(
-                    "--driver cluster supports only saps, got {}",
-                    spec.key()
-                ));
-            }
-            cluster_registry(tap.clone())
-        }
+        "cluster" => cluster_registry(tap.clone()),
         _ => registry(),
     };
 
@@ -226,7 +219,7 @@ fn main() {
     );
     if args.driver == "cluster" {
         eprintln!(
-            "# on the wire: {:.4} MB total ({:.4} MB masked values, {:.4} MB control plane, {:.4} MB model plane)",
+            "# on the wire: {:.4} MB total ({:.4} MB payload values, {:.4} MB control plane, {:.4} MB model plane)",
             wire.total_bytes as f64 / 1e6,
             wire.data_bytes as f64 / 1e6,
             wire.control_bytes as f64 / 1e6,

@@ -1,0 +1,1537 @@
+//! The seven baseline algorithms on the wire.
+//!
+//! [`saps_baselines`] runs the paper's comparison algorithms as
+//! shared-memory method calls; this module runs the *same arithmetic*
+//! through real serialized [`saps_proto`] frames over a [`Transport`],
+//! metered by the [`WireTap`] and priced by the DES from the bytes
+//! actually framed:
+//!
+//! | Algorithm | Wire pattern | Payload frame |
+//! |-----------|--------------|---------------|
+//! | PSGD | hop-by-hop ring reduce-scatter + allgather | [`Message::DensePayload`] chunks |
+//! | D-PSGD | dense model to both ring neighbours | [`Message::DensePayload`] |
+//! | DCD-PSGD | sparse diff to both ring neighbours | [`Message::SparsePayload`] |
+//! | TopK-PSGD | sparse gradient allgather to every peer | [`Message::SparsePayload`] |
+//! | FedAvg | parameter server pinned at `best_server` | [`Message::DensePayload`] up + down |
+//! | S-FedAvg | PS, dense down / masked sparse up | [`Message::SparsePayload`] up |
+//! | RandomChoose | matched-pair shared-mask exchange | [`Message::MaskedPayload`] |
+//!
+//! Every round each worker also reports its local loss/accuracy sums as
+//! a [`Message::ClientStats`] control frame; the driver folds the
+//! *decoded* `f64` sums in ascending rank order, so the reported means
+//! carry the exact bits of the in-memory reduction.
+//!
+//! **The conformance invariant** (pinned by the workspace
+//! `tests/cluster_conformance.rs` matrix): a wire-driven baseline run is
+//! bit-identical to the in-memory run of the same spec — every round's
+//! loss/accuracy, every worker's parameters, every worker's traffic
+//! rows. Payload values make a byte round-trip (`f32` → little-endian
+//! frame → `f32`) which is exact, the application order is the
+//! in-memory order, and the per-worker `TrafficAccountant` charges are
+//! the same value-byte sums. What differs is the *server/control row*
+//! (real envelopes are billed like the SAPS driver bills them: every
+//! byte that is not payload values goes to the control plane) and the
+//! DES round time, which here prices full framed sizes.
+
+use crate::error::ClusterError;
+use crate::transport::{Addr, LoopbackTransport, Transport, WireTap};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use saps_baselines::allreduce::{
+    allgather_chunk, chunk_range, reduce_scatter_chunk, ring_send_bytes,
+};
+use saps_baselines::{select_ranked_mut, Fleet};
+use saps_compress::codec;
+use saps_compress::mask::RandomMask;
+use saps_compress::topk::{densify, top_k_indices, ErrorFeedbackTopK};
+use saps_core::{
+    checkpoint, AlgorithmRegistry, AlgorithmSpec, BuildCtx, ConfigError, RoundCtx, RoundReport,
+    Trainer,
+};
+use saps_data::Dataset;
+use saps_graph::topology;
+use saps_graph::topology::random_perfect_matching;
+use saps_netsim::TrafficAccountant;
+use saps_nn::Model;
+use saps_proto::{frame, Message};
+use saps_tensor::rng::{derive_seed, streams};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Idle receive sweeps tolerated before a stall error (1 ms each).
+const STALL_SWEEP_LIMIT: u32 = 5_000;
+
+/// Which baseline a [`BaselineClusterTrainer`] drives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BaselineKind {
+    /// Dense ring all-reduce PSGD.
+    Psgd,
+    /// Decentralized ring PSGD (dense neighbour exchange).
+    DPsgd,
+    /// Difference-compressed decentralized PSGD.
+    DcdPsgd {
+        /// Compression ratio `c` (top-`N/c` coordinates per diff).
+        compression: f64,
+    },
+    /// All-reduce PSGD with top-k sparsified gradients.
+    TopK {
+        /// Compression ratio `c`.
+        compression: f64,
+    },
+    /// Parameter-server FedAvg.
+    FedAvg {
+        /// Fraction of active workers sampled per round.
+        participation: f64,
+        /// Local SGD steps per selected client.
+        local_steps: usize,
+    },
+    /// FedAvg with random-mask sparsified uploads.
+    SFedAvg {
+        /// Fraction of active workers sampled per round.
+        participation: f64,
+        /// Local SGD steps per selected client.
+        local_steps: usize,
+        /// Upload compression ratio `c`.
+        compression: f64,
+    },
+    /// SAPS's exchange with uniformly random peer matching.
+    RandomChoose {
+        /// Compression ratio `c`.
+        compression: f64,
+    },
+}
+
+/// Per-algorithm driver state (mirrors the in-memory trainers' fields).
+enum AlgoState {
+    Psgd,
+    DPsgd,
+    Dcd {
+        compression: f64,
+        /// Each worker's last broadcast model, replicated at its
+        /// neighbours by the sparse diffs on the wire.
+        broadcast: Vec<Vec<f32>>,
+    },
+    TopK {
+        compression: f64,
+        compressors: Vec<ErrorFeedbackTopK>,
+    },
+    FedAvg {
+        participation: f64,
+        local_steps: usize,
+        server_model: Vec<f32>,
+        server: Option<usize>,
+        rng: StdRng,
+    },
+    SFedAvg {
+        participation: f64,
+        local_steps: usize,
+        compression: f64,
+        server_model: Vec<f32>,
+        server: Option<usize>,
+        rng: StdRng,
+        mask: RandomMask,
+    },
+    Random {
+        compression: f64,
+        rng: StdRng,
+        mask: RandomMask,
+    },
+}
+
+/// Discriminant used to dispatch without holding a borrow on the state.
+#[derive(Clone, Copy)]
+enum Kind {
+    Psgd,
+    DPsgd,
+    Dcd,
+    TopK,
+    FedAvg,
+    SFedAvg,
+    Random,
+}
+
+impl AlgoState {
+    fn kind(&self) -> Kind {
+        match self {
+            AlgoState::Psgd => Kind::Psgd,
+            AlgoState::DPsgd => Kind::DPsgd,
+            AlgoState::Dcd { .. } => Kind::Dcd,
+            AlgoState::TopK { .. } => Kind::TopK,
+            AlgoState::FedAvg { .. } => Kind::FedAvg,
+            AlgoState::SFedAvg { .. } => Kind::SFedAvg,
+            AlgoState::Random { .. } => Kind::Random,
+        }
+    }
+}
+
+/// The transport plus receive plumbing, split out so step methods can
+/// borrow it alongside the fleet and the algorithm state.
+struct Wire<T: Transport> {
+    transport: T,
+    stall_limit: u32,
+}
+
+impl<T: Transport> Wire<T> {
+    /// Encodes `msg`, records it on the tap (inside the transport), and
+    /// returns the framed byte count for DES pricing.
+    fn send(&mut self, from: Addr, to: Addr, msg: &Message) -> Result<u64, ClusterError> {
+        let bytes = frame::encode(msg);
+        let framed = bytes.len() as u64;
+        self.transport.send(from, to, bytes)?;
+        Ok(framed)
+    }
+
+    /// Receives and decodes one frame at `at`, stalling out (typed
+    /// error, never a hang) after `stall_limit` idle 1 ms sweeps.
+    fn recv(&mut self, at: Addr) -> Result<(Addr, Message), ClusterError> {
+        let mut idle = 0u32;
+        loop {
+            if let Some((from, bytes)) = self.transport.recv(at)? {
+                let msg = frame::decode(&bytes)?;
+                return Ok((from, msg));
+            }
+            idle += 1;
+            if idle > self.stall_limit {
+                return Err(ClusterError::Protocol(format!(
+                    "transport quiescent waiting for a frame at {at}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Ships each worker's `(loss, acc)` sums to the coordinator as
+    /// [`Message::ClientStats`] control frames and folds the decoded
+    /// values in ascending rank order. Returns the raw `f64` sums.
+    fn exchange_stats(
+        &mut self,
+        round: u64,
+        per_worker: &[(usize, (f64, f64))],
+    ) -> Result<(f64, f64), ClusterError> {
+        for &(rank, (loss, acc)) in per_worker {
+            let msg = Message::ClientStats {
+                round,
+                rank: rank as u32,
+                loss,
+                acc,
+            };
+            self.send(Addr::Worker(rank as u32), Addr::Coordinator, &msg)?;
+        }
+        let mut decoded = BTreeMap::new();
+        for _ in per_worker {
+            let (from, msg) = self.recv(Addr::Coordinator)?;
+            let Message::ClientStats {
+                round: r,
+                rank,
+                loss,
+                acc,
+            } = msg
+            else {
+                return Err(unexpected("ClientStats", &msg, from));
+            };
+            if r != round {
+                return Err(ClusterError::Protocol(format!(
+                    "stats frame for round {r} during round {round}"
+                )));
+            }
+            decoded.insert(rank, (loss, acc));
+        }
+        if decoded.len() != per_worker.len() {
+            return Err(ClusterError::Protocol(
+                "duplicate stats frames in one round".into(),
+            ));
+        }
+        Ok(decoded
+            .values()
+            .fold((0.0, 0.0), |(l, a), &(li, ai)| (l + li, a + ai)))
+    }
+}
+
+fn unexpected(wanted: &str, got: &Message, from: Addr) -> ClusterError {
+    ClusterError::Protocol(format!(
+        "expected {wanted} from {from}, got {}",
+        got.label()
+    ))
+}
+
+fn worker_rank(addr: Addr) -> Result<usize, ClusterError> {
+    match addr {
+        Addr::Worker(r) => Ok(r as usize),
+        other => Err(ClusterError::Protocol(format!(
+            "payload frame from non-worker address {other}"
+        ))),
+    }
+}
+
+fn dense_values(msg: Message, round: u64, from: Addr) -> Result<Vec<f32>, ClusterError> {
+    match msg {
+        Message::DensePayload { round: r, values } if r == round => Ok(values),
+        Message::DensePayload { round: r, .. } => Err(ClusterError::Protocol(format!(
+            "dense payload for round {r} during round {round}"
+        ))),
+        other => Err(unexpected("DensePayload", &other, from)),
+    }
+}
+
+fn sparse_values(
+    msg: Message,
+    round: u64,
+    from: Addr,
+) -> Result<(Vec<u32>, Vec<f32>), ClusterError> {
+    match msg {
+        Message::SparsePayload {
+            round: r,
+            indices,
+            values,
+        } if r == round => Ok((indices, values)),
+        Message::SparsePayload { round: r, .. } => Err(ClusterError::Protocol(format!(
+            "sparse payload for round {r} during round {round}"
+        ))),
+        other => Err(unexpected("SparsePayload", &other, from)),
+    }
+}
+
+fn masked_values(msg: Message, round: u64, from: Addr) -> Result<Vec<f32>, ClusterError> {
+    match msg {
+        Message::MaskedPayload { round: r, values } if r == round => Ok(values),
+        Message::MaskedPayload { round: r, .. } => Err(ClusterError::Protocol(format!(
+            "masked payload for round {r} during round {round}"
+        ))),
+        other => Err(unexpected("MaskedPayload", &other, from)),
+    }
+}
+
+/// Bills every not-yet-billed control-plane byte (control frames plus
+/// all payload envelopes) to the server row, like the SAPS driver.
+fn bill_control(tap: &WireTap, billed: &mut u64, traffic: &mut TrafficAccountant) {
+    let after = tap.snapshot().control_bytes;
+    traffic.record_control(after.saturating_sub(*billed));
+    *billed = after;
+}
+
+fn cfg_err(e: ClusterError) -> ConfigError {
+    ConfigError::invalid("cluster baseline", e.to_string())
+}
+
+/// A [`Trainer`] that drives one of the seven baseline algorithms as a
+/// real framed message exchange over a [`Transport`].
+///
+/// The driver is the cluster: it holds the worker [`Fleet`], but every
+/// payload a baseline exchanges — gradients, models, sparse diffs,
+/// masked values — is encoded, sent, received, and decoded, and the
+/// *decoded* values are what the arithmetic consumes. See the module
+/// docs for the per-algorithm wire patterns and the conformance
+/// invariant.
+pub struct BaselineClusterTrainer<T: Transport> {
+    fleet: Fleet,
+    algo: AlgoState,
+    name: &'static str,
+    wire: Wire<T>,
+    tap: WireTap,
+    billed_control: u64,
+    rounds: u64,
+}
+
+impl BaselineClusterTrainer<LoopbackTransport> {
+    /// Builds a baseline cluster over the in-process loopback transport.
+    pub fn loopback(
+        kind: BaselineKind,
+        parts: Vec<Dataset>,
+        factory: impl Fn(&mut StdRng) -> Model,
+        seed: u64,
+        batch_size: usize,
+        lr: f32,
+        tap: WireTap,
+    ) -> Result<Self, ConfigError> {
+        let transport = LoopbackTransport::new(tap.clone());
+        Self::with_transport(kind, parts, factory, seed, batch_size, lr, transport, tap)
+    }
+}
+
+impl<T: Transport> BaselineClusterTrainer<T> {
+    /// Builds a baseline cluster over an arbitrary transport. `tap` must
+    /// be the same tap the transport meters into — it is the ground
+    /// truth the driver bills control-plane bytes from.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_transport(
+        kind: BaselineKind,
+        parts: Vec<Dataset>,
+        factory: impl Fn(&mut StdRng) -> Model,
+        seed: u64,
+        batch_size: usize,
+        lr: f32,
+        transport: T,
+        tap: WireTap,
+    ) -> Result<Self, ConfigError> {
+        let fleet = Fleet::with_partitions(parts, factory, seed, batch_size, lr)?;
+        let n = fleet.n_params();
+        let check_ring = |what: &'static str| {
+            if fleet.len() < 3 {
+                return Err(ConfigError::invalid(
+                    what,
+                    format!("a ring needs at least 3 workers, got {}", fleet.len()),
+                ));
+            }
+            Ok(())
+        };
+        let check_compression = |what: &'static str, c: f64| {
+            if !(c >= 1.0 && c.is_finite()) {
+                return Err(ConfigError::invalid(
+                    what,
+                    format!("compression {c} must be a finite ratio >= 1"),
+                ));
+            }
+            Ok(())
+        };
+        let check_ps = |what: &'static str, participation: f64, local_steps: usize| {
+            if !(participation > 0.0 && participation <= 1.0) {
+                return Err(ConfigError::invalid(
+                    what,
+                    format!("participation {participation} must be in (0, 1]"),
+                ));
+            }
+            if local_steps == 0 {
+                return Err(ConfigError::invalid(what, "local_steps must be >= 1"));
+            }
+            Ok(())
+        };
+        let (algo, name) = match kind {
+            BaselineKind::Psgd => (AlgoState::Psgd, "PSGD"),
+            BaselineKind::DPsgd => {
+                check_ring("DPsgd")?;
+                (AlgoState::DPsgd, "D-PSGD")
+            }
+            BaselineKind::DcdPsgd { compression } => {
+                check_ring("DcdPsgd")?;
+                check_compression("DcdPsgd", compression)?;
+                let broadcast = (0..fleet.len()).map(|r| fleet.worker(r).flat()).collect();
+                (
+                    AlgoState::Dcd {
+                        compression,
+                        broadcast,
+                    },
+                    "DCD-PSGD",
+                )
+            }
+            BaselineKind::TopK { compression } => {
+                check_compression("TopKPsgd", compression)?;
+                let compressors = (0..fleet.len())
+                    .map(|_| ErrorFeedbackTopK::with_ratio(n, compression))
+                    .collect();
+                (
+                    AlgoState::TopK {
+                        compression,
+                        compressors,
+                    },
+                    "TopK-PSGD",
+                )
+            }
+            BaselineKind::FedAvg {
+                participation,
+                local_steps,
+            } => {
+                check_ps("FedAvgConfig", participation, local_steps)?;
+                (
+                    AlgoState::FedAvg {
+                        participation,
+                        local_steps,
+                        server_model: fleet.worker(0).flat(),
+                        server: None,
+                        rng: StdRng::seed_from_u64(derive_seed(seed, 0, streams::CLIENT_SAMPLE)),
+                    },
+                    "FedAvg",
+                )
+            }
+            BaselineKind::SFedAvg {
+                participation,
+                local_steps,
+                compression,
+            } => {
+                check_ps("SFedAvg", participation, local_steps)?;
+                check_compression("SFedAvg", compression)?;
+                (
+                    AlgoState::SFedAvg {
+                        participation,
+                        local_steps,
+                        compression,
+                        server_model: fleet.worker(0).flat(),
+                        server: None,
+                        rng: StdRng::seed_from_u64(derive_seed(seed, 1, streams::CLIENT_SAMPLE)),
+                        mask: RandomMask::from_indices(n, Vec::new()),
+                    },
+                    "S-FedAvg",
+                )
+            }
+            BaselineKind::RandomChoose { compression } => {
+                check_compression("RandomChoose", compression)?;
+                (
+                    AlgoState::Random {
+                        compression,
+                        rng: StdRng::seed_from_u64(derive_seed(seed, 2, streams::MATCHING)),
+                        mask: RandomMask::from_indices(n, Vec::new()),
+                    },
+                    "RandomChoose",
+                )
+            }
+        };
+        let billed_control = tap.snapshot().control_bytes;
+        Ok(BaselineClusterTrainer {
+            fleet,
+            algo,
+            name,
+            wire: Wire {
+                transport,
+                stall_limit: STALL_SWEEP_LIMIT,
+            },
+            tap,
+            billed_control,
+            rounds: 0,
+        })
+    }
+
+    /// Lowers the stall tolerance (in 1 ms receive sweeps) — test hook.
+    pub fn with_stall_limit(mut self, sweeps: u32) -> Self {
+        self.wire.stall_limit = sweeps;
+        self
+    }
+
+    /// The wire tap metering this cluster's transport.
+    pub fn tap(&self) -> &WireTap {
+        &self.tap
+    }
+
+    /// Runs one round, surfacing wire faults as typed errors.
+    pub fn try_step(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        // Keep the shared tap's transfer log bounded: the baseline
+        // drivers bill from their own records, not the transfer rows.
+        self.tap.take_transfers();
+        let rep = match self.algo.kind() {
+            Kind::Psgd => self.step_psgd(ctx),
+            Kind::DPsgd => self.step_dpsgd(ctx),
+            Kind::Dcd => self.step_dcd(ctx),
+            Kind::TopK => self.step_topk(ctx),
+            Kind::FedAvg => self.step_fedavg(ctx),
+            Kind::SFedAvg => self.step_sfedavg(ctx),
+            Kind::Random => self.step_random(ctx),
+        }?;
+        self.tap.take_transfers();
+        self.rounds += 1;
+        Ok(rep)
+    }
+
+    /// Per-worker `(rank, (Σloss, Σacc))` for one local SGD step on
+    /// every active worker — the per-lane arithmetic of
+    /// [`Fleet::sgd_step_all_on`], kept per rank so the sums can cross
+    /// the wire before the mean reduction.
+    fn local_sgd_stats(fleet: &mut Fleet, ctx: &RoundCtx<'_>) -> Vec<(usize, (f64, f64))> {
+        let (bs, lr) = (fleet.batch_size, fleet.lr);
+        let items = fleet.active_workers_mut();
+        ctx.exec.par_map(items, |_, (r, w)| {
+            let (l, a) = w.sgd_step(bs, lr);
+            (r, (l as f64, a as f64))
+        })
+    }
+
+    /// [`Self::local_sgd_stats`] for gradient accumulation (no step).
+    fn local_grad_stats(fleet: &mut Fleet, ctx: &RoundCtx<'_>) -> Vec<(usize, (f64, f64))> {
+        let bs = fleet.batch_size;
+        let items = fleet.active_workers_mut();
+        ctx.exec.par_map(items, |_, (r, w)| {
+            let (l, a) = w.accumulate_grads(bs);
+            (r, (l as f64, a as f64))
+        })
+    }
+
+    /// PSGD: the ring all-reduce run hop by hop. Each reduce-scatter and
+    /// allgather step frames the chunk a position forwards as a
+    /// [`Message::DensePayload`]; receivers fold the *decoded* chunk in
+    /// the exact chunk-rotated order [`saps_baselines::allreduce`] pins,
+    /// so every worker applies the bit-identical mean gradient.
+    fn step_psgd(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        let round = self.rounds;
+        let wire = &mut self.wire;
+        let fleet = &mut self.fleet;
+        let bw = ctx.bw;
+        let exec = ctx.exec;
+        let ranks = fleet.active_ranks();
+        let m = ranks.len();
+        let n = fleet.n_params();
+
+        let per_worker = Self::local_grad_stats(fleet, ctx);
+        let (sum_l, sum_a) = wire.exchange_stats(round, &per_worker)?;
+        let denom = m.max(1) as f64;
+        let (loss, acc) = ((sum_l / denom) as f32, (sum_a / denom) as f32);
+
+        let grads: Vec<Vec<f32>> = ranks
+            .iter()
+            .map(|&r| fleet.worker(r).model().flat_grads())
+            .collect();
+        let at = |r: usize| Addr::Worker(r as u32);
+
+        // Reduce-scatter: m−1 hops; position i forwards its running
+        // partial of chunk `reduce_scatter_chunk(m, i, s)` to its ring
+        // successor, which folds decoded + own (the pinned fold order).
+        let mut partial = grads.clone();
+        let mut framed = vec![0u64; m];
+        for s in 0..m.saturating_sub(1) {
+            for i in 0..m {
+                let range = chunk_range(n, m, reduce_scatter_chunk(m, i, s));
+                let msg = Message::DensePayload {
+                    round,
+                    values: partial[i][range].to_vec(),
+                };
+                framed[i] += wire.send(at(ranks[i]), at(ranks[(i + 1) % m]), &msg)?;
+            }
+            for i in 0..m {
+                let dst = (i + 1) % m;
+                let (from, msg) = wire.recv(at(ranks[dst]))?;
+                let values = dense_values(msg, round, from)?;
+                let range = chunk_range(n, m, reduce_scatter_chunk(m, i, s));
+                if values.len() != range.len() {
+                    return Err(ClusterError::Protocol(format!(
+                        "ring chunk from {from}: {} values for a {}-element chunk",
+                        values.len(),
+                        range.len()
+                    )));
+                }
+                for (j, v) in range.zip(values) {
+                    partial[dst][j] = v + grads[dst][j];
+                }
+            }
+        }
+        // Each chunk completed at its owner; scale to the mean there.
+        let inv = 1.0 / m as f32;
+        let mut mean_at: Vec<Vec<f32>> = vec![vec![0.0f32; n]; m];
+        for c in 0..m {
+            let owner = (c + m - 1) % m;
+            for j in chunk_range(n, m, c) {
+                mean_at[owner][j] = partial[owner][j] * inv;
+            }
+        }
+        // Allgather: m−1 hops forwarding the scaled chunks around the
+        // ring until every position holds the full mean.
+        for s in 0..m.saturating_sub(1) {
+            for i in 0..m {
+                let range = chunk_range(n, m, allgather_chunk(m, i, s));
+                let msg = Message::DensePayload {
+                    round,
+                    values: mean_at[i][range].to_vec(),
+                };
+                framed[i] += wire.send(at(ranks[i]), at(ranks[(i + 1) % m]), &msg)?;
+            }
+            for i in 0..m {
+                let dst = (i + 1) % m;
+                let (from, msg) = wire.recv(at(ranks[dst]))?;
+                let values = dense_values(msg, round, from)?;
+                let range = chunk_range(n, m, allgather_chunk(m, i, s));
+                for (j, v) in range.zip(values) {
+                    mean_at[dst][j] = v;
+                }
+            }
+        }
+        // Identical update on every active replica, each lane applying
+        // its own (bit-identical) assembled mean.
+        let lr = fleet.lr;
+        let means = &mean_at;
+        let items = fleet.workers_mut_at(&ranks);
+        exec.par_map(items, |i, (_, w)| {
+            w.add_scaled(-lr, &means[i]);
+            w.model_mut().zero_grads();
+        });
+
+        // Worker rows: the in-memory value-byte charges.
+        let mut per_worker_max = 0u64;
+        for i in 0..m {
+            let bytes = ring_send_bytes(n, m, i);
+            per_worker_max = per_worker_max.max(bytes);
+            ctx.traffic.record_p2p(ranks[i], ranks[(i + 1) % m], bytes);
+        }
+        bill_control(&self.tap, &mut self.billed_control, ctx.traffic);
+        ctx.traffic.end_round();
+        // DES: the bytes actually framed through the busiest position.
+        let framed_max = framed.iter().copied().max().unwrap_or(0);
+        let timing = ctx.price_allreduce(&ranks, framed_max);
+        let ring = topology::ring_edges_over(&ranks);
+        let mean_link = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
+        let min_link = ring
+            .iter()
+            .map(|&(a, b)| bw.get(a, b))
+            .fold(f64::INFINITY, f64::min);
+
+        let mut rep = RoundReport::new();
+        rep.mean_loss = loss;
+        rep.mean_acc = acc;
+        rep.set_timing(&timing);
+        rep.epochs_advanced = self.fleet.epochs_per_round();
+        rep.mean_link_bandwidth = mean_link;
+        rep.min_link_bandwidth = min_link;
+        Ok(rep)
+    }
+
+    /// D-PSGD: every active worker frames its dense post-step model to
+    /// both ring neighbours; the mix `x_i ← (x̂_{i−1} + x_i + x̂_{i+1})/3`
+    /// reads the *decoded* neighbour snapshots.
+    fn step_dpsgd(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        let round = self.rounds;
+        let wire = &mut self.wire;
+        let fleet = &mut self.fleet;
+        let bw = ctx.bw;
+        let exec = ctx.exec;
+        let ranks = fleet.active_ranks();
+        let m = ranks.len();
+        let at = |r: usize| Addr::Worker(r as u32);
+
+        let per_worker = Self::local_sgd_stats(fleet, ctx);
+        let (sum_l, sum_a) = wire.exchange_stats(round, &per_worker)?;
+        let denom = m.max(1) as f64;
+        let (loss, acc) = ((sum_l / denom) as f32, (sum_a / denom) as f32);
+
+        let mut transfers = Vec::with_capacity(2 * m);
+        for i in 0..m {
+            let values = fleet.worker(ranks[i]).flat();
+            for peer in [ranks[(i + 1) % m], ranks[(i + m - 1) % m]] {
+                let msg = Message::DensePayload {
+                    round,
+                    values: values.clone(),
+                };
+                let framed = wire.send(at(ranks[i]), at(peer), &msg)?;
+                transfers.push((ranks[i], peer, framed));
+            }
+        }
+        // Each active worker receives both neighbour models.
+        let mut inbox: Vec<BTreeMap<usize, Vec<f32>>> = vec![BTreeMap::new(); m];
+        for (i, slot) in inbox.iter_mut().enumerate() {
+            for _ in 0..2 {
+                let (from, msg) = wire.recv(at(ranks[i]))?;
+                let src = worker_rank(from)?;
+                slot.insert(src, dense_values(msg, round, from)?);
+            }
+        }
+        let snapshots = &inbox;
+        let items = fleet.workers_mut_at(&ranks);
+        let mut mix_err = None;
+        let results = exec.par_map(items, |i, (_, w)| {
+            let (Some(prev), Some(next)) = (
+                snapshots[i].get(&ranks[(i + m - 1) % m]),
+                snapshots[i].get(&ranks[(i + 1) % m]),
+            ) else {
+                return false;
+            };
+            w.update_flat(|flat| {
+                for k in 0..flat.len() {
+                    flat[k] = (prev[k] + flat[k] + next[k]) / 3.0;
+                }
+            });
+            true
+        });
+        if let Some(pos) = results.iter().position(|&ok| !ok) {
+            mix_err = Some(ranks[pos]);
+        }
+        if let Some(rank) = mix_err {
+            return Err(ClusterError::Protocol(format!(
+                "worker {rank} missing a ring neighbour's model frame"
+            )));
+        }
+
+        let dense_bytes = 4 * fleet.n_params() as u64;
+        for i in 0..m {
+            for peer in [ranks[(i + 1) % m], ranks[(i + m - 1) % m]] {
+                ctx.traffic.record_p2p(ranks[i], peer, dense_bytes);
+            }
+        }
+        bill_control(&self.tap, &mut self.billed_control, ctx.traffic);
+        ctx.traffic.end_round();
+        let timing = ctx.price_p2p(&transfers);
+
+        let ring = topology::ring_edges_over(&ranks);
+        let mean_link = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
+        let min_link = ring
+            .iter()
+            .map(|&(a, b)| bw.get(a, b))
+            .fold(f64::INFINITY, f64::min);
+        let mut rep = RoundReport::new();
+        rep.mean_loss = loss;
+        rep.mean_acc = acc;
+        rep.set_timing(&timing);
+        rep.epochs_advanced = self.fleet.epochs_per_round();
+        rep.mean_link_bandwidth = mean_link;
+        rep.min_link_bandwidth = min_link;
+        Ok(rep)
+    }
+
+    /// DCD-PSGD: each worker top-k compresses `x_i − broadcast_i` and
+    /// frames the sparse diff to both ring neighbours; the *decoded*
+    /// patch updates the sender's broadcast replica (applied once, no
+    /// matter how many neighbours received it) before the ring mix.
+    fn step_dcd(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        let AlgoState::Dcd {
+            compression,
+            broadcast,
+        } = &mut self.algo
+        else {
+            unreachable!("dispatched on kind");
+        };
+        let round = self.rounds;
+        let wire = &mut self.wire;
+        let fleet = &mut self.fleet;
+        let bw = ctx.bw;
+        let exec = ctx.exec;
+        let ranks = fleet.active_ranks();
+        let m = ranks.len();
+        let n = fleet.n_params();
+        let k = ((n as f64 / *compression).round() as usize).max(1);
+        let at = |r: usize| Addr::Worker(r as u32);
+
+        let per_worker = Self::local_sgd_stats(fleet, ctx);
+        let (sum_l, sum_a) = wire.exchange_stats(round, &per_worker)?;
+        let denom = m.max(1) as f64;
+        let (loss, acc) = ((sum_l / denom) as f32, (sum_a / denom) as f32);
+
+        // Compress each worker's drift against its broadcast state (read
+        // only — the patch is applied from the decoded frames below).
+        let payloads: Vec<(Vec<u32>, Vec<f32>)> = {
+            let fleet = &*fleet;
+            let bcast = &*broadcast;
+            exec.par_map(ranks.clone(), |_, r| {
+                let x = fleet.worker(r).flat();
+                let diff: Vec<f32> = x.iter().zip(bcast[r].iter()).map(|(a, b)| a - b).collect();
+                let idx = top_k_indices(&diff, k);
+                let vals: Vec<f32> = idx.iter().map(|&i| diff[i as usize]).collect();
+                (idx, vals)
+            })
+        };
+        let mut transfers = Vec::with_capacity(2 * m);
+        for (i, (idx, vals)) in payloads.iter().enumerate() {
+            for peer in [ranks[(i + 1) % m], ranks[(i + m - 1) % m]] {
+                let msg = Message::SparsePayload {
+                    round,
+                    indices: idx.clone(),
+                    values: vals.clone(),
+                };
+                let framed = wire.send(at(ranks[i]), at(peer), &msg)?;
+                transfers.push((ranks[i], peer, framed));
+            }
+        }
+        // Drain both neighbour frames at every worker; both copies of a
+        // sender's diff are identical, so keep one per sender.
+        let mut decoded: BTreeMap<usize, (Vec<u32>, Vec<f32>)> = BTreeMap::new();
+        for &r in &ranks {
+            for _ in 0..2 {
+                let (from, msg) = wire.recv(at(r))?;
+                let src = worker_rank(from)?;
+                decoded.insert(src, sparse_values(msg, round, from)?);
+            }
+        }
+        // Apply each decoded patch once to the sender's broadcast
+        // replica — densified first, so the elementwise `+= 0.0` on
+        // untouched coordinates matches the in-memory arithmetic.
+        for &r in &ranks {
+            let (idx, vals) = decoded.get(&r).ok_or_else(|| {
+                ClusterError::Protocol(format!("no sparse diff framed by worker {r}"))
+            })?;
+            let sparse = densify(n, idx, vals);
+            for (b, s) in broadcast[r].iter_mut().zip(&sparse) {
+                *b += s;
+            }
+        }
+        let payload_bytes = payloads
+            .last()
+            .map_or(0, |(idx, _)| codec::sparse_iv_bytes(idx.len()));
+
+        // Ring mix against the (now patched) broadcast replicas.
+        let bcast = &*broadcast;
+        let items = fleet.workers_mut_at(&ranks);
+        exec.par_map(items, |i, (_, w)| {
+            let prev = &bcast[ranks[(i + m - 1) % m]];
+            let next = &bcast[ranks[(i + 1) % m]];
+            w.update_flat(|flat| {
+                for p in 0..flat.len() {
+                    flat[p] = (prev[p] + flat[p] + next[p]) / 3.0;
+                }
+            });
+        });
+
+        for i in 0..m {
+            for peer in [ranks[(i + 1) % m], ranks[(i + m - 1) % m]] {
+                ctx.traffic.record_p2p(ranks[i], peer, payload_bytes);
+            }
+        }
+        bill_control(&self.tap, &mut self.billed_control, ctx.traffic);
+        ctx.traffic.end_round();
+        let timing = ctx.price_p2p(&transfers);
+
+        let ring = topology::ring_edges_over(&ranks);
+        let mean_link = ring.iter().map(|&(a, b)| bw.get(a, b)).sum::<f64>() / ring.len() as f64;
+        let min_link = ring
+            .iter()
+            .map(|&(a, b)| bw.get(a, b))
+            .fold(f64::INFINITY, f64::min);
+        let mut rep = RoundReport::new();
+        rep.mean_loss = loss;
+        rep.mean_acc = acc;
+        rep.set_timing(&timing);
+        rep.epochs_advanced = self.fleet.epochs_per_round();
+        rep.mean_link_bandwidth = mean_link;
+        rep.min_link_bandwidth = min_link;
+        Ok(rep)
+    }
+
+    /// TopK-PSGD: every worker frames its error-feedback top-k gradient
+    /// to every other active worker (allgather); each worker folds the
+    /// *decoded* payload set in ascending rank order into the identical
+    /// mean and applies it locally.
+    fn step_topk(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        let AlgoState::TopK { compressors, .. } = &mut self.algo else {
+            unreachable!("dispatched on kind");
+        };
+        let round = self.rounds;
+        let wire = &mut self.wire;
+        let fleet = &mut self.fleet;
+        let bw = ctx.bw;
+        let exec = ctx.exec;
+        let ranks = fleet.active_ranks();
+        let m = ranks.len();
+        let n = fleet.n_params();
+        let at = |r: usize| Addr::Worker(r as u32);
+
+        let per_worker = Self::local_grad_stats(fleet, ctx);
+        let (sum_l, sum_a) = wire.exchange_stats(round, &per_worker)?;
+        let denom = m.max(1) as f64;
+        let (loss, acc) = ((sum_l / denom) as f32, (sum_a / denom) as f32);
+
+        let payloads = {
+            let fleet = &*fleet;
+            let comp_items = select_ranked_mut(compressors, &ranks);
+            exec.par_map(comp_items, |_, (r, comp)| {
+                comp.compress(&fleet.worker(r).model().flat_grads())
+            })
+        };
+        let mut framed_max = 0u64;
+        for (i, (idx, vals)) in payloads.iter().enumerate() {
+            for (j, &dst) in ranks.iter().enumerate() {
+                if j != i {
+                    let msg = Message::SparsePayload {
+                        round,
+                        indices: idx.clone(),
+                        values: vals.clone(),
+                    };
+                    framed_max = framed_max.max(wire.send(at(ranks[i]), at(dst), &msg)?);
+                }
+            }
+        }
+        // Each worker drains the other m−1 payloads.
+        type SparseInbox = BTreeMap<usize, (Vec<u32>, Vec<f32>)>;
+        let mut deliveries: Vec<SparseInbox> = vec![BTreeMap::new(); m];
+        for (i, slot) in deliveries.iter_mut().enumerate() {
+            for _ in 0..m.saturating_sub(1) {
+                let (from, msg) = wire.recv(at(ranks[i]))?;
+                let src = worker_rank(from)?;
+                slot.insert(src, sparse_values(msg, round, from)?);
+            }
+        }
+        // Per-worker mean from the decoded payloads, folded in ascending
+        // rank order (own payload slots in from the local copy, exactly
+        // where a real allgather keeps it).
+        let lr = fleet.lr;
+        let own = &payloads;
+        let recv = &deliveries;
+        let ranks_ref = &ranks;
+        let items = fleet.workers_mut_at(&ranks);
+        let fold_ok = exec.par_map(items, |i, (_, w)| {
+            let mut mean = vec![0.0f32; n];
+            for (pos, &src) in ranks_ref.iter().enumerate() {
+                let (idx, vals) = if pos == i {
+                    (&own[pos].0, &own[pos].1)
+                } else {
+                    match recv[i].get(&src) {
+                        Some((idx, vals)) => (idx, vals),
+                        None => return false,
+                    }
+                };
+                let dense = densify(n, idx, vals);
+                saps_tensor::ops::axpy(1.0 / m as f32, &dense, &mut mean);
+            }
+            w.add_scaled(-lr, &mean);
+            w.model_mut().zero_grads();
+            true
+        });
+        if let Some(pos) = fold_ok.iter().position(|&ok| !ok) {
+            return Err(ClusterError::Protocol(format!(
+                "worker {} missing an allgather payload frame",
+                ranks[pos]
+            )));
+        }
+
+        let mut payload_bytes = 0u64;
+        for (i, (idx, _)) in payloads.iter().enumerate() {
+            let bytes = codec::sparse_iv_bytes(idx.len());
+            payload_bytes = payload_bytes.max(bytes);
+            for (j, &dst) in ranks.iter().enumerate() {
+                if j != i {
+                    ctx.traffic.record_p2p(ranks[i], dst, bytes);
+                }
+            }
+        }
+        bill_control(&self.tap, &mut self.billed_control, ctx.traffic);
+        ctx.traffic.end_round();
+        let timing = ctx.price_allgather(&ranks, framed_max);
+        let mut min_link = f64::INFINITY;
+        let mut sum_link = 0.0f64;
+        let mut links = 0usize;
+        for i in 0..m {
+            for j in 0..m {
+                if i != j {
+                    let l = bw.get(ranks[i], ranks[j]);
+                    min_link = min_link.min(l);
+                    sum_link += l;
+                    links += 1;
+                }
+            }
+        }
+
+        let mut rep = RoundReport::new();
+        rep.mean_loss = loss;
+        rep.mean_acc = acc;
+        rep.set_timing(&timing);
+        rep.epochs_advanced = self.fleet.epochs_per_round();
+        rep.mean_link_bandwidth = sum_link / links.max(1) as f64;
+        rep.min_link_bandwidth = min_link;
+        Ok(rep)
+    }
+
+    /// FedAvg: dense downloads framed from the pinned server node, local
+    /// steps started from the *decoded* global model, dense uploads
+    /// framed back and averaged from the decoded copies in ascending
+    /// client order.
+    fn step_fedavg(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        let AlgoState::FedAvg {
+            participation,
+            local_steps,
+            server_model,
+            server,
+            rng,
+        } = &mut self.algo
+        else {
+            unreachable!("dispatched on kind");
+        };
+        let round = self.rounds;
+        let wire = &mut self.wire;
+        let fleet = &mut self.fleet;
+        let exec = ctx.exec;
+        let n = fleet.n_params();
+        let at = |r: usize| Addr::Worker(r as u32);
+
+        let clients = {
+            let mut ranks = fleet.active_ranks();
+            let m = ranks.len();
+            let k = ((m as f64 * *participation).round() as usize).clamp(1, m);
+            ranks.shuffle(rng);
+            ranks.truncate(k);
+            ranks.sort_unstable();
+            ranks
+        };
+        let server_rank = *server.get_or_insert_with(|| ctx.bw.best_server());
+        let dense_bytes = 4 * n as u64;
+
+        for &r in &clients {
+            ctx.traffic.record_download(r, dense_bytes);
+        }
+        // Dense downloads: one frame per selected client.
+        let mut down_framed: BTreeMap<usize, u64> = BTreeMap::new();
+        for &r in &clients {
+            let msg = Message::DensePayload {
+                round,
+                values: server_model.clone(),
+            };
+            down_framed.insert(r, wire.send(at(server_rank), at(r), &msg)?);
+        }
+        let mut global_of: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
+        for &r in &clients {
+            let (from, msg) = wire.recv(at(r))?;
+            global_of.insert(r, dense_values(msg, round, from)?);
+        }
+        // Local steps from the decoded global, fanned out per client.
+        let (bs, lr) = (fleet.batch_size, fleet.lr);
+        let steps_each = *local_steps;
+        let globals = &global_of;
+        let items = fleet.workers_mut_at(&clients);
+        let per_client: Vec<(usize, (f64, f64))> = exec.par_map(items, |_, (r, w)| {
+            w.set_flat(&globals[&r]);
+            let mut l = 0.0f64;
+            let mut a = 0.0f64;
+            for _ in 0..steps_each {
+                let (li, ai) = w.sgd_step(bs, lr);
+                l += li as f64;
+                a += ai as f64;
+            }
+            (r, (l, a))
+        });
+        let (sum_l, sum_a) = wire.exchange_stats(round, &per_client)?;
+        let steps = (clients.len() * steps_each) as f64;
+
+        // Dense uploads, averaged from the decoded copies.
+        let mut up_framed: BTreeMap<usize, u64> = BTreeMap::new();
+        for &r in &clients {
+            let msg = Message::DensePayload {
+                round,
+                values: fleet.worker(r).flat(),
+            };
+            up_framed.insert(r, wire.send(at(r), at(server_rank), &msg)?);
+            ctx.traffic.record_upload(r, dense_bytes);
+        }
+        let mut uploads: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
+        for _ in &clients {
+            let (from, msg) = wire.recv(at(server_rank))?;
+            uploads.insert(worker_rank(from)?, dense_values(msg, round, from)?);
+        }
+        let mut accum = vec![0.0f32; n];
+        for &r in &clients {
+            let flat = uploads
+                .get(&r)
+                .ok_or_else(|| ClusterError::Protocol(format!("no upload framed by client {r}")))?;
+            for (a, v) in accum.iter_mut().zip(flat) {
+                *a += v;
+            }
+        }
+        let inv = 1.0 / clients.len() as f32;
+        for a in &mut accum {
+            *a *= inv;
+        }
+        *server_model = accum;
+        bill_control(&self.tap, &mut self.billed_control, ctx.traffic);
+        ctx.traffic.end_round();
+
+        let transfers: Vec<(usize, u64, u64)> = clients
+            .iter()
+            .map(|&r| (r, up_framed[&r], down_framed[&r]))
+            .collect();
+        let timing = ctx.price_ps(server_rank, &transfers);
+
+        let mut rep = RoundReport::new();
+        rep.mean_loss = (sum_l / steps) as f32;
+        rep.mean_acc = (sum_a / steps) as f32;
+        rep.set_timing(&timing);
+        rep.epochs_advanced = self.fleet.epochs_per_round() * steps_each as f64 * *participation;
+        Ok(rep)
+    }
+
+    /// S-FedAvg: dense downloads as FedAvg; uploads are per-client
+    /// random-mask sparse frames, folded at the server from the decoded
+    /// `(index, value)` pairs in the sampled (shuffled) client order.
+    fn step_sfedavg(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        let AlgoState::SFedAvg {
+            participation,
+            local_steps,
+            compression,
+            server_model,
+            server,
+            rng,
+            mask,
+        } = &mut self.algo
+        else {
+            unreachable!("dispatched on kind");
+        };
+        let round = self.rounds;
+        let wire = &mut self.wire;
+        let fleet = &mut self.fleet;
+        let exec = ctx.exec;
+        let n = fleet.n_params();
+        let at = |r: usize| Addr::Worker(r as u32);
+
+        // The sampled client list stays in shuffled order — the upload
+        // mask RNG draws and the server fold both follow it.
+        let clients = {
+            let mut ranks = fleet.active_ranks();
+            let m = ranks.len();
+            let k = ((m as f64 * *participation).round() as usize).clamp(1, m);
+            ranks.shuffle(rng);
+            ranks.truncate(k);
+            ranks
+        };
+        let server_rank = *server.get_or_insert_with(|| ctx.bw.best_server());
+        let dense_bytes = 4 * n as u64;
+
+        for &r in &clients {
+            ctx.traffic.record_download(r, dense_bytes);
+        }
+        let mut down_framed: BTreeMap<usize, u64> = BTreeMap::new();
+        for &r in &clients {
+            let msg = Message::DensePayload {
+                round,
+                values: server_model.clone(),
+            };
+            down_framed.insert(r, wire.send(at(server_rank), at(r), &msg)?);
+        }
+        let mut global_of: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
+        for &r in &clients {
+            let (from, msg) = wire.recv(at(r))?;
+            global_of.insert(r, dense_values(msg, round, from)?);
+        }
+        let (bs, lr) = (fleet.batch_size, fleet.lr);
+        let steps_each = *local_steps;
+        let globals = &global_of;
+        let items = fleet.workers_mut_at(&clients);
+        let per_client: Vec<(usize, (f64, f64))> = exec.par_map(items, |_, (r, w)| {
+            w.set_flat(&globals[&r]);
+            let mut l = 0.0f64;
+            let mut a = 0.0f64;
+            for _ in 0..steps_each {
+                let (li, ai) = w.sgd_step(bs, lr);
+                l += li as f64;
+                a += ai as f64;
+            }
+            (r, (l, a))
+        });
+        let (sum_l, sum_a) = wire.exchange_stats(round, &per_client)?;
+        let steps = (clients.len() * steps_each) as f64;
+
+        // Sparse uploads: per-client mask, framed as explicit
+        // (index, value) pairs; the server folds the decoded pairs.
+        let mut sums = vec![0.0f32; n];
+        let mut counts = vec![0u32; n];
+        let mut transfers = Vec::with_capacity(clients.len());
+        for &r in &clients {
+            mask.regenerate(n, *compression, rng.gen(), round);
+            let payload = fleet.worker(r).sparse_payload(mask);
+            let msg = Message::SparsePayload {
+                round,
+                indices: mask.indices().to_vec(),
+                values: payload,
+            };
+            let up_framed = wire.send(at(r), at(server_rank), &msg)?;
+            ctx.traffic
+                .record_upload(r, codec::sparse_iv_bytes(mask.nnz()));
+            let (from, reply) = wire.recv(at(server_rank))?;
+            let (idx, vals) = sparse_values(reply, round, from)?;
+            for (&i, &v) in idx.iter().zip(&vals) {
+                sums[i as usize] += v;
+                counts[i as usize] += 1;
+            }
+            transfers.push((r, up_framed, down_framed[&r]));
+        }
+        for i in 0..n {
+            if counts[i] > 0 {
+                server_model[i] = sums[i] / counts[i] as f32;
+            }
+        }
+        bill_control(&self.tap, &mut self.billed_control, ctx.traffic);
+        ctx.traffic.end_round();
+        let timing = ctx.price_ps(server_rank, &transfers);
+
+        let mut rep = RoundReport::new();
+        rep.mean_loss = (sum_l / steps) as f32;
+        rep.mean_acc = (sum_a / steps) as f32;
+        rep.set_timing(&timing);
+        rep.epochs_advanced = self.fleet.epochs_per_round() * steps_each as f64 * *participation;
+        Ok(rep)
+    }
+
+    /// RandomChoose: uniformly random pairs exchange shared-mask values
+    /// as [`Message::MaskedPayload`] frames (indices implied by the
+    /// shared mask — 4 bytes/coordinate on the wire, like SAPS); each
+    /// matched worker merges the decoded peer values.
+    fn step_random(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        let AlgoState::Random {
+            compression,
+            rng,
+            mask,
+        } = &mut self.algo
+        else {
+            unreachable!("dispatched on kind");
+        };
+        let round = self.rounds;
+        let wire = &mut self.wire;
+        let fleet = &mut self.fleet;
+        let bw = ctx.bw;
+        let n = fleet.n_params();
+        let at = |r: usize| Addr::Worker(r as u32);
+
+        let per_worker = Self::local_sgd_stats(fleet, ctx);
+        let m_active = per_worker.len();
+        let (sum_l, sum_a) = wire.exchange_stats(round, &per_worker)?;
+        let denom = m_active.max(1) as f64;
+        let (loss, acc) = ((sum_l / denom) as f32, (sum_a / denom) as f32);
+
+        let pairs = {
+            let mut ranks = fleet.active_ranks();
+            let m = ranks.len();
+            if m < 2 {
+                Vec::new()
+            } else if m.is_multiple_of(2) {
+                let matching = random_perfect_matching(m, rng);
+                matching
+                    .pairs()
+                    .iter()
+                    .map(|&(i, j)| (ranks[i], ranks[j]))
+                    .collect()
+            } else {
+                ranks.shuffle(rng);
+                ranks.chunks_exact(2).map(|c| (c[0], c[1])).collect()
+            }
+        };
+        mask.regenerate(n, *compression, rng.gen(), round);
+        let payload_bytes = codec::sparse_shared_mask_bytes(mask.nnz());
+
+        let mut transfers = Vec::new();
+        let mut link_sum = 0.0f64;
+        let mut link_min = f64::INFINITY;
+        for &(i, j) in &pairs {
+            let pi = fleet.worker(i).sparse_payload(mask);
+            let pj = fleet.worker(j).sparse_payload(mask);
+            let fi = wire.send(at(i), at(j), &Message::MaskedPayload { round, values: pi })?;
+            let fj = wire.send(at(j), at(i), &Message::MaskedPayload { round, values: pj })?;
+            let (from_j, msg_at_j) = wire.recv(at(j))?;
+            let peer_of_j = masked_values(msg_at_j, round, from_j)?;
+            let (from_i, msg_at_i) = wire.recv(at(i))?;
+            let peer_of_i = masked_values(msg_at_i, round, from_i)?;
+            fleet.worker_mut(i).merge_sparse(mask, &peer_of_i);
+            fleet.worker_mut(j).merge_sparse(mask, &peer_of_j);
+            ctx.traffic.record_p2p(i, j, payload_bytes);
+            ctx.traffic.record_p2p(j, i, payload_bytes);
+            transfers.push((i, j, fi));
+            transfers.push((j, i, fj));
+            link_sum += bw.get(i, j);
+            link_min = link_min.min(bw.get(i, j));
+        }
+        bill_control(&self.tap, &mut self.billed_control, ctx.traffic);
+        ctx.traffic.end_round();
+        let timing = ctx.price_p2p(&transfers);
+
+        let mut rep = RoundReport::new();
+        rep.mean_loss = loss;
+        rep.mean_acc = acc;
+        rep.set_timing(&timing);
+        rep.epochs_advanced = self.fleet.epochs_per_round();
+        rep.mean_link_bandwidth = if pairs.is_empty() {
+            0.0
+        } else {
+            link_sum / pairs.len() as f64
+        };
+        rep.min_link_bandwidth = if pairs.is_empty() { 0.0 } else { link_min };
+        Ok(rep)
+    }
+
+    /// Ships the donor's model to a rejoining worker as a model-plane
+    /// [`Message::FinalModel`] frame and restores from the decoded copy.
+    fn resync_from_donor(&mut self, rank: usize) -> Result<(), ClusterError> {
+        let donor = self
+            .fleet
+            .active_ranks()
+            .into_iter()
+            .find(|&r| r != rank)
+            .expect("at least two active workers");
+        let blob = checkpoint::encode(&self.fleet.worker(donor).flat(), self.rounds);
+        let msg = Message::FinalModel {
+            rank: donor as u32,
+            checkpoint: blob.to_vec(),
+        };
+        self.wire
+            .send(Addr::Worker(donor as u32), Addr::Worker(rank as u32), &msg)?;
+        let (from, reply) = self.wire.recv(Addr::Worker(rank as u32))?;
+        let Message::FinalModel {
+            checkpoint: blob, ..
+        } = reply
+        else {
+            return Err(unexpected("FinalModel", &reply, from));
+        };
+        let (flat, _) = checkpoint::decode(bytes::Bytes::from(blob)).map_err(|e| {
+            ClusterError::Protocol(format!("resync checkpoint from worker {donor}: {e}"))
+        })?;
+        let joiner = self.fleet.worker_mut(rank);
+        joiner.set_flat(&flat);
+        joiner.model_mut().zero_grads();
+        Ok(())
+    }
+}
+
+impl<T: Transport> Trainer for BaselineClusterTrainer<T> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn step(&mut self, ctx: &mut RoundCtx<'_>) -> RoundReport {
+        self.try_step(ctx)
+            .unwrap_or_else(|e| panic!("cluster baseline round failed: {e}"))
+    }
+
+    fn evaluate(&mut self, val: &Dataset, max_samples: usize) -> f32 {
+        match &self.algo {
+            AlgoState::Psgd | AlgoState::TopK { .. } => {
+                let first = self.fleet.active_ranks()[0];
+                let flat = self.fleet.worker(first).flat();
+                self.fleet.evaluate_flat(&flat, val, max_samples)
+            }
+            AlgoState::DPsgd | AlgoState::Dcd { .. } | AlgoState::Random { .. } => {
+                self.fleet.evaluate_average(val, max_samples)
+            }
+            AlgoState::FedAvg { server_model, .. } | AlgoState::SFedAvg { server_model, .. } => {
+                let server = server_model.clone();
+                self.fleet.evaluate_flat(&server, val, max_samples)
+            }
+        }
+    }
+
+    fn model_len(&self) -> usize {
+        self.fleet.n_params()
+    }
+
+    fn worker_count(&self) -> usize {
+        self.fleet.len()
+    }
+
+    fn set_worker_active(&mut self, rank: usize, active: bool) -> Result<(), ConfigError> {
+        match self.algo.kind() {
+            Kind::Psgd => {
+                self.fleet.set_active(rank, active, 2)?;
+                if active {
+                    self.resync_from_donor(rank).map_err(cfg_err)?;
+                }
+            }
+            Kind::TopK => {
+                self.fleet.set_active(rank, active, 2)?;
+                if active {
+                    self.resync_from_donor(rank).map_err(cfg_err)?;
+                    let AlgoState::TopK {
+                        compression,
+                        compressors,
+                    } = &mut self.algo
+                    else {
+                        unreachable!("dispatched on kind");
+                    };
+                    compressors[rank] =
+                        ErrorFeedbackTopK::with_ratio(self.fleet.n_params(), *compression);
+                }
+            }
+            Kind::DPsgd => self.fleet.set_active(rank, active, 3)?,
+            Kind::Dcd => {
+                self.fleet.set_active(rank, active, 3)?;
+                if active {
+                    let AlgoState::Dcd { broadcast, .. } = &mut self.algo else {
+                        unreachable!("dispatched on kind");
+                    };
+                    broadcast[rank] = self.fleet.worker(rank).flat();
+                }
+            }
+            Kind::FedAvg | Kind::SFedAvg | Kind::Random => {
+                self.fleet.set_active(rank, active, 2)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn export_checkpoint(&mut self) -> Result<Vec<u8>, ConfigError> {
+        let flat = match &self.algo {
+            AlgoState::Psgd | AlgoState::TopK { .. } => {
+                let first = self.fleet.active_ranks()[0];
+                self.fleet.worker(first).flat()
+            }
+            AlgoState::DPsgd | AlgoState::Dcd { .. } | AlgoState::Random { .. } => {
+                self.fleet.average_model()
+            }
+            AlgoState::FedAvg { server_model, .. } | AlgoState::SFedAvg { server_model, .. } => {
+                server_model.clone()
+            }
+        };
+        Ok(checkpoint::encode(&flat, self.rounds).to_vec())
+    }
+}
+
+/// Registers wire drivers for the seven baseline algorithms into `reg`,
+/// each over its own loopback transport metered by a clone of `tap`.
+/// Together with the SAPS registration in
+/// [`crate::cluster_registry`] this covers every key the in-memory
+/// [`saps_baselines::registry`] covers.
+pub fn register_cluster_baselines(reg: &mut AlgorithmRegistry, tap: &WireTap) {
+    fn build(
+        kind: BaselineKind,
+        ctx: BuildCtx<'_>,
+        tap: &WireTap,
+    ) -> Result<Box<dyn Trainer>, ConfigError> {
+        let factory = ctx.factory.clone();
+        let trainer = BaselineClusterTrainer::loopback(
+            kind,
+            ctx.partitions,
+            move |rng| factory(rng),
+            ctx.seed,
+            ctx.batch_size,
+            ctx.lr,
+            tap.clone(),
+        )?;
+        Ok(Box::new(trainer))
+    }
+
+    let t = tap.clone();
+    reg.register("psgd", move |spec, ctx| {
+        let AlgorithmSpec::Psgd = *spec else {
+            return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+        };
+        build(BaselineKind::Psgd, ctx, &t)
+    });
+    let t = tap.clone();
+    reg.register("dpsgd", move |spec, ctx| {
+        let AlgorithmSpec::DPsgd = *spec else {
+            return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+        };
+        build(BaselineKind::DPsgd, ctx, &t)
+    });
+    let t = tap.clone();
+    reg.register("dcd", move |spec, ctx| {
+        let AlgorithmSpec::DcdPsgd { compression } = *spec else {
+            return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+        };
+        build(BaselineKind::DcdPsgd { compression }, ctx, &t)
+    });
+    let t = tap.clone();
+    reg.register("topk", move |spec, ctx| {
+        let AlgorithmSpec::TopK { compression } = *spec else {
+            return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+        };
+        build(BaselineKind::TopK { compression }, ctx, &t)
+    });
+    let t = tap.clone();
+    reg.register("fedavg", move |spec, ctx| {
+        let AlgorithmSpec::FedAvg {
+            participation,
+            local_steps,
+        } = *spec
+        else {
+            return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+        };
+        build(
+            BaselineKind::FedAvg {
+                participation,
+                local_steps,
+            },
+            ctx,
+            &t,
+        )
+    });
+    let t = tap.clone();
+    reg.register("sfedavg", move |spec, ctx| {
+        let AlgorithmSpec::SFedAvg {
+            participation,
+            local_steps,
+            compression,
+        } = *spec
+        else {
+            return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+        };
+        build(
+            BaselineKind::SFedAvg {
+                participation,
+                local_steps,
+                compression,
+            },
+            ctx,
+            &t,
+        )
+    });
+    let t = tap.clone();
+    reg.register("random", move |spec, ctx| {
+        let AlgorithmSpec::RandomChoose { compression } = *spec else {
+            return Err(ConfigError::UnknownAlgorithm(spec.key().to_string()));
+        };
+        build(BaselineKind::RandomChoose { compression }, ctx, &t)
+    });
+}

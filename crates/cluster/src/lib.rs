@@ -23,7 +23,12 @@
 //!   experiment end to end; worker message handling fans out across the
 //!   `saps-runtime` round engine;
 //! * [`WireTap`] / [`WireStats`] — per-class on-wire byte metering, the
-//!   ground truth the driver bills rounds from.
+//!   ground truth the driver bills rounds from;
+//! * [`BaselineClusterTrainer`] — the seven comparison algorithms
+//!   (PSGD, D-PSGD, DCD-PSGD, TopK-PSGD, FedAvg, S-FedAvg,
+//!   RandomChoose) as framed message exchanges over the same
+//!   transports, so [`cluster_registry`] covers every algorithm key the
+//!   in-memory registry does.
 //!
 //! **The headline invariant** (pinned by `tests/cluster_conformance.rs`
 //! at the workspace root): a cluster-driven run is bit-identical in
@@ -64,6 +69,7 @@
 
 #![deny(missing_docs)]
 
+mod baseline;
 mod error;
 mod faults;
 mod node;
@@ -72,6 +78,7 @@ pub mod tcp;
 mod trainer;
 mod transport;
 
+pub use baseline::{register_cluster_baselines, BaselineClusterTrainer, BaselineKind};
 pub use error::ClusterError;
 pub use faults::{FaultPlan, FaultScope, FaultyTransport, PlanHandle};
 pub use node::{CoordinatorNode, NodeSnapshot, Outbox, RoundMeta, WorkerNode};

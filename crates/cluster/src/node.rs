@@ -74,6 +74,12 @@ impl CoordinatorNode {
         }
     }
 
+    /// Sets the bandwidth-partition shard ceiling for round planning
+    /// (see [`SapsControl::set_shard_size`]); `None` plans monolithic.
+    pub fn set_shard_size(&mut self, shard_size: Option<usize>) {
+        self.control.set_shard_size(shard_size);
+    }
+
     /// Count of control frames (join/leave/bandwidth) applied so far.
     pub fn control_epoch(&self) -> u64 {
         self.control_epoch

@@ -154,8 +154,10 @@ impl<T: Transport> ClusterTrainer<T> {
         // control bytes framed from this trainer's start, not whatever a
         // previous run already accumulated.
         let billed_control = tap.snapshot().control_bytes;
+        let mut coordinator = CoordinatorNode::new(bw, cfg.bthres, cfg.tthres, cfg.seed);
+        coordinator.set_shard_size(cfg.shard_size);
         Ok(ClusterTrainer {
-            coordinator: CoordinatorNode::new(bw, cfg.bthres, cfg.tthres, cfg.seed),
+            coordinator,
             workers: nodes,
             transport,
             tap,
@@ -615,12 +617,16 @@ fn into_config(e: ClusterError) -> ConfigError {
     }
 }
 
-/// An [`AlgorithmRegistry`] whose `"saps"` key builds a
-/// [`ClusterTrainer`] over the loopback transport, metering through
-/// `tap` — hand it to [`saps_core::Experiment::run`] to execute the
-/// whole experiment through the wire protocol.
+/// An [`AlgorithmRegistry`] covering every key the in-memory
+/// [`saps_baselines::registry`] covers, each built as a cluster driver
+/// over the loopback transport metering through `tap`: `"saps"` as a
+/// [`ClusterTrainer`], the seven baselines as
+/// [`crate::BaselineClusterTrainer`]s. Hand it to
+/// [`saps_core::Experiment::run`] to execute a whole experiment through
+/// the wire protocol.
 pub fn cluster_registry(tap: WireTap) -> AlgorithmRegistry {
     let mut reg = AlgorithmRegistry::empty();
+    crate::baseline::register_cluster_baselines(&mut reg, &tap);
     reg.register(
         "saps",
         move |spec: &AlgorithmSpec, ctx: saps_core::BuildCtx<'_>| {
@@ -640,6 +646,7 @@ pub fn cluster_registry(tap: WireTap) -> AlgorithmRegistry {
                 bthres,
                 tthres,
                 seed: ctx.seed,
+                shard_size: None,
             };
             let factory = ctx.factory.clone();
             let trainer = ClusterTrainer::loopback(

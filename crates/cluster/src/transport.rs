@@ -129,8 +129,10 @@ impl WireTap {
         };
         match Message::traffic_class_of(info.tag) {
             Some(TrafficClass::DataPlane) => {
-                // MaskedPayload body = round (8) + count (4) + values.
-                let values = info.body_len.saturating_sub(12) as u64;
+                // Every data-plane body = round (8) + count (4) + data
+                // section; `data_section_of` strips the shared header so
+                // Masked/Dense/Sparse payloads all meter their values.
+                let values = Message::data_section_of(info.tag, info.body_len);
                 let envelope = frame_bytes.len() as u64 - values;
                 inner.stats.data_bytes += values;
                 inner.stats.control_bytes += envelope;

@@ -31,6 +31,7 @@ fn tcp_cluster_matches_loopback_bit_for_bit() {
         bthres: None,
         tthres: 4,
         seed: SEED,
+        shard_size: None,
     };
 
     let loop_tap = WireTap::new();

@@ -62,6 +62,15 @@ impl Coordinator {
         self.bthres
     }
 
+    /// Sets the shard ceiling for Algorithm 1's matching pass: `Some(s)`
+    /// plans per bandwidth-partition and splits oversized partitions into
+    /// ≤ `s`-vertex shards (see
+    /// [`saps_graph::matching::sharded_max_match`]); `None` keeps the
+    /// monolithic O(n³) blossom pass.
+    pub fn set_shard_size(&mut self, shard_size: Option<usize>) {
+        self.generator.set_shard_size(shard_size);
+    }
+
     /// Number of workers currently coordinated.
     pub fn worker_count(&self) -> usize {
         self.generator.len()
@@ -124,6 +133,7 @@ pub struct SapsControl {
     bthres: Option<f64>,
     tthres: u32,
     seed: u64,
+    shard_size: Option<usize>,
 }
 
 impl SapsControl {
@@ -137,7 +147,15 @@ impl SapsControl {
             bthres,
             tthres,
             seed,
+            shard_size: None,
         }
+    }
+
+    /// Sets the round-planning shard ceiling (see
+    /// [`Coordinator::set_shard_size`]); survives churn rebuilds.
+    pub fn set_shard_size(&mut self, shard_size: Option<usize>) {
+        self.shard_size = shard_size;
+        self.coordinator.set_shard_size(shard_size);
     }
 
     /// Fleet size `n` (inactive workers included).
@@ -238,6 +256,7 @@ impl SapsControl {
             self.tthres,
             derive_seed(self.seed, ranks.len() as u64, streams::CHURN),
         );
+        self.coordinator.set_shard_size(self.shard_size);
     }
 }
 

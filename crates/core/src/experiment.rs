@@ -288,6 +288,7 @@ pub struct Experiment {
     parallelism: ParallelismPolicy,
     time_model: TimeModel,
     compute_time: f64,
+    pipeline: bool,
 }
 
 /// A per-round hook with mutable trainer access — unlike a
@@ -332,6 +333,7 @@ impl Experiment {
             parallelism: ParallelismPolicy::Auto,
             time_model: TimeModel::Analytic,
             compute_time: 0.0,
+            pipeline: false,
         }
     }
 
@@ -505,6 +507,24 @@ impl Experiment {
         self
     }
 
+    /// Overlap each round's compute phase with the previous round's
+    /// payload drain (default off). With pipelining on, a worker begins
+    /// round `t+1`'s local steps while round `t`'s transfers are still
+    /// in flight, so the DES gates round `t+1`'s flow releases on only
+    /// the compute that *outlasts* the drain:
+    /// `max(0, compute × slowdown − prev_round_comm_time)`.
+    ///
+    /// Pipelining changes the time model only — the exchange arithmetic
+    /// and its rank-ordered reductions are untouched, so a pipelined
+    /// run is bit-identical in training state (params, loss, traffic)
+    /// to the sequential run, and no round can take *longer* (the
+    /// compute gates only ever shrink). A no-op unless
+    /// [`Experiment::compute_time`] is non-zero.
+    pub fn pipeline(mut self, on: bool) -> Self {
+        self.pipeline = on;
+        self
+    }
+
     /// Builds the trainer through `registry` and drives the full run.
     pub fn run(mut self, registry: &AlgorithmRegistry) -> Result<RunHistory, ConfigError> {
         self.spec.validate()?;
@@ -594,6 +614,9 @@ impl Experiment {
         // critical path.
         let mut slowdowns = vec![1.0f64; self.workers];
         let mut active = vec![true; self.workers];
+        // Pipelining carry: seconds the previous round's payload kept
+        // draining — compute that fits inside it is hidden.
+        let mut prev_comm = 0.0f64;
 
         for round in 0..self.rounds {
             // Discrete events scheduled before this round. A failing
@@ -666,11 +689,12 @@ impl Experiment {
             // are marked NaN so the pricing layer neither gates flow
             // releases on them nor bills them idle time. All-zero
             // schedules skip the allocation.
+            let overlap = if self.pipeline { prev_comm } else { 0.0 };
             let starts: Vec<f64> = if self.compute_time > 0.0 {
                 (0..self.workers)
                     .map(|r| {
                         if active[r] {
-                            self.compute_time * slowdowns[r]
+                            (self.compute_time * slowdowns[r] - overlap).max(0.0)
                         } else {
                             f64::NAN
                         }
@@ -687,6 +711,7 @@ impl Experiment {
                 trainer.step(&mut ctx)
             };
             epoch += rep.epochs_advanced;
+            prev_comm = rep.comm_time_s;
             time_s += rep.comm_time_s;
             compute_s += rep.compute_time_s;
             idle_s += rep.idle_time_s;

@@ -55,6 +55,12 @@ pub struct GossipGenerator {
     /// Symmetrized bandwidths (MB/s) for [`PeerStrategy::GreedyWeight`];
     /// empty when unused.
     weights: Vec<f64>,
+    /// Shard ceiling for the healthy-round matching pass: `Some(s)`
+    /// plans per bandwidth-partition (connected component of the
+    /// candidate graph), splitting oversized partitions into ≤ `s`
+    /// vertex shards — O(s³) per shard instead of O(n³) global. `None`
+    /// keeps the monolithic blossom pass.
+    shard_size: Option<usize>,
 }
 
 impl GossipGenerator {
@@ -77,7 +83,18 @@ impl GossipGenerator {
             tthres: tthres as i64,
             strategy: PeerStrategy::ThresholdMatching,
             weights: Vec::new(),
+            shard_size: None,
         }
+    }
+
+    /// Sets the shard ceiling for round planning (see
+    /// [`saps_graph::matching::sharded_max_match`]). `None` restores the
+    /// monolithic pass; `Some(s)` requires `s ≥ 2`.
+    pub fn set_shard_size(&mut self, shard_size: Option<usize>) {
+        if let Some(s) = shard_size {
+            assert!(s >= 2, "shard_size must be at least 2");
+        }
+        self.shard_size = shard_size;
     }
 
     /// Creates a generator using greedy maximum-weight matching over the
@@ -147,6 +164,8 @@ impl GossipGenerator {
         let rc_healthy = connectivity::is_connected(&rc);
         let mut match_ = if self.strategy == PeerStrategy::GreedyWeight && rc_healthy {
             matching::greedy_weight_matching(self.n, &self.weights)
+        } else if let Some(s) = self.shard_size {
+            matching::sharded_max_match(&candidate, s, rng)
         } else {
             matching::randomly_max_match(&candidate, rng)
         };

@@ -161,6 +161,7 @@ fn build_saps(spec: &AlgorithmSpec, ctx: BuildCtx<'_>) -> Result<Box<dyn Trainer
         bthres,
         tthres,
         seed: ctx.seed,
+        shard_size: None,
     };
     let factory = ctx.factory.clone();
     let algo = SapsPsgd::with_partitions(cfg, ctx.partitions, ctx.bw, move |rng| factory(rng))?;

@@ -29,6 +29,12 @@ pub struct SapsConfig {
     pub tthres: u32,
     /// Experiment seed; all randomness derives from it.
     pub seed: u64,
+    /// Round-planning shard ceiling: `Some(s)` computes Algorithm 1's
+    /// matching per bandwidth-partition (splitting partitions larger
+    /// than `s`), so planning is O(s³) per shard instead of O(n³)
+    /// global — required for 1k+-worker fleets. `None` keeps the
+    /// monolithic pass.
+    pub shard_size: Option<usize>,
 }
 
 impl Default for SapsConfig {
@@ -41,6 +47,7 @@ impl Default for SapsConfig {
             bthres: None,
             tthres: 10,
             seed: 0,
+            shard_size: None,
         }
     }
 }
@@ -71,6 +78,14 @@ impl SapsConfig {
                 "SapsConfig",
                 "batch_size must be >= 1",
             ));
+        }
+        if let Some(s) = self.shard_size {
+            if s < 2 {
+                return Err(ConfigError::invalid(
+                    "SapsConfig",
+                    "shard_size must be >= 2 (a shard needs two workers to pair)",
+                ));
+            }
         }
         Ok(())
     }
@@ -223,7 +238,8 @@ impl SapsPsgd {
         }
         let (workers, eval_model) = build_replicas(parts, cfg.seed, factory);
         let n_params = eval_model.num_params();
-        let control = SapsControl::new(bw, cfg.bthres, cfg.tthres, cfg.seed);
+        let mut control = SapsControl::new(bw, cfg.bthres, cfg.tthres, cfg.seed);
+        control.set_shard_size(cfg.shard_size);
         Ok(SapsPsgd {
             cfg,
             control,

@@ -143,6 +143,64 @@ pub fn randomly_max_match<R: Rng>(g: &Graph, rng: &mut R) -> Matching {
     maximum_matching_with_order(g, &order)
 }
 
+/// Sharded `RandomlyMaxMatch`: the planning-cost escape hatch for
+/// 1k–10k-worker rounds, where the monolithic O(V³) blossom pass is the
+/// coordinator bottleneck.
+///
+/// The graph is first split into its connected components (the
+/// bandwidth partitions of the filtered graph `B*` — no matching edge
+/// can ever cross a component boundary, so this split is lossless);
+/// components larger than `max_shard` are further cut into contiguous
+/// chunks of at most `max_shard` vertices in sorted-vertex order. Each
+/// shard is matched independently with [`randomly_max_match`] — same
+/// RNG, shards processed in ascending order of their smallest vertex —
+/// and the shard matchings are stitched into one global [`Matching`].
+///
+/// Guarantees:
+/// * when no component is split (`max_shard` ≥ largest component), the
+///   stitched matching has exactly the monolithic maximum cardinality
+///   (per-shard matchings are maximum by Berge's theorem and components
+///   are independent);
+/// * when the whole graph fits in a single shard, the result is
+///   **bit-identical** to `randomly_max_match(g, rng)` — same RNG
+///   draws, same augmenting order, same matching;
+/// * splitting an oversized component trades matching cardinality for
+///   O(`max_shard`³) planning per shard — edges crossing a chunk
+///   boundary are invisible to the matcher.
+pub fn sharded_max_match<R: Rng>(g: &Graph, max_shard: usize, rng: &mut R) -> Matching {
+    assert!(max_shard >= 2, "a shard needs at least 2 vertices to pair");
+    let n = g.len();
+    // Degenerate case first so it is *exactly* the monolithic call (the
+    // induced-subgraph rebuild below preserves edges but not neighbour
+    // order, which steers the blossom search).
+    if n <= max_shard {
+        return randomly_max_match(g, rng);
+    }
+    let mut out = Matching::empty(n);
+    for comp in crate::connectivity::connected_components(g) {
+        for chunk in comp.chunks(max_shard) {
+            if chunk.len() < 2 {
+                continue;
+            }
+            // Induced subgraph on the chunk, vertices relabelled to
+            // 0..chunk.len() in sorted order.
+            let mut sub = Graph::new(chunk.len());
+            for (a, &u) in chunk.iter().enumerate() {
+                for (b, &v) in chunk.iter().enumerate().skip(a + 1) {
+                    if g.has_edge(u, v) {
+                        sub.add_edge(a, b);
+                    }
+                }
+            }
+            for (a, b) in randomly_max_match(&sub, rng).pairs() {
+                out.mate[chunk[a]] = Some(chunk[b]);
+                out.mate[chunk[b]] = Some(chunk[a]);
+            }
+        }
+    }
+    out
+}
+
 /// Edmonds' algorithm with an explicit augmenting order. The resulting
 /// matching is maximum regardless of order (Berge's theorem: a matching is
 /// maximum iff it admits no augmenting path), but *which* maximum matching
@@ -554,6 +612,66 @@ mod tests {
     #[should_panic(expected = "vertex repeated")]
     fn from_pairs_rejects_repeats() {
         let _ = Matching::from_pairs(4, &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn sharded_is_bit_identical_when_the_graph_fits_one_shard() {
+        for seed in 0..10 {
+            let g = random_graph(12, 0.35, seed);
+            let mut r1 = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let mut r2 = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let mono = randomly_max_match(&g, &mut r1);
+            let shard = sharded_max_match(&g, 12, &mut r2);
+            assert_eq!(mono.pairs(), shard.pairs(), "seed {seed}");
+            // The RNGs advanced identically too.
+            assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn sharded_keeps_maximum_cardinality_when_components_fit() {
+        // Three disjoint components of ≤ 6 vertices each; a shard
+        // ceiling of 6 splits nothing, so the stitched matching must
+        // have the monolithic maximum cardinality.
+        let mut g = Graph::new(16);
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                g.add_edge(i, j); // K6 on 0..6
+            }
+        }
+        for (u, v) in [(6, 7), (7, 8), (8, 9), (9, 10), (10, 6)] {
+            g.add_edge(u, v); // 5-cycle on 6..11
+        }
+        for (u, v) in [(11, 12), (12, 13), (13, 14), (14, 15)] {
+            g.add_edge(u, v); // path on 11..16
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = sharded_max_match(&g, 6, &mut rng);
+        assert!(m.is_valid_for(&g));
+        assert_eq!(m.len(), maximum_matching(&g).len());
+    }
+
+    #[test]
+    fn sharded_split_component_is_valid_and_never_crosses_chunks() {
+        // One big component forcibly split: every matched edge must
+        // still exist in the graph, and no pair may cross a chunk
+        // boundary (chunks are contiguous runs of the sorted vertices).
+        let g = complete(20);
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = sharded_max_match(&g, 8, &mut rng);
+        assert!(m.is_valid_for(&g));
+        for (u, v) in m.pairs() {
+            assert_eq!(u / 8, v / 8, "pair ({u}, {v}) crosses a chunk");
+        }
+        // Chunks of 8/8/4 over K20 still pair everyone within chunks.
+        assert_eq!(m.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn sharded_rejects_degenerate_shard_size() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sharded_max_match(&complete(4), 1, &mut rng);
     }
 
     #[test]

@@ -139,6 +139,45 @@ proptest! {
     }
 
     #[test]
+    fn sharded_matching_preserves_cardinality_when_no_component_splits(
+        n in 2usize..20,
+        density in 0.05f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        // Shard ceiling at least the largest component: per-partition
+        // planning stitched back together must reach the monolithic
+        // maximum cardinality (and stay a valid matching).
+        let g = random_graph(n, density, seed);
+        let largest = connectivity::connected_components(&g)
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+            .max(2);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let m = matching::sharded_max_match(&g, largest, &mut rng);
+        prop_assert!(m.is_valid_for(&g));
+        prop_assert_eq!(m.len(), matching::maximum_matching(&g).len());
+    }
+
+    #[test]
+    fn sharded_matching_degenerates_to_monolithic_on_a_single_shard(
+        n in 2usize..16,
+        density in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        // Whole graph within one shard: bit-identical to the
+        // monolithic randomized pass, RNG advanced identically.
+        let g = random_graph(n, density, seed);
+        let mut r1 = StdRng::seed_from_u64(seed ^ 0xf00d);
+        let mut r2 = StdRng::seed_from_u64(seed ^ 0xf00d);
+        let mono = matching::randomly_max_match(&g, &mut r1);
+        let shard = matching::sharded_max_match(&g, n.max(2), &mut r2);
+        prop_assert_eq!(mono.pairs(), shard.pairs());
+        prop_assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    #[test]
     fn random_perfect_matching_covers_everyone(
         half in 1usize..16,
         seed in any::<u64>(),

@@ -48,4 +48,4 @@ pub mod frame;
 mod message;
 
 pub use error::ProtoError;
-pub use message::{Message, TrafficClass};
+pub use message::{Message, TrafficClass, DATA_HEADER_BYTES};

@@ -151,6 +151,45 @@ pub enum Message {
         /// The checkpoint-encoded consensus model.
         checkpoint: Vec<u8>,
     },
+    /// A dense model (or model chunk) payload — the data frame of the
+    /// dense baselines: D-PSGD ring broadcasts, PSGD ring all-reduce
+    /// chunks, and FedAvg-style server↔client model shipping. On the
+    /// wire the values section is exactly `4·len` bytes, matching
+    /// `saps_compress::codec::dense_bytes`.
+    DensePayload {
+        /// The round the payload belongs to.
+        round: u64,
+        /// The dense parameter (or gradient-chunk) values.
+        values: Vec<f32>,
+    },
+    /// An explicit `(index, value)` sparse payload — the data frame of
+    /// the sparse baselines that do *not* share a mask seed (TopK-PSGD
+    /// allgather, DCD-PSGD difference broadcasts, S-FedAvg uploads). On
+    /// the wire the data section is exactly `8·nnz` bytes (4 per index +
+    /// 4 per value), matching
+    /// `saps_compress::codec::sparse_iv_bytes`.
+    SparsePayload {
+        /// The round the payload belongs to.
+        round: u64,
+        /// The surviving coordinate indices, ascending.
+        indices: Vec<u32>,
+        /// The values at `indices`, in the same order.
+        values: Vec<f32>,
+    },
+    /// Worker → coordinator: one participant's per-round training
+    /// statistics as *f64 sums* (FedAvg-style multi-step locals sum
+    /// several f32 step losses in f64 — the wire must carry those sums
+    /// bit-exactly for cluster ≡ in-memory conformance).
+    ClientStats {
+        /// The round being reported.
+        round: u64,
+        /// The sender's global rank.
+        rank: u32,
+        /// Summed training loss over the round's local steps.
+        loss: f64,
+        /// Summed training accuracy over the round's local steps.
+        acc: f64,
+    },
 }
 
 pub(crate) const TAG_NOTIFY_TRAIN: u8 = 1;
@@ -165,6 +204,18 @@ pub(crate) const TAG_SHUTDOWN: u8 = 9;
 pub(crate) const TAG_INFER_REQUEST: u8 = 10;
 pub(crate) const TAG_INFER_RESPONSE: u8 = 11;
 pub(crate) const TAG_MODEL_ANNOUNCE: u8 = 12;
+pub(crate) const TAG_DENSE_PAYLOAD: u8 = 13;
+pub(crate) const TAG_SPARSE_PAYLOAD: u8 = 14;
+pub(crate) const TAG_CLIENT_STATS: u8 = 15;
+
+/// Every data-plane payload frame ([`Message::MaskedPayload`],
+/// [`Message::DensePayload`], [`Message::SparsePayload`]) starts its
+/// body with the same 12-byte header — round (`u64`) + element count
+/// (`u32`) — followed by nothing but the data section. Transports meter
+/// the worker-row bytes of any data frame as `body_len −
+/// DATA_HEADER_BYTES` without decoding the body (see
+/// [`Message::data_section_of`]).
+pub const DATA_HEADER_BYTES: usize = 12;
 
 impl Message {
     /// The one-byte wire tag identifying this message type.
@@ -182,6 +233,9 @@ impl Message {
             Message::InferRequest { .. } => TAG_INFER_REQUEST,
             Message::InferResponse { .. } => TAG_INFER_RESPONSE,
             Message::ModelAnnounce { .. } => TAG_MODEL_ANNOUNCE,
+            Message::DensePayload { .. } => TAG_DENSE_PAYLOAD,
+            Message::SparsePayload { .. } => TAG_SPARSE_PAYLOAD,
+            Message::ClientStats { .. } => TAG_CLIENT_STATS,
         }
     }
 
@@ -200,6 +254,9 @@ impl Message {
             Message::InferRequest { .. } => "InferRequest",
             Message::InferResponse { .. } => "InferResponse",
             Message::ModelAnnounce { .. } => "ModelAnnounce",
+            Message::DensePayload { .. } => "DensePayload",
+            Message::SparsePayload { .. } => "SparsePayload",
+            Message::ClientStats { .. } => "ClientStats",
         }
     }
 
@@ -213,25 +270,47 @@ impl Message {
     /// meter frames without fully decoding them.
     pub fn traffic_class_of(tag: u8) -> Option<TrafficClass> {
         match tag {
-            TAG_MASKED_PAYLOAD => Some(TrafficClass::DataPlane),
+            TAG_MASKED_PAYLOAD | TAG_DENSE_PAYLOAD | TAG_SPARSE_PAYLOAD => {
+                Some(TrafficClass::DataPlane)
+            }
             TAG_FETCH_MODEL | TAG_FINAL_MODEL | TAG_MODEL_ANNOUNCE => {
                 Some(TrafficClass::ModelPlane)
             }
             TAG_NOTIFY_TRAIN | TAG_ROUND_END | TAG_JOIN | TAG_LEAVE | TAG_BANDWIDTH_REPORT
-            | TAG_SHUTDOWN => Some(TrafficClass::ControlPlane),
+            | TAG_SHUTDOWN | TAG_CLIENT_STATS => Some(TrafficClass::ControlPlane),
             TAG_INFER_REQUEST | TAG_INFER_RESPONSE => Some(TrafficClass::ServePlane),
             _ => None,
         }
     }
 
     /// The data-plane (worker-row) bytes of this message: `4·nnz` for a
-    /// [`Message::MaskedPayload`] — exactly
-    /// `saps_compress::codec::sparse_shared_mask_bytes(nnz)` — and 0 for
-    /// everything else. The rest of the frame (envelope, round header,
-    /// whole control messages) is control plane.
+    /// [`Message::MaskedPayload`] (values only — exactly
+    /// `saps_compress::codec::sparse_shared_mask_bytes(nnz)`), `4·len`
+    /// for a [`Message::DensePayload`], `8·nnz` for a
+    /// [`Message::SparsePayload`] (index + value), and 0 for everything
+    /// else. The rest of the frame (envelope, round header, whole
+    /// control messages) is control plane.
     pub fn data_bytes(&self) -> u64 {
         match self {
-            Message::MaskedPayload { values, .. } => 4 * values.len() as u64,
+            Message::MaskedPayload { values, .. } | Message::DensePayload { values, .. } => {
+                4 * values.len() as u64
+            }
+            Message::SparsePayload {
+                indices, values, ..
+            } => 4 * (indices.len() + values.len()) as u64,
+            _ => 0,
+        }
+    }
+
+    /// [`Message::data_bytes`] keyed by wire tag and body length, for
+    /// transports that meter frames without decoding them. Every
+    /// data-plane frame's body is a [`DATA_HEADER_BYTES`] header (round
+    /// plus element count) followed by nothing but the data section, so
+    /// the data-plane bytes of any payload frame are `body_len − 12`;
+    /// frames of any other class have no data section.
+    pub fn data_section_of(tag: u8, body_len: usize) -> u64 {
+        match Self::traffic_class_of(tag) {
+            Some(TrafficClass::DataPlane) => body_len.saturating_sub(DATA_HEADER_BYTES) as u64,
             _ => 0,
         }
     }
@@ -250,6 +329,11 @@ impl Message {
             Message::InferRequest { features, .. } => 8 + 4 + 4 * features.len(),
             Message::InferResponse { logits, .. } => 8 + 8 + 8 + 4 + 4 * logits.len(),
             Message::ModelAnnounce { checkpoint, .. } => 8 + 8 + 4 + checkpoint.len(),
+            Message::DensePayload { values, .. } => 8 + 4 + 4 * values.len(),
+            Message::SparsePayload {
+                indices, values, ..
+            } => 8 + 4 + 4 * indices.len() + 4 * values.len(),
+            Message::ClientStats { .. } => 8 + 4 + 8 + 8,
         }
     }
 
@@ -331,6 +415,38 @@ impl Message {
                 buf.put_u64_le(*version);
                 buf.put_u32_le(checkpoint.len() as u32);
                 buf.put_slice(checkpoint);
+            }
+            Message::DensePayload { round, values } => {
+                buf.put_u64_le(*round);
+                buf.put_u32_le(values.len() as u32);
+                for &v in values {
+                    buf.put_f32_le(v);
+                }
+            }
+            Message::SparsePayload {
+                round,
+                indices,
+                values,
+            } => {
+                buf.put_u64_le(*round);
+                buf.put_u32_le(indices.len() as u32);
+                for &i in indices {
+                    buf.put_u32_le(i);
+                }
+                for &v in values {
+                    buf.put_f32_le(v);
+                }
+            }
+            Message::ClientStats {
+                round,
+                rank,
+                loss,
+                acc,
+            } => {
+                buf.put_u64_le(*round);
+                buf.put_u32_le(*rank);
+                buf.put_f64_le(*loss);
+                buf.put_f64_le(*acc);
             }
         }
     }
@@ -453,6 +569,44 @@ impl Message {
                     checkpoint,
                 }
             }
+            TAG_DENSE_PAYLOAD => {
+                let round = need_u64(buf)?;
+                let count = need_u32(buf)? as usize;
+                if buf.len() != 4 * count {
+                    return Err(ProtoError::Malformed("value count vs body length"));
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(buf.get_f32_le());
+                }
+                Message::DensePayload { round, values }
+            }
+            TAG_SPARSE_PAYLOAD => {
+                let round = need_u64(buf)?;
+                let count = need_u32(buf)? as usize;
+                if buf.len() != 8 * count {
+                    return Err(ProtoError::Malformed("nnz count vs body length"));
+                }
+                let mut indices = Vec::with_capacity(count);
+                for _ in 0..count {
+                    indices.push(buf.get_u32_le());
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(buf.get_f32_le());
+                }
+                Message::SparsePayload {
+                    round,
+                    indices,
+                    values,
+                }
+            }
+            TAG_CLIENT_STATS => Message::ClientStats {
+                round: need_u64(buf)?,
+                rank: need_u32(buf)?,
+                loss: need_f64(buf)?,
+                acc: need_f64(buf)?,
+            },
             other => return Err(ProtoError::UnknownTag(other)),
         };
         if !buf.is_empty() {
@@ -478,4 +632,8 @@ fn need_u32(buf: &mut &[u8]) -> Result<u32, ProtoError> {
 
 fn need_f32(buf: &mut &[u8]) -> Result<f32, ProtoError> {
     Ok(f32::from_bits(need_u32(buf)?))
+}
+
+fn need_f64(buf: &mut &[u8]) -> Result<f64, ProtoError> {
+    Ok(f64::from_bits(need_u64(buf)?))
 }

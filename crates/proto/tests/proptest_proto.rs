@@ -33,7 +33,7 @@ fn arbitrary_message(seed: u64) -> Message {
     // Raw bit reinterpretation: NaNs and infinities must round-trip
     // bit-exactly, so generate floats from arbitrary bits.
     let f32_bits = |rng: &mut StdRng| f32::from_bits(rng.gen::<u32>());
-    match rng.gen_range(0..12u32) {
+    match rng.gen_range(0..15u32) {
         0 => {
             let pairs = rng.gen_range(0..20usize);
             Message::NotifyTrain {
@@ -103,7 +103,7 @@ fn arbitrary_message(seed: u64) -> Message {
                 logits,
             }
         }
-        _ => {
+        11 => {
             let n = rng.gen_range(0..400usize);
             Message::ModelAnnounce {
                 round: rng.gen(),
@@ -111,6 +111,37 @@ fn arbitrary_message(seed: u64) -> Message {
                 checkpoint: (0..n).map(|_| rng.gen()).collect(),
             }
         }
+        12 => {
+            let n = rng.gen_range(0..600usize);
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(f32_bits(&mut rng));
+            }
+            Message::DensePayload {
+                round: rng.gen(),
+                values,
+            }
+        }
+        13 => {
+            let n = rng.gen_range(0..600usize);
+            let mut indices = Vec::with_capacity(n);
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                indices.push(rng.gen::<u32>());
+                values.push(f32_bits(&mut rng));
+            }
+            Message::SparsePayload {
+                round: rng.gen(),
+                indices,
+                values,
+            }
+        }
+        _ => Message::ClientStats {
+            round: rng.gen(),
+            rank: rng.gen(),
+            loss: f64::from_bits(rng.gen::<u64>()),
+            acc: f64::from_bits(rng.gen::<u64>()),
+        },
     }
 }
 

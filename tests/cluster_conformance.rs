@@ -21,13 +21,14 @@
 
 use saps::cluster::{cluster_registry, ClusterTrainer, WireTap};
 use saps::core::{
-    AlgorithmRegistry, AlgorithmSpec, Experiment, RoundCtx, SapsConfig, SapsPsgd, ScenarioEvent,
-    Trainer,
+    AlgorithmRegistry, AlgorithmSpec, BuildCtx, Experiment, RoundCtx, SapsConfig, SapsPsgd,
+    ScenarioEvent, Trainer,
 };
 use saps::data::{partition, Dataset, SyntheticSpec};
 use saps::netsim::{BandwidthMatrix, TrafficAccountant};
 use saps::nn::zoo;
 use saps::tensor::rng::{derive_seed, streams};
+use std::sync::Arc;
 
 const SEED: u64 = 11;
 
@@ -51,6 +52,7 @@ fn cfg(workers: usize) -> SapsConfig {
         bthres: None,
         tthres: 5,
         seed: SEED,
+        shard_size: None,
     }
 }
 
@@ -342,4 +344,164 @@ fn experiment_driver_runs_cluster_and_memory_to_the_same_history() {
     assert!(clu.total_server_traffic_mb > 0.0);
     let wire = tap.snapshot();
     assert!(wire.data_bytes > 0 && wire.control_bytes > 0 && wire.model_bytes > 0);
+}
+
+/// One spec per registered algorithm — the full conformance matrix.
+fn spec_matrix() -> Vec<AlgorithmSpec> {
+    vec![
+        AlgorithmSpec::Saps {
+            compression: 4.0,
+            tthres: 5,
+            bthres: None,
+        },
+        AlgorithmSpec::Psgd,
+        AlgorithmSpec::TopK { compression: 4.0 },
+        AlgorithmSpec::FedAvg {
+            participation: 0.5,
+            local_steps: 2,
+        },
+        AlgorithmSpec::SFedAvg {
+            participation: 0.5,
+            local_steps: 2,
+            compression: 4.0,
+        },
+        AlgorithmSpec::DPsgd,
+        AlgorithmSpec::DcdPsgd { compression: 4.0 },
+        AlgorithmSpec::RandomChoose { compression: 4.0 },
+    ]
+}
+
+fn build_ctx<'a>(train: &Dataset, workers: usize, bw: &'a BandwidthMatrix) -> BuildCtx<'a> {
+    BuildCtx {
+        partitions: parts(train, workers),
+        bw,
+        batch_size: 16,
+        lr: 0.1,
+        seed: SEED,
+        factory: Arc::new(|rng| zoo::mlp(&[16, 20, 4], rng)),
+    }
+}
+
+#[test]
+fn cluster_registry_covers_every_in_memory_key() {
+    let mem: Vec<&'static str> = saps::baselines::registry().keys().collect();
+    let clu: Vec<&'static str> = cluster_registry(WireTap::new()).keys().collect();
+    assert_eq!(mem, clu, "registries must register the same algorithms");
+    assert_eq!(mem.len(), 8);
+}
+
+#[test]
+fn all_eight_algorithms_are_bit_identical_on_the_wire() {
+    // The matrix: every registered algorithm, run through real framed
+    // message exchanges over the loopback transport, against the
+    // in-memory trainer of the same spec — bit-identical per-round
+    // loss/accuracy, link stats, per-worker traffic rows, consensus
+    // evaluation, and checkpoint bytes, across a leave + rejoin. Runs
+    // inside the CI determinism matrix (`SAPS_THREADS ∈ {1, 2}`).
+    let workers = 6;
+    let (train, val) = dataset();
+    let bw = BandwidthMatrix::constant(workers, 1.0);
+    let mem_reg = saps::baselines::registry();
+    for spec in spec_matrix() {
+        let key = spec.key();
+        let tap = WireTap::new();
+        let clu_reg = cluster_registry(tap.clone());
+        let mut mem = mem_reg
+            .build(&spec, build_ctx(&train, workers, &bw))
+            .unwrap();
+        let mut clu = clu_reg
+            .build(&spec, build_ctx(&train, workers, &bw))
+            .unwrap();
+        assert_eq!(mem.name(), clu.name(), "{key}: label");
+        assert_eq!(mem.model_len(), clu.model_len(), "{key}: model size");
+        assert_eq!(mem.worker_count(), clu.worker_count(), "{key}: fleet");
+
+        let mut t_mem = TrafficAccountant::new(workers);
+        let mut t_clu = TrafficAccountant::new(workers);
+        for round in 0..10 {
+            // Mid-run churn, identical on both paths: rank 5 leaves
+            // before round 4 and rejoins before round 8.
+            if round == 4 {
+                mem.set_worker_active(5, false).unwrap();
+                clu.set_worker_active(5, false).unwrap();
+            }
+            if round == 8 {
+                mem.set_worker_active(5, true).unwrap();
+                clu.set_worker_active(5, true).unwrap();
+            }
+            let rep_mem = {
+                let mut ctx = RoundCtx::new(round, &bw, &mut t_mem, SEED);
+                mem.step(&mut ctx)
+            };
+            let rep_clu = {
+                let mut ctx = RoundCtx::new(round, &bw, &mut t_clu, SEED);
+                clu.step(&mut ctx)
+            };
+            assert_eq!(
+                rep_mem.mean_loss.to_bits(),
+                rep_clu.mean_loss.to_bits(),
+                "{key}: round {round} loss"
+            );
+            assert_eq!(
+                rep_mem.mean_acc.to_bits(),
+                rep_clu.mean_acc.to_bits(),
+                "{key}: round {round} acc"
+            );
+            assert_eq!(
+                rep_mem.epochs_advanced, rep_clu.epochs_advanced,
+                "{key}: round {round} epochs"
+            );
+            assert_eq!(
+                rep_mem.mean_link_bandwidth, rep_clu.mean_link_bandwidth,
+                "{key}: round {round} mean link"
+            );
+            assert_eq!(
+                rep_mem.min_link_bandwidth, rep_clu.min_link_bandwidth,
+                "{key}: round {round} min link"
+            );
+            // comm_time is deliberately NOT compared: the wire prices
+            // full framed bytes, the in-memory path prices value bytes.
+        }
+
+        // Consensus evaluation and exported checkpoint: bit-equal.
+        let acc_mem = mem.evaluate(&val, 200);
+        let acc_clu = clu.evaluate(&val, 200);
+        assert_eq!(
+            acc_mem.to_bits(),
+            acc_clu.to_bits(),
+            "{key}: final consensus accuracy"
+        );
+        assert_eq!(
+            mem.export_checkpoint().unwrap(),
+            clu.export_checkpoint().unwrap(),
+            "{key}: checkpoint bytes"
+        );
+
+        // Per-worker traffic rows: the Table I value-byte accounting is
+        // identical; the wire additionally bills its control plane to
+        // the server row, which the in-memory path models as free.
+        for r in 0..workers {
+            assert_eq!(
+                t_mem.worker_sent(r),
+                t_clu.worker_sent(r),
+                "{key}: worker {r} sent"
+            );
+            assert_eq!(
+                t_mem.worker_recv(r),
+                t_clu.worker_recv(r),
+                "{key}: worker {r} recv"
+            );
+        }
+        // (For the PS algorithms the in-memory server row already
+        // carries download/upload bytes; the wire adds its control
+        // plane on top. For everything else it starts from zero.)
+        assert!(
+            t_clu.server_total() > t_mem.server_total(),
+            "{key}: the wire must bill its control plane on top ({} vs {})",
+            t_clu.server_total(),
+            t_mem.server_total()
+        );
+        let wire = tap.snapshot();
+        assert!(wire.total_bytes > 0, "{key}: nothing crossed the wire");
+    }
 }

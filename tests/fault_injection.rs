@@ -48,6 +48,7 @@ fn cfg(workers: usize) -> SapsConfig {
         bthres: None,
         tthres: 5,
         seed: SEED,
+        shard_size: None,
     }
 }
 

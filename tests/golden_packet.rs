@@ -157,6 +157,7 @@ fn render_byzantine_quarantine() -> String {
         bthres: None,
         tthres: 4,
         seed: SEED,
+        shard_size: None,
     };
     let mut rng = StdRng::seed_from_u64(9);
     let bw = BandwidthMatrix::uniform_random(WORKERS, 5.0, &mut rng);

@@ -1,0 +1,166 @@
+//! Pipelined rounds: round `t+1`'s compute overlaps round `t`'s drain.
+//!
+//! [`Experiment::pipeline`] is a *time-model* change only. These tests
+//! pin the two sides of that contract, for SAPS through the cluster
+//! wire driver and for one ring baseline (D-PSGD):
+//!
+//! 1. **Bit-identity** — a pipelined run produces bit-identical
+//!    training history (per-round loss, evaluation accuracy, traffic)
+//!    to the sequential run; the exchange arithmetic and its
+//!    rank-ordered reductions never see the schedule.
+//! 2. **Overlap never costs time** — the DES prices every pipelined
+//!    round no slower than its sequential twin, and strictly faster
+//!    once there is a previous round's drain to hide compute behind.
+
+use saps::cluster::{cluster_registry, WireTap};
+use saps::core::{AlgorithmSpec, Experiment, RunHistory, ScenarioEvent, TimeModel};
+use saps::data::{Dataset, SyntheticSpec};
+use saps::nn::zoo;
+
+const SEED: u64 = 29;
+const ROUNDS: usize = 8;
+const COMPUTE_S: f64 = 0.05;
+
+fn dataset() -> (Dataset, Dataset) {
+    SyntheticSpec::tiny()
+        .samples(1_200)
+        .generate(3)
+        .split(0.2, 0)
+}
+
+fn run(spec: AlgorithmSpec, pipelined: bool) -> RunHistory {
+    let (train, val) = dataset();
+    Experiment::new(spec)
+        .train(train)
+        .validation(val)
+        .workers(6)
+        .batch_size(16)
+        .lr(0.1)
+        .seed(SEED)
+        .model(|rng| zoo::mlp(&[16, 20, 4], rng))
+        .rounds(ROUNDS)
+        .eval_every(4)
+        .eval_samples(100)
+        .compute_time(COMPUTE_S)
+        .event(
+            3,
+            ScenarioEvent::Straggler {
+                rank: 2,
+                slowdown: 3.0,
+            },
+        )
+        .time_model(TimeModel::event_driven(1e-4))
+        .pipeline(pipelined)
+        .run(&cluster_registry(WireTap::new()))
+        .unwrap()
+}
+
+fn assert_pipelining_contract(spec: AlgorithmSpec) {
+    let key = spec.key();
+    let seq = run(spec, false);
+    let pip = run(spec, true);
+
+    assert_eq!(seq.points.len(), pip.points.len(), "{key}: round counts");
+    for (a, b) in seq.points.iter().zip(&pip.points) {
+        // Training is bit-identical: the schedule overlap never leaks
+        // into the arithmetic.
+        assert_eq!(
+            a.train_loss.to_bits(),
+            b.train_loss.to_bits(),
+            "{key}: round {} loss drifted under pipelining",
+            a.round
+        );
+        assert_eq!(
+            a.val_acc.to_bits(),
+            b.val_acc.to_bits(),
+            "{key}: round {} accuracy drifted",
+            a.round
+        );
+        assert_eq!(a.evaluated, b.evaluated, "{key}: round {}", a.round);
+        assert_eq!(
+            a.worker_traffic_mb, b.worker_traffic_mb,
+            "{key}: round {} traffic drifted",
+            a.round
+        );
+        // The DES never prices an overlapped round slower — the compute
+        // gates only ever shrink (cumulative totals compared, so this
+        // holds round by round).
+        assert!(
+            b.total_time_s <= a.total_time_s + 1e-12,
+            "{key}: round {}: pipelining increased total time ({} > {})",
+            a.round,
+            b.total_time_s,
+            a.total_time_s
+        );
+        assert!(
+            b.compute_time_s <= a.compute_time_s + 1e-12,
+            "{key}: round {}: pipelining increased gated compute",
+            a.round
+        );
+    }
+    assert_eq!(seq.final_acc.to_bits(), pip.final_acc.to_bits(), "{key}");
+    assert_eq!(
+        seq.total_worker_traffic_mb, pip.total_worker_traffic_mb,
+        "{key}: total traffic"
+    );
+
+    // With a non-trivial drain every round, at least part of the 50 ms
+    // compute must hide behind it from round 1 on: strictly faster.
+    assert!(
+        pip.total_time_s() < seq.total_time_s(),
+        "{key}: pipelining hid no compute at all ({} vs {})",
+        pip.total_time_s(),
+        seq.total_time_s()
+    );
+}
+
+trait TotalTime {
+    fn total_time_s(&self) -> f64;
+}
+
+impl TotalTime for RunHistory {
+    fn total_time_s(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.total_time_s)
+    }
+}
+
+#[test]
+fn saps_pipelined_run_is_bit_identical_and_never_slower() {
+    assert_pipelining_contract(AlgorithmSpec::Saps {
+        compression: 4.0,
+        tthres: 5,
+        bthres: None,
+    });
+}
+
+#[test]
+fn ring_baseline_pipelined_run_is_bit_identical_and_never_slower() {
+    assert_pipelining_contract(AlgorithmSpec::DPsgd);
+}
+
+#[test]
+fn pipelining_without_modeled_compute_is_a_no_op() {
+    let (train, val) = dataset();
+    let go = |pipelined: bool| {
+        Experiment::new(AlgorithmSpec::DPsgd)
+            .train(train.clone())
+            .validation(val.clone())
+            .workers(4)
+            .batch_size(16)
+            .seed(SEED)
+            .model(|rng| zoo::mlp(&[16, 20, 4], rng))
+            .rounds(4)
+            .eval_every(4)
+            .eval_samples(100)
+            .pipeline(pipelined)
+            .run(&cluster_registry(WireTap::new()))
+            .unwrap()
+    };
+    let seq = go(false);
+    let pip = go(true);
+    for (a, b) in seq.points.iter().zip(&pip.points) {
+        assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+        assert_eq!(a.total_time_s, b.total_time_s, "round {}", a.round);
+        assert_eq!(a.comm_time_s, b.comm_time_s, "round {}", a.round);
+    }
+}
