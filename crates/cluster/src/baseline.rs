@@ -33,6 +33,7 @@
 //! byte that is not payload values goes to the control plane) and the
 //! DES round time, which here prices full framed sizes.
 
+use crate::chunks::{ChunkManifest, ChunkOutcome, DownloadScheduler, DEFAULT_CHUNK_BYTES};
 use crate::error::ClusterError;
 use crate::transport::{Addr, LoopbackTransport, Transport, WireTap};
 use rand::rngs::StdRng;
@@ -52,7 +53,7 @@ use saps_core::{
 use saps_data::Dataset;
 use saps_graph::topology;
 use saps_graph::topology::random_perfect_matching;
-use saps_netsim::TrafficAccountant;
+use saps_netsim::{BandwidthMatrix, TrafficAccountant};
 use saps_nn::Model;
 use saps_proto::{frame, Message};
 use saps_tensor::rng::{derive_seed, streams};
@@ -314,6 +315,44 @@ fn cfg_err(e: ClusterError) -> ConfigError {
     ConfigError::invalid("cluster baseline", e.to_string())
 }
 
+/// How a rejoining worker's model catch-up crosses the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResyncMode {
+    /// The pre-chunking path: one donor ships the whole checkpoint as a
+    /// single monolithic [`Message::FinalModel`] frame. Kept for the
+    /// monolithic-vs-chunked benchmark and as the conformance reference.
+    Monolithic,
+    /// The default: the donor's checkpoint is published as a chunk
+    /// manifest and the joiner fans verified chunk downloads across
+    /// every in-sync peer, fastest first (see
+    /// [`crate::DownloadScheduler`]).
+    Chunked,
+}
+
+/// What one joiner catch-up put on the wire — appended to
+/// [`BaselineClusterTrainer::resync_log`] per resync.
+#[derive(Debug, Clone)]
+pub struct ResyncReport {
+    /// The worker that caught up.
+    pub rank: u32,
+    /// The preferred donor (first in the bandwidth ranking; the peer
+    /// whose checkpoint defined the manifest).
+    pub donor: u32,
+    /// Which wire path the resync took.
+    pub mode: ResyncMode,
+    /// Total framed bytes the resync moved (requests + replies,
+    /// envelopes included).
+    pub wire_bytes: u64,
+    /// The checkpoint blob's size (the irreducible payload).
+    pub blob_bytes: u64,
+    /// Chunks fetched (1 for the monolithic path).
+    pub chunks: u32,
+    /// Distinct peers that served accepted data, ascending.
+    pub sources: Vec<u32>,
+    /// Chunk re-requests (rejections, drops, corruption); 0 monolithic.
+    pub retries: u64,
+}
+
 /// A [`Trainer`] that drives one of the seven baseline algorithms as a
 /// real framed message exchange over a [`Transport`].
 ///
@@ -331,6 +370,21 @@ pub struct BaselineClusterTrainer<T: Transport> {
     tap: WireTap,
     billed_control: u64,
     rounds: u64,
+    /// How joiner catch-up crosses the wire (default chunked).
+    resync_mode: ResyncMode,
+    /// Chunk size for chunked resync.
+    chunk_size: u32,
+    /// The latest bandwidth snapshot, used to rank chunk-serving peers
+    /// toward a joiner (`None` ranks by ascending rank).
+    bw: Option<BandwidthMatrix>,
+    /// Monotone manifest epoch across resyncs.
+    resync_epoch: u64,
+    /// One report per completed resync, in order.
+    resync_log: Vec<ResyncReport>,
+    /// Resync transfers `(src, dst, framed_bytes)` not yet priced into a
+    /// round's timing — drained by the next [`Self::try_step`] so the
+    /// DES charges catch-up traffic like any other transfer.
+    pending_resync: Vec<(usize, usize, u64)>,
 }
 
 impl BaselineClusterTrainer<LoopbackTransport> {
@@ -487,7 +541,47 @@ impl<T: Transport> BaselineClusterTrainer<T> {
             tap,
             billed_control,
             rounds: 0,
+            resync_mode: ResyncMode::Chunked,
+            chunk_size: DEFAULT_CHUNK_BYTES,
+            bw: None,
+            resync_epoch: 0,
+            resync_log: Vec::new(),
+            pending_resync: Vec::new(),
         })
+    }
+
+    /// Selects how joiner catch-up crosses the wire (default
+    /// [`ResyncMode::Chunked`]; the benchmark flips this to compare).
+    pub fn with_resync_mode(mut self, mode: ResyncMode) -> Self {
+        self.resync_mode = mode;
+        self
+    }
+
+    /// Replaces the chunk size for chunked resync (default
+    /// [`DEFAULT_CHUNK_BYTES`]). Tests shrink it so small models still
+    /// split into enough chunks to fan across peers.
+    pub fn with_chunk_size(mut self, bytes: u32) -> Self {
+        assert!(bytes > 0, "chunk size must be positive");
+        self.chunk_size = bytes;
+        self
+    }
+
+    /// Supplies the bandwidth snapshot used to rank chunk-serving peers
+    /// toward a joiner, fastest first (without it, peers rank by
+    /// ascending rank).
+    pub fn with_bandwidth(mut self, bw: &BandwidthMatrix) -> Self {
+        self.bw = Some(bw.clone());
+        self
+    }
+
+    /// One report per completed joiner catch-up, in completion order.
+    pub fn resync_log(&self) -> &[ResyncReport] {
+        &self.resync_log
+    }
+
+    /// One worker's flat parameters (tests, bit-identity checks).
+    pub fn worker_params(&self, rank: usize) -> Vec<f32> {
+        self.fleet.worker(rank).flat()
     }
 
     /// Lowers the stall tolerance (in 1 ms receive sweeps) — test hook.
@@ -506,7 +600,7 @@ impl<T: Transport> BaselineClusterTrainer<T> {
         // Keep the shared tap's transfer log bounded: the baseline
         // drivers bill from their own records, not the transfer rows.
         self.tap.take_transfers();
-        let rep = match self.algo.kind() {
+        let mut rep = match self.algo.kind() {
             Kind::Psgd => self.step_psgd(ctx),
             Kind::DPsgd => self.step_dpsgd(ctx),
             Kind::Dcd => self.step_dcd(ctx),
@@ -515,6 +609,15 @@ impl<T: Transport> BaselineClusterTrainer<T> {
             Kind::SFedAvg => self.step_sfedavg(ctx),
             Kind::Random => self.step_random(ctx),
         }?;
+        // Catch-up traffic since the last round is priced like any other
+        // transfer: the DES charges the framed resync bytes over the
+        // same links the round's payloads contend on.
+        if !self.pending_resync.is_empty() {
+            let resync = std::mem::take(&mut self.pending_resync);
+            let t = ctx.price_p2p(&resync);
+            rep.comm_time_s += t.transfer_s;
+            rep.round_time_s += t.transfer_s;
+        }
         self.tap.take_transfers();
         self.rounds += 1;
         Ok(rep)
@@ -1312,22 +1415,62 @@ impl<T: Transport> BaselineClusterTrainer<T> {
         Ok(rep)
     }
 
-    /// Ships the donor's model to a rejoining worker as a model-plane
-    /// [`Message::FinalModel`] frame and restores from the decoded copy.
-    fn resync_from_donor(&mut self, rank: usize) -> Result<(), ClusterError> {
-        let donor = self
+    /// Serving candidates for `rank`'s catch-up: every other active
+    /// worker, fastest toward the joiner first in the latest bandwidth
+    /// snapshot (ascending rank on ties, or throughout when no snapshot
+    /// was supplied).
+    fn resync_peers(&self, rank: usize) -> Vec<usize> {
+        let mut peers: Vec<usize> = self
             .fleet
             .active_ranks()
             .into_iter()
-            .find(|&r| r != rank)
-            .expect("at least two active workers");
+            .filter(|&r| r != rank)
+            .collect();
+        if let Some(bw) = &self.bw {
+            peers.sort_by(|&a, &b| {
+                bw.get(b, rank)
+                    .partial_cmp(&bw.get(a, rank))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+        }
+        peers
+    }
+
+    /// Catches a rejoining worker up to the fleet's model over the wire
+    /// — chunked multi-peer download by default, one monolithic
+    /// [`Message::FinalModel`] frame in [`ResyncMode::Monolithic`]. The
+    /// installed parameters are bit-identical either way (pinned by
+    /// `tests/chunk_catchup.rs`); failures surface as
+    /// [`ClusterError::ResyncFailed`].
+    fn resync_from_donor(&mut self, rank: usize) -> Result<(), ClusterError> {
+        match self.resync_mode {
+            ResyncMode::Monolithic => self.resync_monolithic(rank),
+            ResyncMode::Chunked => self.resync_chunked(rank),
+        }
+    }
+
+    /// The pre-chunking path: the fastest live peer ships its whole
+    /// checkpoint in one frame.
+    fn resync_monolithic(&mut self, rank: usize) -> Result<(), ClusterError> {
+        let donor = *self
+            .resync_peers(rank)
+            .first()
+            .ok_or_else(|| ClusterError::ResyncFailed {
+                donor: rank as u32,
+                rank: rank as u32,
+                detail: "no live peer to resync from".into(),
+            })?;
         let blob = checkpoint::encode(&self.fleet.worker(donor).flat(), self.rounds);
+        let blob_bytes = blob.len() as u64;
         let msg = Message::FinalModel {
             rank: donor as u32,
             checkpoint: blob.to_vec(),
         };
-        self.wire
+        let framed = self
+            .wire
             .send(Addr::Worker(donor as u32), Addr::Worker(rank as u32), &msg)?;
+        self.pending_resync.push((donor, rank, framed));
         let (from, reply) = self.wire.recv(Addr::Worker(rank as u32))?;
         let Message::FinalModel {
             checkpoint: blob, ..
@@ -1341,6 +1484,132 @@ impl<T: Transport> BaselineClusterTrainer<T> {
         let joiner = self.fleet.worker_mut(rank);
         joiner.set_flat(&flat);
         joiner.model_mut().zero_grads();
+        self.resync_log.push(ResyncReport {
+            rank: rank as u32,
+            donor: donor as u32,
+            mode: ResyncMode::Monolithic,
+            wire_bytes: framed,
+            blob_bytes,
+            chunks: 1,
+            sources: vec![donor as u32],
+            retries: 0,
+        });
+        Ok(())
+    }
+
+    /// The chunked path: publish the preferred donor's checkpoint as a
+    /// manifest and fan the joiner's verified chunk downloads across
+    /// every in-sync peer. Lost and corrupt frames are tolerated — the
+    /// scheduler re-sources each failed chunk from the next ranked peer
+    /// until its attempt budget runs dry, at which point the typed
+    /// [`ClusterError::ResyncFailed`] surfaces.
+    fn resync_chunked(&mut self, rank: usize) -> Result<(), ClusterError> {
+        let peers = self.resync_peers(rank);
+        let donor = *peers.first().ok_or_else(|| ClusterError::ResyncFailed {
+            donor: rank as u32,
+            rank: rank as u32,
+            detail: "no live peer to resync from".into(),
+        })?;
+        let blob = checkpoint::encode(&self.fleet.worker(donor).flat(), self.rounds);
+        let blob_bytes = blob.len() as u64;
+        self.resync_epoch += 1;
+        let manifest = ChunkManifest::build(self.resync_epoch, self.rounds, &blob, self.chunk_size);
+        // Each peer proves it can serve by re-encoding its own state and
+        // checking it against the manifest — computed lazily, once per
+        // peer, on the first chunk request it sees.
+        let mut peer_blobs: BTreeMap<usize, Option<Vec<u8>>> = BTreeMap::new();
+        let mut dl =
+            DownloadScheduler::new(manifest.clone(), peers.iter().map(|&p| p as u32).collect());
+        let at = |r: usize| Addr::Worker(r as u32);
+        let mut wire_bytes = 0u64;
+        while !dl.is_complete() {
+            if let Some(chunk) = dl.failed_chunk() {
+                return Err(ClusterError::ResyncFailed {
+                    donor: donor as u32,
+                    rank: rank as u32,
+                    detail: format!("chunk {chunk} exhausted every serving peer"),
+                });
+            }
+            // Fan every requestable chunk onto the wire.
+            let mut asked = Vec::new();
+            while let Some((peer, req)) = dl.next_request() {
+                let framed = self.wire.send(at(rank), at(peer as usize), &req)?;
+                wire_bytes += framed;
+                self.pending_resync.push((rank, peer as usize, framed));
+                asked.push(peer as usize);
+            }
+            // Serve each asked peer's inbox: requests that decode are
+            // answered (verified slice, or a NACK when the peer's state
+            // diverged from the manifest); corrupted ones count as lost.
+            for peer in asked {
+                while let Some((_, bytes)) = self.wire.transport.recv(at(peer))? {
+                    let Ok(Message::ChunkRequest { epoch, index }) = frame::decode(&bytes) else {
+                        continue;
+                    };
+                    let served = peer_blobs.entry(peer).or_insert_with(|| {
+                        let own = checkpoint::encode(&self.fleet.worker(peer).flat(), self.rounds);
+                        manifest.matches(&own).then(|| own.to_vec())
+                    });
+                    let reply = served
+                        .as_ref()
+                        .filter(|_| epoch == manifest.epoch)
+                        .and_then(|blob| manifest.chunk_reply(blob, index))
+                        .unwrap_or(Message::ChunkData {
+                            epoch,
+                            index,
+                            checksum: 0,
+                            data: Vec::new(),
+                        });
+                    let framed = self.wire.send(at(peer), at(rank), &reply)?;
+                    wire_bytes += framed;
+                    self.pending_resync.push((peer, rank, framed));
+                }
+            }
+            // Drain the joiner's inbox into the scheduler. Frames the
+            // transport corrupted fail to decode and count as lost.
+            let mut progressed = false;
+            while let Some((from, bytes)) = self.wire.transport.recv(at(rank))? {
+                let Ok(Message::ChunkData {
+                    epoch,
+                    index,
+                    checksum,
+                    data,
+                }) = frame::decode(&bytes)
+                else {
+                    continue;
+                };
+                let from = match from {
+                    Addr::Worker(r) => r,
+                    _ => continue,
+                };
+                if dl.on_chunk(from, epoch, index, checksum, &data) != ChunkOutcome::Duplicate {
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                // Requests or replies vanished on the wire: re-request
+                // everything outstanding (each retry rotates peers).
+                dl.requeue_outstanding();
+            }
+        }
+        let assembled = dl.assemble().expect("complete download assembles");
+        debug_assert_eq!(assembled, blob.to_vec());
+        let (flat, _) = checkpoint::decode(bytes::Bytes::from(assembled)).map_err(|e| {
+            ClusterError::Protocol(format!("assembled resync checkpoint for {rank}: {e}"))
+        })?;
+        let joiner = self.fleet.worker_mut(rank);
+        joiner.set_flat(&flat);
+        joiner.model_mut().zero_grads();
+        self.resync_log.push(ResyncReport {
+            rank: rank as u32,
+            donor: donor as u32,
+            mode: ResyncMode::Chunked,
+            wire_bytes,
+            blob_bytes,
+            chunks: manifest.chunk_count(),
+            sources: dl.sources().into_iter().collect(),
+            retries: dl.retries(),
+        });
         Ok(())
     }
 }
@@ -1449,6 +1718,7 @@ pub fn register_cluster_baselines(reg: &mut AlgorithmRegistry, tap: &WireTap) {
         tap: &WireTap,
     ) -> Result<Box<dyn Trainer>, ConfigError> {
         let factory = ctx.factory.clone();
+        let bw = ctx.bw;
         let trainer = BaselineClusterTrainer::loopback(
             kind,
             ctx.partitions,
@@ -1457,7 +1727,10 @@ pub fn register_cluster_baselines(reg: &mut AlgorithmRegistry, tap: &WireTap) {
             ctx.batch_size,
             ctx.lr,
             tap.clone(),
-        )?;
+        )?
+        // Chunk-serving peers rank by the experiment's bandwidth matrix,
+        // the same snapshot peer selection plans over.
+        .with_bandwidth(bw);
         Ok(Box::new(trainer))
     }
 

@@ -29,6 +29,19 @@ pub enum ClusterError {
         /// What the worker sent.
         detail: String,
     },
+    /// A joiner's model catch-up could not complete: every serving peer
+    /// was tried (the preferred donor first, then each fallback in the
+    /// bandwidth ranking) and the download still died — sources
+    /// disconnected, served only corrupt chunks, or exhausted the
+    /// chunk retry budget.
+    ResyncFailed {
+        /// The donor originally selected for the joiner.
+        donor: u32,
+        /// The joiner that failed to catch up.
+        rank: u32,
+        /// Why the final attempt died.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -40,6 +53,16 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Protocol(e) => write!(f, "protocol violation: {e}"),
             ClusterError::Byzantine { rank, detail } => {
                 write!(f, "byzantine worker {rank}: {detail}")
+            }
+            ClusterError::ResyncFailed {
+                donor,
+                rank,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "resync of joiner {rank} failed (donor {donor}): {detail}"
+                )
             }
         }
     }

@@ -24,6 +24,12 @@
 //!   `saps-runtime` round engine;
 //! * [`WireTap`] / [`WireStats`] — per-class on-wire byte metering, the
 //!   ground truth the driver bills rounds from;
+//! * [`ChunkManifest`] / [`DownloadScheduler`] — the chunked
+//!   model-distribution plane: checkpoints are published as an
+//!   epoch-stamped manifest of fixed-size checksummed chunks, and
+//!   joiners catch up by fanning chunk requests across multiple peers
+//!   (ranked from the bandwidth snapshot) instead of pulling one
+//!   monolithic `FinalModel` frame from a single donor;
 //! * [`BaselineClusterTrainer`] — the seven comparison algorithms
 //!   (PSGD, D-PSGD, DCD-PSGD, TopK-PSGD, FedAvg, S-FedAvg,
 //!   RandomChoose) as framed message exchanges over the same
@@ -70,6 +76,7 @@
 #![deny(missing_docs)]
 
 mod baseline;
+mod chunks;
 mod error;
 mod faults;
 mod node;
@@ -78,7 +85,10 @@ pub mod tcp;
 mod trainer;
 mod transport;
 
-pub use baseline::{register_cluster_baselines, BaselineClusterTrainer, BaselineKind};
+pub use baseline::{
+    register_cluster_baselines, BaselineClusterTrainer, BaselineKind, ResyncMode, ResyncReport,
+};
+pub use chunks::{ChunkManifest, ChunkOutcome, DownloadScheduler, DEFAULT_CHUNK_BYTES};
 pub use error::ClusterError;
 pub use faults::{FaultPlan, FaultScope, FaultyTransport, PlanHandle};
 pub use node::{CoordinatorNode, NodeSnapshot, Outbox, RoundMeta, WorkerNode};

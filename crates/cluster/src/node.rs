@@ -12,6 +12,7 @@
 //! local-SGD/merge arithmetic) — so a message-driven round reproduces
 //! the in-memory round bit for bit.
 
+use crate::chunks::{ChunkManifest, ChunkOutcome, DownloadScheduler};
 use crate::transport::Addr;
 use crate::ClusterError;
 use saps_compress::mask::RandomMask;
@@ -59,6 +60,14 @@ pub struct CoordinatorNode {
     /// Control frames successfully applied (join/leave/bandwidth) — a
     /// progress counter the driver waits on after sending one.
     control_epoch: u64,
+    /// `FinalModel` frames that arrived with no outstanding
+    /// `FetchModel` — a model reply racing the sender's own `Leave`.
+    /// Dropped with this counter as the typed warning, never an error.
+    late_models: u64,
+    /// Checkpoint epochs published so far (stamps each manifest).
+    checkpoint_epoch: u64,
+    /// The manifest of the most recently published checkpoint epoch.
+    manifest: Option<ChunkManifest>,
 }
 
 impl CoordinatorNode {
@@ -71,6 +80,9 @@ impl CoordinatorNode {
             collected: BTreeMap::new(),
             awaiting_models: BTreeSet::new(),
             control_epoch: 0,
+            late_models: 0,
+            checkpoint_epoch: 0,
+            manifest: None,
         }
     }
 
@@ -186,6 +198,59 @@ impl CoordinatorNode {
         std::mem::take(&mut self.collected)
     }
 
+    /// `FinalModel` frames dropped because no `FetchModel` was
+    /// outstanding for the sender — a reply that raced the worker's own
+    /// `Leave`. Nonzero is the typed churn-race warning.
+    pub fn late_models(&self) -> u64 {
+        self.late_models
+    }
+
+    /// Publishes `blob` as the next checkpoint epoch: builds the chunk
+    /// manifest (fixed `chunk_size`-byte chunks, FNV-1a checksum each)
+    /// and broadcasts [`Message::ManifestAnnounce`] to every active
+    /// worker. Workers whose own encoded state matches the manifest
+    /// become chunk sources for joiner catch-up.
+    pub fn publish_manifest(
+        &mut self,
+        blob: &[u8],
+        chunk_size: u32,
+        round: u64,
+        out: &mut Outbox,
+    ) -> &ChunkManifest {
+        self.checkpoint_epoch += 1;
+        let manifest = ChunkManifest::build(self.checkpoint_epoch, round, blob, chunk_size);
+        for rank in self.control.active_ranks() {
+            out.push((Addr::Worker(rank as u32), manifest.announce()));
+        }
+        self.manifest = Some(manifest);
+        self.manifest.as_ref().expect("manifest just published")
+    }
+
+    /// The most recently published checkpoint manifest, if any.
+    pub fn manifest(&self) -> Option<&ChunkManifest> {
+        self.manifest.as_ref()
+    }
+
+    /// Serving peers for `joiner`'s catch-up download, fastest first:
+    /// every other active rank, ordered by descending bandwidth toward
+    /// the joiner in the latest snapshot (ascending rank on ties).
+    pub fn rank_peers(&self, joiner: usize) -> Vec<u32> {
+        let bw = self.control.bandwidth_snapshot();
+        let mut peers: Vec<usize> = self
+            .control
+            .active_ranks()
+            .into_iter()
+            .filter(|&r| r != joiner)
+            .collect();
+        peers.sort_by(|&a, &b| {
+            bw.get(b, joiner)
+                .partial_cmp(&bw.get(a, joiner))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        peers.into_iter().map(|r| r as u32).collect()
+    }
+
     /// Handles one incoming message.
     pub fn handle(
         &mut self,
@@ -219,9 +284,12 @@ impl CoordinatorNode {
             }
             Message::FinalModel { rank, checkpoint } => {
                 if !self.awaiting_models.remove(&rank) {
-                    return Err(ClusterError::Protocol(format!(
-                        "unsolicited FinalModel from rank {rank}"
-                    )));
+                    // A model reply that raced the worker's own Leave
+                    // (or a retransmit): not a protocol violation, just
+                    // late. Count it and drop the frame — erroring here
+                    // used to kill the whole run on a routine churn race.
+                    self.late_models += 1;
+                    return Ok(());
                 }
                 self.collected.insert(rank, checkpoint);
                 Ok(())
@@ -234,6 +302,11 @@ impl CoordinatorNode {
             Message::Leave { rank } => {
                 self.control.set_active(rank as usize, false)?;
                 self.control_epoch += 1;
+                // A leaving worker will never answer an outstanding
+                // FetchModel; forget it so models_complete() can't stall
+                // (its FinalModel, if already in flight, lands in the
+                // late_models drop path above).
+                self.awaiting_models.remove(&rank);
                 Ok(())
             }
             Message::BandwidthReport { n, mbps } => {
@@ -298,6 +371,14 @@ pub struct WorkerNode {
     /// Rounds completed — stamped into `FinalModel` checkpoints.
     rounds_done: u64,
     shutdown: bool,
+    /// The latest checkpoint manifest heard on the wire.
+    manifest: Option<ChunkManifest>,
+    /// The manifest epoch's blob, held only when this worker's own
+    /// state matches the manifest bit-exactly — the proof it may serve
+    /// chunks of the published epoch.
+    epoch_blob: Option<Vec<u8>>,
+    /// An in-progress catch-up download (joiners only).
+    download: Option<DownloadScheduler>,
 }
 
 impl std::fmt::Debug for WorkerNode {
@@ -327,6 +408,9 @@ impl WorkerNode {
             stash: Vec::new(),
             rounds_done: 0,
             shutdown: false,
+            manifest: None,
+            epoch_blob: None,
+            download: None,
         }
     }
 
@@ -371,6 +455,119 @@ impl WorkerNode {
         self.rounds_done = snap.rounds_done;
         self.stash = snap.stash.clone();
         self.round = None;
+    }
+
+    /// The latest checkpoint manifest this worker has heard, if any.
+    pub fn heard_manifest(&self) -> Option<&ChunkManifest> {
+        self.manifest.as_ref()
+    }
+
+    /// Whether this worker can serve chunks of the published epoch (its
+    /// own encoded state matched the manifest, or it finished a catch-up
+    /// download of the epoch).
+    pub fn can_serve_chunks(&self) -> bool {
+        self.epoch_blob.is_some()
+    }
+
+    /// Starts a catch-up download of the heard manifest, fanning chunk
+    /// requests across `peers` (ranked fastest first — see
+    /// [`CoordinatorNode::rank_peers`]). The node answers incoming
+    /// [`Message::ChunkData`] frames until the blob is complete, then
+    /// installs the checkpoint parameters; `rounds_done` is *not*
+    /// overwritten (it counts this worker's own completed rounds).
+    pub fn begin_catch_up(
+        &mut self,
+        peers: Vec<u32>,
+        out: &mut Outbox,
+    ) -> Result<(), ClusterError> {
+        let manifest = self.manifest.clone().ok_or_else(|| {
+            ClusterError::Protocol(format!(
+                "rank {}: catch-up without a published manifest",
+                self.rank
+            ))
+        })?;
+        if peers.is_empty() {
+            return Err(ClusterError::Protocol(format!(
+                "rank {}: catch-up with no serving peers",
+                self.rank
+            )));
+        }
+        let mut dl = DownloadScheduler::new(manifest, peers);
+        Self::drain_requests(&mut dl, out);
+        self.download = Some(dl);
+        self.maybe_finish_download()
+    }
+
+    /// Whether a catch-up download is still in progress.
+    pub fn catching_up(&self) -> bool {
+        self.download.is_some()
+    }
+
+    /// The chunk that killed an in-progress download, if it died
+    /// (sources exhausted). The download stays queryable until the
+    /// driver surfaces [`ClusterError::ResyncFailed`] and retries.
+    pub fn download_failed(&self) -> Option<u32> {
+        self.download.as_ref().and_then(|d| d.failed_chunk())
+    }
+
+    /// Distinct peers that served accepted chunks of the in-progress
+    /// download (test observability).
+    pub fn download_sources(&self) -> BTreeSet<u32> {
+        self.download
+            .as_ref()
+            .map(|d| d.sources())
+            .unwrap_or_default()
+    }
+
+    /// Re-requests every unanswered chunk of the in-progress download —
+    /// the driver's idle-timeout path for dropped request or reply
+    /// frames. Each retry rotates to the next ranked peer. No-op when
+    /// no download is active.
+    pub fn requeue_download(&mut self, out: &mut Outbox) {
+        if let Some(dl) = self.download.as_mut() {
+            dl.requeue_outstanding();
+            Self::drain_requests(dl, out);
+        }
+    }
+
+    /// Drops a disconnected peer from the in-progress download and
+    /// re-sources its outstanding chunks.
+    pub fn download_peer_lost(&mut self, peer: u32, out: &mut Outbox) {
+        if let Some(dl) = self.download.as_mut() {
+            dl.on_peer_lost(peer);
+            Self::drain_requests(dl, out);
+        }
+    }
+
+    fn drain_requests(dl: &mut DownloadScheduler, out: &mut Outbox) {
+        while let Some((peer, req)) = dl.next_request() {
+            out.push((Addr::Worker(peer), req));
+        }
+    }
+
+    /// Installs the downloaded checkpoint once every chunk is verified:
+    /// the assembled blob is bit-identical to the published one (each
+    /// piece was checked against the manifest), so the installed
+    /// parameters match the monolithic `FinalModel` path exactly.
+    fn maybe_finish_download(&mut self) -> Result<(), ClusterError> {
+        let done = self.download.as_ref().is_some_and(|d| d.is_complete());
+        if !done {
+            return Ok(());
+        }
+        let dl = self.download.take().expect("download present");
+        let blob = dl.assemble().expect("complete download assembles");
+        let (flat, _round) = checkpoint::decode(bytes::Bytes::from(blob.clone())).map_err(|e| {
+            ClusterError::Protocol(format!(
+                "rank {}: downloaded checkpoint failed to decode: {e}",
+                self.rank
+            ))
+        })?;
+        self.worker.set_flat(&flat);
+        self.worker.model_mut().zero_grads();
+        // Caught up bit-exactly: this worker is now a chunk source for
+        // the same epoch (flash crowds snowball their own capacity).
+        self.epoch_blob = Some(blob);
+        Ok(())
     }
 
     /// Handles one incoming message, pushing any replies onto `out`.
@@ -480,6 +677,65 @@ impl WorkerNode {
                 ));
                 Ok(())
             }
+            Message::ManifestAnnounce { .. } => {
+                let manifest = ChunkManifest::from_announce(&msg).ok_or_else(|| {
+                    ClusterError::Protocol(format!(
+                        "rank {}: inconsistent manifest announce",
+                        self.rank
+                    ))
+                })?;
+                // Serve only what provably matches the publisher: a
+                // worker whose own encoded state hashes to the manifest
+                // holds the published blob bit-exactly.
+                let own = checkpoint::encode(&self.worker.flat(), self.rounds_done);
+                self.epoch_blob = manifest.matches(&own).then(|| own.to_vec());
+                self.manifest = Some(manifest);
+                Ok(())
+            }
+            Message::ChunkRequest { epoch, index } => {
+                let reply = self
+                    .manifest
+                    .as_ref()
+                    .filter(|m| m.epoch == epoch)
+                    .zip(self.epoch_blob.as_ref())
+                    .and_then(|(m, blob)| m.chunk_reply(blob, index))
+                    // Can't serve (no matching epoch, diverged state, or
+                    // an out-of-range index): NACK — empty data with
+                    // checksum 0 never verifies, so the requester
+                    // re-sources from its next ranked peer.
+                    .unwrap_or(Message::ChunkData {
+                        epoch,
+                        index,
+                        checksum: 0,
+                        data: Vec::new(),
+                    });
+                out.push((from, reply));
+                Ok(())
+            }
+            Message::ChunkData {
+                epoch,
+                index,
+                checksum,
+                data,
+            } => {
+                let from_rank = match from {
+                    Addr::Worker(r) => r,
+                    other => {
+                        return Err(ClusterError::Protocol(format!(
+                            "chunk data from non-worker address ({other})"
+                        )))
+                    }
+                };
+                let Some(dl) = self.download.as_mut() else {
+                    // A late reply after the download completed (a
+                    // retried chunk's slow first answer). Drop it.
+                    return Ok(());
+                };
+                if dl.on_chunk(from_rank, epoch, index, checksum, &data) == ChunkOutcome::Rejected {
+                    Self::drain_requests(dl, out);
+                }
+                self.maybe_finish_download()
+            }
             Message::Shutdown => {
                 self.shutdown = true;
                 Ok(())
@@ -558,5 +814,92 @@ impl WorkerNode {
                 acc: st.stats.1,
             },
         ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord(n: usize) -> CoordinatorNode {
+        CoordinatorNode::new(&BandwidthMatrix::constant(n, 100.0), None, 10, 7)
+    }
+
+    #[test]
+    fn final_model_racing_a_leave_is_dropped_not_fatal() {
+        let mut c = coord(4);
+        let mut out = Outbox::new();
+        c.request_models(&[2], &mut out);
+        assert!(!c.models_complete());
+        // Rank 2's Leave lands before its FinalModel reply: the fetch is
+        // forgotten so the collection can't stall...
+        c.handle(Addr::Worker(2), Message::Leave { rank: 2 }, &mut out)
+            .unwrap();
+        assert!(c.models_complete());
+        assert_eq!(c.late_models(), 0);
+        // ...and the late reply is dropped with the typed counter, not
+        // an error that kills the run.
+        c.handle(
+            Addr::Worker(2),
+            Message::FinalModel {
+                rank: 2,
+                checkpoint: vec![1, 2, 3],
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(c.late_models(), 1);
+        assert!(c.take_models().is_empty());
+    }
+
+    #[test]
+    fn solicited_final_model_is_still_collected() {
+        let mut c = coord(3);
+        let mut out = Outbox::new();
+        c.request_models(&[0, 1], &mut out);
+        for rank in [0u32, 1] {
+            c.handle(
+                Addr::Worker(rank),
+                Message::FinalModel {
+                    rank,
+                    checkpoint: vec![rank as u8],
+                },
+                &mut out,
+            )
+            .unwrap();
+        }
+        assert!(c.models_complete());
+        assert_eq!(c.late_models(), 0);
+        assert_eq!(c.take_models().len(), 2);
+    }
+
+    #[test]
+    fn peers_rank_by_bandwidth_toward_the_joiner() {
+        let mut bw = BandwidthMatrix::constant(4, 10.0);
+        bw.set(2, 0, 90.0);
+        bw.set(3, 0, 40.0);
+        bw.set(1, 0, 40.0);
+        let c = CoordinatorNode::new(&bw, None, 10, 7);
+        // Fastest toward rank 0 first; the 40 Mbps tie breaks ascending.
+        assert_eq!(c.rank_peers(0), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn publish_manifest_announces_to_every_active_worker() {
+        let mut c = coord(3);
+        let mut out = Outbox::new();
+        let blob: Vec<u8> = (0..200u8).collect();
+        let m = c.publish_manifest(&blob, 64, 5, &mut out).clone();
+        assert_eq!(m.epoch, 1);
+        assert_eq!(m.chunk_count(), 4);
+        assert_eq!(out.len(), 3);
+        assert!(out
+            .iter()
+            .all(|(_, msg)| matches!(msg, Message::ManifestAnnounce { epoch: 1, .. })));
+        assert!(m.matches(&blob));
+        // A second publish bumps the epoch.
+        out.clear();
+        let m2 = c.publish_manifest(&blob, 64, 6, &mut out).clone();
+        assert_eq!(m2.epoch, 2);
     }
 }

@@ -23,6 +23,11 @@ use std::collections::{BTreeMap, BTreeSet};
 /// on the first idle sweep).
 const STALL_SWEEP_LIMIT: u32 = 5_000;
 
+/// The typed stall message — matched by the catch-up driver to tell
+/// "the wire went idle with chunk requests unanswered" (recoverable by
+/// re-requesting) apart from genuine protocol violations.
+const STALL_MSG: &str = "transport quiescent but the awaited protocol state never arrived";
+
 /// SAPS-PSGD driven as a message-passing cluster: a
 /// [`CoordinatorNode`] and `n` [`WorkerNode`]s exchanging
 /// `saps-proto` frames over a pluggable [`Transport`].
@@ -248,6 +253,113 @@ impl<T: Transport> ClusterTrainer<T> {
         Ok(acc)
     }
 
+    /// The coordinator node (tests, churn-race observability — e.g.
+    /// [`CoordinatorNode::late_models`]).
+    pub fn coordinator(&self) -> &CoordinatorNode {
+        &self.coordinator
+    }
+
+    /// Publishes the current model as a chunked checkpoint epoch: pulls
+    /// one worker's checkpoint blob over the wire, has the coordinator
+    /// build and broadcast the chunk manifest
+    /// ([`Message::ManifestAnnounce`]), and waits until every active
+    /// worker has heard it. Workers whose state matches the blob become
+    /// chunk sources; joiners catch up from them with
+    /// [`ClusterTrainer::catch_up_worker`].
+    pub fn publish_epoch_checkpoint(&mut self, chunk_size: u32) -> Result<(), ClusterError> {
+        let ranks = self.coordinator.active_ranks();
+        let donor = *ranks.first().ok_or_else(|| {
+            ClusterError::Protocol("no active workers to publish a checkpoint from".into())
+        })?;
+        let mut out = Outbox::new();
+        self.coordinator.request_models(&[donor], &mut out);
+        self.dispatch(Addr::Coordinator, out)?;
+        self.pump_until(Executor::sequential(), |c, _| c.models_complete())?;
+        // The raw blob, never re-encoded: the manifest's checksums must
+        // match the donor's bytes bit-exactly so the donor (and every
+        // in-sync replica) can prove it serves the published epoch.
+        let blob = self
+            .coordinator
+            .take_models()
+            .remove(&(donor as u32))
+            .ok_or_else(|| {
+                ClusterError::Protocol(format!("no checkpoint collected from donor {donor}"))
+            })?;
+        let mut out = Outbox::new();
+        let epoch = self
+            .coordinator
+            .publish_manifest(&blob, chunk_size, self.coordinator.rounds_done(), &mut out)
+            .epoch;
+        self.dispatch(Addr::Coordinator, out)?;
+        self.pump_until(Executor::sequential(), move |_, ws| {
+            ranks
+                .iter()
+                .all(|&r| ws[r].heard_manifest().is_some_and(|m| m.epoch == epoch))
+        })
+    }
+
+    /// Catches `rank` up to the published checkpoint epoch by chunked
+    /// download: re-announces the manifest to the joiner (it may have
+    /// joined after the broadcast), then fans its chunk requests across
+    /// every other active worker, fastest first in the coordinator's
+    /// bandwidth snapshot ([`CoordinatorNode::rank_peers`]). Lost or
+    /// corrupt chunks are re-sourced from the next ranked peer; if the
+    /// wire goes quiescent with requests unanswered, the outstanding
+    /// chunks are re-requested. Exhausting every source surfaces
+    /// [`ClusterError::ResyncFailed`].
+    pub fn catch_up_worker(&mut self, rank: usize) -> Result<(), ClusterError> {
+        let manifest = self.coordinator.manifest().cloned().ok_or_else(|| {
+            ClusterError::Protocol("catch-up before any checkpoint epoch was published".into())
+        })?;
+        let epoch = manifest.epoch;
+        self.transport.send(
+            Addr::Coordinator,
+            Addr::Worker(rank as u32),
+            frame::try_encode(&manifest.announce())?,
+        )?;
+        self.pump_until(Executor::sequential(), |_, ws| {
+            ws[rank].heard_manifest().is_some_and(|m| m.epoch == epoch)
+        })?;
+        let peers = self.coordinator.rank_peers(rank);
+        let donor = peers.first().copied().unwrap_or(rank as u32);
+        let mut out = Outbox::new();
+        self.workers[rank].begin_catch_up(peers, &mut out)?;
+        self.dispatch(Addr::Worker(rank as u32), out)?;
+        // Bound the idle-requeue loop: each pass re-requests every
+        // outstanding chunk, so a wire that keeps eating frames runs the
+        // per-chunk attempt budget dry long before this trips.
+        const REQUEUE_LIMIT: u32 = 64;
+        let mut requeues = 0u32;
+        loop {
+            if let Some(chunk) = self.workers[rank].download_failed() {
+                return Err(ClusterError::ResyncFailed {
+                    donor,
+                    rank: rank as u32,
+                    detail: format!("chunk {chunk} exhausted every serving peer"),
+                });
+            }
+            if !self.workers[rank].catching_up() {
+                return Ok(());
+            }
+            match self.pump_until(Executor::sequential(), |_, ws| {
+                !ws[rank].catching_up() || ws[rank].download_failed().is_some()
+            }) {
+                Ok(()) => continue,
+                // Quiescent with chunks outstanding: requests or replies
+                // were dropped on the wire. Re-request and keep going.
+                Err(ClusterError::Protocol(msg))
+                    if msg == STALL_MSG && requeues < REQUEUE_LIMIT =>
+                {
+                    requeues += 1;
+                    let mut out = Outbox::new();
+                    self.workers[rank].requeue_download(&mut out);
+                    self.dispatch(Addr::Worker(rank as u32), out)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Sends [`Message::Shutdown`] to every worker and waits until all
     /// have processed it (an orderly end of the experiment).
     pub fn shutdown(&mut self) -> Result<(), ClusterError> {
@@ -264,10 +376,13 @@ impl<T: Transport> ClusterTrainer<T> {
         })
     }
 
-    /// Encodes and sends every message in `out`, as `from`.
+    /// Encodes and sends every message in `out`, as `from`. Uses the
+    /// fallible encoder: a body past the protocol ceiling surfaces as a
+    /// typed [`saps_proto::ProtoError::Oversized`] instead of a silently
+    /// wrapped length prefix.
     fn dispatch(&mut self, from: Addr, out: Outbox) -> Result<(), ClusterError> {
         for (to, msg) in out {
-            self.transport.send(from, to, frame::encode(&msg))?;
+            self.transport.send(from, to, frame::try_encode(&msg)?)?;
         }
         Ok(())
     }
@@ -347,9 +462,7 @@ impl<T: Transport> ClusterTrainer<T> {
             } else {
                 idle_sweeps += 1;
                 if idle_sweeps > self.stall_limit {
-                    return Err(ClusterError::Protocol(
-                        "transport quiescent but the awaited protocol state never arrived".into(),
-                    ));
+                    return Err(ClusterError::Protocol(STALL_MSG.into()));
                 }
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }

@@ -56,8 +56,9 @@ pub trait Transport {
 /// [`Message::MaskedPayload`] frames — the `4·nnz` Table I worker-row
 /// cost; the payload frames' envelopes (header, round field, value
 /// count, checksum) are counted in `control_bytes` together with whole
-/// control frames. `model_bytes` counts the
-/// `FetchModel`/`FinalModel`/`ModelAnnounce` distribution plane, and
+/// control frames. `model_bytes` counts the model-distribution plane —
+/// `FetchModel`/`FinalModel`/`ModelAnnounce` plus the chunked catch-up
+/// frames (`ChunkRequest`/`ChunkData`/`ManifestAnnounce`) — and
 /// `serve_bytes` the `InferRequest`/`InferResponse` inference traffic —
 /// kept out of `control_bytes` so the trainer's per-round control
 /// billing is unchanged by co-located serving load. Invariant:
@@ -72,7 +73,9 @@ pub struct WireStats {
     pub data_bytes: u64,
     /// Control frames plus all framing overhead (server row).
     pub control_bytes: u64,
-    /// Model-distribution frames (`FetchModel`/`FinalModel`/`ModelAnnounce`).
+    /// Model-distribution frames: `FetchModel`/`FinalModel`/
+    /// `ModelAnnounce` and the chunked catch-up plane
+    /// (`ChunkRequest`/`ChunkData`/`ManifestAnnounce`).
     pub model_bytes: u64,
     /// Inference frames (`InferRequest`/`InferResponse`).
     pub serve_bytes: u64,

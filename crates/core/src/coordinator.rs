@@ -205,6 +205,13 @@ impl SapsControl {
         Ok(())
     }
 
+    /// The latest reported bandwidth snapshot — the same measurements
+    /// peer selection plans over. The cluster runtime ranks chunk-serving
+    /// peers for a joiner's catch-up download from this view.
+    pub fn bandwidth_snapshot(&self) -> &BandwidthMatrix {
+        &self.bw_snapshot
+    }
+
     /// Updates the bandwidth snapshot (the paper's periodically reported
     /// speed measurements) and rebuilds peer selection.
     pub fn refresh_bandwidth(&mut self, bw: &BandwidthMatrix) {

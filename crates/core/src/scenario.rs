@@ -422,6 +422,93 @@ pub mod zoo {
         events
     }
 
+    /// A flash crowd: the `cohort` all leaves at round `leave_at` and
+    /// every member rejoins *simultaneously* at round `rejoin_at` — the
+    /// worst case for model distribution, since every joiner needs a
+    /// full catch-up at once and the survivors are the only sources.
+    /// Events are emitted in ascending rank order within each round.
+    ///
+    /// # Panics
+    ///
+    /// If `cohort` is empty, names a duplicate rank, or would leave
+    /// fewer than two workers of `fleet` behind; or if
+    /// `rejoin_at <= leave_at`.
+    pub fn flash_crowd(
+        fleet: usize,
+        cohort: &[usize],
+        leave_at: usize,
+        rejoin_at: usize,
+    ) -> Vec<ScheduledEvent> {
+        assert!(
+            !cohort.is_empty(),
+            "a flash crowd needs at least one joiner"
+        );
+        assert!(
+            cohort.iter().all(|&r| r < fleet),
+            "flash-crowd cohort names a rank outside the fleet"
+        );
+        let mut sorted = cohort.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            cohort.len(),
+            "flash-crowd cohort has duplicate ranks"
+        );
+        assert!(
+            fleet - cohort.len() >= 2,
+            "at least two workers must survive to serve the crowd's catch-up"
+        );
+        assert!(
+            rejoin_at > leave_at,
+            "the crowd must rejoin after it leaves"
+        );
+        let mut events = Vec::with_capacity(2 * sorted.len());
+        for &rank in &sorted {
+            events.push(ScheduledEvent {
+                round: leave_at,
+                event: ScenarioEvent::WorkerLeave { rank },
+            });
+        }
+        for &rank in &sorted {
+            events.push(ScheduledEvent {
+                round: rejoin_at,
+                event: ScenarioEvent::WorkerJoin { rank },
+            });
+        }
+        events
+    }
+
+    /// Day/night churn waves: starting at round `first_night`, the
+    /// `cohort` leaves for the first half of each `period`-round cycle
+    /// and rejoins at dawn, `cycles` times — the membership counterpart
+    /// of [`day_night`]'s bandwidth cycles (intermittently connected
+    /// users who drop off together every night).
+    ///
+    /// # Panics
+    ///
+    /// Same cohort constraints as [`flash_crowd`]; additionally if
+    /// `period < 2` or `cycles == 0`.
+    pub fn churn_waves(
+        fleet: usize,
+        cohort: &[usize],
+        first_night: usize,
+        period: usize,
+        cycles: usize,
+    ) -> Vec<ScheduledEvent> {
+        assert!(
+            period >= 2,
+            "a churn wave needs at least 2 rounds per cycle"
+        );
+        assert!(cycles > 0, "at least one wave");
+        let mut events = Vec::with_capacity(2 * cohort.len() * cycles);
+        for c in 0..cycles {
+            let night = first_night + c * period;
+            events.extend(flash_crowd(fleet, cohort, night, night + period / 2));
+        }
+        events
+    }
+
     /// A slow-loris straggler: worker `rank`'s compute slows by another
     /// `factor`× each round for `steps` rounds (compounding to
     /// `factor^steps`), then snaps back to nominal speed. Only round
@@ -504,6 +591,47 @@ mod tests {
         assert_eq!(events[0].round, 4);
         assert_eq!(events[1].round, 7, "dawn at half period");
         assert_eq!(events[2].round, 10, "next night one period later");
+    }
+
+    #[test]
+    fn zoo_flash_crowd_leaves_and_rejoins_in_one_round_each() {
+        let events = zoo::flash_crowd(8, &[5, 2, 3], 4, 9);
+        assert_eq!(events.len(), 6);
+        for ev in &events {
+            ev.validate(8).unwrap();
+        }
+        let (leaves, joins): (Vec<_>, Vec<_>) = events
+            .iter()
+            .partition(|ev| matches!(ev.event, ScenarioEvent::WorkerLeave { .. }));
+        assert!(leaves.iter().all(|ev| ev.round == 4));
+        assert!(joins.iter().all(|ev| ev.round == 9));
+        // Ascending rank order within each round (deterministic apply order).
+        let join_ranks: Vec<usize> = joins
+            .iter()
+            .map(|ev| match ev.event {
+                ScenarioEvent::WorkerJoin { rank } => rank,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(join_ranks, vec![2, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two workers must survive")]
+    fn zoo_flash_crowd_must_leave_survivors() {
+        zoo::flash_crowd(4, &[0, 1, 2], 0, 1);
+    }
+
+    #[test]
+    fn zoo_churn_waves_cycle_the_cohort() {
+        let events = zoo::churn_waves(6, &[4, 5], 3, 6, 2);
+        assert_eq!(events.len(), 8);
+        for ev in &events {
+            ev.validate(6).unwrap();
+        }
+        // Wave 1: leave @3, rejoin @6; wave 2: leave @9, rejoin @12.
+        let rounds: Vec<usize> = events.iter().map(|ev| ev.round).collect();
+        assert_eq!(rounds, vec![3, 3, 6, 6, 9, 9, 12, 12]);
     }
 
     #[test]

@@ -44,9 +44,23 @@ pub const OVERHEAD: usize = HEADER_LEN + TRAILER_LEN;
 /// legitimate frame would never need.
 pub const MAX_BODY_BYTES: u64 = 1 << 28;
 
-/// Encodes one message as a complete frame.
-pub fn encode(msg: &Message) -> Bytes {
+/// Encodes one message as a complete frame, or rejects it when the body
+/// would exceed [`MAX_BODY_BYTES`].
+///
+/// The header's body-length field is a `u32`; before this check existed,
+/// an oversized blob (e.g. a giant `FinalModel` checkpoint) had its
+/// length silently truncated modulo 2³², producing a frame whose header
+/// lied about the body — undecodable at best, a framing desync at worst.
+/// Callers that frame unbounded blobs (checkpoints, chunk data) must use
+/// this and surface the typed [`ProtoError::Oversized`].
+pub fn try_encode(msg: &Message) -> Result<Bytes, ProtoError> {
     let body_len = msg.body_len();
+    if body_len as u64 > MAX_BODY_BYTES {
+        return Err(ProtoError::Oversized {
+            declared: body_len as u64,
+            limit: MAX_BODY_BYTES,
+        });
+    }
     let mut buf = BytesMut::with_capacity(OVERHEAD + body_len);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
@@ -55,7 +69,16 @@ pub fn encode(msg: &Message) -> Bytes {
     msg.encode_body(&mut buf);
     debug_assert_eq!(buf.len(), HEADER_LEN + body_len);
     buf.put_u64_le(fnv1a(&buf[..HEADER_LEN + body_len]));
-    buf.freeze()
+    Ok(buf.freeze())
+}
+
+/// Encodes one message as a complete frame.
+///
+/// Panics if the body would exceed [`MAX_BODY_BYTES`] (≈256 MiB — far
+/// beyond any bounded protocol message). Callers framing unbounded blobs
+/// use [`try_encode`] and get the typed error instead.
+pub fn encode(msg: &Message) -> Bytes {
+    try_encode(msg).expect("message body exceeds MAX_BODY_BYTES; use try_encode")
 }
 
 /// The exact encoded frame size of `msg` in bytes.
@@ -255,6 +278,14 @@ impl FrameDecoder {
     }
 }
 
+/// FNV-1a 64-bit over `data` — the frame trailer's integrity check,
+/// exported so the chunked model-distribution layer stamps each
+/// [`Message::ChunkData`] slice and manifest entry with the same
+/// dependency-free checksum (corruption detection, not a MAC).
+pub fn checksum(data: &[u8]) -> u64 {
+    fnv1a(data)
+}
+
 /// FNV-1a 64-bit — the same dependency-free integrity check
 /// `saps_core::checkpoint` uses (corruption detection, not a MAC).
 fn fnv1a(data: &[u8]) -> u64 {
@@ -313,6 +344,20 @@ mod tests {
                 round: 12,
                 version: 4,
                 checkpoint: vec![1, 2, 3, 4],
+            },
+            Message::ChunkRequest { epoch: 7, index: 2 },
+            Message::ChunkData {
+                epoch: 7,
+                index: 2,
+                checksum: 0x1234_5678_9ABC_DEF0,
+                data: vec![5, 4, 3, 2, 1],
+            },
+            Message::ManifestAnnounce {
+                epoch: 7,
+                round: 21,
+                total_len: 1300,
+                chunk_size: 512,
+                checksums: vec![11, 22, 33],
             },
         ]
     }
@@ -379,6 +424,33 @@ mod tests {
     }
 
     #[test]
+    fn oversized_body_is_rejected_at_encode_not_wrapped() {
+        // The bug class: `checkpoint.len() as u32` used to wrap silently,
+        // emitting a frame whose header lied about the body. At the exact
+        // MAX_BODY_BYTES boundary encoding must succeed; one byte past it
+        // must be the typed Oversized error, never a truncated length.
+        let limit = MAX_BODY_BYTES as usize;
+        let fixed = 4 + 4; // FinalModel body overhead: rank + length field
+        let at_limit = Message::FinalModel {
+            rank: 0,
+            checkpoint: vec![0u8; limit - fixed],
+        };
+        let frame = try_encode(&at_limit).expect("body at the limit encodes");
+        assert_eq!(frame.len(), OVERHEAD + limit);
+        assert_eq!(peek(&frame).unwrap().unwrap().body_len, limit);
+
+        let past_limit = Message::FinalModel {
+            rank: 0,
+            checkpoint: vec![0u8; limit - fixed + 1],
+        };
+        assert!(matches!(
+            try_encode(&past_limit),
+            Err(ProtoError::Oversized { declared, limit: l })
+                if declared == MAX_BODY_BYTES + 1 && l == MAX_BODY_BYTES
+        ));
+    }
+
+    #[test]
     fn trailing_garbage_is_a_length_mismatch() {
         let mut raw = encode(&Message::Shutdown).to_vec();
         raw.push(0);
@@ -440,6 +512,47 @@ mod tests {
         assert_eq!(
             decode(&raw),
             Err(ProtoError::Malformed("value count vs body length"))
+        );
+    }
+
+    #[test]
+    fn lying_chunk_length_and_checksum_count_are_malformed() {
+        // ChunkData whose length field promises more bytes than the body
+        // holds, frame checksum re-stamped so only the length lies.
+        let mut raw = encode(&Message::ChunkData {
+            epoch: 1,
+            index: 0,
+            checksum: 9,
+            data: vec![1, 2, 3],
+        })
+        .to_vec();
+        let len_at = HEADER_LEN + 8 + 4 + 8;
+        raw[len_at..len_at + 4].copy_from_slice(&64u32.to_le_bytes());
+        let body_end = raw.len() - TRAILER_LEN;
+        let sum = fnv1a(&raw[..body_end]).to_le_bytes();
+        raw[body_end..].copy_from_slice(&sum);
+        assert_eq!(
+            decode(&raw),
+            Err(ProtoError::Malformed("chunk length vs body length"))
+        );
+
+        // ManifestAnnounce with a lying checksum count.
+        let mut raw = encode(&Message::ManifestAnnounce {
+            epoch: 1,
+            round: 2,
+            total_len: 100,
+            chunk_size: 50,
+            checksums: vec![1, 2],
+        })
+        .to_vec();
+        let count_at = HEADER_LEN + 8 + 8 + 8 + 4;
+        raw[count_at..count_at + 4].copy_from_slice(&1000u32.to_le_bytes());
+        let body_end = raw.len() - TRAILER_LEN;
+        let sum = fnv1a(&raw[..body_end]).to_le_bytes();
+        raw[body_end..].copy_from_slice(&sum);
+        assert_eq!(
+            decode(&raw),
+            Err(ProtoError::Malformed("checksum count vs body length"))
         );
     }
 

@@ -19,9 +19,10 @@ pub enum TrafficClass {
     /// churn, bandwidth reports) plus all framing overhead — the
     /// server-row cost.
     ControlPlane,
-    /// Full-model collection (`FetchModel` / `FinalModel`) — Table I's
-    /// one-final-model server cost, and the evaluation instrumentation
-    /// path.
+    /// Model distribution: full-model collection (`FetchModel` /
+    /// `FinalModel`) — Table I's one-final-model server cost and the
+    /// evaluation instrumentation path — plus the chunked catch-up
+    /// frames (`ChunkRequest` / `ChunkData` / `ManifestAnnounce`).
     ModelPlane,
     /// Inference traffic (`InferRequest` / `InferResponse`) — the
     /// serving plane added by `saps-serve`. Kept out of the control row
@@ -190,6 +191,55 @@ pub enum Message {
         /// Summed training accuracy over the round's local steps.
         acc: f64,
     },
+    /// Joiner → peer: send me chunk `index` of checkpoint epoch `epoch`.
+    ///
+    /// Part of the chunked model-distribution plane: instead of one
+    /// monolithic [`Message::FinalModel`] frame, a catching-up joiner
+    /// fans fixed-size chunk requests across several peers at once (see
+    /// `docs/PROTOCOL.md` § chunked distribution).
+    ChunkRequest {
+        /// The checkpoint epoch being fetched (from the manifest).
+        epoch: u64,
+        /// Zero-based chunk index into the manifest's chunk table.
+        index: u32,
+    },
+    /// Peer → joiner: one verified slice of the epoch checkpoint.
+    ///
+    /// An empty `data` with `checksum == 0` is a NACK — the peer cannot
+    /// serve that epoch (it has no matching blob cached); the requester's
+    /// scheduler re-sources the chunk from another peer.
+    ChunkData {
+        /// The checkpoint epoch the chunk belongs to.
+        epoch: u64,
+        /// Zero-based chunk index.
+        index: u32,
+        /// FNV-1a 64 of `data` — must match the manifest's entry for
+        /// `index`; a mismatch means corruption (or a lying peer) and the
+        /// chunk is re-fetched elsewhere.
+        checksum: u64,
+        /// The raw checkpoint bytes of this chunk. Every chunk is exactly
+        /// `chunk_size` bytes except the last, which carries the
+        /// remainder.
+        data: Vec<u8>,
+    },
+    /// Publisher → fleet: the chunk table of checkpoint epoch `epoch`.
+    ///
+    /// The manifest is the ground truth a downloader verifies every
+    /// [`Message::ChunkData`] against: total blob length, fixed chunk
+    /// size, and one FNV-1a 64 checksum per chunk. Chunk `i` covers blob
+    /// bytes `[i·chunk_size, min((i+1)·chunk_size, total_len))`.
+    ManifestAnnounce {
+        /// Monotone checkpoint epoch (bumped once per published manifest).
+        epoch: u64,
+        /// Training round the checkpoint captures.
+        round: u64,
+        /// Total checkpoint blob length in bytes.
+        total_len: u64,
+        /// Fixed chunk size in bytes (the last chunk may be shorter).
+        chunk_size: u32,
+        /// Per-chunk FNV-1a 64 checksums, one per chunk, in index order.
+        checksums: Vec<u64>,
+    },
 }
 
 pub(crate) const TAG_NOTIFY_TRAIN: u8 = 1;
@@ -207,6 +257,9 @@ pub(crate) const TAG_MODEL_ANNOUNCE: u8 = 12;
 pub(crate) const TAG_DENSE_PAYLOAD: u8 = 13;
 pub(crate) const TAG_SPARSE_PAYLOAD: u8 = 14;
 pub(crate) const TAG_CLIENT_STATS: u8 = 15;
+pub(crate) const TAG_CHUNK_REQUEST: u8 = 16;
+pub(crate) const TAG_CHUNK_DATA: u8 = 17;
+pub(crate) const TAG_MANIFEST_ANNOUNCE: u8 = 18;
 
 /// Every data-plane payload frame ([`Message::MaskedPayload`],
 /// [`Message::DensePayload`], [`Message::SparsePayload`]) starts its
@@ -236,6 +289,9 @@ impl Message {
             Message::DensePayload { .. } => TAG_DENSE_PAYLOAD,
             Message::SparsePayload { .. } => TAG_SPARSE_PAYLOAD,
             Message::ClientStats { .. } => TAG_CLIENT_STATS,
+            Message::ChunkRequest { .. } => TAG_CHUNK_REQUEST,
+            Message::ChunkData { .. } => TAG_CHUNK_DATA,
+            Message::ManifestAnnounce { .. } => TAG_MANIFEST_ANNOUNCE,
         }
     }
 
@@ -257,6 +313,9 @@ impl Message {
             Message::DensePayload { .. } => "DensePayload",
             Message::SparsePayload { .. } => "SparsePayload",
             Message::ClientStats { .. } => "ClientStats",
+            Message::ChunkRequest { .. } => "ChunkRequest",
+            Message::ChunkData { .. } => "ChunkData",
+            Message::ManifestAnnounce { .. } => "ManifestAnnounce",
         }
     }
 
@@ -273,9 +332,12 @@ impl Message {
             TAG_MASKED_PAYLOAD | TAG_DENSE_PAYLOAD | TAG_SPARSE_PAYLOAD => {
                 Some(TrafficClass::DataPlane)
             }
-            TAG_FETCH_MODEL | TAG_FINAL_MODEL | TAG_MODEL_ANNOUNCE => {
-                Some(TrafficClass::ModelPlane)
-            }
+            TAG_FETCH_MODEL
+            | TAG_FINAL_MODEL
+            | TAG_MODEL_ANNOUNCE
+            | TAG_CHUNK_REQUEST
+            | TAG_CHUNK_DATA
+            | TAG_MANIFEST_ANNOUNCE => Some(TrafficClass::ModelPlane),
             TAG_NOTIFY_TRAIN | TAG_ROUND_END | TAG_JOIN | TAG_LEAVE | TAG_BANDWIDTH_REPORT
             | TAG_SHUTDOWN | TAG_CLIENT_STATS => Some(TrafficClass::ControlPlane),
             TAG_INFER_REQUEST | TAG_INFER_RESPONSE => Some(TrafficClass::ServePlane),
@@ -334,6 +396,9 @@ impl Message {
                 indices, values, ..
             } => 8 + 4 + 4 * indices.len() + 4 * values.len(),
             Message::ClientStats { .. } => 8 + 4 + 8 + 8,
+            Message::ChunkRequest { .. } => 8 + 4,
+            Message::ChunkData { data, .. } => 8 + 4 + 8 + 4 + data.len(),
+            Message::ManifestAnnounce { checksums, .. } => 8 + 8 + 8 + 4 + 4 + 8 * checksums.len(),
         }
     }
 
@@ -447,6 +512,38 @@ impl Message {
                 buf.put_u32_le(*rank);
                 buf.put_f64_le(*loss);
                 buf.put_f64_le(*acc);
+            }
+            Message::ChunkRequest { epoch, index } => {
+                buf.put_u64_le(*epoch);
+                buf.put_u32_le(*index);
+            }
+            Message::ChunkData {
+                epoch,
+                index,
+                checksum,
+                data,
+            } => {
+                buf.put_u64_le(*epoch);
+                buf.put_u32_le(*index);
+                buf.put_u64_le(*checksum);
+                buf.put_u32_le(data.len() as u32);
+                buf.put_slice(data);
+            }
+            Message::ManifestAnnounce {
+                epoch,
+                round,
+                total_len,
+                chunk_size,
+                checksums,
+            } => {
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*round);
+                buf.put_u64_le(*total_len);
+                buf.put_u32_le(*chunk_size);
+                buf.put_u32_le(checksums.len() as u32);
+                for &c in checksums {
+                    buf.put_u64_le(c);
+                }
             }
         }
     }
@@ -607,6 +704,46 @@ impl Message {
                 loss: need_f64(buf)?,
                 acc: need_f64(buf)?,
             },
+            TAG_CHUNK_REQUEST => Message::ChunkRequest {
+                epoch: need_u64(buf)?,
+                index: need_u32(buf)?,
+            },
+            TAG_CHUNK_DATA => {
+                let epoch = need_u64(buf)?;
+                let index = need_u32(buf)?;
+                let checksum = need_u64(buf)?;
+                let len = need_u32(buf)? as usize;
+                if buf.len() != len {
+                    return Err(ProtoError::Malformed("chunk length vs body length"));
+                }
+                let data = buf.to_vec();
+                buf.advance(len);
+                Message::ChunkData {
+                    epoch,
+                    index,
+                    checksum,
+                    data,
+                }
+            }
+            TAG_MANIFEST_ANNOUNCE => {
+                let (epoch, round, total_len) = (need_u64(buf)?, need_u64(buf)?, need_u64(buf)?);
+                let chunk_size = need_u32(buf)?;
+                let count = need_u32(buf)? as usize;
+                if buf.len() != 8 * count {
+                    return Err(ProtoError::Malformed("checksum count vs body length"));
+                }
+                let mut checksums = Vec::with_capacity(count);
+                for _ in 0..count {
+                    checksums.push(buf.get_u64_le());
+                }
+                Message::ManifestAnnounce {
+                    epoch,
+                    round,
+                    total_len,
+                    chunk_size,
+                    checksums,
+                }
+            }
             other => return Err(ProtoError::UnknownTag(other)),
         };
         if !buf.is_empty() {

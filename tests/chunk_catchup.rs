@@ -1,0 +1,490 @@
+//! The chunked model-distribution plane, end to end.
+//!
+//! Joiner catch-up used to ship the whole model as one monolithic
+//! `FinalModel` frame from a single pinned donor. These tests pin the
+//! replacement — an epoch-stamped chunk manifest plus a multi-peer
+//! download scheduler — to the properties that make it safe to ship:
+//!
+//! 1. **Bit-identity** — a chunk-fetched resync installs parameters
+//!    bit-identical to the monolithic path, whatever mix of peers
+//!    served the pieces (runs inside the CI determinism matrix,
+//!    `SAPS_THREADS ∈ {1, 2}`).
+//! 2. **Accounting** — catch-up traffic rides the model plane: the
+//!    `WireTap`'s `model_bytes` delta reconciles exactly with the bytes
+//!    the resync framed, and the `TrafficAccountant`'s billed worker
+//!    rows never see it.
+//! 3. **Hostile wires converge** — with the transport dropping and
+//!    corrupting chunk frames, every failed piece is re-sourced from
+//!    the next ranked peer and the result is still bit-identical.
+//! 4. **Failure is typed** — a wire that eats everything surfaces
+//!    `ClusterError::ResyncFailed`, never a hang; a dead donor means
+//!    fallback to the next live peer, not failure.
+//! 5. **Flash crowds scale out** — the `#[ignore]`d smoke drives a
+//!    `zoo::flash_crowd` wave of 100+ simultaneous joiners, each
+//!    sourcing chunks from at least two distinct peers (CI runs it as a
+//!    dedicated step).
+
+use saps::cluster::Addr;
+use saps::cluster::{
+    BaselineClusterTrainer, BaselineKind, ClusterTrainer, FaultPlan, FaultScope, FaultyTransport,
+    LoopbackTransport, ResyncMode, WireTap,
+};
+use saps::core::{
+    zoo as scenario_zoo, ParallelismPolicy, RoundCtx, SapsConfig, ScenarioEvent, Trainer,
+};
+use saps::data::{partition, Dataset, SyntheticSpec};
+use saps::netsim::{BandwidthMatrix, TrafficAccountant};
+use saps::nn::zoo;
+use saps::tensor::rng::{derive_seed, streams};
+use saps_bench::throughput::{self, ThroughputEntry, BENCH_FILE};
+
+const SEED: u64 = 37;
+
+/// Chunk size small enough that the tiny test model splits into many
+/// chunks — the fan-out the scheduler exists for.
+const CHUNK: u32 = 256;
+
+fn parts(workers: usize) -> Vec<Dataset> {
+    let (train, _) = SyntheticSpec::tiny()
+        .samples(8 * workers.max(50))
+        .generate(5)
+        .split(0.2, 0);
+    partition::iid(&train, workers, derive_seed(SEED, 0, streams::DATA))
+}
+
+fn model(rng: &mut rand::rngs::StdRng) -> saps::nn::Model {
+    zoo::mlp(&[16, 20, 4], rng)
+}
+
+fn psgd(
+    workers: usize,
+    bw: &BandwidthMatrix,
+    mode: ResyncMode,
+    tap: WireTap,
+) -> BaselineClusterTrainer<LoopbackTransport> {
+    BaselineClusterTrainer::loopback(
+        BaselineKind::Psgd,
+        parts(workers),
+        model,
+        SEED,
+        16,
+        0.1,
+        tap,
+    )
+    .unwrap()
+    .with_resync_mode(mode)
+    .with_chunk_size(CHUNK)
+    .with_bandwidth(bw)
+}
+
+fn step(trainer: &mut impl Trainer, round: usize, bw: &BandwidthMatrix) -> f32 {
+    let mut traffic = TrafficAccountant::new(trainer.worker_count());
+    let mut ctx = RoundCtx::new(round, bw, &mut traffic, SEED);
+    trainer.step(&mut ctx).mean_loss
+}
+
+/// Bit-identity conformance: the chunked multi-peer resync installs the
+/// exact bytes the monolithic single-donor frame would have — across a
+/// leave/rejoin cycle, every worker, every parameter.
+#[test]
+fn chunked_resync_is_bit_identical_to_monolithic() {
+    let workers = 6;
+    let bw = BandwidthMatrix::constant(workers, 50.0);
+    let tap_mono = WireTap::new();
+    let tap_chunk = WireTap::new();
+    let mut mono = psgd(workers, &bw, ResyncMode::Monolithic, tap_mono);
+    let mut chunk = psgd(workers, &bw, ResyncMode::Chunked, tap_chunk.clone());
+
+    for round in 0..8 {
+        if round == 3 {
+            mono.set_worker_active(4, false).unwrap();
+            chunk.set_worker_active(4, false).unwrap();
+        }
+        if round == 6 {
+            let before = tap_chunk.snapshot();
+            mono.set_worker_active(4, true).unwrap();
+            chunk.set_worker_active(4, true).unwrap();
+            let after = tap_chunk.snapshot();
+
+            // The rejoin fanned real chunks over multiple peers...
+            let rep = chunk.resync_log().last().unwrap().clone();
+            assert_eq!(rep.mode, ResyncMode::Chunked);
+            assert_eq!(rep.rank, 4);
+            assert!(rep.chunks > 1, "model must split into several chunks");
+            assert!(
+                rep.sources.len() >= 2,
+                "chunks came from {} peer(s), expected a fan-out",
+                rep.sources.len()
+            );
+            // ...metered on the model plane, byte for byte.
+            assert_eq!(
+                after.model_bytes - before.model_bytes,
+                rep.wire_bytes,
+                "resync bytes must reconcile with the tap's model plane"
+            );
+            assert_eq!(
+                after.data_bytes, before.data_bytes,
+                "catch-up must not pollute the billed data plane"
+            );
+        }
+        let lm = step(&mut mono, round, &bw);
+        let lc = step(&mut chunk, round, &bw);
+        assert_eq!(lm.to_bits(), lc.to_bits(), "round {round} loss drifted");
+    }
+    for r in 0..workers {
+        assert_eq!(
+            mono.worker_params(r),
+            chunk.worker_params(r),
+            "worker {r}: chunked resync diverged from the monolithic path"
+        );
+    }
+}
+
+/// The SAPS cluster runtime's own catch-up path: the coordinator
+/// publishes an epoch manifest, the joiner downloads chunks from ranked
+/// peers, and lands bit-identical to the donor — without touching its
+/// own monotone `rounds_done` counter or the billed traffic rows.
+#[test]
+fn saps_joiner_catches_up_from_published_epoch() {
+    let workers = 4;
+    let bw = BandwidthMatrix::constant(workers, 25.0);
+    let cfg = SapsConfig {
+        workers,
+        compression: 4.0,
+        lr: 0.1,
+        batch_size: 16,
+        bthres: None,
+        tthres: 5,
+        seed: SEED,
+        shard_size: None,
+    };
+    let tap = WireTap::new();
+    let mut clu = ClusterTrainer::loopback(cfg, parts(workers), &bw, model, tap.clone()).unwrap();
+    let mut traffic = TrafficAccountant::new(workers);
+    for round in 0..3 {
+        let mut ctx = RoundCtx::new(round, &bw, &mut traffic, SEED);
+        Trainer::step(&mut clu, &mut ctx);
+    }
+    clu.set_worker_active(3, false).unwrap();
+    for round in 3..5 {
+        let mut ctx = RoundCtx::new(round, &bw, &mut traffic, SEED);
+        Trainer::step(&mut clu, &mut ctx);
+    }
+
+    // Publish the fleet's state as a chunked checkpoint epoch, rejoin
+    // the straggler, and let it catch up from its peers.
+    clu.publish_epoch_checkpoint(CHUNK).unwrap();
+    clu.set_worker_active(3, true).unwrap();
+    let billed_before = (0..workers).map(|r| traffic.worker_sent(r)).sum::<u64>();
+    let model_before = tap.snapshot().model_bytes;
+    clu.catch_up_worker(3).unwrap();
+    assert!(!clu.worker(3).catching_up());
+
+    // Bit-identical to the epoch donor (the first active rank).
+    let donor = clu.active_ranks()[0];
+    assert_eq!(
+        clu.worker(3).worker().flat(),
+        clu.worker(donor).worker().flat(),
+        "joiner must land on the published epoch exactly"
+    );
+    // The download crossed the model plane and nothing else; billed
+    // worker rows are untouched by instrumentation traffic.
+    assert!(tap.snapshot().model_bytes > model_before);
+    let billed_after = (0..workers).map(|r| traffic.worker_sent(r)).sum::<u64>();
+    assert_eq!(billed_before, billed_after, "catch-up polluted billed rows");
+    // The joiner now serves the epoch itself (catch-up capacity grows
+    // with the crowd), and no FinalModel raced anything.
+    assert!(clu.worker(3).can_serve_chunks());
+    assert_eq!(clu.coordinator().late_models(), 0);
+
+    // Training continues over the wire after the catch-up.
+    let mut ctx = RoundCtx::new(5, &bw, &mut traffic, SEED);
+    let rep = Trainer::step(&mut clu, &mut ctx);
+    assert!(rep.mean_loss.is_finite());
+}
+
+/// A wire that drops and corrupts chunk frames: every lost piece is
+/// re-sourced (rotating peers) and the assembled model is still
+/// bit-identical to a clean monolithic resync.
+#[test]
+fn chunk_hostile_wire_still_resyncs_bit_identically() {
+    let workers = 6;
+    let bw = BandwidthMatrix::constant(workers, 10.0);
+    // Reference: a clean monolithic run of the same schedule.
+    let mut mono = psgd(workers, &bw, ResyncMode::Monolithic, WireTap::new());
+
+    let tap = WireTap::new();
+    let faulty = FaultyTransport::new(LoopbackTransport::new(tap.clone()), FaultPlan::none(), 991);
+    let plan = faulty.plan_handle();
+    let mut hostile = BaselineClusterTrainer::with_transport(
+        BaselineKind::Psgd,
+        parts(workers),
+        model,
+        SEED,
+        16,
+        0.1,
+        faulty,
+        tap,
+    )
+    .unwrap()
+    .with_resync_mode(ResyncMode::Chunked)
+    .with_chunk_size(64)
+    .with_bandwidth(&bw);
+
+    for round in 0..6 {
+        if round == 2 {
+            mono.set_worker_active(1, false).unwrap();
+            hostile.set_worker_active(1, false).unwrap();
+        }
+        if round == 4 {
+            mono.set_worker_active(1, true).unwrap();
+            // Storm only while the catch-up runs: a third of all chunk
+            // frames vanish or arrive corrupted.
+            plan.set(FaultPlan::none().with_drop(0.2).with_corrupt(0.15));
+            hostile.set_worker_active(1, true).unwrap();
+            plan.set(FaultPlan::none());
+            let rep = hostile.resync_log().last().unwrap();
+            assert!(
+                rep.retries > 0,
+                "the storm must have forced at least one re-source"
+            );
+        }
+        let lm = step(&mut mono, round, &bw);
+        let lh = step(&mut hostile, round, &bw);
+        assert_eq!(lm.to_bits(), lh.to_bits(), "round {round} loss drifted");
+    }
+    for r in 0..workers {
+        assert_eq!(
+            mono.worker_params(r),
+            hostile.worker_params(r),
+            "worker {r}: hostile-wire resync diverged"
+        );
+    }
+}
+
+/// A dead donor is a fallback, not a failure: with every frame from the
+/// preferred (fastest) donor dropped, the scheduler rotates to the
+/// remaining peers and completes.
+#[test]
+fn dead_donor_falls_back_to_the_next_live_peer() {
+    let workers = 5;
+    // Rank 3 is by far the fastest toward everyone: it will be ranked
+    // first and chosen as the preferred donor.
+    let mut bw = BandwidthMatrix::constant(workers, 10.0);
+    for j in 0..workers {
+        if j != 3 {
+            bw.set(3, j, 500.0);
+        }
+    }
+    let tap = WireTap::new();
+    let faulty = FaultyTransport::new(LoopbackTransport::new(tap.clone()), FaultPlan::none(), 17);
+    let plan = faulty.plan_handle();
+    let mut trainer = BaselineClusterTrainer::with_transport(
+        BaselineKind::Psgd,
+        parts(workers),
+        model,
+        SEED,
+        16,
+        0.1,
+        faulty,
+        tap,
+    )
+    .unwrap()
+    .with_chunk_size(CHUNK)
+    .with_bandwidth(&bw);
+
+    trainer.set_worker_active(0, false).unwrap();
+    // The donor's replies never arrive.
+    plan.set(
+        FaultPlan::none()
+            .with_drop(1.0)
+            .scoped(FaultScope::From(Addr::Worker(3))),
+    );
+    trainer.set_worker_active(0, true).unwrap();
+    plan.set(FaultPlan::none());
+
+    let rep = trainer.resync_log().last().unwrap();
+    assert_eq!(rep.donor, 3, "rank 3 must be the preferred donor");
+    assert!(
+        !rep.sources.contains(&3),
+        "nothing can have been accepted from the dead donor"
+    );
+    assert!(!rep.sources.is_empty(), "fallback peers served the model");
+    assert!(rep.retries > 0);
+    // The fallback still lands bit-exactly on the fleet's model.
+    assert_eq!(trainer.worker_params(0), trainer.worker_params(1));
+}
+
+/// A wire that eats everything surfaces the typed failure, never a
+/// hang: every chunk exhausts its per-peer attempt budget and
+/// `ClusterError::ResyncFailed` comes back through the churn API.
+#[test]
+fn total_frame_loss_surfaces_typed_resync_failure() {
+    let workers = 4;
+    let bw = BandwidthMatrix::constant(workers, 10.0);
+    let tap = WireTap::new();
+    let faulty = FaultyTransport::new(
+        LoopbackTransport::new(tap.clone()),
+        FaultPlan::none().with_drop(1.0),
+        3,
+    );
+    let mut trainer = BaselineClusterTrainer::with_transport(
+        BaselineKind::Psgd,
+        parts(workers),
+        model,
+        SEED,
+        16,
+        0.1,
+        faulty,
+        tap,
+    )
+    .unwrap()
+    .with_chunk_size(CHUNK)
+    .with_bandwidth(&bw);
+
+    trainer.set_worker_active(2, false).unwrap();
+    let err = trainer
+        .set_worker_active(2, true)
+        .expect_err("a dead wire cannot resync");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("resync of joiner 2 failed"),
+        "expected the typed ResyncFailed surface, got: {msg}"
+    );
+}
+
+/// Flash crowd: a `zoo::flash_crowd` wave — the whole cohort leaves in
+/// one round and rejoins in another, 100+ simultaneous joiners — where
+/// every joiner sources its chunks from at least two distinct peers and
+/// the wire bytes reconcile exactly with the tap. `#[ignore]`d like the
+/// 1k-worker smoke; CI runs it as a dedicated step.
+#[test]
+#[ignore = "flash-crowd smoke; run explicitly (CI chunk step) with --ignored"]
+fn flash_crowd_rejoin_fans_over_peers() {
+    let workers = 128;
+    let cohort: Vec<usize> = (8..108).collect(); // 100 simultaneous joiners
+    let bw = BandwidthMatrix::constant(workers, 40.0);
+    let tap = WireTap::new();
+    let mut trainer = psgd(workers, &bw, ResyncMode::Chunked, tap.clone());
+
+    let events = scenario_zoo::flash_crowd(workers, &cohort, 1, 2);
+    let mut billed = TrafficAccountant::new(workers);
+    for round in 0..3 {
+        for ev in events.iter().filter(|e| e.round == round) {
+            match ev.event {
+                ScenarioEvent::WorkerLeave { rank } => {
+                    trainer.set_worker_active(rank, false).unwrap()
+                }
+                ScenarioEvent::WorkerJoin { rank } => {
+                    if round == 2 && rank == cohort[0] {
+                        // Reconcile the whole wave's bytes below.
+                        billed = TrafficAccountant::new(workers);
+                    }
+                    trainer.set_worker_active(rank, true).unwrap()
+                }
+                _ => unreachable!("flash_crowd emits only churn"),
+            }
+        }
+        let loss = step(&mut trainer, round, &bw);
+        assert!(loss.is_finite(), "round {round}");
+    }
+
+    let log = trainer.resync_log();
+    assert_eq!(log.len(), cohort.len(), "one resync per joiner");
+    let mut wave_bytes = 0u64;
+    for rep in log {
+        assert_eq!(rep.mode, ResyncMode::Chunked);
+        assert!(
+            rep.sources.len() >= 2,
+            "joiner {} sourced from only {} peer(s)",
+            rep.rank,
+            rep.sources.len()
+        );
+        wave_bytes += rep.wire_bytes;
+    }
+    // Every joiner landed on the same model...
+    let reference = trainer.worker_params(0);
+    for &r in &cohort {
+        assert_eq!(
+            trainer.worker_params(r),
+            reference,
+            "joiner {r} diverged after catch-up"
+        );
+    }
+    // ...the catch-up bytes all rode the unbilled model plane...
+    let wire = tap.snapshot();
+    assert!(
+        wire.model_bytes >= wave_bytes,
+        "tap model plane ({}) lost resync bytes ({wave_bytes})",
+        wire.model_bytes
+    );
+    // ...and the billed accountant rows reconcile with the data plane
+    // alone: value bytes billed ≤ data-plane bytes framed, and not one
+    // model-plane byte lands on a billed worker row.
+    let billed_rows: u64 = (0..workers).map(|r| billed.worker_sent(r)).sum();
+    assert!(
+        billed_rows <= wire.data_bytes,
+        "billed rows ({billed_rows}) exceed framed data plane ({})",
+        wire.data_bytes
+    );
+}
+
+/// Resync throughput, monolithic vs chunked: drives the same batch of
+/// joiner catch-ups through both modes and, with `SAPS_SCALE_RECORD=1`,
+/// merges a row per mode into `BENCH_round_throughput.json` (drivers
+/// `"cluster-resync-monolithic"` / `"cluster-resync-chunked"`) so the
+/// bytes/time cost of the chunk plane is pinned next to the round
+/// throughput numbers.
+#[test]
+#[ignore = "resync benchmark; run explicitly (CI chunk step) with --ignored"]
+fn resync_throughput_monolithic_vs_chunked() {
+    const FLEET: usize = 64;
+    let cohort: Vec<usize> = (4..20).collect(); // 16 joiners per mode
+    let bw = BandwidthMatrix::constant(FLEET, 40.0);
+
+    let mut rows = Vec::new();
+    for (mode, driver) in [
+        (ResyncMode::Monolithic, "cluster-resync-monolithic"),
+        (ResyncMode::Chunked, "cluster-resync-chunked"),
+    ] {
+        let tap = WireTap::new();
+        let mut trainer = psgd(FLEET, &bw, mode, tap.clone());
+        let _ = step(&mut trainer, 0, &bw);
+        for &r in &cohort {
+            trainer.set_worker_active(r, false).unwrap();
+        }
+        let before = tap.snapshot().model_bytes;
+        let start = std::time::Instant::now();
+        for &r in &cohort {
+            trainer.set_worker_active(r, true).unwrap();
+        }
+        let wall_s = start.elapsed().as_secs_f64();
+        let resync_bytes = tap.snapshot().model_bytes - before;
+
+        // Both modes must move the same blob bytes per joiner; chunked
+        // adds only the manifest + request overhead.
+        let logged: u64 = trainer
+            .resync_log()
+            .iter()
+            .rev()
+            .take(cohort.len())
+            .map(|r| r.wire_bytes)
+            .sum();
+        assert_eq!(resync_bytes, logged, "{driver}: tap disagrees with log");
+
+        rows.push(ThroughputEntry {
+            algorithm: "P-SGD".to_string(),
+            workload: "Synthetic-MLP (tiny)".to_string(),
+            workers: FLEET,
+            threads: ParallelismPolicy::Auto.resolve(),
+            driver: driver.to_string(),
+            rounds: cohort.len(), // one "round" per joiner resync
+            wall_s,
+            rounds_per_sec: cohort.len() as f64 / wall_s.max(f64::MIN_POSITIVE),
+            wire_mb: resync_bytes as f64 / (1024.0 * 1024.0),
+        });
+    }
+    if std::env::var("SAPS_SCALE_RECORD").is_ok() {
+        throughput::record(std::path::Path::new(BENCH_FILE), &rows).unwrap();
+    }
+}
