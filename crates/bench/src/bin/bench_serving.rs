@@ -15,6 +15,12 @@
 //! * `--requests N` — requests per serve-only sweep point (default 4000)
 //! * `--rounds N` — training rounds in the mixed scenario (default 10)
 //! * `--smoke` — tiny volumes for CI (a few hundred requests, 3 rounds)
+//! * `--telemetry <path>` — attach the `saps-telemetry` recorder to
+//!   both scenarios and write the structured event trail to `<path>`
+//!   (JSONL) plus a Prometheus-style metric snapshot to `<path>.prom`;
+//!   tick-based latency percentiles, batch occupancy, and hot-swap
+//!   latency land in the registry (`docs/OBSERVABILITY.md`). Results
+//!   are bit-identical with or without it.
 //!
 //! Two scenarios land in `BENCH_serving.json`:
 //!
@@ -33,7 +39,7 @@ use rand::SeedableRng;
 use saps_bench::serving::{self, ServingEntry, SERVING_FILE};
 use saps_bench::throughput::parse_policy;
 use saps_cluster::{cluster_registry, WireTap};
-use saps_core::{checkpoint, AlgorithmSpec, Executor, Experiment, ParallelismPolicy};
+use saps_core::{checkpoint, AlgorithmSpec, Executor, Experiment, ParallelismPolicy, Recorder};
 use saps_data::SyntheticSpec;
 use saps_netsim::workload::{ArrivalProcess, RequestArrivals};
 use saps_netsim::{citydata, to_mb, PacketConfig, TimeModel};
@@ -58,6 +64,7 @@ struct Args {
     requests: usize,
     rounds: usize,
     smoke: bool,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -67,6 +74,7 @@ fn parse_args() -> Args {
         requests: 4000,
         rounds: 10,
         smoke: false,
+        telemetry: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -91,6 +99,7 @@ fn parse_args() -> Args {
                 a.rounds = v.parse().expect("round count");
             }
             "--smoke" => a.smoke = true,
+            "--telemetry" => a.telemetry = Some(it.next().expect("--telemetry <path>")),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -115,12 +124,18 @@ fn fleet(n: usize, dims: &[usize], ckpt: &[u8], max_batch: usize) -> Vec<Replica
 }
 
 /// Serve-only sweep point: a Poisson stream through `n` replicas.
-fn serve_only(n: usize, requests: usize, threads: ParallelismPolicy) -> ServingEntry {
+fn serve_only(
+    n: usize,
+    requests: usize,
+    threads: ParallelismPolicy,
+    recorder: &Recorder,
+) -> ServingEntry {
     let mut rng = StdRng::seed_from_u64(11);
     let ckpt = checkpoint::encode(&zoo::mlp(&DIMS, &mut rng).flat_params(), 0);
     let mut fleet = ServeCluster::loopback(fleet(n, &DIMS, &ckpt, 32))
         .unwrap()
-        .with_executor(Executor::new(threads));
+        .with_executor(Executor::new(threads))
+        .with_telemetry(recorder.clone());
     let mut arrivals = RequestArrivals::new(ArrivalProcess::Poisson { rate: 64.0 }, 5);
 
     let mut submitted_at: HashMap<u64, Instant> = HashMap::new();
@@ -165,7 +180,12 @@ fn serve_only(n: usize, requests: usize, threads: ParallelismPolicy) -> ServingE
 }
 
 /// Mixed scenario: training + serving sharing the 14-city matrix.
-fn mixed_training(replicas: usize, rounds: usize, threads: ParallelismPolicy) -> ServingEntry {
+fn mixed_training(
+    replicas: usize,
+    rounds: usize,
+    threads: ParallelismPolicy,
+    recorder: &Recorder,
+) -> ServingEntry {
     let bw = citydata::fig1_bandwidth();
     let workers = bw.len();
     let ds = SyntheticSpec::tiny().samples(700).generate(1);
@@ -176,7 +196,8 @@ fn mixed_training(replicas: usize, rounds: usize, threads: ParallelismPolicy) ->
     let serve = Rc::new(RefCell::new(
         ServeCluster::loopback(fleet(replicas, &MIXED_DIMS, &boot, 32))
             .unwrap()
-            .with_executor(Executor::new(threads)),
+            .with_executor(Executor::new(threads))
+            .with_telemetry(recorder.clone()),
     ));
     let arrivals = Rc::new(RefCell::new(RequestArrivals::new(
         ArrivalProcess::Diurnal {
@@ -207,6 +228,7 @@ fn mixed_training(replicas: usize, rounds: usize, threads: ParallelismPolicy) ->
         .rounds(rounds)
         .eval_every(rounds)
         .eval_samples(50)
+        .telemetry(recorder.clone())
         .after_round(move |trainer, _point| {
             let ckpt = trainer.export_checkpoint().expect("cluster export");
             let mut fleet = hook_fleet.borrow_mut();
@@ -285,16 +307,26 @@ fn fleet_threads(policy: ParallelismPolicy) -> usize {
 
 fn main() {
     let args = parse_args();
+    let recorder = if args.telemetry.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
     let mut entries = Vec::new();
     for &n in &args.replicas {
-        let e = serve_only(n, args.requests, args.threads);
+        let e = serve_only(n, args.requests, args.threads, &recorder);
         println!(
             "serve-only      replicas={:2}  {:>9.1} req/s  p50 {:.3} ms  p99 {:.3} ms",
             e.replicas, e.requests_per_sec, e.p50_ms, e.p99_ms
         );
         entries.push(e);
     }
-    let mixed = mixed_training(*args.replicas.last().unwrap(), args.rounds, args.threads);
+    let mixed = mixed_training(
+        *args.replicas.last().unwrap(),
+        args.rounds,
+        args.threads,
+        &recorder,
+    );
     println!(
         "mixed-training  replicas={:2}  {:>9.1} req/s  p50 {:.3} ms  p99 {:.3} ms  \
          swaps {}  fluid {:.3} s  packet {:.3} s",
@@ -309,4 +341,32 @@ fn main() {
     entries.push(mixed);
     serving::write_json(Path::new(SERVING_FILE), &entries).expect("write BENCH_serving.json");
     println!("wrote {SERVING_FILE}");
+    if let Some(dest) = &args.telemetry {
+        let q = |q| recorder.quantile("serve.latency_ticks", q).unwrap_or(0.0);
+        println!(
+            "telemetry: latency ticks p50 {:.2} | p90 {:.2} | p99 {:.2}  \
+             batch occupancy {:.2}  swap latency ticks p50 {:.2}",
+            q(0.50),
+            q(0.90),
+            q(0.99),
+            recorder.gauge("serve.batch_occupancy").unwrap_or(0.0),
+            recorder
+                .quantile("serve.swap_latency_ticks", 0.50)
+                .unwrap_or(0.0),
+        );
+        let path = Path::new(dest);
+        let prom = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
+            Some(ext) => format!("{ext}.prom"),
+            None => "prom".to_string(),
+        });
+        recorder.write_jsonl(path).expect("write telemetry JSONL");
+        recorder
+            .write_prometheus(&prom)
+            .expect("write telemetry snapshot");
+        println!(
+            "telemetry written to {} and {}",
+            path.display(),
+            prom.display()
+        );
+    }
 }

@@ -34,17 +34,27 @@
 //!   traffic are
 //!   bit-identical; round time additionally prices the frame envelopes,
 //!   and the control plane lands on the server row.
+//! * `--telemetry on|off|<path>` — attach the `saps-telemetry` recorder
+//!   (default `on`). The run's trajectory is bit-identical either way
+//!   (pinned by `tests/telemetry.rs`); with the recorder on, a round
+//!   timing breakdown (p50/p90/p99 of total/compute/comm), resync
+//!   reports, and crash-dump counts print to stderr after the run. A
+//!   path argument additionally writes the structured event trail as
+//!   JSONL to `<path>` and a Prometheus-style metric snapshot to
+//!   `<path>.prom` (see `docs/OBSERVABILITY.md`).
 //!
 //! Besides the CSV on stdout, every run records its round throughput
-//! (rounds/sec, threads, algorithm, workload, driver, on-wire MB) to
-//! `BENCH_round_throughput.json` in the working directory.
+//! (rounds/sec, threads, algorithm, workload, driver, telemetry flag,
+//! on-wire MB) to `BENCH_round_throughput.json` in the working
+//! directory — recorder-on and recorder-off rows coexist, so the file
+//! carries the recorder-overhead comparison.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saps_bench::throughput::{self, ThroughputEntry};
 use saps_bench::{experiment, registry, AlgorithmSpec, ParallelismPolicy, TimeModel, Workload};
 use saps_cluster::{cluster_registry, WireTap};
-use saps_core::CsvSink;
+use saps_core::{CsvSink, Recorder};
 use saps_netsim::{citydata, BandwidthMatrix};
 use std::path::Path;
 
@@ -63,6 +73,7 @@ struct Args {
     threads: ParallelismPolicy,
     time_model: TimeModel,
     driver: String,
+    telemetry: String,
 }
 
 impl Args {
@@ -81,6 +92,7 @@ impl Args {
             threads: ParallelismPolicy::Auto,
             time_model: TimeModel::Analytic,
             driver: "memory".into(),
+            telemetry: "on".into(),
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -124,6 +136,7 @@ impl Args {
                         _ => usage("bad --driver (use memory|cluster)"),
                     }
                 }
+                "--telemetry" => a.telemetry = val.clone(),
                 other => usage(&format!("unknown option {other}")),
             }
             i += 2;
@@ -139,7 +152,8 @@ fn usage(err: &str) -> ! {
          \u{20}                     [--workload mnist|cifar|resnet] [--network constant|random|cities]\n\
          \u{20}                     [--workers N] [--rounds N] [--epochs F] [--c F] [--seed N]\n\
          \u{20}                     [--eval-every N] [--target-acc F] [--threads seq|auto|N]\n\
-         \u{20}                     [--time-model analytic|des] [--driver memory|cluster]"
+         \u{20}                     [--time-model analytic|des] [--driver memory|cluster]\n\
+         \u{20}                     [--telemetry on|off|<path>]"
     );
     std::process::exit(2);
 }
@@ -173,6 +187,11 @@ fn main() {
         _ => registry(),
     };
 
+    let recorder = if args.telemetry == "off" {
+        Recorder::disabled()
+    } else {
+        Recorder::new()
+    };
     let mut exp = experiment(spec, &workload, &bw, workers, args.seed)
         .rounds(args.rounds)
         .eval_every(args.eval_every)
@@ -180,6 +199,7 @@ fn main() {
         .max_epochs(args.epochs)
         .parallelism(args.threads)
         .time_model(args.time_model)
+        .telemetry(recorder.clone())
         .observer(Box::new(CsvSink::new(std::io::stdout())));
     if let Some(t) = args.target_acc {
         exp = exp.target_accuracy(t);
@@ -208,7 +228,9 @@ fn main() {
     } else {
         entry.wire_mb
     };
-    let entry = entry.with_driver(&args.driver, wire_mb);
+    let entry = entry
+        .with_driver(&args.driver, wire_mb)
+        .with_telemetry(recorder.is_enabled());
     eprintln!(
         "# final acc {:.2}% | worker traffic {:.4} MB | server {:.4} MB | comm time {:.2} s | {:.2} rounds/s wall",
         hist.final_acc * 100.0,
@@ -226,9 +248,68 @@ fn main() {
             wire.model_bytes as f64 / 1e6,
         );
     }
+    if recorder.is_enabled() {
+        report_telemetry(&recorder, &args.telemetry);
+    }
     let path = Path::new(throughput::BENCH_FILE);
     match throughput::record(path, &[entry]) {
         Ok(()) => eprintln!("# round throughput recorded to {}", path.display()),
         Err(e) => eprintln!("# warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Prints the recorder's round-timing breakdown, resync reports, and
+/// failure-dump counts to stderr; a path-valued `--telemetry` also
+/// writes the JSONL event trail and a Prometheus snapshot to disk.
+fn report_telemetry(recorder: &Recorder, dest: &str) {
+    let pct = |name: &str| {
+        let q = |q| recorder.quantile(name, q).unwrap_or(0.0);
+        (q(0.50), q(0.90), q(0.99))
+    };
+    for (label, metric) in [
+        ("round total", "round.total_s"),
+        ("  compute", "round.compute_s"),
+        ("  comm", "round.comm_s"),
+    ] {
+        let (p50, p90, p99) = pct(metric);
+        eprintln!("# {label:<12} p50 {p50:.6} s | p90 {p90:.6} s | p99 {p99:.6} s");
+    }
+    if let Some(rt) = recorder.counter("net.retransmit_segments") {
+        eprintln!(
+            "# packet model: {rt} retransmitted segments, peak queue {:.0} bytes",
+            recorder.gauge("net.peak_queue_bytes").unwrap_or(0.0),
+        );
+    }
+    for ev in recorder.events() {
+        if ev.kind == "resync" || ev.kind == "resync.failed" || ev.kind == "chunk.catchup" {
+            eprintln!("# {}", ev.to_json());
+        }
+    }
+    let dumps = recorder.dumps();
+    if !dumps.is_empty() {
+        eprintln!("# {} flight-recorder dump(s):", dumps.len());
+        for d in &dumps {
+            eprintln!(
+                "#   {} at vtime {:.3} s ({} events)",
+                d.reason,
+                d.vtime_s,
+                d.events.len()
+            );
+        }
+    }
+    if dest != "on" {
+        let path = Path::new(dest);
+        let prom = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
+            Some(ext) => format!("{ext}.prom"),
+            None => "prom".to_string(),
+        });
+        match recorder.write_jsonl(path) {
+            Ok(()) => eprintln!("# telemetry events written to {}", path.display()),
+            Err(e) => eprintln!("# warning: could not write {}: {e}", path.display()),
+        }
+        match recorder.write_prometheus(&prom) {
+            Ok(()) => eprintln!("# metric snapshot written to {}", prom.display()),
+            Err(e) => eprintln!("# warning: could not write {}: {e}", prom.display()),
+        }
     }
 }

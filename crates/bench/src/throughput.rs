@@ -31,6 +31,10 @@ pub struct ThroughputEntry {
     /// Execution driver: `"memory"` (in-memory trainer) or `"cluster"`
     /// (the message-driven `saps-cluster` runtime).
     pub driver: String,
+    /// Whether the telemetry recorder was enabled for the run. Rows
+    /// with and without it coexist, so the record carries the recorder
+    /// overhead comparison (the target is < 5% rounds/s regression).
+    pub telemetry: bool,
     /// Rounds actually driven.
     pub rounds: usize,
     /// Wall-clock seconds the driver spent ([`RunHistory::wall_time_s`]).
@@ -63,6 +67,7 @@ impl ThroughputEntry {
             workers,
             threads: policy.resolve(),
             driver: "memory".to_string(),
+            telemetry: false,
             rounds,
             wall_s: hist.wall_time_s,
             rounds_per_sec: rounds as f64 / wall,
@@ -75,6 +80,12 @@ impl ThroughputEntry {
     pub fn with_driver(mut self, driver: &str, wire_mb: f64) -> Self {
         self.driver = driver.to_string();
         self.wire_mb = wire_mb;
+        self
+    }
+
+    /// Marks whether the telemetry recorder ran during the measurement.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
         self
     }
 }
@@ -106,8 +117,15 @@ pub fn record(path: &Path, new_entries: &[ThroughputEntry]) -> io::Result<()> {
     write_json(path, &entries)
 }
 
-fn key(e: &ThroughputEntry) -> (&str, &str, usize, usize, &str) {
-    (&e.algorithm, &e.workload, e.workers, e.threads, &e.driver)
+fn key(e: &ThroughputEntry) -> (&str, &str, usize, usize, &str, bool) {
+    (
+        &e.algorithm,
+        &e.workload,
+        e.workers,
+        e.threads,
+        &e.driver,
+        e.telemetry,
+    )
 }
 
 /// Best-effort parse of a file this module wrote (one entry per line).
@@ -135,6 +153,7 @@ fn parse_entry(line: &str) -> Option<ThroughputEntry> {
         // Fields added after the first release: records written before
         // the cluster driver existed read as in-memory runs.
         driver: field_str(line, "driver").unwrap_or_else(|| "memory".to_string()),
+        telemetry: field_num(line, "telemetry") == Some("true"),
         rounds: field_num(line, "rounds")?.parse().ok()?,
         wall_s: field_num(line, "wall_s")?.parse().ok()?,
         rounds_per_sec: field_num(line, "rounds_per_sec")?.parse().ok()?,
@@ -191,13 +210,14 @@ fn render_json(entries: &[ThroughputEntry]) -> String {
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"algorithm\": \"{}\", \"workload\": \"{}\", \"workers\": {}, \
-             \"threads\": {}, \"driver\": \"{}\", \"rounds\": {}, \"wall_s\": {:.6}, \
-             \"rounds_per_sec\": {:.3}, \"wire_mb\": {:.6}}}{}\n",
+             \"threads\": {}, \"driver\": \"{}\", \"telemetry\": {}, \"rounds\": {}, \
+             \"wall_s\": {:.6}, \"rounds_per_sec\": {:.3}, \"wire_mb\": {:.6}}}{}\n",
             escape(&e.algorithm),
             escape(&e.workload),
             e.workers,
             e.threads,
             escape(&e.driver),
+            e.telemetry,
             e.rounds,
             e.wall_s,
             e.rounds_per_sec,
@@ -224,6 +244,7 @@ mod tests {
             workers: 16,
             threads,
             driver: "memory".into(),
+            telemetry: false,
             rounds: 30,
             wall_s: 30.0 / rps,
             rounds_per_sec: rps,
@@ -320,6 +341,31 @@ mod tests {
         assert_eq!(e.driver, "memory");
         assert_eq!(e.wire_mb, 0.0);
         assert_eq!(e.threads, 2);
+    }
+
+    #[test]
+    fn telemetry_rows_coexist_and_legacy_lines_read_as_off() {
+        let dir = std::env::temp_dir().join(format!("saps-throughput-tel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(BENCH_FILE);
+        let _ = std::fs::remove_file(&path);
+
+        // Same configuration with the recorder off and on: both rows
+        // survive side by side — the overhead comparison needs the pair.
+        let off = entry(1, 10.0);
+        let on = entry(1, 15.0).with_telemetry(true);
+        record(&path, &[off.clone(), on.clone()]).unwrap();
+        assert_eq!(read_entries(&path).unwrap(), vec![off.clone(), on]);
+        // Re-measuring the telemetry row replaces only it.
+        let on2 = entry(1, 7.5).with_telemetry(true);
+        record(&path, std::slice::from_ref(&on2)).unwrap();
+        assert_eq!(read_entries(&path).unwrap(), vec![off, on2]);
+        std::fs::remove_file(&path).unwrap();
+
+        // Lines written before the flag existed read as recorder-off.
+        let line = "{\"algorithm\": \"SAPS-PSGD\", \"workload\": \"w\", \"workers\": 16, \
+                    \"threads\": 2, \"rounds\": 30, \"wall_s\": 3.000000, \"rounds_per_sec\": 10.000}";
+        assert!(!parse_entry(line).unwrap().telemetry);
     }
 
     #[test]

@@ -47,8 +47,8 @@ use saps_compress::codec;
 use saps_compress::mask::RandomMask;
 use saps_compress::topk::{densify, top_k_indices, ErrorFeedbackTopK};
 use saps_core::{
-    checkpoint, AlgorithmRegistry, AlgorithmSpec, BuildCtx, ConfigError, RoundCtx, RoundReport,
-    Trainer,
+    checkpoint, AlgorithmRegistry, AlgorithmSpec, BuildCtx, ConfigError, Recorder, RoundCtx,
+    RoundReport, Trainer,
 };
 use saps_data::Dataset;
 use saps_graph::topology;
@@ -381,6 +381,14 @@ pub struct BaselineClusterTrainer<T: Transport> {
     resync_epoch: u64,
     /// One report per completed resync, in order.
     resync_log: Vec<ResyncReport>,
+    /// Telemetry recorder (disabled by default; captured from the
+    /// [`RoundCtx`] when the driver installed one, or set explicitly
+    /// via [`Self::with_telemetry`]).
+    telemetry: Recorder,
+    /// How many [`Self::resync_log`] entries have already been emitted
+    /// as `"resync"` telemetry events — resyncs happen between rounds,
+    /// so the next [`Self::try_step`] drains the tail.
+    resync_emitted: usize,
     /// Resync transfers `(src, dst, framed_bytes)` not yet priced into a
     /// round's timing — drained by the next [`Self::try_step`] so the
     /// DES charges catch-up traffic like any other transfer.
@@ -547,6 +555,8 @@ impl<T: Transport> BaselineClusterTrainer<T> {
             resync_epoch: 0,
             resync_log: Vec::new(),
             pending_resync: Vec::new(),
+            telemetry: Recorder::disabled(),
+            resync_emitted: 0,
         })
     }
 
@@ -584,6 +594,15 @@ impl<T: Transport> BaselineClusterTrainer<T> {
         self.fleet.worker(rank).flat()
     }
 
+    /// Attaches a telemetry recorder for drivers that step the trainer
+    /// directly (the [`saps_core::Experiment`] path installs its own
+    /// through the [`RoundCtx`]). Recording never changes the
+    /// arithmetic — bit-identity is pinned by `tests/telemetry.rs`.
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Lowers the stall tolerance (in 1 ms receive sweeps) — test hook.
     pub fn with_stall_limit(mut self, sweeps: u32) -> Self {
         self.wire.stall_limit = sweeps;
@@ -597,10 +616,13 @@ impl<T: Transport> BaselineClusterTrainer<T> {
 
     /// Runs one round, surfacing wire faults as typed errors.
     pub fn try_step(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        if ctx.telemetry.is_enabled() {
+            self.telemetry = ctx.telemetry.clone();
+        }
         // Keep the shared tap's transfer log bounded: the baseline
         // drivers bill from their own records, not the transfer rows.
         self.tap.take_transfers();
-        let mut rep = match self.algo.kind() {
+        let stepped = match self.algo.kind() {
             Kind::Psgd => self.step_psgd(ctx),
             Kind::DPsgd => self.step_dpsgd(ctx),
             Kind::Dcd => self.step_dcd(ctx),
@@ -608,7 +630,29 @@ impl<T: Transport> BaselineClusterTrainer<T> {
             Kind::FedAvg => self.step_fedavg(ctx),
             Kind::SFedAvg => self.step_sfedavg(ctx),
             Kind::Random => self.step_random(ctx),
-        }?;
+        };
+        let mut rep = match stepped {
+            Ok(rep) => rep,
+            Err(e) => {
+                if self.telemetry.is_enabled() {
+                    if let ClusterError::Protocol(msg) = &e {
+                        if msg.starts_with("transport quiescent") {
+                            self.telemetry.add("cluster.stalls", 1);
+                            self.telemetry.event(
+                                "stall",
+                                Some(self.rounds),
+                                vec![
+                                    ("round", self.rounds.into()),
+                                    ("detail", msg.as_str().into()),
+                                ],
+                            );
+                            self.telemetry.crash_dump("stall");
+                        }
+                    }
+                }
+                return Err(e);
+            }
+        };
         // Catch-up traffic since the last round is priced like any other
         // transfer: the DES charges the framed resync bytes over the
         // same links the round's payloads contend on.
@@ -617,6 +661,37 @@ impl<T: Transport> BaselineClusterTrainer<T> {
             let t = ctx.price_p2p(&resync);
             rep.comm_time_s += t.transfer_s;
             rep.round_time_s += t.transfer_s;
+        }
+        if self.telemetry.is_enabled() {
+            let tel = &self.telemetry;
+            tel.add("cluster.rounds", 1);
+            let w = self.tap.snapshot();
+            tel.set_gauge("wire.data_bytes", w.data_bytes as f64);
+            tel.set_gauge("wire.control_bytes", w.control_bytes as f64);
+            tel.set_gauge("wire.model_bytes", w.model_bytes as f64);
+            tel.set_gauge("wire.serve_bytes", w.serve_bytes as f64);
+            tel.set_gauge("wire.total_bytes", w.total_bytes as f64);
+            tel.set_gauge("wire.frames", w.frames as f64);
+            // Resyncs ran between rounds; surface the log's tail now
+            // that their bytes are priced into this round's timing.
+            for r in &self.resync_log[self.resync_emitted..] {
+                tel.add("cluster.resyncs", 1);
+                tel.event(
+                    "resync",
+                    Some(self.rounds),
+                    vec![
+                        ("rank", u64::from(r.rank).into()),
+                        ("donor", u64::from(r.donor).into()),
+                        ("mode", format!("{:?}", r.mode).into()),
+                        ("wire_bytes", r.wire_bytes.into()),
+                        ("blob_bytes", r.blob_bytes.into()),
+                        ("chunks", u64::from(r.chunks).into()),
+                        ("sources", (r.sources.len() as u64).into()),
+                        ("retries", r.retries.into()),
+                    ],
+                );
+            }
+            self.resync_emitted = self.resync_log.len();
         }
         self.tap.take_transfers();
         self.rounds += 1;
@@ -1444,10 +1519,32 @@ impl<T: Transport> BaselineClusterTrainer<T> {
     /// `tests/chunk_catchup.rs`); failures surface as
     /// [`ClusterError::ResyncFailed`].
     fn resync_from_donor(&mut self, rank: usize) -> Result<(), ClusterError> {
-        match self.resync_mode {
+        let res = match self.resync_mode {
             ResyncMode::Monolithic => self.resync_monolithic(rank),
             ResyncMode::Chunked => self.resync_chunked(rank),
+        };
+        if let Err(e) = &res {
+            if self.telemetry.is_enabled() {
+                self.telemetry.add("cluster.resync_failures", 1);
+                let (donor, joiner) = match e {
+                    ClusterError::ResyncFailed { donor, rank, .. } => {
+                        (u64::from(*donor), u64::from(*rank))
+                    }
+                    _ => (rank as u64, rank as u64),
+                };
+                self.telemetry.event(
+                    "resync.failed",
+                    Some(self.rounds),
+                    vec![
+                        ("rank", joiner.into()),
+                        ("donor", donor.into()),
+                        ("detail", format!("{e}").into()),
+                    ],
+                );
+                self.telemetry.crash_dump("resync failed");
+            }
         }
+        res
     }
 
     /// The pre-chunking path: the fastest live peer ships its whole

@@ -91,6 +91,6 @@ pub use baseline::{
 pub use chunks::{ChunkManifest, ChunkOutcome, DownloadScheduler, DEFAULT_CHUNK_BYTES};
 pub use error::ClusterError;
 pub use faults::{FaultPlan, FaultScope, FaultyTransport, PlanHandle};
-pub use node::{CoordinatorNode, NodeSnapshot, Outbox, RoundMeta, WorkerNode};
+pub use node::{CoordinatorNode, DownloadReport, NodeSnapshot, Outbox, RoundMeta, WorkerNode};
 pub use trainer::{cluster_registry, ClusterTrainer};
 pub use transport::{Addr, LoopbackTransport, Transport, WireStats, WireTap, WireTransfer};

@@ -379,6 +379,20 @@ pub struct WorkerNode {
     epoch_blob: Option<Vec<u8>>,
     /// An in-progress catch-up download (joiners only).
     download: Option<DownloadScheduler>,
+    /// Stats of the most recently *completed* download — the scheduler
+    /// itself is consumed on completion, so telemetry reads this.
+    last_download: Option<DownloadReport>,
+}
+
+/// Summary of a completed chunked catch-up download, kept after the
+/// scheduler is consumed so the telemetry plane can report it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DownloadReport {
+    /// Chunk retries the scheduler issued (idle re-requests plus
+    /// re-sources after corrupt or failed chunks).
+    pub retries: u64,
+    /// Distinct peers that served accepted chunks.
+    pub sources: u32,
 }
 
 impl std::fmt::Debug for WorkerNode {
@@ -411,6 +425,7 @@ impl WorkerNode {
             manifest: None,
             epoch_blob: None,
             download: None,
+            last_download: None,
         }
     }
 
@@ -519,6 +534,11 @@ impl WorkerNode {
             .unwrap_or_default()
     }
 
+    /// Stats of the most recently completed catch-up download, if any.
+    pub fn last_download(&self) -> Option<DownloadReport> {
+        self.last_download
+    }
+
     /// Re-requests every unanswered chunk of the in-progress download —
     /// the driver's idle-timeout path for dropped request or reply
     /// frames. Each retry rotates to the next ranked peer. No-op when
@@ -555,6 +575,10 @@ impl WorkerNode {
             return Ok(());
         }
         let dl = self.download.take().expect("download present");
+        self.last_download = Some(DownloadReport {
+            retries: dl.retries(),
+            sources: dl.sources().len() as u32,
+        });
         let blob = dl.assemble().expect("complete download assembles");
         let (flat, _round) = checkpoint::decode(bytes::Bytes::from(blob.clone())).map_err(|e| {
             ClusterError::Protocol(format!(

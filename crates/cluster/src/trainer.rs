@@ -8,7 +8,7 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use saps_core::{
     build_replicas, checkpoint, saps_round_report, AlgorithmRegistry, AlgorithmSpec, ConfigError,
-    RoundCtx, RoundReport, SapsConfig, Trainer,
+    Recorder, RoundCtx, RoundReport, SapsConfig, Trainer,
 };
 use saps_data::Dataset;
 use saps_netsim::BandwidthMatrix;
@@ -85,6 +85,12 @@ pub struct ClusterTrainer<T: Transport> {
     /// Idle sweeps tolerated before a round is declared stalled — see
     /// [`ClusterTrainer::with_stall_limit`].
     stall_limit: u32,
+    /// Telemetry handle. Captured from each round's [`RoundCtx`] (the
+    /// `Experiment` driver installs it there) or set directly with
+    /// [`ClusterTrainer::with_telemetry`], so failure paths that run
+    /// outside a round context — churn, catch-up — can still dump the
+    /// flight recorder.
+    telemetry: Recorder,
 }
 
 impl<T: Transport> std::fmt::Debug for ClusterTrainer<T> {
@@ -172,6 +178,7 @@ impl<T: Transport> ClusterTrainer<T> {
             billed_control,
             quarantined: BTreeSet::new(),
             stall_limit: STALL_SWEEP_LIMIT,
+            telemetry: Recorder::disabled(),
         })
     }
 
@@ -180,6 +187,16 @@ impl<T: Transport> ClusterTrainer<T> {
     /// frames surfaces its typed stall error in milliseconds.
     pub fn with_stall_limit(mut self, sweeps: u32) -> Self {
         self.stall_limit = sweeps;
+        self
+    }
+
+    /// Attaches a telemetry recorder for drivers that step the cluster
+    /// directly (the `Experiment` driver instead hands its recorder to
+    /// every [`RoundCtx`], which this trainer captures per round).
+    /// Telemetry never perturbs training — pinned by
+    /// `tests/telemetry.rs`.
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -332,6 +349,17 @@ impl<T: Transport> ClusterTrainer<T> {
         let mut requeues = 0u32;
         loop {
             if let Some(chunk) = self.workers[rank].download_failed() {
+                self.telemetry.add("cluster.resync_failures", 1);
+                self.telemetry.event(
+                    "resync.failed",
+                    None,
+                    vec![
+                        ("rank", rank.into()),
+                        ("donor", donor.into()),
+                        ("chunk", chunk.into()),
+                    ],
+                );
+                self.telemetry.crash_dump("resync failed");
                 return Err(ClusterError::ResyncFailed {
                     donor,
                     rank: rank as u32,
@@ -339,6 +367,17 @@ impl<T: Transport> ClusterTrainer<T> {
                 });
             }
             if !self.workers[rank].catching_up() {
+                self.telemetry.add("cluster.catchups", 1);
+                let mut fields = vec![
+                    ("rank", rank.into()),
+                    ("donor", donor.into()),
+                    ("requeues", requeues.into()),
+                ];
+                if let Some(dl) = self.workers[rank].last_download() {
+                    fields.push(("retries", dl.retries.into()));
+                    fields.push(("sources", dl.sources.into()));
+                }
+                self.telemetry.event("chunk.catchup", None, fields);
                 return Ok(());
             }
             match self.pump_until(Executor::sequential(), |_, ws| {
@@ -489,14 +528,40 @@ impl<T: Transport> ClusterTrainer<T> {
     /// eventually the control plane refuses the leave and the fault
     /// surfaces as fatal.
     fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> Result<RoundReport, ClusterError> {
+        if ctx.telemetry.is_enabled() {
+            // Keep a handle so failure paths outside a round context
+            // (churn-time resync, catch-up) reach the same recorder.
+            self.telemetry = ctx.telemetry.clone();
+        }
         loop {
             let snaps: Vec<NodeSnapshot> = self.workers.iter().map(WorkerNode::snapshot).collect();
             match self.round_attempt(ctx) {
                 Ok(report) => return Ok(report),
                 Err(ClusterError::Byzantine { rank, detail }) => {
+                    // Flight-recorder contract: the quarantine event
+                    // names the offender, then the dump freezes it
+                    // together with the trail of preceding rounds.
+                    self.telemetry.add("cluster.quarantines", 1);
+                    self.telemetry.event(
+                        "byzantine.quarantine",
+                        Some(ctx.round() as u64),
+                        vec![("rank", rank.into()), ("detail", detail.clone().into())],
+                    );
+                    self.telemetry.crash_dump("byzantine quarantine");
                     self.recover(rank, &detail, &snaps)?;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if matches!(&e, ClusterError::Protocol(msg) if msg == STALL_MSG) {
+                        self.telemetry.add("cluster.stalls", 1);
+                        self.telemetry.event(
+                            "stall",
+                            Some(ctx.round() as u64),
+                            vec![("round", ctx.round().into()), ("detail", STALL_MSG.into())],
+                        );
+                        self.telemetry.crash_dump("stall");
+                    }
+                    return Err(e);
+                }
             }
         }
     }
@@ -612,6 +677,27 @@ impl<T: Transport> ClusterTrainer<T> {
         ctx.traffic.end_round();
 
         let timing = ctx.price_p2p(&priced);
+        if ctx.telemetry.is_enabled() {
+            // Unify the WireTap's per-plane byte counters into the
+            // registry (cumulative across the tap's lifetime, same
+            // invariant: total = data + control + model + serve).
+            let tel = &ctx.telemetry;
+            tel.add("cluster.rounds", 1);
+            tel.set_gauge("wire.data_bytes", after.data_bytes as f64);
+            tel.set_gauge("wire.control_bytes", after.control_bytes as f64);
+            tel.set_gauge("wire.model_bytes", after.model_bytes as f64);
+            tel.set_gauge("wire.serve_bytes", after.serve_bytes as f64);
+            tel.set_gauge("wire.total_bytes", after.total_bytes as f64);
+            tel.set_gauge("wire.frames", after.frames as f64);
+            tel.event(
+                "cluster.round",
+                Some(ctx.round() as u64),
+                vec![
+                    ("pairs", meta.pairs.len().into()),
+                    ("active", meta.ranks.len().into()),
+                ],
+            );
+        }
         let mean_part = meta
             .ranks
             .iter()

@@ -41,6 +41,7 @@ use saps_data::{partition, Dataset};
 use saps_netsim::{to_mb, BandwidthMatrix, TimeModel, TrafficAccountant};
 use saps_nn::Model;
 use saps_runtime::{Executor, ParallelismPolicy};
+use saps_telemetry::Recorder;
 use saps_tensor::rng::{derive_seed, streams};
 use std::io::Write;
 use std::sync::Arc;
@@ -289,6 +290,7 @@ pub struct Experiment {
     time_model: TimeModel,
     compute_time: f64,
     pipeline: bool,
+    telemetry: Recorder,
 }
 
 /// A per-round hook with mutable trainer access — unlike a
@@ -334,6 +336,7 @@ impl Experiment {
             time_model: TimeModel::Analytic,
             compute_time: 0.0,
             pipeline: false,
+            telemetry: Recorder::disabled(),
         }
     }
 
@@ -525,6 +528,20 @@ impl Experiment {
         self
     }
 
+    /// Attaches a telemetry [`Recorder`] (default: disabled). The
+    /// driver stamps the recorder's virtual clock with the cumulative
+    /// simulated round time, emits per-round metrics
+    /// (`train.*`, `round.*` histograms) and span-style `phase` events
+    /// (plan → compute → comm → drain), and hands the recorder to every
+    /// [`RoundCtx`] so trainers and the pricing layer feed the same
+    /// registry. Telemetry observes without perturbing: a run with the
+    /// recorder enabled is bit-identical to the same run with it off
+    /// (pinned by `tests/telemetry.rs`).
+    pub fn telemetry(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
+        self
+    }
+
     /// Builds the trainer through `registry` and drives the full run.
     pub fn run(mut self, registry: &AlgorithmRegistry) -> Result<RunHistory, ConfigError> {
         self.spec.validate()?;
@@ -650,6 +667,16 @@ impl Experiment {
                         Ok(())
                     }
                 };
+                if applied.is_ok() && self.telemetry.is_enabled() {
+                    // Scenario churn lands in the event trail so a
+                    // flight dump shows what the fleet looked like
+                    // before a failure.
+                    self.telemetry.event(
+                        "scenario",
+                        Some(round as u64),
+                        vec![("detail", format!("{ev:?}").into())],
+                    );
+                }
                 if let Err(e) = applied {
                     let partial = RunHistory {
                         algorithm: trainer.name().to_string(),
@@ -707,7 +734,8 @@ impl Experiment {
                 let mut ctx = RoundCtx::new(round, &current, &mut traffic, self.seed)
                     .with_executor(exec)
                     .with_time_model(self.time_model)
-                    .with_compute_starts(starts);
+                    .with_compute_starts(starts)
+                    .with_telemetry(self.telemetry.clone());
                 trainer.step(&mut ctx)
             };
             epoch += rep.epochs_advanced;
@@ -734,6 +762,63 @@ impl Experiment {
             point.total_time_s = total_s;
             point.link_bandwidth = rep.mean_link_bandwidth;
             point.bottleneck_bandwidth = rep.min_link_bandwidth;
+            if self.telemetry.is_enabled() {
+                // Stamp the recorder clock with cumulative *virtual*
+                // round time (never wall clock) and lay down the
+                // round's metrics and phase spans.
+                let t_end = total_s;
+                let t0 = t_end - rep.round_time_s;
+                self.telemetry.set_vtime(t_end);
+                self.telemetry.add("train.rounds", 1);
+                self.telemetry
+                    .set_gauge("train.loss", f64::from(rep.mean_loss));
+                self.telemetry.set_gauge("train.epoch", epoch);
+                if evaluated {
+                    self.telemetry
+                        .set_gauge("train.val_acc", f64::from(last_acc));
+                }
+                self.telemetry.observe("round.total_s", rep.round_time_s);
+                self.telemetry
+                    .observe("round.compute_s", rep.compute_time_s);
+                self.telemetry.observe("round.comm_s", rep.comm_time_s);
+                self.telemetry.event(
+                    "round",
+                    Some(round as u64),
+                    vec![
+                        ("loss", f64::from(rep.mean_loss).into()),
+                        ("val_acc", f64::from(last_acc).into()),
+                        ("evaluated", evaluated.into()),
+                        ("epoch", epoch.into()),
+                    ],
+                );
+                // Span-style phase trail in virtual time. `plan` is
+                // zero-width (planning is not priced by the time
+                // model); `drain` is zero-width except that it carries
+                // the round's mean idle seconds — under pipelining the
+                // next round's compute overlaps this span.
+                let spans = [
+                    ("plan", t0, t0, 0.0),
+                    ("compute", t0, t0 + rep.compute_time_s, 0.0),
+                    (
+                        "comm",
+                        t0 + rep.compute_time_s,
+                        t0 + rep.compute_time_s + rep.comm_time_s,
+                        0.0,
+                    ),
+                    ("drain", t_end, t_end, rep.idle_time_s),
+                ];
+                for (name, start_s, end_s, span_idle) in spans {
+                    let mut fields = vec![
+                        ("name", name.into()),
+                        ("start_s", start_s.into()),
+                        ("end_s", end_s.into()),
+                    ];
+                    if span_idle > 0.0 {
+                        fields.push(("idle_s", span_idle.into()));
+                    }
+                    self.telemetry.event("phase", Some(round as u64), fields);
+                }
+            }
             for obs in &mut self.observers {
                 obs.on_point(&point);
             }

@@ -73,6 +73,7 @@ pub use gossipgen::{GossipGenerator, PeerStrategy};
 pub use registry::{AlgorithmRegistry, BuildCtx, BuilderFn, ModelFactory};
 pub use saps_netsim::{RoundTiming, TimeModel};
 pub use saps_runtime::{Executor, ParallelismPolicy};
+pub use saps_telemetry::{Recorder, Value as TelemetryValue};
 pub use scenario::{zoo, BandwidthModel, ScenarioEvent, ScheduledEvent};
 pub use spec::AlgorithmSpec;
 pub use trainer::{RoundCtx, RoundReport, Trainer};

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use saps_data::Dataset;
 use saps_netsim::{BandwidthMatrix, RoundTiming, TimeModel, TrafficAccountant};
 use saps_runtime::Executor;
+use saps_telemetry::Recorder;
 use saps_tensor::rng::{rng_for, streams};
 
 /// Everything one communication round is allowed to see and charge.
@@ -46,6 +47,13 @@ pub struct RoundCtx<'a> {
     /// empty means all workers finish at 0. Installed by the driver via
     /// [`RoundCtx::with_compute_starts`].
     compute_starts: Vec<f64>,
+    /// Telemetry handle for this round. Disabled by default (every call
+    /// is a no-op); the [`crate::Experiment`] driver installs the
+    /// configured recorder via [`RoundCtx::with_telemetry`]. Trainers
+    /// may clone it to keep emitting events outside the step path —
+    /// observing through it never perturbs training (pinned by the
+    /// telemetry conformance suite).
+    pub telemetry: Recorder,
 }
 
 impl<'a> RoundCtx<'a> {
@@ -66,6 +74,7 @@ impl<'a> RoundCtx<'a> {
             exec: Executor::sequential(),
             time: TimeModel::Analytic,
             compute_starts: Vec::new(),
+            telemetry: Recorder::disabled(),
         }
     }
 
@@ -89,6 +98,12 @@ impl<'a> RoundCtx<'a> {
         self
     }
 
+    /// Installs the telemetry recorder (builder style).
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// The 0-based communication round index.
     pub fn round(&self) -> usize {
         self.round
@@ -99,30 +114,60 @@ impl<'a> RoundCtx<'a> {
     /// schedule (the SAPS-PSGD / D-PSGD / DCD-PSGD / RandomChoose
     /// pattern).
     pub fn price_p2p(&self, transfers: &[(usize, usize, u64)]) -> RoundTiming {
-        self.time
-            .price_p2p(self.bw, transfers, &self.compute_starts)
+        let t = self
+            .time
+            .price_p2p(self.bw, transfers, &self.compute_starts);
+        self.note_net_stats(&t);
+        t
     }
 
     /// Prices one parameter-server round: each `(worker, up, down)`
     /// client moves its bytes over the worker↔server link (the FedAvg /
     /// S-FedAvg pattern).
     pub fn price_ps(&self, server: usize, clients: &[(usize, u64, u64)]) -> RoundTiming {
-        self.time
-            .price_ps(self.bw, server, clients, &self.compute_starts)
+        let t = self
+            .time
+            .price_ps(self.bw, server, clients, &self.compute_starts);
+        self.note_net_stats(&t);
+        t
     }
 
     /// Prices a ring all-reduce over `ranks` moving `bytes_per_worker`
     /// through every worker (the PSGD pattern).
     pub fn price_allreduce(&self, ranks: &[usize], bytes_per_worker: u64) -> RoundTiming {
-        self.time
-            .price_allreduce(self.bw, ranks, bytes_per_worker, &self.compute_starts)
+        let t = self
+            .time
+            .price_allreduce(self.bw, ranks, bytes_per_worker, &self.compute_starts);
+        self.note_net_stats(&t);
+        t
     }
 
     /// Prices a sparse allgather over `ranks`, every worker delivering
     /// `bytes` to each of the others (the TopK-PSGD pattern).
     pub fn price_allgather(&self, ranks: &[usize], bytes: u64) -> RoundTiming {
-        self.time
-            .price_allgather(self.bw, ranks, bytes, &self.compute_starts)
+        let t = self
+            .time
+            .price_allgather(self.bw, ranks, bytes, &self.compute_starts);
+        self.note_net_stats(&t);
+        t
+    }
+
+    /// Feeds a priced round's network statistics into the recorder —
+    /// the DES instrumentation point. Under [`TimeModel::Packet`] the
+    /// timing carries retransmission and queue-depth stats; under the
+    /// fluid/analytic models they are zero and nothing is recorded.
+    fn note_net_stats(&self, t: &RoundTiming) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        if t.retransmit_segments > 0 {
+            self.telemetry
+                .add("net.retransmit_segments", t.retransmit_segments);
+        }
+        if t.peak_queue_bytes > 0.0 {
+            self.telemetry
+                .max_gauge("net.peak_queue_bytes", t.peak_queue_bytes);
+        }
     }
 }
 

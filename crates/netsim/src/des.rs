@@ -131,6 +131,14 @@ pub struct RoundTiming {
     /// Mean per-worker idle time: round length minus the worker's own
     /// compute and the time it had at least one active transfer.
     pub idle_s: f64,
+    /// Segments retransmitted while pricing this round
+    /// ([`SimReport::retransmit_segments`]); 0 except under
+    /// [`TimeModel::Packet`].
+    pub retransmit_segments: u64,
+    /// Deepest receiver queue observed while pricing this round
+    /// ([`SimReport::peak_queue_bytes`], bytes); 0 except under
+    /// [`TimeModel::Packet`].
+    pub peak_queue_bytes: f64,
 }
 
 /// Per-rank compute-finish times. An empty slice means "all zero"
@@ -176,6 +184,8 @@ fn analytic_timing(n: usize, starts: &[f64], transfer_s: f64) -> RoundTiming {
         compute_s,
         transfer_s,
         idle_s: idle_mean(n, starts, |_, start| compute_s - start),
+        retransmit_segments: 0,
+        peak_queue_bytes: 0.0,
     }
 }
 
@@ -196,6 +206,8 @@ fn des_timing(bw: &BandwidthMatrix, starts: &[f64], rep: &SimReport) -> RoundTim
         compute_s,
         transfer_s: total_s - compute_s,
         idle_s,
+        retransmit_segments: rep.retransmit_segments,
+        peak_queue_bytes: rep.peak_queue_bytes,
     }
 }
 

@@ -136,6 +136,13 @@ pub struct SimReport {
     /// Seconds each worker rank spent with at least one flow actively
     /// transferring on one of its links (sender or receiver side).
     pub busy_s: Vec<f64>,
+    /// MSS-sized segments retransmitted (random loss + congestion
+    /// drops). Always 0 under the fluid model — only the packet
+    /// simulator retransmits.
+    pub retransmit_segments: u64,
+    /// Deepest receiver queue observed across all flows (bytes). Always
+    /// 0 under the fluid model, which has no queues.
+    pub peak_queue_bytes: f64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -196,6 +203,8 @@ pub fn simulate(
             flows.len()
         ],
         busy_s: vec![0.0; n],
+        retransmit_segments: 0,
+        peak_queue_bytes: 0.0,
     };
     if flows.is_empty() {
         return report;

@@ -239,6 +239,8 @@ pub fn simulate_packets(
             flows.len()
         ],
         busy_s: vec![0.0; n],
+        retransmit_segments: 0,
+        peak_queue_bytes: 0.0,
     };
     if flows.is_empty() {
         return report;
@@ -408,6 +410,23 @@ pub fn simulate_packets(
             pair_of(i).wnd - cfg.rtt_s * cap > queue_cap + loss_eps
         };
 
+        // Telemetry: the deepest receiver queue this interval, by the
+        // same overrun formula `rate` prices (windows past BDP back up
+        // in the queue, clamped at its capacity).
+        if windowed {
+            for (i, f) in flows.iter().enumerate() {
+                if matches!(state[i], St::Active) {
+                    let cap = current.get(f.src, f.dst) * 1e6;
+                    if cap > 0.0 {
+                        let q = (pair_of(i).wnd - cfg.rtt_s * cap).clamp(0.0, queue_cap);
+                        if q > report.peak_queue_bytes {
+                            report.peak_queue_bytes = q;
+                        }
+                    }
+                }
+            }
+        }
+
         // Next event: completion, random-loss crossing, window tick,
         // latency expiry, or rate update. Starved flows (dead link)
         // schedule nothing — only a rate update can rescue them.
@@ -495,6 +514,7 @@ pub fn simulate_packets(
             }
             if to_loss[i] <= loss_eps {
                 remaining[i] += cfg.mss;
+                report.retransmit_segments += 1;
                 to_loss[i] = draw_loss_bytes(&mut rngs[i], cfg.loss, cfg.mss);
                 if windowed {
                     cwnd[i] = (cwnd[i] / 2.0).max(cfg.mss);
@@ -513,6 +533,7 @@ pub fn simulate_packets(
                     // runs out of ticks).
                     let sent = stale_rate[i] * cfg.rtt_s;
                     remaining[i] += cfg.mss.min(0.5 * sent);
+                    report.retransmit_segments += 1;
                     cwnd[i] = (cwnd[i] / 2.0).max(cfg.mss);
                 } else {
                     cwnd[i] += cfg.mss;

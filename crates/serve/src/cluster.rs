@@ -4,7 +4,7 @@
 use crate::{ReplicaNode, ServeError};
 use bytes::Bytes;
 use saps_cluster::{Addr, LoopbackTransport, Transport, WireTap};
-use saps_core::checkpoint;
+use saps_core::{checkpoint, Recorder};
 use saps_proto::{frame, Message};
 use saps_runtime::Executor;
 use std::collections::{BTreeMap, BTreeSet};
@@ -74,6 +74,10 @@ pub struct ServeCluster<T: Transport> {
     completed: Vec<CompletedRequest>,
     transfers: Vec<(Addr, Addr, u64)>,
     stats: ServeStats,
+    telemetry: Recorder,
+    /// Tick each announce version was broadcast at — the baseline the
+    /// per-replica swap latency histogram measures from.
+    announce_tick: BTreeMap<u64, u64>,
 }
 
 impl ServeCluster<LoopbackTransport> {
@@ -113,7 +117,19 @@ impl<T: Transport> ServeCluster<T> {
             completed: Vec::new(),
             transfers: Vec::new(),
             stats: ServeStats::default(),
+            telemetry: Recorder::disabled(),
+            announce_tick: BTreeMap::new(),
         })
+    }
+
+    /// Attaches a telemetry recorder: request latency / batch occupancy
+    /// / swap latency land in its registry, swap rejections dump the
+    /// flight recorder. Serving events carry the driver's `tick` (the
+    /// serving plane has no DES virtual clock), and recording never
+    /// changes responses — pinned by `tests/telemetry.rs`.
+    pub fn with_telemetry(mut self, telemetry: Recorder) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Replaces the fork-join executor replica inference fans out on.
@@ -153,6 +169,9 @@ impl<T: Transport> ServeCluster<T> {
         self.clients.insert(client);
         self.submit_tick.insert(id, self.tick);
         self.stats.submitted += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry.add("serve.submitted", 1);
+        }
         Ok(id)
     }
 
@@ -181,6 +200,15 @@ impl<T: Transport> ServeCluster<T> {
             self.transport.send(Addr::Coordinator, to, frame.clone())?;
         }
         self.stats.announces += 1;
+        if self.telemetry.is_enabled() {
+            self.announce_tick.insert(version, self.tick);
+            self.telemetry.add("serve.announces", 1);
+            self.telemetry.event(
+                "model.announce",
+                Some(round),
+                vec![("version", version.into()), ("tick", self.tick.into())],
+            );
+        }
         Ok(version)
     }
 
@@ -190,6 +218,16 @@ impl<T: Transport> ServeCluster<T> {
     pub fn tick(&mut self) -> Result<usize, ServeError> {
         self.tick += 1;
         self.stats.ticks += 1;
+        // Pre-tick snapshot so accepted swaps and rejected announces can
+        // be attributed to this tick once the replicas have run.
+        let pre: Vec<(u64, u64)> = if self.telemetry.is_enabled() {
+            self.replicas
+                .iter()
+                .map(|r| (r.model_version(), r.rejected_announces()))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         // Sweep each replica's inbox (the transport needs `&mut self`,
         // so this part is sequential and replica-ordered).
@@ -232,6 +270,41 @@ impl<T: Transport> ServeCluster<T> {
             }
             self.replicas.push(rep);
         }
+        if self.telemetry.is_enabled() {
+            for (rep, &(version, rejected)) in self.replicas.iter().zip(&pre) {
+                if rep.model_version() > version {
+                    let v = rep.model_version();
+                    if let Some(&announced) = self.announce_tick.get(&v) {
+                        self.telemetry
+                            .observe("serve.swap_latency_ticks", (self.tick - announced) as f64);
+                    }
+                    self.telemetry.add("serve.swaps", 1);
+                    self.telemetry.event(
+                        "model.swap",
+                        Some(rep.model_round()),
+                        vec![
+                            ("replica", u64::from(rep.id()).into()),
+                            ("version", v.into()),
+                            ("tick", self.tick.into()),
+                        ],
+                    );
+                }
+                if rep.rejected_announces() > rejected {
+                    let delta = rep.rejected_announces() - rejected;
+                    self.telemetry.add("serve.swap_rejections", delta);
+                    self.telemetry.event(
+                        "swap.rejected",
+                        None,
+                        vec![
+                            ("replica", u64::from(rep.id()).into()),
+                            ("count", delta.into()),
+                            ("tick", self.tick.into()),
+                        ],
+                    );
+                    self.telemetry.crash_dump("hot-swap rejected");
+                }
+            }
+        }
         let framed: Vec<Vec<(Addr, Addr, Bytes)>> =
             self.exec
                 .par_map_batches(outgoing, self.encode_batch, |_, batch| {
@@ -264,17 +337,31 @@ impl<T: Transport> ServeCluster<T> {
                 } = msg
                 {
                     let submitted = self.submit_tick.remove(&id).unwrap_or(self.tick);
+                    let latency = self.tick - submitted;
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.add("serve.completed", 1);
+                        self.telemetry
+                            .observe("serve.latency_ticks", latency as f64);
+                    }
                     self.completed.push(CompletedRequest {
                         id,
                         client,
                         model_round,
                         model_version,
                         logits,
-                        latency_ticks: self.tick - submitted,
+                        latency_ticks: latency,
                     });
                     self.stats.completed += 1;
                     done += 1;
                 }
+            }
+        }
+        if self.telemetry.is_enabled() {
+            let batches: u64 = self.replicas.iter().map(ReplicaNode::batches).sum();
+            let rows: u64 = self.replicas.iter().map(ReplicaNode::batched_rows).sum();
+            if batches > 0 {
+                self.telemetry
+                    .set_gauge("serve.batch_occupancy", rows as f64 / batches as f64);
             }
         }
         Ok(done)

@@ -43,6 +43,8 @@ pub struct ReplicaNode {
     max_batch: usize,
     queue: VecDeque<Pending>,
     served: u64,
+    batches: u64,
+    batched_rows: u64,
     swaps: u64,
     rejected_announces: u64,
     rejected_requests: u64,
@@ -80,6 +82,8 @@ impl ReplicaNode {
             max_batch,
             queue: VecDeque::new(),
             served: 0,
+            batches: 0,
+            batched_rows: 0,
             swaps: 0,
             rejected_announces: 0,
             rejected_requests: 0,
@@ -111,6 +115,17 @@ impl ReplicaNode {
     /// Requests answered so far.
     pub fn served(&self) -> u64 {
         self.served
+    }
+
+    /// Forward passes run so far (micro-batches drained).
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Rows pushed through those forward passes — `batched_rows /
+    /// batches` is this replica's mean batch occupancy.
+    pub fn batched_rows(&self) -> u64 {
+        self.batched_rows
     }
 
     /// Hot swaps accepted so far.
@@ -189,6 +204,8 @@ impl ReplicaNode {
         let mut out = Vec::with_capacity(self.queue.len());
         while !self.queue.is_empty() {
             let take = self.queue.len().min(self.max_batch);
+            self.batches += 1;
+            self.batched_rows += take as u64;
             let batch: Vec<Pending> = self.queue.drain(..take).collect();
             let dim = self.model.input_dim();
             let mut features = Vec::with_capacity(take * dim);

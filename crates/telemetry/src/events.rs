@@ -1,0 +1,281 @@
+//! Structured events, the bounded flight-recorder ring, and crash dumps.
+//!
+//! Every event is stamped with the recorder's current **virtual time**
+//! (DES seconds, never wall clock), so two runs of the same seeded
+//! experiment produce byte-identical event logs. The flight recorder
+//! keeps the last [`FLIGHT_RING_CAP`] events in a ring; when a typed
+//! failure occurs the ring is snapshotted into a [`FlightDump`] that
+//! names the failure and preserves the trail leading up to it.
+
+use std::collections::VecDeque;
+
+use crate::json::escape_json;
+
+/// Capacity of the flight-recorder ring: how many recent events a
+/// [`FlightDump`](crate::FlightDump) can capture.
+pub const FLIGHT_RING_CAP: usize = 256;
+
+/// Capacity of the full event log. Beyond this the log stops growing
+/// and [`Recorder::dropped_events`](crate::Recorder::dropped_events)
+/// counts the overflow (the flight ring keeps rotating regardless).
+pub const EVENT_LOG_CAP: usize = 65_536;
+
+/// A typed field value carried by an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counters, ranks, byte counts).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (times, losses). Non-finite values serialize as
+    /// JSON `null`.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text (error details, mode names).
+    Str(String),
+}
+
+impl Value {
+    /// Renders the value as a JSON token.
+    fn render(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) if v.is_finite() => out.push_str(&v.to_string()),
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => {
+                out.push('"');
+                escape_json(s, out);
+                out.push('"');
+            }
+        }
+    }
+
+    /// The value as `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One structured telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotone sequence number, assigned at emission.
+    pub seq: u64,
+    /// DES virtual time (seconds) when the event was emitted. Never
+    /// wall clock, so traces are deterministic.
+    pub vtime_s: f64,
+    /// Training round the event belongs to, when there is one.
+    pub round: Option<u64>,
+    /// Event kind, dot-namespaced (`"round"`, `"phase"`,
+    /// `"byzantine.quarantine"`, `"resync"`, `"serve.swap"`, …). The
+    /// full catalog lives in `docs/OBSERVABILITY.md`.
+    pub kind: String,
+    /// Typed key/value payload, in emission order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Serializes the event as a single JSON object (one JSONL line,
+    /// without the trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\": ");
+        out.push_str(&self.seq.to_string());
+        out.push_str(", \"vtime_s\": ");
+        if self.vtime_s.is_finite() {
+            out.push_str(&self.vtime_s.to_string());
+        } else {
+            out.push_str("null");
+        }
+        if let Some(r) = self.round {
+            out.push_str(", \"round\": ");
+            out.push_str(&r.to_string());
+        }
+        out.push_str(", \"kind\": \"");
+        escape_json(&self.kind, &mut out);
+        out.push('"');
+        for (k, v) in &self.fields {
+            out.push_str(", \"");
+            escape_json(k, &mut out);
+            out.push_str("\": ");
+            v.render(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A snapshot of the flight-recorder ring, taken when a typed failure
+/// occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// Why the dump was taken (`"byzantine quarantine"`, `"stall"`,
+    /// `"resync failed"`, `"hot-swap rejected"`, …).
+    pub reason: String,
+    /// Virtual time of the failure.
+    pub vtime_s: f64,
+    /// Sequence number the dump was taken at (events in the dump have
+    /// `seq` at or below this).
+    pub seq: u64,
+    /// The ring contents at failure time, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl FlightDump {
+    /// Serializes the dump as one JSON object per line: a
+    /// `flight.dump` header naming the reason, followed by the
+    /// captured events.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"seq\": ");
+        out.push_str(&self.seq.to_string());
+        out.push_str(", \"vtime_s\": ");
+        if self.vtime_s.is_finite() {
+            out.push_str(&self.vtime_s.to_string());
+        } else {
+            out.push_str("null");
+        }
+        out.push_str(", \"kind\": \"flight.dump\", \"reason\": \"");
+        escape_json(&self.reason, &mut out);
+        out.push_str("\", \"captured\": ");
+        out.push_str(&self.events.len().to_string());
+        out.push_str("}\n");
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The mutable event state behind the recorder's mutex: the full
+/// (bounded) log, the flight ring, and accumulated crash dumps.
+#[derive(Debug, Default)]
+pub(crate) struct EventLog {
+    next_seq: u64,
+    ring: VecDeque<Event>,
+    all: Vec<Event>,
+    dropped: u64,
+    dumps: Vec<FlightDump>,
+}
+
+impl EventLog {
+    pub(crate) fn push(
+        &mut self,
+        vtime_s: f64,
+        round: Option<u64>,
+        kind: &str,
+        fields: Vec<(String, Value)>,
+    ) {
+        let ev = Event {
+            seq: self.next_seq,
+            vtime_s,
+            round,
+            kind: kind.to_string(),
+            fields,
+        };
+        self.next_seq += 1;
+        if self.ring.len() == FLIGHT_RING_CAP {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(ev.clone());
+        if self.all.len() < EVENT_LOG_CAP {
+            self.all.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    pub(crate) fn dump(&mut self, vtime_s: f64, reason: &str) {
+        let dump = FlightDump {
+            reason: reason.to_string(),
+            vtime_s,
+            seq: self.next_seq,
+            events: self.ring.iter().cloned().collect(),
+        };
+        self.dumps.push(dump);
+    }
+
+    pub(crate) fn all(&self) -> &[Event] {
+        &self.all
+    }
+
+    pub(crate) fn ring(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    pub(crate) fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}

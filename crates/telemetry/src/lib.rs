@@ -1,0 +1,494 @@
+//! Unified telemetry plane for the SAPS-PSGD reproduction.
+//!
+//! One [`Recorder`] handle flows through every layer — the in-memory
+//! [`Experiment`](../saps_core/experiment/struct.Experiment.html) round
+//! loop, the cluster runtime, the chunk-distribution plane, the DES,
+//! and the serving fleet — and collects three kinds of signal:
+//!
+//! * **Metrics**: counters, gauges, and fixed-bucket histograms in a
+//!   name-keyed registry. The registry mutex is held only for name
+//!   lookup; updates are single atomic ops (lock-cheap by design).
+//! * **Events**: structured key/value records ([`Event`]) stamped with
+//!   DES **virtual time**, never wall clock — so a seeded run emits a
+//!   byte-identical trace every time.
+//! * **Flight recorder**: a bounded ring of the most recent events,
+//!   snapshotted into a [`FlightDump`] when a typed failure occurs
+//!   (Byzantine quarantine, resync failure, stall, hot-swap rejection)
+//!   so the trail leading up to the failure survives it.
+//!
+//! The cardinal rule, pinned by `tests/telemetry.rs`: a disabled
+//! recorder ([`Recorder::disabled`], the default everywhere) makes
+//! every call a no-op, and an *enabled* recorder observes without
+//! perturbing — training with telemetry on is bit-identical to
+//! training with it off.
+//!
+//! Exporters: [`Recorder::events_jsonl`] / [`Recorder::write_jsonl`]
+//! (JSONL event log, crash dumps appended), and
+//! [`Recorder::prometheus_text`] / [`Recorder::write_prometheus`]
+//! (Prometheus text exposition snapshot). `docs/OBSERVABILITY.md`
+//! documents the metric catalog and event schema.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod events;
+mod json;
+mod metrics;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub use events::{Event, FlightDump, Value, EVENT_LOG_CAP, FLIGHT_RING_CAP};
+pub use json::validate_jsonl;
+pub use metrics::{HistogramSnapshot, DEFAULT_BUCKETS};
+
+use events::EventLog;
+use metrics::Cell;
+
+/// The shared state behind an enabled recorder.
+struct Inner {
+    metrics: Mutex<BTreeMap<String, Arc<Cell>>>,
+    log: Mutex<EventLog>,
+    /// Current virtual time, as `f64` bits.
+    vtime_bits: AtomicU64,
+}
+
+/// A cloneable handle to the telemetry plane.
+///
+/// `Recorder` is either **enabled** (all clones share one registry,
+/// event log, and flight ring) or **disabled** (every call is a no-op
+/// and every read returns empty). The disabled state is the default,
+/// so instrumented code paths cost one branch when telemetry is off.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// Creates an **enabled** recorder with an empty registry.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                metrics: Mutex::new(BTreeMap::new()),
+                log: Mutex::new(EventLog::default()),
+                vtime_bits: AtomicU64::new(0f64.to_bits()),
+            })),
+        }
+    }
+
+    /// Creates a **disabled** recorder: every method is a no-op. This
+    /// is also what [`Recorder::default`] returns.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual time.
+
+    /// Sets the current virtual time (DES seconds). Subsequent events
+    /// are stamped with this value. Instrumentation must never feed
+    /// wall clock here — determinism of the trace depends on it.
+    pub fn set_vtime(&self, t: f64) {
+        if let Some(inner) = &self.inner {
+            inner.vtime_bits.store(t.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The current virtual time (0.0 when disabled).
+    pub fn vtime(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map(|i| f64::from_bits(i.vtime_bits.load(Ordering::Relaxed)))
+            .unwrap_or(0.0)
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics.
+
+    /// Looks up or registers `name` with `make`, then applies `f` to
+    /// the cell.
+    fn with_cell(&self, name: &str, make: fn() -> Cell, f: impl FnOnce(&Cell)) {
+        if let Some(inner) = &self.inner {
+            let cell = {
+                let mut map = inner.metrics.lock().unwrap();
+                match map.get(name) {
+                    Some(c) => Arc::clone(c),
+                    None => {
+                        let c = Arc::new(make());
+                        map.insert(name.to_string(), Arc::clone(&c));
+                        c
+                    }
+                }
+            };
+            f(&cell);
+        }
+    }
+
+    fn read_cell<T>(&self, name: &str, f: impl FnOnce(&Cell) -> Option<T>) -> Option<T> {
+        let inner = self.inner.as_ref()?;
+        let cell = {
+            let map = inner.metrics.lock().unwrap();
+            Arc::clone(map.get(name)?)
+        };
+        f(&cell)
+    }
+
+    /// Increments the counter `name` by `delta` (registering it on
+    /// first use).
+    pub fn add(&self, name: &str, delta: u64) {
+        self.with_cell(name, Cell::counter, |c| c.add(delta));
+    }
+
+    /// Reads counter `name`; `None` when disabled, unregistered, or
+    /// not a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.read_cell(name, Cell::counter_value)
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        self.with_cell(name, Cell::gauge, |c| c.set_gauge(v));
+    }
+
+    /// Raises gauge `name` to `v` if `v` is larger (high-water mark).
+    pub fn max_gauge(&self, name: &str, v: f64) {
+        self.with_cell(name, Cell::gauge, |c| c.max_gauge(v));
+    }
+
+    /// Reads gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.read_cell(name, Cell::gauge_value)
+    }
+
+    /// Observes `v` into histogram `name` with [`DEFAULT_BUCKETS`].
+    pub fn observe(&self, name: &str, v: f64) {
+        self.with_cell(name, || Cell::histogram(DEFAULT_BUCKETS), |c| c.observe(v));
+    }
+
+    /// Snapshot of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.read_cell(name, Cell::histogram_snapshot)
+    }
+
+    /// Estimated `q`-quantile of histogram `name` (see
+    /// [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.histogram(name)?.quantile(q)
+    }
+
+    /// Names of all registered metrics, sorted.
+    pub fn metric_names(&self) -> Vec<String> {
+        self.inner
+            .as_ref()
+            .map(|i| i.metrics.lock().unwrap().keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Events and the flight recorder.
+
+    /// Emits a structured event stamped with the current virtual time.
+    /// `fields` values convert from plain Rust types via
+    /// `Into<Value>`.
+    pub fn event(&self, kind: &str, round: Option<u64>, fields: Vec<(&str, Value)>) {
+        if let Some(inner) = &self.inner {
+            let vtime = f64::from_bits(inner.vtime_bits.load(Ordering::Relaxed));
+            let fields = fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            inner.log.lock().unwrap().push(vtime, round, kind, fields);
+        }
+    }
+
+    /// Snapshots the flight-recorder ring into a [`FlightDump`]
+    /// labeled `reason`. Called by the runtimes when a typed failure
+    /// occurs; returns `true` when a dump was actually taken.
+    pub fn crash_dump(&self, reason: &str) -> bool {
+        if let Some(inner) = &self.inner {
+            let vtime = f64::from_bits(inner.vtime_bits.load(Ordering::Relaxed));
+            inner.log.lock().unwrap().dump(vtime, reason);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All crash dumps taken so far, in order.
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        self.inner
+            .as_ref()
+            .map(|i| i.log.lock().unwrap().dumps().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The full event log (bounded at [`EVENT_LOG_CAP`]).
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .map(|i| i.log.lock().unwrap().all().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The current flight-ring contents (the most recent
+    /// [`FLIGHT_RING_CAP`] events), oldest first.
+    pub fn recent_events(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .map(|i| i.log.lock().unwrap().ring().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Events dropped from the full log after it hit
+    /// [`EVENT_LOG_CAP`] (the flight ring keeps rotating regardless).
+    pub fn dropped_events(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.log.lock().unwrap().dropped())
+            .unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Exporters.
+
+    /// Serializes the full event log as JSONL, crash dumps appended
+    /// (each dump is a `flight.dump` header line followed by its
+    /// captured events). Every line passes [`validate_jsonl`].
+    pub fn events_jsonl(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let log = inner.log.lock().unwrap();
+        let mut out = String::new();
+        for ev in log.all() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        for dump in log.dumps() {
+            out.push_str(&dump.to_jsonl());
+        }
+        out
+    }
+
+    /// Renders every registered metric in Prometheus text exposition
+    /// format (names prefixed `saps_`, dots mapped to underscores).
+    pub fn prometheus_text(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let map = inner.metrics.lock().unwrap();
+        let mut out = String::new();
+        for (name, cell) in map.iter() {
+            cell.render_prometheus(name, &mut out);
+        }
+        out
+    }
+
+    /// Writes [`Recorder::events_jsonl`] to `path`.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.events_jsonl())
+    }
+
+    /// Writes [`Recorder::prometheus_text`] to `path`.
+    pub fn write_prometheus(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.prometheus_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        r.add("c", 5);
+        r.set_gauge("g", 1.0);
+        r.observe("h", 1.0);
+        r.event("round", Some(1), vec![("x", 1u64.into())]);
+        assert!(!r.crash_dump("nope"));
+        assert_eq!(r.counter("c"), None);
+        assert_eq!(r.gauge("g"), None);
+        assert!(r.histogram("h").is_none());
+        assert!(r.events().is_empty());
+        assert!(r.dumps().is_empty());
+        assert_eq!(r.events_jsonl(), "");
+        assert_eq!(r.prometheus_text(), "");
+        assert!(!r.is_enabled());
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let r = Recorder::new();
+        r.add("wire.frames", 3);
+        r.add("wire.frames", 2);
+        assert_eq!(r.counter("wire.frames"), Some(5));
+
+        r.set_gauge("train.loss", 0.75);
+        assert_eq!(r.gauge("train.loss"), Some(0.75));
+        r.max_gauge("net.peak_queue_bytes", 10.0);
+        r.max_gauge("net.peak_queue_bytes", 4.0);
+        assert_eq!(r.gauge("net.peak_queue_bytes"), Some(10.0));
+
+        for v in [0.5, 1.5, 2.0, 8.0] {
+            r.observe("round.total_s", v);
+        }
+        let h = r.histogram("round.total_s").unwrap();
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 12.0).abs() < 1e-12);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 > 0.5 && p50 <= 2.5, "p50 = {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 > 2.5 && p99 <= 10.0, "p99 = {p99}");
+        assert!(h.quantile(0.0).is_some());
+
+        // Clones share the registry.
+        let r2 = r.clone();
+        r2.add("wire.frames", 1);
+        assert_eq!(r.counter("wire.frames"), Some(6));
+
+        // Mismatched accessor on an existing name is ignored, not a
+        // panic.
+        r.add("train.loss", 1);
+        assert_eq!(r.gauge("train.loss"), Some(0.75));
+
+        let names = r.metric_names();
+        assert!(names.contains(&"wire.frames".to_string()));
+        assert!(names.contains(&"round.total_s".to_string()));
+    }
+
+    #[test]
+    fn events_are_vtime_stamped_and_sequenced() {
+        let r = Recorder::new();
+        r.set_vtime(1.5);
+        r.event("round", Some(0), vec![("loss", 0.5.into())]);
+        r.set_vtime(3.0);
+        r.event(
+            "byzantine.quarantine",
+            Some(1),
+            vec![("rank", 3u64.into()), ("detail", "bad checksum".into())],
+        );
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[0].vtime_s, 1.5);
+        assert_eq!(evs[1].seq, 1);
+        assert_eq!(evs[1].round, Some(1));
+        assert_eq!(evs[1].field("rank").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            evs[1].field("detail").unwrap().as_str(),
+            Some("bad checksum")
+        );
+    }
+
+    #[test]
+    fn flight_ring_rotates_and_dumps_capture_the_trail() {
+        let r = Recorder::new();
+        for i in 0..(FLIGHT_RING_CAP as u64 + 10) {
+            r.event("round", Some(i), vec![]);
+        }
+        let ring = r.recent_events();
+        assert_eq!(ring.len(), FLIGHT_RING_CAP);
+        assert_eq!(ring[0].round, Some(10)); // oldest 10 rotated out
+        assert!(r.crash_dump("stall"));
+        let dumps = r.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason, "stall");
+        assert_eq!(dumps[0].events.len(), FLIGHT_RING_CAP);
+        assert_eq!(
+            dumps[0].events.last().unwrap().round,
+            Some(FLIGHT_RING_CAP as u64 + 9)
+        );
+    }
+
+    #[test]
+    fn event_log_caps_and_counts_drops() {
+        let r = Recorder::new();
+        for _ in 0..(EVENT_LOG_CAP + 7) {
+            r.event("tick", None, vec![]);
+        }
+        assert_eq!(r.events().len(), EVENT_LOG_CAP);
+        assert_eq!(r.dropped_events(), 7);
+    }
+
+    #[test]
+    fn jsonl_export_validates_including_dumps_and_escapes() {
+        let r = Recorder::new();
+        r.set_vtime(0.25);
+        r.event(
+            "resync",
+            Some(2),
+            vec![
+                ("rank", 4u64.into()),
+                ("mode", "chunked \"fast\"\npath".into()),
+                ("ratio", f64::NAN.into()),
+                ("ok", true.into()),
+                ("delta", Value::I64(-3)),
+            ],
+        );
+        r.crash_dump("resync failed");
+        let text = r.events_jsonl();
+        let lines = validate_jsonl(&text).expect("exported JSONL must parse");
+        // 1 event + 1 dump header + 1 captured event inside the dump.
+        assert_eq!(lines, 3);
+        assert!(text.contains("\"kind\": \"flight.dump\""));
+        assert!(text.contains("null"), "NaN serializes as null");
+    }
+
+    #[test]
+    fn prometheus_snapshot_has_all_three_types() {
+        let r = Recorder::new();
+        r.add("train.rounds", 12);
+        r.set_gauge("wire.data_bytes", 1024.0);
+        r.observe("serve.latency_ticks", 3.0);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE saps_train_rounds counter"));
+        assert!(text.contains("saps_train_rounds 12"));
+        assert!(text.contains("# TYPE saps_wire_data_bytes gauge"));
+        assert!(text.contains("saps_wire_data_bytes 1024"));
+        assert!(text.contains("# TYPE saps_serve_latency_ticks histogram"));
+        assert!(text.contains("saps_serve_latency_ticks_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("saps_serve_latency_ticks_count 1"));
+    }
+
+    #[test]
+    fn validate_jsonl_rejects_garbage() {
+        assert!(validate_jsonl("{\"a\": 1}\n{\"b\": [1, 2, {\"c\": null}]}").is_ok());
+        assert!(validate_jsonl("not json").is_err());
+        assert!(
+            validate_jsonl("[1, 2]").is_err(),
+            "top level must be an object"
+        );
+        assert!(validate_jsonl("{\"a\": }").is_err());
+        assert!(validate_jsonl("{\"a\": 1} trailing").is_err());
+        assert!(validate_jsonl("{\"a\": \"unterminated}").is_err());
+        assert_eq!(validate_jsonl("\n\n").unwrap(), 0);
+    }
+
+    #[test]
+    fn vtime_is_never_wall_clock() {
+        // The recorder only knows the time it is told: fresh recorder
+        // reads 0.0, and stamps follow set_vtime exactly.
+        let r = Recorder::new();
+        assert_eq!(r.vtime(), 0.0);
+        r.set_vtime(42.5);
+        assert_eq!(r.vtime(), 42.5);
+        r.event("round", None, vec![]);
+        assert_eq!(r.events()[0].vtime_s, 42.5);
+    }
+}

@@ -1,0 +1,258 @@
+//! Metric cells: counters, gauges, and fixed-bucket histograms.
+//!
+//! Cells live behind `Arc`s in a name-keyed registry; the registry
+//! mutex is held only for the name lookup, after which every update is
+//! a single atomic operation — cheap enough to leave enabled inside
+//! the round loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default histogram bucket upper bounds: a log-spaced ladder wide
+/// enough for both sub-millisecond round phases and thousand-tick
+/// serving latencies. An implicit `+Inf` overflow bucket follows the
+/// last bound.
+pub const DEFAULT_BUCKETS: &[f64] = &[
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+];
+
+/// A histogram cell: fixed upper bounds plus an overflow bucket, with
+/// atomically updated counts and sum.
+#[derive(Debug)]
+pub(crate) struct HistCell {
+    bounds: Vec<f64>,
+    /// One count per bound, plus the trailing overflow bucket.
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl HistCell {
+    fn new(bounds: &[f64]) -> Self {
+        HistCell {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loop: f64 add on an AtomicU64 holding the bit pattern.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram's buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (an implicit `+Inf` bucket follows).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1`, the last
+    /// entry being the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear
+    /// interpolation inside the bucket containing the target rank.
+    /// Values landing in the overflow bucket are reported as the last
+    /// finite bound (a floor, not an exact value). Returns `None` when
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if cum >= rank {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: no finite upper bound to
+                    // interpolate toward.
+                    return Some(self.bounds.last().copied().unwrap_or(self.sum));
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let frac = if *c == 0 {
+                    0.0
+                } else {
+                    (rank - prev) as f64 / *c as f64
+                };
+                return Some(lower + (upper - lower) * frac);
+            }
+        }
+        self.bounds.last().copied()
+    }
+
+    /// Mean of all observations (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+/// One registered metric. The variant is fixed at first registration;
+/// updates through a mismatched accessor are ignored (no panics in
+/// instrumented hot paths).
+#[derive(Debug)]
+pub(crate) enum Cell {
+    Counter(AtomicU64),
+    Gauge(AtomicU64),
+    Histogram(HistCell),
+}
+
+impl Cell {
+    pub(crate) fn counter() -> Self {
+        Cell::Counter(AtomicU64::new(0))
+    }
+
+    pub(crate) fn gauge() -> Self {
+        Cell::Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    pub(crate) fn histogram(bounds: &[f64]) -> Self {
+        Cell::Histogram(HistCell::new(bounds))
+    }
+
+    pub(crate) fn add(&self, delta: u64) {
+        if let Cell::Counter(c) = self {
+            c.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn counter_value(&self) -> Option<u64> {
+        match self {
+            Cell::Counter(c) => Some(c.load(Ordering::Relaxed)),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn set_gauge(&self, v: f64) {
+        if let Cell::Gauge(g) = self {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn max_gauge(&self, v: f64) {
+        if let Cell::Gauge(g) = self {
+            let mut cur = g.load(Ordering::Relaxed);
+            while v > f64::from_bits(cur) {
+                match g.compare_exchange_weak(
+                    cur,
+                    v.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    pub(crate) fn gauge_value(&self) -> Option<f64> {
+        match self {
+            Cell::Gauge(g) => Some(f64::from_bits(g.load(Ordering::Relaxed))),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn observe(&self, v: f64) {
+        if let Cell::Histogram(h) = self {
+            h.observe(v);
+        }
+    }
+
+    pub(crate) fn histogram_snapshot(&self) -> Option<HistogramSnapshot> {
+        match self {
+            Cell::Histogram(h) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Renders this metric in Prometheus text exposition format.
+    pub(crate) fn render_prometheus(&self, name: &str, out: &mut String) {
+        let sanitized = sanitize_metric_name(name);
+        match self {
+            Cell::Counter(c) => {
+                out.push_str(&format!("# TYPE {sanitized} counter\n"));
+                out.push_str(&format!("{sanitized} {}\n", c.load(Ordering::Relaxed)));
+            }
+            Cell::Gauge(g) => {
+                out.push_str(&format!("# TYPE {sanitized} gauge\n"));
+                out.push_str(&format!(
+                    "{sanitized} {}\n",
+                    f64::from_bits(g.load(Ordering::Relaxed))
+                ));
+            }
+            Cell::Histogram(h) => {
+                let snap = h.snapshot();
+                out.push_str(&format!("# TYPE {sanitized} histogram\n"));
+                let mut cum = 0u64;
+                for (i, b) in snap.bounds.iter().enumerate() {
+                    cum += snap.counts[i];
+                    out.push_str(&format!("{sanitized}_bucket{{le=\"{b}\"}} {cum}\n"));
+                }
+                out.push_str(&format!(
+                    "{sanitized}_bucket{{le=\"+Inf\"}} {}\n",
+                    snap.count
+                ));
+                out.push_str(&format!("{sanitized}_sum {}\n", snap.sum));
+                out.push_str(&format!("{sanitized}_count {}\n", snap.count));
+            }
+        }
+    }
+}
+
+/// Maps a dot-namespaced metric name to a Prometheus-legal one:
+/// `wire.data_bytes` → `saps_wire_data_bytes`.
+pub(crate) fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("saps_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}

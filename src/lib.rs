@@ -22,6 +22,7 @@
 //! | [`proto`] | the versioned wire protocol (`docs/PROTOCOL.md`): framed round-lifecycle messages with typed decode errors |
 //! | [`cluster`] | the message-driven coordinator/worker runtime ([`cluster::ClusterTrainer`], loopback + TCP transports) |
 //! | [`serve`] | the inference plane ([`serve::ServeCluster`], [`serve::ReplicaNode`]): replicas serving the consensus model with batched forwards and hot checkpoint swaps |
+//! | [`telemetry`] | the unified observability plane (`docs/OBSERVABILITY.md`): the lock-cheap [`telemetry::Recorder`] metric registry, structured events, and the crash flight recorder |
 //!
 //! ## Quickstart
 //!
@@ -71,4 +72,5 @@ pub use saps_nn as nn;
 pub use saps_proto as proto;
 pub use saps_runtime as runtime;
 pub use saps_serve as serve;
+pub use saps_telemetry as telemetry;
 pub use saps_tensor as tensor;

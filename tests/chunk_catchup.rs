@@ -478,6 +478,7 @@ fn resync_throughput_monolithic_vs_chunked() {
             workers: FLEET,
             threads: ParallelismPolicy::Auto.resolve(),
             driver: driver.to_string(),
+            telemetry: false,
             rounds: cohort.len(), // one "round" per joiner resync
             wall_s,
             rounds_per_sec: cohort.len() as f64 / wall_s.max(f64::MIN_POSITIVE),

@@ -99,6 +99,7 @@ fn thousand_worker_sharded_round_trip() {
             workers: WORKERS,
             threads: ParallelismPolicy::Auto.resolve(),
             driver: "cluster".to_string(),
+            telemetry: false,
             rounds: ROUNDS,
             wall_s,
             rounds_per_sec: ROUNDS as f64 / wall_s.max(f64::MIN_POSITIVE),

@@ -19,15 +19,16 @@ use saps::core::{AlgorithmSpec, Experiment, ScenarioEvent};
 use saps::data::SyntheticSpec;
 use saps::nn::zoo;
 
-/// The seven examples the README documents, in `cargo run --example`
+/// The eight examples the README documents, in `cargo run --example`
 /// name form. Update this list and the README table together.
-const CANONICAL_EXAMPLES: [&str; 7] = [
+const CANONICAL_EXAMPLES: [&str; 8] = [
     "cluster_demo",
     "geo_distributed",
     "non_iid_federated",
     "peer_selection_demo",
     "quickstart",
     "serving_demo",
+    "telemetry_demo",
     "worker_churn",
 ];
 
